@@ -1,0 +1,66 @@
+//! Alignment cost: the paper's headline efficiency claim — the predicted
+//! alignment is "table lookup and interpolation operations" while the
+//! exhaustive search "involves performing an expensive search using a large
+//! number of non-linear simulations".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clarinox_bench::fig2_circuit;
+use clarinox_cells::Tech;
+use clarinox_core::alignment::{
+    exhaustive_alignment, predicted_alignment, receiver_input_alignment, AlignmentContext,
+};
+use clarinox_core::analysis::NoiseAnalyzer;
+use clarinox_core::config::AnalyzerConfig;
+use clarinox_core::models::NetModels;
+use clarinox_core::superposition::LinearNetAnalysis;
+use clarinox_waveform::NoisePulse;
+
+fn bench_alignment(c: &mut Criterion) {
+    let tech = Tech::default_180nm();
+    let spec = fig2_circuit(&tech);
+    let cfg = AnalyzerConfig {
+        dt: 2e-12,
+        ..AnalyzerConfig::default()
+    };
+    let models = NetModels::characterize(&tech, &spec, 3).expect("characterize");
+    let lin = LinearNetAnalysis::new(&tech, &spec, &models, &cfg).expect("linear setup");
+    let noiseless = lin.noiseless(cfg.victim_input_start).expect("noiseless");
+    let noise = lin.aggressor_noise(0, 0.6e-9).expect("aggressor noise");
+    let pulse = NoisePulse::from_waveform(noise.at_victim_rcv).expect("pulse");
+    let victim_edge = spec.victim.wire_edge();
+    let ctx = AlignmentContext {
+        tech: &tech,
+        receiver: spec.victim.receiver,
+        receiver_load: spec.victim.receiver_load,
+        noiseless_rcv: &noiseless.at_victim_rcv,
+        victim_edge,
+        composite: &pulse,
+        dt: cfg.dt,
+        t_stop: lin.t_stop + 1e-9,
+        hysteresis: 0.05 * tech.vdd,
+    };
+
+    // Table built once (as in the flow); lookups are what get repeated.
+    let analyzer = NoiseAnalyzer::with_config(tech, cfg);
+    let table = analyzer
+        .alignment_table(spec.victim.receiver, victim_edge)
+        .expect("alignment table");
+
+    let mut g = c.benchmark_group("alignment");
+    g.sample_size(10);
+    g.bench_function("predicted_table_lookup", |b| {
+        b.iter(|| black_box(predicted_alignment(&ctx, &table).expect("predicted")))
+    });
+    g.bench_function("receiver_input_baseline", |b| {
+        b.iter(|| black_box(receiver_input_alignment(&ctx).expect("baseline")))
+    });
+    g.bench_function("exhaustive_21pt_search", |b| {
+        b.iter(|| black_box(exhaustive_alignment(&ctx, 21).expect("exhaustive")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_alignment);
+criterion_main!(benches);

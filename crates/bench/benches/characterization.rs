@@ -1,0 +1,75 @@
+//! Pre-characterization cost: Thevenin fitting, the C-effective iteration
+//! and the transient-holding-resistance extraction ("a single non-linear
+//! simulation of the victim driver circuit" per iteration, paper Sec. 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clarinox_bench::fig2_circuit;
+use clarinox_cells::{Gate, Tech};
+use clarinox_char::ceff::effective_capacitance;
+use clarinox_char::thevenin::fit_thevenin;
+use clarinox_core::config::AnalyzerConfig;
+use clarinox_core::holding::extract_rt;
+use clarinox_core::models::NetModels;
+use clarinox_core::superposition::LinearNetAnalysis;
+use clarinox_netgen::topology::{load_network_for, NetRef};
+use clarinox_waveform::measure::Edge;
+
+fn bench_characterization(c: &mut Criterion) {
+    let tech = Tech::default_180nm();
+    let spec = fig2_circuit(&tech);
+    let gate = Gate::inv(2.0, &tech);
+    let load = load_network_for(&tech, &spec, NetRef::Victim).expect("load network");
+
+    let cfg = AnalyzerConfig {
+        dt: 2e-12,
+        ..AnalyzerConfig::default()
+    };
+    let models = NetModels::characterize(&tech, &spec, 3).expect("characterize");
+    let lin = LinearNetAnalysis::new(&tech, &spec, &models, &cfg).expect("linear setup");
+    let noise = lin
+        .aggressor_noise(0, cfg.victim_input_start)
+        .expect("aggressor noise");
+
+    let mut g = c.benchmark_group("characterization");
+    g.sample_size(10);
+    g.bench_function("thevenin_fit", |b| {
+        b.iter(|| {
+            black_box(
+                fit_thevenin(&tech, gate, Edge::Rising, 100e-12, 30e-15).expect("fit"),
+            )
+        })
+    });
+    g.bench_function("ceff_iteration", |b| {
+        b.iter(|| {
+            black_box(
+                effective_capacitance(
+                    |cl| fit_thevenin(&tech, gate, Edge::Rising, 100e-12, cl),
+                    &load,
+                    5,
+                )
+                .expect("ceff"),
+            )
+        })
+    });
+    g.bench_function("rt_extraction", |b| {
+        b.iter(|| {
+            black_box(
+                extract_rt(
+                    &tech,
+                    &spec.victim,
+                    &models.victim,
+                    &noise.at_victim_drv,
+                    cfg.victim_input_start,
+                    cfg.dt,
+                )
+                .expect("rt"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_characterization);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end per-net analysis throughput — the number that determines
+//! whether the flow scales to full-chip noise analysis, and the comparison
+//! between the Thevenin-only flow and the full `R_t` + predicted-alignment
+//! flow (the paper: "the overhead in each iteration is relatively small").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clarinox_bench::fig2_circuit;
+use clarinox_cells::Tech;
+use clarinox_core::analysis::NoiseAnalyzer;
+use clarinox_core::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
+
+fn bench_net_analysis(c: &mut Criterion) {
+    let tech = Tech::default_180nm();
+    let spec = fig2_circuit(&tech);
+    let base = AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ..AnalyzerConfig::default()
+    };
+
+    let thevenin = NoiseAnalyzer::with_config(
+        tech,
+        base.with_driver_model(DriverModelKind::Thevenin)
+            .with_alignment(AlignmentObjective::ReceiverInput),
+    );
+    let paper_flow = NoiseAnalyzer::with_config(tech, base);
+    let exhaustive = NoiseAnalyzer::with_config(
+        tech,
+        base.with_alignment(AlignmentObjective::ExhaustiveReceiverOutput { points: 21 }),
+    );
+    // Warm the alignment-table cache so the bench measures analysis, not
+    // one-time characterization.
+    let _ = paper_flow.analyze(&spec).expect("warmup");
+
+    let mut g = c.benchmark_group("net_analysis");
+    g.sample_size(10);
+    g.bench_function("thevenin_receiver_input", |b| {
+        b.iter(|| black_box(thevenin.analyze(&spec).expect("analysis")))
+    });
+    g.bench_function("rt_predicted_alignment", |b| {
+        b.iter(|| black_box(paper_flow.analyze(&spec).expect("analysis")))
+    });
+    g.bench_function("rt_exhaustive_alignment", |b| {
+        b.iter(|| black_box(exhaustive.analyze(&spec).expect("analysis")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_net_analysis);
+criterion_main!(benches);

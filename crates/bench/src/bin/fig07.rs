@@ -1,0 +1,133 @@
+//! Figure 7: total (interconnect + receiver) delay as a function of the
+//! composite-pulse alignment, (a) for several receiver output loads and
+//! (b) for several victim edge rates.
+//!
+//! Paper claims: (a) small loads make the delay sharply sensitive to the
+//! alignment while large loads flatten the curve (which justifies
+//! characterizing at minimum load); (b) measured against the victim's 50%
+//! crossing, the worst-case alignment time is nearly linear in the victim
+//! edge rate (which justifies two-point slew characterization).
+//!
+//! Usage: `cargo run --release -p clarinox-bench --bin fig07`
+
+use clarinox_bench::{csv_header, csv_row, paper_vs_measured, summary_banner, PS};
+use clarinox_cells::{Gate, Tech};
+use clarinox_char::alignment::AlignmentProbe;
+use clarinox_numeric::stats::{linear_fit, r_squared};
+use clarinox_waveform::measure::Edge;
+
+const PULSE_W: f64 = 80e-12;
+const PULSE_H: f64 = 0.55;
+
+fn sweep(probe: &AlignmentProbe) -> Result<Vec<(f64, f64)>, Box<dyn std::error::Error>> {
+    // Alignment axis: pulse-peak time relative to the victim 50% crossing.
+    let t50 = probe.victim_t50()?;
+    let clean = probe.settle_at_peak_time(None)?;
+    let mut out = Vec::new();
+    for k in -10..=12 {
+        let rel = k as f64 * 25e-12;
+        let d = probe
+            .settle_at_peak_time(Some(t50 + rel))
+            .map(|t| t - clean)
+            .unwrap_or(0.0);
+        out.push((rel, d));
+    }
+    Ok(out)
+}
+
+/// Golden-refined worst alignment (relative to the 50% crossing) from a
+/// coarse curve.
+fn refined_worst(
+    probe: &AlignmentProbe,
+    curve: &[(f64, f64)],
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let t50 = probe.victim_t50()?;
+    let coarse = curve
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|p| p.0)
+        .unwrap_or(0.0);
+    let (rel, _) = clarinox_numeric::roots::golden_max(
+        |rel| {
+            probe
+                .settle_at_peak_time(Some(t50 + rel))
+                .unwrap_or(f64::NEG_INFINITY)
+        },
+        coarse - 25e-12,
+        coarse + 25e-12,
+        1e-12,
+    )?;
+    Ok(rel)
+}
+
+/// Peak sharpness: how much delay is lost by misaligning ±50 ps from the
+/// worst point (the paper's "small shift produces a dramatic change").
+fn sharpness(probe: &AlignmentProbe, worst_rel: f64) -> Result<f64, Box<dyn std::error::Error>> {
+    let t50 = probe.victim_t50()?;
+    let at = |rel: f64| {
+        probe
+            .settle_at_peak_time(Some(t50 + rel))
+            .unwrap_or(f64::NEG_INFINITY)
+    };
+    let d0 = at(worst_rel);
+    let side = 0.5 * (at(worst_rel - 50e-12) + at(worst_rel + 50e-12));
+    Ok(d0 - side)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Tech::default_180nm();
+    let gate = Gate::inv(2.0, &tech);
+
+    // (a) Load sweep at fixed slew.
+    csv_header(&["panel", "param", "align_rel_ps", "extra_delay_ps"]);
+    let mut load_stats = Vec::new();
+    for &load in &[5e-15, 20e-15, 80e-15, 160e-15] {
+        let probe =
+            AlignmentProbe::new(&tech, gate, Edge::Rising, 150e-12, PULSE_W, PULSE_H, load)?;
+        let curve = sweep(&probe)?;
+        for (rel, d) in &curve {
+            csv_row(&[7.1, load * 1e15, rel * PS, d * PS]);
+        }
+        let worst_rel = refined_worst(&probe, &curve)?;
+        let sharp = sharpness(&probe, worst_rel)?;
+        load_stats.push((load, worst_rel, sharp));
+    }
+
+    // (b) Slew sweep at minimum load.
+    let mut slews = Vec::new();
+    let mut worsts = Vec::new();
+    for &slew in &[80e-12, 160e-12, 240e-12, 320e-12, 400e-12] {
+        let probe =
+            AlignmentProbe::new(&tech, gate, Edge::Rising, slew, PULSE_W, PULSE_H, 5e-15)?;
+        let curve = sweep(&probe)?;
+        for (rel, d) in &curve {
+            csv_row(&[7.2, slew * PS, rel * PS, d * PS]);
+        }
+        let worst_rel = refined_worst(&probe, &curve)?;
+        slews.push(slew);
+        worsts.push(worst_rel);
+    }
+
+    summary_banner("fig07 (delay vs alignment: receiver loads & victim slews)");
+    let small = load_stats.first().expect("loads swept");
+    let large = load_stats.last().expect("loads swept");
+    paper_vs_measured(
+        "alignment sensitivity, small vs large load (delay lost by ±50 ps misalignment)",
+        "small load sharp, large load flat (Fig. 7a)",
+        &format!(
+            "{:.0} fF: {:.1} ps | {:.0} fF: {:.1} ps",
+            small.0 * 1e15,
+            small.2 * PS,
+            large.0 * 1e15,
+            large.2 * PS
+        ),
+    );
+    let (a, b) = linear_fit(&slews, &worsts)?;
+    let r2 = r_squared(&slews, &worsts)?;
+    paper_vs_measured(
+        "worst alignment (rel. 50% crossing) vs victim slew",
+        "closely approximates a linear function (Fig. 7b)",
+        &format!("fit slope {b:.3}, intercept {:.1} ps, R² = {r2:.3}", a * PS),
+    );
+    Ok(())
+}

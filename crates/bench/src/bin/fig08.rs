@@ -1,0 +1,101 @@
+//! Figure 8: total delay as a function of the **alignment voltage** (the
+//! receiver-input voltage of the noiseless transition at the pulse peak),
+//! (a) for several pulse widths and (b) for several pulse heights.
+//!
+//! Paper claims: expressed against the alignment voltage, the worst-case
+//! alignment depends (nearly) linearly on pulse width and height — the
+//! property that lets the 8-point table interpolate in those dimensions.
+//!
+//! Usage: `cargo run --release -p clarinox-bench --bin fig08`
+
+use clarinox_bench::{csv_header, csv_row, paper_vs_measured, summary_banner, PS};
+use clarinox_cells::{Gate, Tech};
+use clarinox_char::alignment::AlignmentProbe;
+use clarinox_numeric::stats::r_squared;
+use clarinox_waveform::measure::Edge;
+
+const SLEW: f64 = 150e-12;
+const LOAD: f64 = 5e-15;
+
+fn va_curve(probe: &AlignmentProbe, tech: &Tech) -> Vec<(f64, f64)> {
+    let clean = probe.settle_at_peak_time(None).unwrap_or(0.0);
+    (1..=18)
+        .map(|k| {
+            let va = 0.05 * tech.vdd + (0.93 - 0.05) * tech.vdd * (k as f64 - 1.0) / 17.0;
+            let d = probe.delay_at_va(va);
+            let d = if d.is_finite() { d - clean } else { 0.0 };
+            (va, d)
+        })
+        .collect()
+}
+
+fn worst_va(probe: &AlignmentProbe, curve: &[(f64, f64)]) -> f64 {
+    let coarse = curve
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|p| p.0)
+        .unwrap_or(0.0);
+    let step = curve
+        .get(1)
+        .map(|(v, _)| v - curve[0].0)
+        .unwrap_or(0.05);
+    clarinox_numeric::roots::golden_max(
+        |va| probe.delay_at_va(va),
+        coarse - step,
+        coarse + step,
+        step * 0.02,
+    )
+    .map(|(va, _)| va)
+    .unwrap_or(coarse)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Tech::default_180nm();
+    let gate = Gate::inv(2.0, &tech);
+    csv_header(&["panel", "param", "align_voltage_V", "extra_delay_ps"]);
+
+    // (a) Width sweep at fixed height.
+    let widths = [40e-12, 80e-12, 120e-12, 160e-12, 220e-12];
+    let mut worst_vs_w = Vec::new();
+    for &w in &widths {
+        let probe = AlignmentProbe::new(&tech, gate, Edge::Rising, SLEW, w, 0.5, LOAD)?;
+        let curve = va_curve(&probe, &tech);
+        for (va, d) in &curve {
+            csv_row(&[8.1, w * PS, *va, d * PS]);
+        }
+        worst_vs_w.push(worst_va(&probe, &curve));
+    }
+
+    // (b) Height sweep at fixed width.
+    let heights = [0.3, 0.45, 0.6, 0.75, 0.9];
+    let mut worst_vs_h = Vec::new();
+    for &h in &heights {
+        let probe = AlignmentProbe::new(&tech, gate, Edge::Rising, SLEW, 100e-12, h, LOAD)?;
+        let curve = va_curve(&probe, &tech);
+        for (va, d) in &curve {
+            csv_row(&[8.2, h, *va, d * PS]);
+        }
+        worst_vs_h.push(worst_va(&probe, &curve));
+    }
+
+    summary_banner("fig08 (delay vs alignment voltage)");
+    let r2w = r_squared(&widths, &worst_vs_w)?;
+    let r2h = r_squared(&heights, &worst_vs_h)?;
+    paper_vs_measured(
+        "worst alignment voltage vs pulse width",
+        "linearly dependent (Fig. 8a)",
+        &format!(
+            "worst Va {:?} V over widths, R² = {r2w:.3}",
+            worst_vs_w.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        ),
+    );
+    paper_vs_measured(
+        "worst alignment voltage vs pulse height",
+        "linearly dependent (Fig. 8b)",
+        &format!(
+            "worst Va {:?} V over heights, R² = {r2h:.3}",
+            worst_vs_h.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        ),
+    );
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Figure 9: error of the 8-point predicted alignment, (a) across victim
+//! slews and receiver loads, (b) across pulse widths and heights.
+//!
+//! For every grid point, the extra delay at the *predicted* alignment
+//! (table lookup + interpolation) is compared with the extra delay at the
+//! exhaustively-searched worst alignment. The paper reports errors below
+//! 7% (a) and 8% (b).
+//!
+//! Usage: `cargo run --release -p clarinox-bench --bin fig09`
+
+use clarinox_bench::{csv_header, csv_row, paper_vs_measured, summary_banner, PS};
+use clarinox_cells::{Gate, Tech};
+use clarinox_char::alignment::{
+    worst_alignment_voltage, AlignmentCharSpec, AlignmentProbe, AlignmentTable,
+};
+use clarinox_waveform::measure::Edge;
+
+const W_AXIS: [f64; 2] = [60e-12, 250e-12];
+const H_AXIS: [f64; 2] = [0.25, 0.75];
+const S_AXIS: [f64; 2] = [60e-12, 400e-12];
+const MIN_LOAD: f64 = 4e-15;
+
+/// Error of the predicted alignment at one condition, as the paper reports
+/// it: the miss in the *calculated total delay* (victim transition + noise
+/// + receiver), relative to the true worst-case total delay.
+#[allow(clippy::too_many_arguments)]
+fn error_at(
+    tech: &Tech,
+    gate: Gate,
+    table: &AlignmentTable,
+    slew: f64,
+    width: f64,
+    height: f64,
+    load: f64,
+    spec: &AlignmentCharSpec,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let probe = AlignmentProbe::new(tech, gate, Edge::Rising, slew, width, height, load)?;
+    // Total delay is measured from the victim transition's start — the
+    // combined interconnect + receiver delay of the paper's objective.
+    let t_ref = probe.noiseless().t_start();
+    // Predicted: interpolated alignment voltage -> peak time -> delay.
+    let va_pred = table.alignment_voltage(width, height, slew);
+    let t_pred = table.predict_peak_time(width, height, slew, probe.noiseless())?;
+    let d_pred = probe.settle_at_peak_time(Some(t_pred))? - t_ref;
+    // Exhaustive worst at the *actual* condition (including the actual
+    // load, which the table deliberately ignores).
+    let va_worst = worst_alignment_voltage(tech, gate, Edge::Rising, slew, width, height, load, spec)?;
+    let d_worst = probe.delay_at_va(va_worst) - t_ref;
+    if d_worst <= 1e-13 {
+        return Ok(0.0); // negligible delay at this corner
+    }
+    let err = ((d_worst - d_pred) / d_worst).max(0.0);
+    eprintln!(
+        "detail: slew={:.0}ps w={:.0}ps h={height:.2}V load={:.0}fF va_pred={va_pred:.3} va_worst={va_worst:.3} d_pred={:.1}ps d_worst={:.1}ps err={:.1}%",
+        slew * 1e12,
+        width * 1e12,
+        load * 1e15,
+        d_pred * 1e12,
+        d_worst * 1e12,
+        err * 100.0
+    );
+    Ok(err)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Tech::default_180nm();
+    let gate = Gate::inv(2.0, &tech);
+    let spec = AlignmentCharSpec::default();
+    eprintln!("characterizing 8-point table...");
+    let table = AlignmentTable::characterize(
+        &tech,
+        gate,
+        Edge::Rising,
+        W_AXIS,
+        H_AXIS,
+        S_AXIS,
+        MIN_LOAD,
+        &spec,
+    )?;
+
+    csv_header(&["panel", "x", "y", "error_pct"]);
+
+    // (a) slew x load grid at fixed pulse.
+    let slews = [80e-12, 160e-12, 240e-12, 360e-12];
+    let loads = [4e-15, 20e-15, 60e-15, 140e-15];
+    let mut worst_a = 0.0f64;
+    for &s in &slews {
+        for &l in &loads {
+            let e = error_at(&tech, gate, &table, s, 100e-12, 0.5, l, &spec)?;
+            worst_a = worst_a.max(e);
+            csv_row(&[9.1, s * PS, l * 1e15, e * 100.0]);
+        }
+    }
+
+    // (b) width x height grid at min load, fixed slew.
+    let widths = [60e-12, 100e-12, 150e-12, 220e-12];
+    let heights = [0.3, 0.45, 0.6, 0.75];
+    let mut worst_b = 0.0f64;
+    for &w in &widths {
+        for &h in &heights {
+            let e = error_at(&tech, gate, &table, 150e-12, w, h, MIN_LOAD, &spec)?;
+            worst_b = worst_b.max(e);
+            csv_row(&[9.2, w * PS, h, e * 100.0]);
+        }
+    }
+
+    summary_banner("fig09 (predicted-alignment error)");
+    paper_vs_measured(
+        "worst error over victim slew x receiver load",
+        "< 7%",
+        &format!("{:.1}%", worst_a * 100.0),
+    );
+    paper_vs_measured(
+        "worst error over pulse width x height",
+        "< 8%",
+        &format!("{:.1}%", worst_b * 100.0),
+    );
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Figure 14: predicted-alignment extra delay vs exhaustive worst-case
+//! search, for the paper's receiver-output objective and the \[5\]
+//! receiver-input baseline.
+//!
+//! For each generated net, the extra delay at the receiver output is
+//! evaluated at three alignments of the same composite pulse: the
+//! exhaustive worst case (x-axis), the paper's 8-point prediction, and the
+//! receiver-input-objective baseline. The paper reports a worst-case error
+//! of 15 ps for their method vs 31 ps for the baseline.
+//!
+//! Usage: `cargo run --release -p clarinox-bench --bin fig14 [--nets N] [--seed S]`
+
+use clarinox_bench::{arg_u64, arg_usize, csv_header, paper_vs_measured, summary_banner, PS};
+use clarinox_cells::Tech;
+use clarinox_core::analysis::NoiseAnalyzer;
+use clarinox_core::config::{AlignmentObjective, AnalyzerConfig};
+use clarinox_netgen::generate::{generate_block, BlockConfig};
+use clarinox_numeric::stats::ErrorSummary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nets = arg_usize("--nets", 300);
+    let seed = arg_u64("--seed", 2001);
+    let tech = Tech::default_180nm();
+    // Receiver-output alignment differs from the receiver-input baseline
+    // where the receiver's low-pass behaviour matters (paper Figures 3/6/7),
+    // i.e. at appreciable output loads — bias the population there.
+    let cfg_block = BlockConfig {
+        receiver_load: (30e-15, 220e-15),
+        ..BlockConfig::default()
+    };
+    let block = generate_block(&tech, &cfg_block.with_nets(nets), seed);
+
+    let base = AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ..AnalyzerConfig::default()
+    };
+    let exhaustive = NoiseAnalyzer::with_config(
+        tech,
+        base.with_alignment(AlignmentObjective::ExhaustiveReceiverOutput { points: 21 }),
+    );
+    let predicted = NoiseAnalyzer::with_config(tech, base);
+    let baseline = NoiseAnalyzer::with_config(
+        tech,
+        base.with_alignment(AlignmentObjective::ReceiverInput),
+    );
+
+    csv_header(&["net", "exhaustive_ps", "predicted_ps", "input_objective_ps", "pulse_v", "slew_ps"]);
+    let mut pred_err = Vec::new();
+    let mut base_err = Vec::new();
+    let mut pred_err_small = Vec::new();
+    let mut base_err_small = Vec::new();
+    let mut counted = 0usize;
+    let mut excluded = 0usize;
+    for spec in &block {
+        let (Ok(r_ex), Ok(r_pred), Ok(r_base)) = (
+            exhaustive.analyze(spec),
+            predicted.analyze(spec),
+            baseline.analyze(spec),
+        ) else {
+            continue;
+        };
+        if !r_ex.has_noise() || r_ex.delay_noise_rcv_out < 2e-12 {
+            continue;
+        }
+        // Two standard signoff filters keep the population in the paper's
+        // delay-noise regime:
+        // * composite pulses above the characterized height range re-glitch
+        //   the settled victim — that is a *functional* noise violation, not
+        //   delay noise;
+        // * receiver-input transitions slower than a max-transition limit
+        //   would be buffered in any real design, and their delay noise is a
+        //   cliff rather than a perturbation.
+        let h_cap = predicted.config().table_height_axis[1];
+        if r_ex
+            .composite
+            .as_ref()
+            .is_some_and(|c| c.height >= h_cap)
+            || r_ex.victim_slew_rcv > 600e-12
+        {
+            excluded += 1;
+            continue;
+        }
+        let ex = r_ex.delay_noise_rcv_out;
+        let pr = r_pred.delay_noise_rcv_out;
+        let ba = r_base.delay_noise_rcv_out;
+        let h = r_ex.composite.as_ref().map(|c| c.height).unwrap_or(0.0);
+        println!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.1}",
+            spec.id,
+            ex * PS,
+            pr * PS,
+            ba * PS,
+            h,
+            r_ex.victim_slew_rcv * PS
+        );
+        pred_err.push(ex - pr);
+        base_err.push(ex - ba);
+        if h < 0.55 {
+            pred_err_small.push(ex - pr);
+            base_err_small.push(ex - ba);
+        }
+        counted += 1;
+    }
+
+    let p = ErrorSummary::of(&pred_err);
+    let b = ErrorSummary::of(&base_err);
+    summary_banner("fig14 (alignment prediction vs exhaustive worst case)");
+    println!(
+        "nets with measurable delay noise: {counted} ({excluded} excluded: functional-noise \
+         or max-transition violations)"
+    );
+    paper_vs_measured(
+        "worst-case error, our receiver-output prediction",
+        "15 ps",
+        &format!("{:.1} ps (mean {:.1} ps)", p.worst * PS, p.mean * PS),
+    );
+    paper_vs_measured(
+        "worst-case error, receiver-input objective [5]",
+        "31 ps",
+        &format!("{:.1} ps (mean {:.1} ps)", b.worst * PS, b.mean * PS),
+    );
+    paper_vs_measured(
+        "our method is more accurate",
+        "significantly higher accuracy",
+        &format!(
+            "worst ratio {:.2}x, mean ratio {:.2}x",
+            b.worst / p.worst.max(1e-15),
+            b.mean / p.mean.max(1e-15)
+        ),
+    );
+    // Perturbation regime: pulses below half the switching threshold, the
+    // population the paper's scatter (x up to ~200 ps) corresponds to.
+    let pp = ErrorSummary::of(&pred_err_small);
+    let bb = ErrorSummary::of(&base_err_small);
+    println!(
+        "perturbation regime (pulse < 0.55 V, {} nets): ours worst {:.1} ps mean {:.1} ps | \
+         baseline worst {:.1} ps mean {:.1} ps",
+        pp.count,
+        pp.worst * PS,
+        pp.mean * PS,
+        bb.worst * PS,
+        bb.mean * PS
+    );
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! Shared fixtures and reporting helpers for the figure-regeneration
+//! binaries and Criterion benches.
+//!
+//! Every data figure of the paper has a binary in `src/bin/` (`fig02`,
+//! `fig05`, `fig06`, `fig07`, `fig08`, `fig09`, `fig13`, `fig14`) that
+//! prints the plotted series as CSV rows plus a `== summary ==` block
+//! placing the paper-reported statistic next to the measured one.
+
+use clarinox_cells::{Gate, Tech};
+use clarinox_netgen::spec::{AggressorSpec, CoupledNetSpec, NetSpec};
+use clarinox_waveform::measure::Edge;
+use clarinox_waveform::Pwl;
+
+/// Picoseconds per second, for printing.
+pub const PS: f64 = 1e12;
+
+/// The canonical single-aggressor circuit used by Figures 2 and 5: a
+/// moderately-sized victim driver overwhelmed by a strong aggressor over a
+/// long coupled run — the regime where the Thevenin holding resistance
+/// visibly underestimates the injected noise.
+pub fn fig2_circuit(tech: &Tech) -> CoupledNetSpec {
+    let victim = NetSpec {
+        driver: Gate::inv(2.0, tech),
+        driver_input_ramp: 150e-12,
+        driver_input_edge: Edge::Rising,
+        wire_len: 1.2e-3,
+        segments: 4,
+        receiver: Gate::inv(2.0, tech),
+        receiver_load: 15e-15,
+    };
+    CoupledNetSpec {
+        id: 0,
+        victim,
+        aggressors: vec![AggressorSpec {
+            net: NetSpec {
+                driver: Gate::inv(8.0, tech),
+                driver_input_ramp: 100e-12,
+                driver_input_edge: Edge::Falling,
+                ..victim
+            },
+            coupling_len: 1.0e-3,
+            coupling_start: 0.05,
+        }],
+    }
+}
+
+/// The two-aggressor circuit of Figure 6, in the regime the paper names
+/// for non-aligned worst cases: fast victim transition, one slow
+/// aggressor, receiver load as a parameter.
+pub fn fig6_circuit(tech: &Tech, receiver_load: f64) -> CoupledNetSpec {
+    let mut spec = fig2_circuit(tech);
+    spec.victim.driver = Gate::inv(4.0, tech);
+    spec.victim.driver_input_ramp = 80e-12;
+    spec.victim.receiver_load = receiver_load;
+    // Second aggressor: much slower, coupled to the far half.
+    let mut second = spec.aggressors[0];
+    second.net.driver = Gate::inv(4.0, tech);
+    second.net.driver_input_ramp = 400e-12;
+    second.coupling_len = 0.5e-3;
+    second.coupling_start = 0.5;
+    spec.aggressors[0].coupling_len = 0.5e-3;
+    spec.aggressors[0].coupling_start = 0.0;
+    spec.aggressors.push(second);
+    spec
+}
+
+/// Prints a CSV header.
+pub fn csv_header(cols: &[&str]) {
+    println!("{}", cols.join(","));
+}
+
+/// Prints one CSV row of floats with reasonable precision.
+pub fn csv_row(vals: &[f64]) {
+    let row: Vec<String> = vals.iter().map(|v| format!("{v:.6e}")).collect();
+    println!("{}", row.join(","));
+}
+
+/// Prints a waveform as CSV rows `label,t,v`, downsampled to about
+/// `max_rows` rows.
+pub fn csv_waveform(label: &str, w: &Pwl, max_rows: usize) {
+    let pts = w.points();
+    let stride = (pts.len() / max_rows.max(1)).max(1);
+    for (i, (t, v)) in pts.iter().enumerate() {
+        if i % stride == 0 || i + 1 == pts.len() {
+            println!("{label},{t:.6e},{v:.6e}");
+        }
+    }
+}
+
+/// Prints the `== summary ==` banner.
+pub fn summary_banner(title: &str) {
+    println!("== summary: {title} ==");
+}
+
+/// Prints a paper-vs-measured line.
+pub fn paper_vs_measured(metric: &str, paper: &str, measured: &str) {
+    println!("{metric}: paper {paper} | measured {measured}");
+}
+
+/// Parses `--key value` style integer flags from `std::env::args`.
+pub fn arg_usize(key: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses `--key value` style float flags.
+pub fn arg_f64(key: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses `--key value` style integer-seed flags.
+pub fn arg_u64(key: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_circuits_are_wellformed() {
+        let tech = Tech::default_180nm();
+        let f2 = fig2_circuit(&tech);
+        assert_eq!(f2.aggressors.len(), 1);
+        assert!(clarinox_netgen::build_topology(&tech, &f2).is_ok());
+        let f6 = fig6_circuit(&tech, 20e-15);
+        assert_eq!(f6.aggressors.len(), 2);
+        assert!(clarinox_netgen::build_topology(&tech, &f6).is_ok());
+    }
+
+    #[test]
+    fn arg_parsing_defaults() {
+        assert_eq!(arg_usize("--definitely-not-passed", 7), 7);
+        assert_eq!(arg_u64("--nope", 9), 9);
+        assert_eq!(arg_f64("--nope", 1.5), 1.5);
+    }
+}
+
+pub mod study;

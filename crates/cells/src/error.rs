@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Error type for cell expansion and characterization fixtures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CellsError {
+    /// Gate parameters are out of range (non-positive strength, ...).
+    InvalidGate {
+        /// Description of the problem.
+        context: String,
+    },
+    /// Underlying simulation failure.
+    Spice(clarinox_spice::SpiceError),
+    /// Underlying circuit-construction failure.
+    Circuit(clarinox_circuit::CircuitError),
+    /// Waveform measurement failure.
+    Waveform(clarinox_waveform::WaveformError),
+}
+
+impl fmt::Display for CellsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellsError::InvalidGate { context } => write!(f, "invalid gate: {context}"),
+            CellsError::Spice(e) => write!(f, "simulation failure: {e}"),
+            CellsError::Circuit(e) => write!(f, "circuit failure: {e}"),
+            CellsError::Waveform(e) => write!(f, "waveform failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CellsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CellsError::Spice(e) => Some(e),
+            CellsError::Circuit(e) => Some(e),
+            CellsError::Waveform(e) => Some(e),
+            CellsError::InvalidGate { .. } => None,
+        }
+    }
+}
+
+impl From<clarinox_spice::SpiceError> for CellsError {
+    fn from(e: clarinox_spice::SpiceError) -> Self {
+        CellsError::Spice(e)
+    }
+}
+
+impl From<clarinox_circuit::CircuitError> for CellsError {
+    fn from(e: clarinox_circuit::CircuitError) -> Self {
+        CellsError::Circuit(e)
+    }
+}
+
+impl From<clarinox_waveform::WaveformError> for CellsError {
+    fn from(e: clarinox_waveform::WaveformError) -> Self {
+        CellsError::Waveform(e)
+    }
+}
+
+impl CellsError {
+    /// Convenience constructor for [`CellsError::InvalidGate`].
+    pub fn gate(context: impl Into<String>) -> Self {
+        CellsError::InvalidGate {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CellsError::gate("strength <= 0").to_string().contains("strength"));
+    }
+}

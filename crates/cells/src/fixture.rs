@@ -1,0 +1,214 @@
+//! Canonical simulation fixtures for gate characterization.
+//!
+//! Both halves of the paper's method are built on two tiny non-linear
+//! simulations:
+//!
+//! * a **driver fixture** — the gate driving an effective load capacitance
+//!   from a saturated-ramp input, optionally with an injected noise current
+//!   at its output (paper Figure 4(b): the `V₁`/`V₂` pair that defines the
+//!   transient holding resistance), and
+//! * a **receiver fixture** — the gate fed an arbitrary noisy waveform and
+//!   observed at its output (the receiver-output delay objective of
+//!   Section 3).
+//!
+//! These fixtures are shared by the pre-characterization (`clarinox-char`)
+//! and the analysis engine (`clarinox-core`) so that every consumer sees
+//! the same circuit conventions.
+
+use crate::gate::{Gate, GatePins};
+use crate::tech::Tech;
+use crate::Result;
+use clarinox_circuit::netlist::{Circuit, SourceWave};
+use clarinox_circuit::transient::TransientSpec;
+use clarinox_spice::NonlinearCircuit;
+use clarinox_waveform::measure::Edge;
+use clarinox_waveform::Pwl;
+
+/// A gate driving a lumped capacitive load from a saturated-ramp input.
+#[derive(Debug, Clone)]
+pub struct DriveFixture {
+    /// Technology.
+    pub tech: Tech,
+    /// The driving gate.
+    pub gate: Gate,
+    /// Input transition direction.
+    pub input_edge: Edge,
+    /// Input ramp duration, 0–100% (seconds).
+    pub input_ramp: f64,
+    /// Time at which the input ramp starts (seconds).
+    pub t_start: f64,
+    /// Load capacitance at the gate output (farads).
+    pub cload: f64,
+    /// Total simulated time (seconds).
+    pub t_stop: f64,
+    /// Timestep (seconds).
+    pub dt: f64,
+}
+
+impl DriveFixture {
+    /// Creates a fixture with defaults scaled to the input ramp: simulation
+    /// starts 0.2 ns before the ramp and runs long enough for the output to
+    /// settle.
+    pub fn new(tech: Tech, gate: Gate, input_edge: Edge, input_ramp: f64, cload: f64) -> Self {
+        let t_start = 0.2e-9;
+        let t_stop = t_start + input_ramp + 4e-9;
+        let dt = (input_ramp / 50.0).clamp(0.2e-12, 2e-12);
+        DriveFixture {
+            tech,
+            gate,
+            input_edge,
+            input_ramp,
+            t_start,
+            cload,
+            t_stop,
+            dt,
+        }
+    }
+
+    /// The input ramp waveform.
+    pub fn input_wave(&self) -> Pwl {
+        let (v0, v1) = match self.input_edge {
+            Edge::Rising => (0.0, self.tech.vdd),
+            Edge::Falling => (self.tech.vdd, 0.0),
+        };
+        Pwl::ramp(self.t_start, self.input_ramp, v0, v1).expect("positive ramp duration")
+    }
+
+    /// Direction of the resulting output transition.
+    pub fn output_edge(&self) -> Edge {
+        if self.gate.is_inverting() {
+            self.input_edge.opposite()
+        } else {
+            self.input_edge
+        }
+    }
+
+    /// Runs the fixture, optionally injecting the current waveform
+    /// `injected` (amps, positive into the output node) at the gate output.
+    ///
+    /// Returns the output voltage waveform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-construction and Newton-convergence failures.
+    pub fn run(&self, injected: Option<&Pwl>) -> Result<Pwl> {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = Circuit::ground();
+        ckt.add_vsource(vdd, gnd, SourceWave::Dc(self.tech.vdd))?;
+        ckt.add_vsource(inp, gnd, SourceWave::Pwl(self.input_wave()))?;
+        ckt.add_capacitor(out, gnd, self.cload)?;
+        if let Some(i) = injected {
+            ckt.add_isource(gnd, out, SourceWave::Pwl(i.clone()))?;
+        }
+        let mut nl = NonlinearCircuit::new(ckt);
+        self.gate.instantiate(
+            &self.tech,
+            &mut nl,
+            GatePins {
+                input: inp,
+                output: out,
+                vdd,
+            },
+        )?;
+        let res = nl.simulate(&TransientSpec::new(self.t_stop, self.dt)?)?;
+        Ok(res.voltage(out)?)
+    }
+}
+
+/// Simulates a receiver gate fed an arbitrary input waveform, loaded with
+/// `cload` at its output; returns the output waveform.
+///
+/// `input` is applied as an ideal voltage source, i.e. the receiver's input
+/// pin capacitance does not load it back — matching the paper's flow where
+/// the receiver input waveform is produced by the (linear) interconnect
+/// analysis with the receiver already modeled as a grounded capacitor.
+///
+/// # Errors
+///
+/// Propagates circuit-construction and Newton-convergence failures.
+pub fn receiver_response(
+    tech: &Tech,
+    gate: Gate,
+    input: &Pwl,
+    cload: f64,
+    t_stop: f64,
+    dt: f64,
+) -> Result<Pwl> {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let inp = ckt.node("in");
+    let out = ckt.node("out");
+    let gnd = Circuit::ground();
+    ckt.add_vsource(vdd, gnd, SourceWave::Dc(tech.vdd))?;
+    ckt.add_vsource(inp, gnd, SourceWave::Pwl(input.clone()))?;
+    ckt.add_capacitor(out, gnd, cload)?;
+    let mut nl = NonlinearCircuit::new(ckt);
+    gate.instantiate(
+        tech,
+        &mut nl,
+        GatePins {
+            input: inp,
+            output: out,
+            vdd,
+        },
+    )?;
+    let res = nl.simulate(&TransientSpec::new(t_stop, dt)?)?;
+    Ok(res.voltage(out)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_waveform::measure;
+
+    #[test]
+    fn drive_fixture_produces_full_swing() {
+        let tech = Tech::default_180nm();
+        let g = Gate::inv(2.0, &tech);
+        let fx = DriveFixture::new(tech, g, Edge::Rising, 100e-12, 30e-15);
+        assert_eq!(fx.output_edge(), Edge::Falling);
+        let out = fx.run(None).unwrap();
+        assert!(out.value(0.0) > tech.vdd - 0.02);
+        assert!(out.v_end() < 0.02);
+    }
+
+    #[test]
+    fn injection_shifts_output() {
+        let tech = Tech::default_180nm();
+        let g = Gate::inv(1.0, &tech);
+        let fx = DriveFixture::new(tech, g, Edge::Rising, 200e-12, 30e-15);
+        let clean = fx.run(None).unwrap();
+        let pulse = Pwl::triangle(0.35e-9, 150e-6, 60e-12).unwrap();
+        let noisy = fx.run(Some(&pulse)).unwrap();
+        let diff = noisy.sub(&clean);
+        assert!(diff.max_point().1 > 0.02);
+        // The injected charge bumps the falling output *upward*, delaying
+        // its 50% crossing.
+        let t_clean = measure::cross_falling(&clean, tech.vmid()).unwrap();
+        let t_noisy =
+            measure::settle_crossing(&noisy, tech.vmid(), Edge::Falling).unwrap();
+        assert!(t_noisy > t_clean);
+    }
+
+    #[test]
+    fn receiver_filters_narrow_pulse() {
+        // A receiver with a heavy output load attenuates a narrow input
+        // noise pulse (the low-pass behaviour central to Section 3).
+        let tech = Tech::default_180nm();
+        let g = Gate::inv(2.0, &tech);
+        // Quiet-high input with a narrow dip toward ground.
+        let dip = Pwl::triangle(1.0e-9, -1.0, 30e-12).unwrap().offset(tech.vdd);
+        let out_small =
+            receiver_response(&tech, g, &dip, 5e-15, 3e-9, 1e-12).unwrap();
+        let out_large =
+            receiver_response(&tech, g, &dip, 120e-15, 3e-9, 1e-12).unwrap();
+        // Input high -> output low; the dip lets the output rise briefly.
+        let bump_small = out_small.max_point().1;
+        let bump_large = out_large.max_point().1;
+        assert!(bump_small > bump_large, "{bump_small} vs {bump_large}");
+        assert!(bump_large < 0.5 * tech.vdd, "heavy load filters the pulse");
+    }
+}

@@ -1,0 +1,370 @@
+//! Parameterized CMOS gates and their expansion into transistors.
+
+use crate::tech::Tech;
+use crate::Result;
+use clarinox_circuit::netlist::{Circuit, NodeId};
+use clarinox_spice::{NonlinearCircuit, Polarity};
+
+/// Gate topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// Two-stage buffer (non-inverting).
+    Buf,
+    /// 2-input NAND; the side input is tied to Vdd (non-controlling) so the
+    /// gate inverts its active input.
+    Nand2,
+    /// 2-input NOR; the side input is tied to ground.
+    Nor2,
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateKind::Inv => write!(f, "INV"),
+            GateKind::Buf => write!(f, "BUF"),
+            GateKind::Nand2 => write!(f, "NAND2"),
+            GateKind::Nor2 => write!(f, "NOR2"),
+        }
+    }
+}
+
+/// Connection points of an instantiated gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatePins {
+    /// Active input pin.
+    pub input: NodeId,
+    /// Output pin.
+    pub output: NodeId,
+    /// Supply rail node (must carry Vdd).
+    pub vdd: NodeId,
+}
+
+/// A sized gate: topology, drive strength (in unit-inverter multiples) and
+/// P/N width ratio.
+///
+/// # Examples
+///
+/// ```
+/// use clarinox_cells::{Gate, GateKind, Tech};
+///
+/// let tech = Tech::default_180nm();
+/// let g = Gate::new(GateKind::Nand2, 2.0, tech.pn_ratio_default);
+/// assert_eq!(g.to_string(), "NAND2_X2.0");
+/// assert!(g.is_inverting());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gate {
+    /// Topology.
+    pub kind: GateKind,
+    /// Drive strength multiplier (> 0).
+    pub strength: f64,
+    /// P/N width ratio (> 0).
+    pub pn_ratio: f64,
+}
+
+impl Gate {
+    /// Creates a gate description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strength` or `pn_ratio` is not positive and finite — gate
+    /// descriptions are static configuration, not runtime data.
+    pub fn new(kind: GateKind, strength: f64, pn_ratio: f64) -> Self {
+        assert!(
+            strength > 0.0 && strength.is_finite(),
+            "gate strength must be positive"
+        );
+        assert!(
+            pn_ratio > 0.0 && pn_ratio.is_finite(),
+            "p/n ratio must be positive"
+        );
+        Gate {
+            kind,
+            strength,
+            pn_ratio,
+        }
+    }
+
+    /// An inverter of the given strength at the technology's default P/N
+    /// ratio.
+    pub fn inv(strength: f64, tech: &Tech) -> Self {
+        Gate::new(GateKind::Inv, strength, tech.pn_ratio_default)
+    }
+
+    /// Whether the gate logically inverts its active input.
+    pub fn is_inverting(&self) -> bool {
+        !matches!(self.kind, GateKind::Buf)
+    }
+
+    /// NMOS width of the (output-stage) pull-down (meters).
+    fn wn(&self, tech: &Tech) -> f64 {
+        let stack = match self.kind {
+            // Series NMOS stack is doubled to keep drive comparable.
+            GateKind::Nand2 => 2.0,
+            _ => 1.0,
+        };
+        self.strength * tech.w_unit * stack
+    }
+
+    /// PMOS width of the (output-stage) pull-up (meters).
+    fn wp(&self, tech: &Tech) -> f64 {
+        let stack = match self.kind {
+            // Series PMOS stack is doubled.
+            GateKind::Nor2 => 2.0,
+            _ => 1.0,
+        };
+        self.strength * tech.w_unit * self.pn_ratio * stack
+    }
+
+    /// Capacitance presented by the active input pin (farads). This is the
+    /// value used when the gate appears as a *receiver load* in linear
+    /// analysis.
+    pub fn input_cap(&self, tech: &Tech) -> f64 {
+        match self.kind {
+            GateKind::Inv | GateKind::Nand2 | GateKind::Nor2 => {
+                tech.c_gate_per_width * (self.wn(tech) + self.wp(tech))
+            }
+            GateKind::Buf => {
+                // Input sees only the first (1/3-size) stage.
+                let s1 = Gate::new(GateKind::Inv, (self.strength / 3.0).max(0.5), self.pn_ratio);
+                s1.input_cap(tech)
+            }
+        }
+    }
+
+    /// Parasitic drain capacitance at the output pin (farads).
+    pub fn output_cap(&self, tech: &Tech) -> f64 {
+        tech.c_drain_per_width * (self.wn(tech) + self.wp(tech))
+    }
+
+    /// Expands the gate into MOSFETs (plus pin parasitics) inside `nl`.
+    ///
+    /// The side input of NAND2/NOR2 is tied to its non-controlling rail, so
+    /// every gate behaves as an inverting (or, for BUF, non-inverting)
+    /// single-input cell with the I–V signature of its topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit-construction failures (foreign node ids).
+    pub fn instantiate(&self, tech: &Tech, nl: &mut NonlinearCircuit, pins: GatePins) -> Result<()> {
+        let gnd = Circuit::ground();
+        let l = tech.l_min;
+        let (np, pp) = (tech.nmos, tech.pmos);
+        // Pin parasitics.
+        let cin = self.input_cap(tech);
+        let cout = self.output_cap(tech);
+        nl.linear_mut().add_capacitor(pins.input, gnd, cin)?;
+        nl.linear_mut().add_capacitor(pins.output, gnd, cout)?;
+
+        match self.kind {
+            GateKind::Inv => {
+                nl.add_mosfet(Polarity::Nmos, pins.output, pins.input, gnd, np, self.wn(tech), l);
+                nl.add_mosfet(
+                    Polarity::Pmos,
+                    pins.output,
+                    pins.input,
+                    pins.vdd,
+                    pp,
+                    self.wp(tech),
+                    l,
+                );
+            }
+            GateKind::Buf => {
+                let mid = nl.linear_mut().fresh_node();
+                let s1 = Gate::new(GateKind::Inv, (self.strength / 3.0).max(0.5), self.pn_ratio);
+                let s2 = Gate::new(GateKind::Inv, self.strength, self.pn_ratio);
+                // First stage drives the internal node; its pin caps model
+                // the inter-stage load. Recursion depth is exactly one.
+                s1.instantiate(
+                    tech,
+                    nl,
+                    GatePins {
+                        input: pins.input,
+                        output: mid,
+                        vdd: pins.vdd,
+                    },
+                )?;
+                s2.instantiate(
+                    tech,
+                    nl,
+                    GatePins {
+                        input: mid,
+                        output: pins.output,
+                        vdd: pins.vdd,
+                    },
+                )?;
+            }
+            GateKind::Nand2 => {
+                let wn = self.wn(tech);
+                let wp = self.wp(tech);
+                let mid = nl.linear_mut().fresh_node();
+                // Small junction cap on the stack-internal node.
+                nl.linear_mut()
+                    .add_capacitor(mid, gnd, tech.c_drain_per_width * wn)?;
+                // Pull-down stack: active input on top, side device (gate
+                // tied to Vdd, always on) at the bottom.
+                nl.add_mosfet(Polarity::Nmos, pins.output, pins.input, mid, np, wn, l);
+                nl.add_mosfet(Polarity::Nmos, mid, pins.vdd, gnd, np, wn, l);
+                // Parallel pull-ups: active input and side input (tied to
+                // Vdd -> permanently off, contributes junction load only).
+                nl.add_mosfet(Polarity::Pmos, pins.output, pins.input, pins.vdd, pp, wp, l);
+                nl.add_mosfet(Polarity::Pmos, pins.output, pins.vdd, pins.vdd, pp, wp, l);
+            }
+            GateKind::Nor2 => {
+                let wn = self.wn(tech);
+                let wp = self.wp(tech);
+                let mid = nl.linear_mut().fresh_node();
+                nl.linear_mut()
+                    .add_capacitor(mid, gnd, tech.c_drain_per_width * wp)?;
+                // Pull-up stack: side device (gate at gnd, always on) on
+                // top, active input at the bottom.
+                nl.add_mosfet(Polarity::Pmos, mid, gnd, pins.vdd, pp, wp, l);
+                nl.add_mosfet(Polarity::Pmos, pins.output, pins.input, mid, pp, wp, l);
+                // Parallel pull-downs: active input and side (gate at gnd,
+                // permanently off).
+                nl.add_mosfet(Polarity::Nmos, pins.output, pins.input, gnd, np, wn, l);
+                nl.add_mosfet(Polarity::Nmos, pins.output, gnd, gnd, np, wn, l);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Gate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}_X{:.1}", self.kind, self.strength)
+    }
+}
+
+/// The canonical gate set used by workload generation and
+/// pre-characterization: a few drive strengths of each topology at the
+/// technology's default P/N ratio.
+pub fn standard_library(tech: &Tech) -> Vec<Gate> {
+    let pn = tech.pn_ratio_default;
+    let mut lib = Vec::new();
+    for s in [1.0, 2.0, 4.0, 8.0] {
+        lib.push(Gate::new(GateKind::Inv, s, pn));
+    }
+    for s in [2.0, 4.0] {
+        lib.push(Gate::new(GateKind::Nand2, s, pn));
+        lib.push(Gate::new(GateKind::Nor2, s, pn));
+    }
+    for s in [4.0, 8.0] {
+        lib.push(Gate::new(GateKind::Buf, s, pn));
+    }
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_circuit::netlist::SourceWave;
+    use clarinox_circuit::transient::TransientSpec;
+    use clarinox_waveform::{measure, Pwl};
+
+    fn tech() -> Tech {
+        Tech::default_180nm()
+    }
+
+    fn simulate_gate(gate: Gate, rising_input: bool) -> (Pwl, Pwl, Tech) {
+        let t = tech();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = Circuit::ground();
+        ckt.add_vsource(vdd, gnd, SourceWave::Dc(t.vdd)).unwrap();
+        let (v0, v1) = if rising_input { (0.0, t.vdd) } else { (t.vdd, 0.0) };
+        ckt.add_vsource(
+            inp,
+            gnd,
+            SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.1e-9, v0, v1).unwrap()),
+        )
+        .unwrap();
+        ckt.add_capacitor(out, gnd, 20e-15).unwrap();
+        let mut nl = NonlinearCircuit::new(ckt);
+        gate.instantiate(&t, &mut nl, GatePins { input: inp, output: out, vdd })
+            .unwrap();
+        let res = nl.simulate(&TransientSpec::new(3e-9, 2e-12).unwrap()).unwrap();
+        (res.voltage(inp).unwrap(), res.voltage(out).unwrap(), t)
+    }
+
+    #[test]
+    fn inverter_inverts() {
+        let (_, out, t) = simulate_gate(Gate::inv(2.0, &tech()), true);
+        assert!(out.value(0.0) > t.vdd - 0.02);
+        assert!(out.value(3e-9) < 0.02);
+    }
+
+    #[test]
+    fn nand2_inverts_active_input() {
+        let (_, out, t) = simulate_gate(Gate::new(GateKind::Nand2, 2.0, 2.0), true);
+        assert!(out.value(0.0) > t.vdd - 0.05);
+        assert!(out.value(3e-9) < 0.05);
+    }
+
+    #[test]
+    fn nor2_inverts_active_input() {
+        let (_, out, t) = simulate_gate(Gate::new(GateKind::Nor2, 2.0, 2.0), false);
+        assert!(out.value(0.0) < 0.05);
+        assert!(out.value(3e-9) > t.vdd - 0.05);
+    }
+
+    #[test]
+    fn buf_is_non_inverting_and_slower() {
+        let g = Gate::new(GateKind::Buf, 4.0, 2.0);
+        assert!(!g.is_inverting());
+        let (_, out, t) = simulate_gate(g, true);
+        assert!(out.value(0.0) < 0.05);
+        assert!(out.value(3e-9) > t.vdd - 0.05);
+        // Two stages: output rises after the input's 50% point by more than
+        // a single-gate delay.
+        let t_out = measure::cross_rising(&out, t.vmid()).unwrap();
+        assert!(t_out > 0.26e-9);
+    }
+
+    #[test]
+    fn stronger_gate_switches_faster() {
+        let t50_of = |s: f64| {
+            let (_, out, t) = simulate_gate(Gate::inv(s, &tech()), true);
+            measure::cross_falling(&out, t.vmid()).unwrap()
+        };
+        assert!(t50_of(8.0) < t50_of(1.0));
+    }
+
+    #[test]
+    fn input_cap_scales_with_strength_and_kind() {
+        let t = tech();
+        let inv1 = Gate::inv(1.0, &t).input_cap(&t);
+        let inv4 = Gate::inv(4.0, &t).input_cap(&t);
+        assert!((inv4 / inv1 - 4.0).abs() < 1e-9);
+        // NAND2 input loads more than INV of equal strength (wider NMOS).
+        let nand = Gate::new(GateKind::Nand2, 1.0, 2.0).input_cap(&t);
+        assert!(nand > inv1);
+        // Unit inverter: (1 + 2) µm * 1.5 fF/µm = 4.5 fF.
+        assert!((inv1 - 4.5e-15).abs() < 1e-17);
+    }
+
+    #[test]
+    fn display_names() {
+        let t = tech();
+        assert_eq!(Gate::inv(2.0, &t).to_string(), "INV_X2.0");
+        assert_eq!(Gate::new(GateKind::Nor2, 4.0, 2.0).to_string(), "NOR2_X4.0");
+    }
+
+    #[test]
+    fn standard_library_has_variety() {
+        let lib = standard_library(&tech());
+        assert!(lib.len() >= 10);
+        assert!(lib.iter().any(|g| g.kind == GateKind::Nand2));
+        assert!(lib.iter().any(|g| g.kind == GateKind::Buf));
+    }
+
+    #[test]
+    #[should_panic(expected = "strength")]
+    fn zero_strength_panics() {
+        let _ = Gate::new(GateKind::Inv, 0.0, 2.0);
+    }
+}

@@ -1,0 +1,43 @@
+// `!(x > 0.0)`-style guards are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which matters for user-supplied physical quantities.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! Synthetic CMOS technology and parameterized standard-cell library.
+//!
+//! The paper runs on an industrial Motorola library; this crate substitutes
+//! a compact synthetic 0.18 µm-class technology ([`tech::Tech`]) and a
+//! parameterized gate library ([`gate::Gate`]): inverters, buffers, NAND2
+//! and NOR2 at arbitrary drive strengths and P/N ratios. Gates expand into
+//! `clarinox-spice` MOSFETs plus lumped pin capacitances, which is all the
+//! noise-analysis flow observes of a cell:
+//!
+//! * a non-linear pull-up/pull-down I–V characteristic (what the transient
+//!   holding resistance models),
+//! * input pin capacitance (the receiver load in linear analysis),
+//! * a low-pass transfer to the gate output (what makes receiver-output
+//!   alignment differ from receiver-input alignment, paper Section 3).
+//!
+//! # Examples
+//!
+//! ```
+//! use clarinox_cells::{Gate, GateKind, Tech};
+//!
+//! let tech = Tech::default_180nm();
+//! let inv2 = Gate::new(GateKind::Inv, 2.0, tech.pn_ratio_default);
+//! // Bigger gates present bigger input loads.
+//! let inv4 = Gate::new(GateKind::Inv, 4.0, tech.pn_ratio_default);
+//! assert!(inv4.input_cap(&tech) > inv2.input_cap(&tech));
+//! ```
+
+pub mod fixture;
+pub mod gate;
+pub mod tech;
+
+mod error;
+
+pub use error::CellsError;
+pub use gate::{Gate, GateKind, GatePins};
+pub use tech::Tech;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CellsError>;

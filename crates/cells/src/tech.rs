@@ -1,0 +1,107 @@
+//! Synthetic process technology parameters.
+
+use clarinox_spice::MosParams;
+
+/// A synthetic CMOS process: device model cards, default geometry, and wire
+/// parasitics. All values SI.
+///
+/// The default, [`Tech::default_180nm`], is a 0.18 µm-class technology with
+/// Vdd = 1.8 V — the same era as the paper's designs — chosen so that gate
+/// delays come out in the tens-of-ps range and coupling noise pulses in the
+/// 100 mV–1 V range of the paper's plots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tech {
+    /// Supply voltage (volts).
+    pub vdd: f64,
+    /// NMOS model card.
+    pub nmos: MosParams,
+    /// PMOS model card.
+    pub pmos: MosParams,
+    /// Minimum (and only) channel length (meters).
+    pub l_min: f64,
+    /// Unit NMOS width for drive strength 1 (meters).
+    pub w_unit: f64,
+    /// Default P/N width ratio.
+    pub pn_ratio_default: f64,
+    /// Gate capacitance per meter of channel width (F/m).
+    pub c_gate_per_width: f64,
+    /// Drain-junction capacitance per meter of channel width (F/m).
+    pub c_drain_per_width: f64,
+    /// Wire resistance per meter (Ω/m).
+    pub wire_res_per_m: f64,
+    /// Wire ground capacitance per meter (F/m).
+    pub wire_cap_per_m: f64,
+    /// Wire coupling capacitance per meter to an adjacent minimum-spaced
+    /// wire (F/m).
+    pub wire_ccouple_per_m: f64,
+}
+
+impl Tech {
+    /// The default synthetic 0.18 µm-class technology.
+    pub fn default_180nm() -> Self {
+        Tech {
+            vdd: 1.8,
+            nmos: MosParams {
+                vt: 0.45,
+                kp: 170e-6,
+                lambda: 0.05,
+            },
+            pmos: MosParams {
+                vt: 0.5,
+                kp: 60e-6,
+                lambda: 0.08,
+            },
+            l_min: 0.18e-6,
+            w_unit: 1.0e-6,
+            pn_ratio_default: 2.0,
+            // ~1.5 fF/µm of gate width.
+            c_gate_per_width: 1.5e-9,
+            // ~0.8 fF/µm of drain width.
+            c_drain_per_width: 0.8e-9,
+            // A mid-level metal: 80 kΩ/m (0.08 Ω/µm).
+            wire_res_per_m: 80e3,
+            // 80 aF/µm to ground.
+            wire_cap_per_m: 80e-12,
+            // 120 aF/µm to a minimum-spaced neighbour — coupling dominates
+            // ground capacitance, as in deep-submicron processes.
+            wire_ccouple_per_m: 120e-12,
+        }
+    }
+
+    /// Mid-rail voltage `Vdd / 2`, the delay-measurement threshold.
+    pub fn vmid(&self) -> f64 {
+        0.5 * self.vdd
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Tech::default_180nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tech_is_sane() {
+        let t = Tech::default_180nm();
+        assert_eq!(t.vdd, 1.8);
+        assert_eq!(t.vmid(), 0.9);
+        assert!(t.nmos.kp > t.pmos.kp, "electron mobility exceeds hole mobility");
+        assert!(t.wire_ccouple_per_m > t.wire_cap_per_m, "coupling dominates");
+        assert_eq!(Tech::default(), t);
+    }
+
+    #[test]
+    fn wire_parasitics_scale() {
+        let t = Tech::default_180nm();
+        // A 1 mm wire: 80 Ω, 80 fF ground cap — RC ≈ 6.4 ps. Plausible.
+        let len = 1e-3;
+        let r = t.wire_res_per_m * len;
+        let c = t.wire_cap_per_m * len;
+        assert!((r - 80.0).abs() < 1e-9);
+        assert!((c - 80e-15).abs() < 1e-24);
+    }
+}

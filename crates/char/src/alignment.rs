@@ -1,0 +1,485 @@
+//! Worst-case alignment-voltage pre-characterization (paper Section 3.2).
+//!
+//! The worst-case alignment of a composite noise pulse against the victim
+//! transition depends on four quantities — receiver output load, victim
+//! edge rate, pulse width and pulse height — far too many for a dense
+//! lookup table. The paper's reductions, all implemented here:
+//!
+//! * **Receiver load**: characterize only at *minimum* load. At small loads
+//!   the delay-vs-alignment curve is sharp (alignment matters); at large
+//!   loads it is flat (any alignment error is cheap). Using the min-load
+//!   alignment everywhere bounds the error (Figure 7a).
+//! * **Victim edge rate**: measured against the 50% crossing, the worst
+//!   alignment *time* is nearly linear in slew → characterize at two slews
+//!   and interpolate (Figure 7b).
+//! * **Pulse width/height**: expressed as an **alignment voltage** — the
+//!   receiver-input voltage of the *noiseless* transition at the instant of
+//!   the pulse peak — the worst alignment is nearly linear in both width
+//!   and height → characterize at the four (w, h) corners and interpolate
+//!   (Figure 8).
+//!
+//! Total: **8 pre-characterization points** per receiver gate.
+
+use crate::{CharError, Result};
+use clarinox_cells::fixture::receiver_response;
+use clarinox_cells::{Gate, Tech};
+use clarinox_numeric::interp::lerp;
+use clarinox_numeric::roots::golden_max;
+use clarinox_waveform::measure::{settle_crossing, settle_crossing_hysteresis, Edge};
+use clarinox_waveform::{Polarity, Pwl};
+
+/// Knobs of the characterization search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignmentCharSpec {
+    /// Coarse sweep points across the alignment-voltage range.
+    pub coarse_points: usize,
+    /// Relative golden-section refinement tolerance (fraction of the
+    /// alignment-voltage range).
+    pub refine_tol: f64,
+    /// Fraction of Vdd bounding the searched alignment voltages.
+    pub va_frac_range: (f64, f64),
+}
+
+impl Default for AlignmentCharSpec {
+    fn default() -> Self {
+        AlignmentCharSpec {
+            coarse_points: 13,
+            refine_tol: 0.01,
+            va_frac_range: (0.05, 0.98),
+        }
+    }
+}
+
+/// The 8-point worst-case alignment-voltage table of one receiver gate.
+#[derive(Debug, Clone)]
+pub struct AlignmentTable {
+    /// The characterized receiver gate.
+    pub gate: Gate,
+    /// Victim transition direction at the receiver input.
+    pub victim_edge: Edge,
+    /// Supply voltage (volts).
+    pub vdd: f64,
+    /// Receiver output load used (the technology minimum).
+    pub receiver_load: f64,
+    /// Pulse-width axis (seconds).
+    pub w_axis: [f64; 2],
+    /// Pulse-height axis (volts).
+    pub h_axis: [f64; 2],
+    /// Victim ramp-duration axis (seconds, 0–100%).
+    pub slew_axis: [f64; 2],
+    /// Worst alignment voltage `va[w][h][slew]` (volts).
+    va: [[[f64; 2]; 2]; 2],
+}
+
+impl AlignmentTable {
+    /// Characterizes the 8 corners by explicit worst-case search with
+    /// non-linear receiver simulations.
+    ///
+    /// # Errors
+    ///
+    /// * [`CharError::InvalidSpec`] for non-increasing axes.
+    /// * Simulation/search failures at any corner.
+    #[allow(clippy::too_many_arguments)]
+    pub fn characterize(
+        tech: &Tech,
+        gate: Gate,
+        victim_edge: Edge,
+        w_axis: [f64; 2],
+        h_axis: [f64; 2],
+        slew_axis: [f64; 2],
+        receiver_load: f64,
+        spec: &AlignmentCharSpec,
+    ) -> Result<Self> {
+        for (name, ax) in [("width", w_axis), ("height", h_axis), ("slew", slew_axis)] {
+            if !(ax[0] > 0.0 && ax[1] > ax[0]) {
+                return Err(CharError::spec(format!(
+                    "{name} axis must be positive increasing, got {ax:?}"
+                )));
+            }
+        }
+        let mut va = [[[0.0; 2]; 2]; 2];
+        for (wi, &w) in w_axis.iter().enumerate() {
+            for (hi, &h) in h_axis.iter().enumerate() {
+                for (si, &s) in slew_axis.iter().enumerate() {
+                    va[wi][hi][si] = worst_alignment_voltage(
+                        tech,
+                        gate,
+                        victim_edge,
+                        s,
+                        w,
+                        h,
+                        receiver_load,
+                        spec,
+                    )?;
+                }
+            }
+        }
+        Ok(AlignmentTable {
+            gate,
+            victim_edge,
+            vdd: tech.vdd,
+            receiver_load,
+            w_axis,
+            h_axis,
+            slew_axis,
+            va,
+        })
+    }
+
+    /// Raw corner value `va[wi][hi][si]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index exceeds 1.
+    pub fn corner(&self, wi: usize, hi: usize, si: usize) -> f64 {
+        self.va[wi][hi][si]
+    }
+
+    /// Interpolated worst-case alignment voltage for a pulse of the given
+    /// width and height on a victim of the given ramp duration (all
+    /// clamped to the characterized ranges).
+    pub fn alignment_voltage(&self, width: f64, height: f64, victim_slew: f64) -> f64 {
+        let wi = clamp_frac(width, self.w_axis);
+        let hi = clamp_frac(height, self.h_axis);
+        let si = clamp_frac(victim_slew, self.slew_axis);
+        let at_slew = |s: usize| -> f64 {
+            let lo = lerp(0.0, self.va[0][0][s], 1.0, self.va[0][1][s], hi);
+            let hi_w = lerp(0.0, self.va[1][0][s], 1.0, self.va[1][1][s], hi);
+            lerp(0.0, lo, 1.0, hi_w, wi)
+        };
+        lerp(0.0, at_slew(0), 1.0, at_slew(1), si)
+    }
+
+    /// Predicts the worst-case pulse-peak *time* against an actual
+    /// noiseless victim transition at the receiver input: the interpolated
+    /// alignment voltage is mapped through the waveform's settling
+    /// crossing.
+    ///
+    /// # Errors
+    ///
+    /// [`CharError::Waveform`] if the transition never reaches the
+    /// (clamped) alignment voltage.
+    pub fn predict_peak_time(
+        &self,
+        width: f64,
+        height: f64,
+        victim_slew: f64,
+        noiseless: &Pwl,
+    ) -> Result<f64> {
+        let va = self.alignment_voltage(width, height, victim_slew);
+        // Clamp into the waveform's actual range so degraded swings still
+        // map.
+        let (lo, hi) = (
+            noiseless.min_point().1 + 1e-6,
+            noiseless.max_point().1 - 1e-6,
+        );
+        let va = va.clamp(lo, hi);
+        Ok(settle_crossing(noiseless, va, self.victim_edge)?)
+    }
+
+    /// The delay-increasing pulse polarity for this table's victim edge.
+    pub fn pulse_polarity(&self) -> Polarity {
+        opposing_polarity(self.victim_edge)
+    }
+}
+
+/// Pulse polarity that *increases* delay for a victim transitioning in
+/// `edge` direction (opposes the transition).
+pub fn opposing_polarity(edge: Edge) -> Polarity {
+    match edge {
+        Edge::Rising => Polarity::Negative,
+        Edge::Falling => Polarity::Positive,
+    }
+}
+
+fn clamp_frac(x: f64, axis: [f64; 2]) -> f64 {
+    ((x - axis[0]) / (axis[1] - axis[0])).clamp(0.0, 1.0)
+}
+
+/// A synthetic receiver-delay probe: a ramp victim transition plus a
+/// triangular noise pulse of parametric width/height, evaluated through a
+/// non-linear receiver simulation.
+///
+/// This is both the engine behind [`AlignmentTable::characterize`] and the
+/// tool the paper's Figures 6–9 sweep: delay as a function of alignment
+/// (time or voltage), receiver load, victim slew and pulse shape.
+#[derive(Debug, Clone)]
+pub struct AlignmentProbe {
+    tech: Tech,
+    gate: Gate,
+    victim_edge: Edge,
+    noiseless: Pwl,
+    pulse_height: f64,
+    pulse_width: f64,
+    receiver_load: f64,
+    t_stop: f64,
+    dt: f64,
+    out_edge: Edge,
+}
+
+impl AlignmentProbe {
+    /// Builds a probe: ramp transition of duration `victim_slew` (starting
+    /// after a pulse-width-sized lead-in) with an opposing triangular pulse
+    /// of the given shape, into `gate` loaded with `receiver_load`.
+    ///
+    /// # Errors
+    ///
+    /// [`CharError::InvalidSpec`] for non-positive parameters.
+    pub fn new(
+        tech: &Tech,
+        gate: Gate,
+        victim_edge: Edge,
+        victim_slew: f64,
+        pulse_width: f64,
+        pulse_height: f64,
+        receiver_load: f64,
+    ) -> Result<Self> {
+        if !(victim_slew > 0.0 && pulse_width > 0.0 && pulse_height > 0.0 && receiver_load > 0.0)
+        {
+            return Err(CharError::spec(
+                "probe parameters must be positive".to_string(),
+            ));
+        }
+        let t_start = 0.6e-9 + 2.0 * pulse_width;
+        let (v0, v1) = match victim_edge {
+            Edge::Rising => (0.0, tech.vdd),
+            Edge::Falling => (tech.vdd, 0.0),
+        };
+        let noiseless = Pwl::ramp(t_start, victim_slew, v0, v1)?;
+        let out_edge = if gate.is_inverting() {
+            victim_edge.opposite()
+        } else {
+            victim_edge
+        };
+        Ok(AlignmentProbe {
+            tech: *tech,
+            gate,
+            victim_edge,
+            noiseless,
+            pulse_height,
+            pulse_width,
+            receiver_load,
+            t_stop: t_start + victim_slew + 4.0 * pulse_width + 2.5e-9,
+            dt: (victim_slew.min(pulse_width) / 25.0).clamp(0.5e-12, 2e-12),
+            out_edge,
+        })
+    }
+
+    /// The noiseless victim transition at the receiver input.
+    pub fn noiseless(&self) -> &Pwl {
+        &self.noiseless
+    }
+
+    /// 50% crossing time of the noiseless victim transition (the delay
+    /// reference point).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for probes built by [`AlignmentProbe::new`].
+    pub fn victim_t50(&self) -> Result<f64> {
+        Ok(settle_crossing(
+            &self.noiseless,
+            self.tech.vmid(),
+            self.victim_edge,
+        )?)
+    }
+
+    /// Receiver-output settling time (absolute) with the pulse peak at time
+    /// `t_peak`; `None` = noiseless input.
+    ///
+    /// # Errors
+    ///
+    /// Simulation failures or a non-settling output.
+    pub fn settle_at_peak_time(&self, t_peak: Option<f64>) -> Result<f64> {
+        let input = match t_peak {
+            None => self.noiseless.clone(),
+            Some(t) => {
+                let sign = opposing_polarity(self.victim_edge).sign();
+                let pulse = Pwl::triangle(t, sign * self.pulse_height, self.pulse_width)?;
+                self.noiseless.add(&pulse)
+            }
+        };
+        let out = receiver_response(
+            &self.tech,
+            self.gate,
+            &input,
+            self.receiver_load,
+            self.t_stop,
+            self.dt,
+        )?;
+        // 5%-Vdd hysteresis: shallow output re-glitches are sub-threshold
+        // noise, not delay (the paper's ~100 mV remark).
+        Ok(settle_crossing_hysteresis(
+            &out,
+            self.tech.vmid(),
+            self.out_edge,
+            0.05 * self.tech.vdd,
+        )?)
+    }
+
+    /// Receiver-output settling time with the pulse peak at the instant the
+    /// noiseless transition crosses `va`. Non-crossing pathologies map to
+    /// `-inf` so maximization ignores them.
+    pub fn delay_at_va(&self, va: f64) -> f64 {
+        let Ok(t_peak) = settle_crossing(&self.noiseless, va, self.victim_edge) else {
+            return f64::NEG_INFINITY;
+        };
+        self.settle_at_peak_time(Some(t_peak))
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// Finds the worst-case alignment voltage for one characterization corner
+/// by coarse sweep plus golden-section refinement.
+#[allow(clippy::too_many_arguments)]
+pub fn worst_alignment_voltage(
+    tech: &Tech,
+    gate: Gate,
+    victim_edge: Edge,
+    victim_slew: f64,
+    pulse_width: f64,
+    pulse_height: f64,
+    receiver_load: f64,
+    spec: &AlignmentCharSpec,
+) -> Result<f64> {
+    let probe = AlignmentProbe::new(
+        tech,
+        gate,
+        victim_edge,
+        victim_slew,
+        pulse_width,
+        pulse_height,
+        receiver_load,
+    )?;
+
+    let (flo, fhi) = spec.va_frac_range;
+    let va_lo = flo * tech.vdd;
+    let va_hi = fhi * tech.vdd;
+    let n = spec.coarse_points.max(3);
+    let mut best = (va_lo, f64::NEG_INFINITY);
+    for k in 0..n {
+        let va = va_lo + (va_hi - va_lo) * k as f64 / (n - 1) as f64;
+        let d = probe.delay_at_va(va);
+        if d > best.1 {
+            best = (va, d);
+        }
+    }
+    if best.1 == f64::NEG_INFINITY {
+        return Err(CharError::fit(
+            "no alignment produced a measurable receiver delay".to_string(),
+        ));
+    }
+    // Golden refinement between the neighbours of the coarse optimum.
+    let step = (va_hi - va_lo) / (n - 1) as f64;
+    let lo = (best.0 - step).max(va_lo);
+    let hi = (best.0 + step).min(va_hi);
+    let tol = spec.refine_tol * (va_hi - va_lo);
+    match golden_max(|va| probe.delay_at_va(va), lo, hi, tol) {
+        Ok((va, d)) if d >= best.1 => Ok(va),
+        _ => Ok(best.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> AlignmentCharSpec {
+        AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        }
+    }
+
+    fn quick_table() -> (AlignmentTable, Tech) {
+        let tech = Tech::default_180nm();
+        let gate = Gate::inv(2.0, &tech);
+        let t = AlignmentTable::characterize(
+            &tech,
+            gate,
+            Edge::Rising,
+            [40e-12, 160e-12],
+            [0.3, 0.8],
+            [80e-12, 240e-12],
+            5e-15,
+            &quick_spec(),
+        )
+        .unwrap();
+        (t, tech)
+    }
+
+    #[test]
+    fn corners_are_inside_the_rail_range() {
+        let (t, tech) = quick_table();
+        for wi in 0..2 {
+            for hi in 0..2 {
+                for si in 0..2 {
+                    let va = t.corner(wi, hi, si);
+                    assert!(va > 0.0 && va < tech.vdd, "corner ({wi},{hi},{si}) = {va}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn taller_pulses_align_later() {
+        // For a rising victim with a negative pulse, a taller pulse must sit
+        // where the noiseless waveform is higher (paper: Vdd/2 + Vp trend).
+        let (t, _) = quick_table();
+        for wi in 0..2 {
+            for si in 0..2 {
+                assert!(
+                    t.corner(wi, 1, si) >= t.corner(wi, 0, si) - 0.05,
+                    "height monotonicity at ({wi},{si})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_matches_corners() {
+        let (t, _) = quick_table();
+        let got = t.alignment_voltage(40e-12, 0.3, 80e-12);
+        assert!((got - t.corner(0, 0, 0)).abs() < 1e-12);
+        let got = t.alignment_voltage(160e-12, 0.8, 240e-12);
+        assert!((got - t.corner(1, 1, 1)).abs() < 1e-12);
+        // Clamped outside.
+        let lo = t.alignment_voltage(1e-12, 0.01, 1e-12);
+        assert!((lo - t.corner(0, 0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_maps_voltage_to_time() {
+        let (t, tech) = quick_table();
+        let noiseless = Pwl::ramp(1e-9, 150e-12, 0.0, tech.vdd).unwrap();
+        let tp = t
+            .predict_peak_time(100e-12, 0.5, 150e-12, &noiseless)
+            .unwrap();
+        assert!((1e-9..=1e-9 + 150e-12).contains(&tp), "peak time {tp:e}");
+        assert_eq!(t.pulse_polarity(), Polarity::Negative);
+    }
+
+    #[test]
+    fn axis_validation() {
+        let tech = Tech::default_180nm();
+        let gate = Gate::inv(1.0, &tech);
+        assert!(AlignmentTable::characterize(
+            &tech,
+            gate,
+            Edge::Rising,
+            [2e-12, 1e-12], // decreasing
+            [0.3, 0.8],
+            [80e-12, 240e-12],
+            5e-15,
+            &quick_spec(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn opposing_polarity_mapping() {
+        assert_eq!(opposing_polarity(Edge::Rising), Polarity::Negative);
+        assert_eq!(opposing_polarity(Edge::Falling), Polarity::Positive);
+    }
+}

@@ -1,0 +1,207 @@
+//! Effective-capacitance (C-effective) iteration.
+//!
+//! A driver sees an RC network, not a lumped capacitor: resistive shielding
+//! means the charge it delivers up to its 50% crossing is less than the
+//! total capacitance would demand. The C-effective iteration \[3\]\[4\]
+//! finds the single capacitance `C_eff` for which the Thevenin-model driver
+//! delivers the same charge into the lumped load as into the real network,
+//! then refits the driver at that load — repeated to a fixed point.
+
+use crate::thevenin::TheveninModel;
+use crate::{CharError, Result};
+use clarinox_circuit::netlist::{Circuit, NodeId, SourceWave};
+use clarinox_circuit::transient::{simulate, TransientSpec};
+use clarinox_waveform::measure::settle_crossing;
+
+/// An RC load network as seen from a driver output: a circuit containing
+/// only R/C elements plus the `port` node the driver attaches to.
+#[derive(Debug, Clone)]
+pub struct LoadNetwork {
+    /// The R/C-only circuit (receiver pins modeled as grounded caps).
+    pub circuit: Circuit,
+    /// The node the driver output connects to.
+    pub port: NodeId,
+}
+
+impl LoadNetwork {
+    /// Total capacitance in the network (the C-effective iteration's upper
+    /// bound and starting point).
+    pub fn total_cap(&self) -> f64 {
+        self.circuit
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                clarinox_circuit::netlist::Element::Capacitor { farads, .. } => Some(*farads),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// Result of the C-effective iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CeffResult {
+    /// Converged effective capacitance (farads).
+    pub ceff: f64,
+    /// The Thevenin model fitted at that load.
+    pub model: TheveninModel,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs the C-effective iteration.
+///
+/// `fit` produces a Thevenin model for a candidate lumped load (typically a
+/// closure over [`crate::thevenin::fit_thevenin`] or a table lookup).
+/// Each round simulates the fitted model driving the full network, measures
+/// the charge delivered through `R_th` up to the driver-output 50% crossing,
+/// and maps it back to the capacitance that would absorb the same charge at
+/// half swing.
+///
+/// # Errors
+///
+/// * [`CharError::InvalidSpec`] if the network has no capacitance.
+/// * Propagates fit and simulation failures.
+pub fn effective_capacitance(
+    mut fit: impl FnMut(f64) -> Result<TheveninModel>,
+    load: &LoadNetwork,
+    max_iterations: usize,
+) -> Result<CeffResult> {
+    let ctotal = load.total_cap();
+    if !(ctotal > 0.0) {
+        return Err(CharError::spec("load network has no capacitance"));
+    }
+    let mut ceff = ctotal;
+    let mut model = fit(ceff)?;
+    let mut iterations = 0;
+    for _ in 0..max_iterations {
+        iterations += 1;
+        let q = charge_into_network(&model, load)?;
+        let swing = (model.v_end - model.v_start).abs();
+        let ceff_new = (q.abs() / (0.5 * swing)).clamp(1e-18, ctotal);
+        let rel = (ceff_new - ceff).abs() / ceff;
+        // Damped update keeps the fixed point stable on strongly shielded
+        // loads.
+        ceff = 0.5 * (ceff + ceff_new);
+        model = fit(ceff)?;
+        if rel < 0.01 {
+            break;
+        }
+    }
+    Ok(CeffResult {
+        ceff,
+        model,
+        iterations,
+    })
+}
+
+/// Simulates `model` driving the full network and returns the charge
+/// delivered through `R_th` up to the driver-output 50% crossing.
+fn charge_into_network(model: &TheveninModel, load: &LoadNetwork) -> Result<f64> {
+    let mut ckt = load.circuit.clone();
+    let src = ckt.node("_ceff_src");
+    let gnd = Circuit::ground();
+    let vs = ckt.add_vsource(src, gnd, SourceWave::Pwl(model.source_wave()))?;
+    ckt.add_resistor(src, load.port, model.rth)?;
+
+    let t_end = model.t0 + model.ramp + 20.0 * model.tau().max(10e-12) + 1e-9;
+    let dt = (model.ramp / 40.0).clamp(0.5e-12, 5e-12);
+    let res = simulate(&ckt, &TransientSpec::new(t_end, dt)?)?;
+    let v_port = res.voltage(load.port)?;
+
+    let mid = 0.5 * (model.v_start + model.v_end);
+    let t50 = settle_crossing(&v_port, mid, model.edge())?;
+
+    // Charge = ∫ i dt through the source branch up to t50. MNA branch
+    // current is negative when the source drives the network.
+    let i_branch = res.vsource_current(vs)?;
+    let windowed = i_branch.window(0.0, t50)?;
+    Ok(-windowed.integral())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thevenin::fit_thevenin;
+    use clarinox_cells::{Gate, Tech};
+    use clarinox_waveform::measure::Edge;
+
+    /// A π-ladder load with the far cap shielded behind `r_shield`.
+    fn shielded_load(r_shield: f64, c_near: f64, c_far: f64) -> LoadNetwork {
+        let mut ckt = Circuit::new();
+        let port = ckt.node("port");
+        let far = ckt.node("far");
+        let gnd = Circuit::ground();
+        ckt.add_capacitor(port, gnd, c_near).unwrap();
+        ckt.add_resistor(port, far, r_shield).unwrap();
+        ckt.add_capacitor(far, gnd, c_far).unwrap();
+        LoadNetwork { circuit: ckt, port }
+    }
+
+    fn run_ceff(r_shield: f64) -> CeffResult {
+        let tech = Tech::default_180nm();
+        let gate = Gate::inv(2.0, &tech);
+        let load = shielded_load(r_shield, 10e-15, 40e-15);
+        effective_capacitance(
+            |c| fit_thevenin(&tech, gate, Edge::Rising, 100e-12, c),
+            &load,
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unshielded_load_is_nearly_total() {
+        let res = run_ceff(1.0); // negligible shielding resistance
+        let total = 50e-15;
+        assert!(
+            res.ceff > 0.9 * total,
+            "ceff {} should approach total {total}",
+            res.ceff
+        );
+    }
+
+    #[test]
+    fn heavy_shielding_reduces_ceff() {
+        let weak = run_ceff(50.0);
+        let strong = run_ceff(20_000.0);
+        assert!(
+            strong.ceff < 0.8 * weak.ceff,
+            "shielded {} vs open {}",
+            strong.ceff,
+            weak.ceff
+        );
+        // And shielding can never create capacitance.
+        assert!(strong.ceff <= 50e-15 + 1e-20);
+    }
+
+    #[test]
+    fn converges_in_few_iterations() {
+        let res = run_ceff(2_000.0);
+        assert!(res.iterations <= 8);
+        assert!(res.model.rth > 0.0);
+    }
+
+    #[test]
+    fn total_cap_sums_all_capacitors() {
+        let load = shielded_load(100.0, 1e-15, 2e-15);
+        assert!((load.total_cap() - 3e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        let mut ckt = Circuit::new();
+        let port = ckt.node("port");
+        let gnd = Circuit::ground();
+        ckt.add_resistor(port, gnd, 1e6).unwrap();
+        let load = LoadNetwork { circuit: ckt, port };
+        let tech = Tech::default_180nm();
+        let gate = Gate::inv(1.0, &tech);
+        assert!(effective_capacitance(
+            |c| fit_thevenin(&tech, gate, Edge::Rising, 100e-12, c),
+            &load,
+            5
+        )
+        .is_err());
+    }
+}

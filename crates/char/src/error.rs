@@ -1,0 +1,101 @@
+use std::fmt;
+
+/// Error type for pre-characterization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CharError {
+    /// A fit failed to bracket or converge.
+    FitFailed {
+        /// Description of the failing fit.
+        context: String,
+    },
+    /// Characterization parameters are malformed.
+    InvalidSpec {
+        /// Description of the problem.
+        context: String,
+    },
+    /// Underlying cell/simulation failure.
+    Cells(clarinox_cells::CellsError),
+    /// Underlying circuit failure.
+    Circuit(clarinox_circuit::CircuitError),
+    /// Waveform measurement failure.
+    Waveform(clarinox_waveform::WaveformError),
+    /// Numeric failure.
+    Numeric(clarinox_numeric::NumericError),
+}
+
+impl fmt::Display for CharError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharError::FitFailed { context } => write!(f, "fit failed: {context}"),
+            CharError::InvalidSpec { context } => write!(f, "invalid spec: {context}"),
+            CharError::Cells(e) => write!(f, "cell failure: {e}"),
+            CharError::Circuit(e) => write!(f, "circuit failure: {e}"),
+            CharError::Waveform(e) => write!(f, "waveform failure: {e}"),
+            CharError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CharError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CharError::Cells(e) => Some(e),
+            CharError::Circuit(e) => Some(e),
+            CharError::Waveform(e) => Some(e),
+            CharError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<clarinox_cells::CellsError> for CharError {
+    fn from(e: clarinox_cells::CellsError) -> Self {
+        CharError::Cells(e)
+    }
+}
+
+impl From<clarinox_circuit::CircuitError> for CharError {
+    fn from(e: clarinox_circuit::CircuitError) -> Self {
+        CharError::Circuit(e)
+    }
+}
+
+impl From<clarinox_waveform::WaveformError> for CharError {
+    fn from(e: clarinox_waveform::WaveformError) -> Self {
+        CharError::Waveform(e)
+    }
+}
+
+impl From<clarinox_numeric::NumericError> for CharError {
+    fn from(e: clarinox_numeric::NumericError) -> Self {
+        CharError::Numeric(e)
+    }
+}
+
+impl CharError {
+    /// Convenience constructor for [`CharError::FitFailed`].
+    pub fn fit(context: impl Into<String>) -> Self {
+        CharError::FitFailed {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`CharError::InvalidSpec`].
+    pub fn spec(context: impl Into<String>) -> Self {
+        CharError::InvalidSpec {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CharError::fit("no bracket").to_string().contains("fit"));
+        assert!(CharError::spec("bad axis").to_string().contains("spec"));
+    }
+}

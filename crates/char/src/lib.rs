@@ -1,0 +1,52 @@
+// `!(x > 0.0)`-style guards are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which matters for user-supplied physical quantities.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! Gate pre-characterization for noise analysis.
+//!
+//! Everything the paper pre-computes per gate lives here:
+//!
+//! * [`thevenin`] — fitting the classical Thevenin driver model
+//!   (`t0`, `Δt`, `R_th`) against a non-linear simulation at the 10/50/90%
+//!   crossing times, as a function of input ramp and effective load,
+//! * [`ceff`] — the C-effective iteration \[3\]\[4\] that collapses an RC
+//!   load network (with resistive shielding) to the single capacitance the
+//!   Thevenin fit uses,
+//! * [`tables`] — NLDM-style delay/output-slew lookup tables for static
+//!   timing,
+//! * [`alignment`] — the paper's contribution: the **8-point worst-case
+//!   alignment-voltage table** (2 pulse widths × 2 pulse heights × 2 victim
+//!   edge rates, at minimum receiver load) from which the worst-case
+//!   alignment of a composite noise pulse against the victim transition is
+//!   predicted by interpolation (Section 3.2).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use clarinox_cells::{Gate, Tech};
+//! use clarinox_char::thevenin::fit_thevenin;
+//! use clarinox_waveform::measure::Edge;
+//!
+//! # fn main() -> Result<(), clarinox_char::CharError> {
+//! let tech = Tech::default_180nm();
+//! let gate = Gate::inv(2.0, &tech);
+//! let model = fit_thevenin(&tech, gate, Edge::Rising, 100e-12, 30e-15)?;
+//! assert!(model.rth > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod alignment;
+pub mod ceff;
+pub mod tables;
+pub mod thevenin;
+
+mod error;
+
+pub use alignment::{AlignmentProbe, AlignmentTable};
+pub use ceff::{effective_capacitance, LoadNetwork};
+pub use error::CharError;
+pub use thevenin::{fit_thevenin, TheveninModel};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CharError>;

@@ -1,0 +1,147 @@
+//! NLDM-style gate timing tables: delay and output slew vs (input ramp,
+//! output load), characterized by non-linear simulation and queried with
+//! bilinear interpolation.
+
+use crate::thevenin::frac_crossing;
+use crate::{CharError, Result};
+use clarinox_cells::fixture::DriveFixture;
+use clarinox_cells::{Gate, Tech};
+use clarinox_numeric::interp::Table2;
+use clarinox_waveform::measure::Edge;
+
+/// Timing tables of one gate for one input edge.
+#[derive(Debug, Clone)]
+pub struct GateTimingTable {
+    /// The characterized gate.
+    pub gate: Gate,
+    /// Input transition direction the table applies to.
+    pub input_edge: Edge,
+    /// Propagation delay (input 50% → output 50%), seconds, indexed by
+    /// (input ramp, load).
+    delay: Table2,
+    /// Equivalent output ramp duration (0–100%, seconds), derived from the
+    /// 10–90% output transition, indexed by (input ramp, load).
+    out_ramp: Table2,
+}
+
+impl GateTimingTable {
+    /// Characterizes the table on the given axes.
+    ///
+    /// # Errors
+    ///
+    /// * [`CharError::InvalidSpec`] for axes shorter than 2 points.
+    /// * Simulation/measurement failures at any grid point.
+    pub fn characterize(
+        tech: &Tech,
+        gate: Gate,
+        input_edge: Edge,
+        ramp_axis: &[f64],
+        load_axis: &[f64],
+    ) -> Result<Self> {
+        if ramp_axis.len() < 2 || load_axis.len() < 2 {
+            return Err(CharError::spec("timing table axes need >= 2 points"));
+        }
+        let mut delays = Vec::with_capacity(ramp_axis.len() * load_axis.len());
+        let mut ramps = Vec::with_capacity(ramp_axis.len() * load_axis.len());
+        for &ramp in ramp_axis {
+            for &load in load_axis {
+                let (d, s) = simulate_point(tech, gate, input_edge, ramp, load)?;
+                delays.push(d);
+                ramps.push(s);
+            }
+        }
+        Ok(GateTimingTable {
+            gate,
+            input_edge,
+            delay: Table2::new(ramp_axis.to_vec(), load_axis.to_vec(), delays)?,
+            out_ramp: Table2::new(ramp_axis.to_vec(), load_axis.to_vec(), ramps)?,
+        })
+    }
+
+    /// Propagation delay at (input ramp, load), bilinear/clamped.
+    pub fn delay(&self, input_ramp: f64, load: f64) -> f64 {
+        self.delay.lookup(input_ramp, load)
+    }
+
+    /// Equivalent output ramp duration at (input ramp, load).
+    pub fn output_ramp(&self, input_ramp: f64, load: f64) -> f64 {
+        self.out_ramp.lookup(input_ramp, load)
+    }
+}
+
+/// Simulates one grid point and measures (delay, equivalent output ramp).
+fn simulate_point(
+    tech: &Tech,
+    gate: Gate,
+    input_edge: Edge,
+    input_ramp: f64,
+    load: f64,
+) -> Result<(f64, f64)> {
+    let fx = DriveFixture::new(*tech, gate, input_edge, input_ramp, load);
+    let out = fx.run(None)?;
+    let oe = fx.output_edge();
+    let t_in50 = fx.t_start + 0.5 * input_ramp;
+    let t_out50 = frac_crossing(&out, 0.0, tech.vdd, oe, 0.5)?;
+    let t10 = frac_crossing(&out, 0.0, tech.vdd, oe, 0.1)?;
+    let t90 = frac_crossing(&out, 0.0, tech.vdd, oe, 0.9)?;
+    // A linear ramp's 10–90% interval is 80% of its full duration.
+    let equivalent_ramp = (t90 - t10).abs() / 0.8;
+    Ok((t_out50 - t_in50, equivalent_ramp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (GateTimingTable, Tech) {
+        let tech = Tech::default_180nm();
+        let gate = Gate::inv(2.0, &tech);
+        let t = GateTimingTable::characterize(
+            &tech,
+            gate,
+            Edge::Rising,
+            &[50e-12, 200e-12],
+            &[5e-15, 60e-15],
+        )
+        .unwrap();
+        (t, tech)
+    }
+
+    #[test]
+    fn delay_increases_with_load() {
+        let (t, _) = table();
+        assert!(t.delay(100e-12, 60e-15) > t.delay(100e-12, 5e-15));
+    }
+
+    #[test]
+    fn output_slew_increases_with_load() {
+        let (t, _) = table();
+        assert!(t.output_ramp(100e-12, 60e-15) > t.output_ramp(100e-12, 5e-15));
+    }
+
+    #[test]
+    fn interpolation_brackets_grid_values() {
+        let (t, _) = table();
+        let lo = t.delay(50e-12, 5e-15);
+        let hi = t.delay(50e-12, 60e-15);
+        let mid = t.delay(50e-12, 30e-15);
+        assert!(mid > lo && mid < hi);
+    }
+
+    #[test]
+    fn delays_are_physically_plausible() {
+        let (t, _) = table();
+        let d = t.delay(100e-12, 20e-15);
+        assert!(d > 1e-12 && d < 1e-9, "delay {d:e}");
+    }
+
+    #[test]
+    fn short_axes_rejected() {
+        let tech = Tech::default_180nm();
+        let gate = Gate::inv(1.0, &tech);
+        assert!(
+            GateTimingTable::characterize(&tech, gate, Edge::Rising, &[1e-10], &[1e-15, 2e-15])
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// Error type for circuit construction and simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// An element value is out of its physical range (e.g. `R <= 0`).
+    InvalidElement {
+        /// Description of the offending element.
+        context: String,
+    },
+    /// A node id does not belong to the circuit it was used with.
+    UnknownNode {
+        /// The offending node index.
+        index: usize,
+    },
+    /// Simulation parameters are malformed (non-positive timestep, ...).
+    InvalidSpec {
+        /// Description of the problem.
+        context: String,
+    },
+    /// The MNA system could not be solved.
+    Solve(clarinox_numeric::NumericError),
+    /// Waveform construction/measurement failed.
+    Waveform(clarinox_waveform::WaveformError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidElement { context } => write!(f, "invalid element: {context}"),
+            CircuitError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            CircuitError::InvalidSpec { context } => {
+                write!(f, "invalid simulation spec: {context}")
+            }
+            CircuitError::Solve(e) => write!(f, "solver failure: {e}"),
+            CircuitError::Waveform(e) => write!(f, "waveform failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Solve(e) => Some(e),
+            CircuitError::Waveform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<clarinox_numeric::NumericError> for CircuitError {
+    fn from(e: clarinox_numeric::NumericError) -> Self {
+        CircuitError::Solve(e)
+    }
+}
+
+impl From<clarinox_waveform::WaveformError> for CircuitError {
+    fn from(e: clarinox_waveform::WaveformError) -> Self {
+        CircuitError::Waveform(e)
+    }
+}
+
+impl CircuitError {
+    /// Convenience constructor for [`CircuitError::InvalidElement`].
+    pub fn element(context: impl Into<String>) -> Self {
+        CircuitError::InvalidElement {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`CircuitError::InvalidSpec`].
+    pub fn spec(context: impl Into<String>) -> Self {
+        CircuitError::InvalidSpec {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CircuitError::element("R <= 0").to_string().contains("invalid element"));
+        assert!(CircuitError::UnknownNode { index: 7 }.to_string().contains('7'));
+        assert!(CircuitError::spec("dt").to_string().contains("spec"));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e = CircuitError::from(clarinox_numeric::NumericError::invalid("x"));
+        assert!(e.source().is_some());
+    }
+}

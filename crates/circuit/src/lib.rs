@@ -1,0 +1,57 @@
+// `!(x > 0.0)`-style guards are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which matters for user-supplied physical quantities.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! Linear circuit representation and simulation for coupled interconnect.
+//!
+//! The paper's analysis flow rests on fast *linear* simulation of RC
+//! interconnect with Thevenin driver models (Figure 1): the non-linear
+//! gates are replaced by ramp voltage sources behind resistances, receivers
+//! by grounded capacitors, and each driver is simulated in turn with the
+//! others shorted, the results combined by superposition. This crate
+//! provides that substrate:
+//!
+//! * [`netlist`] — circuits built from resistors, capacitors (including
+//!   coupling capacitors), and PWL/DC voltage and current sources,
+//! * [`mna`] — modified nodal analysis assembly into `G x + C x' = b(t)`,
+//! * [`transient`] — trapezoidal (with backward-Euler start) linear
+//!   transient simulation with a single LU factorization per run,
+//! * [`dc`] — DC operating point.
+//!
+//! # Examples
+//!
+//! A simple RC low-pass driven by a ramp:
+//!
+//! ```
+//! use clarinox_circuit::netlist::{Circuit, SourceWave};
+//! use clarinox_circuit::transient::{simulate, TransientSpec};
+//! use clarinox_waveform::Pwl;
+//!
+//! # fn main() -> Result<(), clarinox_circuit::CircuitError> {
+//! let mut ckt = Circuit::new();
+//! let inp = ckt.node("in");
+//! let out = ckt.node("out");
+//! let gnd = Circuit::ground();
+//! ckt.add_vsource(inp, gnd, SourceWave::Pwl(Pwl::ramp(0.0, 1e-9, 0.0, 1.0)?))?;
+//! ckt.add_resistor(inp, out, 1_000.0)?;
+//! ckt.add_capacitor(out, gnd, 1e-12)?;
+//! let res = simulate(&ckt, &TransientSpec::new(5e-9, 5e-12)?)?;
+//! let v_out = res.voltage(out)?;
+//! assert!(v_out.v_end() > 0.95); // settles to the rail
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dc;
+pub mod mna;
+pub mod netlist;
+pub mod spef;
+pub mod transient;
+
+mod error;
+
+pub use error::CircuitError;
+pub use netlist::{Circuit, NodeId, SourceWave};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CircuitError>;

@@ -1,0 +1,268 @@
+//! Modified nodal analysis: assembly of `G x + C x' = b(t)`.
+//!
+//! Unknown ordering: the `n - 1` non-ground node voltages first, then one
+//! branch current per voltage source. A small `GMIN` conductance is stamped
+//! from every node to ground so that capacitor-only (floating) nodes do not
+//! make `G` singular — the standard SPICE safeguard.
+
+use crate::netlist::{Circuit, Element, NodeId, VsourceId};
+use crate::{CircuitError, Result};
+use clarinox_numeric::matrix::Matrix;
+
+/// Minimum conductance to ground stamped on every node (siemens).
+pub const GMIN: f64 = 1e-12;
+
+/// The assembled MNA system of a [`Circuit`].
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    /// Conductance/incidence matrix `G`.
+    g: Matrix,
+    /// Capacitance matrix `C`.
+    c: Matrix,
+    /// Unknown count (`nodes - 1 + vsources`).
+    dim: usize,
+    /// Non-ground node count.
+    node_unknowns: usize,
+    /// `(row, element index)` of each voltage source branch.
+    vsources: Vec<(usize, usize)>,
+    /// Element indices of current sources.
+    isources: Vec<usize>,
+}
+
+impl MnaSystem {
+    /// Assembles the MNA matrices of `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSpec`] for a circuit without any
+    /// non-ground node.
+    pub fn assemble(circuit: &Circuit) -> Result<Self> {
+        let nn = circuit.node_count();
+        if nn < 2 {
+            return Err(CircuitError::spec("circuit has no non-ground nodes"));
+        }
+        let node_unknowns = nn - 1;
+        let dim = node_unknowns + circuit.vsource_count();
+        let mut g = Matrix::zeros(dim, dim);
+        let mut c = Matrix::zeros(dim, dim);
+        for i in 0..node_unknowns {
+            g.add(i, i, GMIN);
+        }
+        let mut vsources = Vec::new();
+        let mut isources = Vec::new();
+        let mut vidx = 0usize;
+        for (ei, e) in circuit.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    stamp_conductance(&mut g, idx(*a), idx(*b), 1.0 / ohms);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    stamp_conductance(&mut c, idx(*a), idx(*b), *farads);
+                }
+                Element::Vsource { pos, neg, .. } => {
+                    let row = node_unknowns + vidx;
+                    if let Some(p) = idx(*pos) {
+                        g.add(p, row, 1.0);
+                        g.add(row, p, 1.0);
+                    }
+                    if let Some(n) = idx(*neg) {
+                        g.add(n, row, -1.0);
+                        g.add(row, n, -1.0);
+                    }
+                    vsources.push((row, ei));
+                    vidx += 1;
+                }
+                Element::Isource { .. } => isources.push(ei),
+            }
+        }
+        Ok(MnaSystem {
+            g,
+            c,
+            dim,
+            node_unknowns,
+            vsources,
+            isources,
+        })
+    }
+
+    /// The conductance matrix `G`.
+    pub fn g(&self) -> &Matrix {
+        &self.g
+    }
+
+    /// The capacitance matrix `C`.
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Dimension of the unknown vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of node-voltage unknowns (excludes vsource branch currents).
+    pub fn node_unknowns(&self) -> usize {
+        self.node_unknowns
+    }
+
+    /// Index of `node`'s voltage in the unknown vector, or `None` for
+    /// ground.
+    pub fn node_index(&self, node: NodeId) -> Option<usize> {
+        idx(node)
+    }
+
+    /// Index of a voltage source's branch current in the unknown vector.
+    pub fn vsource_index(&self, v: VsourceId) -> Option<usize> {
+        self.vsources.get(v.0).map(|(row, _)| *row)
+    }
+
+    /// Fills the excitation vector `b(t)` for `circuit` at time `t`.
+    ///
+    /// `circuit` must be the circuit this system was assembled from (the
+    /// element list is indexed positionally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != dim` or if the circuit's element list no
+    /// longer matches the assembly.
+    pub fn rhs_at(&self, circuit: &Circuit, t: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "rhs buffer has wrong length");
+        out.iter_mut().for_each(|x| *x = 0.0);
+        for &(row, ei) in &self.vsources {
+            match &circuit.elements()[ei] {
+                Element::Vsource { wave, .. } => out[row] = wave.value(t),
+                _ => panic!("element {ei} is not the expected vsource"),
+            }
+        }
+        for &ei in &self.isources {
+            match &circuit.elements()[ei] {
+                Element::Isource { from, into, wave } => {
+                    let i = wave.value(t);
+                    if let Some(p) = idx(*into) {
+                        out[p] += i;
+                    }
+                    if let Some(n) = idx(*from) {
+                        out[n] -= i;
+                    }
+                }
+                _ => panic!("element {ei} is not the expected isource"),
+            }
+        }
+    }
+}
+
+/// Unknown index of a node (`None` = ground).
+fn idx(n: NodeId) -> Option<usize> {
+    if n.is_ground() {
+        None
+    } else {
+        Some(n.index() - 1)
+    }
+}
+
+/// Stamps a two-terminal conductance-like value into a matrix.
+fn stamp_conductance(m: &mut Matrix, a: Option<usize>, b: Option<usize>, val: f64) {
+    if let Some(i) = a {
+        m.add(i, i, val);
+    }
+    if let Some(j) = b {
+        m.add(j, j, val);
+    }
+    if let (Some(i), Some(j)) = (a, b) {
+        m.add(i, j, -val);
+        m.add(j, i, -val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::SourceWave;
+
+    fn divider() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let mid = c.node("mid");
+        let g = Circuit::ground();
+        c.add_vsource(inp, g, SourceWave::Dc(2.0)).unwrap();
+        c.add_resistor(inp, mid, 1000.0).unwrap();
+        c.add_resistor(mid, g, 1000.0).unwrap();
+        (c, inp, mid)
+    }
+
+    #[test]
+    fn resistor_stamp_is_symmetric() {
+        let (c, _, _) = divider();
+        let sys = MnaSystem::assemble(&c).unwrap();
+        let g = sys.g();
+        // dim = 2 nodes + 1 vsource branch.
+        assert_eq!(sys.dim(), 3);
+        assert!((g.get(0, 0) - (1e-3 + GMIN)).abs() < 1e-15);
+        assert!((g.get(1, 1) - (2e-3 + GMIN)).abs() < 1e-15);
+        assert_eq!(g.get(0, 1), -1e-3);
+        assert_eq!(g.get(1, 0), -1e-3);
+    }
+
+    #[test]
+    fn vsource_rows_enforce_potential() {
+        let (c, inp, _) = divider();
+        let sys = MnaSystem::assemble(&c).unwrap();
+        let row = sys.vsource_index(crate::netlist::VsourceId(0)).unwrap();
+        assert_eq!(row, 2);
+        let p = sys.node_index(inp).unwrap();
+        assert_eq!(sys.g().get(row, p), 1.0);
+        assert_eq!(sys.g().get(p, row), 1.0);
+        let mut b = vec![0.0; 3];
+        sys.rhs_at(&c, 0.0, &mut b);
+        assert_eq!(b[row], 2.0);
+    }
+
+    #[test]
+    fn isource_enters_kcl() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let g = Circuit::ground();
+        c.add_resistor(a, g, 100.0).unwrap();
+        c.add_isource(g, a, SourceWave::Dc(1e-3)).unwrap();
+        let sys = MnaSystem::assemble(&c).unwrap();
+        let mut b = vec![0.0; 1];
+        sys.rhs_at(&c, 0.0, &mut b);
+        assert_eq!(b[0], 1e-3);
+    }
+
+    #[test]
+    fn coupling_cap_stamps_off_diagonal() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_capacitor(a, b, 5e-15).unwrap();
+        let sys = MnaSystem::assemble(&c).unwrap();
+        assert_eq!(sys.c().get(0, 1), -5e-15);
+        assert_eq!(sys.c().get(0, 0), 5e-15);
+    }
+
+    #[test]
+    fn ground_only_circuit_rejected() {
+        let c = Circuit::new();
+        assert!(MnaSystem::assemble(&c).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs buffer")]
+    fn rhs_buffer_length_checked() {
+        let (c, _, _) = divider();
+        let sys = MnaSystem::assemble(&c).unwrap();
+        let mut wrong = vec![0.0; 1];
+        sys.rhs_at(&c, 0.0, &mut wrong);
+    }
+
+    #[test]
+    fn node_index_maps_ground_to_none() {
+        let (c, inp, mid) = divider();
+        let sys = MnaSystem::assemble(&c).unwrap();
+        assert_eq!(sys.node_index(Circuit::ground()), None);
+        assert_eq!(sys.node_index(inp), Some(0));
+        assert_eq!(sys.node_index(mid), Some(1));
+        assert_eq!(sys.node_unknowns(), 2);
+    }
+}

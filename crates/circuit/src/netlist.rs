@@ -1,0 +1,414 @@
+//! Circuit netlists: nodes and linear elements.
+
+use crate::{CircuitError, Result};
+use clarinox_waveform::Pwl;
+
+/// Identifier of a circuit node. Node 0 is ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index of the node (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Excitation of an independent source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWave {
+    /// Constant value (volts or amps).
+    Dc(f64),
+    /// Piecewise-linear time function.
+    Pwl(Pwl),
+}
+
+impl SourceWave {
+    /// Value at time `t`.
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            SourceWave::Pwl(w) => w.value(t),
+        }
+    }
+
+    /// A source held at zero — the "shorted" driver of the superposition
+    /// flow (its series resistance stays in the circuit, its excitation is
+    /// grounded).
+    pub fn shorted() -> SourceWave {
+        SourceWave::Dc(0.0)
+    }
+}
+
+/// Handle to a voltage source, usable as a current probe after simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VsourceId(pub(crate) usize);
+
+/// A linear circuit element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (> 0).
+        ohms: f64,
+    },
+    /// Capacitor between `a` and `b` (a grounded load cap or a coupling cap
+    /// between two signal nets).
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (> 0).
+        farads: f64,
+    },
+    /// Independent voltage source forcing `v(pos) - v(neg) = wave(t)`.
+    Vsource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Excitation.
+        wave: SourceWave,
+    },
+    /// Independent current source pushing `wave(t)` amps **into** node
+    /// `into` (and out of `from`).
+    Isource {
+        /// Node the current is drawn from.
+        from: NodeId,
+        /// Node the current is pushed into.
+        into: NodeId,
+        /// Excitation.
+        wave: SourceWave,
+    },
+}
+
+/// A linear circuit under construction.
+///
+/// Nodes are created by name with [`Circuit::node`]; ground is the reserved
+/// node `0`/`gnd`. Elements are validated at insertion.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    elements: Vec<Element>,
+    vsource_count: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit (ground pre-defined).
+    pub fn new() -> Self {
+        Circuit {
+            node_names: vec!["gnd".to_string()],
+            elements: Vec::new(),
+            vsource_count: 0,
+        }
+    }
+
+    /// The ground node.
+    pub fn ground() -> NodeId {
+        NodeId(0)
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The names `"gnd"` and `"0"` always refer to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "gnd" || name == "0" {
+            return NodeId(0);
+        }
+        if let Some(i) = self.node_names.iter().position(|n| n == name) {
+            return NodeId(i);
+        }
+        self.node_names.push(name.to_string());
+        NodeId(self.node_names.len() - 1)
+    }
+
+    /// Creates a fresh anonymous node.
+    pub fn fresh_node(&mut self) -> NodeId {
+        let name = format!("_n{}", self.node_names.len());
+        self.node_names.push(name);
+        NodeId(self.node_names.len() - 1)
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        if name == "gnd" || name == "0" {
+            return Some(NodeId(0));
+        }
+        self.node_names.iter().position(|n| n == name).map(NodeId)
+    }
+
+    /// Name of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for a foreign node id.
+    pub fn node_name(&self, n: NodeId) -> Result<&str> {
+        self.node_names
+            .get(n.0)
+            .map(|s| s.as_str())
+            .ok_or(CircuitError::UnknownNode { index: n.0 })
+    }
+
+    /// Total number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of voltage sources.
+    pub fn vsource_count(&self) -> usize {
+        self.vsource_count
+    }
+
+    /// The element list.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<()> {
+        if n.0 < self.node_names.len() {
+            Ok(())
+        } else {
+            Err(CircuitError::UnknownNode { index: n.0 })
+        }
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidElement`] unless `ohms > 0` and both
+    /// nodes exist and differ.
+    pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<()> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(ohms > 0.0) || !ohms.is_finite() {
+            return Err(CircuitError::element(format!(
+                "resistor must have finite positive resistance, got {ohms}"
+            )));
+        }
+        if a == b {
+            return Err(CircuitError::element("resistor terminals coincide"));
+        }
+        self.elements.push(Element::Resistor { a, b, ohms });
+        Ok(())
+    }
+
+    /// Adds a capacitor (grounded load or floating coupling cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidElement`] unless `farads > 0` and both
+    /// nodes exist and differ.
+    pub fn add_capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> Result<()> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(farads > 0.0) || !farads.is_finite() {
+            return Err(CircuitError::element(format!(
+                "capacitor must have finite positive capacitance, got {farads}"
+            )));
+        }
+        if a == b {
+            return Err(CircuitError::element("capacitor terminals coincide"));
+        }
+        self.elements.push(Element::Capacitor { a, b, farads });
+        Ok(())
+    }
+
+    /// Adds an independent voltage source and returns its probe handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for foreign nodes and
+    /// [`CircuitError::InvalidElement`] if the terminals coincide.
+    pub fn add_vsource(
+        &mut self,
+        pos: NodeId,
+        neg: NodeId,
+        wave: SourceWave,
+    ) -> Result<VsourceId> {
+        self.check_node(pos)?;
+        self.check_node(neg)?;
+        if pos == neg {
+            return Err(CircuitError::element("vsource terminals coincide"));
+        }
+        self.elements.push(Element::Vsource { pos, neg, wave });
+        self.vsource_count += 1;
+        Ok(VsourceId(self.vsource_count - 1))
+    }
+
+    /// Adds an independent current source pushing current into `into`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for foreign nodes and
+    /// [`CircuitError::InvalidElement`] if the terminals coincide.
+    pub fn add_isource(&mut self, from: NodeId, into: NodeId, wave: SourceWave) -> Result<()> {
+        self.check_node(from)?;
+        self.check_node(into)?;
+        if from == into {
+            return Err(CircuitError::element("isource terminals coincide"));
+        }
+        self.elements.push(Element::Isource { from, into, wave });
+        Ok(())
+    }
+
+    /// Adds a distributed RC wire as a ladder of `segments` π-sections
+    /// between `from` and `to`: total series resistance `r_total` and total
+    /// ground capacitance `c_total` split evenly. Returns the interior nodes
+    /// (useful for attaching coupling capacitance along the wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSpec`] if `segments == 0`, and element
+    /// validation errors for non-positive totals.
+    pub fn add_wire(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        r_total: f64,
+        c_total: f64,
+        segments: usize,
+    ) -> Result<Vec<NodeId>> {
+        if segments == 0 {
+            return Err(CircuitError::spec("wire needs at least one segment"));
+        }
+        let r_seg = r_total / segments as f64;
+        let c_half = c_total / (2.0 * segments as f64);
+        let gnd = Circuit::ground();
+        let mut interior = Vec::new();
+        let mut prev = from;
+        for i in 0..segments {
+            let next = if i + 1 == segments {
+                to
+            } else {
+                let n = self.fresh_node();
+                interior.push(n);
+                n
+            };
+            // π-section: C/2 at each end, R in the middle; end caps of
+            // adjacent sections merge into full caps at interior nodes.
+            if prev != gnd {
+                self.add_capacitor(prev, gnd, c_half)?;
+            }
+            self.add_resistor(prev, next, r_seg)?;
+            if next != gnd {
+                self.add_capacitor(next, gnd, c_half)?;
+            }
+            prev = next;
+        }
+        Ok(interior)
+    }
+
+    /// Total capacitance hanging on `node` (sum over both grounded and
+    /// coupling capacitors), in farads.
+    pub fn total_cap_at(&self, node: NodeId) -> f64 {
+        self.elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Capacitor { a, b, farads } if *a == node || *b == node => Some(*farads),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_creation_and_lookup() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let a2 = c.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(c.node("gnd"), Circuit::ground());
+        assert_eq!(c.node("0"), Circuit::ground());
+        assert_eq!(c.find_node("a"), Some(a));
+        assert_eq!(c.find_node("zz"), None);
+        assert_eq!(c.node_name(a).unwrap(), "a");
+        assert!(c.node_name(NodeId(99)).is_err());
+        let f = c.fresh_node();
+        assert_ne!(f, a);
+    }
+
+    #[test]
+    fn element_validation() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let g = Circuit::ground();
+        assert!(c.add_resistor(a, g, 0.0).is_err());
+        assert!(c.add_resistor(a, a, 10.0).is_err());
+        assert!(c.add_resistor(a, NodeId(42), 10.0).is_err());
+        assert!(c.add_capacitor(a, g, -1e-15).is_err());
+        assert!(c.add_resistor(a, g, 100.0).is_ok());
+        assert!(c.add_capacitor(a, g, 1e-15).is_ok());
+        assert!(c.add_vsource(a, a, SourceWave::Dc(1.0)).is_err());
+        assert!(c.add_isource(g, a, SourceWave::Dc(1e-6)).is_ok());
+    }
+
+    #[test]
+    fn vsource_ids_are_sequential() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let g = Circuit::ground();
+        let v0 = c.add_vsource(a, g, SourceWave::Dc(1.0)).unwrap();
+        let v1 = c.add_vsource(b, g, SourceWave::Dc(2.0)).unwrap();
+        assert_eq!(v0, VsourceId(0));
+        assert_eq!(v1, VsourceId(1));
+        assert_eq!(c.vsource_count(), 2);
+    }
+
+    #[test]
+    fn wire_builds_pi_ladder() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let interior = c.add_wire(a, b, 300.0, 30e-15, 3).unwrap();
+        assert_eq!(interior.len(), 2);
+        // 3 resistors + 6 half caps.
+        let nr = c
+            .elements()
+            .iter()
+            .filter(|e| matches!(e, Element::Resistor { .. }))
+            .count();
+        assert_eq!(nr, 3);
+        // Total grounded capacitance across the wire is c_total.
+        let ctot: f64 = c
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Capacitor { farads, .. } => Some(*farads),
+                _ => None,
+            })
+            .sum();
+        assert!((ctot - 30e-15).abs() < 1e-20);
+        // End nodes carry half-section caps.
+        assert!((c.total_cap_at(a) - 5e-15).abs() < 1e-20);
+        assert!(c.add_wire(a, b, 1.0, 1e-15, 0).is_err());
+    }
+
+    #[test]
+    fn source_wave_values() {
+        assert_eq!(SourceWave::Dc(2.5).value(99.0), 2.5);
+        let w = SourceWave::Pwl(Pwl::ramp(0.0, 1.0, 0.0, 1.0).unwrap());
+        assert_eq!(w.value(0.5), 0.5);
+        assert_eq!(SourceWave::shorted().value(1.0), 0.0);
+    }
+}

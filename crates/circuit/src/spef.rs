@@ -1,0 +1,242 @@
+//! Minimal SPEF-style parasitics exchange.
+//!
+//! Industrial noise tools consume extracted parasitics as SPEF; this module
+//! implements the subset the clarinox flow needs — `*RES` and `*CAP`
+//! sections (grounded and coupling capacitors) under named `*D_NET`
+//! blocks — so netlists can round-trip to a human-readable file without
+//! pulling a full IEEE-1481 parser into the workspace.
+//!
+//! Supported grammar (units are ohms and farads; `//` comments and blank
+//! lines ignored):
+//!
+//! ```text
+//! *D_NET net0
+//! *CAP
+//! 1 drv gnd 5e-15
+//! 2 drv far 2e-15     // coupling cap
+//! *RES
+//! 1 drv far 120.0
+//! *END
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use clarinox_circuit::netlist::Circuit;
+//! use clarinox_circuit::spef;
+//!
+//! # fn main() -> Result<(), clarinox_circuit::CircuitError> {
+//! let mut ckt = Circuit::new();
+//! let a = ckt.node("a");
+//! let g = Circuit::ground();
+//! ckt.add_resistor(a, g, 100.0)?;
+//! ckt.add_capacitor(a, g, 1e-15)?;
+//! let text = spef::write_parasitics(&ckt, "my_net")?;
+//! let back = spef::parse_parasitics(&text)?;
+//! assert_eq!(back.circuit.elements().len(), 2);
+//! assert_eq!(back.name, "my_net");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::netlist::{Circuit, Element, NodeId};
+use crate::{CircuitError, Result};
+use std::fmt::Write as _;
+
+/// A parsed parasitic net: the circuit plus the `*D_NET` name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParasiticNet {
+    /// Net name from the `*D_NET` header.
+    pub name: String,
+    /// The reconstructed passive circuit.
+    pub circuit: Circuit,
+}
+
+/// Serializes the R/C elements of `circuit` as one `*D_NET` block.
+///
+/// # Errors
+///
+/// [`CircuitError::InvalidElement`] if the circuit contains sources
+/// (parasitic exchange carries passives only).
+pub fn write_parasitics(circuit: &Circuit, net_name: &str) -> Result<String> {
+    let mut caps = Vec::new();
+    let mut ress = Vec::new();
+    for e in circuit.elements() {
+        match e {
+            Element::Capacitor { a, b, farads } => caps.push((*a, *b, *farads)),
+            Element::Resistor { a, b, ohms } => ress.push((*a, *b, *ohms)),
+            _ => {
+                return Err(CircuitError::element(
+                    "spef export carries passives only (remove sources first)",
+                ))
+            }
+        }
+    }
+    let mut out = String::new();
+    let node = |n: NodeId| -> Result<String> {
+        Ok(if n.is_ground() {
+            "gnd".to_string()
+        } else {
+            circuit.node_name(n)?.to_string()
+        })
+    };
+    writeln!(out, "*D_NET {net_name}").expect("string write");
+    writeln!(out, "*CAP").expect("string write");
+    for (i, (a, b, f)) in caps.iter().enumerate() {
+        writeln!(out, "{} {} {} {:.12e}", i + 1, node(*a)?, node(*b)?, f).expect("string write");
+    }
+    writeln!(out, "*RES").expect("string write");
+    for (i, (a, b, r)) in ress.iter().enumerate() {
+        writeln!(out, "{} {} {} {:.12e}", i + 1, node(*a)?, node(*b)?, r).expect("string write");
+    }
+    writeln!(out, "*END").expect("string write");
+    Ok(out)
+}
+
+/// Section being parsed.
+#[derive(PartialEq, Clone, Copy)]
+enum Section {
+    None,
+    Cap,
+    Res,
+}
+
+/// Parses one `*D_NET` block back into a circuit.
+///
+/// # Errors
+///
+/// [`CircuitError::InvalidSpec`] on malformed syntax; element-validation
+/// errors for non-positive values.
+pub fn parse_parasitics(text: &str) -> Result<ParasiticNet> {
+    let mut name: Option<String> = None;
+    let mut circuit = Circuit::new();
+    let mut section = Section::None;
+    let mut ended = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| -> CircuitError {
+            CircuitError::spec(format!("line {}: {msg}: {line:?}", lineno + 1))
+        };
+        if let Some(rest) = line.strip_prefix("*D_NET") {
+            if name.is_some() {
+                return Err(err("duplicate *D_NET"));
+            }
+            let n = rest.trim();
+            if n.is_empty() {
+                return Err(err("missing net name"));
+            }
+            name = Some(n.to_string());
+            continue;
+        }
+        if line == "*CAP" {
+            section = Section::Cap;
+            continue;
+        }
+        if line == "*RES" {
+            section = Section::Res;
+            continue;
+        }
+        if line == "*END" {
+            ended = true;
+            break;
+        }
+        if name.is_none() {
+            return Err(err("element before *D_NET header"));
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(err("expected `<idx> <node> <node> <value>`"));
+        }
+        let a = circuit.node(fields[1]);
+        let b = circuit.node(fields[2]);
+        let value: f64 = fields[3]
+            .parse()
+            .map_err(|_| err("unparseable value"))?;
+        match section {
+            Section::Cap => circuit.add_capacitor(a, b, value)?,
+            Section::Res => circuit.add_resistor(a, b, value)?,
+            Section::None => return Err(err("element outside *CAP/*RES section")),
+        }
+    }
+    if !ended {
+        return Err(CircuitError::spec("missing *END"));
+    }
+    Ok(ParasiticNet {
+        name: name.ok_or_else(|| CircuitError::spec("missing *D_NET header"))?,
+        circuit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.node("drv");
+        let b = c.node("rcv");
+        let n = c.node("agg");
+        let g = Circuit::ground();
+        c.add_wire(a, b, 240.0, 24e-15, 3).unwrap();
+        c.add_capacitor(b, n, 8e-15).unwrap(); // coupling
+        c.add_resistor(n, g, 500.0).unwrap();
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_elements_and_totals() {
+        let ckt = ladder();
+        let text = write_parasitics(&ckt, "bus[3]").unwrap();
+        let back = parse_parasitics(&text).unwrap();
+        assert_eq!(back.name, "bus[3]");
+        assert_eq!(back.circuit.elements().len(), ckt.elements().len());
+        // Totals survive.
+        let total = |c: &Circuit| -> (f64, f64) {
+            c.elements().iter().fold((0.0, 0.0), |(rc, cc), e| match e {
+                Element::Resistor { ohms, .. } => (rc + ohms, cc),
+                Element::Capacitor { farads, .. } => (rc, cc + farads),
+                _ => (rc, cc),
+            })
+        };
+        let (r0, c0) = total(&ckt);
+        let (r1, c1) = total(&back.circuit);
+        assert!((r0 - r1).abs() < 1e-9 * r0);
+        assert!((c0 - c1).abs() < 1e-9 * c0);
+        // Node identity: the coupling cap still bridges rcv and agg.
+        let rcv = back.circuit.find_node("rcv").unwrap();
+        assert!((back.circuit.total_cap_at(rcv) - ckt.total_cap_at(ckt.find_node("rcv").unwrap())).abs() < 1e-24);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n// extracted 2001-06-18\n*D_NET n1\n*CAP\n1 a gnd 1e-15 // pin cap\n\n*RES\n1 a b 10.0\n*END\n";
+        let p = parse_parasitics(text).unwrap();
+        assert_eq!(p.name, "n1");
+        assert_eq!(p.circuit.elements().len(), 2);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(parse_parasitics("").is_err()); // no header/end
+        assert!(parse_parasitics("*D_NET x\n*END").is_ok());
+        assert!(parse_parasitics("*D_NET\n*END").is_err()); // missing name
+        assert!(parse_parasitics("*D_NET x\n1 a b 1.0\n*END").is_err()); // no section
+        assert!(parse_parasitics("*D_NET x\n*CAP\n1 a b\n*END").is_err()); // short row
+        assert!(parse_parasitics("*D_NET x\n*CAP\n1 a b frog\n*END").is_err());
+        assert!(parse_parasitics("*D_NET x\n*CAP\n1 a b -1e-15\n*END").is_err());
+        assert!(parse_parasitics("*D_NET x\n*D_NET y\n*END").is_err());
+        assert!(parse_parasitics("*D_NET x\n*CAP").is_err()); // no *END
+    }
+
+    #[test]
+    fn sources_block_export() {
+        let mut c = ladder();
+        let a = c.find_node("drv").unwrap();
+        c.add_vsource(a, Circuit::ground(), crate::netlist::SourceWave::Dc(1.0))
+            .unwrap();
+        assert!(write_parasitics(&c, "x").is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! Linear transient simulation.
+//!
+//! Integrates `G x + C x' = b(t)` with the trapezoidal rule (optionally
+//! backward Euler). The companion matrix `G + (2/h) C` is constant for a
+//! fixed timestep, so it is LU-factored **once** per run and only
+//! back-substituted per step — the property that makes linear superposition
+//! analysis orders of magnitude faster than non-linear simulation and that
+//! the paper's flow is built around.
+
+use crate::mna::MnaSystem;
+use crate::netlist::{Circuit, NodeId, VsourceId};
+use crate::{CircuitError, Result};
+use clarinox_waveform::Pwl;
+
+/// Time-integration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integration {
+    /// Trapezoidal rule (second order, the default).
+    #[default]
+    Trapezoidal,
+    /// Backward Euler (first order, strongly damped).
+    BackwardEuler,
+}
+
+/// Parameters of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientSpec {
+    /// Total simulated time (seconds).
+    pub t_stop: f64,
+    /// Fixed timestep (seconds).
+    pub dt: f64,
+    /// Integration method.
+    pub method: Integration,
+    /// Whether to initialize from the DC operating point at `t = 0`
+    /// (otherwise the initial state is all zeros).
+    pub dc_init: bool,
+}
+
+impl TransientSpec {
+    /// Creates a spec with trapezoidal integration and DC initialization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidSpec`] unless `0 < dt < t_stop`.
+    pub fn new(t_stop: f64, dt: f64) -> Result<Self> {
+        if !(dt > 0.0) || !(t_stop > dt) || !t_stop.is_finite() {
+            return Err(CircuitError::spec(format!(
+                "need 0 < dt < t_stop, got dt={dt}, t_stop={t_stop}"
+            )));
+        }
+        Ok(TransientSpec {
+            t_stop,
+            dt,
+            method: Integration::Trapezoidal,
+            dc_init: true,
+        })
+    }
+
+    /// Same spec with a different integration method.
+    pub fn with_method(mut self, method: Integration) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Same spec without DC initialization (state starts at zero).
+    pub fn without_dc_init(mut self) -> Self {
+        self.dc_init = false;
+        self
+    }
+
+    /// Number of timesteps.
+    pub fn steps(&self) -> usize {
+        let ratio = self.t_stop / self.dt;
+        let nearest = ratio.round();
+        // Guard against float dust turning an exact ratio into ceil + 1.
+        let n = if (ratio - nearest).abs() < 1e-6 * nearest.max(1.0) {
+            nearest
+        } else {
+            ratio.ceil()
+        };
+        (n as usize).max(1)
+    }
+}
+
+/// Result of a linear transient run: the full state trajectory plus the
+/// node/source index maps needed to extract waveforms.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    system: MnaSystem,
+    times: Vec<f64>,
+    /// `states[k]` is the unknown vector at `times[k]`.
+    states: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// Simulation time axis.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage waveform at `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a waveform error only for degenerate runs (fewer than one
+    /// step), which [`simulate`] never produces.
+    pub fn voltage(&self, node: NodeId) -> Result<Pwl> {
+        let vs: Vec<f64> = match self.system.node_index(node) {
+            None => vec![0.0; self.times.len()],
+            Some(i) => self.states.iter().map(|s| s[i]).collect(),
+        };
+        Ok(Pwl::from_samples(&self.times, &vs)?)
+    }
+
+    /// Current waveform through a voltage source (MNA branch convention:
+    /// positive current flows into the `+` terminal from the external
+    /// circuit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for a foreign source handle.
+    pub fn vsource_current(&self, v: VsourceId) -> Result<Pwl> {
+        let row = self
+            .system
+            .vsource_index(v)
+            .ok_or(CircuitError::UnknownNode { index: v.0 })?;
+        let is: Vec<f64> = self.states.iter().map(|s| s[row]).collect();
+        Ok(Pwl::from_samples(&self.times, &is)?)
+    }
+
+    /// The assembled MNA system (for reuse by model-order reduction).
+    pub fn system(&self) -> &MnaSystem {
+        &self.system
+    }
+
+    /// Final state vector.
+    pub fn final_state(&self) -> &[f64] {
+        self.states.last().expect("at least the initial state")
+    }
+}
+
+/// Runs a linear transient simulation of `circuit`.
+///
+/// # Errors
+///
+/// Propagates assembly and factorization failures ([`CircuitError::Solve`]),
+/// e.g. for circuits whose `G` is singular even with `GMIN`.
+pub fn simulate(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResult> {
+    let system = MnaSystem::assemble(circuit)?;
+    let dim = system.dim();
+    let h = spec.dt;
+    let steps = spec.steps();
+
+    // Initial state.
+    let mut x = if spec.dc_init {
+        let mut b0 = vec![0.0; dim];
+        system.rhs_at(circuit, 0.0, &mut b0);
+        system.g().lu()?.solve(&b0)?
+    } else {
+        vec![0.0; dim]
+    };
+
+    let (alpha, beta) = match spec.method {
+        // Trapezoidal: (G + 2C/h) x1 = b1 + b0 - G x0 + (2C/h) x0
+        Integration::Trapezoidal => (2.0 / h, 1.0),
+        // Backward Euler: (G + C/h) x1 = b1 + (C/h) x0
+        Integration::BackwardEuler => (1.0 / h, 0.0),
+    };
+    let companion = system.g().add_scaled(system.c(), alpha)?;
+    let lu = companion.lu()?;
+
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut states = Vec::with_capacity(steps + 1);
+    times.push(0.0);
+    states.push(x.clone());
+
+    let mut b_prev = vec![0.0; dim];
+    system.rhs_at(circuit, 0.0, &mut b_prev);
+    let mut b_now = vec![0.0; dim];
+    let mut rhs = vec![0.0; dim];
+
+    for k in 1..=steps {
+        let t = (k as f64) * h;
+        system.rhs_at(circuit, t, &mut b_now);
+        let cx = system.c().mul_vec(&x)?;
+        if beta != 0.0 {
+            // Trapezoidal.
+            let gx = system.g().mul_vec(&x)?;
+            for i in 0..dim {
+                rhs[i] = b_now[i] + b_prev[i] - gx[i] + alpha * cx[i];
+            }
+        } else {
+            for i in 0..dim {
+                rhs[i] = b_now[i] + alpha * cx[i];
+            }
+        }
+        x = lu.solve(&rhs)?;
+        times.push(t);
+        states.push(x.clone());
+        std::mem::swap(&mut b_prev, &mut b_now);
+    }
+
+    Ok(TransientResult {
+        system,
+        times,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::SourceWave;
+    use clarinox_waveform::measure;
+
+    /// RC step response: v(t) = V (1 - exp(-t/RC)).
+    fn rc_step(method: Integration) -> (Pwl, f64) {
+        let r = 1000.0;
+        let c = 1e-12;
+        let mut ckt = Circuit::new();
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let g = Circuit::ground();
+        // A very fast ramp approximates a step while keeping b(t) continuous.
+        ckt.add_vsource(
+            inp,
+            g,
+            SourceWave::Pwl(Pwl::ramp(0.0, 1e-15, 0.0, 1.0).unwrap()),
+        )
+        .unwrap();
+        ckt.add_resistor(inp, out, r).unwrap();
+        ckt.add_capacitor(out, g, c).unwrap();
+        let spec = TransientSpec::new(10e-9, 2e-12).unwrap().with_method(method);
+        let res = simulate(&ckt, &spec).unwrap();
+        (res.voltage(out).unwrap(), r * c)
+    }
+
+    #[test]
+    fn rc_step_matches_analytic_trapezoidal() {
+        let (v, tau) = rc_step(Integration::Trapezoidal);
+        for &t in &[0.5e-9, 1e-9, 2e-9, 5e-9] {
+            let want = 1.0 - (-t / tau).exp();
+            assert!(
+                (v.value(t) - want).abs() < 5e-3,
+                "t={t}: got {} want {want}",
+                v.value(t)
+            );
+        }
+    }
+
+    #[test]
+    fn rc_step_matches_analytic_backward_euler() {
+        let (v, tau) = rc_step(Integration::BackwardEuler);
+        for &t in &[1e-9, 3e-9] {
+            let want = 1.0 - (-t / tau).exp();
+            assert!((v.value(t) - want).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn rc_delay_is_ln2_tau() {
+        let (v, tau) = rc_step(Integration::Trapezoidal);
+        let t50 = measure::cross_rising(&v, 0.5).unwrap();
+        assert!((t50 - tau * std::f64::consts::LN_2).abs() < 0.02 * tau);
+    }
+
+    #[test]
+    fn coupling_cap_injects_noise_on_quiet_net() {
+        // Aggressor ramp couples into a quiet victim held by a resistor:
+        // the victim must see a transient pulse that decays back to zero.
+        let mut ckt = Circuit::new();
+        let ag = ckt.node("ag");
+        let vi = ckt.node("vi");
+        let g = Circuit::ground();
+        ckt.add_vsource(
+            ag,
+            g,
+            SourceWave::Pwl(Pwl::ramp(1e-9, 100e-12, 0.0, 1.8).unwrap()),
+        )
+        .unwrap();
+        ckt.add_resistor(vi, g, 500.0).unwrap(); // holding resistance
+        ckt.add_capacitor(ag, vi, 20e-15).unwrap(); // coupling
+        ckt.add_capacitor(vi, g, 10e-15).unwrap(); // ground cap
+        let res = simulate(&ckt, &TransientSpec::new(4e-9, 1e-12).unwrap()).unwrap();
+        let v = res.voltage(vi).unwrap();
+        let (peak_t, peak_v) = v.max_point();
+        assert!(peak_v > 0.01, "expected visible noise pulse, got {peak_v}");
+        assert!(peak_t > 1e-9 && peak_t < 1.3e-9);
+        // Decays back toward zero.
+        assert!(v.value(4e-9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn superposition_of_two_sources() {
+        // Linear system: response to (V1 on, V2 off) + (V1 off, V2 on)
+        // equals response to both on.
+        let build = |v1_on: bool, v2_on: bool| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            let mid = ckt.node("mid");
+            let g = Circuit::ground();
+            let w1 = if v1_on {
+                SourceWave::Pwl(Pwl::ramp(0.0, 1e-9, 0.0, 1.0).unwrap())
+            } else {
+                SourceWave::shorted()
+            };
+            let w2 = if v2_on {
+                SourceWave::Pwl(Pwl::ramp(0.5e-9, 1e-9, 0.0, -0.7).unwrap())
+            } else {
+                SourceWave::shorted()
+            };
+            ckt.add_vsource(a, g, w1).unwrap();
+            ckt.add_vsource(b, g, w2).unwrap();
+            ckt.add_resistor(a, mid, 700.0).unwrap();
+            ckt.add_resistor(b, mid, 1300.0).unwrap();
+            ckt.add_capacitor(mid, g, 30e-15).unwrap();
+            let res = simulate(&ckt, &TransientSpec::new(3e-9, 1e-12).unwrap()).unwrap();
+            res.voltage(mid).unwrap()
+        };
+        let both = build(true, true);
+        let only1 = build(true, false);
+        let only2 = build(false, true);
+        let summed = only1.add(&only2);
+        for k in 0..=30 {
+            let t = k as f64 * 0.1e-9;
+            assert!(
+                (both.value(t) - summed.value(t)).abs() < 1e-9,
+                "superposition violated at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn isource_charges_cap_linearly() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = Circuit::ground();
+        ckt.add_capacitor(a, g, 1e-12).unwrap();
+        ckt.add_isource(g, a, SourceWave::Dc(1e-6)).unwrap();
+        let spec = TransientSpec::new(1e-9, 1e-12).unwrap().without_dc_init();
+        let res = simulate(&ckt, &spec).unwrap();
+        let v = res.voltage(a).unwrap();
+        // dv/dt = I/C = 1e6 V/s -> 1 mV at 1 ns.
+        assert!((v.value(1e-9) - 1e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn vsource_current_probe() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = Circuit::ground();
+        let v = ckt.add_vsource(a, g, SourceWave::Dc(1.0)).unwrap();
+        ckt.add_resistor(a, g, 100.0).unwrap();
+        let res = simulate(&ckt, &TransientSpec::new(1e-9, 1e-12).unwrap()).unwrap();
+        let i = res.vsource_current(v).unwrap();
+        // MNA branch current is negative when sourcing (flows out of +).
+        assert!((i.value(0.5e-9) + 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(TransientSpec::new(1e-9, 0.0).is_err());
+        assert!(TransientSpec::new(1e-12, 1e-9).is_err());
+        let s = TransientSpec::new(1e-9, 1e-12).unwrap();
+        assert_eq!(s.steps(), 1000);
+    }
+
+    #[test]
+    fn dc_init_starts_at_operating_point() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let g = Circuit::ground();
+        ckt.add_vsource(a, g, SourceWave::Dc(1.8)).unwrap();
+        ckt.add_resistor(a, b, 1000.0).unwrap();
+        ckt.add_capacitor(b, g, 1e-12).unwrap();
+        let res = simulate(&ckt, &TransientSpec::new(1e-9, 1e-12).unwrap()).unwrap();
+        let v = res.voltage(b).unwrap();
+        // Already settled at t=0 and stays there.
+        assert!((v.value(0.0) - 1.8).abs() < 1e-6);
+        assert!((v.value(1e-9) - 1.8).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,567 @@
+//! Per-net delay-noise analysis: the full paper flow.
+
+use crate::alignment::{
+    exhaustive_alignment, predicted_alignment, receiver_input_alignment, AlignmentContext,
+};
+use crate::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
+use crate::holding::extract_rt;
+use crate::models::NetModels;
+use crate::superposition::LinearNetAnalysis;
+use crate::Result;
+use clarinox_cells::{Gate, GateKind, Tech};
+use clarinox_char::alignment::AlignmentTable;
+use clarinox_sta::window::TimingWindow;
+use clarinox_waveform::measure::{settle_crossing_hysteresis, Edge};
+use clarinox_waveform::{CompositePulse, NoisePulse, Pwl};
+use clarinox_netgen::spec::CoupledNetSpec;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Noise pulses smaller than this (volts) are ignored as aggressor
+/// contributions.
+const MIN_PULSE_HEIGHT: f64 = 1e-3;
+
+/// Reference start time used for the canonical per-aggressor simulations;
+/// alignments are realized by shifting the resulting (LTI) waveforms.
+const AGG_REF_START: f64 = 0.5e-9;
+
+/// The complete result of analyzing one coupled net.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Spec id.
+    pub id: usize,
+    /// Victim transition direction at the receiver input.
+    pub victim_edge: Edge,
+    /// Victim driver effective load (farads).
+    pub ceff: f64,
+    /// Victim driver Thevenin resistance (ohms).
+    pub rth: f64,
+    /// Holding resistance actually used for the victim in the final round
+    /// (`R_th` or the extracted `R_t`).
+    pub holding_r: f64,
+    /// Model/alignment refinement rounds performed.
+    pub rounds: usize,
+    /// Noiseless victim waveform at the driver output.
+    pub noiseless_drv: Pwl,
+    /// Noiseless victim waveform at the receiver input.
+    pub noiseless_rcv: Pwl,
+    /// Noisy victim waveform at the receiver input (worst alignment).
+    pub noisy_rcv: Pwl,
+    /// Noiseless receiver output.
+    pub noiseless_out: Pwl,
+    /// Noisy receiver output.
+    pub noisy_out: Pwl,
+    /// Per-aggressor noise pulses at the receiver input (`None` when the
+    /// contribution was below threshold).
+    pub pulses: Vec<Option<NoisePulse>>,
+    /// The composite pulse (peaks aligned), if any aggressor contributed.
+    pub composite: Option<NoisePulse>,
+    /// Worst-case pulse-peak time chosen by the configured objective.
+    pub peak_time: f64,
+    /// Absolute input-ramp start time realizing the alignment for each
+    /// aggressor.
+    pub agg_input_starts: Vec<f64>,
+    /// Delay noise measured at the receiver input (seconds).
+    pub delay_noise_rcv_in: f64,
+    /// Delay noise measured at the receiver output (seconds).
+    pub delay_noise_rcv_out: f64,
+    /// Noise-free combined interconnect + receiver delay, from the victim
+    /// input 50% point to the receiver output 50% point (seconds).
+    pub base_delay_out: f64,
+    /// Equivalent 0–100% ramp of the noiseless transition at the receiver
+    /// input (seconds).
+    pub victim_slew_rcv: f64,
+}
+
+impl NetReport {
+    /// Whether any aggressor contributed noise.
+    pub fn has_noise(&self) -> bool {
+        self.composite.is_some()
+    }
+}
+
+/// Cache key for alignment tables: receiver gate identity + victim edge.
+type TableKey = (GateKind, u64, u64, Edge);
+
+/// The analysis engine: technology + configuration + pre-characterization
+/// caches.
+#[derive(Debug)]
+pub struct NoiseAnalyzer {
+    tech: Tech,
+    config: AnalyzerConfig,
+    tables: Mutex<HashMap<TableKey, Arc<AlignmentTable>>>,
+}
+
+impl NoiseAnalyzer {
+    /// Creates an analyzer with the default (paper) configuration.
+    pub fn new(tech: Tech) -> Self {
+        NoiseAnalyzer::with_config(tech, AnalyzerConfig::default())
+    }
+
+    /// Creates an analyzer with an explicit configuration.
+    pub fn with_config(tech: Tech, config: AnalyzerConfig) -> Self {
+        NoiseAnalyzer {
+            tech,
+            config,
+            tables: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The technology.
+    pub fn tech(&self) -> &Tech {
+        &self.tech
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// The 8-point alignment table for `receiver`/`victim_edge`,
+    /// characterized on first use and cached.
+    ///
+    /// # Errors
+    ///
+    /// Characterization failures.
+    pub fn alignment_table(&self, receiver: Gate, victim_edge: Edge) -> Result<Arc<AlignmentTable>> {
+        let key: TableKey = (
+            receiver.kind,
+            receiver.strength.to_bits(),
+            receiver.pn_ratio.to_bits(),
+            victim_edge,
+        );
+        if let Some(t) = self.tables.lock().expect("table cache lock").get(&key) {
+            return Ok(Arc::clone(t));
+        }
+        let c = &self.config;
+        let table = AlignmentTable::characterize(
+            &self.tech,
+            receiver,
+            victim_edge,
+            c.table_width_axis,
+            c.table_height_axis,
+            c.table_slew_axis,
+            c.table_min_load,
+            &c.table_char,
+        )?;
+        let arc = Arc::new(table);
+        self.tables
+            .lock()
+            .expect("table cache lock")
+            .insert(key, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Analyzes one coupled net with the configured driver model and
+    /// alignment objective, without timing-window constraints.
+    ///
+    /// # Errors
+    ///
+    /// Characterization, simulation or measurement failures.
+    pub fn analyze(&self, spec: &CoupledNetSpec) -> Result<NetReport> {
+        self.analyze_windowed(spec, None)
+    }
+
+    /// Analyzes one coupled net, optionally constraining the pulse-peak
+    /// time to a feasible aggressor switching window.
+    ///
+    /// # Errors
+    ///
+    /// See [`NoiseAnalyzer::analyze`].
+    pub fn analyze_windowed(
+        &self,
+        spec: &CoupledNetSpec,
+        peak_window: Option<TimingWindow>,
+    ) -> Result<NetReport> {
+        let cfg = &self.config;
+        let models = NetModels::characterize(&self.tech, spec, cfg.ceff_iterations)?;
+        let mut lin = LinearNetAnalysis::new(&self.tech, spec, &models, cfg)?;
+        let victim_edge = spec.victim.wire_edge();
+        let noiseless = lin.noiseless(cfg.victim_input_start)?;
+        let victim_slew_rcv = clarinox_waveform::measure::slew_10_90(
+            &noiseless.at_victim_rcv,
+            0.0,
+            self.tech.vdd,
+            victim_edge,
+        )? / 0.8;
+
+        let rounds = match cfg.driver_model {
+            DriverModelKind::Thevenin => 1,
+            DriverModelKind::TransientHolding => 1 + cfg.rt_iterations,
+        };
+        let mut report_pulses: Vec<Option<NoisePulse>> = Vec::new();
+        let mut noises_rcv: Vec<Pwl> = Vec::new();
+        let mut noises_drv: Vec<Pwl> = Vec::new();
+        let mut composite: Option<CompositePulse> = None;
+        let mut peak_time = 0.0;
+        for round in 0..rounds {
+            report_pulses.clear();
+            noises_rcv.clear();
+            noises_drv.clear();
+            let mut valid: Vec<NoisePulse> = Vec::new();
+            let mut valid_idx: Vec<usize> = Vec::new();
+            for i in 0..spec.aggressors.len() {
+                let noise = lin.aggressor_noise(i, AGG_REF_START)?;
+                let pulse = NoisePulse::from_waveform(noise.at_victim_rcv.clone())
+                    .ok()
+                    .filter(|p| p.height >= MIN_PULSE_HEIGHT);
+                if let Some(p) = &pulse {
+                    valid.push(p.clone());
+                    valid_idx.push(i);
+                }
+                report_pulses.push(pulse);
+                noises_rcv.push(noise.at_victim_rcv);
+                noises_drv.push(noise.at_victim_drv);
+            }
+            if valid.is_empty() {
+                return self.quiet_report(spec, &models, &lin, noiseless, victim_slew_rcv);
+            }
+            let comp = CompositePulse::peaks_aligned(&valid)?;
+            // Choose the alignment under the current models.
+            let ctx = self.context(spec, &noiseless.at_victim_rcv, victim_edge, &lin);
+            let ctx = AlignmentContext {
+                composite: &comp.pulse,
+                ..ctx
+            };
+            let desired = match cfg.alignment {
+                AlignmentObjective::ReceiverInput => receiver_input_alignment(&ctx)?,
+                AlignmentObjective::ExhaustiveReceiverOutput { points } => {
+                    exhaustive_alignment(&ctx, points)?.0
+                }
+                AlignmentObjective::PredictedReceiverOutput => {
+                    let table = self.alignment_table(spec.victim.receiver, victim_edge)?;
+                    predicted_alignment(&ctx, &table)?
+                }
+            };
+            peak_time = match &peak_window {
+                Some(w) => w.clamp(desired),
+                None => desired,
+            };
+            composite = Some(comp);
+
+            // Refine the victim holding resistance for the next round.
+            let last_round = round + 1 == rounds;
+            if !last_round {
+                let comp_ref = composite.as_ref().expect("composite set above");
+                let shifts = self.pulse_shifts(comp_ref, &valid, peak_time);
+                let mut noise_drv_total: Option<Pwl> = None;
+                for (k, &i) in valid_idx.iter().enumerate() {
+                    let shifted = noises_drv[i].shift(shifts[k]);
+                    noise_drv_total = Some(match noise_drv_total {
+                        None => shifted,
+                        Some(acc) => acc.add(&shifted),
+                    });
+                }
+                let total = noise_drv_total.expect("at least one valid aggressor");
+                let ext = extract_rt(
+                    &self.tech,
+                    &spec.victim,
+                    &models.victim,
+                    &total,
+                    cfg.victim_input_start,
+                    cfg.dt,
+                )?;
+                lin.victim_holding_r = ext.rt;
+            }
+        }
+
+        let composite = composite.expect("at least one round ran");
+        // Final noisy waveform: each valid aggressor shifted so pulse peaks
+        // land together at peak_time.
+        let valid: Vec<NoisePulse> = report_pulses.iter().flatten().cloned().collect();
+        let valid_idx: Vec<usize> = report_pulses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| i))
+            .collect();
+        let shifts = self.pulse_shifts(&composite, &valid, peak_time);
+        let mut noisy_rcv = noiseless.at_victim_rcv.clone();
+        for (k, &i) in valid_idx.iter().enumerate() {
+            noisy_rcv = noisy_rcv.add(&noises_rcv[i].shift(shifts[k]));
+        }
+        let agg_input_starts: Vec<f64> = {
+            let mut out = vec![f64::NAN; spec.aggressors.len()];
+            for (k, &i) in valid_idx.iter().enumerate() {
+                out[i] = AGG_REF_START + shifts[k];
+            }
+            out
+        };
+
+        // Receiver responses.
+        let ctx = self.context(spec, &noiseless.at_victim_rcv, victim_edge, &lin);
+        let ctx = AlignmentContext {
+            composite: &composite.pulse,
+            ..ctx
+        };
+        let noiseless_out = ctx.receiver_output(None)?;
+        let noisy_out = clarinox_cells::fixture::receiver_response(
+            &self.tech,
+            spec.victim.receiver,
+            &noisy_rcv,
+            spec.victim.receiver_load,
+            ctx.t_stop,
+            ctx.dt,
+        )?;
+        let out_edge = ctx.receiver_out_edge();
+        let vmid = self.tech.vmid();
+        let hyst = self.config.settle_hysteresis_frac * self.tech.vdd;
+        let t_in_clean = settle_crossing_hysteresis(&noiseless.at_victim_rcv, vmid, victim_edge, hyst)?;
+        let t_in_noisy = settle_crossing_hysteresis(&noisy_rcv, vmid, victim_edge, hyst)?;
+        let t_out_clean = settle_crossing_hysteresis(&noiseless_out, vmid, out_edge, hyst)?;
+        let t_out_noisy = settle_crossing_hysteresis(&noisy_out, vmid, out_edge, hyst)?;
+        let t_launch = cfg.victim_input_start + 0.5 * spec.victim.driver_input_ramp;
+
+        Ok(NetReport {
+            id: spec.id,
+            victim_edge,
+            ceff: models.victim.ceff,
+            rth: models.victim.thevenin.rth,
+            holding_r: lin.victim_holding_r,
+            rounds,
+            noiseless_drv: noiseless.at_victim_drv,
+            noiseless_rcv: noiseless.at_victim_rcv,
+            noisy_rcv,
+            noiseless_out,
+            noisy_out,
+            pulses: report_pulses,
+            composite: Some(composite.pulse),
+            peak_time,
+            agg_input_starts,
+            delay_noise_rcv_in: t_in_noisy - t_in_clean,
+            delay_noise_rcv_out: t_out_noisy - t_out_clean,
+            base_delay_out: t_out_clean - t_launch,
+            victim_slew_rcv,
+        })
+    }
+
+    /// Builds the alignment context shared by all strategies. The composite
+    /// is patched in by the caller.
+    fn context<'a>(
+        &'a self,
+        spec: &'a CoupledNetSpec,
+        noiseless_rcv: &'a Pwl,
+        victim_edge: Edge,
+        lin: &LinearNetAnalysis<'_>,
+    ) -> AlignmentContext<'a> {
+        // A placeholder composite; callers replace it.
+        static DUMMY: std::sync::OnceLock<NoisePulse> = std::sync::OnceLock::new();
+        let dummy = DUMMY.get_or_init(|| {
+            NoisePulse::triangular(0.0, 1.0, 1e-12, clarinox_waveform::Polarity::Negative)
+                .expect("static pulse")
+        });
+        AlignmentContext {
+            tech: &self.tech,
+            receiver: spec.victim.receiver,
+            receiver_load: spec.victim.receiver_load,
+            noiseless_rcv,
+            victim_edge,
+            composite: dummy,
+            dt: self.config.dt,
+            t_stop: lin.t_stop + 1e-9,
+            hysteresis: self.config.settle_hysteresis_frac * self.tech.vdd,
+        }
+    }
+
+    /// Time shifts placing each pulse's peak at `peak_time`: align every
+    /// pulse's peak to the first pulse's peak (the composite's reference),
+    /// then move the whole composite so its measured peak lands at
+    /// `peak_time`.
+    fn pulse_shifts(
+        &self,
+        composite: &CompositePulse,
+        pulses: &[NoisePulse],
+        peak_time: f64,
+    ) -> Vec<f64> {
+        let d = peak_time - composite.pulse.peak_time;
+        pulses
+            .iter()
+            .map(|p| (pulses[0].peak_time - p.peak_time) + d)
+            .collect()
+    }
+
+    /// Report for a net whose aggressors inject no measurable noise.
+    fn quiet_report(
+        &self,
+        spec: &CoupledNetSpec,
+        models: &NetModels,
+        lin: &LinearNetAnalysis<'_>,
+        noiseless: crate::superposition::DriverSimResult,
+        victim_slew_rcv: f64,
+    ) -> Result<NetReport> {
+        let victim_edge = spec.victim.wire_edge();
+        let out = clarinox_cells::fixture::receiver_response(
+            &self.tech,
+            spec.victim.receiver,
+            &noiseless.at_victim_rcv,
+            spec.victim.receiver_load,
+            lin.t_stop + 1e-9,
+            self.config.dt,
+        )?;
+        let out_edge = if spec.victim.receiver.is_inverting() {
+            victim_edge.opposite()
+        } else {
+            victim_edge
+        };
+        let vmid = self.tech.vmid();
+        let t_out_clean = settle_crossing_hysteresis(
+            &out,
+            vmid,
+            out_edge,
+            self.config.settle_hysteresis_frac * self.tech.vdd,
+        )?;
+        let t_launch =
+            self.config.victim_input_start + 0.5 * spec.victim.driver_input_ramp;
+        Ok(NetReport {
+            id: spec.id,
+            victim_edge,
+            ceff: models.victim.ceff,
+            rth: models.victim.thevenin.rth,
+            holding_r: lin.victim_holding_r,
+            rounds: 1,
+            noiseless_drv: noiseless.at_victim_drv,
+            noiseless_rcv: noiseless.at_victim_rcv.clone(),
+            noisy_rcv: noiseless.at_victim_rcv,
+            noiseless_out: out.clone(),
+            noisy_out: out,
+            pulses: vec![None; spec.aggressors.len()],
+            composite: None,
+            peak_time: f64::NAN,
+            agg_input_starts: vec![f64::NAN; spec.aggressors.len()],
+            delay_noise_rcv_in: 0.0,
+            delay_noise_rcv_out: 0.0,
+            base_delay_out: t_out_clean - t_launch,
+            victim_slew_rcv,
+        })
+    }
+}
+
+impl std::fmt::Display for NetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "net {}: extra delay {:.1} ps at receiver output ({:.1} ps at input), \
+             base delay {:.1} ps, R_hold {:.0} Ω (R_th {:.0} Ω)",
+            self.id,
+            self.delay_noise_rcv_out * 1e12,
+            self.delay_noise_rcv_in * 1e12,
+            self.base_delay_out * 1e12,
+            self.holding_r,
+            self.rth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_netgen::spec::{AggressorSpec, NetSpec};
+
+    fn spec(tech: &Tech) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(2.0, tech),
+            driver_input_ramp: 120e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 1.0e-3,
+            segments: 4,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 15e-15,
+        };
+        CoupledNetSpec {
+            id: 3,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: NetSpec {
+                    driver: Gate::inv(8.0, tech),
+                    driver_input_edge: Edge::Falling,
+                    ..base
+                },
+                coupling_len: 0.8e-3,
+                coupling_start: 0.1,
+            }],
+        }
+    }
+
+    fn quick_config() -> AnalyzerConfig {
+        AnalyzerConfig {
+            dt: 2e-12,
+            rt_iterations: 1,
+            ceff_iterations: 3,
+            table_char: clarinox_char::alignment::AlignmentCharSpec {
+                coarse_points: 7,
+                refine_tol: 0.05,
+                va_frac_range: (0.1, 0.95),
+            },
+            ..AnalyzerConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_flow_produces_positive_delay_noise() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+        let r = analyzer.analyze(&s).unwrap();
+        assert!(r.has_noise());
+        assert!(
+            r.delay_noise_rcv_out > 1e-12,
+            "expected positive delay noise, got {:e}",
+            r.delay_noise_rcv_out
+        );
+        assert!(r.base_delay_out > 0.0);
+        assert!(r.holding_r > 0.0);
+        assert!(r.to_string().contains("extra delay"));
+    }
+
+    #[test]
+    fn transient_holding_beats_thevenin_noise_estimate() {
+        // The headline Figure 13 effect: the Thevenin holding resistance
+        // underestimates the injected noise relative to the Rt model.
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let thevenin = NoiseAnalyzer::with_config(
+            tech,
+            quick_config().with_driver_model(DriverModelKind::Thevenin),
+        );
+        let rt = NoiseAnalyzer::with_config(tech, quick_config());
+        let r_th = thevenin.analyze(&s).unwrap();
+        let r_rt = rt.analyze(&s).unwrap();
+        assert!(
+            r_rt.holding_r > r_th.holding_r,
+            "rt {} should exceed rth {}",
+            r_rt.holding_r,
+            r_th.holding_r
+        );
+        let h_th = r_th.composite.as_ref().unwrap().height;
+        let h_rt = r_rt.composite.as_ref().unwrap().height;
+        assert!(h_rt > h_th, "pulse heights: rt-model {h_rt} vs thevenin {h_th}");
+    }
+
+    #[test]
+    fn window_constraint_clamps_alignment() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+        let free = analyzer.analyze(&s).unwrap();
+        // Force the peak into a window that ends well before the desired
+        // alignment.
+        let w = TimingWindow::new(0.0, free.peak_time - 50e-12).unwrap();
+        let clamped = analyzer.analyze_windowed(&s, Some(w)).unwrap();
+        assert!(clamped.peak_time <= w.late + 1e-18);
+        assert!(
+            clamped.delay_noise_rcv_out <= free.delay_noise_rcv_out + 2e-12,
+            "clamped {:e} vs free {:e}",
+            clamped.delay_noise_rcv_out,
+            free.delay_noise_rcv_out
+        );
+    }
+
+    #[test]
+    fn alignment_table_is_cached() {
+        let tech = Tech::default_180nm();
+        let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+        let g = Gate::inv(2.0, &tech);
+        let t1 = analyzer.alignment_table(g, Edge::Rising).unwrap();
+        let t2 = analyzer.alignment_table(g, Edge::Rising).unwrap();
+        assert!(Arc::ptr_eq(&t1, &t2));
+    }
+}

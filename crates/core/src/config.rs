@@ -1,0 +1,126 @@
+//! Analyzer configuration.
+
+use clarinox_char::alignment::AlignmentCharSpec;
+
+/// Which linear model holds the victim driver while aggressors inject
+/// noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriverModelKind {
+    /// The classical Thevenin resistance `R_th` (the baseline the paper
+    /// shows underestimating noise by ~48% on average).
+    Thevenin,
+    /// The paper's transient holding resistance `R_t` (Section 2).
+    #[default]
+    TransientHolding,
+}
+
+/// How the composite noise pulse is aligned against the victim transition.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AlignmentObjective {
+    /// Maximize the delay at the receiver *input* (interconnect delay) —
+    /// the \[5\]\[6\] baseline: peak placed where the noiseless transition
+    /// passes `Vdd/2 ± V_p`.
+    ReceiverInput,
+    /// Exhaustive sweep maximizing the receiver *output* delay with a
+    /// non-linear receiver simulation per candidate (the gold alignment).
+    ExhaustiveReceiverOutput {
+        /// Sweep points across the feasible peak-time range.
+        points: usize,
+    },
+    /// The paper's method: predicted from the 8-point pre-characterized
+    /// alignment-voltage table (Section 3.2).
+    #[default]
+    PredictedReceiverOutput,
+}
+
+/// Tunable parameters of the analysis flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzerConfig {
+    /// Linear/non-linear simulation timestep (seconds).
+    pub dt: f64,
+    /// Time at which the victim driver's *input* ramp starts (seconds);
+    /// chosen large enough that worst-case aggressor alignments stay at
+    /// positive times.
+    pub victim_input_start: f64,
+    /// Extra simulated time after the victim input ramp completes
+    /// (seconds).
+    pub settle_time: f64,
+    /// C-effective iteration budget per driver.
+    pub ceff_iterations: usize,
+    /// Transient-holding-resistance refinement rounds (paper: 1–2).
+    pub rt_iterations: usize,
+    /// Victim driver model during aggressor simulation.
+    pub driver_model: DriverModelKind,
+    /// Alignment objective.
+    pub alignment: AlignmentObjective,
+    /// Pulse-width axis of alignment pre-characterization (seconds).
+    pub table_width_axis: [f64; 2],
+    /// Pulse-height axis of alignment pre-characterization (volts).
+    pub table_height_axis: [f64; 2],
+    /// Victim-slew axis of alignment pre-characterization (seconds).
+    pub table_slew_axis: [f64; 2],
+    /// Minimum receiver load used for alignment characterization (farads).
+    pub table_min_load: f64,
+    /// Search knobs of the alignment characterization.
+    pub table_char: AlignmentCharSpec,
+    /// Settle-measurement hysteresis as a fraction of Vdd: output
+    /// re-crossings whose excursion stays within this band are treated as
+    /// sub-threshold glitches, not delay (the paper's ~100 mV remark).
+    pub settle_hysteresis_frac: f64,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            dt: 1e-12,
+            victim_input_start: 1.5e-9,
+            settle_time: 3e-9,
+            ceff_iterations: 5,
+            rt_iterations: 2,
+            driver_model: DriverModelKind::TransientHolding,
+            alignment: AlignmentObjective::PredictedReceiverOutput,
+            table_width_axis: [60e-12, 600e-12],
+            table_height_axis: [0.25, 0.85],
+            table_slew_axis: [80e-12, 1.6e-9],
+            table_min_load: 4e-15,
+            table_char: AlignmentCharSpec::default(),
+            settle_hysteresis_frac: 0.05,
+        }
+    }
+}
+
+impl AnalyzerConfig {
+    /// Same config with a different driver model.
+    pub fn with_driver_model(mut self, kind: DriverModelKind) -> Self {
+        self.driver_model = kind;
+        self
+    }
+
+    /// Same config with a different alignment objective.
+    pub fn with_alignment(mut self, alignment: AlignmentObjective) -> Self {
+        self.alignment = alignment;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_the_paper_flow() {
+        let c = AnalyzerConfig::default();
+        assert_eq!(c.driver_model, DriverModelKind::TransientHolding);
+        assert_eq!(c.alignment, AlignmentObjective::PredictedReceiverOutput);
+        assert!(c.rt_iterations >= 1 && c.rt_iterations <= 2);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = AnalyzerConfig::default()
+            .with_driver_model(DriverModelKind::Thevenin)
+            .with_alignment(AlignmentObjective::ReceiverInput);
+        assert_eq!(c.driver_model, DriverModelKind::Thevenin);
+        assert_eq!(c.alignment, AlignmentObjective::ReceiverInput);
+    }
+}

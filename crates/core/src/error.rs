@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Error type of the noise-analysis engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Analysis-level invariant violation (no aggressors, degenerate
+    /// waveform, ...).
+    Analysis {
+        /// Description of the problem.
+        context: String,
+    },
+    /// Pre-characterization failure.
+    Char(clarinox_char::CharError),
+    /// Linear simulation failure.
+    Circuit(clarinox_circuit::CircuitError),
+    /// Non-linear simulation failure.
+    Spice(clarinox_spice::SpiceError),
+    /// Cell expansion failure.
+    Cells(clarinox_cells::CellsError),
+    /// Waveform measurement failure.
+    Waveform(clarinox_waveform::WaveformError),
+    /// Workload/topology failure.
+    Netgen(clarinox_netgen::NetgenError),
+    /// Model-order-reduction failure.
+    Mor(clarinox_mor::MorError),
+    /// Numeric failure.
+    Numeric(clarinox_numeric::NumericError),
+    /// Timing-analysis failure.
+    Sta(clarinox_sta::StaError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Analysis { context } => write!(f, "analysis failure: {context}"),
+            CoreError::Char(e) => write!(f, "characterization: {e}"),
+            CoreError::Circuit(e) => write!(f, "circuit: {e}"),
+            CoreError::Spice(e) => write!(f, "spice: {e}"),
+            CoreError::Cells(e) => write!(f, "cells: {e}"),
+            CoreError::Waveform(e) => write!(f, "waveform: {e}"),
+            CoreError::Netgen(e) => write!(f, "netgen: {e}"),
+            CoreError::Mor(e) => write!(f, "mor: {e}"),
+            CoreError::Numeric(e) => write!(f, "numeric: {e}"),
+            CoreError::Sta(e) => write!(f, "sta: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Analysis { .. } => None,
+            CoreError::Char(e) => Some(e),
+            CoreError::Circuit(e) => Some(e),
+            CoreError::Spice(e) => Some(e),
+            CoreError::Cells(e) => Some(e),
+            CoreError::Waveform(e) => Some(e),
+            CoreError::Netgen(e) => Some(e),
+            CoreError::Mor(e) => Some(e),
+            CoreError::Numeric(e) => Some(e),
+            CoreError::Sta(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! from_impl {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for CoreError {
+            fn from(e: $ty) -> Self {
+                CoreError::$variant(e)
+            }
+        }
+    };
+}
+
+from_impl!(Char, clarinox_char::CharError);
+from_impl!(Circuit, clarinox_circuit::CircuitError);
+from_impl!(Spice, clarinox_spice::SpiceError);
+from_impl!(Cells, clarinox_cells::CellsError);
+from_impl!(Waveform, clarinox_waveform::WaveformError);
+from_impl!(Netgen, clarinox_netgen::NetgenError);
+from_impl!(Mor, clarinox_mor::MorError);
+from_impl!(Numeric, clarinox_numeric::NumericError);
+from_impl!(Sta, clarinox_sta::StaError);
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::Analysis`].
+    pub fn analysis(context: impl Into<String>) -> Self {
+        CoreError::Analysis {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::analysis("no aggressors");
+        assert!(e.to_string().contains("no aggressors"));
+        assert!(e.source().is_none());
+        let c = CoreError::from(clarinox_numeric::NumericError::invalid("x"));
+        assert!(c.source().is_some());
+    }
+}

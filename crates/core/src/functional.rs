@@ -1,0 +1,273 @@
+//! Functional noise analysis: glitches on *quiet* victims.
+//!
+//! The paper's companion failure mode (Section 1): "if the victim net is
+//! stable when the aggressors switch, the resulting noise pulse can cause a
+//! functional failure." ClariNet checks both; this module supplies the
+//! functional half using the same superposition machinery and driver
+//! models as the delay-noise flow:
+//!
+//! * the quiet victim is held through its holding resistance (`R_th`, or
+//!   the transient value near a recent transition),
+//! * each aggressor injects its pulse; peaks-aligned superposition gives
+//!   the worst composite glitch at the receiver input,
+//! * the glitch is propagated through the non-linear receiver, and the
+//!   *receiver output* deviation is compared against a noise margin — the
+//!   paper's Figure 3 aside (an input glitch whose output response stays
+//!   under ~100 mV "does not constitute a functional noise failure").
+
+use crate::config::AnalyzerConfig;
+use crate::models::NetModels;
+use crate::superposition::LinearNetAnalysis;
+use crate::{CoreError, Result};
+use clarinox_cells::fixture::receiver_response;
+use clarinox_cells::Tech;
+use clarinox_netgen::spec::CoupledNetSpec;
+use clarinox_waveform::measure::Edge;
+use clarinox_waveform::{CompositePulse, NoisePulse, Pwl};
+
+/// Quiet level of the victim during a functional-noise check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuietState {
+    /// Victim held low (vulnerable to positive glitches).
+    Low,
+    /// Victim held high (vulnerable to negative glitches).
+    High,
+}
+
+impl QuietState {
+    /// The aggressor output edge that injects *toward* the opposite rail.
+    pub fn dangerous_aggressor_edge(self) -> Edge {
+        match self {
+            QuietState::Low => Edge::Rising,
+            QuietState::High => Edge::Falling,
+        }
+    }
+
+    /// The rail voltage of the quiet state.
+    pub fn level(self, tech: &Tech) -> f64 {
+        match self {
+            QuietState::Low => 0.0,
+            QuietState::High => tech.vdd,
+        }
+    }
+}
+
+/// Result of a functional-noise check on one net.
+#[derive(Debug, Clone)]
+pub struct FunctionalNoiseReport {
+    /// Net id.
+    pub id: usize,
+    /// Checked quiet state.
+    pub state: QuietState,
+    /// Per-aggressor glitches at the receiver input (deviation from the
+    /// quiet level; `None` when below threshold).
+    pub pulses: Vec<Option<NoisePulse>>,
+    /// Composite glitch height at the receiver input (volts).
+    pub glitch_in: f64,
+    /// Peak deviation of the receiver *output* from its quiet level
+    /// (volts) — the failure criterion.
+    pub glitch_out: f64,
+    /// Noise margin used (volts).
+    pub margin: f64,
+    /// Receiver-output waveform under the composite glitch.
+    pub output: Pwl,
+}
+
+impl FunctionalNoiseReport {
+    /// Whether the glitch violates the margin at the receiver output.
+    pub fn fails(&self) -> bool {
+        self.glitch_out > self.margin
+    }
+}
+
+impl std::fmt::Display for FunctionalNoiseReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "net {} ({:?} victim): glitch {:.0} mV at input, {:.0} mV at output \
+             (margin {:.0} mV) -> {}",
+            self.id,
+            self.state,
+            self.glitch_in * 1e3,
+            self.glitch_out * 1e3,
+            self.margin * 1e3,
+            if self.fails() { "FAIL" } else { "pass" }
+        )
+    }
+}
+
+/// Minimum pulse height considered (volts).
+const MIN_PULSE: f64 = 1e-3;
+
+/// Runs the functional-noise check on one net with the victim quiet in
+/// `state`. `margin` is the allowed receiver-output deviation (e.g. 10% of
+/// Vdd).
+///
+/// Only aggressors whose output switches *toward the opposite rail* of the
+/// quiet state are simulated (the dangerous direction); the others cannot
+/// push the victim off its rail further.
+///
+/// # Errors
+///
+/// Characterization or simulation failures.
+pub fn check_functional_noise(
+    tech: &Tech,
+    spec: &CoupledNetSpec,
+    state: QuietState,
+    margin: f64,
+    config: &AnalyzerConfig,
+) -> Result<FunctionalNoiseReport> {
+    if !(margin > 0.0) {
+        return Err(CoreError::analysis("noise margin must be positive"));
+    }
+    let models = NetModels::characterize(tech, spec, config.ceff_iterations)?;
+    let lin = LinearNetAnalysis::new(tech, spec, &models, config)?;
+    let dangerous = state.dangerous_aggressor_edge();
+
+    let mut pulses: Vec<Option<NoisePulse>> = Vec::new();
+    let mut valid: Vec<NoisePulse> = Vec::new();
+    for i in 0..spec.aggressors.len() {
+        if spec.aggressors[i].net.wire_edge() != dangerous {
+            pulses.push(None);
+            continue;
+        }
+        let noise = lin.aggressor_noise(i, 0.6e-9)?;
+        let pulse = NoisePulse::from_waveform(noise.at_victim_rcv)
+            .ok()
+            .filter(|p| p.height >= MIN_PULSE);
+        if let Some(p) = &pulse {
+            valid.push(p.clone());
+        }
+        pulses.push(pulse);
+    }
+
+    let quiet_level = state.level(tech);
+    let (glitch_in, input_wave) = if valid.is_empty() {
+        (0.0, Pwl::constant(quiet_level))
+    } else {
+        let comp = CompositePulse::peaks_aligned(&valid)?;
+        let wave = comp.pulse.wave.offset(quiet_level);
+        (comp.pulse.height, wave)
+    };
+
+    // Propagate through the non-linear receiver and measure the output
+    // deviation from its quiet response.
+    let t_stop = input_wave.t_end().max(1e-9) + 2e-9;
+    let out = receiver_response(
+        tech,
+        spec.victim.receiver,
+        &input_wave,
+        spec.victim.receiver_load,
+        t_stop,
+        config.dt,
+    )?;
+    let quiet_out = receiver_response(
+        tech,
+        spec.victim.receiver,
+        &Pwl::constant(quiet_level),
+        spec.victim.receiver_load,
+        t_stop,
+        config.dt,
+    )?;
+    let glitch_out = out.sub(&quiet_out).extremum_point().1.abs();
+
+    Ok(FunctionalNoiseReport {
+        id: spec.id,
+        state,
+        pulses,
+        glitch_in,
+        glitch_out,
+        margin,
+        output: out,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_cells::Gate;
+    use clarinox_netgen::spec::{AggressorSpec, NetSpec};
+
+    fn spec(tech: &Tech, agg_strength: f64) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(1.0, tech),
+            driver_input_ramp: 150e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 1.2e-3,
+            segments: 4,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 8e-15,
+        };
+        CoupledNetSpec {
+            id: 9,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: NetSpec {
+                    driver: Gate::inv(agg_strength, tech),
+                    // Falling input -> rising output: dangerous for a LOW
+                    // victim.
+                    driver_input_edge: Edge::Falling,
+                    ..base
+                },
+                coupling_len: 1.1e-3,
+                coupling_start: 0.05,
+            }],
+        }
+    }
+
+    fn cfg() -> AnalyzerConfig {
+        AnalyzerConfig {
+            dt: 2e-12,
+            ceff_iterations: 3,
+            ..AnalyzerConfig::default()
+        }
+    }
+
+    #[test]
+    fn strong_aggressor_produces_bigger_glitch() {
+        let tech = Tech::default_180nm();
+        let weak = check_functional_noise(&tech, &spec(&tech, 2.0), QuietState::Low, 0.18, &cfg())
+            .unwrap();
+        let strong =
+            check_functional_noise(&tech, &spec(&tech, 8.0), QuietState::Low, 0.18, &cfg())
+                .unwrap();
+        assert!(strong.glitch_in > weak.glitch_in);
+        assert!(strong.glitch_in > 0.05);
+        assert!(strong.to_string().contains("mV"));
+    }
+
+    #[test]
+    fn wrong_direction_aggressor_is_filtered() {
+        // A rising-output aggressor cannot glitch a HIGH victim upward.
+        let tech = Tech::default_180nm();
+        let r = check_functional_noise(&tech, &spec(&tech, 8.0), QuietState::High, 0.18, &cfg())
+            .unwrap();
+        assert_eq!(r.glitch_in, 0.0);
+        assert!(!r.fails());
+        assert!(r.pulses.iter().all(|p| p.is_none()));
+    }
+
+    #[test]
+    fn receiver_filters_input_glitch() {
+        // The output criterion is more forgiving than the input one —
+        // exactly the paper's Figure 3 remark.
+        let tech = Tech::default_180nm();
+        let r = check_functional_noise(&tech, &spec(&tech, 8.0), QuietState::Low, 0.18, &cfg())
+            .unwrap();
+        assert!(
+            r.glitch_out < r.glitch_in,
+            "receiver must attenuate: in {} out {}",
+            r.glitch_in,
+            r.glitch_out
+        );
+    }
+
+    #[test]
+    fn margin_validation() {
+        let tech = Tech::default_180nm();
+        assert!(
+            check_functional_noise(&tech, &spec(&tech, 2.0), QuietState::Low, 0.0, &cfg())
+                .is_err()
+        );
+    }
+}

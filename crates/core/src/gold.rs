@@ -1,0 +1,321 @@
+//! Gold reference: transistor-level simulation of the full coupled circuit.
+//!
+//! Every driver and receiver of the coupled group is instantiated as real
+//! MOSFETs on the shared RC skeleton and solved with the non-linear engine
+//! — the "Spice simulation of the full non-linear circuit" the paper's
+//! Figure 13 plots on its x-axis. Aggressor switching times are inputs, so
+//! any alignment computed by the linear flow can be replayed exactly.
+
+use crate::Result;
+use clarinox_cells::{GatePins, Tech};
+use clarinox_circuit::netlist::{Circuit, SourceWave};
+use clarinox_circuit::transient::TransientSpec;
+use clarinox_netgen::spec::CoupledNetSpec;
+use clarinox_netgen::topology::{build_topology_with, NetRef};
+use clarinox_spice::NonlinearCircuit;
+use clarinox_waveform::measure::Edge;
+use clarinox_waveform::Pwl;
+
+/// Waveforms from one gold simulation.
+#[derive(Debug, Clone)]
+pub struct GoldResult {
+    /// Victim driver output.
+    pub drv_out: Pwl,
+    /// Victim receiver input.
+    pub rcv_in: Pwl,
+    /// Victim receiver output.
+    pub rcv_out: Pwl,
+}
+
+/// Per-aggressor switching control for a gold run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggressorDrive {
+    /// The aggressor's input ramp starts at the given time (seconds).
+    SwitchAt(f64),
+    /// The aggressor holds its quiet level (its driver still loads and
+    /// holds the line — the real-transistor version of a holding
+    /// resistance).
+    Quiet,
+}
+
+/// Runs the full non-linear coupled simulation.
+///
+/// `victim_input_start` places the victim's input ramp; `aggressors[i]`
+/// controls aggressor `i`. Receiver gates are instantiated (with their
+/// configured output loads), so receiver-output delays come from real
+/// transistor behaviour.
+///
+/// # Errors
+///
+/// Topology, cell-expansion or Newton-convergence failures.
+pub fn gold_simulate(
+    tech: &Tech,
+    spec: &CoupledNetSpec,
+    victim_input_start: f64,
+    aggressors: &[AggressorDrive],
+    t_stop: f64,
+    dt: f64,
+) -> Result<GoldResult> {
+    // Receiver pins come from real gates here, not lumped caps.
+    let topo = build_topology_with(tech, spec, false)?;
+    let mut ckt = topo.circuit.clone();
+    let gnd = Circuit::ground();
+    let vdd = ckt.node("vdd");
+    ckt.add_vsource(vdd, gnd, SourceWave::Dc(tech.vdd))?;
+
+    // Input sources for every driver.
+    let mut inputs: Vec<(NetRef, clarinox_circuit::netlist::NodeId)> = Vec::new();
+    let victim_in = ckt.node("v_in");
+    ckt.add_vsource(
+        victim_in,
+        gnd,
+        SourceWave::Pwl(input_ramp(
+            tech,
+            spec.victim.driver_input_edge,
+            victim_input_start,
+            spec.victim.driver_input_ramp,
+        )),
+    )?;
+    inputs.push((NetRef::Victim, victim_in));
+    for (i, agg) in spec.aggressors.iter().enumerate() {
+        let node = ckt.node(&format!("a{i}_in"));
+        let wave = match aggressors.get(i).copied().unwrap_or(AggressorDrive::Quiet) {
+            AggressorDrive::SwitchAt(t) => {
+                SourceWave::Pwl(input_ramp(tech, agg.net.driver_input_edge, t, agg.net.driver_input_ramp))
+            }
+            AggressorDrive::Quiet => {
+                // Hold the pre-transition input level.
+                let quiet = match agg.net.driver_input_edge {
+                    Edge::Rising => 0.0,
+                    Edge::Falling => tech.vdd,
+                };
+                SourceWave::Dc(quiet)
+            }
+        };
+        ckt.add_vsource(node, gnd, wave)?;
+        inputs.push((NetRef::Aggressor(i), node));
+    }
+
+    let mut nl = NonlinearCircuit::new(ckt);
+    let vdd_node = nl.linear().find_node("vdd").expect("vdd exists");
+    // Drivers.
+    for (which, input) in &inputs {
+        let gate = crate::models::net_of(spec, *which).driver;
+        let output = topo.driver_port(*which);
+        gate.instantiate(
+            tech,
+            &mut nl,
+            GatePins {
+                input: *input,
+                output,
+                vdd: vdd_node,
+            },
+        )?;
+    }
+    // Receivers with their output loads.
+    let victim_rcv_out = {
+        let out = nl.linear_mut().node("v_rcv_out");
+        nl.linear_mut()
+            .add_capacitor(out, gnd, spec.victim.receiver_load)?;
+        spec.victim.receiver.instantiate(
+            tech,
+            &mut nl,
+            GatePins {
+                input: topo.victim_rcv,
+                output: out,
+                vdd: vdd_node,
+            },
+        )?;
+        out
+    };
+    for (i, agg) in spec.aggressors.iter().enumerate() {
+        let out = nl.linear_mut().node(&format!("a{i}_rcv_out"));
+        nl.linear_mut()
+            .add_capacitor(out, gnd, agg.net.receiver_load)?;
+        agg.net.receiver.instantiate(
+            tech,
+            &mut nl,
+            GatePins {
+                input: topo.agg_rcv[i],
+                output: out,
+                vdd: vdd_node,
+            },
+        )?;
+    }
+
+    let res = nl.simulate(&TransientSpec::new(t_stop, dt)?)?;
+    Ok(GoldResult {
+        drv_out: res.voltage(topo.victim_drv)?,
+        rcv_in: res.voltage(topo.victim_rcv)?,
+        rcv_out: res.voltage(victim_rcv_out)?,
+    })
+}
+
+/// Saturated-ramp input waveform for a driver.
+fn input_ramp(tech: &Tech, edge: Edge, start: f64, ramp: f64) -> Pwl {
+    let (v0, v1) = match edge {
+        Edge::Rising => (0.0, tech.vdd),
+        Edge::Falling => (tech.vdd, 0.0),
+    };
+    Pwl::ramp(start, ramp, v0, v1).expect("positive ramp")
+}
+
+/// Extra delay at the victim receiver output between a noisy run and a
+/// quiet run (all aggressors held), in seconds.
+///
+/// # Errors
+///
+/// Simulation or measurement failures.
+pub fn gold_extra_delay(
+    tech: &Tech,
+    spec: &CoupledNetSpec,
+    victim_input_start: f64,
+    aggressors: &[AggressorDrive],
+    t_stop: f64,
+    dt: f64,
+) -> Result<GoldDelays> {
+    gold_extra_delay_with_hysteresis(tech, spec, victim_input_start, aggressors, t_stop, dt, 0.0)
+}
+
+/// [`gold_extra_delay`] with a settle-measurement hysteresis (volts) —
+/// keep it equal to the analyzer's to compare like with like.
+///
+/// # Errors
+///
+/// Same conditions as [`gold_extra_delay`].
+#[allow(clippy::too_many_arguments)]
+pub fn gold_extra_delay_with_hysteresis(
+    tech: &Tech,
+    spec: &CoupledNetSpec,
+    victim_input_start: f64,
+    aggressors: &[AggressorDrive],
+    t_stop: f64,
+    dt: f64,
+    hysteresis: f64,
+) -> Result<GoldDelays> {
+    use clarinox_waveform::measure::settle_crossing_hysteresis;
+    let quiet_drive = vec![AggressorDrive::Quiet; spec.aggressors.len()];
+    let quiet = gold_simulate(tech, spec, victim_input_start, &quiet_drive, t_stop, dt)?;
+    let noisy = gold_simulate(tech, spec, victim_input_start, aggressors, t_stop, dt)?;
+    let victim_edge = spec.victim.wire_edge();
+    let out_edge = if spec.victim.receiver.is_inverting() {
+        victim_edge.opposite()
+    } else {
+        victim_edge
+    };
+    let vmid = tech.vmid();
+    let t_in_q = settle_crossing_hysteresis(&quiet.rcv_in, vmid, victim_edge, hysteresis)?;
+    let t_in_n = settle_crossing_hysteresis(&noisy.rcv_in, vmid, victim_edge, hysteresis)?;
+    let t_out_q = settle_crossing_hysteresis(&quiet.rcv_out, vmid, out_edge, hysteresis)?;
+    let t_out_n = settle_crossing_hysteresis(&noisy.rcv_out, vmid, out_edge, hysteresis)?;
+    Ok(GoldDelays {
+        extra_rcv_in: t_in_n - t_in_q,
+        extra_rcv_out: t_out_n - t_out_q,
+        quiet,
+        noisy,
+    })
+}
+
+/// Gold extra-delay measurement plus the underlying waveforms.
+#[derive(Debug, Clone)]
+pub struct GoldDelays {
+    /// Extra delay at the receiver input (seconds).
+    pub extra_rcv_in: f64,
+    /// Extra delay at the receiver output (seconds).
+    pub extra_rcv_out: f64,
+    /// The quiet (aggressors held) run.
+    pub quiet: GoldResult,
+    /// The noisy run.
+    pub noisy: GoldResult,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_cells::Gate;
+    use clarinox_netgen::spec::{AggressorSpec, NetSpec};
+
+    fn spec(tech: &Tech) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(2.0, tech),
+            driver_input_ramp: 120e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 0.8e-3,
+            segments: 3,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 15e-15,
+        };
+        CoupledNetSpec {
+            id: 0,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: NetSpec {
+                    driver: Gate::inv(8.0, tech),
+                    driver_input_edge: Edge::Falling,
+                    ..base
+                },
+                coupling_len: 0.6e-3,
+                coupling_start: 0.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn quiet_run_settles_full_swing() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let g = gold_simulate(
+            &tech,
+            &s,
+            1.0e-9,
+            &[AggressorDrive::Quiet],
+            5e-9,
+            2e-12,
+        )
+        .unwrap();
+        // Victim input rising -> wire falls -> receiver output rises.
+        assert!(g.rcv_in.value(0.0) > tech.vdd - 0.05);
+        assert!(g.rcv_in.v_end() < 0.05);
+        assert!(g.rcv_out.v_end() > tech.vdd - 0.05);
+    }
+
+    #[test]
+    fn coincident_aggressor_adds_delay() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let d = gold_extra_delay(
+            &tech,
+            &s,
+            1.0e-9,
+            &[AggressorDrive::SwitchAt(1.05e-9)],
+            6e-9,
+            2e-12,
+        )
+        .unwrap();
+        assert!(
+            d.extra_rcv_out > 1e-12,
+            "expected positive gold extra delay, got {:e}",
+            d.extra_rcv_out
+        );
+    }
+
+    #[test]
+    fn far_away_aggressor_adds_nothing() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let d = gold_extra_delay(
+            &tech,
+            &s,
+            1.0e-9,
+            &[AggressorDrive::SwitchAt(4.5e-9)],
+            7e-9,
+            2e-12,
+        )
+        .unwrap();
+        assert!(
+            d.extra_rcv_out.abs() < 2e-12,
+            "late aggressor should not delay the victim, got {:e}",
+            d.extra_rcv_out
+        );
+    }
+}

@@ -1,0 +1,74 @@
+// `!(x > 0.0)`-style guards are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which matters for user-supplied physical quantities.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! Crosstalk delay-noise analysis: driver modeling and worst-case
+//! aggressor alignment.
+//!
+//! This crate is the reproduction of *"Driver Modeling and Alignment for
+//! Worst-Case Delay Noise"* (Sirichotiyakul, Blaauw, Oh, Levy, Zolotov,
+//! Zuo — DAC 2001): the analysis engine of the ClariNet-class noise tool
+//! the paper describes, built on the workspace substrates.
+//!
+//! The flow, per coupled net (victim + aggressors):
+//!
+//! 1. **Linear driver models** ([`models`]): C-effective iteration and
+//!    Thevenin fitting per driver (`clarinox-char`).
+//! 2. **Superposition analysis** ([`superposition`], paper Fig. 1): each
+//!    driver simulated in turn on the RC skeleton with the others shorted
+//!    through holding resistances; victim noiseless transition + one noise
+//!    pulse per aggressor, combined at the receiver input.
+//! 3. **Transient holding resistance** ([`holding`], paper Sec. 2): the
+//!    victim's holding resistance is corrected from `R_th` to `R_t` by
+//!    area-matching the noise response of the *non-linear* victim driver
+//!    under the injected noise current.
+//! 4. **Worst-case alignment** ([`alignment`], paper Sec. 3): aggressor
+//!    pulses peak-aligned into a composite, and the composite aligned
+//!    against the victim transition — by the receiver-input baseline
+//!    \[5\]\[6\], by exhaustive receiver-output search, or by the paper's
+//!    8-point pre-characterized prediction.
+//! 5. **Reporting** ([`analysis`]): delay noise at receiver input and
+//!    output, against the noiseless baseline.
+//!
+//! A transistor-level **gold reference** of the entire coupled circuit
+//! ([`gold`]) validates every model, and [`design`] closes the loop with
+//! static timing windows (`clarinox-sta`).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use clarinox_cells::Tech;
+//! use clarinox_core::analysis::NoiseAnalyzer;
+//! use clarinox_netgen::generate::{generate_block, BlockConfig};
+//!
+//! # fn main() -> Result<(), clarinox_core::CoreError> {
+//! let tech = Tech::default_180nm();
+//! let nets = generate_block(&tech, &BlockConfig::default().with_nets(1), 7);
+//! let analyzer = NoiseAnalyzer::new(tech);
+//! let report = analyzer.analyze(&nets[0])?;
+//! println!(
+//!     "extra delay at receiver output: {:.1} ps",
+//!     report.delay_noise_rcv_out * 1e12
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod alignment;
+pub mod analysis;
+pub mod config;
+pub mod design;
+pub mod functional;
+pub mod gold;
+pub mod holding;
+pub mod models;
+pub mod superposition;
+
+mod error;
+
+pub use analysis::{NetReport, NoiseAnalyzer};
+pub use config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
+pub use error::CoreError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,186 @@
+//! Per-net linear driver models: C-effective + Thevenin for every driver.
+
+use crate::{CoreError, Result};
+use clarinox_cells::Tech;
+use clarinox_char::ceff::effective_capacitance;
+use clarinox_char::thevenin::{fit_thevenin, TheveninModel};
+use clarinox_netgen::spec::{CoupledNetSpec, NetSpec};
+use clarinox_netgen::topology::{load_network_for, NetRef};
+
+/// The characterization fixture starts its input ramp at this offset
+/// (`DriveFixture::new` convention); Thevenin `t0` values are re-based so
+/// that "the driver input ramp starts at t = 0".
+const FIXTURE_INPUT_START: f64 = 0.2e-9;
+
+/// Linear model of one driver: its effective load and the Thevenin fit at
+/// that load, with `t0` measured from the driver's *input ramp start*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverModel {
+    /// Effective load capacitance (farads).
+    pub ceff: f64,
+    /// Thevenin model, `t0` relative to the input ramp start.
+    pub thevenin: TheveninModel,
+}
+
+impl DriverModel {
+    /// Characterizes the driver of `net` against its load as seen within
+    /// `spec` (coupling capacitance grounded).
+    ///
+    /// # Errors
+    ///
+    /// Propagates C-effective and Thevenin-fit failures.
+    pub fn characterize(
+        tech: &Tech,
+        spec: &CoupledNetSpec,
+        which: NetRef,
+        ceff_iterations: usize,
+    ) -> Result<Self> {
+        let net = net_of(spec, which);
+        let load = load_network_for(tech, spec, which)?;
+        let res = effective_capacitance(
+            |c| fit_thevenin(tech, net.driver, net.driver_input_edge, net.driver_input_ramp, c),
+            &load,
+            ceff_iterations,
+        )?;
+        // Re-base t0 to the input-ramp start.
+        let thevenin = res.model.shifted(-FIXTURE_INPUT_START);
+        Ok(DriverModel {
+            ceff: res.ceff,
+            thevenin,
+        })
+    }
+
+    /// The Thevenin model positioned so the driver's input ramp starts at
+    /// `input_start` (absolute analysis time).
+    pub fn at_input_start(&self, input_start: f64) -> TheveninModel {
+        self.thevenin.shifted(input_start)
+    }
+}
+
+/// All linear driver models of a coupled net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetModels {
+    /// Victim driver model.
+    pub victim: DriverModel,
+    /// Aggressor driver models, in spec order.
+    pub aggressors: Vec<DriverModel>,
+}
+
+impl NetModels {
+    /// Characterizes every driver of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-driver characterization failures.
+    pub fn characterize(tech: &Tech, spec: &CoupledNetSpec, ceff_iterations: usize) -> Result<Self> {
+        let victim = DriverModel::characterize(tech, spec, NetRef::Victim, ceff_iterations)?;
+        let aggressors = (0..spec.aggressors.len())
+            .map(|i| DriverModel::characterize(tech, spec, NetRef::Aggressor(i), ceff_iterations))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(NetModels { victim, aggressors })
+    }
+
+    /// Model of the given net.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Analysis`] for an out-of-range aggressor index.
+    pub fn model_of(&self, which: NetRef) -> Result<&DriverModel> {
+        match which {
+            NetRef::Victim => Ok(&self.victim),
+            NetRef::Aggressor(i) => self.aggressors.get(i).ok_or_else(|| {
+                CoreError::analysis(format!("aggressor index {i} out of range"))
+            }),
+        }
+    }
+}
+
+/// The [`NetSpec`] of the given net within a coupled spec.
+pub fn net_of(spec: &CoupledNetSpec, which: NetRef) -> &NetSpec {
+    match which {
+        NetRef::Victim => &spec.victim,
+        NetRef::Aggressor(i) => &spec.aggressors[i].net,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_cells::Gate;
+    use clarinox_netgen::spec::AggressorSpec;
+    use clarinox_waveform::measure::Edge;
+
+    fn spec(tech: &Tech) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(4.0, tech),
+            driver_input_ramp: 100e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 0.8e-3,
+            segments: 4,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 20e-15,
+        };
+        CoupledNetSpec {
+            id: 0,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: NetSpec {
+                    driver_input_edge: Edge::Falling,
+                    ..base
+                },
+                coupling_len: 0.6e-3,
+                coupling_start: 0.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn characterization_produces_physical_models() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let models = NetModels::characterize(&tech, &s, 4).unwrap();
+        // Ceff below total load (shielding) but positive.
+        let total = s.victim.wire_capacitance(&tech)
+            + s.victim.receiver.input_cap(&tech)
+            + s.aggressors[0].coupling_cap(&tech);
+        assert!(models.victim.ceff > 0.2 * total);
+        assert!(models.victim.ceff <= total + 1e-20);
+        assert!(models.victim.thevenin.rth > 10.0);
+        // Victim input rising -> inverter output falling.
+        assert_eq!(models.victim.thevenin.edge(), Edge::Falling);
+        assert_eq!(models.aggressors[0].thevenin.edge(), Edge::Rising);
+    }
+
+    #[test]
+    fn t0_is_rebased_to_input_start() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let m = DriverModel::characterize(&tech, &s, NetRef::Victim, 3).unwrap();
+        // Output ramp starts within ~a gate delay of the input start.
+        assert!(m.thevenin.t0 > -50e-12, "t0 = {:e}", m.thevenin.t0);
+        assert!(m.thevenin.t0 < 0.5e-9, "t0 = {:e}", m.thevenin.t0);
+        let placed = m.at_input_start(2e-9);
+        assert!((placed.t0 - (m.thevenin.t0 + 2e-9)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn net_of_selects_the_right_spec() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        assert_eq!(net_of(&s, NetRef::Victim).driver_input_edge, Edge::Rising);
+        assert_eq!(
+            net_of(&s, NetRef::Aggressor(0)).driver_input_edge,
+            Edge::Falling
+        );
+    }
+
+    #[test]
+    fn model_of_validates_index() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let models = NetModels::characterize(&tech, &s, 3).unwrap();
+        assert!(models.model_of(NetRef::Victim).is_ok());
+        assert!(models.model_of(NetRef::Aggressor(0)).is_ok());
+        assert!(models.model_of(NetRef::Aggressor(5)).is_err());
+    }
+}

@@ -1,0 +1,385 @@
+//! Linear superposition analysis of a coupled net (paper Figure 1).
+//!
+//! Each driver is simulated in turn on the shared RC skeleton: the active
+//! driver contributes its Thevenin ramp behind `R_th`; every other driver
+//! is "shorted" — its source grounded, its holding resistance left in
+//! place. The victim's holding resistance is a parameter: `R_th` for the
+//! traditional flow, the transient holding resistance `R_t` after the
+//! Section-2 correction. Waveforms at the victim's driver output and
+//! receiver input are recorded; the noisy waveform is their superposition.
+//!
+//! A PRIMA-reduced variant ([`ReducedNetAnalysis`]) produces the same
+//! waveforms from a macromodel built once, demonstrating the reuse the
+//! paper's flow is designed around.
+
+use crate::config::AnalyzerConfig;
+use crate::models::NetModels;
+use crate::Result;
+use clarinox_cells::Tech;
+use clarinox_circuit::netlist::{Circuit, SourceWave};
+use clarinox_circuit::transient::{simulate, TransientSpec};
+use clarinox_mor::{RcPorts, ReducedModel};
+use clarinox_netgen::spec::CoupledNetSpec;
+use clarinox_netgen::topology::{build_topology, NetRef, NetTopology};
+use clarinox_waveform::Pwl;
+
+/// Waveforms observed on the victim during one single-driver simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverSimResult {
+    /// Voltage at the victim driver output.
+    pub at_victim_drv: Pwl,
+    /// Voltage at the victim receiver input.
+    pub at_victim_rcv: Pwl,
+}
+
+/// Linear analysis of one coupled net with fixed driver models.
+#[derive(Debug, Clone)]
+pub struct LinearNetAnalysis<'a> {
+    spec: &'a CoupledNetSpec,
+    models: &'a NetModels,
+    topo: NetTopology,
+    /// Holding resistance used for the victim driver when it is shorted.
+    pub victim_holding_r: f64,
+    /// Simulation timestep.
+    pub dt: f64,
+    /// Simulation horizon.
+    pub t_stop: f64,
+}
+
+impl<'a> LinearNetAnalysis<'a> {
+    /// Prepares the analysis; the victim's holding resistance starts as its
+    /// Thevenin `R_th`.
+    ///
+    /// # Errors
+    ///
+    /// Topology-expansion failures.
+    pub fn new(
+        tech: &'a Tech,
+        spec: &'a CoupledNetSpec,
+        models: &'a NetModels,
+        config: &AnalyzerConfig,
+    ) -> Result<Self> {
+        let topo = build_topology(tech, spec)?;
+        let max_ramp = spec
+            .aggressors
+            .iter()
+            .map(|a| a.net.driver_input_ramp)
+            .fold(spec.victim.driver_input_ramp, f64::max);
+        let t_stop = config.victim_input_start + max_ramp + config.settle_time;
+        Ok(LinearNetAnalysis {
+            spec,
+            models,
+            topo,
+            victim_holding_r: models.victim.thevenin.rth,
+            dt: config.dt,
+            t_stop,
+        })
+    }
+
+    /// The expanded topology.
+    pub fn topology(&self) -> &NetTopology {
+        &self.topo
+    }
+
+    /// Holding resistance of the given driver when inactive.
+    fn holding_r(&self, which: NetRef) -> f64 {
+        match which {
+            NetRef::Victim => self.victim_holding_r,
+            NetRef::Aggressor(i) => self.models.aggressors[i].thevenin.rth,
+        }
+    }
+
+    /// All nets of the group, victim first.
+    fn all_nets(&self) -> Vec<NetRef> {
+        let mut v = vec![NetRef::Victim];
+        v.extend((0..self.spec.aggressors.len()).map(NetRef::Aggressor));
+        v
+    }
+
+    /// Simulates the net with exactly `active` switching (its input ramp
+    /// starting at `input_start`); all other drivers are shorted through
+    /// their holding resistances.
+    ///
+    /// # Errors
+    ///
+    /// Linear-simulation failures.
+    pub fn simulate_driver(&self, active: NetRef, input_start: f64) -> Result<DriverSimResult> {
+        let mut ckt = self.topo.circuit.clone();
+        let gnd = Circuit::ground();
+        for which in self.all_nets() {
+            let port = self.topo.driver_port(which);
+            if which == active {
+                let model = self.models.model_of(which)?.at_input_start(input_start);
+                let src = ckt.fresh_node();
+                ckt.add_vsource(src, gnd, SourceWave::Pwl(model.source_wave()))?;
+                ckt.add_resistor(src, port, model.rth)?;
+            } else {
+                ckt.add_resistor(port, gnd, self.holding_r(which))?;
+            }
+        }
+        let res = simulate(&ckt, &TransientSpec::new(self.t_stop, self.dt)?)?;
+        Ok(DriverSimResult {
+            at_victim_drv: res.voltage(self.topo.victim_drv)?,
+            at_victim_rcv: res.voltage(self.topo.victim_rcv)?,
+        })
+    }
+
+    /// The noiseless victim transition (victim active at
+    /// `victim_input_start`, aggressors quiet).
+    ///
+    /// # Errors
+    ///
+    /// Linear-simulation failures.
+    pub fn noiseless(&self, victim_input_start: f64) -> Result<DriverSimResult> {
+        self.simulate_driver(NetRef::Victim, victim_input_start)
+    }
+
+    /// Noise injected by aggressor `i` with its input ramp starting at
+    /// `input_start` (victim held through `victim_holding_r`).
+    ///
+    /// The returned waveforms are *deviations* from the victim's quiet
+    /// level; shifting them in time reproduces any other aggressor start
+    /// (the network is LTI).
+    ///
+    /// # Errors
+    ///
+    /// Linear-simulation failures.
+    pub fn aggressor_noise(&self, i: usize, input_start: f64) -> Result<DriverSimResult> {
+        self.simulate_driver(NetRef::Aggressor(i), input_start)
+    }
+
+    /// Builds the PRIMA-reduced twin of this analysis: holding resistances
+    /// folded into the network, drivers as Norton current ports.
+    ///
+    /// # Errors
+    ///
+    /// Reduction failures.
+    pub fn reduced(&self, arnoldi_blocks: usize) -> Result<ReducedNetAnalysis> {
+        let mut ckt = self.topo.circuit.clone();
+        let gnd = Circuit::ground();
+        let mut rths = Vec::new();
+        for which in self.all_nets() {
+            let port = self.topo.driver_port(which);
+            // With the driver's own Rth always in place, the active driver's
+            // Thevenin source becomes a Norton current v(t)/Rth and the
+            // inactive drivers are exactly their holding resistances.
+            // The victim's holding R equals the current victim_holding_r;
+            // using it for the active victim too introduces the same
+            // resistance the Thevenin source would see, so the victim
+            // source current is v(t)/victim_holding_r.
+            let r = self.holding_r(which);
+            ckt.add_resistor(port, gnd, r)?;
+            rths.push(r);
+        }
+        let ports = self.topo.all_driver_ports();
+        let rc = RcPorts::from_circuit(&ckt, &ports)?;
+        let rcv_row = rc
+            .node_row(self.topo.victim_rcv)
+            .expect("victim receiver is a real node");
+        let drv_row = rc
+            .node_row(self.topo.victim_drv)
+            .expect("victim driver is a real node");
+        let rom = ReducedModel::reduce(&rc, arnoldi_blocks)?;
+        Ok(ReducedNetAnalysis {
+            rom,
+            rths,
+            rcv_row,
+            drv_row,
+            n_ports: ports.len(),
+            dt: self.dt,
+            t_stop: self.t_stop,
+        })
+    }
+}
+
+/// PRIMA-reduced twin of [`LinearNetAnalysis`]: the macromodel is built
+/// once and replayed for every driver/alignment combination.
+#[derive(Debug, Clone)]
+pub struct ReducedNetAnalysis {
+    rom: ReducedModel,
+    /// Norton resistance per port (victim first).
+    rths: Vec<f64>,
+    rcv_row: usize,
+    drv_row: usize,
+    n_ports: usize,
+    dt: f64,
+    t_stop: f64,
+}
+
+impl ReducedNetAnalysis {
+    /// Reduced order.
+    pub fn order(&self) -> usize {
+        self.rom.order()
+    }
+
+    /// Simulates with one active driver (port index: 0 = victim, `i + 1` =
+    /// aggressor `i`) given the active driver's Thevenin source waveform.
+    ///
+    /// # Errors
+    ///
+    /// Reduced-simulation failures.
+    pub fn simulate_port(&self, port: usize, source: &Pwl) -> Result<DriverSimResult> {
+        // Norton conversion: i(t) = v(t)/R.
+        let inputs: Vec<Pwl> = (0..self.n_ports)
+            .map(|p| {
+                if p == port {
+                    source.scale(1.0 / self.rths[p])
+                } else {
+                    Pwl::constant(0.0)
+                }
+            })
+            .collect();
+        let res = self.rom.simulate(&inputs, self.t_stop, self.dt)?;
+        Ok(DriverSimResult {
+            at_victim_drv: res.node_voltage(self.drv_row)?,
+            at_victim_rcv: res.node_voltage(self.rcv_row)?,
+        })
+    }
+}
+
+/// Superposes the noiseless victim transition with aggressor noise
+/// waveforms shifted by `shifts[i]` seconds.
+pub fn superpose(noiseless: &Pwl, noises: &[Pwl], shifts: &[f64]) -> Pwl {
+    let mut acc = noiseless.clone();
+    for (n, &s) in noises.iter().zip(shifts.iter()) {
+        acc = acc.add(&n.shift(s));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalyzerConfig;
+    use clarinox_cells::Gate;
+    use clarinox_netgen::spec::{AggressorSpec, NetSpec};
+    use clarinox_waveform::measure::{self, Edge};
+
+    fn spec(tech: &Tech) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(4.0, tech),
+            driver_input_ramp: 100e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 1.0e-3,
+            segments: 4,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 20e-15,
+        };
+        CoupledNetSpec {
+            id: 0,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: NetSpec {
+                    driver_input_edge: Edge::Falling,
+                    driver: Gate::inv(8.0, tech),
+                    ..base
+                },
+                coupling_len: 0.8e-3,
+                coupling_start: 0.1,
+            }],
+        }
+    }
+
+    fn setup(tech: &Tech, spec: &CoupledNetSpec) -> (NetModels, AnalyzerConfig) {
+        let models = NetModels::characterize(tech, spec, 3).unwrap();
+        (models, AnalyzerConfig::default())
+    }
+
+    #[test]
+    fn noiseless_transition_reaches_rails() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let (models, cfg) = setup(&tech, &s);
+        let lin = LinearNetAnalysis::new(&tech, &s, &models, &cfg).unwrap();
+        let res = lin.noiseless(cfg.victim_input_start).unwrap();
+        // Victim input rising -> wire falling from vdd to 0.
+        assert!(res.at_victim_rcv.value(0.0) > 0.9 * tech.vdd);
+        assert!(res.at_victim_rcv.v_end() < 0.1 * tech.vdd);
+        let t_drv = measure::cross_falling(&res.at_victim_drv, tech.vmid()).unwrap();
+        let t_rcv = measure::cross_falling(&res.at_victim_rcv, tech.vmid()).unwrap();
+        assert!(t_rcv > t_drv, "interconnect delay must be positive");
+    }
+
+    #[test]
+    fn aggressor_injects_opposing_pulse() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let (models, cfg) = setup(&tech, &s);
+        let lin = LinearNetAnalysis::new(&tech, &s, &models, &cfg).unwrap();
+        let noise = lin.aggressor_noise(0, 0.5e-9).unwrap();
+        // Falling-input aggressor -> rising aggressor output -> positive
+        // pulse on the victim.
+        let (tp, vp) = noise.at_victim_rcv.extremum_point();
+        assert!(vp > 0.02, "pulse height {vp}");
+        assert!(tp > 0.5e-9);
+        // Decays back to the quiet level.
+        assert!(noise.at_victim_rcv.v_end().abs() < 0.01);
+    }
+
+    #[test]
+    fn higher_holding_resistance_means_bigger_noise() {
+        // The mechanism of the whole Section 2: the victim's ability to
+        // hold its line weakens as the holding resistance grows.
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let (models, cfg) = setup(&tech, &s);
+        let mut lin = LinearNetAnalysis::new(&tech, &s, &models, &cfg).unwrap();
+        let base = lin.aggressor_noise(0, 0.5e-9).unwrap();
+        lin.victim_holding_r *= 2.0;
+        let weak = lin.aggressor_noise(0, 0.5e-9).unwrap();
+        assert!(
+            weak.at_victim_rcv.extremum_point().1.abs()
+                > base.at_victim_rcv.extremum_point().1.abs()
+        );
+    }
+
+    #[test]
+    fn shifting_source_equals_shifting_waveform() {
+        // LTI check justifying the reuse of one aggressor simulation for
+        // every alignment.
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let (models, cfg) = setup(&tech, &s);
+        let lin = LinearNetAnalysis::new(&tech, &s, &models, &cfg).unwrap();
+        let a = lin.aggressor_noise(0, 0.5e-9).unwrap();
+        let b = lin.aggressor_noise(0, 0.9e-9).unwrap();
+        let shifted = a.at_victim_rcv.shift(0.4e-9);
+        for k in 0..40 {
+            let t = 0.5e-9 + k as f64 * 0.1e-9;
+            assert!(
+                (shifted.value(t) - b.at_victim_rcv.value(t)).abs() < 2e-3,
+                "t={t}: {} vs {}",
+                shifted.value(t),
+                b.at_victim_rcv.value(t)
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_model_matches_full_linear() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let (models, cfg) = setup(&tech, &s);
+        let lin = LinearNetAnalysis::new(&tech, &s, &models, &cfg).unwrap();
+        let rom = lin.reduced(4).unwrap();
+        assert!(rom.order() <= 8);
+
+        let full = lin.aggressor_noise(0, 0.5e-9).unwrap();
+        let src = models.aggressors[0].at_input_start(0.5e-9).source_wave();
+        let red = rom.simulate_port(1, &src).unwrap();
+        let peak_full = full.at_victim_rcv.extremum_point().1;
+        let peak_red = red.at_victim_rcv.extremum_point().1;
+        assert!(
+            (peak_full - peak_red).abs() < 0.05 * peak_full.abs().max(1e-3),
+            "full {peak_full} vs reduced {peak_red}"
+        );
+    }
+
+    #[test]
+    fn superpose_shifts_and_adds() {
+        let base = Pwl::ramp(0.0, 1.0, 0.0, 1.0).unwrap();
+        let pulse = Pwl::triangle(0.5, 0.2, 0.1).unwrap();
+        let noisy = superpose(&base, std::slice::from_ref(&pulse), &[0.25]);
+        assert!((noisy.value(0.75) - (0.75 + 0.2)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Error type for model-order reduction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MorError {
+    /// The circuit contains elements PRIMA's RC formulation cannot host
+    /// (voltage sources must be converted to Norton form first).
+    UnsupportedElement {
+        /// Description of the offending element.
+        context: String,
+    },
+    /// Port specification problems (no ports, ground as a port, ...).
+    InvalidPorts {
+        /// Description of the problem.
+        context: String,
+    },
+    /// Numerical failure during reduction or simulation.
+    Numeric(clarinox_numeric::NumericError),
+    /// Circuit-level failure.
+    Circuit(clarinox_circuit::CircuitError),
+    /// Waveform construction failure.
+    Waveform(clarinox_waveform::WaveformError),
+}
+
+impl fmt::Display for MorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorError::UnsupportedElement { context } => {
+                write!(f, "unsupported element: {context}")
+            }
+            MorError::InvalidPorts { context } => write!(f, "invalid ports: {context}"),
+            MorError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            MorError::Circuit(e) => write!(f, "circuit failure: {e}"),
+            MorError::Waveform(e) => write!(f, "waveform failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MorError::Numeric(e) => Some(e),
+            MorError::Circuit(e) => Some(e),
+            MorError::Waveform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<clarinox_numeric::NumericError> for MorError {
+    fn from(e: clarinox_numeric::NumericError) -> Self {
+        MorError::Numeric(e)
+    }
+}
+
+impl From<clarinox_circuit::CircuitError> for MorError {
+    fn from(e: clarinox_circuit::CircuitError) -> Self {
+        MorError::Circuit(e)
+    }
+}
+
+impl From<clarinox_waveform::WaveformError> for MorError {
+    fn from(e: clarinox_waveform::WaveformError) -> Self {
+        MorError::Waveform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MorError::InvalidPorts {
+            context: "no ports".into(),
+        };
+        assert!(e.to_string().contains("ports"));
+    }
+}

@@ -1,0 +1,52 @@
+// `!(x > 0.0)`-style guards are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which matters for user-supplied physical quantities.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! PRIMA passive reduced-order interconnect macromodeling.
+//!
+//! The paper's flow (Section 1) relies on building a reduced-order model of
+//! the coupled interconnect **once** — citing PRIMA \[2\] — and reusing it
+//! across the many linear simulations the superposition and alignment
+//! searches perform. This crate implements that algorithm:
+//!
+//! 1. assemble the RC network's node-only `G`/`C` matrices and a port
+//!    incidence matrix `B` ([`RcPorts`]),
+//! 2. run block Arnoldi on `G⁻¹C`, orthonormalizing each block against the
+//!    accumulated basis `V` ([`ReducedModel::reduce`]),
+//! 3. congruence-project: `Ĝ = VᵀGV`, `Ĉ = VᵀCV`, `B̂ = VᵀB` — which
+//!    preserves passivity for RC networks,
+//! 4. simulate the reduced model with trapezoidal integration
+//!    ([`ReducedModel::simulate`]).
+//!
+//! Ports are *current-injection* ports: a Thevenin driver is converted to
+//! its Norton form (the holding resistance joins `G`; the ramp becomes an
+//! injected current), exactly how the analysis engine drives these models.
+//!
+//! # Examples
+//!
+//! ```
+//! use clarinox_circuit::netlist::Circuit;
+//! use clarinox_mor::{ReducedModel, RcPorts};
+//!
+//! # fn main() -> Result<(), clarinox_mor::MorError> {
+//! let mut ckt = Circuit::new();
+//! let a = ckt.node("a");
+//! let b = ckt.node("b");
+//! ckt.add_wire(a, b, 500.0, 50e-15, 10)?;
+//! let ports = RcPorts::from_circuit(&ckt, &[a, b])?;
+//! let rom = ReducedModel::reduce(&ports, 3)?;
+//! assert!(rom.order() < 12); // 22 states reduced to <= 6
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod prima;
+mod rc;
+
+pub use error::MorError;
+pub use prima::{ReducedModel, ReducedResult};
+pub use rc::RcPorts;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MorError>;

@@ -1,0 +1,205 @@
+//! Node-only RC formulation with current-injection ports.
+
+use crate::{MorError, Result};
+use clarinox_circuit::mna::GMIN;
+use clarinox_circuit::netlist::{Circuit, Element, NodeId};
+use clarinox_numeric::matrix::Matrix;
+
+/// An RC network in node-voltage form `G v + C v' = B u(t)` with
+/// current-injection ports, ready for PRIMA reduction.
+///
+/// Built from a [`Circuit`] containing only resistors and capacitors
+/// (drivers must be in Norton form: their resistances as ordinary resistors,
+/// their excitations as the port currents `u`).
+#[derive(Debug, Clone)]
+pub struct RcPorts {
+    g: Matrix,
+    c: Matrix,
+    b: Matrix,
+    ports: Vec<NodeId>,
+    nodes: usize,
+}
+
+impl RcPorts {
+    /// Extracts the node-only `G`, `C`, `B` matrices of `circuit` with
+    /// current injection at `ports`.
+    ///
+    /// # Errors
+    ///
+    /// * [`MorError::UnsupportedElement`] if the circuit contains voltage
+    ///   or current sources (convert drivers to Norton form first; port
+    ///   currents are supplied at simulation time).
+    /// * [`MorError::InvalidPorts`] if `ports` is empty, contains ground or
+    ///   duplicates.
+    pub fn from_circuit(circuit: &Circuit, ports: &[NodeId]) -> Result<Self> {
+        if ports.is_empty() {
+            return Err(MorError::InvalidPorts {
+                context: "at least one port required".into(),
+            });
+        }
+        for (i, p) in ports.iter().enumerate() {
+            if p.is_ground() {
+                return Err(MorError::InvalidPorts {
+                    context: "ground cannot be a port".into(),
+                });
+            }
+            if ports[..i].contains(p) {
+                return Err(MorError::InvalidPorts {
+                    context: format!("duplicate port {p}"),
+                });
+            }
+            if p.index() >= circuit.node_count() {
+                return Err(MorError::InvalidPorts {
+                    context: format!("port {p} not in circuit"),
+                });
+            }
+        }
+        let n = circuit.node_count() - 1;
+        if n == 0 {
+            return Err(MorError::InvalidPorts {
+                context: "circuit has no non-ground nodes".into(),
+            });
+        }
+        let mut g = Matrix::zeros(n, n);
+        let mut c = Matrix::zeros(n, n);
+        for i in 0..n {
+            g.add(i, i, GMIN);
+        }
+        for e in circuit.elements() {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    stamp(&mut g, idx(*a), idx(*b), 1.0 / ohms);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    stamp(&mut c, idx(*a), idx(*b), *farads);
+                }
+                Element::Vsource { .. } => {
+                    return Err(MorError::UnsupportedElement {
+                        context: "voltage source (use Norton form)".into(),
+                    })
+                }
+                Element::Isource { .. } => {
+                    return Err(MorError::UnsupportedElement {
+                        context: "embedded current source (drive ports at simulation time)"
+                            .into(),
+                    })
+                }
+            }
+        }
+        let mut b = Matrix::zeros(n, ports.len());
+        for (j, p) in ports.iter().enumerate() {
+            b.set(p.index() - 1, j, 1.0);
+        }
+        Ok(RcPorts {
+            g,
+            c,
+            b,
+            ports: ports.to_vec(),
+            nodes: n,
+        })
+    }
+
+    /// Node conductance matrix.
+    pub fn g(&self) -> &Matrix {
+        &self.g
+    }
+
+    /// Node capacitance matrix.
+    pub fn c(&self) -> &Matrix {
+        &self.c
+    }
+
+    /// Port incidence matrix.
+    pub fn b(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// The port nodes, in column order of `B`.
+    pub fn ports(&self) -> &[NodeId] {
+        &self.ports
+    }
+
+    /// Number of (non-ground) nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Row index of `node` in the node-voltage vector, or `None` for
+    /// ground / foreign nodes.
+    pub fn node_row(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() || node.index() > self.nodes {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+}
+
+fn idx(n: NodeId) -> Option<usize> {
+    if n.is_ground() {
+        None
+    } else {
+        Some(n.index() - 1)
+    }
+}
+
+fn stamp(m: &mut Matrix, a: Option<usize>, b: Option<usize>, val: f64) {
+    if let Some(i) = a {
+        m.add(i, i, val);
+    }
+    if let Some(j) = b {
+        m.add(j, j, val);
+    }
+    if let (Some(i), Some(j)) = (a, b) {
+        m.add(i, j, -val);
+        m.add(j, i, -val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_circuit::netlist::SourceWave;
+
+    #[test]
+    fn extraction_matches_topology() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let g = Circuit::ground();
+        ckt.add_resistor(a, b, 100.0).unwrap();
+        ckt.add_capacitor(b, g, 1e-15).unwrap();
+        let rc = RcPorts::from_circuit(&ckt, &[a]).unwrap();
+        assert_eq!(rc.node_count(), 2);
+        assert!((rc.g().get(0, 0) - (0.01 + GMIN)).abs() < 1e-15);
+        assert_eq!(rc.c().get(1, 1), 1e-15);
+        assert_eq!(rc.b().get(0, 0), 1.0);
+        assert_eq!(rc.b().get(1, 0), 0.0);
+        assert_eq!(rc.node_row(a), Some(0));
+        assert_eq!(rc.node_row(Circuit::ground()), None);
+    }
+
+    #[test]
+    fn sources_are_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = Circuit::ground();
+        ckt.add_resistor(a, g, 10.0).unwrap();
+        ckt.add_vsource(a, g, SourceWave::Dc(1.0)).unwrap();
+        assert!(matches!(
+            RcPorts::from_circuit(&ckt, &[a]),
+            Err(MorError::UnsupportedElement { .. })
+        ));
+    }
+
+    #[test]
+    fn port_validation() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let g = Circuit::ground();
+        ckt.add_resistor(a, g, 10.0).unwrap();
+        assert!(RcPorts::from_circuit(&ckt, &[]).is_err());
+        assert!(RcPorts::from_circuit(&ckt, &[g]).is_err());
+        assert!(RcPorts::from_circuit(&ckt, &[a, a]).is_err());
+    }
+}

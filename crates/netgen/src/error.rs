@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Error type for workload generation and topology expansion.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetgenError {
+    /// A net specification is out of physical range.
+    InvalidSpec {
+        /// Description of the problem.
+        context: String,
+    },
+    /// Circuit construction failed.
+    Circuit(clarinox_circuit::CircuitError),
+}
+
+impl fmt::Display for NetgenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetgenError::InvalidSpec { context } => write!(f, "invalid net spec: {context}"),
+            NetgenError::Circuit(e) => write!(f, "circuit failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetgenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetgenError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<clarinox_circuit::CircuitError> for NetgenError {
+    fn from(e: clarinox_circuit::CircuitError) -> Self {
+        NetgenError::Circuit(e)
+    }
+}
+
+impl NetgenError {
+    /// Convenience constructor for [`NetgenError::InvalidSpec`].
+    pub fn spec(context: impl Into<String>) -> Self {
+        NetgenError::InvalidSpec {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(NetgenError::spec("zero length").to_string().contains("zero length"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Seeded random block generation.
+
+use crate::spec::{AggressorSpec, CoupledNetSpec, NetSpec};
+use clarinox_cells::gate::standard_library;
+use clarinox_cells::{Gate, Tech};
+use clarinox_waveform::measure::Edge;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameter ranges for random block generation (uniform sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockConfig {
+    /// Number of coupled nets to generate.
+    pub nets: usize,
+    /// Aggressor-count range (inclusive).
+    pub aggressors: (usize, usize),
+    /// Victim/aggressor wire-length range (meters).
+    pub wire_len: (f64, f64),
+    /// Coupled fraction of the victim length.
+    pub coupling_frac: (f64, f64),
+    /// Driver input ramp range (seconds, 0–100%).
+    pub input_ramp: (f64, f64),
+    /// Receiver output-load range (farads).
+    pub receiver_load: (f64, f64),
+    /// Wire discretization.
+    pub segments: usize,
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        BlockConfig {
+            nets: 300,
+            aggressors: (1, 3),
+            wire_len: (0.3e-3, 2.0e-3),
+            coupling_frac: (0.4, 0.95),
+            input_ramp: (60e-12, 300e-12),
+            receiver_load: (5e-15, 80e-15),
+            segments: 4,
+        }
+    }
+}
+
+impl BlockConfig {
+    /// Same configuration with a different net count.
+    pub fn with_nets(mut self, nets: usize) -> Self {
+        self.nets = nets;
+        self
+    }
+}
+
+fn pick_gate(rng: &mut StdRng, lib: &[Gate]) -> Gate {
+    lib[rng.random_range(0..lib.len())]
+}
+
+fn pick_range(rng: &mut StdRng, (lo, hi): (f64, f64)) -> f64 {
+    if lo >= hi {
+        lo
+    } else {
+        rng.random_range(lo..hi)
+    }
+}
+
+/// Generates a deterministic block of coupled nets from `seed`.
+///
+/// Aggressor input edges are chosen so each aggressor's *output* switches
+/// opposite to the victim's output — the delay-increasing direction the
+/// worst-case analysis targets. Everything else (gates, lengths, coupling
+/// spans, slews, loads) is sampled from `cfg`'s ranges.
+pub fn generate_block(tech: &Tech, cfg: &BlockConfig, seed: u64) -> Vec<CoupledNetSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lib = standard_library(tech);
+    // Receivers are single-stage inverting gates: the alignment tables are
+    // characterized per receiver type, and buffers' first stage dominates
+    // anyway.
+    let receivers: Vec<Gate> = lib
+        .iter()
+        .copied()
+        .filter(|g| g.is_inverting())
+        .collect();
+
+    (0..cfg.nets)
+        .map(|id| {
+            let victim_edge = if rng.random_range(0..2) == 0 {
+                Edge::Rising
+            } else {
+                Edge::Falling
+            };
+            let victim = NetSpec {
+                driver: pick_gate(&mut rng, &lib),
+                driver_input_ramp: pick_range(&mut rng, cfg.input_ramp),
+                driver_input_edge: victim_edge,
+                wire_len: pick_range(&mut rng, cfg.wire_len),
+                segments: cfg.segments,
+                receiver: pick_gate(&mut rng, &receivers),
+                receiver_load: pick_range(&mut rng, cfg.receiver_load),
+            };
+            let victim_out_edge = victim.wire_edge();
+            let n_agg = rng.random_range(cfg.aggressors.0..=cfg.aggressors.1);
+            let aggressors = (0..n_agg)
+                .map(|_| {
+                    let driver = pick_gate(&mut rng, &lib);
+                    // Choose the input edge that makes the aggressor output
+                    // oppose the victim output.
+                    let want_out = victim_out_edge.opposite();
+                    let input_edge = if driver.is_inverting() {
+                        want_out.opposite()
+                    } else {
+                        want_out
+                    };
+                    let net = NetSpec {
+                        driver,
+                        driver_input_ramp: pick_range(&mut rng, cfg.input_ramp),
+                        driver_input_edge: input_edge,
+                        wire_len: pick_range(&mut rng, cfg.wire_len),
+                        segments: cfg.segments,
+                        receiver: pick_gate(&mut rng, &receivers),
+                        receiver_load: pick_range(&mut rng, cfg.receiver_load),
+                    };
+                    let frac = pick_range(&mut rng, cfg.coupling_frac);
+                    let coupling_len = (frac * victim.wire_len).min(net.wire_len);
+                    let max_start = (1.0 - coupling_len / victim.wire_len).max(0.0);
+                    let coupling_start = pick_range(&mut rng, (0.0, max_start.max(1e-9)));
+                    AggressorSpec {
+                        net,
+                        coupling_len,
+                        coupling_start: coupling_start.min(max_start),
+                    }
+                })
+                .collect();
+            CoupledNetSpec {
+                id,
+                victim,
+                aggressors,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::build_topology;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let tech = Tech::default_180nm();
+        let cfg = BlockConfig::default().with_nets(20);
+        let a = generate_block(&tech, &cfg, 1);
+        let b = generate_block(&tech, &cfg, 1);
+        assert_eq!(a, b);
+        let c = generate_block(&tech, &cfg, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_specs_build_valid_topologies() {
+        let tech = Tech::default_180nm();
+        let cfg = BlockConfig::default().with_nets(50);
+        for spec in generate_block(&tech, &cfg, 99) {
+            let topo = build_topology(&tech, &spec).expect("valid topology");
+            assert_eq!(topo.agg_drv.len(), spec.aggressors.len());
+        }
+    }
+
+    #[test]
+    fn aggressors_oppose_victim() {
+        let tech = Tech::default_180nm();
+        let cfg = BlockConfig::default().with_nets(30);
+        for spec in generate_block(&tech, &cfg, 5) {
+            let v_out = spec.victim.wire_edge();
+            for a in &spec.aggressors {
+                assert_eq!(a.net.wire_edge(), v_out.opposite());
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let tech = Tech::default_180nm();
+        let cfg = BlockConfig::default().with_nets(40);
+        for spec in generate_block(&tech, &cfg, 7) {
+            assert!(spec.victim.wire_len >= cfg.wire_len.0 && spec.victim.wire_len <= cfg.wire_len.1);
+            assert!(spec.aggressors.len() >= cfg.aggressors.0);
+            assert!(spec.aggressors.len() <= cfg.aggressors.1);
+            for a in &spec.aggressors {
+                assert!(a.coupling_len <= spec.victim.wire_len + 1e-12);
+                assert!(a.coupling_start >= 0.0 && a.coupling_start <= 1.0);
+            }
+        }
+    }
+}

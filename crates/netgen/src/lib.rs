@@ -1,0 +1,46 @@
+// `!(x > 0.0)`-style guards are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which matters for user-supplied physical quantities.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! Synthetic coupled-interconnect workload generation.
+//!
+//! The paper evaluates on "300 nets from a high performance microprocessor
+//! block" — proprietary data this reproduction substitutes with a seeded
+//! generator of physically-plausible coupled victim/aggressor nets:
+//!
+//! * [`spec`] — declarative net descriptions (drivers, receivers, wire
+//!   geometry, coupling spans, input edge rates),
+//! * [`topology`] — expansion of a spec into an RC circuit skeleton with
+//!   named driver/receiver ports, shared by the linear (Thevenin/`R_t`)
+//!   flow, the PRIMA flow, and the non-linear gold simulation,
+//! * [`generate`] — the seeded random block generator (deterministic per
+//!   seed) sweeping wire lengths, coupling fractions, gate sizes, loads and
+//!   slews across the ranges that drive the paper's scatter plots.
+//!
+//! # Examples
+//!
+//! ```
+//! use clarinox_cells::Tech;
+//! use clarinox_netgen::generate::{generate_block, BlockConfig};
+//!
+//! let tech = Tech::default_180nm();
+//! let nets = generate_block(&tech, &BlockConfig::default().with_nets(10), 42);
+//! assert_eq!(nets.len(), 10);
+//! // Deterministic per seed.
+//! let again = generate_block(&tech, &BlockConfig::default().with_nets(10), 42);
+//! assert_eq!(nets[3].victim.wire_len, again[3].victim.wire_len);
+//! ```
+
+pub mod generate;
+pub mod spec;
+pub mod topology;
+
+mod error;
+
+pub use error::NetgenError;
+pub use generate::{generate_block, BlockConfig};
+pub use spec::{AggressorSpec, CoupledNetSpec, NetSpec};
+pub use topology::{build_topology, build_topology_with, load_network_for, NetRef, NetTopology};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NetgenError>;

@@ -1,0 +1,137 @@
+//! Declarative coupled-net specifications.
+
+use clarinox_cells::Gate;
+use clarinox_waveform::measure::Edge;
+
+/// One signal net: driver gate, wire geometry, receiver gate and its output
+/// load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetSpec {
+    /// Driving gate.
+    pub driver: Gate,
+    /// Saturated-ramp duration (0–100%) at the driver *input* (seconds).
+    pub driver_input_ramp: f64,
+    /// Transition direction at the driver *input*.
+    pub driver_input_edge: Edge,
+    /// Wire length (meters).
+    pub wire_len: f64,
+    /// Number of π-segments the wire is discretized into.
+    pub segments: usize,
+    /// Receiving gate (its input pin loads the wire).
+    pub receiver: Gate,
+    /// Capacitive load at the receiver *output* (farads).
+    pub receiver_load: f64,
+}
+
+impl NetSpec {
+    /// Direction of the transition launched onto the wire (at the driver
+    /// output).
+    pub fn wire_edge(&self) -> Edge {
+        if self.driver.is_inverting() {
+            self.driver_input_edge.opposite()
+        } else {
+            self.driver_input_edge
+        }
+    }
+
+    /// Total wire resistance at technology parasitics (ohms).
+    pub fn wire_resistance(&self, tech: &clarinox_cells::Tech) -> f64 {
+        tech.wire_res_per_m * self.wire_len
+    }
+
+    /// Total wire-to-ground capacitance at technology parasitics (farads).
+    pub fn wire_capacitance(&self, tech: &clarinox_cells::Tech) -> f64 {
+        tech.wire_cap_per_m * self.wire_len
+    }
+}
+
+/// An aggressor: its own net plus how it couples to the victim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggressorSpec {
+    /// The aggressor's own net.
+    pub net: NetSpec,
+    /// Length of the section running adjacent to the victim (meters).
+    pub coupling_len: f64,
+    /// Where the coupled section starts along the victim wire, as a
+    /// fraction of victim length in `[0, 1)`.
+    pub coupling_start: f64,
+}
+
+impl AggressorSpec {
+    /// Total victim↔aggressor coupling capacitance (farads).
+    pub fn coupling_cap(&self, tech: &clarinox_cells::Tech) -> f64 {
+        tech.wire_ccouple_per_m * self.coupling_len
+    }
+}
+
+/// A victim with its capacitively coupled aggressors — the unit of analysis
+/// of the whole flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoupledNetSpec {
+    /// Identifier (e.g. index within a generated block).
+    pub id: usize,
+    /// The victim net.
+    pub victim: NetSpec,
+    /// The aggressors.
+    pub aggressors: Vec<AggressorSpec>,
+}
+
+impl CoupledNetSpec {
+    /// Ratio of total coupling capacitance to the victim's total wire +
+    /// receiver capacitance — a rough severity indicator.
+    pub fn coupling_ratio(&self, tech: &clarinox_cells::Tech) -> f64 {
+        let cc: f64 = self.aggressors.iter().map(|a| a.coupling_cap(tech)).sum();
+        let cg = self.victim.wire_capacitance(tech) + self.victim.receiver.input_cap(tech);
+        cc / (cc + cg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_cells::{Gate, Tech};
+
+    fn net(tech: &Tech) -> NetSpec {
+        NetSpec {
+            driver: Gate::inv(4.0, tech),
+            driver_input_ramp: 100e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 1e-3,
+            segments: 4,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 20e-15,
+        }
+    }
+
+    #[test]
+    fn wire_edge_accounts_for_inversion() {
+        let tech = Tech::default_180nm();
+        let n = net(&tech);
+        assert_eq!(n.wire_edge(), Edge::Falling);
+    }
+
+    #[test]
+    fn parasitics_scale_with_length() {
+        let tech = Tech::default_180nm();
+        let n = net(&tech);
+        assert!((n.wire_resistance(&tech) - 80.0).abs() < 1e-9);
+        assert!((n.wire_capacitance(&tech) - 80e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    fn coupling_ratio_in_unit_range() {
+        let tech = Tech::default_180nm();
+        let n = net(&tech);
+        let spec = CoupledNetSpec {
+            id: 0,
+            victim: n,
+            aggressors: vec![AggressorSpec {
+                net: n,
+                coupling_len: 0.8e-3,
+                coupling_start: 0.1,
+            }],
+        };
+        let r = spec.coupling_ratio(&tech);
+        assert!(r > 0.3 && r < 0.8, "coupling ratio {r}");
+    }
+}

@@ -1,0 +1,365 @@
+//! Expansion of a [`CoupledNetSpec`] into an RC circuit skeleton.
+//!
+//! The skeleton contains only the passive network — wire π-ladders, the
+//! distributed coupling capacitances, and receiver input-pin caps — plus
+//! named ports for every driver output and receiver input. Each analysis
+//! flavour then decorates a clone of the skeleton:
+//!
+//! * the linear flow attaches Thevenin/Norton driver models at the ports,
+//! * PRIMA reduces the skeleton directly (Norton resistances added first),
+//! * the gold flow instantiates the actual transistor-level gates.
+
+use crate::spec::CoupledNetSpec;
+use crate::{NetgenError, Result};
+use clarinox_cells::Tech;
+use clarinox_char::LoadNetwork;
+use clarinox_circuit::netlist::{Circuit, NodeId};
+
+/// Which net of a coupled group is meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetRef {
+    /// The victim net.
+    Victim,
+    /// Aggressor `i` (index into [`CoupledNetSpec::aggressors`]).
+    Aggressor(usize),
+}
+
+/// The passive-circuit expansion of a coupled net.
+#[derive(Debug, Clone)]
+pub struct NetTopology {
+    /// The RC skeleton (wires, coupling caps, receiver pin caps).
+    pub circuit: Circuit,
+    /// Victim driver-output node.
+    pub victim_drv: NodeId,
+    /// Victim receiver-input node.
+    pub victim_rcv: NodeId,
+    /// Aggressor driver-output nodes.
+    pub agg_drv: Vec<NodeId>,
+    /// Aggressor receiver-input nodes.
+    pub agg_rcv: Vec<NodeId>,
+}
+
+impl NetTopology {
+    /// Driver-output port of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an aggressor index is out of range.
+    pub fn driver_port(&self, net: NetRef) -> NodeId {
+        match net {
+            NetRef::Victim => self.victim_drv,
+            NetRef::Aggressor(i) => self.agg_drv[i],
+        }
+    }
+
+    /// Receiver-input port of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an aggressor index is out of range.
+    pub fn receiver_port(&self, net: NetRef) -> NodeId {
+        match net {
+            NetRef::Victim => self.victim_rcv,
+            NetRef::Aggressor(i) => self.agg_rcv[i],
+        }
+    }
+
+    /// All driver ports: victim first, then aggressors in order.
+    pub fn all_driver_ports(&self) -> Vec<NodeId> {
+        let mut v = vec![self.victim_drv];
+        v.extend_from_slice(&self.agg_drv);
+        v
+    }
+}
+
+/// Builds one wire chain, returning all its nodes from driver to receiver
+/// (length `segments + 1`).
+fn build_chain(
+    ckt: &mut Circuit,
+    tech: &Tech,
+    prefix: &str,
+    wire_len: f64,
+    segments: usize,
+) -> Result<Vec<NodeId>> {
+    if segments == 0 {
+        return Err(NetgenError::spec("wire needs at least one segment"));
+    }
+    if !(wire_len > 0.0) {
+        return Err(NetgenError::spec(format!(
+            "wire length must be positive, got {wire_len}"
+        )));
+    }
+    let gnd = Circuit::ground();
+    let r_seg = tech.wire_res_per_m * wire_len / segments as f64;
+    let c_half = tech.wire_cap_per_m * wire_len / (2.0 * segments as f64);
+    let mut nodes = Vec::with_capacity(segments + 1);
+    nodes.push(ckt.node(&format!("{prefix}_drv")));
+    for s in 0..segments {
+        let next = if s + 1 == segments {
+            ckt.node(&format!("{prefix}_rcv"))
+        } else {
+            ckt.node(&format!("{prefix}_w{s}"))
+        };
+        let prev = nodes[s];
+        ckt.add_capacitor(prev, gnd, c_half)?;
+        ckt.add_resistor(prev, next, r_seg)?;
+        ckt.add_capacitor(next, gnd, c_half)?;
+        nodes.push(next);
+    }
+    Ok(nodes)
+}
+
+/// Attaches the distributed coupling capacitance between a victim chain and
+/// an aggressor chain.
+fn couple_chains(
+    ckt: &mut Circuit,
+    victim_nodes: &[NodeId],
+    agg_nodes: &[NodeId],
+    c_total: f64,
+    start_frac: f64,
+    len_frac: f64,
+) -> Result<()> {
+    let vseg = victim_nodes.len() - 1;
+    // Victim node indices spanned by the coupled section.
+    let i0 = ((start_frac * vseg as f64).floor() as usize).min(vseg);
+    let i1 = (((start_frac + len_frac) * vseg as f64).ceil() as usize).clamp(i0 + 1, vseg);
+    let count = i1 - i0 + 1;
+    let c_each = c_total / count as f64;
+    for (k, vi) in (i0..=i1).enumerate() {
+        // Corresponding fractional position along the aggressor wire.
+        let frac = if count == 1 {
+            0.5
+        } else {
+            k as f64 / (count - 1) as f64
+        };
+        let aj = ((frac * (agg_nodes.len() - 1) as f64).round() as usize).min(agg_nodes.len() - 1);
+        ckt.add_capacitor(victim_nodes[vi], agg_nodes[aj], c_each)?;
+    }
+    Ok(())
+}
+
+/// Expands `spec` into its RC skeleton, with receiver input pins modeled as
+/// grounded capacitors (the linear-analysis view).
+///
+/// # Errors
+///
+/// [`NetgenError::InvalidSpec`] for degenerate geometry (zero-length wires,
+/// zero segments, coupling fractions outside `[0, 1]`).
+pub fn build_topology(tech: &Tech, spec: &CoupledNetSpec) -> Result<NetTopology> {
+    build_topology_with(tech, spec, true)
+}
+
+/// Expands `spec` into its RC skeleton. With `include_receiver_pins =
+/// false` the receiver input-pin capacitors are omitted — used by the gold
+/// non-linear flow, which instantiates the actual receiver gates (whose
+/// expansion adds the pin capacitance itself).
+///
+/// # Errors
+///
+/// Same conditions as [`build_topology`].
+pub fn build_topology_with(
+    tech: &Tech,
+    spec: &CoupledNetSpec,
+    include_receiver_pins: bool,
+) -> Result<NetTopology> {
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::ground();
+
+    let vnodes = build_chain(&mut ckt, tech, "v", spec.victim.wire_len, spec.victim.segments)?;
+    let victim_drv = vnodes[0];
+    let victim_rcv = *vnodes.last().expect("chain has nodes");
+    if include_receiver_pins {
+        ckt.add_capacitor(victim_rcv, gnd, spec.victim.receiver.input_cap(tech))?;
+    }
+
+    let mut agg_drv = Vec::new();
+    let mut agg_rcv = Vec::new();
+    for (i, agg) in spec.aggressors.iter().enumerate() {
+        if !(agg.coupling_len > 0.0) {
+            return Err(NetgenError::spec(format!(
+                "aggressor {i} coupling length must be positive"
+            )));
+        }
+        if !(0.0..=1.0).contains(&agg.coupling_start) {
+            return Err(NetgenError::spec(format!(
+                "aggressor {i} coupling start {} outside [0, 1]",
+                agg.coupling_start
+            )));
+        }
+        let anodes = build_chain(
+            &mut ckt,
+            tech,
+            &format!("a{i}"),
+            agg.net.wire_len,
+            agg.net.segments,
+        )?;
+        if include_receiver_pins {
+            ckt.add_capacitor(
+                *anodes.last().expect("chain has nodes"),
+                gnd,
+                agg.net.receiver.input_cap(tech),
+            )?;
+        }
+        let len_frac = (agg.coupling_len / spec.victim.wire_len).min(1.0 - agg.coupling_start);
+        couple_chains(
+            &mut ckt,
+            &vnodes,
+            &anodes,
+            agg.coupling_cap(tech),
+            agg.coupling_start,
+            len_frac,
+        )?;
+        agg_drv.push(anodes[0]);
+        agg_rcv.push(*anodes.last().expect("chain has nodes"));
+    }
+
+    Ok(NetTopology {
+        circuit: ckt,
+        victim_drv,
+        victim_rcv,
+        agg_drv,
+        agg_rcv,
+    })
+}
+
+/// Builds the load network one driver sees for C-effective purposes: its
+/// own wire and receiver cap, with every coupling capacitor treated as
+/// grounded (the neighbouring nets are held quiet by their drivers).
+///
+/// # Errors
+///
+/// Same conditions as [`build_topology`].
+pub fn load_network_for(tech: &Tech, spec: &CoupledNetSpec, net: NetRef) -> Result<LoadNetwork> {
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::ground();
+    let (net_spec, couplings): (&crate::spec::NetSpec, Vec<f64>) = match net {
+        NetRef::Victim => (
+            &spec.victim,
+            spec.aggressors.iter().map(|a| a.coupling_cap(tech)).collect(),
+        ),
+        NetRef::Aggressor(i) => (
+            &spec.aggressors[i].net,
+            vec![spec.aggressors[i].coupling_cap(tech)],
+        ),
+    };
+    let nodes = build_chain(&mut ckt, tech, "n", net_spec.wire_len, net_spec.segments)?;
+    let port = nodes[0];
+    let rcv = *nodes.last().expect("chain has nodes");
+    ckt.add_capacitor(rcv, gnd, net_spec.receiver.input_cap(tech))?;
+    // Grounded coupling caps, distributed along the interior of the wire.
+    for c_total in couplings {
+        let c_each = c_total / nodes.len() as f64;
+        for n in &nodes {
+            ckt.add_capacitor(*n, gnd, c_each)?;
+        }
+    }
+    Ok(LoadNetwork { circuit: ckt, port })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AggressorSpec, NetSpec};
+    use clarinox_cells::Gate;
+    use clarinox_waveform::measure::Edge;
+
+    fn sample_spec(tech: &Tech) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(4.0, tech),
+            driver_input_ramp: 100e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 1e-3,
+            segments: 4,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 20e-15,
+        };
+        CoupledNetSpec {
+            id: 7,
+            victim: base,
+            aggressors: vec![
+                AggressorSpec {
+                    net: base,
+                    coupling_len: 0.6e-3,
+                    coupling_start: 0.2,
+                },
+                AggressorSpec {
+                    net: NetSpec {
+                        wire_len: 0.5e-3,
+                        segments: 3,
+                        ..base
+                    },
+                    coupling_len: 0.4e-3,
+                    coupling_start: 0.5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn topology_has_expected_ports() {
+        let tech = Tech::default_180nm();
+        let spec = sample_spec(&tech);
+        let topo = build_topology(&tech, &spec).unwrap();
+        assert_eq!(topo.agg_drv.len(), 2);
+        assert_eq!(topo.agg_rcv.len(), 2);
+        assert_ne!(topo.victim_drv, topo.victim_rcv);
+        assert_eq!(topo.all_driver_ports().len(), 3);
+        assert_eq!(topo.driver_port(NetRef::Victim), topo.victim_drv);
+        assert_eq!(topo.receiver_port(NetRef::Aggressor(1)), topo.agg_rcv[1]);
+    }
+
+    #[test]
+    fn coupling_capacitance_is_conserved() {
+        let tech = Tech::default_180nm();
+        let spec = sample_spec(&tech);
+        let topo = build_topology(&tech, &spec).unwrap();
+        // Sum all caps that connect two non-ground nodes (coupling caps).
+        let cc: f64 = topo
+            .circuit
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                clarinox_circuit::netlist::Element::Capacitor { a, b, farads }
+                    if !a.is_ground() && !b.is_ground() =>
+                {
+                    Some(*farads)
+                }
+                _ => None,
+            })
+            .sum();
+        let want: f64 = spec.aggressors.iter().map(|a| a.coupling_cap(&tech)).sum();
+        assert!((cc - want).abs() < 1e-20, "coupling {cc} vs {want}");
+    }
+
+    #[test]
+    fn load_network_grounds_coupling() {
+        let tech = Tech::default_180nm();
+        let spec = sample_spec(&tech);
+        let ln = load_network_for(&tech, &spec, NetRef::Victim).unwrap();
+        // No floating caps in the Ceff view.
+        for e in ln.circuit.elements() {
+            if let clarinox_circuit::netlist::Element::Capacitor { a, b, .. } = e {
+                assert!(a.is_ground() || b.is_ground());
+            }
+        }
+        // Total = wire + receiver pin + all coupling.
+        let want = spec.victim.wire_capacitance(&tech)
+            + spec.victim.receiver.input_cap(&tech)
+            + spec.aggressors.iter().map(|a| a.coupling_cap(&tech)).sum::<f64>();
+        assert!((ln.total_cap() - want).abs() < 1e-19);
+    }
+
+    #[test]
+    fn degenerate_specs_rejected() {
+        let tech = Tech::default_180nm();
+        let mut spec = sample_spec(&tech);
+        spec.victim.segments = 0;
+        assert!(build_topology(&tech, &spec).is_err());
+        let mut spec = sample_spec(&tech);
+        spec.aggressors[0].coupling_start = 1.5;
+        assert!(build_topology(&tech, &spec).is_err());
+        let mut spec = sample_spec(&tech);
+        spec.aggressors[0].coupling_len = 0.0;
+        assert!(build_topology(&tech, &spec).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+use std::fmt;
+
+/// Error type for numerical routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// Matrix dimensions do not match the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored.
+    SingularMatrix {
+        /// Pivot column at which elimination broke down.
+        pivot: usize,
+    },
+    /// A root-finding bracket does not actually bracket a sign change.
+    InvalidBracket {
+        /// Left end of the offending bracket.
+        lo: f64,
+        /// Right end of the offending bracket.
+        hi: f64,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations attempted.
+        iterations: usize,
+        /// Residual at the final iterate.
+        residual: f64,
+    },
+    /// Input data is malformed (empty, unsorted, NaN, ...).
+    InvalidInput {
+        /// Human-readable description of the problem.
+        context: String,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            NumericError::SingularMatrix { pivot } => {
+                write!(f, "singular matrix at pivot column {pivot}")
+            }
+            NumericError::InvalidBracket { lo, hi } => {
+                write!(f, "interval [{lo}, {hi}] does not bracket a root")
+            }
+            NumericError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:e})"
+            ),
+            NumericError::InvalidInput { context } => write!(f, "invalid input: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+impl NumericError {
+    /// Convenience constructor for [`NumericError::InvalidInput`].
+    pub fn invalid(context: impl Into<String>) -> Self {
+        NumericError::InvalidInput {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`NumericError::DimensionMismatch`].
+    pub fn dims(context: impl Into<String>) -> Self {
+        NumericError::DimensionMismatch {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NumericError::SingularMatrix { pivot: 3 };
+        let s = e.to_string();
+        assert!(s.starts_with("singular"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+}

@@ -1,0 +1,280 @@
+//! Table interpolation: 1-D piecewise-linear and 2-D bilinear lookup.
+//!
+//! Gate timing models (NLDM-style delay/slew tables indexed by input slew and
+//! output load) and the paper's alignment-voltage tables are small rectangular
+//! grids queried with linear interpolation and flat extrapolation clamped to
+//! the characterized range — the behaviour commercial timers use for library
+//! tables.
+
+use crate::{NumericError, Result};
+
+/// Locates `x` in the sorted axis `xs`, returning the interval index `i`
+/// (with `xs[i] <= x <= xs[i+1]`, clamped to the grid) and the interpolation
+/// weight in `[0, 1]`.
+fn locate(xs: &[f64], x: f64) -> (usize, f64) {
+    debug_assert!(xs.len() >= 2);
+    if x <= xs[0] {
+        return (0, 0.0);
+    }
+    let last = xs.len() - 1;
+    if x >= xs[last] {
+        return (last - 1, 1.0);
+    }
+    // Binary search for the containing interval.
+    let mut lo = 0;
+    let mut hi = last;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if xs[mid] <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let w = (x - xs[lo]) / (xs[lo + 1] - xs[lo]);
+    (lo, w)
+}
+
+fn check_axis(name: &str, xs: &[f64]) -> Result<()> {
+    if xs.len() < 2 {
+        return Err(NumericError::invalid(format!(
+            "{name} axis needs at least 2 points, got {}",
+            xs.len()
+        )));
+    }
+    for w in xs.windows(2) {
+        if !(w[1] > w[0]) {
+            return Err(NumericError::invalid(format!(
+                "{name} axis must be strictly increasing ({} then {})",
+                w[0], w[1]
+            )));
+        }
+    }
+    if xs.iter().any(|v| !v.is_finite()) {
+        return Err(NumericError::invalid(format!("{name} axis contains non-finite values")));
+    }
+    Ok(())
+}
+
+/// Piecewise-linear interpolation of `y(x)` over a sorted axis, clamped at
+/// the ends.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if the axis is malformed or the
+/// lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// let y = clarinox_numeric::interp::lerp_table(&[0.0, 1.0], &[10.0, 20.0], 0.25)?;
+/// assert_eq!(y, 12.5);
+/// # Ok::<(), clarinox_numeric::NumericError>(())
+/// ```
+pub fn lerp_table(xs: &[f64], ys: &[f64], x: f64) -> Result<f64> {
+    check_axis("x", xs)?;
+    if ys.len() != xs.len() {
+        return Err(NumericError::invalid(format!(
+            "value column length {} does not match axis length {}",
+            ys.len(),
+            xs.len()
+        )));
+    }
+    let (i, w) = locate(xs, x);
+    Ok(ys[i] * (1.0 - w) + ys[i + 1] * w)
+}
+
+/// Linear interpolation between two points, unclamped (extrapolates).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(clarinox_numeric::interp::lerp(0.0, 10.0, 1.0, 20.0, 2.0), 30.0);
+/// ```
+pub fn lerp(x0: f64, y0: f64, x1: f64, y1: f64, x: f64) -> f64 {
+    if x1 == x0 {
+        return 0.5 * (y0 + y1);
+    }
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// A rectangular 2-D lookup table with bilinear interpolation, clamped to the
+/// characterized ranges (flat extrapolation), matching library-table
+/// conventions.
+///
+/// Values are stored row-major: `values[i * ys.len() + j]` corresponds to
+/// `(xs[i], ys[j])`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2 {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Table2 {
+    /// Builds a table from its two axes and row-major values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] if either axis is unsorted or
+    /// too short, or if `values.len() != xs.len() * ys.len()`.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, values: Vec<f64>) -> Result<Self> {
+        check_axis("x", &xs)?;
+        check_axis("y", &ys)?;
+        if values.len() != xs.len() * ys.len() {
+            return Err(NumericError::invalid(format!(
+                "value grid has {} entries for a {}x{} table",
+                values.len(),
+                xs.len(),
+                ys.len()
+            )));
+        }
+        Ok(Table2 { xs, ys, values })
+    }
+
+    /// Characterizes the table by evaluating `f` on the grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates axis validation errors, plus any error returned by `f`.
+    pub fn tabulate<E>(
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        mut f: impl FnMut(f64, f64) -> std::result::Result<f64, E>,
+    ) -> std::result::Result<Self, E>
+    where
+        E: From<NumericError>,
+    {
+        check_axis("x", &xs).map_err(E::from)?;
+        check_axis("y", &ys).map_err(E::from)?;
+        let mut values = Vec::with_capacity(xs.len() * ys.len());
+        for &x in &xs {
+            for &y in &ys {
+                values.push(f(x, y)?);
+            }
+        }
+        Ok(Table2 { xs, ys, values })
+    }
+
+    /// First axis.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Second axis.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Bilinear lookup at (`x`, `y`), clamped to the table ranges.
+    pub fn lookup(&self, x: f64, y: f64) -> f64 {
+        let (i, wx) = locate(&self.xs, x);
+        let (j, wy) = locate(&self.ys, y);
+        let ny = self.ys.len();
+        let v00 = self.values[i * ny + j];
+        let v01 = self.values[i * ny + j + 1];
+        let v10 = self.values[(i + 1) * ny + j];
+        let v11 = self.values[(i + 1) * ny + j + 1];
+        let a = v00 * (1.0 - wy) + v01 * wy;
+        let b = v10 * (1.0 - wy) + v11 * wy;
+        a * (1.0 - wx) + b * wx
+    }
+
+    /// Reads the raw grid value at axis indices (`i`, `j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.ys.len() + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lerp_table_interior_and_clamp() {
+        let xs = [0.0, 1.0, 3.0];
+        let ys = [0.0, 10.0, 30.0];
+        assert_eq!(lerp_table(&xs, &ys, 0.5).unwrap(), 5.0);
+        assert_eq!(lerp_table(&xs, &ys, 2.0).unwrap(), 20.0);
+        // Clamped at both ends.
+        assert_eq!(lerp_table(&xs, &ys, -5.0).unwrap(), 0.0);
+        assert_eq!(lerp_table(&xs, &ys, 99.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn lerp_table_rejects_unsorted() {
+        assert!(lerp_table(&[1.0, 0.0], &[0.0, 1.0], 0.5).is_err());
+        assert!(lerp_table(&[0.0], &[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn bilinear_reproduces_corners_and_center() {
+        let t = Table2::new(
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert_eq!(t.lookup(0.0, 0.0), 1.0);
+        assert_eq!(t.lookup(0.0, 1.0), 2.0);
+        assert_eq!(t.lookup(1.0, 0.0), 3.0);
+        assert_eq!(t.lookup(1.0, 1.0), 4.0);
+        assert_eq!(t.lookup(0.5, 0.5), 2.5);
+    }
+
+    #[test]
+    fn bilinear_clamps_outside() {
+        let t = Table2::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(t.lookup(-1.0, -1.0), 1.0);
+        assert_eq!(t.lookup(2.0, 2.0), 4.0);
+    }
+
+    #[test]
+    fn tabulate_fills_grid() {
+        let t: Table2 = Table2::tabulate::<NumericError>(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 1.0],
+            |x, y| Ok(x * 10.0 + y),
+        )
+        .unwrap();
+        assert_eq!(t.at(2, 1), 21.0);
+        assert_eq!(t.lookup(1.5, 0.5), 15.5);
+    }
+
+    #[test]
+    fn table_rejects_bad_grid() {
+        assert!(Table2::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![1.0]).is_err());
+    }
+
+    proptest! {
+        /// Bilinear interpolation of a function that is linear in both axes
+        /// is exact inside the table.
+        #[test]
+        fn prop_bilinear_exact_for_bilinear_fn(x in 0.0f64..2.0, y in 0.0f64..3.0) {
+            let t: Table2 = Table2::tabulate::<NumericError>(
+                vec![0.0, 0.7, 2.0],
+                vec![0.0, 1.1, 3.0],
+                |x, y| Ok(2.0 * x - 3.0 * y + 1.0),
+            ).unwrap();
+            let got = t.lookup(x, y);
+            let want = 2.0 * x - 3.0 * y + 1.0;
+            prop_assert!((got - want).abs() < 1e-9);
+        }
+
+        /// lerp_table is monotone for monotone data.
+        #[test]
+        fn prop_lerp_monotone(a in -1.0f64..1.0, b in -1.0f64..1.0) {
+            let xs = [0.0, 1.0, 2.0, 3.0];
+            let ys = [0.0, 1.0, 2.0, 4.0];
+            let (lo, hi) = if a < b { (a + 1.0, b + 1.0) } else { (b + 1.0, a + 1.0) };
+            let ylo = lerp_table(&xs, &ys, lo).unwrap();
+            let yhi = lerp_table(&xs, &ys, hi).unwrap();
+            prop_assert!(ylo <= yhi + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+// `!(x > 0.0)`-style guards are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which matters for user-supplied physical quantities.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! Numerical kernels for the `clarinox` crosstalk delay-noise analyzer.
+//!
+//! The EDA reproduction brief calls for a self-contained numerical stack, so
+//! this crate implements exactly the pieces the analysis flow needs and no
+//! more:
+//!
+//! * dense matrices with LU factorization ([`matrix`]) — the workhorse behind
+//!   MNA circuit solves and PRIMA projections,
+//! * 1-D/2-D table interpolation ([`interp`]) — gate timing tables and the
+//!   paper's 8-point alignment-voltage tables,
+//! * root bracketing and refinement ([`roots`]) — threshold-crossing and
+//!   Thevenin-fit solves,
+//! * quadrature over sampled data ([`quad`]) — the area matching that defines
+//!   the transient holding resistance,
+//! * orthonormalization ([`ortho`]) — the block-Arnoldi step inside PRIMA,
+//! * small statistics helpers ([`stats`]) — error summaries for the
+//!   experiment harnesses.
+//!
+//! All quantities are `f64` in SI units throughout the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use clarinox_numeric::matrix::Matrix;
+//!
+//! # fn main() -> Result<(), clarinox_numeric::NumericError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let x = a.lu()?.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod interp;
+pub mod matrix;
+pub mod ortho;
+pub mod quad;
+pub mod roots;
+pub mod stats;
+
+mod error;
+
+pub use error::NumericError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NumericError>;
+
+/// Returns `true` when `a` and `b` agree to within `rel` relative tolerance
+/// (with an absolute floor of `abs` near zero).
+///
+/// # Examples
+///
+/// ```
+/// assert!(clarinox_numeric::approx_eq(1.0, 1.0 + 1e-12, 1e-9, 1e-12));
+/// assert!(!clarinox_numeric::approx_eq(1.0, 1.1, 1e-3, 1e-12));
+/// ```
+pub fn approx_eq(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= abs || diff <= rel * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_symmetric() {
+        assert!(approx_eq(2.0, 2.0000000001, 1e-9, 0.0));
+        assert!(approx_eq(2.0000000001, 2.0, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn approx_eq_absolute_floor() {
+        assert!(approx_eq(0.0, 1e-15, 1e-9, 1e-12));
+        assert!(!approx_eq(0.0, 1e-6, 1e-9, 1e-12));
+    }
+}

@@ -1,0 +1,536 @@
+//! Dense row-major matrices and LU factorization with partial pivoting.
+//!
+//! Circuit matrices in this workspace (MNA conductance/capacitance stamps,
+//! PRIMA projections) are small — tens to a few thousand unknowns — and are
+//! factored once and back-substituted many times, so a dense LU with partial
+//! pivoting is the right tool: simple, cache-friendly, and robust to the
+//! indefinite matrices MNA produces (voltage-source branch rows make the
+//! system non-symmetric and indefinite, ruling out plain Cholesky).
+
+use crate::{NumericError, Result};
+
+/// A dense row-major `rows x cols` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use clarinox_numeric::matrix::Matrix;
+///
+/// # fn main() -> Result<(), clarinox_numeric::NumericError> {
+/// let a = Matrix::identity(3);
+/// let b = a.mul_vec(&[1.0, 2.0, 3.0])?;
+/// assert_eq!(b, vec![1.0, 2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if rows have differing
+    /// lengths, and [`NumericError::InvalidInput`] if `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let nr = rows.len();
+        if nr == 0 {
+            return Err(NumericError::invalid("matrix must have at least one row"));
+        }
+        let nc = rows[0].len();
+        let mut data = Vec::with_capacity(nr * nc);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != nc {
+                return Err(NumericError::dims(format!(
+                    "row {i} has length {} but row 0 has length {nc}",
+                    r.len()
+                )));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nr,
+            cols: nc,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the entry at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes the entry at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to the entry at (`r`, `c`). This is the fundamental MNA
+    /// "stamping" primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(NumericError::dims(format!(
+                "mat({}x{}) * vec({})",
+                self.rows,
+                self.cols,
+                x.len()
+            )));
+        }
+        let y: Vec<f64> = (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect();
+        Ok(y)
+    }
+
+    /// Matrix-matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] on incompatible shapes.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(NumericError::dims(format!(
+                "mat({}x{}) * mat({}x{})",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.add(i, j, aik * other.get(k, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Sum of `self + scale * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] on shape mismatch.
+    pub fn add_scaled(&self, other: &Matrix, scale: f64) -> Result<Matrix> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(NumericError::dims("add_scaled shape mismatch".to_string()));
+        }
+        let mut out = self.clone();
+        for (o, i) in out.data.iter_mut().zip(other.data.iter()) {
+            *o += scale * i;
+        }
+        Ok(out)
+    }
+
+    /// Extracts column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Assembles a matrix from a list of column vectors (all of length `rows`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if columns differ in length
+    /// and [`NumericError::InvalidInput`] if `cols` is empty.
+    pub fn from_cols(cols: &[Vec<f64>]) -> Result<Matrix> {
+        if cols.is_empty() {
+            return Err(NumericError::invalid("from_cols needs at least one column"));
+        }
+        let n = cols[0].len();
+        for (j, c) in cols.iter().enumerate() {
+            if c.len() != n {
+                return Err(NumericError::dims(format!(
+                    "column {j} has length {} but column 0 has length {n}",
+                    c.len()
+                )));
+            }
+        }
+        let mut out = Matrix::zeros(n, cols.len());
+        for (j, cvec) in cols.iter().enumerate() {
+            for (i, v) in cvec.iter().enumerate() {
+                out.set(i, j, *v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Factors the matrix as `P A = L U` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if the matrix is not
+    /// square, or [`NumericError::SingularMatrix`] when a pivot underflows.
+    pub fn lu(&self) -> Result<LuFactors> {
+        LuFactors::factor(self)
+    }
+
+    /// Infinity norm (maximum absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|r| self.row(r).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// LU factorization `P A = L U` of a square [`Matrix`], reusable for many
+/// right-hand sides.
+///
+/// MNA transient analysis factors the constant companion matrix
+/// `G + (2/h) C` once per simulation and back-substitutes each timestep,
+/// which is exactly the access pattern this type optimizes for.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Combined L (unit lower, below diagonal) and U (upper incl. diagonal).
+    lu: Vec<f64>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Pivot magnitudes below this threshold are treated as singular.
+    const PIVOT_TOL: f64 = 1e-300;
+
+    fn factor(a: &Matrix) -> Result<Self> {
+        if a.rows != a.cols {
+            return Err(NumericError::dims(format!(
+                "lu of non-square {}x{}",
+                a.rows, a.cols
+            )));
+        }
+        let n = a.rows;
+        let mut lu = a.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let mut pr = k;
+            let mut pv = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > pv {
+                    pv = v;
+                    pr = r;
+                }
+            }
+            if pv < Self::PIVOT_TOL {
+                return Err(NumericError::SingularMatrix { pivot: k });
+            }
+            if pr != k {
+                for c in 0..n {
+                    lu.swap(k * n + c, pr * n + c);
+                }
+                perm.swap(k, pr);
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let f = lu[r * n + k] / pivot;
+                lu[r * n + k] = f;
+                if f != 0.0 {
+                    for c in (k + 1)..n {
+                        lu[r * n + c] -= f * lu[k * n + c];
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// (Indexing loops are clearer than iterator adapters for the blocked
+    /// triangular substitutions below.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
+    /// the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.n {
+            return Err(NumericError::dims(format!(
+                "solve rhs length {} for dimension {}",
+                b.len(),
+                self.n
+            )));
+        }
+        let n = self.n;
+        // Apply permutation and forward-substitute L y = P b.
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        #[allow(clippy::needless_range_loop)]
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = acc;
+        }
+        // Back-substitute U x = y.
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            #[allow(clippy::needless_range_loop)] // x is also the output being built
+            for c in (r + 1)..n {
+                acc -= self.lu[r * n + c] * x[c];
+            }
+            x[r] = acc / self.lu[r * n + r];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `B` has the wrong row
+    /// count.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        if b.rows != self.n {
+            return Err(NumericError::dims(format!(
+                "solve_matrix rhs rows {} for dimension {}",
+                b.rows, self.n
+            )));
+        }
+        let cols: Result<Vec<Vec<f64>>> = (0..b.cols).map(|j| self.solve(&b.col(j))).collect();
+        Matrix::from_cols(&cols?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_solve_roundtrip() {
+        let a = Matrix::identity(4);
+        let lu = a.lu().unwrap();
+        let x = lu.solve(&[1.0, -2.0, 3.0, 0.5]).unwrap();
+        assert_eq!(x, vec![1.0, -2.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn known_3x3_solve() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x = a.lu().unwrap().solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert!(approx_eq(x[0], 2.0, 1e-12, 1e-12));
+        assert!(approx_eq(x[1], 3.0, 1e-12, 1e-12));
+        assert!(approx_eq(x[2], -1.0, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.lu().unwrap().solve(&[3.0, 7.0]).unwrap();
+        assert!(approx_eq(x[0], 7.0, 1e-12, 0.0));
+        assert!(approx_eq(x[1], 3.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        match a.lu() {
+            Err(NumericError::SingularMatrix { .. }) => {}
+            other => panic!("expected SingularMatrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_lu_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(NumericError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn mul_and_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.row(0), &[2.0, 1.0]);
+        assert_eq!(c.row(1), &[4.0, 3.0]);
+        let t = a.transpose();
+        assert_eq!(t.row(0), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[9.0, 4.0], &[8.0, 3.0]]).unwrap();
+        let x = a.lu().unwrap().solve_matrix(&b).unwrap();
+        let back = a.mul(&x).unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(approx_eq(back.get(r, c), b.get(r, c), 1e-12, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn norm_inf_is_max_abs_row_sum() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]).unwrap();
+        assert_eq!(a.norm_inf(), 3.5);
+        assert_eq!(Matrix::zeros(2, 2).norm_inf(), 0.0);
+    }
+
+    #[test]
+    fn from_cols_roundtrip() {
+        let cols = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let m = Matrix::from_cols(&cols).unwrap();
+        assert_eq!(m.col(0), cols[0]);
+        assert_eq!(m.col(1), cols[1]);
+        assert!(Matrix::from_cols(&[]).is_err());
+        assert!(Matrix::from_cols(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn stamping_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 2.5);
+        assert_eq!(m.get(0, 0), 4.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    proptest! {
+        /// LU solve round-trips A*x for random diagonally-dominant systems.
+        #[test]
+        fn prop_lu_roundtrip(seed in 0u64..500) {
+            let n = 1 + (seed as usize % 7);
+            // Deterministic pseudo-random fill from the seed.
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            let mut a = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    a.set(r, c, next());
+                }
+                // Diagonal dominance guarantees non-singularity.
+                let s: f64 = a.row(r).iter().map(|x| x.abs()).sum();
+                a.add(r, r, s + 1.0);
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| next()).collect();
+            let b = a.mul_vec(&x_true).unwrap();
+            let x = a.lu().unwrap().solve(&b).unwrap();
+            for (xs, xt) in x.iter().zip(x_true.iter()) {
+                prop_assert!(approx_eq(*xs, *xt, 1e-9, 1e-9));
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Orthonormalization kernels for Krylov-subspace model-order reduction.
+//!
+//! PRIMA builds its congruence projector by block-Arnoldi iteration on
+//! `G⁻¹C`; each new block is orthonormalized against the accumulated basis.
+//! Modified Gram-Schmidt with one re-orthogonalization pass is the standard
+//! numerically-safe choice at these block sizes.
+
+use crate::matrix::Matrix;
+use crate::{NumericError, Result};
+
+/// Euclidean norm of a vector.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics (via `debug_assert`) if the lengths differ; in release the shorter
+/// length governs.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Orthogonalizes `v` (in place) against an orthonormal basis using modified
+/// Gram-Schmidt with one re-orthogonalization pass, then normalizes it.
+///
+/// Returns `None` if `v` is (numerically) in the span of `basis` — its
+/// remaining norm fell below `tol` times its original norm — in which case
+/// `v` carries no new Krylov direction and the caller should deflate it.
+pub fn orthonormalize_against(v: &mut [f64], basis: &[Vec<f64>], tol: f64) -> Option<f64> {
+    let orig = norm2(v);
+    if orig == 0.0 {
+        return None;
+    }
+    for _pass in 0..2 {
+        for q in basis {
+            let h = dot(v, q);
+            for (vi, qi) in v.iter_mut().zip(q.iter()) {
+                *vi -= h * qi;
+            }
+        }
+    }
+    let n = norm2(v);
+    if n <= tol * orig {
+        return None;
+    }
+    for vi in v.iter_mut() {
+        *vi /= n;
+    }
+    Some(n)
+}
+
+/// Orthonormalizes the columns of `m` (modified Gram-Schmidt), dropping
+/// numerically dependent columns, and returns the resulting basis as a
+/// matrix whose columns are orthonormal.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if every column deflates (the
+/// input was rank zero).
+pub fn orthonormal_columns(m: &Matrix, tol: f64) -> Result<Matrix> {
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    for j in 0..m.cols() {
+        let mut v = m.col(j);
+        if orthonormalize_against(&mut v, &basis, tol).is_some() {
+            basis.push(v);
+        }
+    }
+    if basis.is_empty() {
+        return Err(NumericError::invalid("input matrix has rank zero"));
+    }
+    Matrix::from_cols(&basis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn norms_and_dots() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn orthonormalize_produces_unit_orthogonal_vectors() {
+        let basis = vec![vec![1.0, 0.0, 0.0]];
+        let mut v = vec![1.0, 1.0, 0.0];
+        let n = orthonormalize_against(&mut v, &basis, 1e-12).unwrap();
+        assert!(approx_eq(n, 1.0, 1e-12, 1e-12));
+        assert!(approx_eq(dot(&v, &basis[0]), 0.0, 0.0, 1e-12));
+        assert!(approx_eq(norm2(&v), 1.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn dependent_vector_deflates() {
+        let basis = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut v = vec![0.3, -0.7];
+        assert!(orthonormalize_against(&mut v, &basis, 1e-10).is_none());
+        let mut z = vec![0.0, 0.0];
+        assert!(orthonormalize_against(&mut z, &[], 1e-10).is_none());
+    }
+
+    #[test]
+    fn orthonormal_columns_qtq_is_identity() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 1.0, 2.0],
+            &[1.0, 0.0, 1.0],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let q = orthonormal_columns(&m, 1e-10).unwrap();
+        // Third column is the sum of the first two: rank 2.
+        assert_eq!(q.cols(), 2);
+        let qtq = q.transpose().mul(&q).unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!(approx_eq(qtq.get(r, c), want, 1e-10, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix_is_rejected() {
+        let m = Matrix::zeros(3, 2);
+        assert!(orthonormal_columns(&m, 1e-10).is_err());
+    }
+}

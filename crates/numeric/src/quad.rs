@@ -1,0 +1,156 @@
+//! Quadrature over sampled (piecewise-linear) data.
+//!
+//! The transient holding resistance of the paper is defined by *area
+//! matching* — `R_t = ∫V'_n dt / ∫I_n dt` — over waveforms that are sampled
+//! on non-uniform time grids, so trapezoidal integration over sample pairs is
+//! exact for the piecewise-linear signal representation used throughout the
+//! workspace.
+
+use crate::{NumericError, Result};
+
+/// Trapezoidal integral of samples `(ts[i], ys[i])`.
+///
+/// Exact for piecewise-linear data on the same breakpoints.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if the arrays differ in length,
+/// have fewer than two samples, or `ts` is not strictly increasing.
+///
+/// # Examples
+///
+/// ```
+/// let area = clarinox_numeric::quad::trapezoid(&[0.0, 1.0, 2.0], &[0.0, 1.0, 0.0])?;
+/// assert!((area - 1.0).abs() < 1e-15);
+/// # Ok::<(), clarinox_numeric::NumericError>(())
+/// ```
+pub fn trapezoid(ts: &[f64], ys: &[f64]) -> Result<f64> {
+    if ts.len() != ys.len() {
+        return Err(NumericError::invalid(format!(
+            "time/value length mismatch: {} vs {}",
+            ts.len(),
+            ys.len()
+        )));
+    }
+    if ts.len() < 2 {
+        return Err(NumericError::invalid("need at least two samples"));
+    }
+    let mut acc = 0.0;
+    for i in 1..ts.len() {
+        let dt = ts[i] - ts[i - 1];
+        if !(dt > 0.0) {
+            return Err(NumericError::invalid(format!(
+                "time axis not strictly increasing at index {i} ({} then {})",
+                ts[i - 1],
+                ts[i]
+            )));
+        }
+        acc += 0.5 * (ys[i] + ys[i - 1]) * dt;
+    }
+    Ok(acc)
+}
+
+/// Trapezoidal integral of a function over `[a, b]` with `n` uniform panels.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if `n == 0` or `b <= a`.
+pub fn trapezoid_fn(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, n: usize) -> Result<f64> {
+    if n == 0 {
+        return Err(NumericError::invalid("need at least one panel"));
+    }
+    if !(b > a) {
+        return Err(NumericError::invalid(format!("empty interval [{a}, {b}]")));
+    }
+    let h = (b - a) / n as f64;
+    let mut acc = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        acc += f(a + h * i as f64);
+    }
+    Ok(acc * h)
+}
+
+/// Running (cumulative) trapezoidal integral: returns a vector `c` with
+/// `c[i] = ∫_{ts[0]}^{ts[i]} y dt`.
+///
+/// Used to turn injected-current waveforms into charge for C-effective
+/// matching.
+///
+/// # Errors
+///
+/// Same conditions as [`trapezoid`].
+pub fn cumulative(ts: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
+    if ts.len() != ys.len() || ts.len() < 2 {
+        return Err(NumericError::invalid("cumulative needs matched arrays of length >= 2"));
+    }
+    let mut out = Vec::with_capacity(ts.len());
+    out.push(0.0);
+    let mut acc = 0.0;
+    for i in 1..ts.len() {
+        let dt = ts[i] - ts[i - 1];
+        if !(dt > 0.0) {
+            return Err(NumericError::invalid(format!(
+                "time axis not strictly increasing at index {i}"
+            )));
+        }
+        acc += 0.5 * (ys[i] + ys[i - 1]) * dt;
+        out.push(acc);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn triangle_area() {
+        let a = trapezoid(&[0.0, 2.0], &[0.0, 3.0]).unwrap();
+        assert_eq!(a, 3.0);
+    }
+
+    #[test]
+    fn rejects_unsorted_time() {
+        assert!(trapezoid(&[0.0, 0.0], &[1.0, 1.0]).is_err());
+        assert!(trapezoid(&[1.0, 0.0], &[1.0, 1.0]).is_err());
+        assert!(trapezoid(&[0.0], &[1.0]).is_err());
+        assert!(trapezoid(&[0.0, 1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn fn_quadrature_of_linear_is_exact() {
+        let a = trapezoid_fn(|x| 3.0 * x + 1.0, 0.0, 2.0, 4).unwrap();
+        assert!((a - 8.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn fn_quadrature_rejects_bad_args() {
+        assert!(trapezoid_fn(|x| x, 0.0, 1.0, 0).is_err());
+        assert!(trapezoid_fn(|x| x, 1.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn cumulative_matches_total() {
+        let ts = [0.0, 0.5, 1.0, 2.0];
+        let ys = [1.0, 2.0, 0.0, 4.0];
+        let c = cumulative(&ts, &ys).unwrap();
+        let total = trapezoid(&ts, &ys).unwrap();
+        assert!((c.last().unwrap() - total).abs() < 1e-14);
+        assert_eq!(c[0], 0.0);
+    }
+
+    proptest! {
+        /// Integral is additive over a split point.
+        #[test]
+        fn prop_additive(split in 1usize..8) {
+            let ts: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
+            let ys: Vec<f64> = ts.iter().map(|t| (t * 7.0).sin()).collect();
+            let whole = trapezoid(&ts, &ys).unwrap();
+            let s = split.min(ts.len() - 2);
+            let left = trapezoid(&ts[..=s], &ys[..=s]).unwrap();
+            let right = trapezoid(&ts[s..], &ys[s..]).unwrap();
+            prop_assert!((whole - (left + right)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Used for threshold-crossing refinement, Thevenin-model fitting, and the
+//! effective-capacitance charge-matching iteration. Both methods require a
+//! sign-changing bracket and are therefore unconditionally convergent, which
+//! matters more here than raw speed: the objective functions come out of
+//! circuit simulations and are only piecewise smooth.
+
+use crate::{NumericError, Result};
+
+/// Default relative/absolute tolerance for root refinement.
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidBracket`] if `f(lo)` and `f(hi)` have the same
+///   sign.
+/// * [`NumericError::NoConvergence`] if the interval does not shrink below
+///   `tol` within `max_iter` iterations (practically unreachable for sane
+///   tolerances).
+///
+/// # Examples
+///
+/// ```
+/// let r = clarinox_numeric::roots::bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((r - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), clarinox_numeric::NumericError>(())
+/// ```
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericError::InvalidBracket { lo, hi });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fm = f(mid);
+        if fm == 0.0 || (hi - lo).abs() < tol * (1.0 + mid.abs()) {
+            return Ok(mid);
+        }
+        if fm.signum() == flo.signum() {
+            lo = mid;
+            flo = fm;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: max_iter,
+        residual: (hi - lo).abs(),
+    })
+}
+
+/// Finds a root of `f` in `[a, b]` with Brent's method (inverse quadratic
+/// interpolation guarded by bisection).
+///
+/// # Errors
+///
+/// * [`NumericError::InvalidBracket`] if `f(a)` and `f(b)` have the same
+///   sign.
+/// * [`NumericError::NoConvergence`] if `max_iter` is exhausted.
+pub fn brent(
+    mut f: impl FnMut(f64) -> f64,
+    a0: f64,
+    b0: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    let (mut a, mut b) = (a0, b0);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket { lo: a, hi: b });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = c;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol * (1.0 + b.abs()) {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let cond_range = {
+            let lo = (3.0 * a + b) / 4.0;
+            let (lo, hi) = if lo < b { (lo, b) } else { (b, lo) };
+            s < lo || s > hi
+        };
+        let cond_step = if mflag {
+            (s - b).abs() >= (b - c).abs() / 2.0
+        } else {
+            (s - b).abs() >= (c - d).abs() / 2.0
+        };
+        let cond_tol = if mflag {
+            (b - c).abs() < tol
+        } else {
+            (c - d).abs() < tol
+        };
+        if cond_range || cond_step || cond_tol {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericError::NoConvergence {
+        iterations: max_iter,
+        residual: fb.abs(),
+    })
+}
+
+/// Minimizes a unimodal function on `[a, b]` by golden-section search,
+/// returning `(x_min, f(x_min))`.
+///
+/// Used to refine worst-case alignment offsets after a coarse sweep. The
+/// bracket is shrunk until its width falls below `tol`; the function is not
+/// required to be smooth.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] if `a >= b` or `tol <= 0`.
+pub fn golden_min(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<(f64, f64)> {
+    if !(a < b) || !(tol > 0.0) {
+        return Err(NumericError::invalid(format!(
+            "golden_min needs a < b and tol > 0 (got [{a}, {b}], tol {tol})"
+        )));
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut lo, mut hi) = (a, b);
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    while (hi - lo).abs() > tol {
+        if f1 < f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    let xm = 0.5 * (lo + hi);
+    Ok((xm, f(xm)))
+}
+
+/// Maximizes a unimodal function on `[a, b]`; see [`golden_min`].
+///
+/// # Errors
+///
+/// Same as [`golden_min`].
+pub fn golden_max(
+    mut f: impl FnMut(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<(f64, f64)> {
+    let (x, fneg) = golden_min(|x| -f(x), a, b, tol)?;
+    Ok((x, -fneg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(NumericError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn brent_cubic() {
+        let r = brent(|x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 1.0), -4.0, 0.0, 1e-14, 100)
+            .unwrap();
+        assert!((r + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.exp() - 2.0;
+        let r1 = brent(f, 0.0, 2.0, 1e-14, 100).unwrap();
+        let r2 = bisect(f, 0.0, 2.0, 1e-14, 200).unwrap();
+        assert!((r1 - r2).abs() < 1e-9);
+        assert!((r1 - 2f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_finds_parabola_extrema() {
+        let (x, fx) = golden_min(|x| (x - 0.3) * (x - 0.3) + 1.0, -2.0, 2.0, 1e-10).unwrap();
+        assert!((x - 0.3).abs() < 1e-6);
+        assert!((fx - 1.0).abs() < 1e-9);
+        let (x, fx) = golden_max(|x| -(x - 0.7) * (x - 0.7) + 5.0, -2.0, 2.0, 1e-10).unwrap();
+        assert!((x - 0.7).abs() < 1e-6);
+        assert!((fx - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_rejects_degenerate_interval() {
+        assert!(golden_min(|x| x, 1.0, 1.0, 1e-9).is_err());
+        assert!(golden_min(|x| x, 0.0, 1.0, 0.0).is_err());
+    }
+
+    proptest! {
+        /// Brent finds the root of a random monotone cubic within tolerance.
+        #[test]
+        fn prop_brent_monotone_cubic(r in -0.9f64..0.9) {
+            let f = move |x: f64| (x - r) * (1.0 + (x - r) * (x - r));
+            let root = brent(f, -2.0, 2.0, 1e-14, 200).unwrap();
+            prop_assert!((root - r).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Small statistics helpers for the experiment harnesses.
+//!
+//! The paper's evaluation reports *average error*, *worst-case error* and
+//! scatter trends over net populations (Figures 9, 13, 14); these helpers
+//! compute exactly those summaries.
+
+use crate::{NumericError, Result};
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Maximum value; `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Minimum value; `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Root-mean-square. Returns 0 for an empty slice.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+    }
+}
+
+/// Relative error `|got - want| / |want|`, guarded against tiny references:
+/// when `|want| < floor` the error is reported relative to `floor` instead,
+/// so near-zero references do not blow up percentage summaries.
+pub fn rel_err(got: f64, want: f64, floor: f64) -> f64 {
+    (got - want).abs() / want.abs().max(floor)
+}
+
+/// Summary statistics of an error population, as the paper reports them.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorSummary {
+    /// Mean of the absolute errors.
+    pub mean: f64,
+    /// Worst (maximum) absolute error.
+    pub worst: f64,
+    /// RMS of the errors.
+    pub rms: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// Summarizes a slice of error values (absolute values are taken).
+    pub fn of(errors: &[f64]) -> Self {
+        let abs: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+        ErrorSummary {
+            mean: mean(&abs),
+            worst: max(&abs).unwrap_or(0.0),
+            rms: rms(&abs),
+            count: abs.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:.3} worst {:.3} rms {:.3} (n={})",
+            self.mean, self.worst, self.rms, self.count
+        )
+    }
+}
+
+/// Least-squares straight-line fit `y = a + b x`, returning `(a, b)`.
+///
+/// Used to verify the paper's near-linearity claims (worst-case alignment vs
+/// victim slew, alignment voltage vs pulse width/height).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidInput`] for fewer than two points or a
+/// degenerate (constant-x) sample.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<(f64, f64)> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return Err(NumericError::invalid("linear_fit needs >= 2 matched points"));
+    }
+    let n = xs.len() as f64;
+    let sx = xs.iter().sum::<f64>();
+    let sy = ys.iter().sum::<f64>();
+    let sxx = xs.iter().map(|x| x * x).sum::<f64>();
+    let sxy = xs.iter().zip(ys.iter()).map(|(x, y)| x * y).sum::<f64>();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return Err(NumericError::invalid("degenerate x data in linear_fit"));
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    Ok((a, b))
+}
+
+/// Coefficient of determination R² of a straight-line fit.
+///
+/// # Errors
+///
+/// Same conditions as [`linear_fit`].
+pub fn r_squared(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    let (a, b) = linear_fit(xs, ys)?;
+    let ybar = mean(ys);
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (x, y) in xs.iter().zip(ys.iter()) {
+        let pred = a + b * x;
+        ss_res += (y - pred) * (y - pred);
+        ss_tot += (y - ybar) * (y - ybar);
+    }
+    if ss_tot == 0.0 {
+        return Ok(1.0);
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(mean(&xs), 2.0);
+        assert_eq!(max(&xs), Some(3.0));
+        assert_eq!(min(&xs), Some(1.0));
+        assert!(approx_eq(rms(&[3.0, 4.0]), (12.5f64).sqrt(), 1e-12, 0.0));
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn rel_err_floor_guards_zero() {
+        assert_eq!(rel_err(1.0, 0.0, 0.5), 2.0);
+        assert!(approx_eq(rel_err(1.1, 1.0, 1e-12), 0.1, 1e-9, 0.0));
+    }
+
+    #[test]
+    fn summary_reports_worst_and_mean() {
+        let s = ErrorSummary::of(&[0.1, -0.3, 0.2]);
+        assert!(approx_eq(s.mean, 0.2, 1e-12, 0.0));
+        assert!(approx_eq(s.worst, 0.3, 1e-12, 0.0));
+        assert_eq!(s.count, 3);
+        assert!(s.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 0.5 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys).unwrap();
+        assert!(approx_eq(a, 2.0, 1e-12, 1e-12));
+        assert!(approx_eq(b, 0.5, 1e-12, 1e-12));
+        assert!(approx_eq(r_squared(&xs, &ys).unwrap(), 1.0, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn degenerate_fit_is_rejected() {
+        assert!(linear_fit(&[1.0, 1.0], &[0.0, 1.0]).is_err());
+        assert!(linear_fit(&[1.0], &[0.0]).is_err());
+    }
+}

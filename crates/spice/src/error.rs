@@ -1,0 +1,96 @@
+use std::fmt;
+
+/// Error type for non-linear simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// Newton–Raphson failed to converge.
+    NewtonDiverged {
+        /// Simulation time at which convergence was lost (seconds); `None`
+        /// during the DC operating-point solve.
+        time: Option<f64>,
+        /// Iterations attempted.
+        iterations: usize,
+        /// Final residual (amps).
+        residual: f64,
+    },
+    /// A device references a node outside the circuit, or has unphysical
+    /// geometry.
+    InvalidDevice {
+        /// Description of the problem.
+        context: String,
+    },
+    /// Underlying linear-circuit failure.
+    Circuit(clarinox_circuit::CircuitError),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::NewtonDiverged {
+                time,
+                iterations,
+                residual,
+            } => match time {
+                Some(t) => write!(
+                    f,
+                    "newton-raphson diverged at t={t:e}s after {iterations} iterations (residual {residual:e} A)"
+                ),
+                None => write!(
+                    f,
+                    "newton-raphson diverged in dc solve after {iterations} iterations (residual {residual:e} A)"
+                ),
+            },
+            SpiceError::InvalidDevice { context } => write!(f, "invalid device: {context}"),
+            SpiceError::Circuit(e) => write!(f, "circuit failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpiceError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<clarinox_circuit::CircuitError> for SpiceError {
+    fn from(e: clarinox_circuit::CircuitError) -> Self {
+        SpiceError::Circuit(e)
+    }
+}
+
+impl From<clarinox_numeric::NumericError> for SpiceError {
+    fn from(e: clarinox_numeric::NumericError) -> Self {
+        SpiceError::Circuit(clarinox_circuit::CircuitError::Solve(e))
+    }
+}
+
+impl From<clarinox_waveform::WaveformError> for SpiceError {
+    fn from(e: clarinox_waveform::WaveformError) -> Self {
+        SpiceError::Circuit(clarinox_circuit::CircuitError::Waveform(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SpiceError::NewtonDiverged {
+            time: Some(1e-9),
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("diverged"));
+        let d = SpiceError::NewtonDiverged {
+            time: None,
+            iterations: 5,
+            residual: 0.1,
+        };
+        assert!(d.to_string().contains("dc solve"));
+    }
+}

@@ -1,0 +1,65 @@
+// `!(x > 0.0)`-style guards are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which matters for user-supplied physical quantities.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! Non-linear (transistor-level) transient circuit simulation.
+//!
+//! The paper validates every linear driver model against "Spice simulation
+//! of the full non-linear circuit". This crate is that reference simulator:
+//! MOSFET devices ([`mosfet`]) on top of the MNA machinery of
+//! `clarinox-circuit`, solved per timestep with damped Newton–Raphson
+//! ([`solver`]).
+//!
+//! The device model is a square-law (Shichman–Hodges with channel length
+//! modulation). That is deliberately simpler than BSIM-class models — the
+//! phenomenon under study is the *strong variation of the driver's
+//! small-signal conductance across its transition*, which any square-law
+//! device exhibits, and which the standard Thevenin holding resistance
+//! cannot represent (paper Section 2).
+//!
+//! # Examples
+//!
+//! A CMOS inverter (two MOSFETs) driving a capacitive load:
+//!
+//! ```
+//! use clarinox_circuit::netlist::{Circuit, SourceWave};
+//! use clarinox_circuit::transient::TransientSpec;
+//! use clarinox_spice::mosfet::{MosParams, Polarity};
+//! use clarinox_spice::solver::NonlinearCircuit;
+//! use clarinox_waveform::Pwl;
+//!
+//! # fn main() -> Result<(), clarinox_spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let vdd = ckt.node("vdd");
+//! let inp = ckt.node("in");
+//! let out = ckt.node("out");
+//! let gnd = Circuit::ground();
+//! ckt.add_vsource(vdd, gnd, SourceWave::Dc(1.8))?;
+//! ckt.add_vsource(inp, gnd, SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.1e-9, 0.0, 1.8)?))?;
+//! ckt.add_capacitor(out, gnd, 20e-15)?;
+//!
+//! let mut nl = NonlinearCircuit::new(ckt);
+//! let nmos = MosParams { vt: 0.45, kp: 170e-6, lambda: 0.05 };
+//! let pmos = MosParams { vt: 0.5, kp: 60e-6, lambda: 0.08 };
+//! nl.add_mosfet(Polarity::Nmos, out, inp, gnd, nmos, 1.0e-6, 0.18e-6);
+//! nl.add_mosfet(Polarity::Pmos, out, inp, vdd, pmos, 2.0e-6, 0.18e-6);
+//!
+//! let res = nl.simulate(&TransientSpec::new(2e-9, 1e-12)?)?;
+//! let v_out = res.voltage(out)?;
+//! assert!(v_out.value(0.0) > 1.7);   // input low -> output high
+//! assert!(v_out.value(2e-9) < 0.1);  // input high -> output pulled low
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod mosfet;
+pub mod solver;
+
+mod error;
+
+pub use error::SpiceError;
+pub use mosfet::{MosParams, Mosfet, Polarity};
+pub use solver::{NlTransientResult, NonlinearCircuit};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SpiceError>;

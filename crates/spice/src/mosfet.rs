@@ -1,0 +1,284 @@
+//! Square-law MOSFET device model (Shichman–Hodges with channel-length
+//! modulation), symmetric in drain/source.
+
+use clarinox_circuit::netlist::NodeId;
+
+/// Channel polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel device (pull-down).
+    Nmos,
+    /// P-channel device (pull-up).
+    Pmos,
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Polarity::Nmos => write!(f, "nmos"),
+            Polarity::Pmos => write!(f, "pmos"),
+        }
+    }
+}
+
+/// Model-card parameters of a MOSFET (magnitudes; polarity handling is done
+/// by the device evaluation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosParams {
+    /// Threshold voltage magnitude (volts, > 0).
+    pub vt: f64,
+    /// Process transconductance `k' = µ Cox` (A/V²).
+    pub kp: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+}
+
+/// Operating-point evaluation of a device: drain current and its partial
+/// derivatives with respect to the *actual* terminal voltages.
+///
+/// `id` flows from drain to source (positive for a conducting NMOS pulling
+/// its drain down).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosEval {
+    /// Drain-to-source current (amps).
+    pub id: f64,
+    /// `∂id/∂vd`.
+    pub did_dvd: f64,
+    /// `∂id/∂vg`.
+    pub did_dvg: f64,
+    /// `∂id/∂vs`.
+    pub did_dvs: f64,
+}
+
+/// A MOSFET instance: polarity, terminals, model card and geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mosfet {
+    /// Channel polarity.
+    pub polarity: Polarity,
+    /// Drain node.
+    pub d: NodeId,
+    /// Gate node.
+    pub g: NodeId,
+    /// Source node.
+    pub s: NodeId,
+    /// Model card.
+    pub params: MosParams,
+    /// Channel width (meters).
+    pub w: f64,
+    /// Channel length (meters).
+    pub l: f64,
+}
+
+impl Mosfet {
+    /// Device transconductance factor `β = k' W / L` (A/V²).
+    pub fn beta(&self) -> f64 {
+        self.params.kp * self.w / self.l
+    }
+
+    /// Evaluates the device at the given terminal voltages (volts),
+    /// returning the drain current and its derivatives in the actual
+    /// (d, g, s) frame. Drain/source are treated symmetrically: when
+    /// `vds < 0` the roles swap internally, as in SPICE.
+    pub fn eval(&self, vd: f64, vg: f64, vs: f64) -> MosEval {
+        match self.polarity {
+            Polarity::Nmos => eval_n(self.beta(), self.params, vd, vg, vs),
+            Polarity::Pmos => {
+                // A PMOS is an NMOS in the mirrored voltage frame:
+                // id_p(vd,vg,vs) = -id_n(-vd,-vg,-vs); derivatives pick up
+                // two sign flips and come out equal to the NMOS ones at the
+                // negated arguments.
+                let n = eval_n(self.beta(), self.params, -vd, -vg, -vs);
+                MosEval {
+                    id: -n.id,
+                    did_dvd: n.did_dvd,
+                    did_dvg: n.did_dvg,
+                    did_dvs: n.did_dvs,
+                }
+            }
+        }
+    }
+}
+
+/// NMOS square-law evaluation with symmetric drain/source handling.
+fn eval_n(beta: f64, p: MosParams, vd: f64, vg: f64, vs: f64) -> MosEval {
+    if vd >= vs {
+        let fwd = eval_n_forward(beta, p, vd - vs, vg - vs);
+        // Forward frame: id = f(vds, vgs) with vds = vd - vs, vgs = vg - vs.
+        MosEval {
+            id: fwd.0,
+            did_dvd: fwd.1,
+            did_dvg: fwd.2,
+            did_dvs: -(fwd.1 + fwd.2),
+        }
+    } else {
+        // Swap drain and source: current reverses.
+        let fwd = eval_n_forward(beta, p, vs - vd, vg - vd);
+        MosEval {
+            id: -fwd.0,
+            did_dvs: -fwd.1,
+            did_dvg: -fwd.2,
+            did_dvd: fwd.1 + fwd.2,
+        }
+    }
+}
+
+/// Forward-frame evaluation: returns `(id, ∂id/∂vds, ∂id/∂vgs)` for
+/// `vds >= 0`.
+fn eval_n_forward(beta: f64, p: MosParams, vds: f64, vgs: f64) -> (f64, f64, f64) {
+    let vov = vgs - p.vt;
+    // Subthreshold: off (with a tiny leakage conductance handled by GMIN in
+    // the MNA assembly, not here).
+    if vov <= 0.0 {
+        return (0.0, 0.0, 0.0);
+    }
+    let clm = 1.0 + p.lambda * vds;
+    if vds >= vov {
+        // Saturation.
+        let id = 0.5 * beta * vov * vov * clm;
+        let gds = 0.5 * beta * vov * vov * p.lambda;
+        let gm = beta * vov * clm;
+        (id, gds, gm)
+    } else {
+        // Triode.
+        let core = vov * vds - 0.5 * vds * vds;
+        let id = beta * core * clm;
+        let gds = beta * (vov - vds) * clm + beta * core * p.lambda;
+        let gm = beta * vds * clm;
+        (id, gds, gm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_circuit::Circuit;
+    use proptest::prelude::*;
+
+    fn nmos() -> Mosfet {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        let g = c.node("g");
+        Mosfet {
+            polarity: Polarity::Nmos,
+            d,
+            g,
+            s: Circuit::ground(),
+            params: MosParams {
+                vt: 0.45,
+                kp: 170e-6,
+                lambda: 0.05,
+            },
+            w: 1e-6,
+            l: 0.18e-6,
+        }
+    }
+
+    fn pmos() -> Mosfet {
+        Mosfet {
+            polarity: Polarity::Pmos,
+            ..nmos()
+        }
+    }
+
+    #[test]
+    fn cutoff_below_threshold() {
+        let m = nmos();
+        let e = m.eval(1.8, 0.3, 0.0);
+        assert_eq!(e.id, 0.0);
+        assert_eq!(e.did_dvg, 0.0);
+    }
+
+    #[test]
+    fn saturation_current_value() {
+        let m = nmos();
+        // vgs = 1.8, vds = 1.8: vov = 1.35 < vds -> saturation.
+        let e = m.eval(1.8, 1.8, 0.0);
+        let beta = m.beta();
+        let want = 0.5 * beta * 1.35 * 1.35 * (1.0 + 0.05 * 1.8);
+        assert!((e.id - want).abs() < 1e-12);
+        assert!(e.id > 0.0);
+        assert!(e.did_dvg > 0.0);
+        assert!(e.did_dvd > 0.0); // channel-length modulation
+    }
+
+    #[test]
+    fn triode_current_value() {
+        let m = nmos();
+        // vgs = 1.8, vds = 0.1 < vov = 1.35 -> triode.
+        let e = m.eval(0.1, 1.8, 0.0);
+        let beta = m.beta();
+        let core = 1.35 * 0.1 - 0.5 * 0.01;
+        let want = beta * core * (1.0 + 0.05 * 0.1);
+        assert!((e.id - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triode_conductance_approximates_ohmic() {
+        // Near vds = 0 the channel is a resistor with g = beta * vov.
+        let m = nmos();
+        let e = m.eval(1e-6, 1.8, 0.0);
+        let g = m.beta() * 1.35;
+        assert!((e.did_dvd - g).abs() / g < 1e-3);
+    }
+
+    #[test]
+    fn symmetric_swap_reverses_current() {
+        let m = nmos();
+        let fwd = m.eval(0.5, 1.8, 0.0);
+        let rev = m.eval(0.0, 1.8, 0.5);
+        assert!((fwd.id + rev.id).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let n = nmos();
+        let p = pmos();
+        // PMOS with source at 1.8, gate at 0, drain at 0: strongly on,
+        // current flows source->drain i.e. id (d->s) < 0.
+        let e = p.eval(0.0, 0.0, 1.8);
+        assert!(e.id < 0.0);
+        // Mirror symmetry against NMOS.
+        let en = n.eval(1.8, 1.8, 0.0);
+        assert!((e.id + en.id).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pmos_off_when_gate_high() {
+        let p = pmos();
+        let e = p.eval(0.0, 1.8, 1.8);
+        assert_eq!(e.id, 0.0);
+    }
+
+    proptest! {
+        /// Finite-difference check of the analytic derivatives across all
+        /// regions (cutoff/triode/saturation boundaries excluded by the
+        /// tolerance).
+        #[test]
+        fn prop_derivatives_match_finite_difference(
+            vd in 0.0f64..1.8,
+            vg in 0.0f64..1.8,
+            vs in 0.0f64..1.8,
+        ) {
+            let m = nmos();
+            let h = 1e-7;
+            let base = m.eval(vd, vg, vs);
+            let dd = (m.eval(vd + h, vg, vs).id - m.eval(vd - h, vg, vs).id) / (2.0 * h);
+            let dg = (m.eval(vd, vg + h, vs).id - m.eval(vd, vg - h, vs).id) / (2.0 * h);
+            let ds = (m.eval(vd, vg, vs + h).id - m.eval(vd, vg, vs - h).id) / (2.0 * h);
+            let tol = 1e-4 * (m.beta() * 1.8);
+            prop_assert!((base.did_dvd - dd).abs() < tol, "dvd {} vs {}", base.did_dvd, dd);
+            prop_assert!((base.did_dvg - dg).abs() < tol, "dvg {} vs {}", base.did_dvg, dg);
+            prop_assert!((base.did_dvs - ds).abs() < tol, "dvs {} vs {}", base.did_dvs, ds);
+        }
+
+        /// Current is continuous across the triode/saturation boundary.
+        #[test]
+        fn prop_continuity_at_vdsat(vgs in 0.5f64..1.8) {
+            let m = nmos();
+            let vov = vgs - m.params.vt;
+            let below = m.eval(vov - 1e-9, vgs, 0.0).id;
+            let above = m.eval(vov + 1e-9, vgs, 0.0).id;
+            prop_assert!((below - above).abs() < 1e-9 * m.beta());
+        }
+    }
+}

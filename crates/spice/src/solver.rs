@@ -1,0 +1,472 @@
+//! Damped Newton–Raphson transient solver for circuits with MOSFETs.
+//!
+//! The linear part of the circuit (resistors, capacitors, sources) is
+//! assembled once into MNA matrices; devices stamp their linearized
+//! companion (current + Jacobian) each Newton iteration. Capacitor currents
+//! are integrated with the trapezoidal rule using an explicit cap-current
+//! state vector, so coupling capacitors between nets are handled exactly
+//! like grounded ones.
+
+use crate::mosfet::{MosParams, Mosfet, Polarity};
+use crate::{Result, SpiceError};
+use clarinox_circuit::mna::MnaSystem;
+use clarinox_circuit::netlist::{Circuit, NodeId};
+use clarinox_circuit::transient::TransientSpec;
+use clarinox_numeric::matrix::Matrix;
+use clarinox_waveform::Pwl;
+
+/// Maximum Newton iterations per timestep.
+const MAX_NEWTON: usize = 200;
+/// Per-iteration node-voltage update limit (volts) — classic SPICE damping.
+const STEP_LIMIT: f64 = 0.3;
+/// Voltage convergence tolerance (volts).
+const VTOL: f64 = 1e-7;
+/// Current residual tolerance (amps).
+const ITOL: f64 = 1e-9;
+
+/// A linear [`Circuit`] augmented with MOSFET devices.
+#[derive(Debug, Clone)]
+pub struct NonlinearCircuit {
+    linear: Circuit,
+    devices: Vec<Mosfet>,
+}
+
+impl NonlinearCircuit {
+    /// Wraps a linear circuit; devices are added with
+    /// [`NonlinearCircuit::add_mosfet`].
+    pub fn new(linear: Circuit) -> Self {
+        NonlinearCircuit {
+            linear,
+            devices: Vec::new(),
+        }
+    }
+
+    /// The wrapped linear circuit.
+    pub fn linear(&self) -> &Circuit {
+        &self.linear
+    }
+
+    /// Mutable access to the wrapped linear circuit (to add probes or
+    /// injected sources, as the transient-holding-resistance extraction
+    /// does).
+    pub fn linear_mut(&mut self) -> &mut Circuit {
+        &mut self.linear
+    }
+
+    /// The devices.
+    pub fn devices(&self) -> &[Mosfet] {
+        &self.devices
+    }
+
+    /// Adds a MOSFET.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mosfet(
+        &mut self,
+        polarity: Polarity,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        params: MosParams,
+        w: f64,
+        l: f64,
+    ) {
+        self.devices.push(Mosfet {
+            polarity,
+            d,
+            g,
+            s,
+            params,
+            w,
+            l,
+        });
+    }
+
+    /// Solves the DC operating point (sources at `t = 0`).
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::NewtonDiverged`] if Newton fails even after source
+    /// stepping.
+    pub fn solve_dc(&self) -> Result<DcState> {
+        let system = MnaSystem::assemble(&self.linear)?;
+        let mut b = vec![0.0; system.dim()];
+        system.rhs_at(&self.linear, 0.0, &mut b);
+        let mut x = vec![0.0; system.dim()];
+        // Source stepping: ramp the excitation from 10% to 100%, reusing
+        // the previous solution as the initial guess. The first few steps
+        // are cheap and make full-rail CMOS circuits converge reliably.
+        for frac in [0.1, 0.3, 0.6, 1.0] {
+            let bs: Vec<f64> = b.iter().map(|v| v * frac).collect();
+            x = self.newton(&system, system.g(), &bs, x, None)?;
+        }
+        Ok(DcState { x })
+    }
+
+    /// Runs a non-linear transient simulation.
+    ///
+    /// The spec's integration method is ignored: the solver always uses
+    /// trapezoidal integration with an explicit capacitor-current state.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::NewtonDiverged`] on convergence failure, or circuit
+    /// assembly errors.
+    pub fn simulate(&self, spec: &TransientSpec) -> Result<NlTransientResult> {
+        let system = MnaSystem::assemble(&self.linear)?;
+        let dim = system.dim();
+        let h = spec.dt;
+        let steps = spec.steps();
+        let alpha = 2.0 / h; // trapezoidal
+
+        // Initial state.
+        let mut x = if spec.dc_init {
+            self.solve_dc()?.x
+        } else {
+            vec![0.0; dim]
+        };
+        // Capacitor branch-current vector i_C = C dx/dt, zero at a DC point.
+        let mut ic = vec![0.0; dim];
+
+        // Constant part of the Newton matrix: G + alpha C.
+        let base = system.g().add_scaled(system.c(), alpha)?;
+
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut states = Vec::with_capacity(steps + 1);
+        times.push(0.0);
+        states.push(x.clone());
+
+        let mut b = vec![0.0; dim];
+        for k in 1..=steps {
+            let t = k as f64 * h;
+            system.rhs_at(&self.linear, t, &mut b);
+            // Trapezoidal companion: i_C(t1) = alpha*C*(x1 - x0) - i_C(t0)
+            // => KCL: G x1 + i_dev(x1) + alpha*C*x1 = b1 + alpha*C*x0 + i_C0
+            let cx0 = system.c().mul_vec(&x)?;
+            let rhs: Vec<f64> = (0..dim).map(|i| b[i] + alpha * cx0[i] + ic[i]).collect();
+            let x1 = self.newton(&system, &base, &rhs, x.clone(), Some(t))?;
+            // Update stored capacitor currents.
+            let cx1 = system.c().mul_vec(&x1)?;
+            for i in 0..dim {
+                ic[i] = alpha * (cx1[i] - cx0[i]) - ic[i];
+            }
+            x = x1;
+            times.push(t);
+            states.push(x.clone());
+        }
+
+        Ok(NlTransientResult {
+            system,
+            times,
+            states,
+        })
+    }
+
+    /// Damped Newton iteration solving `base * x + i_dev(x) = rhs`.
+    fn newton(
+        &self,
+        system: &MnaSystem,
+        base: &Matrix,
+        rhs: &[f64],
+        mut x: Vec<f64>,
+        time: Option<f64>,
+    ) -> Result<Vec<f64>> {
+        let nv = system.node_unknowns();
+        let mut residual = f64::INFINITY;
+        for _iter in 0..MAX_NEWTON {
+            // F(x) = base*x + i_dev(x) - rhs ; J = base + J_dev(x)
+            let mut f = base.mul_vec(&x)?;
+            for (fi, r) in f.iter_mut().zip(rhs.iter()) {
+                *fi -= r;
+            }
+            let mut jac = base.clone();
+            self.stamp_devices(system, &x, &mut f, &mut jac);
+            residual = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+
+            // Solve J dx = -F.
+            let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
+            let dx = jac.lu()?.solve(&neg_f)?;
+            // Limit the node-voltage step, preserving the Newton direction.
+            let max_dv = dx[..nv].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let scale = if max_dv > STEP_LIMIT {
+                STEP_LIMIT / max_dv
+            } else {
+                1.0
+            };
+            for (xi, di) in x.iter_mut().zip(dx.iter()) {
+                *xi += scale * di;
+            }
+            if max_dv * scale < VTOL && residual < ITOL {
+                return Ok(x);
+            }
+        }
+        Err(SpiceError::NewtonDiverged {
+            time,
+            iterations: MAX_NEWTON,
+            residual,
+        })
+    }
+
+    /// Stamps every device's current into `f` and Jacobian into `jac`.
+    fn stamp_devices(&self, system: &MnaSystem, x: &[f64], f: &mut [f64], jac: &mut Matrix) {
+        for dev in &self.devices {
+            let vd = node_voltage(system, x, dev.d);
+            let vg = node_voltage(system, x, dev.g);
+            let vs = node_voltage(system, x, dev.s);
+            let e = dev.eval(vd, vg, vs);
+            let id_idx = system.node_index(dev.d);
+            let is_idx = system.node_index(dev.s);
+            let ig_idx = system.node_index(dev.g);
+            if let Some(di) = id_idx {
+                f[di] += e.id;
+            }
+            if let Some(si) = is_idx {
+                f[si] -= e.id;
+            }
+            let derivs = [
+                (id_idx, e.did_dvd),
+                (ig_idx, e.did_dvg),
+                (is_idx, e.did_dvs),
+            ];
+            for (col, dval) in derivs {
+                if let Some(c) = col {
+                    if let Some(di) = id_idx {
+                        jac.add(di, c, dval);
+                    }
+                    if let Some(si) = is_idx {
+                        jac.add(si, c, -dval);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn node_voltage(system: &MnaSystem, x: &[f64], n: NodeId) -> f64 {
+    match system.node_index(n) {
+        None => 0.0,
+        Some(i) => x[i],
+    }
+}
+
+/// DC operating point of a non-linear circuit.
+#[derive(Debug, Clone)]
+pub struct DcState {
+    x: Vec<f64>,
+}
+
+impl DcState {
+    /// The raw unknown vector.
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Result of a non-linear transient run.
+#[derive(Debug, Clone)]
+pub struct NlTransientResult {
+    system: MnaSystem,
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+}
+
+impl NlTransientResult {
+    /// Simulation time axis.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage waveform at `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates waveform-construction failures (degenerate runs only).
+    pub fn voltage(&self, node: NodeId) -> Result<Pwl> {
+        let vs: Vec<f64> = match self.system.node_index(node) {
+            None => vec![0.0; self.times.len()],
+            Some(i) => self.states.iter().map(|s| s[i]).collect(),
+        };
+        Ok(Pwl::from_samples(&self.times, &vs)?)
+    }
+
+    /// DC voltage of `node` in the initial state.
+    pub fn initial_voltage(&self, node: NodeId) -> f64 {
+        match self.system.node_index(node) {
+            None => 0.0,
+            Some(i) => self.states[0][i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_circuit::netlist::SourceWave;
+    use clarinox_waveform::measure::{self, Edge};
+
+    const VDD: f64 = 1.8;
+
+    fn nmos_params() -> MosParams {
+        MosParams {
+            vt: 0.45,
+            kp: 170e-6,
+            lambda: 0.05,
+        }
+    }
+
+    fn pmos_params() -> MosParams {
+        MosParams {
+            vt: 0.5,
+            kp: 60e-6,
+            lambda: 0.08,
+        }
+    }
+
+    /// Builds an inverter driving `cload`, input driven by `input_wave`.
+    fn inverter(input_wave: SourceWave, cload: f64) -> (NonlinearCircuit, NodeId, NodeId) {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        let gnd = Circuit::ground();
+        ckt.add_vsource(vdd, gnd, SourceWave::Dc(VDD)).unwrap();
+        ckt.add_vsource(inp, gnd, input_wave).unwrap();
+        ckt.add_capacitor(out, gnd, cload).unwrap();
+        let mut nl = NonlinearCircuit::new(ckt);
+        nl.add_mosfet(Polarity::Nmos, out, inp, gnd, nmos_params(), 1.0e-6, 0.18e-6);
+        nl.add_mosfet(Polarity::Pmos, out, inp, vdd, pmos_params(), 2.0e-6, 0.18e-6);
+        (nl, inp, out)
+    }
+
+    #[test]
+    fn dc_inverter_rails() {
+        // Input low -> output at Vdd.
+        let (nl, _, out) = inverter(SourceWave::Dc(0.0), 10e-15);
+        let res = nl.simulate(&TransientSpec::new(0.1e-9, 1e-12).unwrap()).unwrap();
+        assert!((res.initial_voltage(out) - VDD).abs() < 1e-3);
+
+        // Input high -> output near ground.
+        let (nl, _, out) = inverter(SourceWave::Dc(VDD), 10e-15);
+        let dcv = nl.simulate(&TransientSpec::new(0.1e-9, 1e-12).unwrap()).unwrap();
+        assert!(dcv.initial_voltage(out).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverter_switching_transition() {
+        let wave = SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.1e-9, 0.0, VDD).unwrap());
+        let (nl, _, out) = inverter(wave, 20e-15);
+        let res = nl.simulate(&TransientSpec::new(2e-9, 1e-12).unwrap()).unwrap();
+        let v = res.voltage(out).unwrap();
+        assert!(v.value(0.0) > VDD - 0.01);
+        assert!(v.value(2e-9) < 0.01);
+        // Output falls through mid-rail after the input does.
+        let t_in50 = 0.25e-9;
+        let t_out50 = measure::cross_falling(&v, VDD / 2.0).unwrap();
+        assert!(t_out50 > t_in50, "gate delay must be positive");
+        assert!(t_out50 < 1e-9, "gate delay should be sub-ns at 20fF");
+    }
+
+    #[test]
+    fn bigger_load_means_longer_delay() {
+        let delay_at = |cload: f64| {
+            let wave = SourceWave::Pwl(Pwl::ramp(0.1e-9, 0.1e-9, 0.0, VDD).unwrap());
+            let (nl, _, out) = inverter(wave, cload);
+            let res = nl.simulate(&TransientSpec::new(4e-9, 2e-12).unwrap()).unwrap();
+            let v = res.voltage(out).unwrap();
+            measure::cross_falling(&v, VDD / 2.0).unwrap() - 0.15e-9
+        };
+        let d_small = delay_at(10e-15);
+        let d_large = delay_at(80e-15);
+        assert!(d_large > 2.0 * d_small, "delay {d_large} vs {d_small}");
+    }
+
+    #[test]
+    fn rising_output_uses_pmos() {
+        let wave = SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.1e-9, VDD, 0.0).unwrap());
+        let (nl, _, out) = inverter(wave, 20e-15);
+        let res = nl.simulate(&TransientSpec::new(3e-9, 1e-12).unwrap()).unwrap();
+        let v = res.voltage(out).unwrap();
+        assert!(v.value(0.0) < 0.01);
+        assert!(v.value(3e-9) > VDD - 0.01);
+        assert!(measure::crossings(&v, VDD / 2.0, Edge::Rising).len() == 1);
+    }
+
+    #[test]
+    fn injected_current_perturbs_switching_driver() {
+        // The core mechanism of the transient-holding-resistance extraction:
+        // injecting a current pulse at the output of a switching gate
+        // perturbs its waveform, and the perturbation depends on where in
+        // the transition it lands.
+        let wave = SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.2e-9, 0.0, VDD).unwrap());
+        let (nl_clean, _, out) = inverter(wave.clone(), 30e-15);
+        let clean = nl_clean
+            .simulate(&TransientSpec::new(2e-9, 1e-12).unwrap())
+            .unwrap()
+            .voltage(out)
+            .unwrap();
+
+        let (mut nl_noisy, _, out2) = inverter(wave, 30e-15);
+        // 100 µA triangular pulse into the output while it is falling.
+        let pulse = Pwl::triangle(0.4e-9, 100e-6, 50e-12).unwrap();
+        nl_noisy
+            .linear_mut()
+            .add_isource(Circuit::ground(), out2, SourceWave::Pwl(pulse))
+            .unwrap();
+        let noisy = nl_noisy
+            .simulate(&TransientSpec::new(2e-9, 1e-12).unwrap())
+            .unwrap()
+            .voltage(out2)
+            .unwrap();
+
+        let diff = noisy.sub(&clean);
+        let (_, peak) = diff.max_point();
+        assert!(peak > 0.01, "expected visible perturbation, got {peak}");
+        // Perturbation decays once the pulse ends and the gate recovers.
+        assert!(diff.value(2e-9).abs() < 5e-3);
+    }
+
+    #[test]
+    fn transmission_through_rc_between_gates() {
+        // Driver inverter -> RC wire -> receiver inverter; checks a
+        // multi-gate non-linear circuit converges and propagates logic.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let d_out = ckt.node("d_out");
+        let r_in = ckt.node("r_in");
+        let r_out = ckt.node("r_out");
+        let gnd = Circuit::ground();
+        ckt.add_vsource(vdd, gnd, SourceWave::Dc(VDD)).unwrap();
+        ckt.add_vsource(
+            inp,
+            gnd,
+            SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.1e-9, 0.0, VDD).unwrap()),
+        )
+        .unwrap();
+        ckt.add_wire(d_out, r_in, 400.0, 40e-15, 4).unwrap();
+        ckt.add_capacitor(r_out, gnd, 10e-15).unwrap();
+        let mut nl = NonlinearCircuit::new(ckt);
+        let (np, pp) = (nmos_params(), pmos_params());
+        nl.add_mosfet(Polarity::Nmos, d_out, inp, gnd, np, 2e-6, 0.18e-6);
+        nl.add_mosfet(Polarity::Pmos, d_out, inp, vdd, pp, 4e-6, 0.18e-6);
+        nl.add_mosfet(Polarity::Nmos, r_out, r_in, gnd, np, 1e-6, 0.18e-6);
+        nl.add_mosfet(Polarity::Pmos, r_out, r_in, vdd, pp, 2e-6, 0.18e-6);
+        let res = nl.simulate(&TransientSpec::new(4e-9, 2e-12).unwrap()).unwrap();
+        let v_rin = res.voltage(r_in).unwrap();
+        let v_rout = res.voltage(r_out).unwrap();
+        // in rises -> d_out falls -> r_in falls -> r_out rises.
+        assert!(v_rin.value(0.0) > VDD - 0.02);
+        assert!(v_rin.value(4e-9) < 0.02);
+        assert!(v_rout.value(0.0) < 0.02);
+        assert!(v_rout.value(4e-9) > VDD - 0.02);
+        let t_rin = measure::cross_falling(&v_rin, VDD / 2.0).unwrap();
+        let t_rout = measure::cross_rising(&v_rout, VDD / 2.0).unwrap();
+        assert!(t_rout > t_rin, "receiver adds delay");
+    }
+
+    #[test]
+    fn devices_accessor() {
+        let (nl, _, _) = inverter(SourceWave::Dc(0.0), 1e-15);
+        assert_eq!(nl.devices().len(), 2);
+        assert_eq!(nl.devices()[0].polarity, Polarity::Nmos);
+    }
+}

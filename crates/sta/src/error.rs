@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Error type for timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StaError {
+    /// A window was constructed with `early > late` or non-finite bounds.
+    InvalidWindow {
+        /// Offending early bound.
+        early: f64,
+        /// Offending late bound.
+        late: f64,
+    },
+    /// The timing graph is malformed (fan-in from a later stage, missing
+    /// primary window, ...).
+    MalformedGraph {
+        /// Description of the problem.
+        context: String,
+    },
+    /// The window/noise fixed point failed to converge.
+    NoConvergence {
+        /// Iterations attempted.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::InvalidWindow { early, late } => {
+                write!(f, "invalid window [{early:e}, {late:e}]")
+            }
+            StaError::MalformedGraph { context } => write!(f, "malformed graph: {context}"),
+            StaError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StaError {}
+
+impl StaError {
+    /// Convenience constructor for [`StaError::MalformedGraph`].
+    pub fn graph(context: impl Into<String>) -> Self {
+        StaError::MalformedGraph {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = StaError::InvalidWindow {
+            early: 2.0,
+            late: 1.0,
+        };
+        assert!(e.to_string().contains("invalid window"));
+        assert!(StaError::graph("cycle").to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Stage-level timing graph and arrival-window propagation.
+//!
+//! Stages model driver-gate + interconnect units: a stage's switching
+//! window is the union of its fan-in windows shifted by the stage's base
+//! delay, with any crosstalk delta widening the late edge. Primary-input
+//! stages carry externally supplied windows.
+
+use crate::window::TimingWindow;
+use crate::{Result, StaError};
+
+/// One stage of the timing graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Base (noise-free) propagation delay through the stage (seconds).
+    pub base_delay: f64,
+    /// Fan-in stage indices (must all be `<` this stage's own index —
+    /// stages are stored in topological order).
+    pub fanin: Vec<usize>,
+    /// Switching window for a primary-input stage (`fanin` empty).
+    pub primary_window: Option<TimingWindow>,
+}
+
+impl Stage {
+    /// A primary-input stage with the given switching window.
+    pub fn primary(window: TimingWindow) -> Self {
+        Stage {
+            base_delay: 0.0,
+            fanin: Vec::new(),
+            primary_window: Some(window),
+        }
+    }
+
+    /// An internal stage fed by `fanin` with the given base delay.
+    pub fn internal(base_delay: f64, fanin: Vec<usize>) -> Self {
+        Stage {
+            base_delay,
+            fanin,
+            primary_window: None,
+        }
+    }
+}
+
+/// A combinational timing graph in topological order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimingGraph {
+    stages: Vec<Stage>,
+}
+
+impl TimingGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        TimingGraph { stages: Vec::new() }
+    }
+
+    /// Appends a stage, returning its index.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::MalformedGraph`] if a fan-in references this or a later
+    /// stage, or an internal stage has no fan-in, or a primary stage has
+    /// fan-in.
+    pub fn add_stage(&mut self, stage: Stage) -> Result<usize> {
+        let idx = self.stages.len();
+        match (&stage.primary_window, stage.fanin.is_empty()) {
+            (None, true) => {
+                return Err(StaError::graph(format!(
+                    "stage {idx} has neither fan-in nor a primary window"
+                )))
+            }
+            (Some(_), false) => {
+                return Err(StaError::graph(format!(
+                    "primary stage {idx} must not have fan-in"
+                )))
+            }
+            _ => {}
+        }
+        for &f in &stage.fanin {
+            if f >= idx {
+                return Err(StaError::graph(format!(
+                    "stage {idx} has fan-in {f} (not topologically ordered)"
+                )));
+            }
+        }
+        self.stages.push(stage);
+        Ok(idx)
+    }
+
+    /// The stages.
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Propagates arrival windows with per-stage noise deltas (`deltas[i]`
+    /// widens the late edge of stage `i`'s window).
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::MalformedGraph`] if `deltas.len() != len()`.
+    pub fn arrival_windows(&self, deltas: &[f64]) -> Result<Vec<TimingWindow>> {
+        if deltas.len() != self.stages.len() {
+            return Err(StaError::graph(format!(
+                "{} deltas for {} stages",
+                deltas.len(),
+                self.stages.len()
+            )));
+        }
+        let mut out: Vec<TimingWindow> = Vec::with_capacity(self.stages.len());
+        for (i, s) in self.stages.iter().enumerate() {
+            let w = match &s.primary_window {
+                Some(w) => *w,
+                None => {
+                    let mut acc: Option<TimingWindow> = None;
+                    for &f in &s.fanin {
+                        let wf = out[f];
+                        acc = Some(match acc {
+                            None => wf,
+                            Some(a) => a.union(&wf),
+                        });
+                    }
+                    acc.expect("internal stage has fan-in").shifted(s.base_delay)
+                }
+            };
+            out.push(w.with_extra_late(deltas[i]));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> TimingGraph {
+        let mut g = TimingGraph::new();
+        let p = g
+            .add_stage(Stage::primary(TimingWindow::new(0.0, 1e-9).unwrap()))
+            .unwrap();
+        let s1 = g.add_stage(Stage::internal(0.2e-9, vec![p])).unwrap();
+        g.add_stage(Stage::internal(0.3e-9, vec![s1])).unwrap();
+        g
+    }
+
+    #[test]
+    fn windows_accumulate_delays() {
+        let g = chain();
+        let w = g.arrival_windows(&[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(w[0].early, 0.0);
+        assert!((w[1].early - 0.2e-9).abs() < 1e-18);
+        assert!((w[2].late - 1.5e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn deltas_widen_late_edge_downstream() {
+        let g = chain();
+        let clean = g.arrival_windows(&[0.0, 0.0, 0.0]).unwrap();
+        let noisy = g.arrival_windows(&[0.0, 0.1e-9, 0.0]).unwrap();
+        assert_eq!(noisy[1].early, clean[1].early);
+        assert!((noisy[1].late - clean[1].late - 0.1e-9).abs() < 1e-18);
+        // Propagates to the next stage's late edge.
+        assert!((noisy[2].late - clean[2].late - 0.1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn reconvergent_fanin_unions() {
+        let mut g = TimingGraph::new();
+        let a = g
+            .add_stage(Stage::primary(TimingWindow::new(0.0, 0.1e-9).unwrap()))
+            .unwrap();
+        let b = g
+            .add_stage(Stage::primary(TimingWindow::new(0.5e-9, 0.8e-9).unwrap()))
+            .unwrap();
+        let m = g.add_stage(Stage::internal(0.1e-9, vec![a, b])).unwrap();
+        let w = g.arrival_windows(&[0.0, 0.0, 0.0]).unwrap();
+        assert!((w[m].early - 0.1e-9).abs() < 1e-18);
+        assert!((w[m].late - 0.9e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn graph_validation() {
+        let mut g = TimingGraph::new();
+        assert!(g.add_stage(Stage::internal(1.0, vec![])).is_err());
+        let p = g
+            .add_stage(Stage::primary(TimingWindow::instant(0.0)))
+            .unwrap();
+        assert!(g.add_stage(Stage::internal(1.0, vec![p + 5])).is_err());
+        let mut bad_primary = Stage::primary(TimingWindow::instant(0.0));
+        bad_primary.fanin = vec![p];
+        assert!(g.add_stage(bad_primary).is_err());
+        assert!(g.arrival_windows(&[0.0; 5]).is_err());
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+// `!(a <= b)`-style guards are deliberate: unlike `a > b` they also
+// reject NaN bounds.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! Static timing analysis with switching windows and the noise-delay
+//! fixed point.
+//!
+//! Aggressor alignment is only legal *within the switching windows computed
+//! by timing analysis* (paper Section 1). But the windows depend on the
+//! crosstalk-induced extra delays, which depend on which aggressors can
+//! align — a chicken-and-egg the paper resolves by citing \[8\]\[9\]:
+//! iterate windows ↔ noise deltas until convergence, which takes very few
+//! rounds in practice.
+//!
+//! This crate supplies that machinery, generic over the actual noise
+//! calculator (a closure, so `clarinox-core` can plug the full analysis
+//! in and tests can use synthetic models):
+//!
+//! * [`window::TimingWindow`] — switching-window algebra,
+//! * [`graph::TimingGraph`] — stage-level arrival-window propagation,
+//! * [`fixpoint::iterate_to_fixpoint`] — the monotone window/noise-delta
+//!   iteration with aggressor filtering by window overlap.
+//!
+//! # Examples
+//!
+//! ```
+//! use clarinox_sta::window::TimingWindow;
+//!
+//! # fn main() -> Result<(), clarinox_sta::StaError> {
+//! let a = TimingWindow::new(1.0e-9, 2.0e-9)?;
+//! let b = TimingWindow::new(1.5e-9, 3.0e-9)?;
+//! assert!(a.overlaps(&b));
+//! assert_eq!(a.union(&b).late, 3.0e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod fixpoint;
+pub mod graph;
+pub mod window;
+
+mod error;
+
+pub use error::StaError;
+pub use fixpoint::{iterate_to_fixpoint, FixpointResult, NoiseCoupling};
+pub use graph::{Stage, TimingGraph};
+pub use window::TimingWindow;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StaError>;

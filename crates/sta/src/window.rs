@@ -1,0 +1,187 @@
+//! Switching-window algebra.
+
+use crate::{Result, StaError};
+
+/// A switching window: the interval of times within which a signal may
+/// transition, per timing analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingWindow {
+    /// Earliest possible switching time (seconds).
+    pub early: f64,
+    /// Latest possible switching time (seconds).
+    pub late: f64,
+}
+
+impl TimingWindow {
+    /// Creates a window.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::InvalidWindow`] if `early > late` or either bound is not
+    /// finite.
+    pub fn new(early: f64, late: f64) -> Result<Self> {
+        if !(early <= late) || !early.is_finite() || !late.is_finite() {
+            return Err(StaError::InvalidWindow { early, late });
+        }
+        Ok(TimingWindow { early, late })
+    }
+
+    /// A zero-width window at `t`.
+    pub fn instant(t: f64) -> Self {
+        TimingWindow { early: t, late: t }
+    }
+
+    /// Window width.
+    pub fn width(&self) -> f64 {
+        self.late - self.early
+    }
+
+    /// Whether `t` lies inside the window (inclusive).
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.early && t <= self.late
+    }
+
+    /// Whether the two windows share any instant.
+    pub fn overlaps(&self, other: &TimingWindow) -> bool {
+        self.early <= other.late && other.early <= self.late
+    }
+
+    /// Smallest window covering both.
+    pub fn union(&self, other: &TimingWindow) -> TimingWindow {
+        TimingWindow {
+            early: self.early.min(other.early),
+            late: self.late.max(other.late),
+        }
+    }
+
+    /// Overlapping part, if any.
+    pub fn intersect(&self, other: &TimingWindow) -> Option<TimingWindow> {
+        let early = self.early.max(other.early);
+        let late = self.late.min(other.late);
+        if early <= late {
+            Some(TimingWindow { early, late })
+        } else {
+            None
+        }
+    }
+
+    /// The window shifted by `dt`.
+    pub fn shifted(&self, dt: f64) -> TimingWindow {
+        TimingWindow {
+            early: self.early + dt,
+            late: self.late + dt,
+        }
+    }
+
+    /// The window with its late edge pushed out by `delta >= 0` (how noise
+    /// deltas enter arrival windows).
+    pub fn with_extra_late(&self, delta: f64) -> TimingWindow {
+        TimingWindow {
+            early: self.early,
+            late: self.late + delta.max(0.0),
+        }
+    }
+
+    /// Whether `self` is entirely inside `other`.
+    pub fn within(&self, other: &TimingWindow) -> bool {
+        self.early >= other.early && self.late <= other.late
+    }
+
+    /// Clamps `t` into the window.
+    pub fn clamp(&self, t: f64) -> f64 {
+        t.clamp(self.early, self.late)
+    }
+}
+
+impl std::fmt::Display for TimingWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.3e}, {:.3e}]", self.early, self.late)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(TimingWindow::new(1.0, 0.0).is_err());
+        assert!(TimingWindow::new(f64::NAN, 1.0).is_err());
+        assert!(TimingWindow::new(0.0, 0.0).is_ok());
+        let w = TimingWindow::instant(2.0);
+        assert_eq!(w.width(), 0.0);
+        assert!(w.contains(2.0));
+    }
+
+    #[test]
+    fn overlap_and_intersect() {
+        let a = TimingWindow::new(0.0, 2.0).unwrap();
+        let b = TimingWindow::new(1.0, 3.0).unwrap();
+        let c = TimingWindow::new(2.5, 4.0).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!((i.early, i.late), (1.0, 2.0));
+        assert!(a.intersect(&c).is_none());
+        // Touching windows overlap at the boundary instant.
+        let d = TimingWindow::new(2.0, 5.0).unwrap();
+        assert!(a.overlaps(&d));
+    }
+
+    #[test]
+    fn union_shift_extra() {
+        let a = TimingWindow::new(0.0, 2.0).unwrap();
+        let b = TimingWindow::new(1.0, 3.0).unwrap();
+        let u = a.union(&b);
+        assert_eq!((u.early, u.late), (0.0, 3.0));
+        let s = a.shifted(1.0);
+        assert_eq!((s.early, s.late), (1.0, 3.0));
+        let e = a.with_extra_late(0.5);
+        assert_eq!((e.early, e.late), (0.0, 2.5));
+        // Negative deltas do not shrink.
+        let n = a.with_extra_late(-1.0);
+        assert_eq!(n.late, 2.0);
+    }
+
+    #[test]
+    fn display_shows_bounds() {
+        let w = TimingWindow::new(1e-9, 2e-9).unwrap();
+        let s = w.to_string();
+        assert!(s.contains("1.000e-9") && s.contains("2.000e-9"), "{s}");
+    }
+
+    #[test]
+    fn within_and_clamp() {
+        let outer = TimingWindow::new(0.0, 10.0).unwrap();
+        let inner = TimingWindow::new(2.0, 3.0).unwrap();
+        assert!(inner.within(&outer));
+        assert!(!outer.within(&inner));
+        assert_eq!(outer.clamp(-5.0), 0.0);
+        assert_eq!(outer.clamp(50.0), 10.0);
+        assert_eq!(outer.clamp(5.0), 5.0);
+    }
+
+    proptest! {
+        /// Union contains both operands; intersection (when present) is
+        /// inside both.
+        #[test]
+        fn prop_union_intersect_consistency(
+            a0 in -5.0f64..5.0, aw in 0.0f64..3.0,
+            b0 in -5.0f64..5.0, bw in 0.0f64..3.0,
+        ) {
+            let a = TimingWindow::new(a0, a0 + aw).unwrap();
+            let b = TimingWindow::new(b0, b0 + bw).unwrap();
+            let u = a.union(&b);
+            prop_assert!(a.within(&u) && b.within(&u));
+            match a.intersect(&b) {
+                Some(i) => {
+                    prop_assert!(a.overlaps(&b));
+                    prop_assert!(i.within(&a) && i.within(&b));
+                }
+                None => prop_assert!(!a.overlaps(&b)),
+            }
+        }
+    }
+}

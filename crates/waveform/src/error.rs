@@ -1,0 +1,87 @@
+use std::fmt;
+
+/// Error type for waveform construction and measurement.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WaveformError {
+    /// Breakpoint times are not strictly increasing, or the list is empty.
+    MalformedBreakpoints {
+        /// Description of the violation.
+        context: String,
+    },
+    /// A value is NaN or infinite.
+    NonFinite {
+        /// Description of where the non-finite value appeared.
+        context: String,
+    },
+    /// A requested measurement does not exist on the waveform (e.g. the
+    /// waveform never crosses the requested level).
+    MeasurementUnavailable {
+        /// Description of the missing measurement.
+        context: String,
+    },
+    /// Numerical back-end failure.
+    Numeric(clarinox_numeric::NumericError),
+}
+
+impl fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveformError::MalformedBreakpoints { context } => {
+                write!(f, "malformed breakpoints: {context}")
+            }
+            WaveformError::NonFinite { context } => write!(f, "non-finite value: {context}"),
+            WaveformError::MeasurementUnavailable { context } => {
+                write!(f, "measurement unavailable: {context}")
+            }
+            WaveformError::Numeric(e) => write!(f, "numeric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WaveformError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<clarinox_numeric::NumericError> for WaveformError {
+    fn from(e: clarinox_numeric::NumericError) -> Self {
+        WaveformError::Numeric(e)
+    }
+}
+
+impl WaveformError {
+    /// Convenience constructor for [`WaveformError::MalformedBreakpoints`].
+    pub fn malformed(context: impl Into<String>) -> Self {
+        WaveformError::MalformedBreakpoints {
+            context: context.into(),
+        }
+    }
+
+    /// Convenience constructor for [`WaveformError::MeasurementUnavailable`].
+    pub fn unavailable(context: impl Into<String>) -> Self {
+        WaveformError::MeasurementUnavailable {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = WaveformError::Numeric(clarinox_numeric::NumericError::invalid("x"));
+        assert!(e.to_string().contains("numeric"));
+        assert!(e.source().is_some());
+        let m = WaveformError::malformed("t not sorted");
+        assert!(m.source().is_none());
+        assert!(m.to_string().contains("sorted"));
+    }
+}

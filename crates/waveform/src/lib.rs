@@ -1,0 +1,45 @@
+// `!(x > 0.0)`-style guards are deliberate: unlike `x <= 0.0` they also
+// reject NaN, which matters for user-supplied physical quantities.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+//! Piecewise-linear waveform algebra for crosstalk noise analysis.
+//!
+//! Every signal in the clarinox flow — driver transitions, injected noise
+//! pulses, receiver responses — is represented as a piecewise-linear (PWL)
+//! waveform: a sorted list of `(time, value)` breakpoints with constant
+//! extension beyond the ends. PWL is closed under the operations the paper's
+//! superposition flow needs (addition, scaling, time shift) and supports
+//! exact integration and threshold-crossing extraction.
+//!
+//! * [`Pwl`] — the waveform type and its algebra,
+//! * [`measure`] — crossings, edges, transition times, peaks and pulse
+//!   widths (the 10/50/90% measurements of the paper),
+//! * [`pulse`] — noise-pulse descriptors (height, width, polarity) and
+//!   composite-pulse construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use clarinox_waveform::{Pwl, measure};
+//!
+//! # fn main() -> Result<(), clarinox_waveform::WaveformError> {
+//! // A rising ramp from 0 V to 1.8 V over 100 ps starting at 1 ns.
+//! let v = Pwl::ramp(1.0e-9, 100.0e-12, 0.0, 1.8)?;
+//! let t = measure::cross_rising(&v, 0.9).expect("ramp passes 0.9 V");
+//! assert!((t - 1.05e-9).abs() < 1e-15);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod measure;
+pub mod pulse;
+
+mod error;
+mod pwl;
+
+pub use error::WaveformError;
+pub use pulse::{CompositePulse, NoisePulse, Polarity};
+pub use pwl::Pwl;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WaveformError>;

@@ -1,0 +1,372 @@
+//! Threshold-crossing and edge measurements on PWL waveforms.
+//!
+//! The paper's metrics are all crossing-based: interconnect delay is the
+//! difference of 50% Vdd crossings, Thevenin models are fit at the
+//! 10/50/90% points, and delay noise is the shift of the *last* 50% crossing
+//! of the noisy waveform relative to the noiseless one (a noise pulse can
+//! make the waveform recross the threshold, and the latest crossing is the
+//! one that determines when downstream logic settles).
+
+use crate::{Pwl, Result, WaveformError};
+
+/// Signal edge direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Low-to-high transition.
+    Rising,
+    /// High-to-low transition.
+    Falling,
+}
+
+impl Edge {
+    /// The opposite edge.
+    pub fn opposite(self) -> Edge {
+        match self {
+            Edge::Rising => Edge::Falling,
+            Edge::Falling => Edge::Rising,
+        }
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Edge::Rising => write!(f, "rise"),
+            Edge::Falling => write!(f, "fall"),
+        }
+    }
+}
+
+/// All times where the waveform crosses `level` in the given direction,
+/// in increasing time order.
+///
+/// Segment endpoints exactly on the level count as crossings when the
+/// segment moves through the level in the requested direction.
+pub fn crossings(w: &Pwl, level: f64, edge: Edge) -> Vec<f64> {
+    let pts = w.points();
+    let mut out = Vec::new();
+    for i in 1..pts.len() {
+        let (t0, v0) = pts[i - 1];
+        let (t1, v1) = pts[i];
+        let (lo, hi) = (v0.min(v1), v0.max(v1));
+        if level < lo || level > hi || v0 == v1 {
+            continue;
+        }
+        let dir_ok = match edge {
+            Edge::Rising => v1 > v0,
+            Edge::Falling => v1 < v0,
+        };
+        if !dir_ok {
+            continue;
+        }
+        let t = t0 + (t1 - t0) * (level - v0) / (v1 - v0);
+        // Deduplicate crossings landing exactly on shared breakpoints.
+        if out.last().is_none_or(|&last: &f64| t > last) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// First rising crossing of `level`, if any.
+pub fn cross_rising(w: &Pwl, level: f64) -> Option<f64> {
+    crossings(w, level, Edge::Rising).first().copied()
+}
+
+/// First falling crossing of `level`, if any.
+pub fn cross_falling(w: &Pwl, level: f64) -> Option<f64> {
+    crossings(w, level, Edge::Falling).first().copied()
+}
+
+/// Last crossing of `level` in the given direction, if any.
+pub fn last_crossing(w: &Pwl, level: f64, edge: Edge) -> Option<f64> {
+    crossings(w, level, edge).last().copied()
+}
+
+/// The settling crossing used for delay measurement: the **last** time the
+/// waveform crosses `level` toward its final value.
+///
+/// For a rising signal this is the last rising crossing; a noise pulse that
+/// dips the waveform back below the threshold therefore pushes this
+/// measurement later — the delay-noise effect itself.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::MeasurementUnavailable`] if the waveform never
+/// crosses `level` in the settling direction.
+pub fn settle_crossing(w: &Pwl, level: f64, edge: Edge) -> Result<f64> {
+    last_crossing(w, level, edge).ok_or_else(|| {
+        WaveformError::unavailable(format!("no {edge} crossing of level {level}"))
+    })
+}
+
+/// Settling crossing with hysteresis: the delay-measurement crossing, but
+/// ignoring re-crossings whose excursion beyond the threshold stays within
+/// `margin` volts.
+///
+/// A noise glitch that pushes the waveform barely past the threshold and
+/// back does not re-arm downstream logic; industrial delay measurement
+/// disqualifies it (compare the paper's remark that a receiver-output pulse
+/// under ~100 mV "does not constitute a functional noise failure"). The
+/// measurement finds the last time the waveform sits beyond
+/// `level ∓ margin` on the wrong side, and returns the first settling
+/// crossing of `level` after that instant.
+///
+/// With `margin <= 0` this is exactly [`settle_crossing`].
+///
+/// # Errors
+///
+/// Returns [`WaveformError::MeasurementUnavailable`] if the waveform never
+/// crosses `level` in the settling direction.
+pub fn settle_crossing_hysteresis(w: &Pwl, level: f64, edge: Edge, margin: f64) -> Result<f64> {
+    if margin <= 0.0 {
+        return settle_crossing(w, level, edge);
+    }
+    let candidates = crossings(w, level, edge);
+    if candidates.is_empty() {
+        return Err(WaveformError::unavailable(format!(
+            "no {edge} crossing of level {level}"
+        )));
+    }
+    // The "deep wrong side" threshold: below (rising) / above (falling) it,
+    // the waveform has genuinely not settled yet.
+    let wrong_level = match edge {
+        Edge::Rising => level - margin,
+        Edge::Falling => level + margin,
+    };
+    // Last instant the waveform moves onto the deep wrong side.
+    let t_wrong = last_crossing(w, wrong_level, edge.opposite());
+    let pick = match t_wrong {
+        None => candidates[0],
+        Some(tw) => candidates
+            .iter()
+            .copied()
+            .find(|&t| t >= tw)
+            // Oscillating inside the hysteresis band at the end: fall back
+            // to the latest crossing.
+            .unwrap_or(*candidates.last().expect("non-empty")),
+    };
+    Ok(pick)
+}
+
+/// Transition time between fractional levels of a `v_lo -> v_hi` swing.
+///
+/// For a rising edge with `frac_a = 0.1`, `frac_b = 0.9` this is the
+/// classical 10–90% rise time. Fractions are of the full swing.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::MeasurementUnavailable`] if either fractional
+/// level is not crossed.
+pub fn transition_time(
+    w: &Pwl,
+    v_lo: f64,
+    v_hi: f64,
+    edge: Edge,
+    frac_a: f64,
+    frac_b: f64,
+) -> Result<f64> {
+    let (la, lb) = match edge {
+        Edge::Rising => (
+            v_lo + frac_a * (v_hi - v_lo),
+            v_lo + frac_b * (v_hi - v_lo),
+        ),
+        Edge::Falling => (
+            v_hi - frac_a * (v_hi - v_lo),
+            v_hi - frac_b * (v_hi - v_lo),
+        ),
+    };
+    let ta = settle_crossing(w, la, edge)?;
+    let tb = settle_crossing(w, lb, edge)?;
+    Ok((tb - ta).abs())
+}
+
+/// 10–90% transition time of a full-swing edge; see [`transition_time`].
+///
+/// # Errors
+///
+/// Same conditions as [`transition_time`].
+pub fn slew_10_90(w: &Pwl, v_lo: f64, v_hi: f64, edge: Edge) -> Result<f64> {
+    transition_time(w, v_lo, v_hi, edge, 0.1, 0.9)
+}
+
+/// 50% crossing time of a full-swing edge (the delay reference point).
+///
+/// # Errors
+///
+/// Returns [`WaveformError::MeasurementUnavailable`] if the waveform never
+/// settles through 50%.
+pub fn t50(w: &Pwl, v_lo: f64, v_hi: f64, edge: Edge) -> Result<f64> {
+    settle_crossing(w, 0.5 * (v_lo + v_hi), edge)
+}
+
+/// Width of a pulse-like waveform measured at `frac` of its extremum,
+/// together with the extremum `(time, value)`.
+///
+/// Returns the time between the first and last crossing of
+/// `frac * peak_value`, in the direction matching the pulse polarity.
+///
+/// # Errors
+///
+/// Returns [`WaveformError::MeasurementUnavailable`] for a flat waveform or
+/// one that does not cross the fractional level on both sides of the peak.
+pub fn pulse_width_at(w: &Pwl, frac: f64) -> Result<(f64, (f64, f64))> {
+    let (tp, vp) = w.extremum_point();
+    if vp == 0.0 {
+        return Err(WaveformError::unavailable("flat waveform has no pulse"));
+    }
+    let level = frac * vp;
+    // For a positive pulse the leading edge is rising and trailing falling;
+    // mirrored for negative.
+    let (lead, trail) = if vp > 0.0 {
+        (Edge::Rising, Edge::Falling)
+    } else {
+        (Edge::Falling, Edge::Rising)
+    };
+    let t_lead = crossings(w, level, lead).into_iter().rfind(|&t| t <= tp);
+    let t_trail = crossings(w, level, trail).into_iter().find(|&t| t >= tp);
+    match (t_lead, t_trail) {
+        (Some(a), Some(b)) => Ok((b - a, (tp, vp))),
+        _ => Err(WaveformError::unavailable(format!(
+            "pulse does not cross {frac} of its peak on both sides"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp01() -> Pwl {
+        Pwl::ramp(0.0, 1.0, 0.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn crossing_of_ramp() {
+        let w = ramp01();
+        assert_eq!(cross_rising(&w, 0.5), Some(0.5));
+        assert_eq!(cross_falling(&w, 0.5), None);
+        assert_eq!(crossings(&w, 2.0, Edge::Rising), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn multiple_crossings_and_settle() {
+        // Rise, dip below threshold, rise again: the noisy-victim shape.
+        let w = Pwl::new(vec![
+            (0.0, 0.0),
+            (1.0, 0.8),
+            (2.0, 0.3),
+            (3.0, 1.0),
+        ])
+        .unwrap();
+        let ups = crossings(&w, 0.5, Edge::Rising);
+        assert_eq!(ups.len(), 2);
+        let settle = settle_crossing(&w, 0.5, Edge::Rising).unwrap();
+        assert!((settle - ups[1]).abs() < 1e-14);
+        assert!(settle > 2.0);
+        assert!(settle_crossing(&w, 0.5, Edge::Falling).is_ok());
+        assert!(settle_crossing(&w, 5.0, Edge::Rising).is_err());
+    }
+
+    #[test]
+    fn slew_of_linear_ramp() {
+        let w = ramp01();
+        let s = slew_10_90(&w, 0.0, 1.0, Edge::Rising).unwrap();
+        assert!((s - 0.8).abs() < 1e-14);
+        let t = t50(&w, 0.0, 1.0, Edge::Rising).unwrap();
+        assert!((t - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn falling_edge_measurements() {
+        let w = Pwl::ramp(0.0, 2.0, 1.0, 0.0).unwrap();
+        let s = slew_10_90(&w, 0.0, 1.0, Edge::Falling).unwrap();
+        assert!((s - 1.6).abs() < 1e-14);
+        let t = t50(&w, 0.0, 1.0, Edge::Falling).unwrap();
+        assert!((t - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pulse_width_positive_and_negative() {
+        let p = Pwl::triangle(5.0, 2.0, 1.5).unwrap();
+        let (w50, (tp, vp)) = pulse_width_at(&p, 0.5).unwrap();
+        assert!((w50 - 1.5).abs() < 1e-12);
+        assert_eq!((tp, vp), (5.0, 2.0));
+
+        let n = Pwl::triangle(5.0, -1.0, 2.0).unwrap();
+        let (w50, (_, vp)) = pulse_width_at(&n, 0.5).unwrap();
+        assert!((w50 - 2.0).abs() < 1e-12);
+        assert_eq!(vp, -1.0);
+
+        assert!(pulse_width_at(&Pwl::constant(0.0), 0.5).is_err());
+    }
+
+    #[test]
+    fn edge_display_and_opposite() {
+        assert_eq!(Edge::Rising.opposite(), Edge::Falling);
+        assert_eq!(Edge::Falling.opposite(), Edge::Rising);
+        assert_eq!(Edge::Rising.to_string(), "rise");
+    }
+
+    #[test]
+    fn hysteresis_ignores_shallow_glitches() {
+        // Rise through 0.5, shallow dip to 0.45 (within 0.1 margin), then a
+        // deep dip to 0.2 (beyond margin), then settle.
+        let w = Pwl::new(vec![
+            (0.0, 0.0),
+            (1.0, 0.8),
+            (1.5, 0.45),
+            (2.0, 0.8),
+            (2.5, 0.2),
+            (3.0, 1.0),
+        ])
+        .unwrap();
+        // Plain settle: the last rising crossing (after the deep dip).
+        let plain = settle_crossing(&w, 0.5, Edge::Rising).unwrap();
+        // Hysteresis 0.1: the shallow dip is forgiven, but the deep dip is
+        // not — both give the post-deep-dip crossing here.
+        let hyst = settle_crossing_hysteresis(&w, 0.5, Edge::Rising, 0.1).unwrap();
+        assert!((plain - hyst).abs() < 1e-12);
+
+        // Now only the shallow dip: hysteresis keeps the FIRST crossing.
+        let w2 = Pwl::new(vec![
+            (0.0, 0.0),
+            (1.0, 0.8),
+            (1.5, 0.45),
+            (2.0, 1.0),
+        ])
+        .unwrap();
+        let plain2 = settle_crossing(&w2, 0.5, Edge::Rising).unwrap();
+        let hyst2 = settle_crossing_hysteresis(&w2, 0.5, Edge::Rising, 0.1).unwrap();
+        assert!(plain2 > 1.5, "plain counts the re-crossing");
+        assert!(hyst2 < 1.0, "hysteresis forgives the shallow dip");
+        // Zero margin degenerates to the plain measurement.
+        let zero = settle_crossing_hysteresis(&w2, 0.5, Edge::Rising, 0.0).unwrap();
+        assert_eq!(zero, plain2);
+    }
+
+    #[test]
+    fn hysteresis_falling_edge() {
+        // Falling settle with a shallow bump back above the threshold.
+        let w = Pwl::new(vec![
+            (0.0, 1.0),
+            (1.0, 0.2),
+            (1.5, 0.55),
+            (2.0, 0.0),
+        ])
+        .unwrap();
+        let hyst = settle_crossing_hysteresis(&w, 0.5, Edge::Falling, 0.1).unwrap();
+        assert!(hyst < 1.0, "shallow bump forgiven, got {hyst}");
+        let tight = settle_crossing_hysteresis(&w, 0.5, Edge::Falling, 0.01).unwrap();
+        assert!(tight > 1.5, "bump beyond tight margin counts, got {tight}");
+        assert!(settle_crossing_hysteresis(&w, 2.0, Edge::Falling, 0.1).is_err());
+    }
+
+    #[test]
+    fn endpoint_crossing_counted_once() {
+        // Two segments meeting exactly at the level.
+        let w = Pwl::new(vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]).unwrap();
+        let ups = crossings(&w, 0.5, Edge::Rising);
+        assert_eq!(ups, vec![1.0]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Noise-pulse descriptors and composite-pulse construction.
+//!
+//! The paper characterizes a coupling-noise pulse by its **height** (peak
+//! deviation from the quiet level) and **50% width**, and builds a
+//! *composite* pulse by superposing the pulses each aggressor injects, with
+//! a chosen relative alignment between their peaks (Section 3.1: peaks
+//! aligned is the default; an offset search is kept for validation).
+
+use crate::measure::pulse_width_at;
+use crate::{Pwl, Result, WaveformError};
+
+/// Polarity of a noise pulse relative to the victim's quiet level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// Pulse pushes the node voltage up (aggressor rising).
+    Positive,
+    /// Pulse pulls the node voltage down (aggressor falling).
+    Negative,
+}
+
+impl Polarity {
+    /// Sign of the pulse: `+1.0` or `-1.0`.
+    pub fn sign(self) -> f64 {
+        match self {
+            Polarity::Positive => 1.0,
+            Polarity::Negative => -1.0,
+        }
+    }
+
+    /// Polarity of a measured peak value.
+    pub fn of(value: f64) -> Polarity {
+        if value >= 0.0 {
+            Polarity::Positive
+        } else {
+            Polarity::Negative
+        }
+    }
+}
+
+/// A measured noise pulse: waveform plus its summary parameters.
+///
+/// # Examples
+///
+/// ```
+/// use clarinox_waveform::{NoisePulse, Pwl};
+///
+/// # fn main() -> Result<(), clarinox_waveform::WaveformError> {
+/// let wave = Pwl::triangle(1.0e-9, -0.4, 50.0e-12)?;
+/// let pulse = NoisePulse::from_waveform(wave)?;
+/// assert!((pulse.height - 0.4).abs() < 1e-12);
+/// assert!((pulse.width50 - 50.0e-12).abs() < 1e-15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisePulse {
+    /// The pulse waveform (deviation from the quiet level, volts).
+    pub wave: Pwl,
+    /// Time at which the pulse peaks (seconds).
+    pub peak_time: f64,
+    /// Magnitude of the peak deviation (volts, always positive).
+    pub height: f64,
+    /// Width at 50% of the peak (seconds).
+    pub width50: f64,
+    /// Direction of the deviation.
+    pub polarity: Polarity,
+}
+
+impl NoisePulse {
+    /// Measures a pulse waveform into a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::MeasurementUnavailable`] if the waveform is
+    /// flat or does not cross 50% of its peak on both sides.
+    pub fn from_waveform(wave: Pwl) -> Result<Self> {
+        let (width50, (peak_time, peak_value)) = pulse_width_at(&wave, 0.5)?;
+        Ok(NoisePulse {
+            wave,
+            peak_time,
+            height: peak_value.abs(),
+            width50,
+            polarity: Polarity::of(peak_value),
+        })
+    }
+
+    /// Builds a synthetic triangular pulse with the given parameters,
+    /// peaking at `peak_time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::MalformedBreakpoints`] if `height == 0` or
+    /// `width50 <= 0`.
+    pub fn triangular(
+        peak_time: f64,
+        height: f64,
+        width50: f64,
+        polarity: Polarity,
+    ) -> Result<Self> {
+        if height <= 0.0 {
+            return Err(WaveformError::malformed(format!(
+                "pulse height must be positive, got {height}"
+            )));
+        }
+        let wave = Pwl::triangle(peak_time, polarity.sign() * height, width50)?;
+        Ok(NoisePulse {
+            wave,
+            peak_time,
+            height,
+            width50,
+            polarity,
+        })
+    }
+
+    /// The pulse shifted so its peak lands at `t`.
+    pub fn aligned_at(&self, t: f64) -> NoisePulse {
+        let dt = t - self.peak_time;
+        NoisePulse {
+            wave: self.wave.shift(dt),
+            peak_time: t,
+            height: self.height,
+            width50: self.width50,
+            polarity: self.polarity,
+        }
+    }
+}
+
+/// A composite noise pulse: the superposition of per-aggressor pulses at
+/// chosen relative alignments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositePulse {
+    /// The measured composite pulse.
+    pub pulse: NoisePulse,
+    /// The peak-time offsets (seconds) applied to each contributor,
+    /// relative to the first contributor's peak.
+    pub offsets: Vec<f64>,
+}
+
+impl CompositePulse {
+    /// Superposes `pulses`, shifting pulse `i` so its peak sits at
+    /// `reference + offsets[i]` where `reference` is the first pulse's
+    /// original peak time. With all-zero offsets this is the paper's
+    /// "aligned peaks" composite, which maximizes composite height.
+    ///
+    /// # Errors
+    ///
+    /// * [`WaveformError::MalformedBreakpoints`] if `pulses` is empty or
+    ///   the lengths differ.
+    /// * [`WaveformError::MeasurementUnavailable`] if the superposition
+    ///   cancels to a flat waveform.
+    pub fn superpose(pulses: &[NoisePulse], offsets: &[f64]) -> Result<Self> {
+        if pulses.is_empty() {
+            return Err(WaveformError::malformed("no pulses to superpose"));
+        }
+        if pulses.len() != offsets.len() {
+            return Err(WaveformError::malformed(format!(
+                "{} pulses but {} offsets",
+                pulses.len(),
+                offsets.len()
+            )));
+        }
+        let t_ref = pulses[0].peak_time;
+        let mut acc: Option<Pwl> = None;
+        for (p, &off) in pulses.iter().zip(offsets.iter()) {
+            let shifted = p.aligned_at(t_ref + off).wave;
+            acc = Some(match acc {
+                None => shifted,
+                Some(a) => a.add(&shifted),
+            });
+        }
+        let wave = acc.expect("non-empty pulse list");
+        Ok(CompositePulse {
+            pulse: NoisePulse::from_waveform(wave)?,
+            offsets: offsets.to_vec(),
+        })
+    }
+
+    /// The paper's default: all aggressor peaks coincident (Section 3.1).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompositePulse::superpose`].
+    pub fn peaks_aligned(pulses: &[NoisePulse]) -> Result<Self> {
+        Self::superpose(pulses, &vec![0.0; pulses.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn descriptor_from_triangle() {
+        let p = NoisePulse::triangular(2.0, 0.5, 0.3, Polarity::Negative).unwrap();
+        assert_eq!(p.polarity, Polarity::Negative);
+        assert!((p.wave.value(2.0) + 0.5).abs() < 1e-14);
+        assert!((p.width50 - 0.3).abs() < 1e-14);
+        assert!(NoisePulse::triangular(0.0, 0.0, 1.0, Polarity::Positive).is_err());
+        assert!(NoisePulse::triangular(0.0, 1.0, 0.0, Polarity::Positive).is_err());
+    }
+
+    #[test]
+    fn aligned_at_moves_peak() {
+        let p = NoisePulse::triangular(2.0, 1.0, 0.5, Polarity::Positive).unwrap();
+        let q = p.aligned_at(10.0);
+        assert_eq!(q.peak_time, 10.0);
+        assert!((q.wave.value(10.0) - 1.0).abs() < 1e-14);
+        assert_eq!(q.height, p.height);
+    }
+
+    #[test]
+    fn aligned_peaks_heights_add() {
+        let a = NoisePulse::triangular(1.0, 0.4, 0.2, Polarity::Negative).unwrap();
+        let b = NoisePulse::triangular(5.0, 0.3, 0.2, Polarity::Negative).unwrap();
+        let c = CompositePulse::peaks_aligned(&[a, b]).unwrap();
+        assert!((c.pulse.height - 0.7).abs() < 1e-12);
+        assert_eq!(c.pulse.polarity, Polarity::Negative);
+        assert!((c.pulse.peak_time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_peaks_lower_and_widen() {
+        let a = NoisePulse::triangular(0.0, 0.5, 0.4, Polarity::Negative).unwrap();
+        let b = NoisePulse::triangular(0.0, 0.5, 0.4, Polarity::Negative).unwrap();
+        let aligned = CompositePulse::superpose(&[a.clone(), b.clone()], &[0.0, 0.0]).unwrap();
+        let spread = CompositePulse::superpose(&[a, b], &[0.0, 0.3]).unwrap();
+        assert!(spread.pulse.height < aligned.pulse.height);
+        assert!(spread.pulse.width50 > aligned.pulse.width50);
+    }
+
+    #[test]
+    fn superpose_validates() {
+        assert!(CompositePulse::superpose(&[], &[]).is_err());
+        let a = NoisePulse::triangular(0.0, 0.5, 0.4, Polarity::Positive).unwrap();
+        assert!(CompositePulse::superpose(&[a], &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn composite_records_offsets() {
+        let a = NoisePulse::triangular(0.0, 0.4, 0.2, Polarity::Negative).unwrap();
+        let b = NoisePulse::triangular(1.0, 0.3, 0.2, Polarity::Negative).unwrap();
+        let c = CompositePulse::superpose(&[a, b], &[0.0, 0.15]).unwrap();
+        assert_eq!(c.offsets, vec![0.0, 0.15]);
+        // At t = 0.15 (the second pulse's shifted peak): the first pulse
+        // has decayed to -0.4 * 0.25 and the second contributes its full
+        // -0.3 peak.
+        assert!((c.pulse.wave.value(0.15) + (0.4 * 0.25 + 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polarity_helpers() {
+        assert_eq!(Polarity::of(-0.1), Polarity::Negative);
+        assert_eq!(Polarity::of(0.1), Polarity::Positive);
+        assert_eq!(Polarity::Negative.sign(), -1.0);
+    }
+
+    proptest! {
+        /// A composite of same-polarity pulses never exceeds the sum of
+        /// heights, and peaks-aligned achieves exactly that sum.
+        #[test]
+        fn prop_composite_height_bound(
+            h1 in 0.1f64..1.0,
+            h2 in 0.1f64..1.0,
+            off in -1.0f64..1.0,
+        ) {
+            let a = NoisePulse::triangular(0.0, h1, 0.5, Polarity::Negative).unwrap();
+            let b = NoisePulse::triangular(0.0, h2, 0.5, Polarity::Negative).unwrap();
+            let any = CompositePulse::superpose(&[a.clone(), b.clone()], &[0.0, off]).unwrap();
+            prop_assert!(any.pulse.height <= h1 + h2 + 1e-12);
+            let aligned = CompositePulse::peaks_aligned(&[a, b]).unwrap();
+            prop_assert!((aligned.pulse.height - (h1 + h2)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! The piecewise-linear waveform type.
+
+use crate::{Result, WaveformError};
+use clarinox_numeric::quad;
+
+/// A piecewise-linear waveform: sorted `(time, value)` breakpoints with
+/// constant extension before the first and after the last breakpoint.
+///
+/// Invariants (enforced at construction):
+/// * at least one breakpoint,
+/// * strictly increasing times,
+/// * all values finite.
+///
+/// # Examples
+///
+/// ```
+/// use clarinox_waveform::Pwl;
+///
+/// # fn main() -> Result<(), clarinox_waveform::WaveformError> {
+/// let w = Pwl::new(vec![(0.0, 0.0), (1.0, 2.0)])?;
+/// assert_eq!(w.value(-1.0), 0.0); // constant extension
+/// assert_eq!(w.value(0.5), 1.0);  // linear interior
+/// assert_eq!(w.value(9.0), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pwl {
+    pts: Vec<(f64, f64)>,
+}
+
+impl Pwl {
+    /// Builds a waveform from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::MalformedBreakpoints`] if `pts` is empty or
+    /// times are not strictly increasing, and [`WaveformError::NonFinite`]
+    /// if any coordinate is NaN/∞.
+    pub fn new(pts: Vec<(f64, f64)>) -> Result<Self> {
+        if pts.is_empty() {
+            return Err(WaveformError::malformed("empty breakpoint list"));
+        }
+        for (i, (t, v)) in pts.iter().enumerate() {
+            if !t.is_finite() || !v.is_finite() {
+                return Err(WaveformError::NonFinite {
+                    context: format!("breakpoint {i} = ({t}, {v})"),
+                });
+            }
+        }
+        for i in 1..pts.len() {
+            if !(pts[i].0 > pts[i - 1].0) {
+                return Err(WaveformError::malformed(format!(
+                    "time not strictly increasing at index {i} ({} then {})",
+                    pts[i - 1].0,
+                    pts[i].0
+                )));
+            }
+        }
+        Ok(Pwl { pts })
+    }
+
+    /// A constant waveform at level `v` (single breakpoint at t = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not finite.
+    pub fn constant(v: f64) -> Self {
+        assert!(v.is_finite(), "constant value must be finite");
+        Pwl {
+            pts: vec![(0.0, v)],
+        }
+    }
+
+    /// A saturated ramp: `v0` until `t0`, linear to `v1` over `duration`,
+    /// then `v1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::MalformedBreakpoints`] if `duration <= 0`.
+    pub fn ramp(t0: f64, duration: f64, v0: f64, v1: f64) -> Result<Self> {
+        if !(duration > 0.0) {
+            return Err(WaveformError::malformed(format!(
+                "ramp duration must be positive, got {duration}"
+            )));
+        }
+        Pwl::new(vec![(t0, v0), (t0 + duration, v1)])
+    }
+
+    /// A triangular pulse from baseline 0: rises (or falls, for negative
+    /// `height`) to `height` at `t_peak`, with 50%-width `width50`.
+    ///
+    /// The triangle's full base is `2 * width50` so that the width measured
+    /// at half the peak value equals `width50` — matching how the paper
+    /// parameterizes noise pulses by height and (half-)width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::MalformedBreakpoints`] if `width50 <= 0`.
+    pub fn triangle(t_peak: f64, height: f64, width50: f64) -> Result<Self> {
+        if !(width50 > 0.0) {
+            return Err(WaveformError::malformed(format!(
+                "pulse width must be positive, got {width50}"
+            )));
+        }
+        Pwl::new(vec![
+            (t_peak - width50, 0.0),
+            (t_peak, height),
+            (t_peak + width50, 0.0),
+        ])
+    }
+
+    /// Samples a function on a uniform grid of `n + 1` points over
+    /// `[t0, t1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::MalformedBreakpoints`] if `n == 0` or
+    /// `t1 <= t0`, and [`WaveformError::NonFinite`] if the function produces
+    /// non-finite values.
+    pub fn sample_fn(mut f: impl FnMut(f64) -> f64, t0: f64, t1: f64, n: usize) -> Result<Self> {
+        if n == 0 || !(t1 > t0) {
+            return Err(WaveformError::malformed(format!(
+                "sample_fn needs n > 0 and t1 > t0 (got n={n}, [{t0}, {t1}])"
+            )));
+        }
+        let h = (t1 - t0) / n as f64;
+        let pts: Vec<(f64, f64)> = (0..=n)
+            .map(|i| {
+                let t = t0 + h * i as f64;
+                (t, f(t))
+            })
+            .collect();
+        Pwl::new(pts)
+    }
+
+    /// Builds a waveform from parallel time/value sample arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::MalformedBreakpoints`] on length mismatch or
+    /// unsorted times.
+    pub fn from_samples(ts: &[f64], vs: &[f64]) -> Result<Self> {
+        if ts.len() != vs.len() {
+            return Err(WaveformError::malformed(format!(
+                "time/value length mismatch: {} vs {}",
+                ts.len(),
+                vs.len()
+            )));
+        }
+        Pwl::new(ts.iter().copied().zip(vs.iter().copied()).collect())
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.pts
+    }
+
+    /// Time of the first breakpoint.
+    pub fn t_start(&self) -> f64 {
+        self.pts[0].0
+    }
+
+    /// Time of the last breakpoint.
+    pub fn t_end(&self) -> f64 {
+        self.pts[self.pts.len() - 1].0
+    }
+
+    /// Value of the first breakpoint (the level before `t_start`).
+    pub fn v_start(&self) -> f64 {
+        self.pts[0].1
+    }
+
+    /// Value of the last breakpoint (the level after `t_end`).
+    pub fn v_end(&self) -> f64 {
+        self.pts[self.pts.len() - 1].1
+    }
+
+    /// Evaluates the waveform at time `t` (constant extension outside the
+    /// breakpoint range).
+    pub fn value(&self, t: f64) -> f64 {
+        let pts = &self.pts;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        let last = pts.len() - 1;
+        if t >= pts[last].0 {
+            return pts[last].1;
+        }
+        let mut lo = 0;
+        let mut hi = last;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if pts[mid].0 <= t {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let (t0, v0) = pts[lo];
+        let (t1, v1) = pts[lo + 1];
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Pointwise sum `self + other` with the union of both breakpoint grids
+    /// (the superposition operation of the paper's Figure 1(d)).
+    pub fn add(&self, other: &Pwl) -> Pwl {
+        let times = merge_times(&self.pts, &other.pts);
+        let pts = times
+            .into_iter()
+            .map(|t| (t, self.value(t) + other.value(t)))
+            .collect();
+        // Merged times of two valid waveforms are valid by construction.
+        Pwl { pts }
+    }
+
+    /// Pointwise difference `self - other`.
+    pub fn sub(&self, other: &Pwl) -> Pwl {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Scales all values by `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not finite.
+    pub fn scale(&self, k: f64) -> Pwl {
+        assert!(k.is_finite(), "scale factor must be finite");
+        Pwl {
+            pts: self.pts.iter().map(|&(t, v)| (t, k * v)).collect(),
+        }
+    }
+
+    /// Adds a constant offset to all values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dv` is not finite.
+    pub fn offset(&self, dv: f64) -> Pwl {
+        assert!(dv.is_finite(), "offset must be finite");
+        Pwl {
+            pts: self.pts.iter().map(|&(t, v)| (t, v + dv)).collect(),
+        }
+    }
+
+    /// Shifts the waveform in time by `dt` (positive = later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not finite.
+    pub fn shift(&self, dt: f64) -> Pwl {
+        assert!(dt.is_finite(), "time shift must be finite");
+        Pwl {
+            pts: self.pts.iter().map(|&(t, v)| (t + dt, v)).collect(),
+        }
+    }
+
+    /// Restricts the waveform to `[t0, t1]`, inserting interpolated
+    /// breakpoints at the cut times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::MalformedBreakpoints`] if `t1 <= t0`.
+    pub fn window(&self, t0: f64, t1: f64) -> Result<Pwl> {
+        if !(t1 > t0) {
+            return Err(WaveformError::malformed(format!(
+                "window requires t1 > t0 (got [{t0}, {t1}])"
+            )));
+        }
+        let mut pts = vec![(t0, self.value(t0))];
+        for &(t, v) in &self.pts {
+            if t > t0 && t < t1 {
+                pts.push((t, v));
+            }
+        }
+        pts.push((t1, self.value(t1)));
+        Pwl::new(pts)
+    }
+
+    /// Integral `∫ v dt` over the breakpoint span (exact for PWL).
+    ///
+    /// A single-breakpoint (constant) waveform has zero span and integrates
+    /// to zero.
+    pub fn integral(&self) -> f64 {
+        if self.pts.len() < 2 {
+            return 0.0;
+        }
+        let ts: Vec<f64> = self.pts.iter().map(|p| p.0).collect();
+        let vs: Vec<f64> = self.pts.iter().map(|p| p.1).collect();
+        // Valid Pwl always has strictly increasing times.
+        quad::trapezoid(&ts, &vs).expect("valid pwl integrates")
+    }
+
+    /// Maximum value and the (first) time it is attained.
+    pub fn max_point(&self) -> (f64, f64) {
+        let mut best = self.pts[0];
+        for &p in &self.pts {
+            if p.1 > best.1 {
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// Minimum value and the (first) time it is attained.
+    pub fn min_point(&self) -> (f64, f64) {
+        let mut best = self.pts[0];
+        for &p in &self.pts {
+            if p.1 < best.1 {
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// The point of largest |value|, preserving sign: `(time, value)`.
+    pub fn extremum_point(&self) -> (f64, f64) {
+        let (tmax, vmax) = self.max_point();
+        let (tmin, vmin) = self.min_point();
+        if vmax.abs() >= vmin.abs() {
+            (tmax, vmax)
+        } else {
+            (tmin, vmin)
+        }
+    }
+
+    /// Resamples onto a uniform grid of `n + 1` points covering the
+    /// breakpoint span (plus optional padding on each side).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::MalformedBreakpoints`] if `n == 0` or the
+    /// padded span is empty.
+    pub fn resample(&self, n: usize, pad: f64) -> Result<Pwl> {
+        let t0 = self.t_start() - pad;
+        let t1 = self.t_end() + pad;
+        if self.pts.len() == 1 {
+            // Constant waveform: synthesize a 1-second span around t_start.
+            return Pwl::sample_fn(|_| self.pts[0].1, t0, t0 + 1.0, n.max(1));
+        }
+        Pwl::sample_fn(|t| self.value(t), t0, t1, n)
+    }
+
+    /// Applies `f` to every value, keeping times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaveformError::NonFinite`] if `f` produces non-finite
+    /// values.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Result<Pwl> {
+        Pwl::new(self.pts.iter().map(|&(t, v)| (t, f(v))).collect())
+    }
+}
+
+/// Merges (unions) the time grids of two breakpoint lists.
+fn merge_times(a: &[(f64, f64)], b: &[(f64, f64)]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let t = match (a.get(i), b.get(j)) {
+            (Some(&(ta, _)), Some(&(tb, _))) => {
+                if ta < tb {
+                    i += 1;
+                    ta
+                } else if tb < ta {
+                    j += 1;
+                    tb
+                } else {
+                    i += 1;
+                    j += 1;
+                    ta
+                }
+            }
+            (Some(&(ta, _)), None) => {
+                i += 1;
+                ta
+            }
+            (None, Some(&(tb, _))) => {
+                j += 1;
+                tb
+            }
+            (None, None) => break,
+        };
+        if out.last().is_none_or(|&last| t > last) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Pwl::new(vec![]).is_err());
+        assert!(Pwl::new(vec![(0.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(Pwl::new(vec![(1.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(Pwl::new(vec![(0.0, f64::NAN)]).is_err());
+        assert!(Pwl::new(vec![(0.0, 1.0), (1.0, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn value_interpolates_and_extends() {
+        let w = Pwl::new(vec![(1.0, 0.0), (2.0, 10.0), (4.0, 10.0)]).unwrap();
+        assert_eq!(w.value(0.0), 0.0);
+        assert_eq!(w.value(1.5), 5.0);
+        assert_eq!(w.value(3.0), 10.0);
+        assert_eq!(w.value(100.0), 10.0);
+    }
+
+    #[test]
+    fn ramp_shape() {
+        let r = Pwl::ramp(1.0, 2.0, 0.0, 4.0).unwrap();
+        assert_eq!(r.value(1.0), 0.0);
+        assert_eq!(r.value(2.0), 2.0);
+        assert_eq!(r.value(3.0), 4.0);
+        assert!(Pwl::ramp(0.0, 0.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn triangle_width_at_half_height() {
+        let p = Pwl::triangle(10.0, 2.0, 3.0).unwrap();
+        assert_eq!(p.value(10.0), 2.0);
+        // Half height (1.0) is reached at 10 ± 1.5, so the 50% width is 3.0.
+        assert_eq!(p.value(8.5), 1.0);
+        assert_eq!(p.value(11.5), 1.0);
+        assert!(Pwl::triangle(0.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn add_uses_merged_grid() {
+        let a = Pwl::new(vec![(0.0, 0.0), (2.0, 2.0)]).unwrap();
+        let b = Pwl::new(vec![(1.0, 10.0), (3.0, 0.0)]).unwrap();
+        let s = a.add(&b);
+        // All four breakpoint times survive.
+        let times: Vec<f64> = s.points().iter().map(|p| p.0).collect();
+        assert_eq!(times, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.value(1.0), 1.0 + 10.0);
+        assert_eq!(s.value(2.0), 2.0 + 5.0);
+    }
+
+    #[test]
+    fn sub_scale_offset_shift() {
+        let a = Pwl::new(vec![(0.0, 1.0), (1.0, 3.0)]).unwrap();
+        assert_eq!(a.sub(&a).value(0.5), 0.0);
+        assert_eq!(a.scale(2.0).value(1.0), 6.0);
+        assert_eq!(a.offset(-1.0).value(0.0), 0.0);
+        let sh = a.shift(5.0);
+        assert_eq!(sh.t_start(), 5.0);
+        assert_eq!(sh.value(5.5), 2.0);
+    }
+
+    #[test]
+    fn window_cuts_with_interpolation() {
+        let a = Pwl::new(vec![(0.0, 0.0), (10.0, 10.0)]).unwrap();
+        let w = a.window(2.5, 7.5).unwrap();
+        assert_eq!(w.t_start(), 2.5);
+        assert_eq!(w.v_start(), 2.5);
+        assert_eq!(w.t_end(), 7.5);
+        assert_eq!(w.v_end(), 7.5);
+        assert!(a.window(5.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn integral_of_triangle() {
+        let p = Pwl::triangle(0.0, 2.0, 1.0).unwrap();
+        // Base 2, height 2 -> area 2.
+        assert!((p.integral() - 2.0).abs() < 1e-14);
+        assert_eq!(Pwl::constant(5.0).integral(), 0.0);
+    }
+
+    #[test]
+    fn extrema() {
+        let w = Pwl::new(vec![(0.0, 1.0), (1.0, -4.0), (2.0, 3.0)]).unwrap();
+        assert_eq!(w.max_point(), (2.0, 3.0));
+        assert_eq!(w.min_point(), (1.0, -4.0));
+        assert_eq!(w.extremum_point(), (1.0, -4.0));
+    }
+
+    #[test]
+    fn resample_covers_span() {
+        let w = Pwl::new(vec![(0.0, 0.0), (1.0, 1.0)]).unwrap();
+        let r = w.resample(10, 0.5).unwrap();
+        assert_eq!(r.points().len(), 11);
+        assert_eq!(r.t_start(), -0.5);
+        assert_eq!(r.t_end(), 1.5);
+        let c = Pwl::constant(2.0).resample(4, 0.0).unwrap();
+        assert_eq!(c.value(0.5), 2.0);
+    }
+
+    #[test]
+    fn map_applies_function() {
+        let w = Pwl::new(vec![(0.0, 1.0), (1.0, 2.0)]).unwrap();
+        let m = w.map(|v| v * v).unwrap();
+        assert_eq!(m.value(1.0), 4.0);
+        assert!(w.map(|_| f64::NAN).is_err());
+    }
+
+    proptest! {
+        /// Superposition is commutative and linear at arbitrary query times.
+        #[test]
+        fn prop_add_commutes(t in -5.0f64..15.0) {
+            let a = Pwl::new(vec![(0.0, 1.0), (3.0, -2.0), (9.0, 4.0)]).unwrap();
+            let b = Pwl::new(vec![(1.0, 0.5), (4.0, 2.5)]).unwrap();
+            let ab = a.add(&b);
+            let ba = b.add(&a);
+            prop_assert!((ab.value(t) - ba.value(t)).abs() < 1e-12);
+            prop_assert!((ab.value(t) - (a.value(t) + b.value(t))).abs() < 1e-12);
+        }
+
+        /// add-then-sub round-trips at every query time.
+        #[test]
+        fn prop_add_sub_roundtrip(t in -2.0f64..12.0) {
+            let a = Pwl::new(vec![(0.0, 0.3), (5.0, -1.0), (10.0, 2.0)]).unwrap();
+            let b = Pwl::triangle(4.0, 1.5, 2.0).unwrap();
+            let back = a.add(&b).sub(&b);
+            prop_assert!((back.value(t) - a.value(t)).abs() < 1e-12);
+        }
+
+        /// Time shift preserves shape: shifted(t + dt) == original(t).
+        #[test]
+        fn prop_shift_preserves_shape(dt in -3.0f64..3.0, t in 0.0f64..10.0) {
+            let a = Pwl::new(vec![(0.0, 0.0), (2.0, 1.0), (10.0, -1.0)]).unwrap();
+            let s = a.shift(dt);
+            prop_assert!((s.value(t + dt) - a.value(t)).abs() < 1e-12);
+        }
+    }
+}

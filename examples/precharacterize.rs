@@ -1,0 +1,88 @@
+//! Pre-characterization: build the per-gate tables the flow consumes.
+//!
+//! Shows the "offline" half of the paper's method for one receiver gate:
+//! a Thevenin model across loads, an NLDM-style timing table, and the
+//! 8-point worst-case alignment-voltage table of Section 3.2 — all printed
+//! so the numbers can be inspected.
+//!
+//! Run with: `cargo run --release --example precharacterize`
+
+use clarinox::cells::{Gate, Tech};
+use clarinox::char::alignment::{AlignmentCharSpec, AlignmentTable};
+use clarinox::char::tables::GateTimingTable;
+use clarinox::char::thevenin::fit_thevenin;
+use clarinox::waveform::measure::Edge;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Tech::default_180nm();
+    let gate = Gate::inv(2.0, &tech);
+    println!("gate: {gate}");
+
+    println!("\nThevenin models (rising input, 100 ps ramp):");
+    println!("{:>10} {:>10} {:>10} {:>10}", "load fF", "Rth Ω", "Δt ps", "t0 ps");
+    for &load in &[5e-15, 15e-15, 40e-15, 80e-15] {
+        let m = fit_thevenin(&tech, gate, Edge::Rising, 100e-12, load)?;
+        println!(
+            "{:>10.0} {:>10.0} {:>10.1} {:>10.1}",
+            load * 1e15,
+            m.rth,
+            m.ramp * 1e12,
+            m.t0 * 1e12
+        );
+    }
+
+    println!("\nNLDM timing table (delay ps over input-ramp x load):");
+    let table = GateTimingTable::characterize(
+        &tech,
+        gate,
+        Edge::Rising,
+        &[60e-12, 150e-12, 300e-12],
+        &[5e-15, 25e-15, 80e-15],
+    )?;
+    print!("{:>12}", "ramp\\load");
+    for &l in &[5e-15, 25e-15, 80e-15] {
+        print!("{:>10.0}", l * 1e15);
+    }
+    println!();
+    for &r in &[60e-12, 150e-12, 300e-12] {
+        print!("{:>12.0}", r * 1e12);
+        for &l in &[5e-15, 25e-15, 80e-15] {
+            print!("{:>10.1}", table.delay(r, l) * 1e12);
+        }
+        println!();
+    }
+
+    println!("\n8-point alignment-voltage table (rising victim):");
+    let at = AlignmentTable::characterize(
+        &tech,
+        gate,
+        Edge::Rising,
+        [60e-12, 300e-12],
+        [0.3, 0.8],
+        [100e-12, 400e-12],
+        4e-15,
+        &AlignmentCharSpec::default(),
+    )?;
+    println!(
+        "{:>10} {:>8} {:>10} {:>12}",
+        "width ps", "height V", "slew ps", "worst Va (V)"
+    );
+    for (wi, &w) in [60e-12, 300e-12].iter().enumerate() {
+        for (hi, &h) in [0.3, 0.8].iter().enumerate() {
+            for (si, &s) in [100e-12, 400e-12].iter().enumerate() {
+                println!(
+                    "{:>10.0} {:>8.2} {:>10.0} {:>12.3}",
+                    w * 1e12,
+                    h,
+                    s * 1e12,
+                    at.corner(wi, hi, si)
+                );
+            }
+        }
+    }
+    println!(
+        "\nan arbitrary condition interpolates: w=150 ps, h=0.5 V, slew=200 ps -> Va = {:.3} V",
+        at.alignment_voltage(150e-12, 0.5, 200e-12)
+    );
+    Ok(())
+}

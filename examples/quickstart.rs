@@ -1,0 +1,37 @@
+//! Quickstart: analyze one coupled net end to end.
+//!
+//! Generates a small seeded workload, runs the full paper flow on the
+//! first net — C-effective + Thevenin characterization, superposition,
+//! transient holding resistance, predicted worst-case alignment — and
+//! prints the resulting delay-noise report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use clarinox::cells::Tech;
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(3), 42);
+    let analyzer = NoiseAnalyzer::new(tech);
+
+    for spec in &nets {
+        let report = analyzer.analyze(spec)?;
+        println!("{report}");
+        if let Some(composite) = &report.composite {
+            println!(
+                "  composite pulse: {:.0} mV high, {:.0} ps wide, aligned at {:.0} ps",
+                composite.height * 1e3,
+                composite.width50 * 1e12,
+                report.peak_time * 1e12,
+            );
+        }
+        println!(
+            "  victim slew at receiver: {:.0} ps; effective load {:.1} fF",
+            report.victim_slew_rcv * 1e12,
+            report.ceff * 1e15
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,201 @@
+//! `clarinox` — command-line front end to the crosstalk delay-noise
+//! analyzer.
+//!
+//! ```text
+//! clarinox block [--nets N] [--seed S] [--thevenin] [--exhaustive]
+//!     analyze a generated block of coupled nets, print per-net extra
+//!     delays and summary statistics
+//!
+//! clarinox net [--seed S] [--id I] [--verbose]
+//!     analyze a single net of a generated block in detail
+//!
+//! clarinox functional [--nets N] [--seed S] [--margin MV]
+//!     run the functional (glitch) noise check over a block
+//!
+//! clarinox characterize [--strength X]
+//!     print Thevenin, timing and alignment tables for an inverter
+//!
+//! clarinox spef [--seed S] [--id I]
+//!     dump a generated net's parasitic skeleton in SPEF-subset form
+//! ```
+
+use clarinox::cells::{Gate, Tech};
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::core::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
+use clarinox::core::functional::{check_functional_noise, QuietState};
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+use clarinox::numeric::stats;
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_value<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn base_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ..AnalyzerConfig::default()
+    }
+}
+
+fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
+    let nets = arg_value("--nets", 20usize);
+    let seed = arg_value("--seed", 1u64);
+    let tech = Tech::default_180nm();
+    let mut cfg = base_config();
+    if arg_flag("--thevenin") {
+        cfg = cfg.with_driver_model(DriverModelKind::Thevenin);
+    }
+    if arg_flag("--exhaustive") {
+        cfg = cfg.with_alignment(AlignmentObjective::ExhaustiveReceiverOutput { points: 17 });
+    }
+    let analyzer = NoiseAnalyzer::with_config(tech, cfg);
+    let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
+
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "net", "base (ps)", "extra (ps)", "pulse (mV)", "R_th (Ω)", "R_hold (Ω)"
+    );
+    let mut extras = Vec::new();
+    for spec in &block {
+        match analyzer.analyze(spec) {
+            Ok(r) => {
+                println!(
+                    "{:>5} {:>12.1} {:>12.1} {:>12.0} {:>10.0} {:>10.0}",
+                    r.id,
+                    r.base_delay_out * 1e12,
+                    r.delay_noise_rcv_out * 1e12,
+                    r.composite.as_ref().map(|c| c.height * 1e3).unwrap_or(0.0),
+                    r.rth,
+                    r.holding_r
+                );
+                extras.push(r.delay_noise_rcv_out * 1e12);
+            }
+            Err(e) => println!("{:>5} analysis failed: {e}", spec.id),
+        }
+    }
+    println!(
+        "\n{} nets: extra delay mean {:.1} ps, max {:.1} ps",
+        extras.len(),
+        stats::mean(&extras),
+        stats::max(&extras).unwrap_or(0.0)
+    );
+    Ok(())
+}
+
+fn cmd_net() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = arg_value("--seed", 1u64);
+    let id = arg_value("--id", 0usize);
+    let tech = Tech::default_180nm();
+    let analyzer = NoiseAnalyzer::with_config(tech, base_config());
+    let block = generate_block(&tech, &BlockConfig::default().with_nets(id + 1), seed);
+    let spec = &block[id];
+    let r = analyzer.analyze(spec)?;
+    println!("{r}");
+    println!("victim: {} wire {:.2} mm, receiver {} + {:.0} fF",
+        spec.victim.driver, spec.victim.wire_len * 1e3, spec.victim.receiver,
+        spec.victim.receiver_load * 1e15);
+    for (i, (a, p)) in spec.aggressors.iter().zip(r.pulses.iter()).enumerate() {
+        match p {
+            Some(p) => println!(
+                "agg {i}: {} coupled {:.2} mm -> pulse {:.0} mV / {:.0} ps",
+                a.net.driver,
+                a.coupling_len * 1e3,
+                p.height * 1e3,
+                p.width50 * 1e12
+            ),
+            None => println!("agg {i}: {} coupled {:.2} mm -> below threshold",
+                a.net.driver, a.coupling_len * 1e3),
+        }
+    }
+    if arg_flag("--verbose") {
+        println!("\nnoisy receiver-input waveform (t_ns, v):");
+        for (t, v) in r.noisy_rcv.points().iter().step_by(
+            (r.noisy_rcv.points().len() / 40).max(1),
+        ) {
+            println!("  {:.3}, {:.4}", t * 1e9, v);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
+    let nets = arg_value("--nets", 10usize);
+    let seed = arg_value("--seed", 1u64);
+    let margin_mv = arg_value("--margin", 180.0f64);
+    let tech = Tech::default_180nm();
+    let cfg = base_config();
+    let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
+    let mut fails = 0usize;
+    for spec in &block {
+        for state in [QuietState::Low, QuietState::High] {
+            let r = check_functional_noise(&tech, spec, state, margin_mv * 1e-3, &cfg)?;
+            if r.glitch_in > 0.0 {
+                println!("{r}");
+            }
+            if r.fails() {
+                fails += 1;
+            }
+        }
+    }
+    println!("\n{fails} functional violations at {margin_mv:.0} mV output margin");
+    Ok(())
+}
+
+fn cmd_characterize() -> Result<(), Box<dyn std::error::Error>> {
+    use clarinox::char::thevenin::fit_thevenin;
+    use clarinox::waveform::measure::Edge;
+    let strength = arg_value("--strength", 2.0f64);
+    let tech = Tech::default_180nm();
+    let gate = Gate::inv(strength, &tech);
+    println!("gate {gate}: input cap {:.2} fF", gate.input_cap(&tech) * 1e15);
+    println!("{:>10} {:>10} {:>10}", "load fF", "Rth Ω", "Δt ps");
+    for &load in &[5e-15, 15e-15, 40e-15, 100e-15] {
+        let m = fit_thevenin(&tech, gate, Edge::Rising, 120e-12, load)?;
+        println!("{:>10.0} {:>10.0} {:>10.1}", load * 1e15, m.rth, m.ramp * 1e12);
+    }
+    Ok(())
+}
+
+fn cmd_spef() -> Result<(), Box<dyn std::error::Error>> {
+    use clarinox::circuit::spef::write_parasitics;
+    use clarinox::netgen::build_topology;
+    let seed = arg_value("--seed", 1u64);
+    let id = arg_value("--id", 0usize);
+    let tech = Tech::default_180nm();
+    let block = generate_block(&tech, &BlockConfig::default().with_nets(id + 1), seed);
+    let topo = build_topology(&tech, &block[id])?;
+    print!("{}", write_parasitics(&topo.circuit, &format!("net{id}"))?);
+    Ok(())
+}
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    let result = match cmd.as_str() {
+        "block" => cmd_block(),
+        "net" => cmd_net(),
+        "functional" => cmd_functional(),
+        "characterize" => cmd_characterize(),
+        "spef" => cmd_spef(),
+        _ => {
+            eprintln!(
+                "usage: clarinox <block|net|functional|characterize|spef> [options]\n\
+                 see the module docs (src/bin/clarinox.rs) for options"
+            );
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,58 @@
+//! # clarinox — crosstalk delay-noise analysis
+//!
+//! A Rust reproduction of *"Driver Modeling and Alignment for Worst-Case
+//! Delay Noise"* (Sirichotiyakul, Blaauw, Oh, Levy, Zolotov, Zuo —
+//! DAC 2001): the driver-modeling and aggressor-alignment engine of the
+//! ClariNet-class industrial noise tool described in the paper, together
+//! with every substrate it needs — a linear MNA circuit simulator, a
+//! transistor-level (non-linear) reference simulator, a synthetic CMOS
+//! cell library, PRIMA model-order reduction, gate pre-characterization,
+//! a coupled-net workload generator, and switching-window static timing.
+//!
+//! This crate re-exports the workspace's public API under stable module
+//! names; the heavy lifting lives in the `clarinox-*` member crates.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use clarinox::cells::Tech;
+//! use clarinox::core::analysis::NoiseAnalyzer;
+//! use clarinox::netgen::generate::{generate_block, BlockConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tech = Tech::default_180nm();
+//! let nets = generate_block(&tech, &BlockConfig::default().with_nets(5), 42);
+//! let analyzer = NoiseAnalyzer::new(tech);
+//! for net in &nets {
+//!     let report = analyzer.analyze(net)?;
+//!     println!("{report}");
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Member crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `clarinox-core` | the paper's flow: superposition, transient holding resistance, worst-case alignment |
+//! | [`numeric`] | `clarinox-numeric` | dense LU, interpolation, root finding, quadrature |
+//! | [`waveform`] | `clarinox-waveform` | piecewise-linear waveforms and measurements |
+//! | [`circuit`] | `clarinox-circuit` | netlists, MNA, linear transient simulation |
+//! | [`spice`] | `clarinox-spice` | MOSFET models + Newton–Raphson transient solver |
+//! | [`cells`] | `clarinox-cells` | synthetic 0.18 µm technology and gate library |
+//! | [`mor`] | `clarinox-mor` | PRIMA reduced-order macromodels |
+//! | [`mod@char`] | `clarinox-char` | Thevenin fits, C-effective, timing & alignment tables |
+//! | [`netgen`] | `clarinox-netgen` | seeded coupled-net workload generation |
+//! | [`sta`] | `clarinox-sta` | switching windows and the noise/window fixed point |
+
+pub use clarinox_cells as cells;
+pub use clarinox_char as char;
+pub use clarinox_circuit as circuit;
+pub use clarinox_core as core;
+pub use clarinox_mor as mor;
+pub use clarinox_netgen as netgen;
+pub use clarinox_numeric as numeric;
+pub use clarinox_spice as spice;
+pub use clarinox_sta as sta;
+pub use clarinox_waveform as waveform;

@@ -1,0 +1,56 @@
+//! Determinism: seeded generation and the whole analysis pipeline are
+//! reproducible bit for bit — the property that makes the experiment
+//! harnesses trustworthy.
+
+use clarinox::cells::Tech;
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::core::config::AnalyzerConfig;
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+
+fn quick_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ceff_iterations: 3,
+        table_char: clarinox::char::alignment::AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        },
+        ..AnalyzerConfig::default()
+    }
+}
+
+#[test]
+fn generation_is_deterministic_per_seed() {
+    let tech = Tech::default_180nm();
+    let cfg = BlockConfig::default().with_nets(25);
+    assert_eq!(generate_block(&tech, &cfg, 7), generate_block(&tech, &cfg, 7));
+    assert_ne!(generate_block(&tech, &cfg, 7), generate_block(&tech, &cfg, 8));
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(2), 7);
+    let a1 = NoiseAnalyzer::with_config(tech, quick_config());
+    let a2 = NoiseAnalyzer::with_config(tech, quick_config());
+    let r1 = a1.analyze(&nets[0]).expect("first analysis");
+    let r2 = a2.analyze(&nets[0]).expect("second analysis");
+    assert_eq!(r1.delay_noise_rcv_out, r2.delay_noise_rcv_out);
+    assert_eq!(r1.delay_noise_rcv_in, r2.delay_noise_rcv_in);
+    assert_eq!(r1.peak_time, r2.peak_time);
+    assert_eq!(r1.holding_r, r2.holding_r);
+}
+
+#[test]
+fn repeated_analysis_on_same_analyzer_is_stable() {
+    // The alignment-table cache must not change results between calls.
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(1), 11);
+    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+    let r1 = analyzer.analyze(&nets[0]).expect("first");
+    let r2 = analyzer.analyze(&nets[0]).expect("second");
+    assert_eq!(r1.delay_noise_rcv_out, r2.delay_noise_rcv_out);
+    assert_eq!(r1.peak_time, r2.peak_time);
+}

@@ -1,0 +1,122 @@
+//! End-to-end validation: the linear analysis flow against the
+//! transistor-level gold reference on a concrete coupled net.
+
+use clarinox::cells::{Gate, Tech};
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::core::config::{AnalyzerConfig, DriverModelKind};
+use clarinox::core::gold::{gold_extra_delay, AggressorDrive};
+use clarinox::netgen::spec::{AggressorSpec, CoupledNetSpec, NetSpec};
+use clarinox::waveform::measure::Edge;
+
+fn coupled_net(tech: &Tech) -> CoupledNetSpec {
+    let base = NetSpec {
+        driver: Gate::inv(2.0, tech),
+        driver_input_ramp: 150e-12,
+        driver_input_edge: Edge::Rising,
+        wire_len: 1.0e-3,
+        segments: 4,
+        receiver: Gate::inv(2.0, tech),
+        receiver_load: 15e-15,
+    };
+    CoupledNetSpec {
+        id: 0,
+        victim: base,
+        aggressors: vec![AggressorSpec {
+            net: NetSpec {
+                driver: Gate::inv(8.0, tech),
+                driver_input_ramp: 100e-12,
+                driver_input_edge: Edge::Falling,
+                ..base
+            },
+            coupling_len: 0.8e-3,
+            coupling_start: 0.1,
+        }],
+    }
+}
+
+fn quick_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ceff_iterations: 3,
+        table_char: clarinox::char::alignment::AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        },
+        ..AnalyzerConfig::default()
+    }
+}
+
+#[test]
+fn linear_flow_tracks_gold_reference() {
+    let tech = Tech::default_180nm();
+    let spec = coupled_net(&tech);
+    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+    let report = analyzer.analyze(&spec).expect("analysis succeeds");
+    assert!(report.has_noise());
+    assert!(report.delay_noise_rcv_out > 5e-12);
+
+    // Replay the computed alignment in the gold world.
+    let drives: Vec<AggressorDrive> = report
+        .agg_input_starts
+        .iter()
+        .map(|t| AggressorDrive::SwitchAt(*t))
+        .collect();
+    let gold = gold_extra_delay(
+        &tech,
+        &spec,
+        analyzer.config().victim_input_start,
+        &drives,
+        analyzer.config().victim_input_start + 4e-9,
+        2e-12,
+    )
+    .expect("gold simulation succeeds");
+    assert!(gold.extra_rcv_out > 5e-12, "gold sees real delay noise");
+    // Same order of magnitude: within a factor of two of each other.
+    let ratio = report.delay_noise_rcv_out / gold.extra_rcv_out;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "linear {:.1} ps vs gold {:.1} ps (ratio {ratio:.2})",
+        report.delay_noise_rcv_out * 1e12,
+        gold.extra_rcv_out * 1e12
+    );
+}
+
+#[test]
+fn transient_holding_model_improves_on_thevenin() {
+    let tech = Tech::default_180nm();
+    let spec = coupled_net(&tech);
+    let rt = NoiseAnalyzer::with_config(tech, quick_config());
+    let th = NoiseAnalyzer::with_config(
+        tech,
+        quick_config().with_driver_model(DriverModelKind::Thevenin),
+    );
+    let r_rt = rt.analyze(&spec).expect("rt analysis");
+    let r_th = th.analyze(&spec).expect("thevenin analysis");
+
+    // The paper's Section 2 effect, end to end: the transient holding
+    // resistance exceeds the Thevenin value and yields a larger (less
+    // underestimated) noise pulse.
+    assert!(r_rt.holding_r > r_th.holding_r);
+    let h_rt = r_rt.composite.as_ref().expect("pulse").height;
+    let h_th = r_th.composite.as_ref().expect("pulse").height;
+    assert!(h_rt > h_th, "rt pulse {h_rt} vs thevenin pulse {h_th}");
+}
+
+#[test]
+fn quiet_aggressors_mean_no_delay_noise() {
+    let tech = Tech::default_180nm();
+    let spec = coupled_net(&tech);
+    let gold = gold_extra_delay(
+        &tech,
+        &spec,
+        1.5e-9,
+        &[AggressorDrive::Quiet],
+        5e-9,
+        2e-12,
+    )
+    .expect("gold quiet run");
+    assert!(gold.extra_rcv_out.abs() < 1e-12);
+    assert!(gold.extra_rcv_in.abs() < 1e-12);
+}

@@ -1,0 +1,120 @@
+//! Flow invariants across the public API: properties that must hold for
+//! any net the generator can produce.
+
+use clarinox::cells::Tech;
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::core::config::{AlignmentObjective, AnalyzerConfig};
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+use clarinox::sta::window::TimingWindow;
+
+fn quick_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ceff_iterations: 3,
+        table_char: clarinox::char::alignment::AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        },
+        ..AnalyzerConfig::default()
+    }
+}
+
+#[test]
+fn opposing_aggressors_never_speed_the_victim_up() {
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(4), 3);
+    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+    for spec in &nets {
+        let r = analyzer.analyze(spec).expect("analysis");
+        assert!(
+            r.delay_noise_rcv_in >= -1e-12,
+            "net {}: receiver-input delay noise {:.2} ps went negative",
+            spec.id,
+            r.delay_noise_rcv_in * 1e12
+        );
+        assert!(r.base_delay_out > 0.0, "net {}: base delay must be positive", spec.id);
+        assert!(r.ceff > 0.0 && r.rth > 0.0 && r.holding_r > 0.0);
+    }
+}
+
+#[test]
+fn exhaustive_alignment_dominates_other_objectives() {
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(2), 17);
+    let spec = &nets[0];
+    let ex = NoiseAnalyzer::with_config(
+        tech,
+        quick_config().with_alignment(AlignmentObjective::ExhaustiveReceiverOutput { points: 17 }),
+    );
+    let pred = NoiseAnalyzer::with_config(tech, quick_config());
+    let base = NoiseAnalyzer::with_config(
+        tech,
+        quick_config().with_alignment(AlignmentObjective::ReceiverInput),
+    );
+    let d_ex = ex.analyze(spec).expect("exhaustive").delay_noise_rcv_out;
+    let d_pred = pred.analyze(spec).expect("predicted").delay_noise_rcv_out;
+    let d_base = base.analyze(spec).expect("baseline").delay_noise_rcv_out;
+    // The exhaustive search maximizes the same objective the other two
+    // approximate; allow a tolerance for the Rt re-extraction coupling the
+    // alignment back into the models.
+    let tol = 3e-12;
+    assert!(
+        d_ex + tol >= d_pred,
+        "exhaustive {:.1} ps vs predicted {:.1} ps",
+        d_ex * 1e12,
+        d_pred * 1e12
+    );
+    assert!(
+        d_ex + tol >= d_base,
+        "exhaustive {:.1} ps vs baseline {:.1} ps",
+        d_ex * 1e12,
+        d_base * 1e12
+    );
+}
+
+#[test]
+fn window_clamping_never_increases_delay_noise_beyond_free() {
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(1), 23);
+    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+    let free = analyzer.analyze(&nets[0]).expect("free analysis");
+    if !free.has_noise() {
+        return;
+    }
+    // A window excluding the chosen peak forces a different (no worse for
+    // the attacker, no better for the victim) alignment.
+    let w = TimingWindow::new(0.0, free.peak_time - 0.1e-9).expect("window");
+    let clamped = analyzer
+        .analyze_windowed(&nets[0], Some(w))
+        .expect("windowed analysis");
+    assert!(clamped.peak_time <= w.late + 1e-18);
+    assert!(
+        clamped.delay_noise_rcv_out <= free.delay_noise_rcv_out + 3e-12,
+        "clamped {:.1} ps should not exceed free {:.1} ps",
+        clamped.delay_noise_rcv_out * 1e12,
+        free.delay_noise_rcv_out * 1e12
+    );
+}
+
+#[test]
+fn reports_expose_consistent_waveforms() {
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(1), 31);
+    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+    let r = analyzer.analyze(&nets[0]).expect("analysis");
+    // Noisy and noiseless receiver-input waveforms agree before any
+    // aggressor activity.
+    let t0 = r.noiseless_rcv.t_start();
+    assert!((r.noisy_rcv.value(t0) - r.noiseless_rcv.value(t0)).abs() < 1e-6);
+    // Both receiver outputs settle at a rail.
+    let vdd = tech.vdd;
+    for w in [&r.noiseless_out, &r.noisy_out] {
+        let end = w.v_end();
+        assert!(
+            end.abs() < 0.05 * vdd || (end - vdd).abs() < 0.05 * vdd,
+            "receiver output must settle at a rail, got {end}"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! SPEF-subset round trip: a topology exported to the exchange format and
+//! parsed back must be *electrically* identical, not just structurally.
+
+use clarinox::cells::Tech;
+use clarinox::circuit::netlist::SourceWave;
+use clarinox::circuit::spef::{parse_parasitics, write_parasitics};
+use clarinox::circuit::transient::{simulate, TransientSpec};
+use clarinox::circuit::Circuit;
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+use clarinox::netgen::build_topology;
+use clarinox::waveform::Pwl;
+
+#[test]
+fn roundtripped_parasitics_simulate_identically() {
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(3), 5);
+    for spec in &nets {
+        let topo = build_topology(&tech, spec).expect("topology");
+        let text = write_parasitics(&topo.circuit, &format!("net{}", spec.id)).expect("export");
+        let parsed = parse_parasitics(&text).expect("parse");
+
+        // Drive both versions with the same ramp at the victim driver node
+        // and ground every other driver through a holding resistance.
+        let run = |base: &Circuit, names_from: &Circuit| {
+            let mut ckt = base.clone();
+            let gnd = Circuit::ground();
+            // Node identity is by name across the round trip.
+            let drv = ckt
+                .find_node(names_from.node_name(topo.victim_drv).expect("name"))
+                .expect("driver node survives");
+            let rcv = ckt
+                .find_node(names_from.node_name(topo.victim_rcv).expect("name"))
+                .expect("receiver node survives");
+            let src = ckt.fresh_node();
+            ckt.add_vsource(
+                src,
+                gnd,
+                SourceWave::Pwl(Pwl::ramp(0.2e-9, 150e-12, 1.8, 0.0).expect("ramp")),
+            )
+            .expect("vsource");
+            ckt.add_resistor(src, drv, 500.0).expect("rdrv");
+            for agg in &topo.agg_drv {
+                let a = ckt
+                    .find_node(names_from.node_name(*agg).expect("agg name"))
+                    .expect("agg node survives");
+                ckt.add_resistor(a, gnd, 800.0).expect("holding r");
+            }
+            let res = simulate(&ckt, &TransientSpec::new(4e-9, 2e-12).expect("spec"))
+                .expect("transient");
+            res.voltage(rcv).expect("waveform")
+        };
+        let orig = run(&topo.circuit, &topo.circuit);
+        let back = run(&parsed.circuit, &topo.circuit);
+        for k in 0..40 {
+            let t = k as f64 * 0.1e-9;
+            assert!(
+                (orig.value(t) - back.value(t)).abs() < 1e-9,
+                "net {} diverges at t={t}: {} vs {}",
+                spec.id,
+                orig.value(t),
+                back.value(t)
+            );
+        }
+    }
+}
