@@ -1,0 +1,45 @@
+//! Block-analysis throughput: the batch engine fanning nets across worker
+//! threads. On a multi-core host the `jobs=N` variant should approach
+//! `N×` the single-job rate (nets are independent and the per-net work is
+//! seconds-scale, so scheduling overhead is negligible); on a single core
+//! the two variants coincide — the parallel path adds no measurable cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clarinox_cells::Tech;
+use clarinox_core::analysis::NoiseAnalyzer;
+use clarinox_core::config::AnalyzerConfig;
+use clarinox_netgen::generate::{generate_block, BlockConfig};
+
+fn bench_block_throughput(c: &mut Criterion) {
+    let tech = Tech::default_180nm();
+    let cfg = AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ..AnalyzerConfig::default()
+    };
+    let analyzer = NoiseAnalyzer::with_config(tech, cfg);
+    let block = generate_block(&tech, &BlockConfig::default().with_nets(6), 11);
+    // Warm the alignment-table cache over the whole block: the bench
+    // measures steady-state throughput, not one-time characterization.
+    let _ = analyzer.analyze_block(&block, 1);
+
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut g = c.benchmark_group("block_throughput");
+    g.sample_size(10);
+    g.bench_function("6nets_jobs1", |b| {
+        b.iter(|| black_box(analyzer.analyze_block(&block, 1)))
+    });
+    // `hw` may be 1 (single-core host); the suffix keeps the name distinct
+    // from the serial baseline either way.
+    g.bench_function(format!("6nets_jobs{hw}_hw").as_str(), |b| {
+        b.iter(|| black_box(analyzer.analyze_block(&block, hw)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_block_throughput);
+criterion_main!(benches);

@@ -35,11 +35,7 @@ fn bench_characterization(c: &mut Criterion) {
     let mut g = c.benchmark_group("characterization");
     g.sample_size(10);
     g.bench_function("thevenin_fit", |b| {
-        b.iter(|| {
-            black_box(
-                fit_thevenin(&tech, gate, Edge::Rising, 100e-12, 30e-15).expect("fit"),
-            )
-        })
+        b.iter(|| black_box(fit_thevenin(&tech, gate, Edge::Rising, 100e-12, 30e-15).expect("fit")))
     });
     g.bench_function("ceff_iteration", |b| {
         b.iter(|| {

@@ -2,14 +2,89 @@
 //! whether the flow scales to full-chip noise analysis, and the comparison
 //! between the Thevenin-only flow and the full `R_t` + predicted-alignment
 //! flow (the paper: "the overhead in each iteration is relatively small").
+//!
+//! The `linear_path` group isolates the transient-solver factorization
+//! reuse: one driver simulation through the shared [`TransientEngine`]
+//! (re-stamp + back-substitution only) against the historical
+//! assemble-and-factor-per-call path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use clarinox_bench::fig2_circuit;
 use clarinox_cells::Tech;
+use clarinox_circuit::netlist::{Circuit, SourceWave};
+use clarinox_circuit::transient::{simulate, TransientSpec};
 use clarinox_core::analysis::NoiseAnalyzer;
 use clarinox_core::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
+use clarinox_core::models::NetModels;
+use clarinox_core::superposition::LinearNetAnalysis;
+use clarinox_netgen::topology::{build_topology, NetRef};
+use clarinox_waveform::Pwl;
+
+/// One aggressor simulation the pre-engine way: clone the RC skeleton,
+/// attach the sources/holding resistors, assemble the MNA system and
+/// LU-factor it from scratch — the cost the engine path amortizes away.
+fn refactor_per_call(
+    tech: &Tech,
+    spec: &clarinox_netgen::spec::CoupledNetSpec,
+    models: &NetModels,
+    t_stop: f64,
+    dt: f64,
+) -> (Pwl, Pwl) {
+    let topo = build_topology(tech, spec).expect("topology");
+    let mut ckt = topo.circuit.clone();
+    let gnd = Circuit::ground();
+    ckt.add_resistor(
+        topo.driver_port(NetRef::Victim),
+        gnd,
+        models.victim.thevenin.rth,
+    )
+    .expect("victim holding");
+    let model = models.aggressors[0].at_input_start(0.5e-9);
+    let src = ckt.fresh_node();
+    ckt.add_vsource(src, gnd, SourceWave::Pwl(model.source_wave()))
+        .expect("aggressor source");
+    ckt.add_resistor(src, topo.driver_port(NetRef::Aggressor(0)), model.rth)
+        .expect("aggressor rth");
+    let res = simulate(&ckt, &TransientSpec::new(t_stop, dt).expect("spec")).expect("simulate");
+    (
+        res.voltage(topo.victim_drv).expect("drv"),
+        res.voltage(topo.victim_rcv).expect("rcv"),
+    )
+}
+
+fn bench_linear_path(c: &mut Criterion) {
+    let tech = Tech::default_180nm();
+    // Extraction-typical granularity: the sparse per-step products scale
+    // linearly with segment count where the baseline's dense sweeps scale
+    // quadratically, so this is where the engine earns its keep.
+    let mut spec = fig2_circuit(&tech);
+    spec.victim.segments = 12;
+    for a in &mut spec.aggressors {
+        a.net.segments = 12;
+    }
+    let cfg = AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ..AnalyzerConfig::default()
+    };
+    let models = NetModels::characterize(&tech, &spec, cfg.ceff_iterations).expect("models");
+    let lin = LinearNetAnalysis::new(&tech, &spec, &models, &cfg).expect("linear setup");
+    // First call builds + factors the engine; steady state reuses it.
+    let _ = lin.aggressor_noise(0, 0.5e-9).expect("warmup");
+    let (t_stop, dt) = (lin.t_stop, lin.dt);
+
+    let mut g = c.benchmark_group("linear_path");
+    g.sample_size(20);
+    g.bench_function("refactor_per_call", |b| {
+        b.iter(|| black_box(refactor_per_call(&tech, &spec, &models, t_stop, dt)))
+    });
+    g.bench_function("engine_reuse", |b| {
+        b.iter(|| black_box(lin.aggressor_noise(0, 0.5e-9).expect("noise")))
+    });
+    g.finish();
+}
 
 fn bench_net_analysis(c: &mut Criterion) {
     let tech = Tech::default_180nm();
@@ -48,5 +123,5 @@ fn bench_net_analysis(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_net_analysis);
+criterion_group!(benches, bench_linear_path, bench_net_analysis);
 criterion_main!(benches);

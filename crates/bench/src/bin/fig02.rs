@@ -42,7 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     paper_vs_measured(
         "noise pulse with Thevenin R underestimates the non-linear one",
         "qualitative (Fig. 2)",
-        &format!("peak {:.0} mV vs {:.0} mV (ratio {:.2})", peak_th * 1e3, peak_gold * 1e3, peak_th / peak_gold),
+        &format!(
+            "peak {:.0} mV vs {:.0} mV (ratio {:.2})",
+            peak_th * 1e3,
+            peak_gold * 1e3,
+            peak_th / peak_gold
+        ),
     );
     paper_vs_measured(
         "extra 50% delay, Thevenin vs non-linear",

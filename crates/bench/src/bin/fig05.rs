@@ -34,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     paper_vs_measured(
         "R_t vs R_th",
         "1463 Ω vs 1203 Ω (R_t > R_th)",
-        &format!("{:.0} Ω vs {:.0} Ω (ratio {:.2})", s.rt, s.rth, s.rt / s.rth),
+        &format!(
+            "{:.0} Ω vs {:.0} Ω (ratio {:.2})",
+            s.rt,
+            s.rth,
+            s.rt / s.rth
+        ),
     );
     paper_vs_measured(
         "peak-noise error vs non-linear",

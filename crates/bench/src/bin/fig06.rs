@@ -82,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let gap_ps = (best_delay - aligned_delay) * PS;
         let gap_pct = 100.0 * (best_delay - aligned_delay) / best_delay.max(1e-15);
         paper_vs_measured(
-            &format!("load {:.0} fF: worst offset / aligned-peaks penalty", load * 1e15),
+            &format!(
+                "load {:.0} fF: worst offset / aligned-peaks penalty",
+                load * 1e15
+            ),
             if load < 50e-15 {
                 "worst at coincident peaks"
             } else {

@@ -97,8 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut slews = Vec::new();
     let mut worsts = Vec::new();
     for &slew in &[80e-12, 160e-12, 240e-12, 320e-12, 400e-12] {
-        let probe =
-            AlignmentProbe::new(&tech, gate, Edge::Rising, slew, PULSE_W, PULSE_H, 5e-15)?;
+        let probe = AlignmentProbe::new(&tech, gate, Edge::Rising, slew, PULSE_W, PULSE_H, 5e-15)?;
         let curve = sweep(&probe)?;
         for (rel, d) in &curve {
             csv_row(&[7.2, slew * PS, rel * PS, d * PS]);

@@ -35,10 +35,7 @@ fn worst_va(probe: &AlignmentProbe, curve: &[(f64, f64)]) -> f64 {
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .map(|p| p.0)
         .unwrap_or(0.0);
-    let step = curve
-        .get(1)
-        .map(|(v, _)| v - curve[0].0)
-        .unwrap_or(0.05);
+    let step = curve.get(1).map(|(v, _)| v - curve[0].0).unwrap_or(0.05);
     clarinox_numeric::roots::golden_max(
         |va| probe.delay_at_va(va),
         coarse - step,
@@ -86,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "linearly dependent (Fig. 8a)",
         &format!(
             "worst Va {:?} V over widths, R² = {r2w:.3}",
-            worst_vs_w.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+            worst_vs_w
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         ),
     );
     paper_vs_measured(
@@ -94,7 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "linearly dependent (Fig. 8b)",
         &format!(
             "worst Va {:?} V over heights, R² = {r2h:.3}",
-            worst_vs_h.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+            worst_vs_h
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>()
         ),
     );
     Ok(())

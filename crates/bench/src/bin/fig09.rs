@@ -44,7 +44,8 @@ fn error_at(
     let d_pred = probe.settle_at_peak_time(Some(t_pred))? - t_ref;
     // Exhaustive worst at the *actual* condition (including the actual
     // load, which the table deliberately ignores).
-    let va_worst = worst_alignment_voltage(tech, gate, Edge::Rising, slew, width, height, load, spec)?;
+    let va_worst =
+        worst_alignment_voltage(tech, gate, Edge::Rising, slew, width, height, load, spec)?;
     let d_worst = probe.delay_at_va(va_worst) - t_ref;
     if d_worst <= 1e-13 {
         return Ok(0.0); // negligible delay at this corner

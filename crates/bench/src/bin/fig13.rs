@@ -38,10 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..AnalyzerConfig::default()
     };
     let rt_analyzer = NoiseAnalyzer::with_config(tech, base_cfg);
-    let th_analyzer = NoiseAnalyzer::with_config(
-        tech,
-        base_cfg.with_driver_model(DriverModelKind::Thevenin),
-    );
+    let th_analyzer =
+        NoiseAnalyzer::with_config(tech, base_cfg.with_driver_model(DriverModelKind::Thevenin));
 
     csv_header(&["net", "gold_ps", "thevenin_ps", "rt_ps"]);
     let mut th_errors = Vec::new();
@@ -104,13 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let th = r_th.delay_noise_rcv_out;
         let rt = r_rt.delay_noise_rcv_out;
-        println!(
-            "{},{:.3},{:.3},{:.3}",
-            spec.id,
-            g * PS,
-            th * PS,
-            rt * PS
-        );
+        println!("{},{:.3},{:.3},{:.3}", spec.id, g * PS, th * PS, rt * PS);
         th_errors.push((th - g) / g);
         rt_errors.push((rt - g) / g);
         if th < g {
@@ -126,12 +118,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     paper_vs_measured(
         "average extra-delay error, Thevenin holding R",
         "48.63%",
-        &format!("{:.2}% (worst {:.1}%)", th_sum.mean * 100.0, th_sum.worst * 100.0),
+        &format!(
+            "{:.2}% (worst {:.1}%)",
+            th_sum.mean * 100.0,
+            th_sum.worst * 100.0
+        ),
     );
     paper_vs_measured(
         "average extra-delay error, transient holding R",
         "7.41%",
-        &format!("{:.2}% (worst {:.1}%)", rt_sum.mean * 100.0, rt_sum.worst * 100.0),
+        &format!(
+            "{:.2}% (worst {:.1}%)",
+            rt_sum.mean * 100.0,
+            rt_sum.worst * 100.0
+        ),
     );
     paper_vs_measured(
         "Thevenin model underestimates",

@@ -40,12 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.with_alignment(AlignmentObjective::ExhaustiveReceiverOutput { points: 21 }),
     );
     let predicted = NoiseAnalyzer::with_config(tech, base);
-    let baseline = NoiseAnalyzer::with_config(
-        tech,
-        base.with_alignment(AlignmentObjective::ReceiverInput),
-    );
+    let baseline =
+        NoiseAnalyzer::with_config(tech, base.with_alignment(AlignmentObjective::ReceiverInput));
 
-    csv_header(&["net", "exhaustive_ps", "predicted_ps", "input_objective_ps", "pulse_v", "slew_ps"]);
+    csv_header(&[
+        "net",
+        "exhaustive_ps",
+        "predicted_ps",
+        "input_objective_ps",
+        "pulse_v",
+        "slew_ps",
+    ]);
     let mut pred_err = Vec::new();
     let mut base_err = Vec::new();
     let mut pred_err_small = Vec::new();
@@ -72,10 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         //   would be buffered in any real design, and their delay noise is a
         //   cliff rather than a perturbation.
         let h_cap = predicted.config().table_height_axis[1];
-        if r_ex
-            .composite
-            .as_ref()
-            .is_some_and(|c| c.height >= h_cap)
+        if r_ex.composite.as_ref().is_some_and(|c| c.height >= h_cap)
             || r_ex.victim_slew_rcv > 600e-12
         {
             excluded += 1;

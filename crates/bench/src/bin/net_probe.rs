@@ -20,41 +20,109 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Tech::default_180nm();
     let block = generate_block(&tech, &BlockConfig::default().with_nets(id + 1), seed);
     let spec = &block[id];
-    println!("spec: victim {:?} ramp {:.0}ps edge {:?} len {:.2}mm load {:.0}fF rcv {:?}",
-        spec.victim.driver.kind, spec.victim.driver_input_ramp*PS, spec.victim.driver_input_edge,
-        spec.victim.wire_len*1e3, spec.victim.receiver_load*1e15, spec.victim.receiver.kind);
-    for (i,a) in spec.aggressors.iter().enumerate() {
-        println!("agg{i}: {:?} x{} ramp {:.0}ps len {:.2}mm couple {:.2}mm @{:.2}",
-            a.net.driver.kind, a.net.driver.strength, a.net.driver_input_ramp*PS,
-            a.net.wire_len*1e3, a.coupling_len*1e3, a.coupling_start);
+    println!(
+        "spec: victim {:?} ramp {:.0}ps edge {:?} len {:.2}mm load {:.0}fF rcv {:?}",
+        spec.victim.driver.kind,
+        spec.victim.driver_input_ramp * PS,
+        spec.victim.driver_input_edge,
+        spec.victim.wire_len * 1e3,
+        spec.victim.receiver_load * 1e15,
+        spec.victim.receiver.kind
+    );
+    for (i, a) in spec.aggressors.iter().enumerate() {
+        println!(
+            "agg{i}: {:?} x{} ramp {:.0}ps len {:.2}mm couple {:.2}mm @{:.2}",
+            a.net.driver.kind,
+            a.net.driver.strength,
+            a.net.driver_input_ramp * PS,
+            a.net.wire_len * 1e3,
+            a.coupling_len * 1e3,
+            a.coupling_start
+        );
     }
-    let mut cfg = AnalyzerConfig { dt: 2e-12, rt_iterations: 1, ..AnalyzerConfig::default() };
+    let mut cfg = AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ..AnalyzerConfig::default()
+    };
     if arg_usize("--exhaustive", 0) == 1 {
-        cfg.alignment = clarinox_core::config::AlignmentObjective::ExhaustiveReceiverOutput { points: 21 };
+        cfg.alignment =
+            clarinox_core::config::AlignmentObjective::ExhaustiveReceiverOutput { points: 21 };
     }
     let an = NoiseAnalyzer::with_config(tech, cfg);
     let r = an.analyze(spec)?;
-    println!("linear: rth={:.0} holding={:.0} ceff={:.1}fF slew_rcv={:.0}ps", r.rth, r.holding_r, r.ceff*1e15, r.victim_slew_rcv*PS);
+    println!(
+        "linear: rth={:.0} holding={:.0} ceff={:.1}fF slew_rcv={:.0}ps",
+        r.rth,
+        r.holding_r,
+        r.ceff * 1e15,
+        r.victim_slew_rcv * PS
+    );
     if let Some(c) = &r.composite {
-        println!("composite: h={:.3}V w={:.0}ps peak_time={:.0}ps", c.height, c.width50*PS, r.peak_time*PS);
+        println!(
+            "composite: h={:.3}V w={:.0}ps peak_time={:.0}ps",
+            c.height,
+            c.width50 * PS,
+            r.peak_time * PS
+        );
     }
-    println!("delay noise: rcv_in={:.1}ps rcv_out={:.1}ps", r.delay_noise_rcv_in*PS, r.delay_noise_rcv_out*PS);
-    println!("agg starts: {:?}", r.agg_input_starts.iter().map(|t| t*PS).collect::<Vec<_>>());
-    let drives: Vec<AggressorDrive> = r.agg_input_starts.iter().map(|t| if t.is_finite() { AggressorDrive::SwitchAt(*t) } else { AggressorDrive::Quiet }).collect();
-    let g = gold_extra_delay(&tech, spec, cfg.victim_input_start, &drives, cfg.victim_input_start + 4e-9, 2e-12)?;
-    println!("gold: extra_in={:.1}ps extra_out={:.1}ps", g.extra_rcv_in*PS, g.extra_rcv_out*PS);
+    println!(
+        "delay noise: rcv_in={:.1}ps rcv_out={:.1}ps",
+        r.delay_noise_rcv_in * PS,
+        r.delay_noise_rcv_out * PS
+    );
+    println!(
+        "agg starts: {:?}",
+        r.agg_input_starts
+            .iter()
+            .map(|t| t * PS)
+            .collect::<Vec<_>>()
+    );
+    let drives: Vec<AggressorDrive> = r
+        .agg_input_starts
+        .iter()
+        .map(|t| {
+            if t.is_finite() {
+                AggressorDrive::SwitchAt(*t)
+            } else {
+                AggressorDrive::Quiet
+            }
+        })
+        .collect();
+    let g = gold_extra_delay(
+        &tech,
+        spec,
+        cfg.victim_input_start,
+        &drives,
+        cfg.victim_input_start + 4e-9,
+        2e-12,
+    )?;
+    println!(
+        "gold: extra_in={:.1}ps extra_out={:.1}ps",
+        g.extra_rcv_in * PS,
+        g.extra_rcv_out * PS
+    );
     let gn = g.noisy.rcv_in.sub(&g.quiet.rcv_in);
     let (gt, gv) = gn.extremum_point();
-    println!("gold noise peak: {:.3}V at {:.0}ps; linear pulse peak target {:.0}ps", gv, gt*PS, r.peak_time*PS);
+    println!(
+        "gold noise peak: {:.3}V at {:.0}ps; linear pulse peak target {:.0}ps",
+        gv,
+        gt * PS,
+        r.peak_time * PS
+    );
     // noiseless crossing comparison
     use clarinox_waveform::measure::settle_crossing;
     let e = spec.victim.wire_edge();
-    println!("noiseless rcv t50: linear={:.0}ps gold={:.0}ps",
+    println!(
+        "noiseless rcv t50: linear={:.0}ps gold={:.0}ps",
         settle_crossing(&r.noiseless_rcv, tech.vmid(), e)? * PS,
-        settle_crossing(&g.quiet.rcv_in, tech.vmid(), e)? * PS);
+        settle_crossing(&g.quiet.rcv_in, tech.vmid(), e)? * PS
+    );
     // noisy settle comparison
-    println!("noisy rcv settle: linear={:.0}ps gold={:.0}ps",
+    println!(
+        "noisy rcv settle: linear={:.0}ps gold={:.0}ps",
         settle_crossing(&r.noisy_rcv, tech.vmid(), e)? * PS,
-        settle_crossing(&g.noisy.rcv_in, tech.vmid(), e)? * PS);
+        settle_crossing(&g.noisy.rcv_in, tech.vmid(), e)? * PS
+    );
     Ok(())
 }

@@ -108,7 +108,14 @@ pub fn single_aggressor_study(
 
     // Gold reference at the same alignment.
     let t_stop = lin.t_stop;
-    let quiet = gold_simulate(tech, spec, victim_start, &[AggressorDrive::Quiet], t_stop, dt)?;
+    let quiet = gold_simulate(
+        tech,
+        spec,
+        victim_start,
+        &[AggressorDrive::Quiet],
+        t_stop,
+        dt,
+    )?;
     let noisy = gold_simulate(
         tech,
         spec,
@@ -149,7 +156,10 @@ mod tests {
         assert!(gold_peak > 0.02, "gold noise visible: {gold_peak}");
         // The paper's Figure 2/5 structure: Thevenin underestimates; Rt is
         // closer to gold than Thevenin is.
-        assert!(th_peak < gold_peak, "thevenin {th_peak} vs gold {gold_peak}");
+        assert!(
+            th_peak < gold_peak,
+            "thevenin {th_peak} vs gold {gold_peak}"
+        );
         assert!(
             (rt_peak - gold_peak).abs() < (th_peak - gold_peak).abs(),
             "rt {rt_peak} should beat thevenin {th_peak} against gold {gold_peak}"

@@ -72,6 +72,8 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(CellsError::gate("strength <= 0").to_string().contains("strength"));
+        assert!(CellsError::gate("strength <= 0")
+            .to_string()
+            .contains("strength"));
     }
 }

@@ -188,8 +188,7 @@ mod tests {
         // The injected charge bumps the falling output *upward*, delaying
         // its 50% crossing.
         let t_clean = measure::cross_falling(&clean, tech.vmid()).unwrap();
-        let t_noisy =
-            measure::settle_crossing(&noisy, tech.vmid(), Edge::Falling).unwrap();
+        let t_noisy = measure::settle_crossing(&noisy, tech.vmid(), Edge::Falling).unwrap();
         assert!(t_noisy > t_clean);
     }
 
@@ -200,11 +199,11 @@ mod tests {
         let tech = Tech::default_180nm();
         let g = Gate::inv(2.0, &tech);
         // Quiet-high input with a narrow dip toward ground.
-        let dip = Pwl::triangle(1.0e-9, -1.0, 30e-12).unwrap().offset(tech.vdd);
-        let out_small =
-            receiver_response(&tech, g, &dip, 5e-15, 3e-9, 1e-12).unwrap();
-        let out_large =
-            receiver_response(&tech, g, &dip, 120e-15, 3e-9, 1e-12).unwrap();
+        let dip = Pwl::triangle(1.0e-9, -1.0, 30e-12)
+            .unwrap()
+            .offset(tech.vdd);
+        let out_small = receiver_response(&tech, g, &dip, 5e-15, 3e-9, 1e-12).unwrap();
+        let out_large = receiver_response(&tech, g, &dip, 120e-15, 3e-9, 1e-12).unwrap();
         // Input high -> output low; the dip lets the output rise briefly.
         let bump_small = out_small.max_point().1;
         let bump_large = out_large.max_point().1;

@@ -148,7 +148,12 @@ impl Gate {
     /// # Errors
     ///
     /// Propagates circuit-construction failures (foreign node ids).
-    pub fn instantiate(&self, tech: &Tech, nl: &mut NonlinearCircuit, pins: GatePins) -> Result<()> {
+    pub fn instantiate(
+        &self,
+        tech: &Tech,
+        nl: &mut NonlinearCircuit,
+        pins: GatePins,
+    ) -> Result<()> {
         let gnd = Circuit::ground();
         let l = tech.l_min;
         let (np, pp) = (tech.nmos, tech.pmos);
@@ -160,7 +165,15 @@ impl Gate {
 
         match self.kind {
             GateKind::Inv => {
-                nl.add_mosfet(Polarity::Nmos, pins.output, pins.input, gnd, np, self.wn(tech), l);
+                nl.add_mosfet(
+                    Polarity::Nmos,
+                    pins.output,
+                    pins.input,
+                    gnd,
+                    np,
+                    self.wn(tech),
+                    l,
+                );
                 nl.add_mosfet(
                     Polarity::Pmos,
                     pins.output,
@@ -276,7 +289,11 @@ mod tests {
         let out = ckt.node("out");
         let gnd = Circuit::ground();
         ckt.add_vsource(vdd, gnd, SourceWave::Dc(t.vdd)).unwrap();
-        let (v0, v1) = if rising_input { (0.0, t.vdd) } else { (t.vdd, 0.0) };
+        let (v0, v1) = if rising_input {
+            (0.0, t.vdd)
+        } else {
+            (t.vdd, 0.0)
+        };
         ckt.add_vsource(
             inp,
             gnd,
@@ -285,9 +302,19 @@ mod tests {
         .unwrap();
         ckt.add_capacitor(out, gnd, 20e-15).unwrap();
         let mut nl = NonlinearCircuit::new(ckt);
-        gate.instantiate(&t, &mut nl, GatePins { input: inp, output: out, vdd })
+        gate.instantiate(
+            &t,
+            &mut nl,
+            GatePins {
+                input: inp,
+                output: out,
+                vdd,
+            },
+        )
+        .unwrap();
+        let res = nl
+            .simulate(&TransientSpec::new(3e-9, 2e-12).unwrap())
             .unwrap();
-        let res = nl.simulate(&TransientSpec::new(3e-9, 2e-12).unwrap()).unwrap();
         (res.voltage(inp).unwrap(), res.voltage(out).unwrap(), t)
     }
 

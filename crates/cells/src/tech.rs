@@ -89,8 +89,14 @@ mod tests {
         let t = Tech::default_180nm();
         assert_eq!(t.vdd, 1.8);
         assert_eq!(t.vmid(), 0.9);
-        assert!(t.nmos.kp > t.pmos.kp, "electron mobility exceeds hole mobility");
-        assert!(t.wire_ccouple_per_m > t.wire_cap_per_m, "coupling dominates");
+        assert!(
+            t.nmos.kp > t.pmos.kp,
+            "electron mobility exceeds hole mobility"
+        );
+        assert!(
+            t.wire_ccouple_per_m > t.wire_cap_per_m,
+            "coupling dominates"
+        );
         assert_eq!(Tech::default(), t);
     }
 

@@ -234,8 +234,7 @@ impl AlignmentProbe {
         pulse_height: f64,
         receiver_load: f64,
     ) -> Result<Self> {
-        if !(victim_slew > 0.0 && pulse_width > 0.0 && pulse_height > 0.0 && receiver_load > 0.0)
-        {
+        if !(victim_slew > 0.0 && pulse_width > 0.0 && pulse_height > 0.0 && receiver_load > 0.0) {
             return Err(CharError::spec(
                 "probe parameters must be positive".to_string(),
             ));

@@ -139,9 +139,13 @@ mod tests {
     fn short_axes_rejected() {
         let tech = Tech::default_180nm();
         let gate = Gate::inv(1.0, &tech);
-        assert!(
-            GateTimingTable::characterize(&tech, gate, Edge::Rising, &[1e-10], &[1e-15, 2e-15])
-                .is_err()
-        );
+        assert!(GateTimingTable::characterize(
+            &tech,
+            gate,
+            Edge::Rising,
+            &[1e-10],
+            &[1e-15, 2e-15]
+        )
+        .is_err());
     }
 }

@@ -176,7 +176,9 @@ fn solve_shape(target: f64) -> Result<f64> {
     }
     if !found {
         // Degenerate flat error (shouldn't happen): fall back to argmin.
-        best_idx = (0..=last).min_by(|&a, &b| err(a).total_cmp(&err(b))).unwrap_or(0);
+        best_idx = (0..=last)
+            .min_by(|&a, &b| err(a).total_cmp(&err(b)))
+            .unwrap_or(0);
     }
     // Local bisection refinement if a sign change brackets the target.
     let lo_idx = best_idx.saturating_sub(1);
@@ -337,7 +339,11 @@ mod tests {
         };
         let wave = Pwl::sample_fn(|t| truth.response_into_cap(t), 0.0, 4e-9, 4000).unwrap();
         let fit = fit_thevenin_to_waveform(&wave, Edge::Rising, 0.0, 1.8, 40e-15).unwrap();
-        assert!((fit.rth - truth.rth).abs() / truth.rth < 0.02, "rth {}", fit.rth);
+        assert!(
+            (fit.rth - truth.rth).abs() / truth.rth < 0.02,
+            "rth {}",
+            fit.rth
+        );
         assert!((fit.ramp - truth.ramp).abs() / truth.ramp < 0.03);
         assert!((fit.t0 - truth.t0).abs() < 10e-12);
     }
@@ -349,7 +355,11 @@ mod tests {
         let cload = 30e-15;
         let model = fit_thevenin(&tech, gate, Edge::Rising, 100e-12, cload).unwrap();
         assert_eq!(model.edge(), Edge::Falling);
-        assert!(model.rth > 50.0 && model.rth < 20_000.0, "rth = {}", model.rth);
+        assert!(
+            model.rth > 50.0 && model.rth < 20_000.0,
+            "rth = {}",
+            model.rth
+        );
 
         // The analytic model reproduces the non-linear 10/50/90 crossings.
         let fx = DriveFixture::new(tech, gate, Edge::Rising, 100e-12, cload);

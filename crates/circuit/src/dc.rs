@@ -37,7 +37,9 @@ pub fn solve_dc(circuit: &Circuit) -> Result<DcSolution> {
     let system = MnaSystem::assemble(circuit)?;
     let mut b = vec![0.0; system.dim()];
     system.rhs_at(circuit, 0.0, &mut b);
-    let x = system.g().lu()?.solve(&b)?;
+    let glu = system.g().lu()?;
+    crate::profile::record_lu();
+    let x = glu.solve(&b)?;
     Ok(DcSolution { system, x })
 }
 

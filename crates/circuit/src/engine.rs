@@ -1,0 +1,378 @@
+//! Reusable transient solver: one factorization, many source waveforms.
+//!
+//! [`crate::transient::simulate`] assembles the MNA system and LU-factors
+//! the companion matrix on every call. The superposition flow, however,
+//! simulates the *same* RC topology once per driver and again per
+//! alignment-refinement round — only the source excitations change between
+//! runs, so the factorization work is identical every time.
+//!
+//! [`TransientEngine`] splits the cost accordingly:
+//!
+//! * **Once per (topology, timestep, holding configuration)** —
+//!   [`TransientEngine::new`] assembles `G`/`C`, LU-factors the companion
+//!   matrix `G + αC` (and `G` itself when DC initialization is requested),
+//!   and extracts sparse forms of `G` and `C` for the per-step
+//!   matrix-vector products.
+//! * **Once per source configuration** — [`TransientEngine::run`] re-stamps
+//!   the excitation vector from a circuit with *identical topology* (only
+//!   source waves may differ) and back-substitutes through the cached
+//!   factors, recording just the requested probe nodes.
+//!
+//! A run over `n` steps therefore costs `O(n·dim²)` back-substitution with
+//! no `O(dim³)` factorization, no assembly, and no full-state storage.
+
+use crate::mna::MnaSystem;
+use crate::netlist::{Circuit, NodeId};
+use crate::profile::record_lu;
+use crate::transient::{Integration, TransientSpec};
+use crate::{CircuitError, Result};
+use clarinox_numeric::matrix::{LuFactors, Matrix};
+use clarinox_waveform::Pwl;
+
+/// Row-wise sparse view of a dense matrix: per row, the `(col, value)`
+/// pairs of non-zero entries in column order. Skipping exact zeros keeps
+/// every partial sum of the dense row sweep, so products agree with
+/// [`Matrix::mul_vec`] to the last bit (modulo the sign of zero).
+#[derive(Debug, Clone)]
+struct SparseRows {
+    rows: Vec<Vec<(usize, f64)>>,
+}
+
+impl SparseRows {
+    fn from_dense(m: &Matrix) -> Self {
+        let rows = (0..m.rows())
+            .map(|i| {
+                (0..m.cols())
+                    .filter_map(|j| {
+                        let v = m.get(i, j);
+                        (v != 0.0).then_some((j, v))
+                    })
+                    .collect()
+            })
+            .collect();
+        SparseRows { rows }
+    }
+
+    fn mul_into(&self, x: &[f64], out: &mut [f64]) {
+        for (row, o) in self.rows.iter().zip(out.iter_mut()) {
+            let mut acc = 0.0;
+            for &(j, v) in row {
+                acc += v * x[j];
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// A transient solver bound to one circuit topology and timestep, reusable
+/// across source-waveform changes.
+#[derive(Debug, Clone)]
+pub struct TransientEngine {
+    system: MnaSystem,
+    spec: TransientSpec,
+    /// LU factors of the companion matrix `G + αC`.
+    lu: LuFactors,
+    /// LU factors of `G` for DC initialization (absent with `dc_init` off).
+    dc_lu: Option<LuFactors>,
+    alpha: f64,
+    trapezoidal: bool,
+    g_sparse: SparseRows,
+    c_sparse: SparseRows,
+    node_count: usize,
+    element_count: usize,
+    vsource_count: usize,
+}
+
+impl TransientEngine {
+    /// Assembles and factors the solver for `circuit` under `spec`.
+    ///
+    /// This is the expensive step (two `O(dim³)` factorizations with DC
+    /// initialization, one without); every subsequent [`run`] reuses it.
+    ///
+    /// # Errors
+    ///
+    /// Assembly and factorization failures ([`CircuitError::Solve`]).
+    ///
+    /// [`run`]: TransientEngine::run
+    pub fn new(circuit: &Circuit, spec: &TransientSpec) -> Result<Self> {
+        let system = MnaSystem::assemble(circuit)?;
+        let alpha = match spec.method {
+            Integration::Trapezoidal => 2.0 / spec.dt,
+            Integration::BackwardEuler => 1.0 / spec.dt,
+        };
+        let companion = system.g().add_scaled(system.c(), alpha)?;
+        let lu = companion.lu()?;
+        record_lu();
+        let dc_lu = if spec.dc_init {
+            let f = system.g().lu()?;
+            record_lu();
+            Some(f)
+        } else {
+            None
+        };
+        let g_sparse = SparseRows::from_dense(system.g());
+        let c_sparse = SparseRows::from_dense(system.c());
+        Ok(TransientEngine {
+            system,
+            spec: spec.clone(),
+            lu,
+            dc_lu,
+            alpha,
+            trapezoidal: spec.method == Integration::Trapezoidal,
+            g_sparse,
+            c_sparse,
+            node_count: circuit.node_count(),
+            element_count: circuit.elements().len(),
+            vsource_count: circuit.vsource_count(),
+        })
+    }
+
+    /// The assembled MNA system.
+    pub fn system(&self) -> &MnaSystem {
+        &self.system
+    }
+
+    /// The transient spec the engine was built for.
+    pub fn spec(&self) -> &TransientSpec {
+        &self.spec
+    }
+
+    /// Checks that `circuit` has the topology this engine was built from
+    /// (same node, element, and source counts — the stamp positions are
+    /// taken on trust; only source *waves* are expected to differ).
+    fn check_compatible(&self, circuit: &Circuit) -> Result<()> {
+        if circuit.node_count() != self.node_count
+            || circuit.elements().len() != self.element_count
+            || circuit.vsource_count() != self.vsource_count
+        {
+            return Err(CircuitError::spec(format!(
+                "engine/circuit topology mismatch: engine built for \
+                 {} nodes / {} elements / {} vsources, run given \
+                 {} / {} / {}",
+                self.node_count,
+                self.element_count,
+                self.vsource_count,
+                circuit.node_count(),
+                circuit.elements().len(),
+                circuit.vsource_count()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs the transient with the source waves of `circuit`, recording the
+    /// voltage at each node of `probes` (one output waveform per probe, in
+    /// order; ground probes yield the zero waveform).
+    ///
+    /// `circuit` must be topology-identical to the construction circuit —
+    /// same elements in the same order with the same values — differing at
+    /// most in its source excitations. Integration matches
+    /// [`crate::transient::simulate`] step for step.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidSpec`] on topology mismatch, solver errors
+    /// otherwise.
+    pub fn run(&self, circuit: &Circuit, probes: &[NodeId]) -> Result<Vec<Pwl>> {
+        self.check_compatible(circuit)?;
+        let dim = self.system.dim();
+        let h = self.spec.dt;
+        let steps = self.spec.steps();
+
+        let mut x = match &self.dc_lu {
+            Some(glu) => {
+                let mut b0 = vec![0.0; dim];
+                self.system.rhs_at(circuit, 0.0, &mut b0);
+                glu.solve(&b0)?
+            }
+            None => vec![0.0; dim],
+        };
+
+        let probe_idx: Vec<Option<usize>> =
+            probes.iter().map(|&n| self.system.node_index(n)).collect();
+        let mut times = Vec::with_capacity(steps + 1);
+        let mut traces: Vec<Vec<f64>> = probes
+            .iter()
+            .map(|_| Vec::with_capacity(steps + 1))
+            .collect();
+        let record = |x: &[f64], traces: &mut Vec<Vec<f64>>| {
+            for (trace, &pi) in traces.iter_mut().zip(&probe_idx) {
+                trace.push(pi.map_or(0.0, |i| x[i]));
+            }
+        };
+        times.push(0.0);
+        record(&x, &mut traces);
+
+        let mut b_prev = vec![0.0; dim];
+        self.system.rhs_at(circuit, 0.0, &mut b_prev);
+        let mut b_now = vec![0.0; dim];
+        let mut rhs = vec![0.0; dim];
+        let mut cx = vec![0.0; dim];
+        let mut gx = vec![0.0; dim];
+
+        for k in 1..=steps {
+            let t = (k as f64) * h;
+            self.system.rhs_at(circuit, t, &mut b_now);
+            self.c_sparse.mul_into(&x, &mut cx);
+            if self.trapezoidal {
+                self.g_sparse.mul_into(&x, &mut gx);
+                for i in 0..dim {
+                    rhs[i] = b_now[i] + b_prev[i] - gx[i] + self.alpha * cx[i];
+                }
+            } else {
+                for i in 0..dim {
+                    rhs[i] = b_now[i] + self.alpha * cx[i];
+                }
+            }
+            self.lu.solve_into(&rhs, &mut x)?;
+            times.push(t);
+            record(&x, &mut traces);
+            std::mem::swap(&mut b_prev, &mut b_now);
+        }
+
+        traces
+            .into_iter()
+            .map(|vs| Ok(Pwl::from_samples(&times, &vs)?))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::SourceWave;
+    use crate::transient::simulate;
+
+    /// Coupled pair: two driven nodes with a coupling cap, like a miniature
+    /// victim/aggressor net.
+    fn coupled_pair() -> (Circuit, NodeId, NodeId, crate::netlist::VsourceId) {
+        let mut ckt = Circuit::new();
+        let a_src = ckt.node("a_src");
+        let a = ckt.node("a");
+        let v = ckt.node("v");
+        let g = Circuit::ground();
+        let va = ckt.add_vsource(a_src, g, SourceWave::shorted()).unwrap();
+        ckt.add_resistor(a_src, a, 400.0).unwrap();
+        ckt.add_resistor(v, g, 600.0).unwrap();
+        ckt.add_capacitor(a, v, 25e-15).unwrap();
+        ckt.add_capacitor(a, g, 12e-15).unwrap();
+        ckt.add_capacitor(v, g, 18e-15).unwrap();
+        (ckt, a, v, va)
+    }
+
+    #[test]
+    fn engine_matches_simulate_exactly() {
+        let (mut ckt, _a, v, va) = coupled_pair();
+        ckt.set_vsource_wave(
+            va,
+            SourceWave::Pwl(Pwl::ramp(0.5e-9, 150e-12, 0.0, 1.8).unwrap()),
+        )
+        .unwrap();
+        let spec = TransientSpec::new(4e-9, 1e-12).unwrap();
+        let engine = TransientEngine::new(&ckt, &spec).unwrap();
+        let from_engine = engine.run(&ckt, &[v]).unwrap().remove(0);
+        let reference = simulate(&ckt, &spec).unwrap().voltage(v).unwrap();
+        for k in 0..=400 {
+            let t = k as f64 * 1e-11;
+            assert!(
+                (from_engine.value(t) - reference.value(t)).abs() < 1e-12,
+                "t={t}: engine {} vs simulate {}",
+                from_engine.value(t),
+                reference.value(t)
+            );
+        }
+    }
+
+    #[test]
+    fn one_factorization_serves_many_waves() {
+        let (ckt, _a, v, va) = coupled_pair();
+        let spec = TransientSpec::new(3e-9, 2e-12).unwrap();
+        let engine = TransientEngine::new(&ckt, &spec).unwrap();
+        crate::profile::reset_lu_factorizations();
+        for start in [0.4e-9, 0.8e-9, 1.2e-9] {
+            let mut run_ckt = ckt.clone();
+            run_ckt
+                .set_vsource_wave(
+                    va,
+                    SourceWave::Pwl(Pwl::ramp(start, 100e-12, 0.0, 1.8).unwrap()),
+                )
+                .unwrap();
+            let noise = engine.run(&run_ckt, &[v]).unwrap().remove(0);
+            let (peak_t, peak_v) = noise.max_point();
+            assert!(peak_v > 0.01, "start {start}: no pulse ({peak_v})");
+            assert!(peak_t > start, "pulse before the aggressor moved");
+        }
+        assert_eq!(
+            crate::profile::lu_factorizations(),
+            0,
+            "run() must not refactor"
+        );
+    }
+
+    #[test]
+    fn linearity_holds_through_the_engine() {
+        // Shifting the source by dt shifts the (zero-initial-state) response
+        // by dt: the LTI property the superposition flow relies on.
+        let (ckt, _a, v, va) = coupled_pair();
+        let spec = TransientSpec::new(4e-9, 1e-12).unwrap();
+        let engine = TransientEngine::new(&ckt, &spec).unwrap();
+        let run_at = |t0: f64| {
+            let mut c = ckt.clone();
+            c.set_vsource_wave(
+                va,
+                SourceWave::Pwl(Pwl::ramp(t0, 80e-12, 0.0, 1.0).unwrap()),
+            )
+            .unwrap();
+            engine.run(&c, &[v]).unwrap().remove(0)
+        };
+        let early = run_at(0.5e-9);
+        let late = run_at(1.0e-9);
+        for k in 0..30 {
+            let t = 1.0e-9 + k as f64 * 0.05e-9;
+            assert!(
+                (early.value(t - 0.5e-9) - late.value(t)).abs() < 1e-9,
+                "time-invariance violated at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_probe_is_zero() {
+        let (ckt, ..) = coupled_pair();
+        let spec = TransientSpec::new(1e-9, 2e-12).unwrap();
+        let engine = TransientEngine::new(&ckt, &spec).unwrap();
+        let w = engine.run(&ckt, &[Circuit::ground()]).unwrap().remove(0);
+        assert_eq!(w.value(0.5e-9), 0.0);
+    }
+
+    #[test]
+    fn topology_mismatch_is_rejected() {
+        let (ckt, a, ..) = coupled_pair();
+        let spec = TransientSpec::new(1e-9, 2e-12).unwrap();
+        let engine = TransientEngine::new(&ckt, &spec).unwrap();
+        let mut grown = ckt.clone();
+        grown.add_capacitor(a, Circuit::ground(), 1e-15).unwrap();
+        assert!(engine.run(&grown, &[a]).is_err());
+    }
+
+    #[test]
+    fn backward_euler_and_no_dc_init_supported() {
+        let (mut ckt, _a, v, va) = coupled_pair();
+        ckt.set_vsource_wave(
+            va,
+            SourceWave::Pwl(Pwl::ramp(0.2e-9, 100e-12, 0.0, 1.0).unwrap()),
+        )
+        .unwrap();
+        let spec = TransientSpec::new(2e-9, 2e-12)
+            .unwrap()
+            .with_method(Integration::BackwardEuler)
+            .without_dc_init();
+        let engine = TransientEngine::new(&ckt, &spec).unwrap();
+        let from_engine = engine.run(&ckt, &[v]).unwrap().remove(0);
+        let reference = simulate(&ckt, &spec).unwrap().voltage(v).unwrap();
+        for k in 0..=100 {
+            let t = k as f64 * 2e-11;
+            assert!((from_engine.value(t) - reference.value(t)).abs() < 1e-12);
+        }
+    }
+}

@@ -83,8 +83,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CircuitError::element("R <= 0").to_string().contains("invalid element"));
-        assert!(CircuitError::UnknownNode { index: 7 }.to_string().contains('7'));
+        assert!(CircuitError::element("R <= 0")
+            .to_string()
+            .contains("invalid element"));
+        assert!(CircuitError::UnknownNode { index: 7 }
+            .to_string()
+            .contains('7'));
         assert!(CircuitError::spec("dt").to_string().contains("spec"));
     }
 

@@ -43,13 +43,16 @@
 //! ```
 
 pub mod dc;
+pub mod engine;
 pub mod mna;
 pub mod netlist;
+pub mod profile;
 pub mod spef;
 pub mod transient;
 
 mod error;
 
+pub use engine::TransientEngine;
 pub use error::CircuitError;
 pub use netlist::{Circuit, NodeId, SourceWave};
 

@@ -235,12 +235,7 @@ impl Circuit {
     ///
     /// Returns [`CircuitError::UnknownNode`] for foreign nodes and
     /// [`CircuitError::InvalidElement`] if the terminals coincide.
-    pub fn add_vsource(
-        &mut self,
-        pos: NodeId,
-        neg: NodeId,
-        wave: SourceWave,
-    ) -> Result<VsourceId> {
+    pub fn add_vsource(&mut self, pos: NodeId, neg: NodeId, wave: SourceWave) -> Result<VsourceId> {
         self.check_node(pos)?;
         self.check_node(neg)?;
         if pos == neg {
@@ -249,6 +244,26 @@ impl Circuit {
         self.elements.push(Element::Vsource { pos, neg, wave });
         self.vsource_count += 1;
         Ok(VsourceId(self.vsource_count - 1))
+    }
+
+    /// Replaces the excitation of an existing voltage source, keeping the
+    /// topology (and thus any MNA assembly or factorization of it) valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] for a foreign source handle.
+    pub fn set_vsource_wave(&mut self, id: VsourceId, wave: SourceWave) -> Result<()> {
+        let mut vidx = 0usize;
+        for e in &mut self.elements {
+            if let Element::Vsource { wave: w, .. } = e {
+                if vidx == id.0 {
+                    *w = wave;
+                    return Ok(());
+                }
+                vidx += 1;
+            }
+        }
+        Err(CircuitError::UnknownNode { index: id.0 })
     }
 
     /// Adds an independent current source pushing current into `into`.

@@ -1,0 +1,50 @@
+//! Lightweight counters for the linear-solver hot path.
+//!
+//! The batch analysis flow is built around reusing one LU factorization per
+//! holding configuration instead of refactoring for every driver
+//! simulation. These process-wide counters make that reuse observable:
+//! benchmarks read them to report factorizations per net, and regression
+//! tests can assert that the engine path factors strictly less often than
+//! the simulate-per-driver path.
+//!
+//! Counting covers the *linear* circuit solves of this crate (transient,
+//! DC, and [`crate::engine::TransientEngine`]); non-linear fixture
+//! simulation in other crates is out of scope.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LU_FACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one LU factorization (called by this crate's solve sites).
+pub(crate) fn record_lu() {
+    LU_FACTORIZATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total LU factorizations performed by linear circuit solves since process
+/// start (or the last [`reset_lu_factorizations`]).
+pub fn lu_factorizations() -> u64 {
+    LU_FACTORIZATIONS.load(Ordering::Relaxed)
+}
+
+/// Resets the factorization counter to zero and returns the previous value.
+///
+/// Benchmarks bracket a measured region with this; note the counter is
+/// process-wide, so concurrent work on other threads is included.
+pub fn reset_lu_factorizations() -> u64 {
+    LU_FACTORIZATIONS.swap(0, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        reset_lu_factorizations();
+        record_lu();
+        record_lu();
+        assert!(lu_factorizations() >= 2);
+        let prev = reset_lu_factorizations();
+        assert!(prev >= 2);
+    }
+}

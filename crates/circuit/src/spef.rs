@@ -152,9 +152,7 @@ pub fn parse_parasitics(text: &str) -> Result<ParasiticNet> {
         }
         let a = circuit.node(fields[1]);
         let b = circuit.node(fields[2]);
-        let value: f64 = fields[3]
-            .parse()
-            .map_err(|_| err("unparseable value"))?;
+        let value: f64 = fields[3].parse().map_err(|_| err("unparseable value"))?;
         match section {
             Section::Cap => circuit.add_capacitor(a, b, value)?,
             Section::Res => circuit.add_resistor(a, b, value)?,
@@ -207,7 +205,11 @@ mod tests {
         assert!((c0 - c1).abs() < 1e-9 * c0);
         // Node identity: the coupling cap still bridges rcv and agg.
         let rcv = back.circuit.find_node("rcv").unwrap();
-        assert!((back.circuit.total_cap_at(rcv) - ckt.total_cap_at(ckt.find_node("rcv").unwrap())).abs() < 1e-24);
+        assert!(
+            (back.circuit.total_cap_at(rcv) - ckt.total_cap_at(ckt.find_node("rcv").unwrap()))
+                .abs()
+                < 1e-24
+        );
     }
 
     #[test]

@@ -155,7 +155,9 @@ pub fn simulate(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResu
     let mut x = if spec.dc_init {
         let mut b0 = vec![0.0; dim];
         system.rhs_at(circuit, 0.0, &mut b0);
-        system.g().lu()?.solve(&b0)?
+        let glu = system.g().lu()?;
+        crate::profile::record_lu();
+        glu.solve(&b0)?
     } else {
         vec![0.0; dim]
     };
@@ -168,6 +170,7 @@ pub fn simulate(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResu
     };
     let companion = system.g().add_scaled(system.c(), alpha)?;
     let lu = companion.lu()?;
+    crate::profile::record_lu();
 
     let mut times = Vec::with_capacity(steps + 1);
     let mut states = Vec::with_capacity(steps + 1);
@@ -230,7 +233,9 @@ mod tests {
         .unwrap();
         ckt.add_resistor(inp, out, r).unwrap();
         ckt.add_capacitor(out, g, c).unwrap();
-        let spec = TransientSpec::new(10e-9, 2e-12).unwrap().with_method(method);
+        let spec = TransientSpec::new(10e-9, 2e-12)
+            .unwrap()
+            .with_method(method);
         let res = simulate(&ckt, &spec).unwrap();
         (res.voltage(out).unwrap(), r * c)
     }

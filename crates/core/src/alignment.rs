@@ -65,9 +65,7 @@ impl AlignmentContext<'_> {
     pub fn receiver_output(&self, peak_time: Option<f64>) -> Result<Pwl> {
         let input = match peak_time {
             None => self.noiseless_rcv.clone(),
-            Some(t) => self
-                .noiseless_rcv
-                .add(&self.composite.aligned_at(t).wave),
+            Some(t) => self.noiseless_rcv.add(&self.composite.aligned_at(t).wave),
         };
         Ok(receiver_response(
             self.tech,
@@ -105,9 +103,7 @@ impl AlignmentContext<'_> {
     pub fn receiver_input_settle(&self, peak_time: Option<f64>) -> Result<f64> {
         let input = match peak_time {
             None => self.noiseless_rcv.clone(),
-            Some(t) => self
-                .noiseless_rcv
-                .add(&self.composite.aligned_at(t).wave),
+            Some(t) => self.noiseless_rcv.add(&self.composite.aligned_at(t).wave),
         };
         Ok(settle_crossing_hysteresis(
             &input,
@@ -204,7 +200,10 @@ pub fn exhaustive_alignment(ctx: &AlignmentContext<'_>, points: usize) -> Result
     let step = (hi - lo) / (n - 1) as f64;
     let (a, b) = ((best.0 - step).max(lo), (best.0 + step).min(hi));
     if let Ok((t, d)) = golden_max(
-        |t| ctx.receiver_output_settle(Some(t)).unwrap_or(f64::NEG_INFINITY),
+        |t| {
+            ctx.receiver_output_settle(Some(t))
+                .unwrap_or(f64::NEG_INFINITY)
+        },
         a,
         b,
         step * 0.05,

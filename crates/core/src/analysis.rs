@@ -10,11 +10,12 @@ use crate::superposition::LinearNetAnalysis;
 use crate::Result;
 use clarinox_cells::{Gate, GateKind, Tech};
 use clarinox_char::alignment::AlignmentTable;
+use clarinox_netgen::spec::CoupledNetSpec;
 use clarinox_sta::window::TimingWindow;
 use clarinox_waveform::measure::{settle_crossing_hysteresis, Edge};
 use clarinox_waveform::{CompositePulse, NoisePulse, Pwl};
-use clarinox_netgen::spec::CoupledNetSpec;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Noise pulses smaller than this (volts) are ignored as aggressor
@@ -83,13 +84,23 @@ impl NetReport {
 /// Cache key for alignment tables: receiver gate identity + victim edge.
 type TableKey = (GateKind, u64, u64, Edge);
 
+/// One cache slot: the inner mutex serializes characterization of this key
+/// so concurrent first users do not stampede — exactly one thread runs the
+/// (expensive) characterization while the others wait on the slot and then
+/// share the resulting `Arc`.
+type TableSlot = Arc<Mutex<Option<Arc<AlignmentTable>>>>;
+
 /// The analysis engine: technology + configuration + pre-characterization
-/// caches.
+/// caches. All methods take `&self`; the analyzer is shared freely across
+/// the worker threads of [`NoiseAnalyzer::analyze_block`].
 #[derive(Debug)]
 pub struct NoiseAnalyzer {
     tech: Tech,
     config: AnalyzerConfig,
-    tables: Mutex<HashMap<TableKey, Arc<AlignmentTable>>>,
+    tables: Mutex<HashMap<TableKey, TableSlot>>,
+    /// Number of alignment-table characterizations actually performed
+    /// (cache misses), for observability and stampede tests.
+    characterizations: AtomicUsize,
 }
 
 impl NoiseAnalyzer {
@@ -104,6 +115,7 @@ impl NoiseAnalyzer {
             tech,
             config,
             tables: Mutex::new(HashMap::new()),
+            characterizations: AtomicUsize::new(0),
         }
     }
 
@@ -117,20 +129,44 @@ impl NoiseAnalyzer {
         &self.config
     }
 
+    /// Number of alignment-table characterizations performed so far (cache
+    /// misses; stays at one per distinct `(receiver, edge)` key no matter
+    /// how many threads race on first use).
+    pub fn table_characterizations(&self) -> usize {
+        self.characterizations.load(Ordering::Relaxed)
+    }
+
     /// The 8-point alignment table for `receiver`/`victim_edge`,
     /// characterized on first use and cached.
     ///
+    /// Concurrent first users of the same key do not stampede: the per-key
+    /// slot lock lets exactly one thread characterize while the rest block
+    /// and receive the shared table. A poisoned lock (a panic mid-
+    /// characterization on another thread) is recovered, not propagated:
+    /// the slot is still empty, so the recovering thread simply
+    /// characterizes itself.
+    ///
     /// # Errors
     ///
-    /// Characterization failures.
-    pub fn alignment_table(&self, receiver: Gate, victim_edge: Edge) -> Result<Arc<AlignmentTable>> {
+    /// Characterization failures (a failed attempt leaves the slot empty,
+    /// so a later call retries).
+    pub fn alignment_table(
+        &self,
+        receiver: Gate,
+        victim_edge: Edge,
+    ) -> Result<Arc<AlignmentTable>> {
         let key: TableKey = (
             receiver.kind,
             receiver.strength.to_bits(),
             receiver.pn_ratio.to_bits(),
             victim_edge,
         );
-        if let Some(t) = self.tables.lock().expect("table cache lock").get(&key) {
+        let slot: TableSlot = {
+            let mut map = self.tables.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(t) = guard.as_ref() {
             return Ok(Arc::clone(t));
         }
         let c = &self.config;
@@ -144,12 +180,23 @@ impl NoiseAnalyzer {
             c.table_min_load,
             &c.table_char,
         )?;
+        self.characterizations.fetch_add(1, Ordering::Relaxed);
         let arc = Arc::new(table);
-        self.tables
-            .lock()
-            .expect("table cache lock")
-            .insert(key, Arc::clone(&arc));
+        *guard = Some(Arc::clone(&arc));
         Ok(arc)
+    }
+
+    /// Analyzes a block of nets, fanning them across `jobs` worker threads
+    /// (work-stealing over a shared index). Results are returned in input
+    /// order and are **identical** to running [`NoiseAnalyzer::analyze`]
+    /// serially on each spec: every net's computation is independent, so
+    /// scheduling cannot change any report bit.
+    ///
+    /// `jobs` is clamped to `1..=specs.len()`; pass `1` for the serial
+    /// path. Shared caches (the alignment tables) are characterized once
+    /// and shared across workers.
+    pub fn analyze_block(&self, specs: &[CoupledNetSpec], jobs: usize) -> Vec<Result<NetReport>> {
+        crate::par::run_indexed(specs.len(), jobs, |i| self.analyze(&specs[i]))
     }
 
     /// Analyzes one coupled net with the configured driver model and
@@ -305,7 +352,8 @@ impl NoiseAnalyzer {
         let out_edge = ctx.receiver_out_edge();
         let vmid = self.tech.vmid();
         let hyst = self.config.settle_hysteresis_frac * self.tech.vdd;
-        let t_in_clean = settle_crossing_hysteresis(&noiseless.at_victim_rcv, vmid, victim_edge, hyst)?;
+        let t_in_clean =
+            settle_crossing_hysteresis(&noiseless.at_victim_rcv, vmid, victim_edge, hyst)?;
         let t_in_noisy = settle_crossing_hysteresis(&noisy_rcv, vmid, victim_edge, hyst)?;
         let t_out_clean = settle_crossing_hysteresis(&noiseless_out, vmid, out_edge, hyst)?;
         let t_out_noisy = settle_crossing_hysteresis(&noisy_out, vmid, out_edge, hyst)?;
@@ -409,8 +457,7 @@ impl NoiseAnalyzer {
             out_edge,
             self.config.settle_hysteresis_frac * self.tech.vdd,
         )?;
-        let t_launch =
-            self.config.victim_input_start + 0.5 * spec.victim.driver_input_ramp;
+        let t_launch = self.config.victim_input_start + 0.5 * spec.victim.driver_input_ramp;
         Ok(NetReport {
             id: spec.id,
             victim_edge,
@@ -533,7 +580,10 @@ mod tests {
         );
         let h_th = r_th.composite.as_ref().unwrap().height;
         let h_rt = r_rt.composite.as_ref().unwrap().height;
-        assert!(h_rt > h_th, "pulse heights: rt-model {h_rt} vs thevenin {h_th}");
+        assert!(
+            h_rt > h_th,
+            "pulse heights: rt-model {h_rt} vs thevenin {h_th}"
+        );
     }
 
     #[test]

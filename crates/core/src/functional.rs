@@ -182,6 +182,26 @@ pub fn check_functional_noise(
     })
 }
 
+/// Runs the functional-noise check over a whole block, fanning the
+/// `(net, quiet-state)` pairs across `jobs` worker threads (work stealing
+/// over a shared index). Results come back in input order — for each spec,
+/// one report per entry of `states`, flattened — and are identical to
+/// calling [`check_functional_noise`] serially on each pair.
+pub fn check_functional_noise_block(
+    tech: &Tech,
+    specs: &[CoupledNetSpec],
+    states: &[QuietState],
+    margin: f64,
+    config: &AnalyzerConfig,
+    jobs: usize,
+) -> Vec<Result<FunctionalNoiseReport>> {
+    crate::par::run_indexed(specs.len() * states.len(), jobs, |i| {
+        let spec = &specs[i / states.len()];
+        let state = states[i % states.len()];
+        check_functional_noise(tech, spec, state, margin, config)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,8 +286,7 @@ mod tests {
     fn margin_validation() {
         let tech = Tech::default_180nm();
         assert!(
-            check_functional_noise(&tech, &spec(&tech, 2.0), QuietState::Low, 0.0, &cfg())
-                .is_err()
+            check_functional_noise(&tech, &spec(&tech, 2.0), QuietState::Low, 0.0, &cfg()).is_err()
         );
     }
 }

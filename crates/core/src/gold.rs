@@ -80,9 +80,12 @@ pub fn gold_simulate(
     for (i, agg) in spec.aggressors.iter().enumerate() {
         let node = ckt.node(&format!("a{i}_in"));
         let wave = match aggressors.get(i).copied().unwrap_or(AggressorDrive::Quiet) {
-            AggressorDrive::SwitchAt(t) => {
-                SourceWave::Pwl(input_ramp(tech, agg.net.driver_input_edge, t, agg.net.driver_input_ramp))
-            }
+            AggressorDrive::SwitchAt(t) => SourceWave::Pwl(input_ramp(
+                tech,
+                agg.net.driver_input_edge,
+                t,
+                agg.net.driver_input_ramp,
+            )),
             AggressorDrive::Quiet => {
                 // Hold the pre-transition input level.
                 let quiet = match agg.net.driver_input_edge {
@@ -264,15 +267,7 @@ mod tests {
     fn quiet_run_settles_full_swing() {
         let tech = Tech::default_180nm();
         let s = spec(&tech);
-        let g = gold_simulate(
-            &tech,
-            &s,
-            1.0e-9,
-            &[AggressorDrive::Quiet],
-            5e-9,
-            2e-12,
-        )
-        .unwrap();
+        let g = gold_simulate(&tech, &s, 1.0e-9, &[AggressorDrive::Quiet], 5e-9, 2e-12).unwrap();
         // Victim input rising -> wire falls -> receiver output rises.
         assert!(g.rcv_in.value(0.0) > tech.vdd - 0.05);
         assert!(g.rcv_in.v_end() < 0.05);

@@ -20,10 +20,10 @@
 //! rounds suffice, as the paper reports).
 
 use crate::models::DriverModel;
-use clarinox_netgen::spec::NetSpec;
 use crate::{CoreError, Result};
 use clarinox_cells::fixture::DriveFixture;
 use clarinox_cells::Tech;
+use clarinox_netgen::spec::NetSpec;
 use clarinox_waveform::Pwl;
 
 /// Outcome of one `R_t` extraction.
@@ -255,8 +255,7 @@ mod tests {
         let s = spec(&tech);
         let models = NetModels::characterize(&tech, &s, 3).unwrap();
         let cfg = crate::config::AnalyzerConfig::default();
-        let lin =
-            crate::superposition::LinearNetAnalysis::new(&tech, &s, &models, &cfg).unwrap();
+        let lin = crate::superposition::LinearNetAnalysis::new(&tech, &s, &models, &cfg).unwrap();
         // Aggressor aligned mid-transition of the victim.
         let noise = lin.aggressor_noise(0, cfg.victim_input_start).unwrap();
         let ext = extract_rt(
@@ -269,7 +268,11 @@ mod tests {
         )
         .unwrap();
         let rth = models.victim.thevenin.rth;
-        assert!(ext.rt > 0.1 * rth && ext.rt < 20.0 * rth, "rt {} rth {rth}", ext.rt);
+        assert!(
+            ext.rt > 0.1 * rth && ext.rt < 20.0 * rth,
+            "rt {} rth {rth}",
+            ext.rt
+        );
         // The non-linear response must be a real pulse.
         assert!(ext.nonlinear_noise.extremum_point().1.abs() > 1e-3);
         // And the paper's headline effect: during the transition the driver
@@ -285,8 +288,7 @@ mod tests {
         let s = spec(&tech);
         let models = NetModels::characterize(&tech, &s, 3).unwrap();
         let cfg = crate::config::AnalyzerConfig::default();
-        let lin =
-            crate::superposition::LinearNetAnalysis::new(&tech, &s, &models, &cfg).unwrap();
+        let lin = crate::superposition::LinearNetAnalysis::new(&tech, &s, &models, &cfg).unwrap();
         // The victim switching injects noise on the aggressor line; observe
         // it at the aggressor driver output by swapping the roles: simulate
         // the victim active and reuse the victim-driver-output waveform as

@@ -65,6 +65,7 @@ pub mod models;
 pub mod superposition;
 
 mod error;
+mod par;
 
 pub use analysis::{NetReport, NoiseAnalyzer};
 pub use config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};

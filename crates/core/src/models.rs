@@ -38,7 +38,15 @@ impl DriverModel {
         let net = net_of(spec, which);
         let load = load_network_for(tech, spec, which)?;
         let res = effective_capacitance(
-            |c| fit_thevenin(tech, net.driver, net.driver_input_edge, net.driver_input_ramp, c),
+            |c| {
+                fit_thevenin(
+                    tech,
+                    net.driver,
+                    net.driver_input_edge,
+                    net.driver_input_ramp,
+                    c,
+                )
+            },
             &load,
             ceff_iterations,
         )?;
@@ -72,7 +80,11 @@ impl NetModels {
     /// # Errors
     ///
     /// Propagates per-driver characterization failures.
-    pub fn characterize(tech: &Tech, spec: &CoupledNetSpec, ceff_iterations: usize) -> Result<Self> {
+    pub fn characterize(
+        tech: &Tech,
+        spec: &CoupledNetSpec,
+        ceff_iterations: usize,
+    ) -> Result<Self> {
         let victim = DriverModel::characterize(tech, spec, NetRef::Victim, ceff_iterations)?;
         let aggressors = (0..spec.aggressors.len())
             .map(|i| DriverModel::characterize(tech, spec, NetRef::Aggressor(i), ceff_iterations))
@@ -88,9 +100,10 @@ impl NetModels {
     pub fn model_of(&self, which: NetRef) -> Result<&DriverModel> {
         match which {
             NetRef::Victim => Ok(&self.victim),
-            NetRef::Aggressor(i) => self.aggressors.get(i).ok_or_else(|| {
-                CoreError::analysis(format!("aggressor index {i} out of range"))
-            }),
+            NetRef::Aggressor(i) => self
+                .aggressors
+                .get(i)
+                .ok_or_else(|| CoreError::analysis(format!("aggressor index {i} out of range"))),
         }
     }
 }

@@ -1,0 +1,84 @@
+//! Minimal scoped-thread fan-out for the batch analysis APIs.
+//!
+//! No thread pool, no channels: workers claim indices from a shared atomic
+//! counter (work stealing over the input order), so a slow net never blocks
+//! the others, and results are re-slotted by index so callers see input
+//! order regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(i)` for every `i in 0..n` across up to `jobs` scoped worker
+/// threads and returns the results in index order. `jobs` is clamped to
+/// `1..=n`; with one job the calls run inline on the caller's thread.
+///
+/// `f` runs once per index no matter the thread, so any `f` whose output
+/// depends only on `i` yields results identical to the serial path.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub(crate) fn run_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let gathered: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        done.push((i, f(i)));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, r) in gathered {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("work-stealing index visits every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = run_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_more_jobs_than_items() {
+        assert_eq!(run_indexed(2, 64, |i| i), vec![0, 1]);
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let id = std::thread::current().id();
+        let out = run_indexed(3, 1, |_| std::thread::current().id());
+        assert!(out.iter().all(|&t| t == id));
+    }
+}

@@ -54,9 +54,9 @@ impl ReducedModel {
             }
         }
         if basis.is_empty() {
-            return Err(MorError::Numeric(
-                clarinox_numeric::NumericError::invalid("all Krylov starting vectors deflated"),
-            ));
+            return Err(MorError::Numeric(clarinox_numeric::NumericError::invalid(
+                "all Krylov starting vectors deflated",
+            )));
         }
         for _ in 1..blocks {
             let mut next_block = Vec::new();
@@ -121,17 +121,13 @@ impl ReducedModel {
     pub fn simulate(&self, inputs: &[Pwl], t_stop: f64, dt: f64) -> Result<ReducedResult> {
         if inputs.len() != self.ports.len() {
             return Err(MorError::InvalidPorts {
-                context: format!(
-                    "{} inputs for {} ports",
-                    inputs.len(),
-                    self.ports.len()
-                ),
+                context: format!("{} inputs for {} ports", inputs.len(), self.ports.len()),
             });
         }
         if !(dt > 0.0) || !(t_stop > dt) {
-            return Err(MorError::Numeric(
-                clarinox_numeric::NumericError::invalid("need 0 < dt < t_stop"),
-            ));
+            return Err(MorError::Numeric(clarinox_numeric::NumericError::invalid(
+                "need 0 < dt < t_stop",
+            )));
         }
         let q = self.order();
         let alpha = 2.0 / dt;
@@ -145,9 +141,7 @@ impl ReducedModel {
         let mut port_waves: Vec<Vec<f64>> = vec![Vec::with_capacity(steps + 1); self.ports.len()];
         let mut zs: Vec<Vec<f64>> = Vec::with_capacity(steps + 1);
 
-        let record = |z: &[f64],
-                      port_waves: &mut Vec<Vec<f64>>,
-                      zs: &mut Vec<Vec<f64>>| {
+        let record = |z: &[f64], port_waves: &mut Vec<Vec<f64>>, zs: &mut Vec<Vec<f64>>| {
             for (j, pw) in port_waves.iter_mut().enumerate() {
                 // y_j = (B̂ᵀ z)_j
                 let mut y = 0.0;
@@ -203,13 +197,13 @@ impl ReducedResult {
     /// [`MorError::InvalidPorts`] if `node` is not a port (use
     /// [`ReducedResult::node_voltage`] for arbitrary nodes).
     pub fn port_voltage(&self, node: NodeId) -> Result<Pwl> {
-        let j = self
-            .ports
-            .iter()
-            .position(|p| *p == node)
-            .ok_or_else(|| MorError::InvalidPorts {
-                context: format!("{node} is not a port"),
-            })?;
+        let j =
+            self.ports
+                .iter()
+                .position(|p| *p == node)
+                .ok_or_else(|| MorError::InvalidPorts {
+                    context: format!("{node} is not a port"),
+                })?;
         Ok(Pwl::from_samples(&self.times, &self.port_waves[j])?)
     }
 
@@ -285,8 +279,13 @@ mod tests {
         let (ckt, head, tail) = ladder(15);
         // Full reference: same circuit with a PWL current injected at head.
         let mut full_ckt = ckt.clone();
-        let pulse = Pwl::new(vec![(0.0, 0.0), (0.2e-9, 2e-4), (1.5e-9, 2e-4), (1.7e-9, 0.0)])
-            .unwrap();
+        let pulse = Pwl::new(vec![
+            (0.0, 0.0),
+            (0.2e-9, 2e-4),
+            (1.5e-9, 2e-4),
+            (1.7e-9, 0.0),
+        ])
+        .unwrap();
         full_ckt
             .add_isource(Circuit::ground(), head, SourceWave::Pwl(pulse.clone()))
             .unwrap();

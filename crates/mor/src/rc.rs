@@ -80,8 +80,7 @@ impl RcPorts {
                 }
                 Element::Isource { .. } => {
                     return Err(MorError::UnsupportedElement {
-                        context: "embedded current source (drive ports at simulation time)"
-                            .into(),
+                        context: "embedded current source (drive ports at simulation time)".into(),
                     })
                 }
             }

@@ -52,6 +52,8 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(NetgenError::spec("zero length").to_string().contains("zero length"));
+        assert!(NetgenError::spec("zero length")
+            .to_string()
+            .contains("zero length"));
     }
 }

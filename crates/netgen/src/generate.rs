@@ -72,11 +72,7 @@ pub fn generate_block(tech: &Tech, cfg: &BlockConfig, seed: u64) -> Vec<CoupledN
     // Receivers are single-stage inverting gates: the alignment tables are
     // characterized per receiver type, and buffers' first stage dominates
     // anyway.
-    let receivers: Vec<Gate> = lib
-        .iter()
-        .copied()
-        .filter(|g| g.is_inverting())
-        .collect();
+    let receivers: Vec<Gate> = lib.iter().copied().filter(|g| g.is_inverting()).collect();
 
     (0..cfg.nets)
         .map(|id| {
@@ -179,7 +175,9 @@ mod tests {
         let tech = Tech::default_180nm();
         let cfg = BlockConfig::default().with_nets(40);
         for spec in generate_block(&tech, &cfg, 7) {
-            assert!(spec.victim.wire_len >= cfg.wire_len.0 && spec.victim.wire_len <= cfg.wire_len.1);
+            assert!(
+                spec.victim.wire_len >= cfg.wire_len.0 && spec.victim.wire_len <= cfg.wire_len.1
+            );
             assert!(spec.aggressors.len() >= cfg.aggressors.0);
             assert!(spec.aggressors.len() <= cfg.aggressors.1);
             for a in &spec.aggressors {

@@ -165,7 +165,13 @@ pub fn build_topology_with(
     let mut ckt = Circuit::new();
     let gnd = Circuit::ground();
 
-    let vnodes = build_chain(&mut ckt, tech, "v", spec.victim.wire_len, spec.victim.segments)?;
+    let vnodes = build_chain(
+        &mut ckt,
+        tech,
+        "v",
+        spec.victim.wire_len,
+        spec.victim.segments,
+    )?;
     let victim_drv = vnodes[0];
     let victim_rcv = *vnodes.last().expect("chain has nodes");
     if include_receiver_pins {
@@ -235,7 +241,10 @@ pub fn load_network_for(tech: &Tech, spec: &CoupledNetSpec, net: NetRef) -> Resu
     let (net_spec, couplings): (&crate::spec::NetSpec, Vec<f64>) = match net {
         NetRef::Victim => (
             &spec.victim,
-            spec.aggressors.iter().map(|a| a.coupling_cap(tech)).collect(),
+            spec.aggressors
+                .iter()
+                .map(|a| a.coupling_cap(tech))
+                .collect(),
         ),
         NetRef::Aggressor(i) => (
             &spec.aggressors[i].net,
@@ -345,7 +354,11 @@ mod tests {
         // Total = wire + receiver pin + all coupling.
         let want = spec.victim.wire_capacitance(&tech)
             + spec.victim.receiver.input_cap(&tech)
-            + spec.aggressors.iter().map(|a| a.coupling_cap(&tech)).sum::<f64>();
+            + spec
+                .aggressors
+                .iter()
+                .map(|a| a.coupling_cap(&tech))
+                .sum::<f64>();
         assert!((ln.total_cap() - want).abs() < 1e-19);
     }
 

@@ -51,7 +51,9 @@ fn check_axis(name: &str, xs: &[f64]) -> Result<()> {
         }
     }
     if xs.iter().any(|v| !v.is_finite()) {
-        return Err(NumericError::invalid(format!("{name} axis contains non-finite values")));
+        return Err(NumericError::invalid(format!(
+            "{name} axis contains non-finite values"
+        )));
     }
     Ok(())
 }
@@ -214,12 +216,7 @@ mod tests {
 
     #[test]
     fn bilinear_reproduces_corners_and_center() {
-        let t = Table2::new(
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-            vec![1.0, 2.0, 3.0, 4.0],
-        )
-        .unwrap();
+        let t = Table2::new(vec![0.0, 1.0], vec![0.0, 1.0], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(t.lookup(0.0, 0.0), 1.0);
         assert_eq!(t.lookup(0.0, 1.0), 2.0);
         assert_eq!(t.lookup(1.0, 0.0), 3.0);
@@ -236,12 +233,11 @@ mod tests {
 
     #[test]
     fn tabulate_fills_grid() {
-        let t: Table2 = Table2::tabulate::<NumericError>(
-            vec![0.0, 1.0, 2.0],
-            vec![0.0, 1.0],
-            |x, y| Ok(x * 10.0 + y),
-        )
-        .unwrap();
+        let t: Table2 =
+            Table2::tabulate::<NumericError>(vec![0.0, 1.0, 2.0], vec![0.0, 1.0], |x, y| {
+                Ok(x * 10.0 + y)
+            })
+            .unwrap();
         assert_eq!(t.at(2, 1), 21.0);
         assert_eq!(t.lookup(1.5, 0.5), 15.5);
     }

@@ -151,13 +151,7 @@ impl Matrix {
             )));
         }
         let y: Vec<f64> = (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x.iter())
-                    .map(|(a, b)| a * b)
-                    .sum()
-            })
+            .map(|r| self.row(r).iter().zip(x.iter()).map(|(a, b)| a * b).sum())
             .collect();
         Ok(y)
     }
@@ -349,6 +343,21 @@ impl LuFactors {
     /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
     /// the factored dimension.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = Vec::with_capacity(self.n);
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into a caller-provided buffer — the same arithmetic
+    /// as [`solve`](LuFactors::solve), bit for bit, without the per-call
+    /// allocation. Time-stepping loops call this thousands of times with
+    /// the same buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs from
+    /// the factored dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>) -> Result<()> {
         if b.len() != self.n {
             return Err(NumericError::dims(format!(
                 "solve rhs length {} for dimension {}",
@@ -358,7 +367,8 @@ impl LuFactors {
         }
         let n = self.n;
         // Apply permutation and forward-substitute L y = P b.
-        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        x.clear();
+        x.extend((0..n).map(|i| b[self.perm[i]]));
         #[allow(clippy::needless_range_loop)]
         for r in 1..n {
             let mut acc = x[r];
@@ -376,7 +386,7 @@ impl LuFactors {
             }
             x[r] = acc / self.lu[r * n + r];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A X = B` column-by-column.
@@ -413,16 +423,25 @@ mod tests {
 
     #[test]
     fn known_3x3_solve() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let x = a.lu().unwrap().solve(&[8.0, -11.0, -3.0]).unwrap();
         assert!(approx_eq(x[0], 2.0, 1e-12, 1e-12));
         assert!(approx_eq(x[1], 3.0, 1e-12, 1e-12));
         assert!(approx_eq(x[2], -1.0, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise() {
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
+        let lu = a.lu().unwrap();
+        let mut buf = Vec::new();
+        for b in [[8.0, -11.0, -3.0], [0.1, 0.2, 0.3], [1e9, -1e-9, 0.0]] {
+            lu.solve_into(&b, &mut buf).unwrap();
+            assert_eq!(buf, lu.solve(&b).unwrap(), "rhs {b:?}");
+        }
+        assert!(lu.solve_into(&[1.0, 2.0], &mut buf).is_err());
     }
 
     #[test]
@@ -445,7 +464,10 @@ mod tests {
     #[test]
     fn non_square_lu_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(a.lu(), Err(NumericError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.lu(),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

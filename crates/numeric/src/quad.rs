@@ -81,7 +81,9 @@ pub fn trapezoid_fn(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, n: usize) -> 
 /// Same conditions as [`trapezoid`].
 pub fn cumulative(ts: &[f64], ys: &[f64]) -> Result<Vec<f64>> {
     if ts.len() != ys.len() || ts.len() < 2 {
-        return Err(NumericError::invalid("cumulative needs matched arrays of length >= 2"));
+        return Err(NumericError::invalid(
+            "cumulative needs matched arrays of length >= 2",
+        ));
     }
     let mut out = Vec::with_capacity(ts.len());
     out.push(0.0);

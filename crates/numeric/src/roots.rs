@@ -166,12 +166,7 @@ pub fn brent(
 /// # Errors
 ///
 /// Returns [`NumericError::InvalidInput`] if `a >= b` or `tol <= 0`.
-pub fn golden_min(
-    mut f: impl FnMut(f64) -> f64,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> Result<(f64, f64)> {
+pub fn golden_min(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64) -> Result<(f64, f64)> {
     if !(a < b) || !(tol > 0.0) {
         return Err(NumericError::invalid(format!(
             "golden_min needs a < b and tol > 0 (got [{a}, {b}], tol {tol})"
@@ -207,12 +202,7 @@ pub fn golden_min(
 /// # Errors
 ///
 /// Same as [`golden_min`].
-pub fn golden_max(
-    mut f: impl FnMut(f64) -> f64,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> Result<(f64, f64)> {
+pub fn golden_max(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64) -> Result<(f64, f64)> {
     let (x, fneg) = golden_min(|x| -f(x), a, b, tol)?;
     Ok((x, -fneg))
 }
@@ -243,8 +233,14 @@ mod tests {
 
     #[test]
     fn brent_cubic() {
-        let r = brent(|x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 1.0), -4.0, 0.0, 1e-14, 100)
-            .unwrap();
+        let r = brent(
+            |x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 1.0),
+            -4.0,
+            0.0,
+            1e-14,
+            100,
+        )
+        .unwrap();
         assert!((r + 3.0).abs() < 1e-9);
     }
 

@@ -88,7 +88,9 @@ impl std::fmt::Display for ErrorSummary {
 /// degenerate (constant-x) sample.
 pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Result<(f64, f64)> {
     if xs.len() != ys.len() || xs.len() < 2 {
-        return Err(NumericError::invalid("linear_fit needs >= 2 matched points"));
+        return Err(NumericError::invalid(
+            "linear_fit needs >= 2 matched points",
+        ));
     }
     let n = xs.len() as f64;
     let sx = xs.iter().sum::<f64>();

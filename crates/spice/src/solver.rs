@@ -332,8 +332,24 @@ mod tests {
         ckt.add_vsource(inp, gnd, input_wave).unwrap();
         ckt.add_capacitor(out, gnd, cload).unwrap();
         let mut nl = NonlinearCircuit::new(ckt);
-        nl.add_mosfet(Polarity::Nmos, out, inp, gnd, nmos_params(), 1.0e-6, 0.18e-6);
-        nl.add_mosfet(Polarity::Pmos, out, inp, vdd, pmos_params(), 2.0e-6, 0.18e-6);
+        nl.add_mosfet(
+            Polarity::Nmos,
+            out,
+            inp,
+            gnd,
+            nmos_params(),
+            1.0e-6,
+            0.18e-6,
+        );
+        nl.add_mosfet(
+            Polarity::Pmos,
+            out,
+            inp,
+            vdd,
+            pmos_params(),
+            2.0e-6,
+            0.18e-6,
+        );
         (nl, inp, out)
     }
 
@@ -341,12 +357,16 @@ mod tests {
     fn dc_inverter_rails() {
         // Input low -> output at Vdd.
         let (nl, _, out) = inverter(SourceWave::Dc(0.0), 10e-15);
-        let res = nl.simulate(&TransientSpec::new(0.1e-9, 1e-12).unwrap()).unwrap();
+        let res = nl
+            .simulate(&TransientSpec::new(0.1e-9, 1e-12).unwrap())
+            .unwrap();
         assert!((res.initial_voltage(out) - VDD).abs() < 1e-3);
 
         // Input high -> output near ground.
         let (nl, _, out) = inverter(SourceWave::Dc(VDD), 10e-15);
-        let dcv = nl.simulate(&TransientSpec::new(0.1e-9, 1e-12).unwrap()).unwrap();
+        let dcv = nl
+            .simulate(&TransientSpec::new(0.1e-9, 1e-12).unwrap())
+            .unwrap();
         assert!(dcv.initial_voltage(out).abs() < 1e-3);
     }
 
@@ -354,7 +374,9 @@ mod tests {
     fn inverter_switching_transition() {
         let wave = SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.1e-9, 0.0, VDD).unwrap());
         let (nl, _, out) = inverter(wave, 20e-15);
-        let res = nl.simulate(&TransientSpec::new(2e-9, 1e-12).unwrap()).unwrap();
+        let res = nl
+            .simulate(&TransientSpec::new(2e-9, 1e-12).unwrap())
+            .unwrap();
         let v = res.voltage(out).unwrap();
         assert!(v.value(0.0) > VDD - 0.01);
         assert!(v.value(2e-9) < 0.01);
@@ -370,7 +392,9 @@ mod tests {
         let delay_at = |cload: f64| {
             let wave = SourceWave::Pwl(Pwl::ramp(0.1e-9, 0.1e-9, 0.0, VDD).unwrap());
             let (nl, _, out) = inverter(wave, cload);
-            let res = nl.simulate(&TransientSpec::new(4e-9, 2e-12).unwrap()).unwrap();
+            let res = nl
+                .simulate(&TransientSpec::new(4e-9, 2e-12).unwrap())
+                .unwrap();
             let v = res.voltage(out).unwrap();
             measure::cross_falling(&v, VDD / 2.0).unwrap() - 0.15e-9
         };
@@ -383,7 +407,9 @@ mod tests {
     fn rising_output_uses_pmos() {
         let wave = SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.1e-9, VDD, 0.0).unwrap());
         let (nl, _, out) = inverter(wave, 20e-15);
-        let res = nl.simulate(&TransientSpec::new(3e-9, 1e-12).unwrap()).unwrap();
+        let res = nl
+            .simulate(&TransientSpec::new(3e-9, 1e-12).unwrap())
+            .unwrap();
         let v = res.voltage(out).unwrap();
         assert!(v.value(0.0) < 0.01);
         assert!(v.value(3e-9) > VDD - 0.01);
@@ -450,7 +476,9 @@ mod tests {
         nl.add_mosfet(Polarity::Pmos, d_out, inp, vdd, pp, 4e-6, 0.18e-6);
         nl.add_mosfet(Polarity::Nmos, r_out, r_in, gnd, np, 1e-6, 0.18e-6);
         nl.add_mosfet(Polarity::Pmos, r_out, r_in, vdd, pp, 2e-6, 0.18e-6);
-        let res = nl.simulate(&TransientSpec::new(4e-9, 2e-12).unwrap()).unwrap();
+        let res = nl
+            .simulate(&TransientSpec::new(4e-9, 2e-12).unwrap())
+            .unwrap();
         let v_rin = res.voltage(r_in).unwrap();
         let v_rout = res.voltage(r_out).unwrap();
         // in rises -> d_out falls -> r_in falls -> r_out rises.

@@ -151,9 +151,8 @@ mod tests {
             TimingWindow::new(0.0, 0.2e-9).unwrap(),
             TimingWindow::new(5.0e-9, 5.2e-9).unwrap(),
         );
-        let res =
-            iterate_to_fixpoint(&g, &c, |_, aggs, _| aggs.len() as f64 * 50e-12, 1e-15, 20)
-                .unwrap();
+        let res = iterate_to_fixpoint(&g, &c, |_, aggs, _| aggs.len() as f64 * 50e-12, 1e-15, 20)
+            .unwrap();
         assert_eq!(res.deltas, vec![0.0; 4]);
         assert!(res.active_couplings.is_empty());
     }
@@ -238,10 +237,7 @@ mod tests {
 
     #[test]
     fn invalid_coupling_rejected() {
-        let (g, _) = coupled_pair(
-            TimingWindow::instant(0.0),
-            TimingWindow::instant(0.0),
-        );
+        let (g, _) = coupled_pair(TimingWindow::instant(0.0), TimingWindow::instant(0.0));
         let bad = vec![NoiseCoupling {
             victim: 99,
             aggressor: 0,

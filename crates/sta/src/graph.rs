@@ -127,7 +127,8 @@ impl TimingGraph {
                             Some(a) => a.union(&wf),
                         });
                     }
-                    acc.expect("internal stage has fan-in").shifted(s.base_delay)
+                    acc.expect("internal stage has fan-in")
+                        .shifted(s.base_delay)
                 }
             };
             out.push(w.with_extra_late(deltas[i]));

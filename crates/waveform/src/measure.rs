@@ -95,9 +95,8 @@ pub fn last_crossing(w: &Pwl, level: f64, edge: Edge) -> Option<f64> {
 /// Returns [`WaveformError::MeasurementUnavailable`] if the waveform never
 /// crosses `level` in the settling direction.
 pub fn settle_crossing(w: &Pwl, level: f64, edge: Edge) -> Result<f64> {
-    last_crossing(w, level, edge).ok_or_else(|| {
-        WaveformError::unavailable(format!("no {edge} crossing of level {level}"))
-    })
+    last_crossing(w, level, edge)
+        .ok_or_else(|| WaveformError::unavailable(format!("no {edge} crossing of level {level}")))
 }
 
 /// Settling crossing with hysteresis: the delay-measurement crossing, but
@@ -167,14 +166,8 @@ pub fn transition_time(
     frac_b: f64,
 ) -> Result<f64> {
     let (la, lb) = match edge {
-        Edge::Rising => (
-            v_lo + frac_a * (v_hi - v_lo),
-            v_lo + frac_b * (v_hi - v_lo),
-        ),
-        Edge::Falling => (
-            v_hi - frac_a * (v_hi - v_lo),
-            v_hi - frac_b * (v_hi - v_lo),
-        ),
+        Edge::Rising => (v_lo + frac_a * (v_hi - v_lo), v_lo + frac_b * (v_hi - v_lo)),
+        Edge::Falling => (v_hi - frac_a * (v_hi - v_lo), v_hi - frac_b * (v_hi - v_lo)),
     };
     let ta = settle_crossing(w, la, edge)?;
     let tb = settle_crossing(w, lb, edge)?;
@@ -252,13 +245,7 @@ mod tests {
     #[test]
     fn multiple_crossings_and_settle() {
         // Rise, dip below threshold, rise again: the noisy-victim shape.
-        let w = Pwl::new(vec![
-            (0.0, 0.0),
-            (1.0, 0.8),
-            (2.0, 0.3),
-            (3.0, 1.0),
-        ])
-        .unwrap();
+        let w = Pwl::new(vec![(0.0, 0.0), (1.0, 0.8), (2.0, 0.3), (3.0, 1.0)]).unwrap();
         let ups = crossings(&w, 0.5, Edge::Rising);
         assert_eq!(ups.len(), 2);
         let settle = settle_crossing(&w, 0.5, Edge::Rising).unwrap();
@@ -329,13 +316,7 @@ mod tests {
         assert!((plain - hyst).abs() < 1e-12);
 
         // Now only the shallow dip: hysteresis keeps the FIRST crossing.
-        let w2 = Pwl::new(vec![
-            (0.0, 0.0),
-            (1.0, 0.8),
-            (1.5, 0.45),
-            (2.0, 1.0),
-        ])
-        .unwrap();
+        let w2 = Pwl::new(vec![(0.0, 0.0), (1.0, 0.8), (1.5, 0.45), (2.0, 1.0)]).unwrap();
         let plain2 = settle_crossing(&w2, 0.5, Edge::Rising).unwrap();
         let hyst2 = settle_crossing_hysteresis(&w2, 0.5, Edge::Rising, 0.1).unwrap();
         assert!(plain2 > 1.5, "plain counts the re-crossing");
@@ -348,13 +329,7 @@ mod tests {
     #[test]
     fn hysteresis_falling_edge() {
         // Falling settle with a shallow bump back above the threshold.
-        let w = Pwl::new(vec![
-            (0.0, 1.0),
-            (1.0, 0.2),
-            (1.5, 0.55),
-            (2.0, 0.0),
-        ])
-        .unwrap();
+        let w = Pwl::new(vec![(0.0, 1.0), (1.0, 0.2), (1.5, 0.55), (2.0, 0.0)]).unwrap();
         let hyst = settle_crossing_hysteresis(&w, 0.5, Edge::Falling, 0.1).unwrap();
         assert!(hyst < 1.0, "shallow bump forgiven, got {hyst}");
         let tight = settle_crossing_hysteresis(&w, 0.5, Edge::Falling, 0.01).unwrap();

@@ -51,10 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..AnalyzerConfig::default()
     };
     let paper_flow = NoiseAnalyzer::with_config(tech, cfg);
-    let thevenin = NoiseAnalyzer::with_config(
-        tech,
-        cfg.with_driver_model(DriverModelKind::Thevenin),
-    );
+    let thevenin =
+        NoiseAnalyzer::with_config(tech, cfg.with_driver_model(DriverModelKind::Thevenin));
 
     println!("interior bus bit, both neighbours switching against it");
     println!(

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("gate: {gate}");
 
     println!("\nThevenin models (rising input, 100 ps ramp):");
-    println!("{:>10} {:>10} {:>10} {:>10}", "load fF", "Rth Ω", "Δt ps", "t0 ps");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "load fF", "Rth Ω", "Δt ps", "t0 ps"
+    );
     for &load in &[5e-15, 15e-15, 40e-15, 80e-15] {
         let m = fit_thevenin(&tech, gate, Edge::Rising, 100e-12, load)?;
         println!(

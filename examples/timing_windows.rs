@@ -81,10 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let report = analyze_design(&analyzer, &nets, &couplings, 20)?;
-    println!(
-        "fixed point converged in {} round(s)",
-        report.iterations
-    );
+    println!("fixed point converged in {} round(s)", report.iterations);
     println!(
         "{:>4} {:>24} {:>14} {:>12}",
         "net", "input window (ns)", "delta (ps)", "late (ps)"

@@ -2,14 +2,14 @@
 //! analyzer.
 //!
 //! ```text
-//! clarinox block [--nets N] [--seed S] [--thevenin] [--exhaustive]
+//! clarinox block [--nets N] [--seed S] [--jobs J] [--thevenin] [--exhaustive]
 //!     analyze a generated block of coupled nets, print per-net extra
 //!     delays and summary statistics
 //!
 //! clarinox net [--seed S] [--id I] [--verbose]
 //!     analyze a single net of a generated block in detail
 //!
-//! clarinox functional [--nets N] [--seed S] [--margin MV]
+//! clarinox functional [--nets N] [--seed S] [--margin MV] [--jobs J]
 //!     run the functional (glitch) noise check over a block
 //!
 //! clarinox characterize [--strength X]
@@ -22,7 +22,7 @@
 use clarinox::cells::{Gate, Tech};
 use clarinox::core::analysis::NoiseAnalyzer;
 use clarinox::core::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
-use clarinox::core::functional::{check_functional_noise, QuietState};
+use clarinox::core::functional::{check_functional_noise_block, QuietState};
 use clarinox::netgen::generate::{generate_block, BlockConfig};
 use clarinox::numeric::stats;
 
@@ -32,11 +32,29 @@ fn arg_flag(name: &str) -> bool {
 
 fn arg_value<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return default;
+    };
+    let Some(raw) = args.get(i + 1) else {
+        eprintln!("error: {name} requires a value");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: invalid value {raw:?} for {name}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Worker-thread count: `--jobs N`, defaulting to the machine's available
+/// parallelism.
+fn arg_jobs() -> usize {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    arg_value("--jobs", default).max(1)
 }
 
 fn base_config() -> AnalyzerConfig {
@@ -50,6 +68,7 @@ fn base_config() -> AnalyzerConfig {
 fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
     let nets = arg_value("--nets", 20usize);
     let seed = arg_value("--seed", 1u64);
+    let jobs = arg_jobs();
     let tech = Tech::default_180nm();
     let mut cfg = base_config();
     if arg_flag("--thevenin") {
@@ -66,8 +85,8 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
         "net", "base (ps)", "extra (ps)", "pulse (mV)", "R_th (Ω)", "R_hold (Ω)"
     );
     let mut extras = Vec::new();
-    for spec in &block {
-        match analyzer.analyze(spec) {
+    for (spec, result) in block.iter().zip(analyzer.analyze_block(&block, jobs)) {
+        match result {
             Ok(r) => {
                 println!(
                     "{:>5} {:>12.1} {:>12.1} {:>12.0} {:>10.0} {:>10.0}",
@@ -101,9 +120,13 @@ fn cmd_net() -> Result<(), Box<dyn std::error::Error>> {
     let spec = &block[id];
     let r = analyzer.analyze(spec)?;
     println!("{r}");
-    println!("victim: {} wire {:.2} mm, receiver {} + {:.0} fF",
-        spec.victim.driver, spec.victim.wire_len * 1e3, spec.victim.receiver,
-        spec.victim.receiver_load * 1e15);
+    println!(
+        "victim: {} wire {:.2} mm, receiver {} + {:.0} fF",
+        spec.victim.driver,
+        spec.victim.wire_len * 1e3,
+        spec.victim.receiver,
+        spec.victim.receiver_load * 1e15
+    );
     for (i, (a, p)) in spec.aggressors.iter().zip(r.pulses.iter()).enumerate() {
         match p {
             Some(p) => println!(
@@ -113,15 +136,21 @@ fn cmd_net() -> Result<(), Box<dyn std::error::Error>> {
                 p.height * 1e3,
                 p.width50 * 1e12
             ),
-            None => println!("agg {i}: {} coupled {:.2} mm -> below threshold",
-                a.net.driver, a.coupling_len * 1e3),
+            None => println!(
+                "agg {i}: {} coupled {:.2} mm -> below threshold",
+                a.net.driver,
+                a.coupling_len * 1e3
+            ),
         }
     }
     if arg_flag("--verbose") {
         println!("\nnoisy receiver-input waveform (t_ns, v):");
-        for (t, v) in r.noisy_rcv.points().iter().step_by(
-            (r.noisy_rcv.points().len() / 40).max(1),
-        ) {
+        for (t, v) in r
+            .noisy_rcv
+            .points()
+            .iter()
+            .step_by((r.noisy_rcv.points().len() / 40).max(1))
+        {
             println!("  {:.3}, {:.4}", t * 1e9, v);
         }
     }
@@ -132,19 +161,21 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
     let nets = arg_value("--nets", 10usize);
     let seed = arg_value("--seed", 1u64);
     let margin_mv = arg_value("--margin", 180.0f64);
+    let jobs = arg_jobs();
     let tech = Tech::default_180nm();
     let cfg = base_config();
     let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
     let mut fails = 0usize;
-    for spec in &block {
-        for state in [QuietState::Low, QuietState::High] {
-            let r = check_functional_noise(&tech, spec, state, margin_mv * 1e-3, &cfg)?;
-            if r.glitch_in > 0.0 {
-                println!("{r}");
-            }
-            if r.fails() {
-                fails += 1;
-            }
+    let states = [QuietState::Low, QuietState::High];
+    let reports =
+        check_functional_noise_block(&tech, &block, &states, margin_mv * 1e-3, &cfg, jobs);
+    for result in reports {
+        let r = result?;
+        if r.glitch_in > 0.0 {
+            println!("{r}");
+        }
+        if r.fails() {
+            fails += 1;
         }
     }
     println!("\n{fails} functional violations at {margin_mv:.0} mV output margin");
@@ -157,11 +188,19 @@ fn cmd_characterize() -> Result<(), Box<dyn std::error::Error>> {
     let strength = arg_value("--strength", 2.0f64);
     let tech = Tech::default_180nm();
     let gate = Gate::inv(strength, &tech);
-    println!("gate {gate}: input cap {:.2} fF", gate.input_cap(&tech) * 1e15);
+    println!(
+        "gate {gate}: input cap {:.2} fF",
+        gate.input_cap(&tech) * 1e15
+    );
     println!("{:>10} {:>10} {:>10}", "load fF", "Rth Ω", "Δt ps");
     for &load in &[5e-15, 15e-15, 40e-15, 100e-15] {
         let m = fit_thevenin(&tech, gate, Edge::Rising, 120e-12, load)?;
-        println!("{:>10.0} {:>10.0} {:>10.1}", load * 1e15, m.rth, m.ramp * 1e12);
+        println!(
+            "{:>10.0} {:>10.0} {:>10.1}",
+            load * 1e15,
+            m.rth,
+            m.ramp * 1e12
+        );
     }
     Ok(())
 }

@@ -1,0 +1,88 @@
+//! Batch-analysis invariants: the parallel block engine must be a pure
+//! scheduling change (bit-identical reports, order preserved), and the
+//! shared characterization caches must not stampede under concurrency.
+
+use clarinox::cells::{Gate, Tech};
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::core::config::AnalyzerConfig;
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+use clarinox::waveform::measure::Edge;
+use std::sync::Arc;
+
+fn quick_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ceff_iterations: 3,
+        table_char: clarinox::char::alignment::AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        },
+        ..AnalyzerConfig::default()
+    }
+}
+
+#[test]
+fn parallel_block_analysis_is_bit_identical_to_serial() {
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(12), 7);
+    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+
+    let serial = analyzer.analyze_block(&nets, 1);
+    let parallel = analyzer.analyze_block(&nets, 4);
+    assert_eq!(serial.len(), nets.len());
+    assert_eq!(parallel.len(), nets.len());
+
+    for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
+        let s = s.as_ref().expect("serial analysis succeeds");
+        let p = p.as_ref().expect("parallel analysis succeeds");
+        assert_eq!(s.id, nets[i].id, "input order must be preserved");
+        assert_eq!(p.id, s.id);
+        // Debug formatting of f64 round-trips exactly, so equal renderings
+        // of the full report (waveform samples included) mean equal bits.
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "net {}: parallel report differs from serial",
+            s.id
+        );
+    }
+}
+
+#[test]
+fn alignment_table_cache_characterizes_each_key_once_under_contention() {
+    let tech = Tech::default_180nm();
+    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+    let receiver = Gate::inv(2.0, &tech);
+
+    let tables: Vec<Arc<_>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(|| {
+                    analyzer
+                        .alignment_table(receiver, Edge::Falling)
+                        .expect("characterization")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        analyzer.table_characterizations(),
+        1,
+        "concurrent first use must characterize exactly once"
+    );
+    for t in &tables[1..] {
+        assert!(
+            Arc::ptr_eq(&tables[0], t),
+            "all threads must share one table"
+        );
+    }
+    // A different key characterizes separately — and only once.
+    let _other = analyzer
+        .alignment_table(receiver, Edge::Rising)
+        .expect("characterization");
+    assert_eq!(analyzer.table_characterizations(), 2);
+}

@@ -25,8 +25,14 @@ fn quick_config() -> AnalyzerConfig {
 fn generation_is_deterministic_per_seed() {
     let tech = Tech::default_180nm();
     let cfg = BlockConfig::default().with_nets(25);
-    assert_eq!(generate_block(&tech, &cfg, 7), generate_block(&tech, &cfg, 7));
-    assert_ne!(generate_block(&tech, &cfg, 7), generate_block(&tech, &cfg, 8));
+    assert_eq!(
+        generate_block(&tech, &cfg, 7),
+        generate_block(&tech, &cfg, 7)
+    );
+    assert_ne!(
+        generate_block(&tech, &cfg, 7),
+        generate_block(&tech, &cfg, 8)
+    );
 }
 
 #[test]

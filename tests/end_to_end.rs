@@ -108,15 +108,8 @@ fn transient_holding_model_improves_on_thevenin() {
 fn quiet_aggressors_mean_no_delay_noise() {
     let tech = Tech::default_180nm();
     let spec = coupled_net(&tech);
-    let gold = gold_extra_delay(
-        &tech,
-        &spec,
-        1.5e-9,
-        &[AggressorDrive::Quiet],
-        5e-9,
-        2e-12,
-    )
-    .expect("gold quiet run");
+    let gold = gold_extra_delay(&tech, &spec, 1.5e-9, &[AggressorDrive::Quiet], 5e-9, 2e-12)
+        .expect("gold quiet run");
     assert!(gold.extra_rcv_out.abs() < 1e-12);
     assert!(gold.extra_rcv_in.abs() < 1e-12);
 }

@@ -34,7 +34,11 @@ fn opposing_aggressors_never_speed_the_victim_up() {
             spec.id,
             r.delay_noise_rcv_in * 1e12
         );
-        assert!(r.base_delay_out > 0.0, "net {}: base delay must be positive", spec.id);
+        assert!(
+            r.base_delay_out > 0.0,
+            "net {}: base delay must be positive",
+            spec.id
+        );
         assert!(r.ceff > 0.0 && r.rth > 0.0 && r.holding_r > 0.0);
     }
 }
@@ -78,7 +82,17 @@ fn exhaustive_alignment_dominates_other_objectives() {
 fn window_clamping_never_increases_delay_noise_beyond_free() {
     let tech = Tech::default_180nm();
     let nets = generate_block(&tech, &BlockConfig::default().with_nets(1), 23);
-    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+    // The dominance invariant (clamping the peak into a window cannot beat
+    // the free alignment) is only guaranteed by the objective that actually
+    // maximizes receiver-output delay. The predicted-table heuristic can
+    // miss badly for composite pulses outside the table's characterized
+    // envelope — this seed's composite is ~1.04 V against a 0.85 V height
+    // axis, and the extrapolated prediction lands past the output-delay
+    // cliff — so the assertion is made against the exhaustive objective.
+    let analyzer = NoiseAnalyzer::with_config(
+        tech,
+        quick_config().with_alignment(AlignmentObjective::ExhaustiveReceiverOutput { points: 17 }),
+    );
     let free = analyzer.analyze(&nets[0]).expect("free analysis");
     if !free.has_noise() {
         return;

@@ -6,8 +6,8 @@ use clarinox::circuit::netlist::SourceWave;
 use clarinox::circuit::spef::{parse_parasitics, write_parasitics};
 use clarinox::circuit::transient::{simulate, TransientSpec};
 use clarinox::circuit::Circuit;
-use clarinox::netgen::generate::{generate_block, BlockConfig};
 use clarinox::netgen::build_topology;
+use clarinox::netgen::generate::{generate_block, BlockConfig};
 use clarinox::waveform::Pwl;
 
 #[test]
@@ -45,8 +45,8 @@ fn roundtripped_parasitics_simulate_identically() {
                     .expect("agg node survives");
                 ckt.add_resistor(a, gnd, 800.0).expect("holding r");
             }
-            let res = simulate(&ckt, &TransientSpec::new(4e-9, 2e-12).expect("spec"))
-                .expect("transient");
+            let res =
+                simulate(&ckt, &TransientSpec::new(4e-9, 2e-12).expect("spec")).expect("transient");
             res.voltage(rcv).expect("waveform")
         };
         let orig = run(&topo.circuit, &topo.circuit);

@@ -1,0 +1,216 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! supplies the small API surface the workspace actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`]) and uniform range sampling
+//! via [`RngExt::random_range`]. The stream is fixed forever — block
+//! generation seeded with the same value must reproduce bit-identically
+//! across machines and releases — so the core is a frozen xoshiro256**
+//! with SplitMix64 seeding, not whatever the real `rand` currently ships.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly over the range.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! impl_int_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + (rng.next_u64() as $t);
+                }
+                lo + (bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_int_sample!(usize, u64, u32, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+/// Uniform in `[0, 1)` from the top 53 bits.
+fn unit_f64(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased uniform draw in `[0, bound)` by rejection.
+fn bounded_u64(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let r = rng.next_u64();
+        if r >= threshold {
+            return r % bound;
+        }
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand`'s `Rng` extension trait.
+pub trait RngExt: RngCore {
+    /// Uniform draw from `range`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::{RngExt, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let k = rng.random_range(0..10usize);
+    /// assert!(k < 10);
+    /// let x = rng.random_range(-1.0f64..1.0);
+    /// assert!((-1.0..1.0).contains(&x));
+    /// ```
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// A uniformly random boolean.
+    fn random_bool_even(&mut self) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_u64() & 1 == 1
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**
+    /// seeded through SplitMix64. Not cryptographically secure; chosen for
+    /// reproducibility and speed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, the
+            // reference method from the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0..1_000_000usize),
+                b.random_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let k = rng.random_range(3..17usize);
+            assert!((3..17).contains(&k));
+            let k = rng.random_range(5..=5usize);
+            assert_eq!(k, 5);
+            let x = rng.random_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_sampling_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..2000).map(|_| rng.random_range(0.0f64..1.0)).collect();
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo < 0.05 && hi > 0.95, "poor coverage: [{lo}, {hi}]");
+    }
+}
