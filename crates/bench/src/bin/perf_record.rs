@@ -1,33 +1,54 @@
-//! Machine-readable perf record for the parallel block-analysis engine.
+//! Machine-readable perf record for the model-provider / linear-backend
+//! layers.
 //!
-//! Measures the two wins of the batch engine on this host and prints one
-//! JSON object to stdout (checked into the repo as `BENCH_pr1.json`):
+//! Analyzes one generated block (the 300-net-style workload of
+//! `BlockConfig::default`, at a configurable net count) under all four
+//! (driver-cache × backend) variants and prints one JSON object to stdout
+//! (checked into the repo as `BENCH_pr2.json`):
 //!
-//! * `linear_path` — one aggressor simulation through the shared
-//!   [`TransientEngine`] (re-stamp + back-substitution) against the
-//!   historical assemble-and-factor-per-call path, with the LU counts
-//!   proving where the work went,
-//! * `block` — a generated block analyzed with `jobs = 1` against
-//!   `jobs = available_parallelism` (on a single-core host the two
-//!   coincide; the record captures the host's parallelism so the number
-//!   can be read in context).
+//! * per variant, the **cold** wall time (empty caches: every driver
+//!   characterized, every holding configuration prepared) and the median
+//!   **warm** wall time of re-analyzing the same block with the same
+//!   analyzer — the steady-state regime of repeated passes over a design
+//!   (refinement loops, incremental runs) where the cross-net
+//!   [`DriverLibrary`](clarinox_char::DriverLibrary) serves every corner
+//!   from cache,
+//! * the driver-library hit/build counters and hit rate,
+//! * the PRIMA macromodel build/fallback/reduced-sim counters,
+//! * a bit-identity check: the `library+full` cold pass must produce
+//!   byte-for-byte the same reports as `uncached+full` (the library's
+//!   exact corner keys guarantee it),
+//! * `library_speedup_warm`: warm `uncached+full` time over warm
+//!   `library+full` time — the headline reuse win.
 //!
-//! Usage: `cargo run --release -p clarinox-bench --bin perf_record > BENCH_pr1.json`
+//! Usage:
+//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R] > BENCH_pr2.json`
 
 use std::time::Instant;
 
-use clarinox_bench::fig2_circuit;
 use clarinox_cells::Tech;
-use clarinox_circuit::netlist::{Circuit, SourceWave};
-use clarinox_circuit::profile;
-use clarinox_circuit::transient::{simulate, TransientSpec};
 use clarinox_core::analysis::NoiseAnalyzer;
-use clarinox_core::config::AnalyzerConfig;
-use clarinox_core::models::NetModels;
-use clarinox_core::superposition::LinearNetAnalysis;
+use clarinox_core::config::{AnalyzerConfig, LinearBackendKind, ModelProviderKind};
+use clarinox_core::profile;
 use clarinox_netgen::generate::{generate_block, BlockConfig};
-use clarinox_netgen::spec::CoupledNetSpec;
-use clarinox_netgen::topology::{build_topology, NetRef};
+
+fn arg_value<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return default;
+    };
+    let Some(raw) = args.get(i + 1) else {
+        eprintln!("error: {name} requires a value");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: invalid value {raw:?} for {name}");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// Median wall time of `reps` runs of `f`, in seconds.
 fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -42,30 +63,24 @@ fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     times[times.len() / 2]
 }
 
-/// The pre-engine path: clone the skeleton, attach sources/holding
-/// resistors, assemble and LU-factor from scratch — per call.
-fn refactor_per_call(tech: &Tech, spec: &CoupledNetSpec, models: &NetModels, t_stop: f64, dt: f64) {
-    let topo = build_topology(tech, spec).expect("topology");
-    let mut ckt = topo.circuit.clone();
-    let gnd = Circuit::ground();
-    ckt.add_resistor(
-        topo.driver_port(NetRef::Victim),
-        gnd,
-        models.victim.thevenin.rth,
-    )
-    .expect("victim holding");
-    let model = models.aggressors[0].at_input_start(0.5e-9);
-    let src = ckt.fresh_node();
-    ckt.add_vsource(src, gnd, SourceWave::Pwl(model.source_wave()))
-        .expect("aggressor source");
-    ckt.add_resistor(src, topo.driver_port(NetRef::Aggressor(0)), model.rth)
-        .expect("aggressor rth");
-    let res = simulate(&ckt, &TransientSpec::new(t_stop, dt).expect("spec")).expect("simulate");
-    let _ = res.voltage(topo.victim_drv).expect("drv");
-    let _ = res.voltage(topo.victim_rcv).expect("rcv");
+/// One measured (cache × backend) variant.
+struct Variant {
+    label: &'static str,
+    cold_s: f64,
+    warm_s: f64,
+    library_builds: usize,
+    library_hits: usize,
+    hit_rate: f64,
+    prima_rom_builds: u64,
+    prima_fallbacks: u64,
+    prima_reduced_sims: u64,
+    /// Debug rendering of the cold-pass reports, for bit-identity checks.
+    reports: String,
 }
 
 fn main() {
+    let nets = arg_value("--nets", 10usize);
+    let reps = arg_value("--reps", 3usize).max(1);
     let tech = Tech::default_180nm();
     let cfg = AnalyzerConfig {
         dt: 2e-12,
@@ -75,97 +90,112 @@ fn main() {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-
-    // --- linear path: engine reuse vs refactor per call --------------------
-    // Two extraction granularities: the coarse Figure-2 net (4 RC segments
-    // per wire) and the same net at a finer, extraction-typical granularity.
-    // The engine's sparse per-step work scales linearly with circuit size
-    // where the baseline's dense sweeps scale quadratically, so the win
-    // grows with segment count.
-    let coarse = fig2_circuit(&tech);
-    let mut fine = fig2_circuit(&tech);
-    fine.victim.segments = 12;
-    for a in &mut fine.aggressors {
-        a.net.segments = 12;
-    }
-
-    let mut lu_baseline_per_call = 0;
-    let mut lu_engine_build = 0;
-    let mut lu_engine_warm_per_call = 0;
-    let mut paths = Vec::new();
-    for (label, spec) in [("4_segments", &coarse), ("12_segments", &fine)] {
-        let models = NetModels::characterize(&tech, spec, cfg.ceff_iterations).expect("models");
-        let lin = LinearNetAnalysis::new(&tech, spec, &models, &cfg).expect("linear setup");
-        let (t_stop, dt) = (lin.t_stop, lin.dt);
-
-        // LU accounting: the baseline factors per call; the engine factors
-        // once per holding configuration and never again on the warm path.
-        profile::reset_lu_factorizations();
-        refactor_per_call(&tech, spec, &models, t_stop, dt);
-        lu_baseline_per_call = profile::reset_lu_factorizations();
-        let _ = lin.aggressor_noise(0, 0.5e-9).expect("engine warmup");
-        lu_engine_build = profile::reset_lu_factorizations();
-        let _ = lin.aggressor_noise(0, 0.5e-9).expect("warm run");
-        lu_engine_warm_per_call = profile::reset_lu_factorizations();
-
-        let reps = 7;
-        let t_refactor = median_secs(reps, || refactor_per_call(&tech, spec, &models, t_stop, dt));
-        let t_engine = median_secs(reps, || {
-            let _ = lin.aggressor_noise(0, 0.5e-9).expect("noise");
-        });
-        paths.push((label, t_refactor, t_engine));
-    }
-
-    // --- block throughput: jobs=1 vs jobs=hw -------------------------------
-    let analyzer = NoiseAnalyzer::with_config(tech, cfg);
-    let nets = 6usize;
     let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), 11);
-    // Full warmup pass: characterize every alignment-table key the block
-    // needs, so both timed variants measure steady-state throughput.
-    let _ = analyzer.analyze_block(&block, 1);
-    let block_reps = 3;
-    let t_jobs1 = median_secs(block_reps, || {
-        let _ = analyzer.analyze_block(&block, 1);
-    });
-    let t_jobsn = median_secs(block_reps, || {
-        let _ = analyzer.analyze_block(&block, hw);
-    });
 
-    // LU factorizations across the whole flow, per net. This includes the
-    // linear sims of model characterization (C-effective, R_t extraction),
-    // not just the superposition loop — the loop itself costs 2 per holding
-    // configuration (see the linear_path engine counters above).
-    profile::reset_lu_factorizations();
-    let _ = analyzer.analyze_block(&block, 1);
-    let lu_per_net = profile::reset_lu_factorizations() as f64 / nets as f64;
+    let variants = [
+        (
+            "uncached_full",
+            ModelProviderKind::Uncached,
+            LinearBackendKind::FullMna,
+        ),
+        (
+            "library_full",
+            ModelProviderKind::Library,
+            LinearBackendKind::FullMna,
+        ),
+        (
+            "uncached_prima",
+            ModelProviderKind::Uncached,
+            LinearBackendKind::prima(),
+        ),
+        (
+            "library_prima",
+            ModelProviderKind::Library,
+            LinearBackendKind::prima(),
+        ),
+    ];
+
+    let mut measured: Vec<Variant> = Vec::new();
+    for (label, provider, backend) in variants {
+        let analyzer = NoiseAnalyzer::with_config(
+            tech,
+            cfg.with_model_provider(provider)
+                .with_linear_backend(backend),
+        );
+        profile::reset_prima_counters();
+        let mut reports = String::new();
+        // Cold: empty driver library, empty alignment-table cache, all
+        // backend configurations prepared from scratch. Serial, so every
+        // variant measures the same schedule.
+        let cold_s = median_secs(1, || {
+            reports = format!("{:?}", analyzer.analyze_block(&block, 1));
+        });
+        // Warm: the same analyzer re-runs the block; with the library
+        // provider every corner is now a cache hit.
+        let warm_s = median_secs(reps, || {
+            let _ = analyzer.analyze_block(&block, 1);
+        });
+        let (rom_builds, fallbacks, reduced_sims) = profile::reset_prima_counters();
+        let stats = analyzer.provider_stats();
+        measured.push(Variant {
+            label,
+            cold_s,
+            warm_s,
+            library_builds: stats.builds,
+            library_hits: stats.hits,
+            hit_rate: stats.hit_rate(),
+            prima_rom_builds: rom_builds,
+            prima_fallbacks: fallbacks,
+            prima_reduced_sims: reduced_sims,
+            reports,
+        });
+    }
+
+    let by_label = |l: &str| {
+        measured
+            .iter()
+            .find(|v| v.label == l)
+            .expect("variant measured")
+    };
+    let uncached_full = by_label("uncached_full");
+    let library_full = by_label("library_full");
+    let bit_identical = uncached_full.reports == library_full.reports;
+    let library_speedup_warm = uncached_full.warm_s / library_full.warm_s;
 
     println!("{{");
-    println!("  \"schema\": \"clarinox-perf-record/1\",");
+    println!("  \"schema\": \"clarinox-perf-record/2\",");
     println!("  \"host_parallelism\": {hw},");
-    println!("  \"linear_path\": {{");
-    for (label, t_refactor, t_engine) in &paths {
-        println!("    \"{label}\": {{");
-        println!("      \"refactor_per_call_s\": {t_refactor:.6},");
-        println!("      \"engine_reuse_s\": {t_engine:.6},");
-        println!("      \"speedup\": {:.3}", t_refactor / t_engine);
-        println!("    }},");
+    println!("  \"nets\": {nets},");
+    println!("  \"warm_reps\": {reps},");
+    println!("  \"variants\": {{");
+    for (i, v) in measured.iter().enumerate() {
+        let comma = if i + 1 == measured.len() { "" } else { "," };
+        println!("    \"{}\": {{", v.label);
+        println!("      \"cold_s\": {:.6},", v.cold_s);
+        println!("      \"warm_s\": {:.6},", v.warm_s);
+        println!(
+            "      \"nets_per_sec_cold\": {:.3},",
+            nets as f64 / v.cold_s
+        );
+        println!(
+            "      \"nets_per_sec_warm\": {:.3},",
+            nets as f64 / v.warm_s
+        );
+        println!("      \"library_builds\": {},", v.library_builds);
+        println!("      \"library_hits\": {},", v.library_hits);
+        println!("      \"library_hit_rate\": {:.4},", v.hit_rate);
+        println!("      \"prima_rom_builds\": {},", v.prima_rom_builds);
+        println!("      \"prima_fallbacks\": {},", v.prima_fallbacks);
+        println!("      \"prima_reduced_sims\": {}", v.prima_reduced_sims);
+        println!("    }}{comma}");
     }
-    println!("    \"lu_factorizations_baseline_per_sim\": {lu_baseline_per_call},");
-    println!("    \"lu_factorizations_engine_build\": {lu_engine_build},");
-    println!("    \"lu_factorizations_engine_warm_per_sim\": {lu_engine_warm_per_call}");
     println!("  }},");
-    println!("  \"block\": {{");
-    println!("    \"nets\": {nets},");
-    println!("    \"jobs1_s\": {t_jobs1:.6},");
-    println!("    \"jobsN_s\": {t_jobsn:.6},");
-    println!("    \"nets_per_sec_serial\": {:.3},", nets as f64 / t_jobs1);
-    println!(
-        "    \"nets_per_sec_parallel\": {:.3},",
-        nets as f64 / t_jobsn
-    );
-    println!("    \"jobs\": {hw},");
-    println!("    \"speedup\": {:.3},", t_jobs1 / t_jobsn);
-    println!("    \"lu_factorizations_per_net\": {lu_per_net:.1}");
-    println!("  }}");
+    println!("  \"library_full_bit_identical_to_uncached_full\": {bit_identical},");
+    println!("  \"library_speedup_warm\": {library_speedup_warm:.3}");
     println!("}}");
+
+    if !bit_identical {
+        eprintln!("error: library+full reports diverged from uncached+full");
+        std::process::exit(1);
+    }
 }

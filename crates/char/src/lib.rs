@@ -18,7 +18,10 @@
 //!   alignment-voltage table** (2 pulse widths × 2 pulse heights × 2 victim
 //!   edge rates, at minimum receiver load) from which the worst-case
 //!   alignment of a composite noise pulse against the victim transition is
-//!   predicted by interpolation (Section 3.2).
+//!   predicted by interpolation (Section 3.2),
+//! * [`library`] — the cross-net [`DriverLibrary`]: each (gate, edge, ramp,
+//!   load-corner) characterization runs once and is shared, bit-identical,
+//!   by every net that asks again.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 
 pub mod alignment;
 pub mod ceff;
+pub mod library;
 pub mod tables;
 pub mod thevenin;
 
@@ -46,6 +50,7 @@ mod error;
 pub use alignment::{AlignmentProbe, AlignmentTable};
 pub use ceff::{effective_capacitance, LoadNetwork};
 pub use error::CharError;
+pub use library::{CharacterizedDriver, DriverCorner, DriverLibrary};
 pub use thevenin::{fit_thevenin, TheveninModel};
 
 /// Crate-wide result alias.

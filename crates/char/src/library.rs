@@ -1,0 +1,330 @@
+//! Cross-net driver-model library: characterize each corner once, reuse
+//! everywhere.
+//!
+//! A block of coupled nets draws its drivers from a small standard-cell
+//! library, so the expensive non-linear characterization (C-effective
+//! iteration wrapped around Thevenin fitting) keeps being asked the same
+//! questions: *this* gate, at *this* input ramp, into *this* load. The
+//! [`DriverLibrary`] caches the answers behind a
+//! [`KeyedOnceCache`], keyed by the characterization-relevant corner:
+//!
+//! * gate kind, drive strength, and P/N ratio,
+//! * input edge and input ramp,
+//! * the load, as a **quantized effective-load bucket** (the coarse corner
+//!   axis, attofarad resolution) *plus* an exact structural fingerprint of
+//!   the RC load network.
+//!
+//! The exact fingerprint is what lets a cached model be substituted for a
+//! fresh characterization **bit for bit**: a hit is only declared when
+//! every input of the characterization is identical, so analysis results
+//! cannot depend on whether the cache was warm. The quantized bucket keys
+//! the corner conceptually (and leads the `Hash`), the fingerprint keeps it
+//! honest.
+//!
+//! Concurrent first users of one corner serialize on its cache slot —
+//! exactly one characterization runs, the rest share the `Arc` — while
+//! different corners characterize in parallel (see
+//! [`clarinox_numeric::sync`]).
+
+use crate::ceff::{effective_capacitance, LoadNetwork};
+use crate::thevenin::{fit_thevenin, TheveninModel};
+use crate::Result;
+use clarinox_cells::{Gate, Tech};
+use clarinox_circuit::netlist::Element;
+use clarinox_numeric::sync::KeyedOnceCache;
+use clarinox_waveform::measure::Edge;
+use std::sync::Arc;
+
+/// Quantization step of the effective-load corner axis (farads): 1 aF,
+/// fine enough that distinct extraction results land in distinct buckets,
+/// coarse enough that a bucket is a meaningful corner label.
+const LOAD_QUANTUM: f64 = 1e-18;
+
+/// One R/C element of a load network, reduced to the values that determine
+/// its MNA stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ElementSig {
+    /// Resistor (node a, node b, ohms bit pattern).
+    R(u32, u32, u64),
+    /// Capacitor (node a, node b, farads bit pattern).
+    C(u32, u32, u64),
+}
+
+/// A characterization corner: everything
+/// [`DriverLibrary::characterize`] depends on, so equal corners are
+/// guaranteed to characterize to bit-identical models.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DriverCorner {
+    gate_kind: clarinox_cells::GateKind,
+    strength_bits: u64,
+    pn_ratio_bits: u64,
+    input_edge: Edge,
+    input_ramp_bits: u64,
+    ceff_iterations: usize,
+    /// Quantized total (upper-bound effective) load — the coarse bucket of
+    /// the corner.
+    load_bucket: u64,
+    /// Exact load-network fingerprint: port node, node count, and every
+    /// R/C element in insertion order.
+    load_port: u32,
+    load_nodes: u32,
+    load_elements: Arc<[ElementSig]>,
+}
+
+impl DriverCorner {
+    /// The corner of characterizing `gate` (input `edge`, 0–100% input
+    /// `ramp` seconds) against `load` with the given C-effective iteration
+    /// budget.
+    pub fn new(
+        gate: Gate,
+        edge: Edge,
+        ramp: f64,
+        load: &LoadNetwork,
+        ceff_iterations: usize,
+    ) -> Self {
+        let elements: Vec<ElementSig> = load
+            .circuit
+            .elements()
+            .iter()
+            .filter_map(|e| match e {
+                Element::Resistor { a, b, ohms } => Some(ElementSig::R(
+                    a.index() as u32,
+                    b.index() as u32,
+                    ohms.to_bits(),
+                )),
+                Element::Capacitor { a, b, farads } => Some(ElementSig::C(
+                    a.index() as u32,
+                    b.index() as u32,
+                    farads.to_bits(),
+                )),
+                // Load networks are R/C only; any source would be rejected
+                // downstream, so it cannot silently alias a pure-RC corner.
+                _ => None,
+            })
+            .collect();
+        DriverCorner {
+            gate_kind: gate.kind,
+            strength_bits: gate.strength.to_bits(),
+            pn_ratio_bits: gate.pn_ratio.to_bits(),
+            input_edge: edge,
+            input_ramp_bits: ramp.to_bits(),
+            ceff_iterations,
+            load_bucket: (load.total_cap() / LOAD_QUANTUM).round() as u64,
+            load_port: load.port.index() as u32,
+            load_nodes: load.circuit.node_count() as u32,
+            load_elements: elements.into(),
+        }
+    }
+
+    /// The quantized effective-load bucket (multiples of 1 aF).
+    pub fn load_bucket(&self) -> u64 {
+        self.load_bucket
+    }
+}
+
+/// A driver characterization as cached: the converged effective
+/// capacitance and the Thevenin model fitted at it, still in the
+/// characterization fixture's time frame (callers re-base `t0` to their
+/// own input-start convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CharacterizedDriver {
+    /// Converged effective capacitance (farads).
+    pub ceff: f64,
+    /// Thevenin model fitted at `ceff`, fixture time frame.
+    pub model: TheveninModel,
+}
+
+/// Cross-net cache of driver characterizations for one technology.
+///
+/// Shared (behind an `Arc`) by every analysis that should reuse models:
+/// the block analyzer's worker threads, repeated passes over a design, and
+/// the functional-noise flow checking both quiet states of the same nets.
+#[derive(Debug)]
+pub struct DriverLibrary {
+    tech: Tech,
+    cache: KeyedOnceCache<DriverCorner, CharacterizedDriver>,
+}
+
+impl DriverLibrary {
+    /// Creates an empty library for `tech`.
+    pub fn new(tech: Tech) -> Self {
+        DriverLibrary {
+            tech,
+            cache: KeyedOnceCache::new(),
+        }
+    }
+
+    /// The technology the library characterizes against.
+    pub fn tech(&self) -> &Tech {
+        &self.tech
+    }
+
+    /// Characterizes `gate` driving `load` (input `edge`, 0–100% `ramp`
+    /// seconds) with the C-effective iteration, or returns the cached
+    /// result of an identical earlier characterization.
+    ///
+    /// The computation on a miss is exactly
+    /// [`effective_capacitance`] over [`fit_thevenin`] — the same call the
+    /// uncached flow makes — so hit or miss, the returned model is
+    /// bit-identical to characterizing from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Characterization failures; a failed corner is retried on the next
+    /// request.
+    pub fn characterize(
+        &self,
+        gate: Gate,
+        edge: Edge,
+        ramp: f64,
+        load: &LoadNetwork,
+        ceff_iterations: usize,
+    ) -> Result<Arc<CharacterizedDriver>> {
+        let corner = DriverCorner::new(gate, edge, ramp, load, ceff_iterations);
+        self.cache.get_or_try_build(corner, || {
+            let res = effective_capacitance(
+                |c| fit_thevenin(&self.tech, gate, edge, ramp, c),
+                load,
+                ceff_iterations,
+            )?;
+            Ok(CharacterizedDriver {
+                ceff: res.ceff,
+                model: res.model,
+            })
+        })
+    }
+
+    /// Number of characterizations actually performed (cache misses).
+    pub fn builds(&self) -> usize {
+        self.cache.builds()
+    }
+
+    /// Number of requests served from the cache.
+    pub fn hits(&self) -> usize {
+        self.cache.hits()
+    }
+
+    /// Number of distinct corners seen.
+    pub fn corners(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_circuit::netlist::Circuit;
+
+    fn load(c_near: f64, c_far: f64) -> LoadNetwork {
+        let mut ckt = Circuit::new();
+        let port = ckt.node("port");
+        let far = ckt.node("far");
+        let gnd = Circuit::ground();
+        ckt.add_capacitor(port, gnd, c_near).unwrap();
+        ckt.add_resistor(port, far, 300.0).unwrap();
+        ckt.add_capacitor(far, gnd, c_far).unwrap();
+        LoadNetwork { circuit: ckt, port }
+    }
+
+    #[test]
+    fn same_corner_characterizes_once_and_is_bit_identical() {
+        let tech = Tech::default_180nm();
+        let lib = DriverLibrary::new(tech);
+        let gate = Gate::inv(2.0, &tech);
+        let net = load(10e-15, 30e-15);
+
+        let a = lib
+            .characterize(gate, Edge::Rising, 100e-12, &net, 4)
+            .unwrap();
+        let b = lib
+            .characterize(gate, Edge::Rising, 100e-12, &net, 4)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((lib.builds(), lib.hits(), lib.corners()), (1, 1, 1));
+
+        // The cached result carries the exact bits of the direct call.
+        let direct = effective_capacitance(
+            |c| fit_thevenin(&tech, gate, Edge::Rising, 100e-12, c),
+            &net,
+            4,
+        )
+        .unwrap();
+        assert_eq!(a.ceff.to_bits(), direct.ceff.to_bits());
+        assert_eq!(a.model, direct.model);
+    }
+
+    #[test]
+    fn distinct_corners_characterize_separately() {
+        let tech = Tech::default_180nm();
+        let lib = DriverLibrary::new(tech);
+        let gate = Gate::inv(2.0, &tech);
+        let net = load(10e-15, 30e-15);
+
+        let a = lib
+            .characterize(gate, Edge::Rising, 100e-12, &net, 4)
+            .unwrap();
+        // Different edge, ramp, gate, iteration budget, or load: new corner.
+        for (g, e, r, it, l) in [
+            (gate, Edge::Falling, 100e-12, 4, load(10e-15, 30e-15)),
+            (gate, Edge::Rising, 120e-12, 4, load(10e-15, 30e-15)),
+            (
+                Gate::inv(4.0, &tech),
+                Edge::Rising,
+                100e-12,
+                4,
+                load(10e-15, 30e-15),
+            ),
+            (gate, Edge::Rising, 100e-12, 3, load(10e-15, 30e-15)),
+            (gate, Edge::Rising, 100e-12, 4, load(10e-15, 31e-15)),
+        ] {
+            let b = lib.characterize(g, e, r, &l, it).unwrap();
+            assert!(!Arc::ptr_eq(&a, &b));
+        }
+        assert_eq!(lib.builds(), 6);
+        assert_eq!(lib.hits(), 0);
+    }
+
+    #[test]
+    fn equal_load_structure_is_one_corner_even_via_rebuild() {
+        // Two LoadNetwork instances built the same way are the same corner
+        // — the fingerprint is structural, not pointer identity.
+        let tech = Tech::default_180nm();
+        let lib = DriverLibrary::new(tech);
+        let gate = Gate::inv(2.0, &tech);
+        let a = lib
+            .characterize(gate, Edge::Rising, 100e-12, &load(10e-15, 30e-15), 4)
+            .unwrap();
+        let b = lib
+            .characterize(gate, Edge::Rising, 100e-12, &load(10e-15, 30e-15), 4)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(lib.builds(), 1);
+    }
+
+    #[test]
+    fn corner_exposes_quantized_bucket() {
+        let net = load(10e-15, 30e-15);
+        let tech = Tech::default_180nm();
+        let corner = DriverCorner::new(Gate::inv(2.0, &tech), Edge::Rising, 100e-12, &net, 4);
+        // 40 fF = 40_000 aF.
+        assert_eq!(corner.load_bucket(), 40_000);
+    }
+
+    #[test]
+    fn contended_corner_characterizes_once() {
+        let tech = Tech::default_180nm();
+        let lib = Arc::new(DriverLibrary::new(tech));
+        let gate = Gate::inv(2.0, &tech);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let lib = Arc::clone(&lib);
+                s.spawn(move || {
+                    lib.characterize(gate, Edge::Rising, 100e-12, &load(10e-15, 30e-15), 3)
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(lib.builds(), 1);
+        assert_eq!(lib.hits(), 3);
+    }
+}

@@ -6,6 +6,8 @@ use crate::alignment::{
 use crate::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
 use crate::holding::extract_rt;
 use crate::models::NetModels;
+use crate::par::KeyedOnceCache;
+use crate::provider::{provider_for, ModelProvider, ProviderStats};
 use crate::superposition::LinearNetAnalysis;
 use crate::Result;
 use clarinox_cells::{Gate, GateKind, Tech};
@@ -14,9 +16,7 @@ use clarinox_netgen::spec::CoupledNetSpec;
 use clarinox_sta::window::TimingWindow;
 use clarinox_waveform::measure::{settle_crossing_hysteresis, Edge};
 use clarinox_waveform::{CompositePulse, NoisePulse, Pwl};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Noise pulses smaller than this (volts) are ignored as aggressor
 /// contributions.
@@ -84,23 +84,18 @@ impl NetReport {
 /// Cache key for alignment tables: receiver gate identity + victim edge.
 type TableKey = (GateKind, u64, u64, Edge);
 
-/// One cache slot: the inner mutex serializes characterization of this key
-/// so concurrent first users do not stampede — exactly one thread runs the
-/// (expensive) characterization while the others wait on the slot and then
-/// share the resulting `Arc`.
-type TableSlot = Arc<Mutex<Option<Arc<AlignmentTable>>>>;
-
-/// The analysis engine: technology + configuration + pre-characterization
-/// caches. All methods take `&self`; the analyzer is shared freely across
-/// the worker threads of [`NoiseAnalyzer::analyze_block`].
+/// The analysis engine: technology + configuration + model provider +
+/// pre-characterization caches. All methods take `&self`; the analyzer is
+/// shared freely across the worker threads of
+/// [`NoiseAnalyzer::analyze_block`].
 #[derive(Debug)]
 pub struct NoiseAnalyzer {
     tech: Tech,
     config: AnalyzerConfig,
-    tables: Mutex<HashMap<TableKey, TableSlot>>,
-    /// Number of alignment-table characterizations actually performed
-    /// (cache misses), for observability and stampede tests.
-    characterizations: AtomicUsize,
+    /// Where driver models come from (see [`crate::provider`]).
+    provider: Arc<dyn ModelProvider>,
+    /// Alignment tables, characterized once per `(receiver, edge)` key.
+    tables: KeyedOnceCache<TableKey, AlignmentTable>,
 }
 
 impl NoiseAnalyzer {
@@ -109,14 +104,25 @@ impl NoiseAnalyzer {
         NoiseAnalyzer::with_config(tech, AnalyzerConfig::default())
     }
 
-    /// Creates an analyzer with an explicit configuration.
+    /// Creates an analyzer with an explicit configuration; the model
+    /// provider is built from
+    /// [`AnalyzerConfig::model_provider`](crate::config::AnalyzerConfig).
     pub fn with_config(tech: Tech, config: AnalyzerConfig) -> Self {
+        let provider = provider_for(config.model_provider, &tech);
         NoiseAnalyzer {
             tech,
             config,
-            tables: Mutex::new(HashMap::new()),
-            characterizations: AtomicUsize::new(0),
+            provider,
+            tables: KeyedOnceCache::new(),
         }
+    }
+
+    /// Same analyzer with an explicit (possibly shared, possibly warm)
+    /// model provider — e.g. one [`crate::provider::Library`] serving
+    /// several analyzers.
+    pub fn with_provider(mut self, provider: Arc<dyn ModelProvider>) -> Self {
+        self.provider = provider;
+        self
     }
 
     /// The technology.
@@ -129,11 +135,22 @@ impl NoiseAnalyzer {
         &self.config
     }
 
+    /// The model provider.
+    pub fn provider(&self) -> &Arc<dyn ModelProvider> {
+        &self.provider
+    }
+
+    /// Cache statistics of the model provider (all-zero for the uncached
+    /// provider).
+    pub fn provider_stats(&self) -> ProviderStats {
+        self.provider.stats()
+    }
+
     /// Number of alignment-table characterizations performed so far (cache
     /// misses; stays at one per distinct `(receiver, edge)` key no matter
     /// how many threads race on first use).
     pub fn table_characterizations(&self) -> usize {
-        self.characterizations.load(Ordering::Relaxed)
+        self.tables.builds()
     }
 
     /// The 8-point alignment table for `receiver`/`victim_edge`,
@@ -161,29 +178,19 @@ impl NoiseAnalyzer {
             receiver.pn_ratio.to_bits(),
             victim_edge,
         );
-        let slot: TableSlot = {
-            let mut map = self.tables.lock().unwrap_or_else(|e| e.into_inner());
-            Arc::clone(map.entry(key).or_default())
-        };
-        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(t) = guard.as_ref() {
-            return Ok(Arc::clone(t));
-        }
-        let c = &self.config;
-        let table = AlignmentTable::characterize(
-            &self.tech,
-            receiver,
-            victim_edge,
-            c.table_width_axis,
-            c.table_height_axis,
-            c.table_slew_axis,
-            c.table_min_load,
-            &c.table_char,
-        )?;
-        self.characterizations.fetch_add(1, Ordering::Relaxed);
-        let arc = Arc::new(table);
-        *guard = Some(Arc::clone(&arc));
-        Ok(arc)
+        self.tables.get_or_try_build(key, || {
+            let c = &self.config;
+            Ok(AlignmentTable::characterize(
+                &self.tech,
+                receiver,
+                victim_edge,
+                c.table_width_axis,
+                c.table_height_axis,
+                c.table_slew_axis,
+                c.table_min_load,
+                &c.table_char,
+            )?)
+        })
     }
 
     /// Analyzes a block of nets, fanning them across `jobs` worker threads
@@ -221,7 +228,9 @@ impl NoiseAnalyzer {
         peak_window: Option<TimingWindow>,
     ) -> Result<NetReport> {
         let cfg = &self.config;
-        let models = NetModels::characterize(&self.tech, spec, cfg.ceff_iterations)?;
+        let models = self
+            .provider
+            .net_models(&self.tech, spec, cfg.ceff_iterations)?;
         let mut lin = LinearNetAnalysis::new(&self.tech, spec, &models, cfg)?;
         let victim_edge = spec.victim.wire_edge();
         let noiseless = lin.noiseless(cfg.victim_input_start)?;

@@ -1,0 +1,513 @@
+//! Pluggable linear transient backends for the superposition flow.
+//!
+//! [`LinearNetAnalysis`](crate::superposition::LinearNetAnalysis) asks one
+//! question of its backend, over and over: *with this holding
+//! configuration, what do the victim's driver-output and receiver-input
+//! nodes do when this one driver switches?* The backends answer it two
+//! ways:
+//!
+//! * [`FullMna`] — the unified circuit (every driver a source behind a
+//!   series resistance) factored once per holding configuration by the
+//!   shared [`TransientEngine`]; the reference path, and the default.
+//! * [`PrimaReduced`] — a PRIMA macromodel per holding configuration,
+//!   simulated in its reduced state space. A **build-time guardrail**
+//!   compares the reduced model's DC port-resistance matrix (the zeroth
+//!   admittance moment, which PRIMA matches exactly in theory) against the
+//!   full network and degrades the configuration to the full-MNA path when
+//!   the check misses tolerance, the reduction fails, or the net is too
+//!   small to profit.
+//!
+//! Both cache prepared configurations in a
+//! [`KeyedOnceCache`] keyed by the victim's series-resistance bit pattern —
+//! the only resistance that changes between holding configurations (the
+//! `R_th` → `R_t` refinement of paper Section 2).
+//!
+//! # The reduced simulation runs in deviation form
+//!
+//! The full-MNA engine initializes at the DC operating point: sources at
+//! their `t = 0` values, capacitors open. A reduced model simulated from a
+//! zero state would disagree whenever the active source starts at a rail
+//! (every falling-output driver starts at `vdd`): the ROM would see a
+//! spurious rail-to-ground step at `t = 0`. The backend therefore drives
+//! the ROM with the *deviation* current `u(t) = (v(t) − v(0)) / R` from a
+//! zero state — exact for an LTI network — and adds the DC baseline back at
+//! the probes. With the victim active, the victim net floats at the
+//! source's `t = 0` value at DC (capacitors block DC, quiet drivers hold
+//! other nets at 0), so the baseline is `v(0)`; with an aggressor active,
+//! the victim's quiet driver pins its net to 0 and the baseline vanishes.
+
+use crate::config::LinearBackendKind;
+use crate::superposition::DriverSimResult;
+use crate::{profile, Result};
+use clarinox_circuit::engine::TransientEngine;
+use clarinox_circuit::netlist::{Circuit, NodeId, SourceWave, VsourceId};
+use clarinox_circuit::transient::TransientSpec;
+use clarinox_mor::{RcPorts, ReducedModel};
+use clarinox_netgen::topology::NetTopology;
+use clarinox_numeric::sync::KeyedOnceCache;
+use clarinox_waveform::Pwl;
+
+/// A linear transient backend: simulates one driver switching on the
+/// coupled-net skeleton with every other driver shorted through its
+/// holding resistance.
+///
+/// `slot` selects the active driver (0 = victim, `i + 1` = aggressor `i`),
+/// `source` is its positioned Thevenin source waveform, and `victim_r` is
+/// the victim's series resistance in this holding configuration (its
+/// `R_th` when active, the — possibly refined — holding value otherwise).
+/// Aggressors always sit behind their own `R_th`.
+pub trait LinearBackend: std::fmt::Debug + Send + Sync {
+    /// Simulates the configuration, returning the victim driver-output and
+    /// receiver-input waveforms.
+    ///
+    /// # Errors
+    ///
+    /// Preparation (factorization/reduction) or simulation failures.
+    fn simulate(&self, slot: usize, source: &Pwl, victim_r: f64) -> Result<DriverSimResult>;
+
+    /// Short stable name, for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Number of holding configurations prepared so far (factorizations
+    /// for [`FullMna`]; macromodel build attempts — including degraded
+    /// ones, plus any fallback factorizations — for [`PrimaReduced`]).
+    fn configurations_built(&self) -> usize;
+}
+
+/// Builds the backend selected by `kind` for one coupled net.
+///
+/// `agg_rths` are the aggressor Thevenin resistances in spec order; `dt`
+/// and `t_stop` fix the shared simulation grid.
+pub fn backend_for(
+    kind: LinearBackendKind,
+    topo: &NetTopology,
+    agg_rths: Vec<f64>,
+    dt: f64,
+    t_stop: f64,
+) -> Box<dyn LinearBackend> {
+    match kind {
+        LinearBackendKind::FullMna => Box::new(FullMna::new(topo, agg_rths, dt, t_stop)),
+        LinearBackendKind::PrimaReduced {
+            arnoldi_blocks,
+            dc_tolerance,
+            min_nodes,
+        } => Box::new(PrimaReduced::new(
+            topo,
+            agg_rths,
+            dt,
+            t_stop,
+            arnoldi_blocks,
+            dc_tolerance,
+            min_nodes,
+        )),
+    }
+}
+
+/// One prepared full-MNA holding configuration: the engine factored for it
+/// plus the circuit template whose source waves are swapped per run.
+#[derive(Debug)]
+struct EngineEntry {
+    engine: TransientEngine,
+    /// The circuit the engine was built from, all sources quiet.
+    template: Circuit,
+    /// Per-net source handle, victim first.
+    sources: Vec<VsourceId>,
+}
+
+/// The reference backend: the unified circuit simulated by the shared
+/// [`TransientEngine`], one factorization per holding configuration.
+#[derive(Debug)]
+pub struct FullMna {
+    /// The passive skeleton (no driver attachments).
+    skeleton: Circuit,
+    /// Driver ports, victim first.
+    ports: Vec<NodeId>,
+    probe_drv: NodeId,
+    probe_rcv: NodeId,
+    agg_rths: Vec<f64>,
+    dt: f64,
+    t_stop: f64,
+    engines: KeyedOnceCache<u64, EngineEntry>,
+}
+
+impl FullMna {
+    /// Prepares the backend for one coupled net (no factorization yet).
+    pub fn new(topo: &NetTopology, agg_rths: Vec<f64>, dt: f64, t_stop: f64) -> Self {
+        FullMna {
+            skeleton: topo.circuit.clone(),
+            ports: topo.all_driver_ports(),
+            probe_drv: topo.victim_drv,
+            probe_rcv: topo.victim_rcv,
+            agg_rths,
+            dt,
+            t_stop,
+            engines: KeyedOnceCache::new(),
+        }
+    }
+
+    /// Series resistance of port `p` in the configuration with the given
+    /// victim resistance.
+    fn port_r(&self, p: usize, victim_r: f64) -> f64 {
+        if p == 0 {
+            victim_r
+        } else {
+            self.agg_rths[p - 1]
+        }
+    }
+
+    /// Builds the unified circuit for one holding configuration: every
+    /// driver becomes a source node + voltage source (quiet) + series
+    /// resistor, victim first — the exact construction order the
+    /// pre-backend code used, so node numbering and therefore every
+    /// simulated bit is preserved.
+    fn build_entry(&self, victim_r: f64) -> Result<EngineEntry> {
+        let mut ckt = self.skeleton.clone();
+        let gnd = Circuit::ground();
+        let mut sources = Vec::new();
+        for (p, &port) in self.ports.iter().enumerate() {
+            let src = ckt.fresh_node();
+            sources.push(ckt.add_vsource(src, gnd, SourceWave::shorted())?);
+            ckt.add_resistor(src, port, self.port_r(p, victim_r))?;
+        }
+        let engine = TransientEngine::new(&ckt, &TransientSpec::new(self.t_stop, self.dt)?)?;
+        Ok(EngineEntry {
+            engine,
+            template: ckt,
+            sources,
+        })
+    }
+}
+
+impl LinearBackend for FullMna {
+    fn simulate(&self, slot: usize, source: &Pwl, victim_r: f64) -> Result<DriverSimResult> {
+        let entry = self
+            .engines
+            .get_or_try_build(victim_r.to_bits(), || self.build_entry(victim_r))?;
+        let mut ckt = entry.template.clone();
+        ckt.set_vsource_wave(entry.sources[slot], SourceWave::Pwl(source.clone()))?;
+        let mut waves = entry.engine.run(&ckt, &[self.probe_drv, self.probe_rcv])?;
+        let at_victim_rcv = waves.pop().expect("two probes requested");
+        let at_victim_drv = waves.pop().expect("two probes requested");
+        Ok(DriverSimResult {
+            at_victim_drv,
+            at_victim_rcv,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "full-mna"
+    }
+
+    fn configurations_built(&self) -> usize {
+        self.engines.builds()
+    }
+}
+
+/// One prepared PRIMA holding configuration.
+#[derive(Debug)]
+enum RomEntry {
+    /// The macromodel passed the guardrail. Boxed so the degraded variant
+    /// does not carry the macromodel's footprint.
+    Reduced {
+        rom: Box<ReducedModel>,
+        /// Full-network row of the victim driver-output node.
+        drv_row: usize,
+        /// Full-network row of the victim receiver-input node.
+        rcv_row: usize,
+        /// Norton resistance per port, victim first.
+        resistances: Vec<f64>,
+    },
+    /// Guardrail rejection: this configuration is served by full MNA.
+    Degraded,
+}
+
+/// The PRIMA backend: per holding configuration, the skeleton with every
+/// driver's resistance folded in is reduced once and replayed for every
+/// driver/alignment combination; configurations the guardrail rejects fall
+/// back to an embedded [`FullMna`].
+#[derive(Debug)]
+pub struct PrimaReduced {
+    skeleton: Circuit,
+    ports: Vec<NodeId>,
+    probe_drv: NodeId,
+    probe_rcv: NodeId,
+    dt: f64,
+    t_stop: f64,
+    arnoldi_blocks: usize,
+    dc_tolerance: f64,
+    min_nodes: usize,
+    roms: KeyedOnceCache<u64, RomEntry>,
+    /// Fallback path for degraded configurations.
+    full: FullMna,
+}
+
+impl PrimaReduced {
+    /// Prepares the backend for one coupled net (no reduction yet).
+    pub fn new(
+        topo: &NetTopology,
+        agg_rths: Vec<f64>,
+        dt: f64,
+        t_stop: f64,
+        arnoldi_blocks: usize,
+        dc_tolerance: f64,
+        min_nodes: usize,
+    ) -> Self {
+        PrimaReduced {
+            skeleton: topo.circuit.clone(),
+            ports: topo.all_driver_ports(),
+            probe_drv: topo.victim_drv,
+            probe_rcv: topo.victim_rcv,
+            dt,
+            t_stop,
+            arnoldi_blocks,
+            dc_tolerance,
+            min_nodes,
+            roms: KeyedOnceCache::new(),
+            full: FullMna::new(topo, agg_rths, dt, t_stop),
+        }
+    }
+
+    /// Whether the reduced DC port-resistance matrix matches the full
+    /// network's within the configured relative tolerance.
+    fn dc_moment_ok(&self, rc: &RcPorts, rom: &ReducedModel) -> bool {
+        let (Ok(r_rom), Ok(lu)) = (rom.dc_port_resistance(), rc.g().lu()) else {
+            return false;
+        };
+        let Ok(x) = lu.solve_matrix(rc.b()) else {
+            return false;
+        };
+        let Ok(r_full) = rc.b().transpose().mul(&x) else {
+            return false;
+        };
+        for i in 0..r_full.rows() {
+            for j in 0..r_full.cols() {
+                let want = r_full.get(i, j);
+                let got = r_rom.get(i, j);
+                if (want - got).abs() > self.dc_tolerance * want.abs().max(1.0) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds (or degrades) the macromodel of one holding configuration.
+    fn build_entry(&self, victim_r: f64) -> Result<RomEntry> {
+        profile::record_prima_rom_build();
+        if self.skeleton.node_count() < self.min_nodes {
+            profile::record_prima_fallback();
+            return Ok(RomEntry::Degraded);
+        }
+        let mut ckt = self.skeleton.clone();
+        let gnd = Circuit::ground();
+        let mut resistances = Vec::with_capacity(self.ports.len());
+        for (p, &port) in self.ports.iter().enumerate() {
+            let r = self.full.port_r(p, victim_r);
+            ckt.add_resistor(port, gnd, r)?;
+            resistances.push(r);
+        }
+        let Ok(rc) = RcPorts::from_circuit(&ckt, &self.ports) else {
+            profile::record_prima_fallback();
+            return Ok(RomEntry::Degraded);
+        };
+        let (Some(drv_row), Some(rcv_row)) =
+            (rc.node_row(self.probe_drv), rc.node_row(self.probe_rcv))
+        else {
+            profile::record_prima_fallback();
+            return Ok(RomEntry::Degraded);
+        };
+        let Ok(rom) = ReducedModel::reduce(&rc, self.arnoldi_blocks) else {
+            profile::record_prima_fallback();
+            return Ok(RomEntry::Degraded);
+        };
+        if !self.dc_moment_ok(&rc, &rom) {
+            profile::record_prima_fallback();
+            return Ok(RomEntry::Degraded);
+        }
+        Ok(RomEntry::Reduced {
+            rom: Box::new(rom),
+            drv_row,
+            rcv_row,
+            resistances,
+        })
+    }
+}
+
+impl LinearBackend for PrimaReduced {
+    fn simulate(&self, slot: usize, source: &Pwl, victim_r: f64) -> Result<DriverSimResult> {
+        let entry = self
+            .roms
+            .get_or_try_build(victim_r.to_bits(), || self.build_entry(victim_r))?;
+        let RomEntry::Reduced {
+            rom,
+            drv_row,
+            rcv_row,
+            resistances,
+        } = &*entry
+        else {
+            return self.full.simulate(slot, source, victim_r);
+        };
+        // Deviation form (see module docs): Norton current of the source's
+        // deviation from its t = 0 value, simulated from a zero state.
+        let v0 = source.value(0.0);
+        let inputs: Vec<Pwl> = (0..resistances.len())
+            .map(|p| {
+                if p == slot {
+                    source.offset(-v0).scale(1.0 / resistances[p])
+                } else {
+                    Pwl::constant(0.0)
+                }
+            })
+            .collect();
+        let res = rom.simulate(&inputs, self.t_stop, self.dt)?;
+        profile::record_prima_reduced_sim();
+        // DC baseline at the (victim-net) probes: the active victim's
+        // source value when the victim switches, 0 when it is held quiet.
+        let base = if slot == 0 { v0 } else { 0.0 };
+        let restore = |w: Pwl| if base == 0.0 { w } else { w.offset(base) };
+        Ok(DriverSimResult {
+            at_victim_drv: restore(res.node_voltage(*drv_row)?),
+            at_victim_rcv: restore(res.node_voltage(*rcv_row)?),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "prima-reduced"
+    }
+
+    fn configurations_built(&self) -> usize {
+        self.roms.builds() + self.full.configurations_built()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalyzerConfig;
+    use crate::models::NetModels;
+    use clarinox_cells::{Gate, Tech};
+    use clarinox_netgen::spec::{AggressorSpec, CoupledNetSpec, NetSpec};
+    use clarinox_netgen::topology::build_topology;
+    use clarinox_waveform::measure::Edge;
+
+    fn spec(tech: &Tech) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(4.0, tech),
+            driver_input_ramp: 100e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 1.0e-3,
+            segments: 4,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 20e-15,
+        };
+        CoupledNetSpec {
+            id: 0,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: NetSpec {
+                    driver_input_edge: Edge::Falling,
+                    driver: Gate::inv(8.0, tech),
+                    ..base
+                },
+                coupling_len: 0.8e-3,
+                coupling_start: 0.1,
+            }],
+        }
+    }
+
+    fn setup(tech: &Tech) -> (CoupledNetSpec, NetModels, AnalyzerConfig) {
+        let s = spec(tech);
+        let models = NetModels::characterize(tech, &s, 3).unwrap();
+        (s, models, AnalyzerConfig::default())
+    }
+
+    fn backends(
+        tech: &Tech,
+        kind_extra: LinearBackendKind,
+    ) -> (FullMna, Box<dyn LinearBackend>, NetModels) {
+        let (s, models, cfg) = setup(tech);
+        let topo = build_topology(tech, &s).unwrap();
+        let rths: Vec<f64> = models.aggressors.iter().map(|m| m.thevenin.rth).collect();
+        let t_stop = cfg.victim_input_start + 100e-12 + cfg.settle_time;
+        let full = FullMna::new(&topo, rths.clone(), cfg.dt, t_stop);
+        let other = backend_for(kind_extra, &topo, rths, cfg.dt, t_stop);
+        (full, other, models)
+    }
+
+    #[test]
+    fn prima_matches_full_mna_for_aggressor_noise() {
+        let tech = Tech::default_180nm();
+        let (full, prima, models) = backends(&tech, LinearBackendKind::prima());
+        let src = models.aggressors[0].at_input_start(0.5e-9).source_wave();
+        let victim_r = models.victim.thevenin.rth;
+        let f = full.simulate(1, &src, victim_r).unwrap();
+        let p = prima.simulate(1, &src, victim_r).unwrap();
+        let (tf, vf) = f.at_victim_rcv.extremum_point();
+        let (tp, vp) = p.at_victim_rcv.extremum_point();
+        assert!(
+            (vf - vp).abs() < 0.05 * vf.abs().max(1e-3),
+            "peak full {vf} vs prima {vp}"
+        );
+        assert!((tf - tp).abs() < 20e-12, "peak time {tf} vs {tp}");
+    }
+
+    #[test]
+    fn prima_matches_full_mna_for_victim_transition() {
+        // The regression the deviation form exists for: the victim source
+        // starts at vdd (falling output), so a zero-state ROM run would be
+        // completely wrong without the DC-baseline treatment.
+        let tech = Tech::default_180nm();
+        let (full, prima, models) = backends(&tech, LinearBackendKind::prima());
+        let src = models.victim.at_input_start(1.5e-9).source_wave();
+        let victim_r = models.victim.thevenin.rth;
+        let f = full.simulate(0, &src, victim_r).unwrap();
+        let p = prima.simulate(0, &src, victim_r).unwrap();
+        // Starts at vdd, ends near ground, in both backends.
+        assert!(f.at_victim_rcv.value(0.0) > 0.9 * tech.vdd);
+        assert!(p.at_victim_rcv.value(0.0) > 0.9 * tech.vdd);
+        for k in 0..40 {
+            let t = k as f64 * 0.1e-9;
+            assert!(
+                (f.at_victim_rcv.value(t) - p.at_victim_rcv.value(t)).abs() < 0.05 * tech.vdd,
+                "t={t}: full {} vs prima {}",
+                f.at_victim_rcv.value(t),
+                p.at_victim_rcv.value(t)
+            );
+        }
+    }
+
+    #[test]
+    fn small_net_guardrail_degrades_to_full_mna() {
+        let tech = Tech::default_180nm();
+        let kind = LinearBackendKind::PrimaReduced {
+            arnoldi_blocks: 4,
+            dc_tolerance: 1e-6,
+            min_nodes: 10_000,
+        };
+        let (full, prima, models) = backends(&tech, kind);
+        let src = models.aggressors[0].at_input_start(0.5e-9).source_wave();
+        let victim_r = models.victim.thevenin.rth;
+        let fallbacks_before = profile::prima_fallbacks();
+        let sims_before = profile::prima_reduced_sims();
+        let f = full.simulate(1, &src, victim_r).unwrap();
+        let p = prima.simulate(1, &src, victim_r).unwrap();
+        assert!(profile::prima_fallbacks() > fallbacks_before);
+        // Degraded configurations answer bit-identically to full MNA and
+        // never touch the reduced simulator for this backend instance.
+        assert_eq!(f.at_victim_rcv, p.at_victim_rcv);
+        assert_eq!(f.at_victim_drv, p.at_victim_drv);
+        let _ = sims_before; // process-wide; other tests may run sims
+    }
+
+    #[test]
+    fn configurations_are_cached_per_victim_resistance() {
+        let tech = Tech::default_180nm();
+        let (full, _, models) = backends(&tech, LinearBackendKind::FullMna);
+        let src = models.aggressors[0].at_input_start(0.5e-9).source_wave();
+        full.simulate(1, &src, 1000.0).unwrap();
+        full.simulate(1, &src, 1000.0).unwrap();
+        assert_eq!(full.configurations_built(), 1);
+        full.simulate(1, &src, 2000.0).unwrap();
+        assert_eq!(full.configurations_built(), 2);
+    }
+}

@@ -33,6 +33,56 @@ pub enum AlignmentObjective {
     PredictedReceiverOutput,
 }
 
+/// Where the analyzer gets its per-driver linear models
+/// ([`crate::models::DriverModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelProviderKind {
+    /// Characterize every driver of every net from scratch — today's
+    /// behaviour, bit for bit.
+    #[default]
+    Uncached,
+    /// Serve models from a shared cross-net [`clarinox_char::DriverLibrary`]
+    /// keyed by characterization corner; the recommended default for block
+    /// runs (exact corner keys keep results bit-identical to `Uncached`).
+    Library,
+}
+
+/// Which engine runs the per-driver linear transient simulations of the
+/// superposition flow.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LinearBackendKind {
+    /// Full MNA through the shared [`clarinox_circuit::engine::TransientEngine`]
+    /// (one factorization per holding configuration).
+    #[default]
+    FullMna,
+    /// PRIMA macromodel per holding configuration, with a build-time
+    /// guardrail: the reduced model's DC port-resistance matrix (the zeroth
+    /// admittance moment, which PRIMA matches exactly in theory) is checked
+    /// against the full network, and the net falls back to [`Self::FullMna`]
+    /// when the check misses `dc_tolerance` or the net has fewer than
+    /// `min_nodes` internal nodes (too small to profit from reduction).
+    PrimaReduced {
+        /// Block-Arnoldi iterations (admittance moments matched).
+        arnoldi_blocks: usize,
+        /// Relative tolerance of the DC moment-match guardrail.
+        dc_tolerance: f64,
+        /// Minimum internal node count for reduction to be worthwhile.
+        min_nodes: usize,
+    },
+}
+
+impl LinearBackendKind {
+    /// The PRIMA backend with default guardrail settings: 4 Arnoldi blocks,
+    /// 1 ppm DC tolerance, 8-node minimum.
+    pub fn prima() -> Self {
+        LinearBackendKind::PrimaReduced {
+            arnoldi_blocks: 4,
+            dc_tolerance: 1e-6,
+            min_nodes: 8,
+        }
+    }
+}
+
 /// Tunable parameters of the analysis flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyzerConfig {
@@ -67,6 +117,11 @@ pub struct AnalyzerConfig {
     /// re-crossings whose excursion stays within this band are treated as
     /// sub-threshold glitches, not delay (the paper's ~100 mV remark).
     pub settle_hysteresis_frac: f64,
+    /// Driver-model source: per-net characterization or the shared
+    /// cross-net library.
+    pub model_provider: ModelProviderKind,
+    /// Linear transient backend for the superposition simulations.
+    pub linear_backend: LinearBackendKind,
 }
 
 impl Default for AnalyzerConfig {
@@ -85,6 +140,8 @@ impl Default for AnalyzerConfig {
             table_min_load: 4e-15,
             table_char: AlignmentCharSpec::default(),
             settle_hysteresis_frac: 0.05,
+            model_provider: ModelProviderKind::default(),
+            linear_backend: LinearBackendKind::default(),
         }
     }
 }
@@ -101,6 +158,18 @@ impl AnalyzerConfig {
         self.alignment = alignment;
         self
     }
+
+    /// Same config with a different model-provider kind.
+    pub fn with_model_provider(mut self, kind: ModelProviderKind) -> Self {
+        self.model_provider = kind;
+        self
+    }
+
+    /// Same config with a different linear backend.
+    pub fn with_linear_backend(mut self, kind: LinearBackendKind) -> Self {
+        self.linear_backend = kind;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -113,14 +182,31 @@ mod tests {
         assert_eq!(c.driver_model, DriverModelKind::TransientHolding);
         assert_eq!(c.alignment, AlignmentObjective::PredictedReceiverOutput);
         assert!(c.rt_iterations >= 1 && c.rt_iterations <= 2);
+        // The single-net defaults preserve the pre-layer behaviour exactly.
+        assert_eq!(c.model_provider, ModelProviderKind::Uncached);
+        assert_eq!(c.linear_backend, LinearBackendKind::FullMna);
     }
 
     #[test]
     fn builders_override() {
         let c = AnalyzerConfig::default()
             .with_driver_model(DriverModelKind::Thevenin)
-            .with_alignment(AlignmentObjective::ReceiverInput);
+            .with_alignment(AlignmentObjective::ReceiverInput)
+            .with_model_provider(ModelProviderKind::Library)
+            .with_linear_backend(LinearBackendKind::prima());
         assert_eq!(c.driver_model, DriverModelKind::Thevenin);
         assert_eq!(c.alignment, AlignmentObjective::ReceiverInput);
+        assert_eq!(c.model_provider, ModelProviderKind::Library);
+        let LinearBackendKind::PrimaReduced {
+            arnoldi_blocks,
+            dc_tolerance,
+            min_nodes,
+        } = c.linear_backend
+        else {
+            panic!("prima() must select the reduced backend");
+        };
+        assert_eq!(arnoldi_blocks, 4);
+        assert!(dc_tolerance > 0.0);
+        assert!(min_nodes > 0);
     }
 }

@@ -16,7 +16,7 @@
 //!   under ~100 mV "does not constitute a functional noise failure").
 
 use crate::config::AnalyzerConfig;
-use crate::models::NetModels;
+use crate::provider::{provider_for, ModelProvider};
 use crate::superposition::LinearNetAnalysis;
 use crate::{CoreError, Result};
 use clarinox_cells::fixture::receiver_response;
@@ -117,10 +117,30 @@ pub fn check_functional_noise(
     margin: f64,
     config: &AnalyzerConfig,
 ) -> Result<FunctionalNoiseReport> {
+    let provider = provider_for(config.model_provider, tech);
+    check_functional_noise_with(tech, spec, state, margin, config, provider.as_ref())
+}
+
+/// [`check_functional_noise`] with an explicit (possibly shared, possibly
+/// warm) model provider. Results are identical to the convenience form —
+/// the library provider returns bit-identical models — only the
+/// characterization cost changes.
+///
+/// # Errors
+///
+/// Characterization or simulation failures.
+pub fn check_functional_noise_with(
+    tech: &Tech,
+    spec: &CoupledNetSpec,
+    state: QuietState,
+    margin: f64,
+    config: &AnalyzerConfig,
+    provider: &dyn ModelProvider,
+) -> Result<FunctionalNoiseReport> {
     if !(margin > 0.0) {
         return Err(CoreError::analysis("noise margin must be positive"));
     }
-    let models = NetModels::characterize(tech, spec, config.ceff_iterations)?;
+    let models = provider.net_models(tech, spec, config.ceff_iterations)?;
     let lin = LinearNetAnalysis::new(tech, spec, &models, config)?;
     let dangerous = state.dangerous_aggressor_edge();
 
@@ -187,6 +207,11 @@ pub fn check_functional_noise(
 /// over a shared index). Results come back in input order — for each spec,
 /// one report per entry of `states`, flattened — and are identical to
 /// calling [`check_functional_noise`] serially on each pair.
+///
+/// One model provider (per [`AnalyzerConfig::model_provider`]) is built
+/// for the whole run and shared by every worker, so with the library
+/// provider each net's two quiet-state checks — and every repeated corner
+/// across nets — characterize its drivers once.
 pub fn check_functional_noise_block(
     tech: &Tech,
     specs: &[CoupledNetSpec],
@@ -195,10 +220,11 @@ pub fn check_functional_noise_block(
     config: &AnalyzerConfig,
     jobs: usize,
 ) -> Vec<Result<FunctionalNoiseReport>> {
+    let provider = provider_for(config.model_provider, tech);
     crate::par::run_indexed(specs.len() * states.len(), jobs, |i| {
         let spec = &specs[i / states.len()];
         let state = states[i % states.len()];
-        check_functional_noise(tech, spec, state, margin, config)
+        check_functional_noise_with(tech, spec, state, margin, config, provider.as_ref())
     })
 }
 

@@ -30,6 +30,15 @@
 //! 5. **Reporting** ([`analysis`]): delay noise at receiver input and
 //!    output, against the noiseless baseline.
 //!
+//! Two pluggable layers parameterize the flow: the **model provider**
+//! ([`provider`]) decides where step 1's driver models come from (fresh
+//! characterization, or the shared cross-net
+//! [`clarinox_char::DriverLibrary`]), and the **linear backend**
+//! ([`backend`]) decides what engine runs step 2's simulations (full MNA,
+//! or a PRIMA macromodel with a build-time guardrail). Both are selected
+//! through [`AnalyzerConfig`]; the defaults reproduce the original
+//! single-net flow bit for bit.
+//!
 //! A transistor-level **gold reference** of the entire coupled circuit
 //! ([`gold`]) validates every model, and [`design`] closes the loop with
 //! static timing windows (`clarinox-sta`).
@@ -56,20 +65,26 @@
 
 pub mod alignment;
 pub mod analysis;
+pub mod backend;
 pub mod config;
 pub mod design;
 pub mod functional;
 pub mod gold;
 pub mod holding;
 pub mod models;
+pub mod par;
+pub mod profile;
+pub mod provider;
 pub mod superposition;
 
 mod error;
-mod par;
 
 pub use analysis::{NetReport, NoiseAnalyzer};
-pub use config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
+pub use config::{
+    AlignmentObjective, AnalyzerConfig, DriverModelKind, LinearBackendKind, ModelProviderKind,
+};
 pub use error::CoreError;
+pub use provider::{ModelProvider, ProviderStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -23,6 +23,18 @@ pub struct DriverModel {
 }
 
 impl DriverModel {
+    /// Builds a driver model from a characterization-fixture result: the
+    /// Thevenin `t0` is re-based from the fixture's input-start convention
+    /// to "the driver input ramp starts at t = 0". Both the uncached path
+    /// and the driver-library path funnel through here, so a cached
+    /// characterization yields bit-identical models.
+    pub(crate) fn from_fixture(ceff: f64, model: clarinox_char::TheveninModel) -> Self {
+        DriverModel {
+            ceff,
+            thevenin: model.shifted(-FIXTURE_INPUT_START),
+        }
+    }
+
     /// Characterizes the driver of `net` against its load as seen within
     /// `spec` (coupling capacitance grounded).
     ///
@@ -50,12 +62,7 @@ impl DriverModel {
             &load,
             ceff_iterations,
         )?;
-        // Re-base t0 to the input-ramp start.
-        let thevenin = res.model.shifted(-FIXTURE_INPUT_START);
-        Ok(DriverModel {
-            ceff: res.ceff,
-            thevenin,
-        })
+        Ok(DriverModel::from_fixture(res.ceff, res.model))
     }
 
     /// The Thevenin model positioned so the driver's input ramp starts at

@@ -1,9 +1,21 @@
-//! Minimal scoped-thread fan-out for the batch analysis APIs.
+//! Concurrency utilities of the analysis flow: scoped-thread fan-out plus
+//! the shared locking/caching primitives.
 //!
-//! No thread pool, no channels: workers claim indices from a shared atomic
-//! counter (work stealing over the input order), so a slow net never blocks
-//! the others, and results are re-slotted by index so callers see input
-//! order regardless of scheduling.
+//! The fan-out (`run_indexed`, crate-internal) uses no thread pool and no
+//! channels:
+//! workers claim indices from a shared atomic counter (work stealing over
+//! the input order), so a slow net never blocks the others, and results
+//! are re-slotted by index so callers see input order regardless of
+//! scheduling.
+//!
+//! The re-exported [`lock_unpoisoned`] and [`KeyedOnceCache`] (from
+//! [`clarinox_numeric::sync`]) are the single home of poisoned-lock
+//! recovery and per-key build-once caching — every cache in this crate
+//! (alignment tables, backend configurations, and the cross-net
+//! [`clarinox_char::DriverLibrary`]) is built on them instead of hand-
+//! rolling the two-level slot pattern.
+
+pub use clarinox_numeric::sync::{lock_unpoisoned, KeyedOnceCache};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

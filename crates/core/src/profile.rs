@@ -1,0 +1,82 @@
+//! Process-wide counters for the model-provider and linear-backend layers.
+//!
+//! Companion to [`clarinox_circuit::profile`]: benchmarks (`perf_record`)
+//! and tests read these to see where the PRIMA backend's work went — how
+//! many macromodels were built, how many simulations they served, and how
+//! often the build-time guardrail sent a net back to the full-MNA path.
+//! (Driver-library hit/build counts are per-instance — see
+//! [`crate::provider::ModelProvider::stats`] — because a library's reuse is
+//! scoped to whoever shares it, while ROM builds are a process-wide cost.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PRIMA_ROM_BUILDS: AtomicU64 = AtomicU64::new(0);
+static PRIMA_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static PRIMA_REDUCED_SIMS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one PRIMA macromodel build attempt (guardrail passed or not).
+pub(crate) fn record_prima_rom_build() {
+    PRIMA_ROM_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one guardrail rejection (net served by full MNA instead).
+pub(crate) fn record_prima_fallback() {
+    PRIMA_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one driver simulation served by a reduced model.
+pub(crate) fn record_prima_reduced_sim() {
+    PRIMA_REDUCED_SIMS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// PRIMA macromodel build attempts since process start (or the last
+/// [`reset_prima_counters`]). Each holding configuration of each net builds
+/// (at most) once.
+pub fn prima_rom_builds() -> u64 {
+    PRIMA_ROM_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Guardrail rejections: configurations answered by the full-MNA fallback
+/// because the net was too small or the DC moment check missed tolerance.
+pub fn prima_fallbacks() -> u64 {
+    PRIMA_FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// Driver simulations served by a reduced model (the rest went through
+/// full MNA).
+pub fn prima_reduced_sims() -> u64 {
+    PRIMA_REDUCED_SIMS.load(Ordering::Relaxed)
+}
+
+/// Resets all PRIMA counters and returns their previous values as
+/// `(rom_builds, fallbacks, reduced_sims)`.
+///
+/// The counters are process-wide: concurrent work on other threads is
+/// included, so bracket measured regions accordingly.
+pub fn reset_prima_counters() -> (u64, u64, u64) {
+    (
+        PRIMA_ROM_BUILDS.swap(0, Ordering::Relaxed),
+        PRIMA_FALLBACKS.swap(0, Ordering::Relaxed),
+        PRIMA_REDUCED_SIMS.swap(0, Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        // Other tests in this binary may touch the counters concurrently;
+        // assert only monotone deltas.
+        let b0 = prima_rom_builds();
+        let f0 = prima_fallbacks();
+        let s0 = prima_reduced_sims();
+        record_prima_rom_build();
+        record_prima_fallback();
+        record_prima_reduced_sim();
+        assert!(prima_rom_builds() > b0);
+        assert!(prima_fallbacks() > f0);
+        assert!(prima_reduced_sims() > s0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Pluggable model providers: where the analyzer's driver models come
+//! from.
+//!
+//! The expensive part of preparing a net is characterizing its drivers
+//! (C-effective iteration wrapped around non-linear Thevenin fitting,
+//! [`crate::models`]). A [`ModelProvider`] abstracts that step:
+//!
+//! * [`Uncached`] characterizes every driver of every net from scratch —
+//!   today's behaviour, bit for bit; the default for single-net runs.
+//! * [`Library`] serves models from a shared cross-net
+//!   [`DriverLibrary`], keyed by characterization corner. Because the
+//!   corner key captures *every* input of the characterization exactly, a
+//!   cache hit returns the same bits a fresh characterization would — so
+//!   block results cannot depend on whether the cache was warm, only the
+//!   time to produce them can.
+//!
+//! One provider instance is shared by all worker threads of a block run
+//! (the analyzer holds it behind an `Arc`), which is exactly what makes
+//! the library earn its keep: nets drawn from the same cell library keep
+//! asking for the same corners.
+
+use crate::config::ModelProviderKind;
+use crate::models::{net_of, DriverModel, NetModels};
+use crate::Result;
+use clarinox_cells::Tech;
+use clarinox_char::DriverLibrary;
+use clarinox_netgen::spec::CoupledNetSpec;
+use clarinox_netgen::topology::{load_network_for, NetRef};
+use std::sync::Arc;
+
+/// Reuse statistics of a model provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProviderStats {
+    /// Driver requests served from a cache.
+    pub hits: usize,
+    /// Characterizations actually performed.
+    pub builds: usize,
+}
+
+impl ProviderStats {
+    /// Fraction of requests served from the cache (0 when nothing was
+    /// requested).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.builds;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Source of per-net driver models for the analysis flow.
+pub trait ModelProvider: std::fmt::Debug + Send + Sync {
+    /// Characterizes (or retrieves) every driver model of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Characterization failures.
+    fn net_models(
+        &self,
+        tech: &Tech,
+        spec: &CoupledNetSpec,
+        ceff_iterations: usize,
+    ) -> Result<NetModels>;
+
+    /// Cache statistics (all-zero for providers that do not cache).
+    fn stats(&self) -> ProviderStats;
+
+    /// Short stable name, for reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// The pass-through provider: every request characterizes from scratch via
+/// [`NetModels::characterize`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Uncached;
+
+impl ModelProvider for Uncached {
+    fn net_models(
+        &self,
+        tech: &Tech,
+        spec: &CoupledNetSpec,
+        ceff_iterations: usize,
+    ) -> Result<NetModels> {
+        NetModels::characterize(tech, spec, ceff_iterations)
+    }
+
+    fn stats(&self) -> ProviderStats {
+        ProviderStats::default()
+    }
+
+    fn name(&self) -> &'static str {
+        "uncached"
+    }
+}
+
+/// The caching provider: models served from a shared cross-net
+/// [`DriverLibrary`].
+///
+/// The library must have been created for the same technology the
+/// analyzer runs with (as [`provider_for`] guarantees); the Thevenin fits
+/// inside the library are performed against the library's own `Tech`.
+#[derive(Debug, Clone)]
+pub struct Library {
+    lib: Arc<DriverLibrary>,
+}
+
+impl Library {
+    /// Wraps an existing (possibly already warm) library.
+    pub fn new(lib: Arc<DriverLibrary>) -> Self {
+        Library { lib }
+    }
+
+    /// The underlying library, e.g. to share it with another analyzer.
+    pub fn library(&self) -> &Arc<DriverLibrary> {
+        &self.lib
+    }
+}
+
+impl ModelProvider for Library {
+    fn net_models(
+        &self,
+        tech: &Tech,
+        spec: &CoupledNetSpec,
+        ceff_iterations: usize,
+    ) -> Result<NetModels> {
+        let model_for = |which: NetRef| -> Result<DriverModel> {
+            let net = net_of(spec, which);
+            let load = load_network_for(tech, spec, which)?;
+            let cd = self.lib.characterize(
+                net.driver,
+                net.driver_input_edge,
+                net.driver_input_ramp,
+                &load,
+                ceff_iterations,
+            )?;
+            Ok(DriverModel::from_fixture(cd.ceff, cd.model))
+        };
+        let victim = model_for(NetRef::Victim)?;
+        let aggressors = (0..spec.aggressors.len())
+            .map(|i| model_for(NetRef::Aggressor(i)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(NetModels { victim, aggressors })
+    }
+
+    fn stats(&self) -> ProviderStats {
+        ProviderStats {
+            hits: self.lib.hits(),
+            builds: self.lib.builds(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "library"
+    }
+}
+
+/// Builds the provider selected by `kind` for `tech` (a fresh, empty
+/// library for [`ModelProviderKind::Library`]).
+pub fn provider_for(kind: ModelProviderKind, tech: &Tech) -> Arc<dyn ModelProvider> {
+    match kind {
+        ModelProviderKind::Uncached => Arc::new(Uncached),
+        ModelProviderKind::Library => Arc::new(Library::new(Arc::new(DriverLibrary::new(*tech)))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_cells::Gate;
+    use clarinox_netgen::spec::{AggressorSpec, NetSpec};
+    use clarinox_waveform::measure::Edge;
+
+    fn spec(tech: &Tech, id: usize) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(4.0, tech),
+            driver_input_ramp: 100e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 0.8e-3,
+            segments: 4,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 20e-15,
+        };
+        CoupledNetSpec {
+            id,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: NetSpec {
+                    driver_input_edge: Edge::Falling,
+                    ..base
+                },
+                coupling_len: 0.6e-3,
+                coupling_start: 0.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn library_models_are_bit_identical_to_uncached() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech, 0);
+        let direct = Uncached.net_models(&tech, &s, 3).unwrap();
+        let lib = provider_for(ModelProviderKind::Library, &tech);
+        let cached = lib.net_models(&tech, &s, 3).unwrap();
+        assert_eq!(direct, cached);
+        assert_eq!(direct.victim.ceff.to_bits(), cached.victim.ceff.to_bits());
+        assert_eq!(
+            direct.victim.thevenin.t0.to_bits(),
+            cached.victim.thevenin.t0.to_bits()
+        );
+    }
+
+    #[test]
+    fn repeated_nets_hit_the_library() {
+        let tech = Tech::default_180nm();
+        let lib = provider_for(ModelProviderKind::Library, &tech);
+        lib.net_models(&tech, &spec(&tech, 0), 3).unwrap();
+        let s0 = lib.stats();
+        assert_eq!(s0.hits, 0);
+        assert!(s0.builds >= 2); // victim + aggressor
+                                 // The same spec again: every driver is a warm corner.
+        lib.net_models(&tech, &spec(&tech, 1), 3).unwrap();
+        let s1 = lib.stats();
+        assert_eq!(s1.builds, s0.builds);
+        assert_eq!(s1.hits, s0.builds);
+        assert!(s1.hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn uncached_reports_no_stats() {
+        let tech = Tech::default_180nm();
+        Uncached.net_models(&tech, &spec(&tech, 0), 3).unwrap();
+        assert_eq!(Uncached.stats(), ProviderStats::default());
+        assert_eq!(Uncached.stats().hit_rate(), 0.0);
+        assert_eq!(Uncached.name(), "uncached");
+    }
+}

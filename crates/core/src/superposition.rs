@@ -12,19 +12,16 @@
 //! waveforms from a macromodel built once, demonstrating the reuse the
 //! paper's flow is designed around.
 
-use crate::config::AnalyzerConfig;
+use crate::backend::{backend_for, LinearBackend};
+use crate::config::{AnalyzerConfig, LinearBackendKind};
 use crate::models::NetModels;
 use crate::Result;
 use clarinox_cells::Tech;
-use clarinox_circuit::engine::TransientEngine;
-use clarinox_circuit::netlist::{Circuit, SourceWave, VsourceId};
-use clarinox_circuit::transient::TransientSpec;
+use clarinox_circuit::netlist::Circuit;
 use clarinox_mor::{RcPorts, ReducedModel};
 use clarinox_netgen::spec::CoupledNetSpec;
 use clarinox_netgen::topology::{build_topology, NetRef, NetTopology};
 use clarinox_waveform::Pwl;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 /// Waveforms observed on the victim during one single-driver simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,27 +32,17 @@ pub struct DriverSimResult {
     pub at_victim_rcv: Pwl,
 }
 
-/// One prepared holding configuration: the engine factored for it plus the
-/// circuit template whose source waves are swapped per run.
-#[derive(Debug)]
-struct EngineEntry {
-    engine: TransientEngine,
-    /// The circuit the engine was built from, all sources quiet.
-    template: Circuit,
-    /// Per-net source handle, victim first.
-    sources: Vec<VsourceId>,
-}
-
 /// Linear analysis of one coupled net with fixed driver models.
 ///
 /// Every driver — active or holding — is modeled as a voltage source behind
 /// a series resistance (a holding resistor to ground is exactly a 0 V
 /// source behind the same resistance), so one circuit topology covers all
-/// single-driver simulations of a holding configuration and its
-/// [`TransientEngine`] factorization is shared by the noiseless run, every
-/// per-aggressor run, and every alignment-refinement round. Only the
-/// victim's series resistance changes when `victim_holding_r` is refined,
-/// so engines are cached keyed by that value.
+/// single-driver simulations of a holding configuration, and the backend's
+/// prepared form of it (an MNA factorization or a PRIMA macromodel, see
+/// [`crate::backend`]) is shared by the noiseless run, every per-aggressor
+/// run, and every alignment-refinement round. Only the victim's series
+/// resistance changes when `victim_holding_r` is refined, so configurations
+/// are cached keyed by that value.
 #[derive(Debug)]
 pub struct LinearNetAnalysis<'a> {
     spec: &'a CoupledNetSpec,
@@ -67,13 +54,15 @@ pub struct LinearNetAnalysis<'a> {
     pub dt: f64,
     /// Simulation horizon.
     pub t_stop: f64,
-    /// Prepared engines keyed by the victim series resistance (bit pattern).
-    engines: Mutex<HashMap<u64, Arc<EngineEntry>>>,
+    /// Which backend kind `backend` was built as (kept for [`Clone`]).
+    backend_kind: LinearBackendKind,
+    /// The linear transient backend, its configuration cache inside.
+    backend: Box<dyn LinearBackend>,
 }
 
 impl Clone for LinearNetAnalysis<'_> {
     fn clone(&self) -> Self {
-        // Engines are a cache; the clone re-factors lazily on first use.
+        // The backend is a cache; the clone re-prepares lazily on first use.
         LinearNetAnalysis {
             spec: self.spec,
             models: self.models,
@@ -81,7 +70,18 @@ impl Clone for LinearNetAnalysis<'_> {
             victim_holding_r: self.victim_holding_r,
             dt: self.dt,
             t_stop: self.t_stop,
-            engines: Mutex::new(HashMap::new()),
+            backend_kind: self.backend_kind,
+            backend: backend_for(
+                self.backend_kind,
+                &self.topo,
+                self.models
+                    .aggressors
+                    .iter()
+                    .map(|m| m.thevenin.rth)
+                    .collect(),
+                self.dt,
+                self.t_stop,
+            ),
         }
     }
 }
@@ -106,6 +106,13 @@ impl<'a> LinearNetAnalysis<'a> {
             .map(|a| a.net.driver_input_ramp)
             .fold(spec.victim.driver_input_ramp, f64::max);
         let t_stop = config.victim_input_start + max_ramp + config.settle_time;
+        let backend = backend_for(
+            config.linear_backend,
+            &topo,
+            models.aggressors.iter().map(|m| m.thevenin.rth).collect(),
+            config.dt,
+            t_stop,
+        );
         Ok(LinearNetAnalysis {
             spec,
             models,
@@ -113,7 +120,8 @@ impl<'a> LinearNetAnalysis<'a> {
             victim_holding_r: models.victim.thevenin.rth,
             dt: config.dt,
             t_stop,
-            engines: Mutex::new(HashMap::new()),
+            backend_kind: config.linear_backend,
+            backend,
         })
     }
 
@@ -137,68 +145,25 @@ impl<'a> LinearNetAnalysis<'a> {
         v
     }
 
-    /// Builds the unified circuit for one holding configuration: every
-    /// driver becomes a source node + voltage source (quiet) + series
-    /// resistor. `victim_r` is the victim's series resistance; aggressors
-    /// always sit behind their own `R_th` (which doubles as their holding
-    /// resistance).
-    fn build_config(&self, victim_r: f64) -> Result<(Circuit, Vec<VsourceId>)> {
-        let mut ckt = self.topo.circuit.clone();
-        let gnd = Circuit::ground();
-        let mut sources = Vec::new();
-        for which in self.all_nets() {
-            let port = self.topo.driver_port(which);
-            let r = match which {
-                NetRef::Victim => victim_r,
-                NetRef::Aggressor(_) => self.holding_r(which),
-            };
-            let src = ckt.fresh_node();
-            sources.push(ckt.add_vsource(src, gnd, SourceWave::shorted())?);
-            ckt.add_resistor(src, port, r)?;
-        }
-        Ok((ckt, sources))
-    }
-
-    /// The prepared engine for the configuration with the given victim
-    /// series resistance, factoring it on first use.
-    fn engine_entry(&self, victim_r: f64) -> Result<Arc<EngineEntry>> {
-        let key = victim_r.to_bits();
-        if let Some(e) = self
-            .engines
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
-        {
-            return Ok(Arc::clone(e));
-        }
-        let (template, sources) = self.build_config(victim_r)?;
-        let engine = TransientEngine::new(&template, &TransientSpec::new(self.t_stop, self.dt)?)?;
-        let entry = Arc::new(EngineEntry {
-            engine,
-            template,
-            sources,
-        });
-        self.engines
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&entry));
-        Ok(entry)
-    }
-
-    /// Number of engine factorizations performed so far (one holding
-    /// configuration each); exposed for benchmarks and tests.
+    /// Number of holding configurations prepared by the backend so far
+    /// (engine factorizations or macromodel builds); exposed for
+    /// benchmarks and tests.
     pub fn engines_built(&self) -> usize {
-        self.engines.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.backend.configurations_built()
+    }
+
+    /// Short name of the active linear backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Simulates the net with exactly `active` switching (its input ramp
     /// starting at `input_start`); all other drivers are shorted through
     /// their holding resistances.
     ///
-    /// Reuses the cached [`TransientEngine`] of the current holding
-    /// configuration: only the active driver's source wave is re-stamped,
-    /// no matrix is re-assembled or re-factored.
+    /// Reuses the backend's cached form of the current holding
+    /// configuration: only the active driver's source wave changes, no
+    /// matrix is re-assembled, re-factored or re-reduced.
     ///
     /// # Errors
     ///
@@ -211,22 +176,11 @@ impl<'a> LinearNetAnalysis<'a> {
             NetRef::Victim => model.rth,
             NetRef::Aggressor(_) => self.victim_holding_r,
         };
-        let entry = self.engine_entry(victim_r)?;
         let slot = match active {
             NetRef::Victim => 0,
             NetRef::Aggressor(i) => i + 1,
         };
-        let mut ckt = entry.template.clone();
-        ckt.set_vsource_wave(entry.sources[slot], SourceWave::Pwl(model.source_wave()))?;
-        let mut waves = entry
-            .engine
-            .run(&ckt, &[self.topo.victim_drv, self.topo.victim_rcv])?;
-        let at_victim_rcv = waves.pop().expect("two probes requested");
-        let at_victim_drv = waves.pop().expect("two probes requested");
-        Ok(DriverSimResult {
-            at_victim_drv,
-            at_victim_rcv,
-        })
+        self.backend.simulate(slot, &model.source_wave(), victim_r)
     }
 
     /// The noiseless victim transition (victim active at

@@ -18,7 +18,9 @@
 //!   the transient holding resistance,
 //! * orthonormalization ([`ortho`]) — the block-Arnoldi step inside PRIMA,
 //! * small statistics helpers ([`stats`]) — error summaries for the
-//!   experiment harnesses.
+//!   experiment harnesses,
+//! * shared-state primitives ([`sync`]) — the build-once-per-key cache and
+//!   poisoned-lock recovery behind the flow's characterization caches.
 //!
 //! All quantities are `f64` in SI units throughout the workspace.
 //!
@@ -41,6 +43,7 @@ pub mod ortho;
 pub mod quad;
 pub mod roots;
 pub mod stats;
+pub mod sync;
 
 mod error;
 

@@ -1,0 +1,248 @@
+//! Shared-state primitives for the workspace's characterization caches.
+//!
+//! The analysis flow amortizes expensive work (alignment-table
+//! characterization, transient-engine factorization, driver-model fitting)
+//! behind concurrent caches with three common requirements:
+//!
+//! * **exactly-once builds** — when several worker threads need the same
+//!   key for the first time, exactly one runs the expensive build while the
+//!   rest wait on that key's slot and then share the result,
+//! * **no cross-key convoying** — a thread building key `A` must not block
+//!   a thread building key `B`,
+//! * **poisoned-lock recovery** — a panic on one worker must not wedge the
+//!   cache for every other thread; the mutex-protected state here is always
+//!   valid at every await point, so recovering the guard is sound.
+//!
+//! [`KeyedOnceCache`] packages the pattern once; [`lock_unpoisoned`] is the
+//! recovery helper it (and any remaining ad-hoc locks) use.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard from a poisoned mutex.
+///
+/// Poisoning only records that *some* thread panicked while holding the
+/// lock; it does not mean the protected data is torn. Every cache in this
+/// workspace keeps its invariants at each point a panic could unwind
+/// through (maps and option slots are updated by single assignments), so
+/// the right response is to keep going, not to propagate the panic to every
+/// innocent worker.
+pub fn lock_unpoisoned<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One cache slot: the inner mutex serializes the first build of its key so
+/// concurrent first users do not stampede.
+type Slot<V> = Arc<Mutex<Option<Arc<V>>>>;
+
+/// A concurrent build-once-per-key cache.
+///
+/// Lookup takes two short critical sections: the outer map lock (only long
+/// enough to clone the key's slot handle) and the per-key slot lock (held
+/// across the build, so racing first users of the *same* key wait while
+/// users of other keys proceed). A failed build leaves the slot empty, so a
+/// later call retries; a panicking build poisons only its own slot, and the
+/// next user recovers it and builds again.
+///
+/// `builds`/`hits` counters make cache behaviour observable for perf
+/// records and stampede tests.
+///
+/// # Examples
+///
+/// ```
+/// use clarinox_numeric::sync::KeyedOnceCache;
+///
+/// let cache: KeyedOnceCache<u32, String> = KeyedOnceCache::new();
+/// let a = cache
+///     .get_or_try_build(7, || Ok::<_, ()>("seven".to_string()))
+///     .unwrap();
+/// // Second lookup is a hit: the build closure is not run.
+/// let b = cache
+///     .get_or_try_build(7, || Ok::<_, ()>(String::new()))
+///     .unwrap();
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!((cache.builds(), cache.hits()), (1, 1));
+/// ```
+pub struct KeyedOnceCache<K, V> {
+    slots: Mutex<HashMap<K, Slot<V>>>,
+    builds: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl<K, V> Default for KeyedOnceCache<K, V> {
+    fn default() -> Self {
+        KeyedOnceCache {
+            slots: Mutex::new(HashMap::new()),
+            builds: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for KeyedOnceCache<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedOnceCache")
+            .field("len", &self.len())
+            .field("builds", &self.builds())
+            .field("hits", &self.hits())
+            .finish()
+    }
+}
+
+impl<K, V> KeyedOnceCache<K, V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of successful builds performed (cache misses that completed).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from an already-built slot.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of keys with a slot (built or in flight).
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.slots).len()
+    }
+
+    /// Whether the cache has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Eq + Hash, V> KeyedOnceCache<K, V> {
+    /// Returns the cached value for `key`, building it with `build` if
+    /// absent. Racing first users of the same key serialize on the key's
+    /// slot: exactly one runs `build`, the rest share its result (and count
+    /// as hits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the build error; the slot stays empty so a later call
+    /// retries.
+    pub fn get_or_try_build<E>(
+        &self,
+        key: K,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Arc<V>, E> {
+        let slot: Slot<V> = {
+            let mut map = lock_unpoisoned(&self.slots);
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut guard = lock_unpoisoned(&slot);
+        if let Some(v) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(v));
+        }
+        let v = Arc::new(build()?);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        *guard = Some(Arc::clone(&v));
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn builds_once_and_shares() {
+        let cache: KeyedOnceCache<u8, u32> = KeyedOnceCache::new();
+        let a = cache.get_or_try_build(1, || Ok::<_, ()>(10)).unwrap();
+        let b = cache.get_or_try_build(1, || Ok::<_, ()>(99)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*b, 10);
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn failed_build_leaves_slot_retryable() {
+        let cache: KeyedOnceCache<u8, u32> = KeyedOnceCache::new();
+        assert!(cache.get_or_try_build(2, || Err::<u32, _>("boom")).is_err());
+        assert_eq!(cache.builds(), 0);
+        let v = cache.get_or_try_build(2, || Ok::<_, &str>(5)).unwrap();
+        assert_eq!(*v, 5);
+        assert_eq!(cache.builds(), 1);
+    }
+
+    #[test]
+    fn contended_key_builds_exactly_once() {
+        let cache: KeyedOnceCache<u8, usize> = KeyedOnceCache::new();
+        let ran = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let v = cache
+                        .get_or_try_build(3, || {
+                            // Widen the race window.
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            Ok::<_, ()>(ran.fetch_add(1, Ordering::SeqCst))
+                        })
+                        .unwrap();
+                    assert_eq!(*v, 0);
+                });
+            }
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.builds(), 1);
+        assert_eq!(cache.hits(), 7);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_serialize_results() {
+        let cache: KeyedOnceCache<u8, u8> = KeyedOnceCache::new();
+        std::thread::scope(|s| {
+            for k in 0..4u8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    let v = cache.get_or_try_build(k, || Ok::<_, ()>(k * 2)).unwrap();
+                    assert_eq!(*v, k * 2);
+                });
+            }
+        });
+        assert_eq!(cache.builds(), 4);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn poisoned_slot_recovers() {
+        let cache = Arc::new(KeyedOnceCache::<u8, u32>::new());
+        let c = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _ = c.get_or_try_build(9, || -> Result<u32, ()> {
+                panic!("mid-build panic poisons only this slot")
+            });
+        })
+        .join();
+        // The slot mutex is poisoned but empty; the next user recovers and
+        // builds.
+        let v = cache.get_or_try_build(9, || Ok::<_, ()>(42)).unwrap();
+        assert_eq!(*v, 42);
+        assert_eq!(cache.builds(), 1);
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_data() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+    }
+}

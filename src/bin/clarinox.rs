@@ -3,13 +3,16 @@
 //!
 //! ```text
 //! clarinox block [--nets N] [--seed S] [--jobs J] [--thevenin] [--exhaustive]
+//!                [--backend full|prima] [--driver-cache on|off]
 //!     analyze a generated block of coupled nets, print per-net extra
 //!     delays and summary statistics
 //!
 //! clarinox net [--seed S] [--id I] [--verbose]
+//!              [--backend full|prima] [--driver-cache on|off]
 //!     analyze a single net of a generated block in detail
 //!
 //! clarinox functional [--nets N] [--seed S] [--margin MV] [--jobs J]
+//!                     [--backend full|prima] [--driver-cache on|off]
 //!     run the functional (glitch) noise check over a block
 //!
 //! clarinox characterize [--strength X]
@@ -18,10 +21,20 @@
 //! clarinox spef [--seed S] [--id I]
 //!     dump a generated net's parasitic skeleton in SPEF-subset form
 //! ```
+//!
+//! `--backend` selects the linear transient engine: `full` (the full-MNA
+//! reference, default) or `prima` (PRIMA macromodels with the build-time
+//! guardrail). `--driver-cache` toggles the cross-net driver library;
+//! it defaults to `on` for block-scale commands (`block`, `functional`)
+//! and `off` for single-net ones. Either way the reported numbers are
+//! bit-identical for the driver cache, and PRIMA-guarded within tolerance
+//! for the backend.
 
 use clarinox::cells::{Gate, Tech};
 use clarinox::core::analysis::NoiseAnalyzer;
-use clarinox::core::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
+use clarinox::core::config::{
+    AlignmentObjective, AnalyzerConfig, DriverModelKind, LinearBackendKind, ModelProviderKind,
+};
 use clarinox::core::functional::{check_functional_noise_block, QuietState};
 use clarinox::netgen::generate::{generate_block, BlockConfig};
 use clarinox::numeric::stats;
@@ -57,6 +70,33 @@ fn arg_jobs() -> usize {
     arg_value("--jobs", default).max(1)
 }
 
+/// Linear backend selection: `--backend full` (default) or
+/// `--backend prima`.
+fn arg_backend() -> LinearBackendKind {
+    match arg_value("--backend", "full".to_string()).as_str() {
+        "full" => LinearBackendKind::FullMna,
+        "prima" => LinearBackendKind::prima(),
+        other => {
+            eprintln!("error: --backend must be 'full' or 'prima', got {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Driver-library selection: `--driver-cache on|off`, with a per-command
+/// default (block-scale commands cache, single-net ones do not).
+fn arg_driver_cache(default_on: bool) -> ModelProviderKind {
+    let default = if default_on { "on" } else { "off" };
+    match arg_value("--driver-cache", default.to_string()).as_str() {
+        "on" => ModelProviderKind::Library,
+        "off" => ModelProviderKind::Uncached,
+        other => {
+            eprintln!("error: --driver-cache must be 'on' or 'off', got {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn base_config() -> AnalyzerConfig {
     AnalyzerConfig {
         dt: 2e-12,
@@ -77,6 +117,9 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
     if arg_flag("--exhaustive") {
         cfg = cfg.with_alignment(AlignmentObjective::ExhaustiveReceiverOutput { points: 17 });
     }
+    cfg = cfg
+        .with_model_provider(arg_driver_cache(true))
+        .with_linear_backend(arg_backend());
     let analyzer = NoiseAnalyzer::with_config(tech, cfg);
     let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
 
@@ -108,6 +151,15 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
         stats::mean(&extras),
         stats::max(&extras).unwrap_or(0.0)
     );
+    let ps = analyzer.provider_stats();
+    if ps.builds + ps.hits > 0 {
+        println!(
+            "driver library: {} characterizations, {} served from cache ({:.0}% hit rate)",
+            ps.builds,
+            ps.hits,
+            ps.hit_rate() * 100.0
+        );
+    }
     Ok(())
 }
 
@@ -115,7 +167,10 @@ fn cmd_net() -> Result<(), Box<dyn std::error::Error>> {
     let seed = arg_value("--seed", 1u64);
     let id = arg_value("--id", 0usize);
     let tech = Tech::default_180nm();
-    let analyzer = NoiseAnalyzer::with_config(tech, base_config());
+    let cfg = base_config()
+        .with_model_provider(arg_driver_cache(false))
+        .with_linear_backend(arg_backend());
+    let analyzer = NoiseAnalyzer::with_config(tech, cfg);
     let block = generate_block(&tech, &BlockConfig::default().with_nets(id + 1), seed);
     let spec = &block[id];
     let r = analyzer.analyze(spec)?;
@@ -163,7 +218,9 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
     let margin_mv = arg_value("--margin", 180.0f64);
     let jobs = arg_jobs();
     let tech = Tech::default_180nm();
-    let cfg = base_config();
+    let cfg = base_config()
+        .with_model_provider(arg_driver_cache(true))
+        .with_linear_backend(arg_backend());
     let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
     let mut fails = 0usize;
     let states = [QuietState::Low, QuietState::High];

@@ -51,6 +51,41 @@ fn parallel_block_analysis_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn driver_library_characterizes_each_corner_once_under_contention() {
+    use clarinox::core::config::ModelProviderKind;
+    use clarinox::core::provider::provider_for;
+
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(1), 7);
+    // A serial pass on a fresh provider establishes how many distinct
+    // corners the net has.
+    let serial = provider_for(ModelProviderKind::Library, &tech);
+    serial.net_models(&tech, &nets[0], 3).expect("serial pass");
+    let corners = serial.stats().builds;
+    assert!(corners >= 1);
+
+    // Eight threads race the same cold library: every corner must still be
+    // characterized exactly once, the other requests served from cache.
+    let provider = provider_for(ModelProviderKind::Library, &tech);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                provider
+                    .net_models(&tech, &nets[0], 3)
+                    .expect("characterization")
+            });
+        }
+    });
+    let stats = provider.stats();
+    let requests = 8 * (1 + nets[0].aggressors.len());
+    assert_eq!(
+        stats.builds, corners,
+        "concurrent first use must characterize each corner exactly once"
+    );
+    assert_eq!(stats.hits, requests - corners);
+}
+
+#[test]
 fn alignment_table_cache_characterizes_each_key_once_under_contention() {
     let tech = Tech::default_180nm();
     let analyzer = NoiseAnalyzer::with_config(tech, quick_config());

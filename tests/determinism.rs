@@ -4,7 +4,7 @@
 
 use clarinox::cells::Tech;
 use clarinox::core::analysis::NoiseAnalyzer;
-use clarinox::core::config::AnalyzerConfig;
+use clarinox::core::config::{AnalyzerConfig, ModelProviderKind};
 use clarinox::netgen::generate::{generate_block, BlockConfig};
 
 fn quick_config() -> AnalyzerConfig {
@@ -47,6 +47,37 @@ fn analysis_is_deterministic() {
     assert_eq!(r1.delay_noise_rcv_in, r2.delay_noise_rcv_in);
     assert_eq!(r1.peak_time, r2.peak_time);
     assert_eq!(r1.holding_r, r2.holding_r);
+}
+
+#[test]
+fn driver_library_block_results_are_bit_identical_at_every_job_count() {
+    // The cross-net driver library is a pure time optimization: with the
+    // cache on — cold or warm, serial or parallel — the block reports must
+    // match the uncached run bit for bit.
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(6), 7);
+    let uncached = NoiseAnalyzer::with_config(tech, quick_config());
+    let library = NoiseAnalyzer::with_config(
+        tech,
+        quick_config().with_model_provider(ModelProviderKind::Library),
+    );
+
+    let want: Vec<String> = uncached
+        .analyze_block(&nets, 1)
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    for jobs in [1, 2, 4] {
+        let got: Vec<String> = library
+            .analyze_block(&nets, jobs)
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect();
+        assert_eq!(got, want, "driver cache changed results at jobs={jobs}");
+    }
+    let stats = library.provider_stats();
+    assert!(stats.builds > 0, "cold pass must characterize");
+    assert!(stats.hits > 0, "warm passes must hit the library");
 }
 
 #[test]

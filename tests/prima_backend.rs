@@ -1,0 +1,97 @@
+//! Linear-backend invariants: the PRIMA macromodel backend must track the
+//! full-MNA reference within tolerance on random nets, and its build-time
+//! guardrail must degrade to full MNA — bit-identically — when reduction
+//! is not worthwhile.
+
+use clarinox::cells::Tech;
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::core::config::{AnalyzerConfig, LinearBackendKind};
+use clarinox::core::profile;
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+use proptest::prelude::*;
+
+fn quick_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ceff_iterations: 3,
+        table_char: clarinox::char::alignment::AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        },
+        ..AnalyzerConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// On seeded random coupled nets, the reduced backend's delay noise
+    /// stays within max(2 ps, 10%) of the full-MNA reference.
+    #[test]
+    fn prima_tracks_full_mna_on_random_nets(seed in 1u64..10_000) {
+        let tech = Tech::default_180nm();
+        let nets = generate_block(&tech, &BlockConfig::default().with_nets(1), seed);
+        let full = NoiseAnalyzer::with_config(tech, quick_config())
+            .analyze(&nets[0])
+            .expect("full-MNA analysis");
+        let prima = NoiseAnalyzer::with_config(
+            tech,
+            quick_config().with_linear_backend(LinearBackendKind::prima()),
+        )
+        .analyze(&nets[0])
+        .expect("PRIMA analysis");
+
+        let tol_out = (0.10 * full.delay_noise_rcv_out.abs()).max(2e-12);
+        prop_assert!(
+            (prima.delay_noise_rcv_out - full.delay_noise_rcv_out).abs() <= tol_out,
+            "seed {}: receiver-output delay noise diverged: full {:.3} ps, prima {:.3} ps",
+            seed,
+            full.delay_noise_rcv_out * 1e12,
+            prima.delay_noise_rcv_out * 1e12,
+        );
+        let tol_in = (0.10 * full.delay_noise_rcv_in.abs()).max(2e-12);
+        prop_assert!(
+            (prima.delay_noise_rcv_in - full.delay_noise_rcv_in).abs() <= tol_in,
+            "seed {}: receiver-input delay noise diverged: full {:.3} ps, prima {:.3} ps",
+            seed,
+            full.delay_noise_rcv_in * 1e12,
+            prima.delay_noise_rcv_in * 1e12,
+        );
+    }
+}
+
+/// With `min_nodes` above any realistic net size, every configuration must
+/// take the guardrail's fallback path and reproduce the full-MNA report
+/// bit for bit (the fallback embeds the genuine full backend, not an
+/// approximation of it).
+#[test]
+fn guardrail_fallback_is_bit_identical_to_full_mna() {
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(1), 7);
+    let full = NoiseAnalyzer::with_config(tech, quick_config())
+        .analyze(&nets[0])
+        .expect("full-MNA analysis");
+
+    let guarded = LinearBackendKind::PrimaReduced {
+        arnoldi_blocks: 4,
+        dc_tolerance: 1e-6,
+        min_nodes: 10_000,
+    };
+    let before = profile::prima_fallbacks();
+    let degraded = NoiseAnalyzer::with_config(tech, quick_config().with_linear_backend(guarded))
+        .analyze(&nets[0])
+        .expect("degraded PRIMA analysis");
+    // The counters are process-wide, so only a monotone delta is safe to
+    // assert when tests run in parallel.
+    assert!(
+        profile::prima_fallbacks() > before,
+        "the guardrail must have rejected at least one ROM build"
+    );
+    assert_eq!(
+        format!("{full:?}"),
+        format!("{degraded:?}"),
+        "fallback must reproduce full MNA exactly"
+    );
+}
