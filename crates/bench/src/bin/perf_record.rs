@@ -19,18 +19,28 @@
 //!   byte-for-byte the same reports as `uncached+full` (the library's
 //!   exact corner keys guarantee it),
 //! * `library_speedup_warm`: warm `uncached+full` time over warm
-//!   `library+full` time — the headline reuse win.
+//!   `library+full` time — the headline reuse win,
+//! * an **incremental** section (`--eco-nets`, default 32): a resident
+//!   [`IncrementalDesign`] analyzed cold, then one net's parasitics edited
+//!   and re-analyzed incrementally vs. a full cold re-run — the ECO result
+//!   must be bit-identical and (at block scale) ≥5× faster — plus a
+//!   store save/restart cycle through the `clarinox-serve` service, which
+//!   must re-characterize zero drivers.
 //!
 //! Usage:
-//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R] > BENCH_pr2.json`
+//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R --eco-nets M] > BENCH_pr3.json`
 
 use std::time::Instant;
 
 use clarinox_cells::Tech;
 use clarinox_core::analysis::NoiseAnalyzer;
 use clarinox_core::config::{AnalyzerConfig, LinearBackendKind, ModelProviderKind};
+use clarinox_core::design::DesignNet;
+use clarinox_core::incremental::IncrementalDesign;
 use clarinox_core::profile;
 use clarinox_netgen::generate::{generate_block, BlockConfig};
+use clarinox_serve::protocol::Request;
+use clarinox_serve::service::{couplings_for, input_window_for, DesignService, ServiceConfig};
 
 fn arg_value<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
@@ -78,9 +88,124 @@ struct Variant {
     reports: String,
 }
 
+/// The incremental/ECO measurements of the resident-design engine.
+struct IncrementalNumbers {
+    eco_nets: usize,
+    cold_initial_s: f64,
+    eco_incremental_s: f64,
+    eco_cold_s: f64,
+    eco_analyzed: usize,
+    eco_speedup: f64,
+    bit_identical: bool,
+    restart_restored_summaries: usize,
+    restart_restored_corners: usize,
+    restart_analyzed: usize,
+    restart_driver_builds: usize,
+}
+
+fn measure_incremental(tech: Tech, cfg: AnalyzerConfig, eco_nets: usize) -> IncrementalNumbers {
+    let seed = 21u64;
+    let specs = generate_block(&tech, &BlockConfig::default().with_nets(eco_nets), seed);
+    let nets: Vec<DesignNet> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| DesignNet {
+            spec,
+            input_window: input_window_for(i),
+        })
+        .collect();
+    let couplings = couplings_for(eco_nets);
+
+    // Resident design, analyzed cold.
+    let mut resident = IncrementalDesign::new(
+        NoiseAnalyzer::with_config(tech, cfg),
+        nets.clone(),
+        couplings.clone(),
+        1,
+    )
+    .expect("valid couplings");
+    let t0 = Instant::now();
+    resident.analyze(20).expect("cold analysis");
+    let cold_initial_s = t0.elapsed().as_secs_f64();
+
+    // ECO: one net's parasitics change; re-analyze incrementally.
+    let victim = eco_nets / 2;
+    let mut edited = nets.clone();
+    edited[victim].spec.victim.wire_len *= 1.25;
+    resident
+        .update_net(victim, edited[victim].clone())
+        .expect("net exists");
+    let t0 = Instant::now();
+    let eco = resident.analyze(20).expect("incremental analysis");
+    let eco_incremental_s = t0.elapsed().as_secs_f64();
+
+    // Full cold re-run over the edited design, for time and bit-identity.
+    let mut cold =
+        IncrementalDesign::new(NoiseAnalyzer::with_config(tech, cfg), edited, couplings, 1)
+            .expect("valid couplings");
+    let t0 = Instant::now();
+    let full = cold.analyze(20).expect("cold re-analysis");
+    let eco_cold_s = t0.elapsed().as_secs_f64();
+
+    let bit_identical = eco.nets.iter().zip(&full.nets).all(|(a, b)| a.bits_eq(b))
+        && eco
+            .deltas
+            .iter()
+            .zip(&full.deltas)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+        && eco.windows.iter().zip(&full.windows).all(|(a, b)| {
+            a.early.to_bits() == b.early.to_bits() && a.late.to_bits() == b.late.to_bits()
+        });
+
+    // Store round trip: a service analyzes and saves, a second service
+    // restarts against the store and must re-characterize nothing.
+    let store_dir =
+        std::env::temp_dir().join(format!("clarinox-perf-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let svc_cfg = ServiceConfig {
+        nets: eco_nets,
+        seed,
+        jobs: 1,
+        max_rounds: 20,
+        store: Some(store_dir.clone()),
+    };
+    let mut svc = DesignService::new(tech, cfg, &svc_cfg).expect("service construction");
+    svc.handle(&Request::Analyze { profile: false }, 20)
+        .expect("service analysis");
+    svc.handle(&Request::Save, 20).expect("store save");
+
+    let mut restarted = DesignService::new(tech, cfg, &svc_cfg).expect("service restart");
+    let restored = restarted.restored();
+    let (resp, _) = restarted
+        .handle(&Request::Analyze { profile: false }, 20)
+        .expect("restarted analysis");
+    let restart_analyzed = resp
+        .get("stats")
+        .and_then(|s| s.get("analyzed"))
+        .and_then(|v| v.as_usize())
+        .expect("stats in response");
+    let restart_driver_builds = restarted.design().analyzer().provider_stats().builds;
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    IncrementalNumbers {
+        eco_nets,
+        cold_initial_s,
+        eco_incremental_s,
+        eco_cold_s,
+        eco_analyzed: eco.stats.analyzed,
+        eco_speedup: eco_cold_s / eco_incremental_s,
+        bit_identical,
+        restart_restored_summaries: restored.summaries,
+        restart_restored_corners: restored.corners,
+        restart_analyzed,
+        restart_driver_builds,
+    }
+}
+
 fn main() {
     let nets = arg_value("--nets", 10usize);
     let reps = arg_value("--reps", 3usize).max(1);
+    let eco_nets = arg_value("--eco-nets", 32usize).max(2);
     let tech = Tech::default_180nm();
     let cfg = AnalyzerConfig {
         dt: 2e-12,
@@ -161,9 +286,10 @@ fn main() {
     let library_full = by_label("library_full");
     let bit_identical = uncached_full.reports == library_full.reports;
     let library_speedup_warm = uncached_full.warm_s / library_full.warm_s;
+    let inc = measure_incremental(tech, cfg, eco_nets);
 
     println!("{{");
-    println!("  \"schema\": \"clarinox-perf-record/2\",");
+    println!("  \"schema\": \"clarinox-perf-record/3\",");
     println!("  \"host_parallelism\": {hw},");
     println!("  \"nets\": {nets},");
     println!("  \"warm_reps\": {reps},");
@@ -191,11 +317,53 @@ fn main() {
     }
     println!("  }},");
     println!("  \"library_full_bit_identical_to_uncached_full\": {bit_identical},");
-    println!("  \"library_speedup_warm\": {library_speedup_warm:.3}");
+    println!("  \"library_speedup_warm\": {library_speedup_warm:.3},");
+    println!("  \"incremental\": {{");
+    println!("    \"eco_nets\": {},", inc.eco_nets);
+    println!("    \"cold_initial_s\": {:.6},", inc.cold_initial_s);
+    println!("    \"eco_incremental_s\": {:.6},", inc.eco_incremental_s);
+    println!("    \"eco_cold_s\": {:.6},", inc.eco_cold_s);
+    println!("    \"eco_analyzed_nets\": {},", inc.eco_analyzed);
+    println!("    \"eco_speedup\": {:.3},", inc.eco_speedup);
+    println!("    \"bit_identical_to_cold\": {},", inc.bit_identical);
+    println!(
+        "    \"restart_restored_summaries\": {},",
+        inc.restart_restored_summaries
+    );
+    println!(
+        "    \"restart_restored_corners\": {},",
+        inc.restart_restored_corners
+    );
+    println!("    \"restart_analyzed_nets\": {},", inc.restart_analyzed);
+    println!(
+        "    \"restart_driver_builds\": {}",
+        inc.restart_driver_builds
+    );
+    println!("  }}");
     println!("}}");
 
     if !bit_identical {
         eprintln!("error: library+full reports diverged from uncached+full");
+        std::process::exit(1);
+    }
+    if !inc.bit_identical {
+        eprintln!("error: incremental ECO re-analysis diverged from the cold re-run");
+        std::process::exit(1);
+    }
+    if inc.restart_analyzed != 0 || inc.restart_driver_builds != 0 {
+        eprintln!(
+            "error: store restart re-did work ({} nets, {} characterizations)",
+            inc.restart_analyzed, inc.restart_driver_builds
+        );
+        std::process::exit(1);
+    }
+    // At block scale the single-net ECO must beat the cold re-run by the
+    // acceptance margin; tiny smoke runs only check correctness.
+    if inc.eco_nets >= 8 && inc.eco_speedup < 5.0 {
+        eprintln!(
+            "error: incremental ECO speedup {:.2}x below the 5x floor",
+            inc.eco_speedup
+        );
         std::process::exit(1);
     }
 }

@@ -28,7 +28,7 @@
 
 use crate::ceff::{effective_capacitance, LoadNetwork};
 use crate::thevenin::{fit_thevenin, TheveninModel};
-use crate::Result;
+use crate::{CharError, Result};
 use clarinox_cells::{Gate, Tech};
 use clarinox_circuit::netlist::Element;
 use clarinox_numeric::sync::KeyedOnceCache;
@@ -120,6 +120,106 @@ impl DriverCorner {
     pub fn load_bucket(&self) -> u64 {
         self.load_bucket
     }
+
+    /// Serializes the corner as the leading fields of a library record
+    /// (space-separated tokens, f64s as exact hex bit patterns).
+    fn write_record(&self, out: &mut String) {
+        use std::fmt::Write;
+        let edge = match self.input_edge {
+            Edge::Rising => "R",
+            Edge::Falling => "F",
+        };
+        write!(
+            out,
+            "{} {:016x} {:016x} {edge} {:016x} {} {} {} {} {}",
+            self.gate_kind,
+            self.strength_bits,
+            self.pn_ratio_bits,
+            self.input_ramp_bits,
+            self.ceff_iterations,
+            self.load_bucket,
+            self.load_port,
+            self.load_nodes,
+            self.load_elements.len(),
+        )
+        .expect("writing to String cannot fail");
+        for e in self.load_elements.iter() {
+            let (tag, a, b, bits) = match e {
+                ElementSig::R(a, b, bits) => ("R", a, b, bits),
+                ElementSig::C(a, b, bits) => ("C", a, b, bits),
+            };
+            write!(out, " {tag} {a} {b} {bits:016x}").expect("writing to String cannot fail");
+        }
+    }
+
+    /// Parses the corner fields back from a token stream (the inverse of
+    /// [`DriverCorner::write_record`]).
+    fn parse_record<'a>(tok: &mut impl Iterator<Item = &'a str>) -> Result<Self> {
+        let gate_kind = match need(tok, "gate kind")? {
+            "INV" => clarinox_cells::GateKind::Inv,
+            "BUF" => clarinox_cells::GateKind::Buf,
+            "NAND2" => clarinox_cells::GateKind::Nand2,
+            "NOR2" => clarinox_cells::GateKind::Nor2,
+            other => return Err(CharError::spec(format!("unknown gate kind {other:?}"))),
+        };
+        let strength_bits = hex_u64(tok, "strength")?;
+        let pn_ratio_bits = hex_u64(tok, "pn ratio")?;
+        let input_edge = match need(tok, "edge")? {
+            "R" => Edge::Rising,
+            "F" => Edge::Falling,
+            other => return Err(CharError::spec(format!("unknown edge {other:?}"))),
+        };
+        let input_ramp_bits = hex_u64(tok, "ramp")?;
+        let ceff_iterations = dec_u64(tok, "ceff iterations")? as usize;
+        let load_bucket = dec_u64(tok, "load bucket")?;
+        let load_port = dec_u64(tok, "load port")? as u32;
+        let load_nodes = dec_u64(tok, "load nodes")? as u32;
+        let n_elems = dec_u64(tok, "element count")? as usize;
+        let mut elements = Vec::with_capacity(n_elems);
+        for _ in 0..n_elems {
+            let tag = need(tok, "element tag")?;
+            let a = dec_u64(tok, "element node a")? as u32;
+            let b = dec_u64(tok, "element node b")? as u32;
+            let bits = hex_u64(tok, "element value")?;
+            elements.push(match tag {
+                "R" => ElementSig::R(a, b, bits),
+                "C" => ElementSig::C(a, b, bits),
+                other => return Err(CharError::spec(format!("unknown element tag {other:?}"))),
+            });
+        }
+        Ok(DriverCorner {
+            gate_kind,
+            strength_bits,
+            pn_ratio_bits,
+            input_edge,
+            input_ramp_bits,
+            ceff_iterations,
+            load_bucket,
+            load_port,
+            load_nodes,
+            load_elements: elements.into(),
+        })
+    }
+}
+
+/// Next token, or a parse error naming what was expected.
+fn need<'a>(tok: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<&'a str> {
+    tok.next()
+        .ok_or_else(|| CharError::spec(format!("library record truncated at {what}")))
+}
+
+/// Next token parsed as hex u64 (f64 bit patterns).
+fn hex_u64<'a>(tok: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<u64> {
+    let t = need(tok, what)?;
+    u64::from_str_radix(t, 16)
+        .map_err(|_| CharError::spec(format!("library record: bad hex {what} {t:?}")))
+}
+
+/// Next token parsed as decimal u64.
+fn dec_u64<'a>(tok: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<u64> {
+    let t = need(tok, what)?;
+    t.parse()
+        .map_err(|_| CharError::spec(format!("library record: bad integer {what} {t:?}")))
 }
 
 /// A driver characterization as cached: the converged effective
@@ -207,6 +307,68 @@ impl DriverLibrary {
     /// Number of distinct corners seen.
     pub fn corners(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Exports every characterized corner as one text record per line —
+    /// the persistence format of the serve-layer store. Records carry
+    /// exact f64 bit patterns (hex), so an import reproduces each model
+    /// bit for bit; the output is sorted so equal libraries export equal
+    /// snapshots regardless of characterization order.
+    pub fn export_records(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .cache
+            .snapshot()
+            .into_iter()
+            .map(|(corner, drv)| {
+                let mut line = String::new();
+                corner.write_record(&mut line);
+                use std::fmt::Write;
+                let m = &drv.model;
+                write!(
+                    line,
+                    " {:016x} {:016x} {:016x} {:016x} {:016x} {:016x} {:016x}",
+                    drv.ceff.to_bits(),
+                    m.v_start.to_bits(),
+                    m.v_end.to_bits(),
+                    m.t0.to_bits(),
+                    m.ramp.to_bits(),
+                    m.rth.to_bits(),
+                    m.cload.to_bits(),
+                )
+                .expect("writing to String cannot fail");
+                line
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Imports one record produced by [`DriverLibrary::export_records`],
+    /// seeding the cache so the corner will never re-characterize. Returns
+    /// whether the entry was new (an already-present corner is left
+    /// untouched). Counts as neither a build nor a hit.
+    ///
+    /// # Errors
+    ///
+    /// [`CharError::InvalidSpec`] for a malformed record.
+    pub fn import_record(&self, record: &str) -> Result<bool> {
+        let mut tok = record.split_ascii_whitespace();
+        let corner = DriverCorner::parse_record(&mut tok)?;
+        let ceff = f64::from_bits(hex_u64(&mut tok, "ceff")?);
+        let model = TheveninModel {
+            v_start: f64::from_bits(hex_u64(&mut tok, "v_start")?),
+            v_end: f64::from_bits(hex_u64(&mut tok, "v_end")?),
+            t0: f64::from_bits(hex_u64(&mut tok, "t0")?),
+            ramp: f64::from_bits(hex_u64(&mut tok, "model ramp")?),
+            rth: f64::from_bits(hex_u64(&mut tok, "rth")?),
+            cload: f64::from_bits(hex_u64(&mut tok, "cload")?),
+        };
+        if tok.next().is_some() {
+            return Err(CharError::spec(
+                "library record has trailing tokens".to_string(),
+            ));
+        }
+        Ok(self.cache.seed(corner, CharacterizedDriver { ceff, model }))
     }
 }
 
@@ -308,6 +470,63 @@ mod tests {
         let corner = DriverCorner::new(Gate::inv(2.0, &tech), Edge::Rising, 100e-12, &net, 4);
         // 40 fF = 40_000 aF.
         assert_eq!(corner.load_bucket(), 40_000);
+    }
+
+    #[test]
+    fn export_import_round_trip_is_bit_exact() {
+        let tech = Tech::default_180nm();
+        let lib = DriverLibrary::new(tech);
+        let gate = Gate::inv(2.0, &tech);
+        let net = load(10e-15, 30e-15);
+        let a = lib
+            .characterize(gate, Edge::Rising, 100e-12, &net, 4)
+            .unwrap();
+        lib.characterize(Gate::inv(4.0, &tech), Edge::Falling, 130e-12, &net, 4)
+            .unwrap();
+
+        let records = lib.export_records();
+        assert_eq!(records.len(), 2);
+
+        // A fresh library warmed from the records serves the same corners
+        // without a single characterization, bit for bit.
+        let warm = DriverLibrary::new(tech);
+        for r in &records {
+            assert!(warm.import_record(r).unwrap());
+        }
+        assert_eq!((warm.builds(), warm.corners()), (0, 2));
+        let b = warm
+            .characterize(gate, Edge::Rising, 100e-12, &net, 4)
+            .unwrap();
+        assert_eq!((warm.builds(), warm.hits()), (0, 1));
+        assert_eq!(a.ceff.to_bits(), b.ceff.to_bits());
+        assert_eq!(a.model, b.model);
+
+        // Re-exporting the warmed library reproduces the snapshot exactly,
+        // and re-importing an existing corner is a no-op.
+        assert_eq!(warm.export_records(), records);
+        assert!(!warm.import_record(&records[0]).unwrap());
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        let lib = DriverLibrary::new(Tech::default_180nm());
+        for bad in [
+            "",
+            "INV",
+            "XOR2 0 0 R 0 4 1 0 2 0",
+            "INV zz 0 R 0 4 1 0 2 0",
+            "INV 0 0 X 0 4 1 0 2 0",
+        ] {
+            assert!(lib.import_record(bad).is_err(), "accepted {bad:?}");
+        }
+        // Trailing garbage after a well-formed record.
+        let tech = Tech::default_180nm();
+        let gate = Gate::inv(2.0, &tech);
+        lib.characterize(gate, Edge::Rising, 100e-12, &load(10e-15, 30e-15), 4)
+            .unwrap();
+        let mut rec = lib.export_records().remove(0);
+        rec.push_str(" deadbeef");
+        assert!(lib.import_record(&rec).is_err());
     }
 
     #[test]

@@ -61,35 +61,17 @@ pub fn analyze_design(
         .map(|n| analyzer.analyze(&n.spec))
         .collect::<Result<Vec<_>>>()?;
 
-    // Graph: one primary stage (input window) + one internal stage (net
-    // delay) per net. Stage index of net i's output = 2*i + 1.
-    let mut graph = TimingGraph::new();
-    for (i, n) in nets.iter().enumerate() {
-        let p = graph.add_stage(Stage::primary(n.input_window))?;
-        debug_assert_eq!(p, 2 * i);
-        let s = graph.add_stage(Stage::internal(reports[i].base_delay_out, vec![p]))?;
-        debug_assert_eq!(s, 2 * i + 1);
-    }
-    let stage_couplings: Vec<NoiseCoupling> = couplings
-        .iter()
-        .map(|c| NoiseCoupling {
-            victim: 2 * c.victim + 1,
-            aggressor: 2 * c.aggressor + 1,
-        })
-        .collect();
-
-    let declared: Vec<usize> = (0..nets.len())
-        .map(|i| couplings.iter().filter(|c| c.victim == i).count().max(1))
-        .collect();
+    let base_delays: Vec<f64> = reports.iter().map(|r| r.base_delay_out).collect();
+    let input_windows: Vec<TimingWindow> = nets.iter().map(|n| n.input_window).collect();
+    let graph = build_stage_graph(&input_windows, &base_delays)?;
+    let stage_couplings = to_stage_couplings(couplings);
+    let declared = declared_aggressors(couplings, nets.len());
+    let noise: Vec<f64> = reports.iter().map(|r| r.delay_noise_rcv_out).collect();
 
     let res = iterate_to_fixpoint(
         &graph,
         &stage_couplings,
-        |stage, active, _windows| {
-            let net = (stage - 1) / 2;
-            let frac = active.len() as f64 / declared[net] as f64;
-            reports[net].delay_noise_rcv_out.max(0.0) * frac
-        },
+        design_delta_fn(&noise, &declared),
         1e-15,
         max_rounds,
     )?;
@@ -102,6 +84,57 @@ pub fn analyze_design(
         deltas,
         iterations: res.iterations,
     })
+}
+
+/// Builds the stage graph of a design: one primary stage (input window) +
+/// one internal stage (net delay) per net, so the stage index of net `i`'s
+/// receiver output is `2*i + 1`.
+pub(crate) fn build_stage_graph(
+    input_windows: &[TimingWindow],
+    base_delays: &[f64],
+) -> Result<TimingGraph> {
+    let mut graph = TimingGraph::new();
+    for (i, w) in input_windows.iter().enumerate() {
+        let p = graph.add_stage(Stage::primary(*w))?;
+        debug_assert_eq!(p, 2 * i);
+        let s = graph.add_stage(Stage::internal(base_delays[i], vec![p]))?;
+        debug_assert_eq!(s, 2 * i + 1);
+    }
+    Ok(graph)
+}
+
+/// Lifts net-level couplings onto the internal (receiver-output) stages.
+pub(crate) fn to_stage_couplings(couplings: &[NoiseCoupling]) -> Vec<NoiseCoupling> {
+    couplings
+        .iter()
+        .map(|c| NoiseCoupling {
+            victim: 2 * c.victim + 1,
+            aggressor: 2 * c.aggressor + 1,
+        })
+        .collect()
+}
+
+/// Per-net declared-aggressor counts (floored at one so the proportional
+/// scaling below never divides by zero).
+pub(crate) fn declared_aggressors(couplings: &[NoiseCoupling], n: usize) -> Vec<usize> {
+    (0..n)
+        .map(|i| couplings.iter().filter(|c| c.victim == i).count().max(1))
+        .collect()
+}
+
+/// The design-level delta function: a victim's delta is its full-aggressor
+/// delay noise scaled by the fraction of its declared aggressors whose
+/// windows overlap. Shared verbatim by the batch and incremental paths so
+/// their fixed points are the same function of the per-net noise values.
+pub(crate) fn design_delta_fn<'a>(
+    noise: &'a [f64],
+    declared: &'a [usize],
+) -> impl Fn(usize, &[usize], &[TimingWindow]) -> f64 + 'a {
+    move |stage, active, _windows| {
+        let net = (stage - 1) / 2;
+        let frac = active.len() as f64 / declared[net] as f64;
+        noise[net].max(0.0) * frac
+    }
 }
 
 #[cfg(test)]

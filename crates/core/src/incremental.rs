@@ -1,0 +1,787 @@
+//! Incremental design re-analysis: content-hashed invalidation plus a
+//! warm-started fixed point, for ECO (engineering-change-order) loops.
+//!
+//! A design edit typically touches a handful of nets; re-running
+//! [`crate::design::analyze_design`] from scratch repeats every per-net
+//! characterization and simulation. This module keeps the design resident
+//! and re-derives only what an edit can actually change:
+//!
+//! * **Per-net reports** depend only on the net's own spec (the analysis is
+//!   window-unconstrained — windows enter later, in the fixed point), the
+//!   technology, and the analyzer configuration. Each net therefore carries
+//!   a *spec content hash* ([`spec_content_hash`]) over exactly those
+//!   inputs; an edit that leaves the hash unchanged reuses the cached
+//!   [`NetSummary`] verbatim. The hash covers `f64`s by exact bit pattern,
+//!   so "reuse" is bit-identical, never approximate. The
+//!   [`AnalyzerConfig::model_provider`](crate::config::AnalyzerConfig)
+//!   field is deliberately *excluded* — the provider layer is contractually
+//!   bit-identical — while the linear backend is *included* (PRIMA is only
+//!   tolerance-equal to full MNA).
+//!
+//! * **The window ↔ noise fixed point** is warm-started from the previous
+//!   converged deltas. Soundness: deltas only grow during the iteration and
+//!   a net whose inputs (spec, input window) and transitive aggressor cone
+//!   are unchanged keeps exactly its old delta in the new fixed point, so
+//!   seeding those entries with their old values and *zeroing the dirty
+//!   closure* (edited nets plus everything reachable from them along
+//!   aggressor → victim coupling edges) starts the iteration below the new
+//!   least fixed point — which the monotone iteration then reaches
+//!   bit-for-bit (see `clarinox-sta`'s seeded-fixpoint property test).
+//!
+//! Summaries round-trip through a text record format ([`NetSummary::to_record`])
+//! with hex-encoded `f64` bit patterns, so a persistence layer can store
+//! them keyed by spec hash and [`IncrementalDesign::preload_summary`] can
+//! skip re-analysis entirely across process restarts.
+
+use crate::analysis::{NetReport, NoiseAnalyzer};
+use crate::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind, LinearBackendKind};
+use crate::design::{
+    build_stage_graph, declared_aggressors, design_delta_fn, to_stage_couplings, DesignNet,
+};
+use crate::par::run_indexed;
+use crate::{CoreError, Result};
+use clarinox_cells::{Gate, GateKind, Tech};
+use clarinox_netgen::spec::{CoupledNetSpec, NetSpec};
+use clarinox_numeric::hash::Fnv64;
+use clarinox_spice::MosParams;
+use clarinox_sta::fixpoint::{iterate_to_fixpoint_seeded, NoiseCoupling};
+use clarinox_sta::window::TimingWindow;
+use clarinox_waveform::measure::Edge;
+
+/// The scalar results of one net's analysis — everything the design-level
+/// flow and the reporting layers consume, without the waveforms.
+///
+/// `f64` fields that are undefined when the net saw no noise (`composite`
+/// absent) hold a NaN sentinel; [`NetSummary::bits_eq`] and the record
+/// round-trip treat NaN payloads exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct NetSummary {
+    /// Net identifier (the spec's `id`).
+    pub id: usize,
+    /// Transient-holding refinement rounds actually run.
+    pub rounds: usize,
+    /// Whether any aggressor produced a composite noise pulse.
+    pub has_noise: bool,
+    /// Victim driver effective capacitance (farads).
+    pub ceff: f64,
+    /// Victim Thevenin (DC holding) resistance (ohms).
+    pub rth: f64,
+    /// Holding resistance actually used (ohms).
+    pub holding_r: f64,
+    /// Noiseless victim delay to the receiver output (seconds).
+    pub base_delay_out: f64,
+    /// Delay noise measured at the receiver input (seconds).
+    pub delay_noise_rcv_in: f64,
+    /// Delay noise measured at the receiver output (seconds).
+    pub delay_noise_rcv_out: f64,
+    /// Victim transition slew at the receiver input (seconds).
+    pub victim_slew_rcv: f64,
+    /// Chosen worst-case composite peak time (seconds).
+    pub peak_time: f64,
+    /// Composite pulse height (volts; NaN when quiet).
+    pub comp_height: f64,
+    /// Composite pulse 50%-height width (seconds; NaN when quiet).
+    pub comp_width50: f64,
+}
+
+impl NetSummary {
+    /// Extracts the summary of a full report.
+    pub fn from_report(r: &NetReport) -> Self {
+        NetSummary {
+            id: r.id,
+            rounds: r.rounds,
+            has_noise: r.has_noise(),
+            ceff: r.ceff,
+            rth: r.rth,
+            holding_r: r.holding_r,
+            base_delay_out: r.base_delay_out,
+            delay_noise_rcv_in: r.delay_noise_rcv_in,
+            delay_noise_rcv_out: r.delay_noise_rcv_out,
+            victim_slew_rcv: r.victim_slew_rcv,
+            peak_time: r.peak_time,
+            comp_height: r.composite.as_ref().map_or(f64::NAN, |p| p.height),
+            comp_width50: r.composite.as_ref().map_or(f64::NAN, |p| p.width50),
+        }
+    }
+
+    fn f64_fields(&self) -> [f64; 10] {
+        [
+            self.ceff,
+            self.rth,
+            self.holding_r,
+            self.base_delay_out,
+            self.delay_noise_rcv_in,
+            self.delay_noise_rcv_out,
+            self.victim_slew_rcv,
+            self.peak_time,
+            self.comp_height,
+            self.comp_width50,
+        ]
+    }
+
+    /// Bit-exact equality: every `f64` compared by bit pattern (so NaN
+    /// sentinels compare equal to themselves).
+    pub fn bits_eq(&self, other: &NetSummary) -> bool {
+        self.id == other.id
+            && self.rounds == other.rounds
+            && self.has_noise == other.has_noise
+            && self
+                .f64_fields()
+                .iter()
+                .zip(other.f64_fields().iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Serializes to a single-line whitespace-separated record with
+    /// hex-encoded `f64` bit patterns (lossless, including NaN sentinels).
+    pub fn to_record(&self) -> String {
+        let mut s = format!(
+            "{} {} {}",
+            self.id,
+            self.rounds,
+            if self.has_noise { 1 } else { 0 }
+        );
+        for x in self.f64_fields() {
+            s.push_str(&format!(" {:016x}", x.to_bits()));
+        }
+        s
+    }
+
+    /// Parses a record written by [`NetSummary::to_record`].
+    ///
+    /// # Errors
+    ///
+    /// Malformed or trailing tokens.
+    pub fn parse_record(line: &str) -> Result<Self> {
+        let mut tok = line.split_whitespace();
+        let id = dec_usize(&mut tok, "id")?;
+        let rounds = dec_usize(&mut tok, "rounds")?;
+        let has_noise = match need(&mut tok, "has_noise")? {
+            "0" => false,
+            "1" => true,
+            other => {
+                return Err(CoreError::analysis(format!(
+                    "net-summary record: has_noise flag {other:?} is not 0/1"
+                )))
+            }
+        };
+        let mut f = [0.0f64; 10];
+        for (i, slot) in f.iter_mut().enumerate() {
+            *slot = f64::from_bits(hex_u64(&mut tok, FIELD_NAMES[i])?);
+        }
+        if let Some(extra) = tok.next() {
+            return Err(CoreError::analysis(format!(
+                "net-summary record: trailing token {extra:?}"
+            )));
+        }
+        Ok(NetSummary {
+            id,
+            rounds,
+            has_noise,
+            ceff: f[0],
+            rth: f[1],
+            holding_r: f[2],
+            base_delay_out: f[3],
+            delay_noise_rcv_in: f[4],
+            delay_noise_rcv_out: f[5],
+            victim_slew_rcv: f[6],
+            peak_time: f[7],
+            comp_height: f[8],
+            comp_width50: f[9],
+        })
+    }
+}
+
+const FIELD_NAMES: [&str; 10] = [
+    "ceff",
+    "rth",
+    "holding_r",
+    "base_delay_out",
+    "delay_noise_rcv_in",
+    "delay_noise_rcv_out",
+    "victim_slew_rcv",
+    "peak_time",
+    "comp_height",
+    "comp_width50",
+];
+
+fn need<'a>(tok: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<&'a str> {
+    tok.next()
+        .ok_or_else(|| CoreError::analysis(format!("net-summary record: missing {what}")))
+}
+
+fn dec_usize<'a>(tok: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<usize> {
+    let t = need(tok, what)?;
+    t.parse()
+        .map_err(|_| CoreError::analysis(format!("net-summary record: bad {what} {t:?}")))
+}
+
+fn hex_u64<'a>(tok: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<u64> {
+    let t = need(tok, what)?;
+    u64::from_str_radix(t, 16)
+        .map_err(|_| CoreError::analysis(format!("net-summary record: bad {what} bits {t:?}")))
+}
+
+fn fold_edge(h: &mut Fnv64, e: Edge) {
+    h.write_u8(match e {
+        Edge::Rising => 0,
+        Edge::Falling => 1,
+    });
+}
+
+fn fold_gate(h: &mut Fnv64, g: &Gate) {
+    h.write_u8(match g.kind {
+        GateKind::Inv => 0,
+        GateKind::Buf => 1,
+        GateKind::Nand2 => 2,
+        GateKind::Nor2 => 3,
+    });
+    h.write_f64(g.strength);
+    h.write_f64(g.pn_ratio);
+}
+
+fn fold_net(h: &mut Fnv64, n: &NetSpec) {
+    fold_gate(h, &n.driver);
+    h.write_f64(n.driver_input_ramp);
+    fold_edge(h, n.driver_input_edge);
+    h.write_f64(n.wire_len);
+    h.write_usize(n.segments);
+    fold_gate(h, &n.receiver);
+    h.write_f64(n.receiver_load);
+}
+
+fn fold_mos(h: &mut Fnv64, m: &MosParams) {
+    h.write_f64(m.vt);
+    h.write_f64(m.kp);
+    h.write_f64(m.lambda);
+}
+
+fn fold_tech(h: &mut Fnv64, t: &Tech) {
+    h.write_f64(t.vdd);
+    fold_mos(h, &t.nmos);
+    fold_mos(h, &t.pmos);
+    h.write_f64(t.l_min);
+    h.write_f64(t.w_unit);
+    h.write_f64(t.pn_ratio_default);
+    h.write_f64(t.c_gate_per_width);
+    h.write_f64(t.c_drain_per_width);
+    h.write_f64(t.wire_res_per_m);
+    h.write_f64(t.wire_cap_per_m);
+    h.write_f64(t.wire_ccouple_per_m);
+}
+
+// `model_provider` is deliberately NOT folded in: the provider layer is
+// contractually bit-identical to fresh characterization, so switching it
+// must not invalidate stored results. The linear backend IS folded in —
+// PRIMA is only tolerance-equal to full MNA.
+fn fold_config(h: &mut Fnv64, c: &AnalyzerConfig) {
+    h.write_f64(c.dt);
+    h.write_f64(c.victim_input_start);
+    h.write_f64(c.settle_time);
+    h.write_usize(c.ceff_iterations);
+    h.write_usize(c.rt_iterations);
+    h.write_u8(match c.driver_model {
+        DriverModelKind::Thevenin => 0,
+        DriverModelKind::TransientHolding => 1,
+    });
+    match c.alignment {
+        AlignmentObjective::ReceiverInput => h.write_u8(0),
+        AlignmentObjective::ExhaustiveReceiverOutput { points } => {
+            h.write_u8(1);
+            h.write_usize(points);
+        }
+        AlignmentObjective::PredictedReceiverOutput => h.write_u8(2),
+    }
+    for axis in [c.table_width_axis, c.table_height_axis, c.table_slew_axis] {
+        h.write_f64(axis[0]);
+        h.write_f64(axis[1]);
+    }
+    h.write_f64(c.table_min_load);
+    h.write_usize(c.table_char.coarse_points);
+    h.write_f64(c.table_char.refine_tol);
+    h.write_f64(c.table_char.va_frac_range.0);
+    h.write_f64(c.table_char.va_frac_range.1);
+    h.write_f64(c.settle_hysteresis_frac);
+    match c.linear_backend {
+        LinearBackendKind::FullMna => h.write_u8(0),
+        LinearBackendKind::PrimaReduced {
+            arnoldi_blocks,
+            dc_tolerance,
+            min_nodes,
+        } => {
+            h.write_u8(1);
+            h.write_usize(arnoldi_blocks);
+            h.write_f64(dc_tolerance);
+            h.write_usize(min_nodes);
+        }
+    }
+}
+
+/// Content hash of everything a net's *report* depends on: technology,
+/// analyzer configuration (minus the bit-identical provider layer), and the
+/// coupled-net spec itself. `f64`s hash by exact bit pattern.
+pub fn spec_content_hash(tech: &Tech, cfg: &AnalyzerConfig, spec: &CoupledNetSpec) -> u64 {
+    let mut h = Fnv64::new();
+    fold_tech(&mut h, tech);
+    fold_config(&mut h, cfg);
+    h.write_usize(spec.id);
+    fold_net(&mut h, &spec.victim);
+    h.write_usize(spec.aggressors.len());
+    for a in &spec.aggressors {
+        fold_net(&mut h, &a.net);
+        h.write_f64(a.coupling_len);
+        h.write_f64(a.coupling_start);
+    }
+    h.finish()
+}
+
+/// Content hash of a switching window (bit patterns of both bounds).
+pub fn window_content_hash(w: &TimingWindow) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_f64(w.early);
+    h.write_f64(w.late);
+    h.finish()
+}
+
+/// What the last [`IncrementalDesign::analyze`] call actually did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcoStats {
+    /// Nets whose reports were (re-)computed this round.
+    pub analyzed: usize,
+    /// Nets whose cached summaries were reused.
+    pub reused: usize,
+    /// Nets in the fixed point's dirty closure (seed entries zeroed).
+    pub fixpoint_dirty: usize,
+    /// Whether the fixed point was warm-started from previous deltas.
+    pub warm_start: bool,
+}
+
+/// Result of an incremental design analysis; the per-net projection of the
+/// design fixed point, plus what it cost.
+#[derive(Debug, Clone)]
+pub struct IncrementalReport {
+    /// Per-net summaries (final values).
+    pub nets: Vec<NetSummary>,
+    /// Final arrival windows at each net's receiver output.
+    pub windows: Vec<TimingWindow>,
+    /// Final noise deltas per net (seconds).
+    pub deltas: Vec<f64>,
+    /// Fixed-point rounds used.
+    pub iterations: usize,
+    /// Work accounting.
+    pub stats: EcoStats,
+}
+
+struct NetState {
+    net: DesignNet,
+    spec_hash: u64,
+    summary: Option<NetSummary>,
+}
+
+/// A resident design that re-analyzes incrementally across edits.
+///
+/// Construct once, [`analyze`](IncrementalDesign::analyze), then apply ECO
+/// edits with [`update_net`](IncrementalDesign::update_net) and re-analyze;
+/// only nets whose spec content hash changed are re-simulated, and the
+/// fixed point warm-starts from the previous converged deltas. Results are
+/// bit-identical to a cold [`crate::design::analyze_design`]-equivalent run
+/// over the current state.
+pub struct IncrementalDesign {
+    analyzer: NoiseAnalyzer,
+    states: Vec<NetState>,
+    couplings: Vec<NoiseCoupling>,
+    jobs: usize,
+    /// Nets whose spec or input window changed since the last analyze.
+    dirty: Vec<bool>,
+    /// Stage-level deltas of the last converged fixed point (length 2n).
+    prev_deltas: Option<Vec<f64>>,
+}
+
+impl IncrementalDesign {
+    /// Takes residence over `nets` with design-level `couplings`
+    /// (`couplings[k]` declares net `aggressor` an aggressor of net
+    /// `victim`, both indices into `nets`). `jobs` caps the re-analysis
+    /// fan-out.
+    ///
+    /// # Errors
+    ///
+    /// A coupling referencing a missing net.
+    pub fn new(
+        analyzer: NoiseAnalyzer,
+        nets: Vec<DesignNet>,
+        couplings: Vec<NoiseCoupling>,
+        jobs: usize,
+    ) -> Result<Self> {
+        for c in &couplings {
+            if c.victim >= nets.len() || c.aggressor >= nets.len() {
+                return Err(CoreError::analysis(format!(
+                    "coupling {c:?} references a missing net (design has {})",
+                    nets.len()
+                )));
+            }
+        }
+        let states = nets
+            .into_iter()
+            .map(|net| NetState {
+                spec_hash: spec_content_hash(analyzer.tech(), analyzer.config(), &net.spec),
+                net,
+                summary: None,
+            })
+            .collect::<Vec<_>>();
+        let dirty = vec![true; states.len()];
+        Ok(IncrementalDesign {
+            analyzer,
+            states,
+            couplings,
+            jobs: jobs.max(1),
+            dirty,
+            prev_deltas: None,
+        })
+    }
+
+    /// Number of resident nets.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the design is empty.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The underlying analyzer.
+    pub fn analyzer(&self) -> &NoiseAnalyzer {
+        &self.analyzer
+    }
+
+    /// Net `i` as currently resident.
+    pub fn net(&self, i: usize) -> &DesignNet {
+        &self.states[i].net
+    }
+
+    /// Spec content hash of net `i` (the persistence key of its summary).
+    pub fn spec_hash(&self, i: usize) -> u64 {
+        self.states[i].spec_hash
+    }
+
+    /// All currently cached `(spec_hash, summary)` pairs — the snapshot a
+    /// persistence layer stores.
+    pub fn cached_summaries(&self) -> Vec<(u64, NetSummary)> {
+        self.states
+            .iter()
+            .filter_map(|s| s.summary.map(|sum| (s.spec_hash, sum)))
+            .collect()
+    }
+
+    /// Seeds the summary of every net whose spec hash equals `spec_hash`
+    /// and that has no summary yet; returns how many nets were seeded.
+    /// Restoring a store this way makes the next [`analyze`](Self::analyze)
+    /// skip those nets' simulations entirely.
+    pub fn preload_summary(&mut self, spec_hash: u64, summary: NetSummary) -> usize {
+        let mut seeded = 0;
+        for s in &mut self.states {
+            if s.spec_hash == spec_hash && s.summary.is_none() {
+                s.summary = Some(summary);
+                seeded += 1;
+            }
+        }
+        seeded
+    }
+
+    /// Replaces net `i` (an ECO edit). A spec change drops the cached
+    /// summary; any change (spec or input window) marks the net dirty for
+    /// the next fixed point's closure.
+    ///
+    /// # Errors
+    ///
+    /// `i` out of range.
+    pub fn update_net(&mut self, i: usize, net: DesignNet) -> Result<()> {
+        let Some(state) = self.states.get_mut(i) else {
+            return Err(CoreError::analysis(format!(
+                "ECO edit on net {i} but the design has {}",
+                self.states.len()
+            )));
+        };
+        let new_hash = spec_content_hash(self.analyzer.tech(), self.analyzer.config(), &net.spec);
+        if new_hash != state.spec_hash {
+            state.spec_hash = new_hash;
+            state.summary = None;
+            self.dirty[i] = true;
+        }
+        if window_content_hash(&net.input_window) != window_content_hash(&state.net.input_window) {
+            self.dirty[i] = true;
+        }
+        state.net = net;
+        Ok(())
+    }
+
+    /// (Re-)analyzes the design: simulates every net without a cached
+    /// summary (in parallel, up to the construction-time job cap), then
+    /// runs the window ↔ noise fixed point warm-started from the previous
+    /// converged deltas with the dirty closure zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Per-net analysis or fixed-point failures. Summaries of nets that
+    /// did complete stay cached, so a retry resumes where it failed.
+    pub fn analyze(&mut self, max_rounds: usize) -> Result<IncrementalReport> {
+        let n = self.states.len();
+        let todo: Vec<usize> = (0..n)
+            .filter(|&i| self.states[i].summary.is_none())
+            .collect();
+        let analyzer = &self.analyzer;
+        let states = &self.states;
+        let fresh: Vec<Result<NetSummary>> = run_indexed(todo.len(), self.jobs, |k| {
+            analyzer
+                .analyze(&states[todo[k]].net.spec)
+                .map(|r| NetSummary::from_report(&r))
+        });
+        let analyzed = todo.len();
+        for (&i, res) in todo.iter().zip(fresh) {
+            self.states[i].summary = Some(res?);
+        }
+
+        // Dirty closure: an edited net changes its own delta and window,
+        // which can change the active aggressor set of every victim it
+        // (transitively) aggresses — BFS along aggressor → victim edges.
+        let mut in_closure = self.dirty.clone();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| in_closure[i]).collect();
+        while let Some(a) = queue.pop() {
+            for c in &self.couplings {
+                if c.aggressor == a && !in_closure[c.victim] {
+                    in_closure[c.victim] = true;
+                    queue.push(c.victim);
+                }
+            }
+        }
+        let fixpoint_dirty = in_closure.iter().filter(|d| **d).count();
+
+        let input_windows: Vec<TimingWindow> =
+            self.states.iter().map(|s| s.net.input_window).collect();
+        let summaries: Vec<NetSummary> = self
+            .states
+            .iter()
+            .map(|s| s.summary.expect("all summaries filled above"))
+            .collect();
+        let base_delays: Vec<f64> = summaries.iter().map(|s| s.base_delay_out).collect();
+        let noise: Vec<f64> = summaries.iter().map(|s| s.delay_noise_rcv_out).collect();
+
+        let graph = build_stage_graph(&input_windows, &base_delays)?;
+        let stage_couplings = to_stage_couplings(&self.couplings);
+        let declared = declared_aggressors(&self.couplings, n);
+
+        // Clean nets keep exactly their previous converged deltas; dirty
+        // ones restart from zero. The seed is element-wise ≤ the new least
+        // fixed point, so the monotone iteration lands on the same result
+        // bit for bit.
+        let seed: Option<Vec<f64>> = self.prev_deltas.as_ref().map(|prev| {
+            let mut s = prev.clone();
+            for (v, dirty) in in_closure.iter().enumerate() {
+                if *dirty {
+                    s[2 * v] = 0.0;
+                    s[2 * v + 1] = 0.0;
+                }
+            }
+            s
+        });
+        let warm_start = seed.is_some();
+
+        let res = iterate_to_fixpoint_seeded(
+            &graph,
+            &stage_couplings,
+            design_delta_fn(&noise, &declared),
+            1e-15,
+            max_rounds,
+            seed.as_deref(),
+        )?;
+        self.prev_deltas = Some(res.deltas.clone());
+        self.dirty.iter_mut().for_each(|d| *d = false);
+
+        Ok(IncrementalReport {
+            nets: summaries,
+            windows: (0..n).map(|i| res.windows[2 * i + 1]).collect(),
+            deltas: (0..n).map(|i| res.deltas[2 * i + 1]).collect(),
+            iterations: res.iterations,
+            stats: EcoStats {
+                analyzed,
+                reused: n - analyzed,
+                fixpoint_dirty,
+                warm_start,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_char::alignment::AlignmentCharSpec;
+    use clarinox_netgen::generate::{generate_block, BlockConfig};
+
+    fn quick_config() -> AnalyzerConfig {
+        AnalyzerConfig {
+            dt: 2e-12,
+            rt_iterations: 1,
+            ceff_iterations: 3,
+            table_char: AlignmentCharSpec {
+                coarse_points: 7,
+                refine_tol: 0.05,
+                va_frac_range: (0.1, 0.95),
+            },
+            ..AnalyzerConfig::default()
+        }
+    }
+
+    fn ring_design(tech: &Tech, n: usize, seed: u64) -> (Vec<DesignNet>, Vec<NoiseCoupling>) {
+        let specs = generate_block(tech, &BlockConfig::default().with_nets(n), seed);
+        let nets: Vec<DesignNet> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| DesignNet {
+                spec,
+                input_window: TimingWindow::new(i as f64 * 20e-12, 0.4e-9 + i as f64 * 10e-12)
+                    .unwrap(),
+            })
+            .collect();
+        let couplings = (0..n)
+            .map(|v| NoiseCoupling {
+                victim: v,
+                aggressor: (v + 1) % n,
+            })
+            .collect();
+        (nets, couplings)
+    }
+
+    #[test]
+    fn spec_hash_tracks_analysis_inputs_only() {
+        let tech = Tech::default_180nm();
+        let cfg = quick_config();
+        let (nets, _) = ring_design(&tech, 2, 5);
+        let base = spec_content_hash(&tech, &cfg, &nets[0].spec);
+
+        // Parasitics change → different hash.
+        let mut edited = nets[0].spec.clone();
+        edited.victim.wire_len *= 1.5;
+        assert_ne!(base, spec_content_hash(&tech, &cfg, &edited));
+
+        // Provider layer is bit-identical by contract → same hash.
+        let lib_cfg = cfg.with_model_provider(crate::config::ModelProviderKind::Library);
+        assert_eq!(base, spec_content_hash(&tech, &lib_cfg, &nets[0].spec));
+
+        // Linear backend is only tolerance-equal → different hash.
+        let prima_cfg = cfg.with_linear_backend(LinearBackendKind::prima());
+        assert_ne!(base, spec_content_hash(&tech, &prima_cfg, &nets[0].spec));
+    }
+
+    #[test]
+    fn summary_record_round_trip_is_bit_exact() {
+        let s = NetSummary {
+            id: 42,
+            rounds: 2,
+            has_noise: false,
+            ceff: 1.25e-14,
+            rth: 1234.5,
+            holding_r: 987.6,
+            base_delay_out: -0.0,
+            delay_noise_rcv_in: 3.2e-12,
+            delay_noise_rcv_out: 4.1e-12,
+            victim_slew_rcv: 180e-12,
+            peak_time: 1.9e-9,
+            comp_height: f64::NAN,
+            comp_width50: f64::NAN,
+        };
+        let back = NetSummary::parse_record(&s.to_record()).unwrap();
+        assert!(s.bits_eq(&back));
+
+        assert!(NetSummary::parse_record("1 2").is_err());
+        assert!(NetSummary::parse_record(&format!("{} extra", s.to_record())).is_err());
+        let mut toks: Vec<String> = s.to_record().split_whitespace().map(String::from).collect();
+        toks[3] = "not-hex".into();
+        assert!(NetSummary::parse_record(&toks.join(" ")).is_err());
+    }
+
+    #[test]
+    fn eco_reanalysis_matches_cold_run_bit_for_bit() {
+        let tech = Tech::default_180nm();
+        let (nets, couplings) = ring_design(&tech, 3, 11);
+
+        let mut inc = IncrementalDesign::new(
+            NoiseAnalyzer::with_config(tech, quick_config()),
+            nets.clone(),
+            couplings.clone(),
+            2,
+        )
+        .unwrap();
+        let first = inc.analyze(20).unwrap();
+        assert_eq!(first.stats.analyzed, 3);
+        assert!(!first.stats.warm_start);
+
+        // ECO: stretch one net's wire.
+        let mut edited = nets.clone();
+        edited[1].spec.victim.wire_len *= 1.25;
+        inc.update_net(1, edited[1].clone()).unwrap();
+        let eco = inc.analyze(20).unwrap();
+        assert_eq!(eco.stats.analyzed, 1, "only the edited net re-simulates");
+        assert_eq!(eco.stats.reused, 2);
+        assert!(eco.stats.warm_start);
+
+        // Cold reference over the edited design.
+        let mut cold = IncrementalDesign::new(
+            NoiseAnalyzer::with_config(tech, quick_config()),
+            edited,
+            couplings,
+            2,
+        )
+        .unwrap();
+        let full = cold.analyze(20).unwrap();
+
+        for (a, b) in eco.nets.iter().zip(full.nets.iter()) {
+            assert!(a.bits_eq(b), "summary mismatch: {a:?} vs {b:?}");
+        }
+        for (a, b) in eco.deltas.iter().zip(full.deltas.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "delta mismatch: {a} vs {b}");
+        }
+        for (a, b) in eco.windows.iter().zip(full.windows.iter()) {
+            assert_eq!(a.early.to_bits(), b.early.to_bits());
+            assert_eq!(a.late.to_bits(), b.late.to_bits());
+        }
+        assert!(eco.iterations <= full.iterations);
+    }
+
+    #[test]
+    fn preloaded_summaries_skip_all_simulation() {
+        let tech = Tech::default_180nm();
+        let (nets, couplings) = ring_design(&tech, 3, 17);
+        let mut inc = IncrementalDesign::new(
+            NoiseAnalyzer::with_config(tech, quick_config()),
+            nets.clone(),
+            couplings.clone(),
+            2,
+        )
+        .unwrap();
+        let first = inc.analyze(20).unwrap();
+        let stored = inc.cached_summaries();
+        assert_eq!(stored.len(), 3);
+
+        let mut restarted = IncrementalDesign::new(
+            NoiseAnalyzer::with_config(tech, quick_config()),
+            nets,
+            couplings,
+            2,
+        )
+        .unwrap();
+        let mut seeded = 0;
+        for (hash, summary) in stored {
+            seeded += restarted.preload_summary(hash, summary);
+        }
+        assert_eq!(seeded, 3);
+        let warm = restarted.analyze(20).unwrap();
+        assert_eq!(warm.stats.analyzed, 0, "restart must not re-simulate");
+        for (a, b) in warm.nets.iter().zip(first.nets.iter()) {
+            assert!(a.bits_eq(b));
+        }
+        for (a, b) in warm.deltas.iter().zip(first.deltas.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -71,6 +71,7 @@ pub mod design;
 pub mod functional;
 pub mod gold;
 pub mod holding;
+pub mod incremental;
 pub mod models;
 pub mod par;
 pub mod profile;
@@ -84,6 +85,7 @@ pub use config::{
     AlignmentObjective, AnalyzerConfig, DriverModelKind, LinearBackendKind, ModelProviderKind,
 };
 pub use error::CoreError;
+pub use incremental::{EcoStats, IncrementalDesign, IncrementalReport, NetSummary};
 pub use provider::{ModelProvider, ProviderStats};
 
 /// Crate-wide result alias.

@@ -1,0 +1,151 @@
+//! Deterministic content hashing for cache keys and invalidation.
+//!
+//! The incremental-analysis layer keys per-net results by a digest of
+//! everything the result depends on (parasitics, driver corners, windows,
+//! configuration). [`std::hash::Hasher`] implementations are free to vary
+//! between runs and platforms (SipHash is randomly keyed), so cache keys
+//! that must survive a process restart — the on-disk result store — need a
+//! hasher with a *specified* output. [`Fnv64`] is 64-bit FNV-1a: tiny,
+//! fully deterministic, and byte-order independent because every write
+//! goes through little-endian byte encoding.
+//!
+//! This is a content fingerprint, not a cryptographic digest: collisions
+//! are astronomically unlikely for the corpus sizes involved (thousands of
+//! nets), but nothing here defends against adversarial inputs.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A deterministic 64-bit FNV-1a content hasher.
+///
+/// # Examples
+///
+/// ```
+/// use clarinox_numeric::hash::Fnv64;
+///
+/// let mut h = Fnv64::new();
+/// h.write_f64(1.5e-9);
+/// h.write_u64(42);
+/// let a = h.finish();
+/// // Same inputs, same digest — on every run and every platform.
+/// let mut h2 = Fnv64::new();
+/// h2.write_f64(1.5e-9);
+/// h2.write_u64(42);
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64::default()
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to `u64`, so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by exact bit pattern: distinct bit patterns hash
+    /// differently (including `-0.0` vs `0.0` and NaN payloads), equal bit
+    /// patterns identically.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a string (length-prefixed, so concatenations cannot alias).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The digest of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a("") = offset basis; FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(Fnv64::new().finish(), FNV_OFFSET);
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn order_and_content_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_hashing_is_bit_exact() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = Fnv64::new();
+        c.write_f64(1.0 + 1e-16); // rounds to exactly 1.0
+        let mut d = Fnv64::new();
+        d.write_f64(1.0);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn str_prefix_cannot_alias() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod hash;
 pub mod interp;
 pub mod matrix;
 pub mod ortho;

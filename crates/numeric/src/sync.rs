@@ -147,6 +147,52 @@ impl<K: Eq + Hash, V> KeyedOnceCache<K, V> {
         *guard = Some(Arc::clone(&v));
         Ok(v)
     }
+
+    /// Seeds `key` with an already-built value, as a persistence layer does
+    /// when warming the cache from a snapshot. Counts as neither a build
+    /// nor a hit; an existing built slot is left untouched (the first
+    /// occupant wins, so a seed can never displace a value users already
+    /// share).
+    ///
+    /// Returns whether the value was inserted.
+    pub fn seed(&self, key: K, value: V) -> bool {
+        let slot: Slot<V> = {
+            let mut map = lock_unpoisoned(&self.slots);
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut guard = lock_unpoisoned(&slot);
+        if guard.is_some() {
+            return false;
+        }
+        *guard = Some(Arc::new(value));
+        true
+    }
+}
+
+impl<K: Clone, V> KeyedOnceCache<K, V> {
+    /// Snapshots every built entry as `(key, value)` pairs, for
+    /// persistence. Slots whose first build is still in flight on another
+    /// thread are skipped rather than waited on — a snapshot is a point-in-
+    /// time export, not a barrier.
+    pub fn snapshot(&self) -> Vec<(K, Arc<V>)> {
+        let slots: Vec<(K, Slot<V>)> = {
+            let map = lock_unpoisoned(&self.slots);
+            map.iter()
+                .map(|(k, s)| (k.clone(), Arc::clone(s)))
+                .collect()
+        };
+        slots
+            .into_iter()
+            .filter_map(|(k, slot)| {
+                let guard = match slot.try_lock() {
+                    Ok(g) => g,
+                    Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => return None,
+                };
+                guard.as_ref().map(|v| (k, Arc::clone(v)))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +260,27 @@ mod tests {
         });
         assert_eq!(cache.builds(), 4);
         assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn seed_and_snapshot_round_trip() {
+        let cache: KeyedOnceCache<u8, u32> = KeyedOnceCache::new();
+        assert!(cache.seed(1, 10));
+        // Seeding is invisible to the build/hit counters...
+        assert_eq!((cache.builds(), cache.hits()), (0, 0));
+        // ...but a later lookup is served from the seeded slot as a hit.
+        let v = cache.get_or_try_build(1, || Ok::<_, ()>(99)).unwrap();
+        assert_eq!(*v, 10);
+        assert_eq!((cache.builds(), cache.hits()), (0, 1));
+        // A seed never displaces an existing value.
+        assert!(!cache.seed(1, 77));
+        assert_eq!(*cache.get_or_try_build(1, || Ok::<_, ()>(0)).unwrap(), 10);
+
+        cache.get_or_try_build(2, || Ok::<_, ()>(20)).unwrap();
+        let mut snap = cache.snapshot();
+        snap.sort_by_key(|(k, _)| *k);
+        let vals: Vec<(u8, u32)> = snap.into_iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(vals, vec![(1, 10), (2, 20)]);
     }
 
     #[test]

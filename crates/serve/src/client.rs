@@ -1,0 +1,46 @@
+//! One-shot client for the line-delimited socket protocol (the `clarinox
+//! eco` side of the conversation).
+
+use crate::json::{self, Value};
+use crate::protocol::Request;
+use crate::{Result, ServeError};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Sends one request and reads one response.
+///
+/// # Errors
+///
+/// Connection failures, or a malformed/missing response line.
+pub fn request(socket_path: &Path, req: &Request) -> Result<Value> {
+    request_line(socket_path, &req.to_json().emit())
+}
+
+/// Sends one raw request line and reads one response. Exposed so tests and
+/// scripts can exercise the server's error path with malformed input.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn request_line(socket_path: &Path, line: &str) -> Result<Value> {
+    let stream = UnixStream::connect(socket_path).map_err(|e| {
+        ServeError::protocol(format!(
+            "cannot connect to {}: {e} (is `clarinox serve` running?)",
+            socket_path.display()
+        ))
+    })?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(ServeError::protocol(
+            "server closed the connection without responding",
+        ));
+    }
+    json::parse(response.trim_end())
+}

@@ -1,0 +1,67 @@
+//! Service-layer errors.
+
+use std::fmt;
+
+/// Anything the service layer can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or file I/O.
+    Io(std::io::Error),
+    /// Malformed request, response, or JSON text.
+    Protocol(String),
+    /// Persistence-layer failure (bad version, corrupt record).
+    Store(String),
+    /// Analysis failure from the core engine.
+    Core(clarinox_core::CoreError),
+}
+
+impl ServeError {
+    /// Protocol error with formatted context.
+    pub fn protocol(context: impl Into<String>) -> Self {
+        ServeError::Protocol(context.into())
+    }
+
+    /// Store error with formatted context.
+    pub fn store(context: impl Into<String>) -> Self {
+        ServeError::Store(context.into())
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(c) => write!(f, "protocol error: {c}"),
+            ServeError::Store(c) => write!(f, "store error: {c}"),
+            ServeError::Core(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<clarinox_core::CoreError> for ServeError {
+    fn from(e: clarinox_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<clarinox_char::CharError> for ServeError {
+    fn from(e: clarinox_char::CharError) -> Self {
+        ServeError::Core(e.into())
+    }
+}

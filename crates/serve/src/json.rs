@@ -1,0 +1,419 @@
+//! A minimal JSON document model for the line-delimited wire protocol.
+//!
+//! The workspace builds without registry access, so instead of `serde`
+//! this module hand-rolls exactly what the protocol needs: a [`Value`]
+//! tree, a recursive-descent parser, and an emitter whose `f64` formatting
+//! round-trips (shortest representation; non-finite numbers emit `null`,
+//! matching JSON's lack of them). Object key order is preserved, which
+//! keeps emitted responses stable for tests and CI greps.
+
+use crate::{Result, ServeError};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always held as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text (single line).
+    pub fn emit(&self) -> String {
+        let mut out = String::new();
+        self.emit_into(&mut out);
+        out
+    }
+
+    fn emit_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(x) => {
+                if !x.is_finite() {
+                    out.push_str("null");
+                } else if x.fract() == 0.0
+                    && x.abs() < 2f64.powi(53)
+                    && (*x != 0.0 || x.is_sign_positive())
+                {
+                    out.push_str(&format!("{}", *x as i64));
+                } else {
+                    // Rust's shortest round-trip float formatting is valid
+                    // JSON for finite values.
+                    out.push_str(&format!("{x:?}"));
+                }
+            }
+            Value::Str(s) => emit_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.emit_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    emit_string(k, out);
+                    out.push(':');
+                    v.emit_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn emit_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on malformed input.
+pub fn parse(text: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ServeError::protocol(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ServeError::protocol(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(ServeError::protocol(format!(
+                "bad literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(ServeError::protocol(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| ServeError::protocol(format!("bad number {text:?}")))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(ServeError::protocol("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(ServeError::protocol("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(ServeError::protocol("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| ServeError::protocol("non-ASCII \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| ServeError::protocol("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogates are unsupported (the protocol is
+                            // ASCII + escapes); reject rather than corrupt.
+                            let c = char::from_u32(code).ok_or_else(|| {
+                                ServeError::protocol("surrogate \\u escape unsupported")
+                            })?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(ServeError::protocol(format!(
+                                "bad escape \\{}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                // Multi-byte UTF-8: copy the remaining bytes of the code
+                // point verbatim.
+                b if b >= 0x80 => {
+                    let extra = if b >= 0xf0 {
+                        3
+                    } else if b >= 0xe0 {
+                        2
+                    } else {
+                        1
+                    };
+                    let end = self.pos + extra;
+                    if end > self.bytes.len() {
+                        return Err(ServeError::protocol("truncated UTF-8 sequence"));
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[self.pos - 1..end])
+                        .map_err(|_| ServeError::protocol("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+                b => out.push(b as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(ServeError::protocol("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(ServeError::protocol("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-3", "2.5", "1.5e-12"] {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&v.emit()).unwrap(), v, "{text}");
+        }
+        assert_eq!(parse("1.5e-12").unwrap().as_f64(), Some(1.5e-12));
+        assert_eq!(parse("7").unwrap().as_usize(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_usize(), None);
+    }
+
+    #[test]
+    fn structures_round_trip_preserving_order() {
+        let text = r#"{"cmd":"eco","net":3,"args":[1,"two",null,{"k":true}]}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.emit(), text);
+        assert_eq!(v.get("cmd").unwrap().as_str(), Some("eco"));
+        assert_eq!(v.get("net").unwrap().as_usize(), Some(3));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Value::str("a\"b\\c\nd\tɸ");
+        let back = parse(&v.emit()).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(parse(r#""A\n""#).unwrap().as_str(), Some("A\n"));
+    }
+
+    #[test]
+    fn float_emission_round_trips_bits() {
+        for x in [1.5e-12, -0.0, 3.141592653589793, 1e300, 123.0] {
+            let text = Value::Num(x).emit();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+        assert_eq!(Value::Num(f64::NAN).emit(), "null");
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for text in ["", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "{}x", "\"ab"] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Long-running analysis service for the `clarinox` flow.
+//!
+//! Loading a design, characterizing its drivers, and pre-characterizing
+//! alignment tables dominates the cost of a noise run — and none of it
+//! changes when an engineer nudges one wire. This crate keeps everything
+//! warm across requests:
+//!
+//! * [`service::DesignService`] holds a resident
+//!   [`clarinox_core::incremental::IncrementalDesign`] plus the shared
+//!   [`clarinox_char::DriverLibrary`], so an ECO edit re-simulates only the
+//!   nets whose content hash changed and warm-starts the window ↔ noise
+//!   fixed point from the previous converged deltas — bit-identical to a
+//!   cold run.
+//! * [`server`] answers line-delimited JSON requests ([`protocol`],
+//!   [`json`]) over a Unix socket; [`client`] is the one-shot counterpart
+//!   the `clarinox eco` subcommand uses.
+//! * [`store`] persists the driver library and per-net results keyed by
+//!   content hash, so a restarted service re-characterizes nothing whose
+//!   inputs are unchanged.
+//!
+//! # Examples
+//!
+//! In-process (no socket) ECO round trip:
+//!
+//! ```no_run
+//! use clarinox_cells::Tech;
+//! use clarinox_core::config::AnalyzerConfig;
+//! use clarinox_serve::protocol::{EcoChange, EcoField, Request};
+//! use clarinox_serve::service::{DesignService, ServiceConfig};
+//!
+//! # fn main() -> Result<(), clarinox_serve::ServeError> {
+//! let mut svc = DesignService::new(
+//!     Tech::default_180nm(),
+//!     AnalyzerConfig::default(),
+//!     &ServiceConfig::default(),
+//! )?;
+//! let (response, _stop) = svc.handle(
+//!     &Request::Eco {
+//!         net: 3,
+//!         field: EcoField::WireLen,
+//!         change: EcoChange::Scale(1.25),
+//!         profile: false,
+//!     },
+//!     20,
+//! )?;
+//! println!("{}", response.emit());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod service;
+pub mod store;
+
+mod error;
+
+pub use error::ServeError;
+pub use protocol::{EcoChange, EcoField, Request};
+pub use service::{couplings_for, input_window_for, profile_json, DesignService, ServiceConfig};
+pub use store::{Store, STORE_VERSION};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use clarinox_char::alignment::AlignmentCharSpec;
+    use clarinox_core::config::AnalyzerConfig;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A fresh scratch directory under the system temp dir (not created).
+    pub fn scratch_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "clarinox-serve-{}-{}-{}",
+            std::process::id(),
+            tag,
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The fast analyzer settings shared by the service tests.
+    pub fn quick_analyzer_config() -> AnalyzerConfig {
+        AnalyzerConfig {
+            dt: 2e-12,
+            rt_iterations: 1,
+            ceff_iterations: 3,
+            table_char: AlignmentCharSpec {
+                coarse_points: 7,
+                refine_tol: 0.05,
+                va_frac_range: (0.1, 0.95),
+            },
+            ..AnalyzerConfig::default()
+        }
+    }
+}

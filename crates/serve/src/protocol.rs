@@ -1,0 +1,252 @@
+//! The line-delimited request protocol.
+//!
+//! Each request is one JSON object on one line; each response is one JSON
+//! object on one line. Every response carries `"ok"`; failures carry
+//! `"error"` instead of result fields. Commands:
+//!
+//! | `cmd`      | fields                                             | effect |
+//! |------------|----------------------------------------------------|--------|
+//! | `status`   | —                                                  | cache/residency counters |
+//! | `analyze`  | `profile?`                                         | (re-)analyze the design incrementally |
+//! | `eco`      | `net`, `field`, `value` or `scale`, `profile?`     | edit one net, then re-analyze |
+//! | `save`     | —                                                  | persist caches to the store |
+//! | `shutdown` | —                                                  | respond, then stop the server |
+
+use crate::json::Value;
+use crate::{Result, ServeError};
+
+/// Net attribute an ECO edit can touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcoField {
+    /// Victim wire length (meters) — the canonical parasitics edit.
+    WireLen,
+    /// Receiver output load (farads).
+    ReceiverLoad,
+    /// Victim driver strength (unit widths).
+    DriverStrength,
+    /// Victim driver input ramp (seconds).
+    DriverInputRamp,
+    /// Every aggressor's coupled length (meters; `scale` recommended).
+    CouplingLen,
+    /// Early bound of the net's input switching window (seconds).
+    WindowEarly,
+    /// Late bound of the net's input switching window (seconds).
+    WindowLate,
+}
+
+impl EcoField {
+    /// Wire name, as used in the JSON `field` value.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EcoField::WireLen => "wire_len",
+            EcoField::ReceiverLoad => "receiver_load",
+            EcoField::DriverStrength => "driver_strength",
+            EcoField::DriverInputRamp => "driver_input_ramp",
+            EcoField::CouplingLen => "coupling_len",
+            EcoField::WindowEarly => "window_early",
+            EcoField::WindowLate => "window_late",
+        }
+    }
+
+    /// Parses a wire name.
+    ///
+    /// # Errors
+    ///
+    /// Unknown field name.
+    pub fn from_name(name: &str) -> Result<Self> {
+        Ok(match name {
+            "wire_len" => EcoField::WireLen,
+            "receiver_load" => EcoField::ReceiverLoad,
+            "driver_strength" => EcoField::DriverStrength,
+            "driver_input_ramp" => EcoField::DriverInputRamp,
+            "coupling_len" => EcoField::CouplingLen,
+            "window_early" => EcoField::WindowEarly,
+            "window_late" => EcoField::WindowLate,
+            other => {
+                return Err(ServeError::protocol(format!(
+                    "unknown ECO field {other:?} (expected wire_len, receiver_load, \
+                     driver_strength, driver_input_ramp, coupling_len, window_early, \
+                     window_late)"
+                )))
+            }
+        })
+    }
+}
+
+/// How an ECO edit sets the new value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EcoChange {
+    /// Absolute replacement.
+    Set(f64),
+    /// Multiplicative scaling of the current value.
+    Scale(f64),
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Cache/residency counters, no analysis work.
+    Status,
+    /// Incremental (re-)analysis; `profile` adds the engine counters.
+    Analyze {
+        /// Attach the profile block to the response.
+        profile: bool,
+    },
+    /// Edit one net, then re-analyze incrementally.
+    Eco {
+        /// Net index.
+        net: usize,
+        /// Which attribute changes.
+        field: EcoField,
+        /// New value (absolute or scaled).
+        change: EcoChange,
+        /// Attach the profile block to the response.
+        profile: bool,
+    },
+    /// Persist the driver library and per-net results to the store.
+    Save,
+    /// Respond, then stop serving.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to the wire object.
+    pub fn to_json(&self) -> Value {
+        match self {
+            Request::Status => Value::Obj(vec![("cmd".into(), Value::str("status"))]),
+            Request::Analyze { profile } => Value::Obj(vec![
+                ("cmd".into(), Value::str("analyze")),
+                ("profile".into(), Value::Bool(*profile)),
+            ]),
+            Request::Eco {
+                net,
+                field,
+                change,
+                profile,
+            } => {
+                let mut fields = vec![
+                    ("cmd".into(), Value::str("eco")),
+                    ("net".into(), Value::Num(*net as f64)),
+                    ("field".into(), Value::str(field.name())),
+                ];
+                match change {
+                    EcoChange::Set(v) => fields.push(("value".into(), Value::Num(*v))),
+                    EcoChange::Scale(s) => fields.push(("scale".into(), Value::Num(*s))),
+                }
+                fields.push(("profile".into(), Value::Bool(*profile)));
+                Value::Obj(fields)
+            }
+            Request::Save => Value::Obj(vec![("cmd".into(), Value::str("save"))]),
+            Request::Shutdown => Value::Obj(vec![("cmd".into(), Value::str("shutdown"))]),
+        }
+    }
+
+    /// Parses a wire object.
+    ///
+    /// # Errors
+    ///
+    /// Missing/unknown command or malformed fields.
+    pub fn from_json(v: &Value) -> Result<Self> {
+        let cmd = v
+            .get("cmd")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ServeError::protocol("request has no \"cmd\" string"))?;
+        let profile = v.get("profile").and_then(Value::as_bool).unwrap_or(false);
+        Ok(match cmd {
+            "status" => Request::Status,
+            "analyze" => Request::Analyze { profile },
+            "eco" => {
+                let net = v
+                    .get("net")
+                    .and_then(Value::as_usize)
+                    .ok_or_else(|| ServeError::protocol("eco needs an integer \"net\""))?;
+                let field = EcoField::from_name(
+                    v.get("field")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| ServeError::protocol("eco needs a \"field\" string"))?,
+                )?;
+                let change = match (
+                    v.get("value").and_then(Value::as_f64),
+                    v.get("scale").and_then(Value::as_f64),
+                ) {
+                    (Some(x), None) => EcoChange::Set(x),
+                    (None, Some(s)) => EcoChange::Scale(s),
+                    _ => {
+                        return Err(ServeError::protocol(
+                            "eco needs exactly one of \"value\" or \"scale\"",
+                        ))
+                    }
+                };
+                Request::Eco {
+                    net,
+                    field,
+                    change,
+                    profile,
+                }
+            }
+            "save" => Request::Save,
+            "shutdown" => Request::Shutdown,
+            other => {
+                return Err(ServeError::protocol(format!(
+                    "unknown cmd {other:?} (expected status, analyze, eco, save, shutdown)"
+                )))
+            }
+        })
+    }
+}
+
+/// The uniform failure response.
+pub fn error_response(e: &ServeError) -> Value {
+    Value::Obj(vec![
+        ("ok".into(), Value::Bool(false)),
+        ("error".into(), Value::str(e.to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Status,
+            Request::Analyze { profile: true },
+            Request::Eco {
+                net: 3,
+                field: EcoField::WireLen,
+                change: EcoChange::Scale(1.25),
+                profile: false,
+            },
+            Request::Eco {
+                net: 0,
+                field: EcoField::WindowLate,
+                change: EcoChange::Set(0.6e-9),
+                profile: false,
+            },
+            Request::Save,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let wire = r.to_json().emit();
+            let back = Request::from_json(&parse(&wire).unwrap()).unwrap();
+            assert_eq!(back, r, "{wire}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for text in [
+            r#"{}"#,
+            r#"{"cmd":"warp"}"#,
+            r#"{"cmd":"eco","net":1,"field":"wire_len"}"#,
+            r#"{"cmd":"eco","net":1,"field":"wire_len","value":1,"scale":2}"#,
+            r#"{"cmd":"eco","net":1,"field":"mystery","value":1}"#,
+            r#"{"cmd":"eco","net":-1,"field":"wire_len","value":1}"#,
+        ] {
+            let v = parse(text).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{text}");
+        }
+    }
+}

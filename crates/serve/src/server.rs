@@ -1,0 +1,148 @@
+//! The Unix-socket request loop.
+//!
+//! One JSON request per line, one JSON response per line (the protocol of
+//! [`crate::protocol`]). Requests are handled strictly in order on the
+//! accept thread — the service owns mutable design state, and serializing
+//! requests is what makes ECO responses deterministic. Malformed requests
+//! get an `{"ok":false,...}` response and the connection stays up; only a
+//! `shutdown` request (or an unrecoverable socket error) ends the loop.
+
+use crate::json;
+use crate::protocol::{error_response, Request};
+use crate::service::DesignService;
+use crate::Result;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+
+/// Binds `socket_path` and serves requests until a `shutdown` request.
+/// A stale socket file at the path is replaced. `on_ready` runs after the
+/// listener is bound (e.g. to print the path, or to release a test latch).
+///
+/// # Errors
+///
+/// Bind failures and unrecoverable I/O errors; per-request failures are
+/// reported to the client instead.
+pub fn serve(
+    socket_path: &Path,
+    service: &mut DesignService,
+    max_rounds: usize,
+    on_ready: impl FnOnce(),
+) -> Result<()> {
+    if socket_path.exists() {
+        std::fs::remove_file(socket_path)?;
+    }
+    let listener = UnixListener::bind(socket_path)?;
+    on_ready();
+    let mut shutdown = false;
+    while !shutdown {
+        let (stream, _) = listener.accept()?;
+        shutdown = serve_connection(stream, service, max_rounds)?;
+    }
+    let _ = std::fs::remove_file(socket_path);
+    Ok(())
+}
+
+/// Serves one connection to completion; `Ok(true)` means a shutdown
+/// request was honored.
+fn serve_connection(
+    stream: UnixStream,
+    service: &mut DesignService,
+    max_rounds: usize,
+) -> Result<bool> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            // A client dropping mid-line is its problem, not the server's.
+            Err(_) => return Ok(false),
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = match json::parse(&line)
+            .and_then(|v| Request::from_json(&v))
+            .and_then(|req| service.handle(&req, max_rounds))
+        {
+            Ok(pair) => pair,
+            Err(e) => (error_response(&e), false),
+        };
+        writer.write_all(response.emit().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::protocol::{EcoChange, EcoField};
+    use crate::service::ServiceConfig;
+    use crate::testutil::{quick_analyzer_config, scratch_dir};
+    use clarinox_cells::Tech;
+    use std::sync::mpsc;
+
+    #[test]
+    fn socket_round_trip_with_eco_and_shutdown() {
+        let dir = scratch_dir("server-socket");
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("clarinox.sock");
+        let svc_cfg = ServiceConfig {
+            nets: 2,
+            seed: 9,
+            jobs: 1,
+            max_rounds: 20,
+            store: None,
+        };
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let server = {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut service =
+                    DesignService::new(Tech::default_180nm(), quick_analyzer_config(), &svc_cfg)
+                        .unwrap();
+                serve(&socket, &mut service, 20, move || {
+                    ready_tx.send(()).unwrap();
+                })
+                .unwrap();
+            })
+        };
+        ready_rx.recv().unwrap();
+
+        let status = client::request(&socket, &Request::Status).unwrap();
+        assert_eq!(status.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(status.get("nets").unwrap().as_usize(), Some(2));
+
+        let eco = client::request(
+            &socket,
+            &Request::Eco {
+                net: 0,
+                field: EcoField::WireLen,
+                change: EcoChange::Scale(1.2),
+                profile: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(eco.get("ok").unwrap().as_bool(), Some(true));
+        // Cold service: the first analyze runs under the eco request, so
+        // both nets simulate; the edit itself is already folded in.
+        assert_eq!(eco.get("eco_net").unwrap().as_usize(), Some(0));
+        assert!(eco.get("nets").is_some());
+
+        // Malformed request: error response, connection survives.
+        let bad = client::request_line(&socket, "{\"cmd\":\"warp\"}").unwrap();
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+        assert!(bad.get("error").unwrap().as_str().unwrap().contains("warp"));
+
+        let bye = client::request(&socket, &Request::Shutdown).unwrap();
+        assert_eq!(bye.get("shutting_down").unwrap().as_bool(), Some(true));
+        server.join().unwrap();
+        assert!(!socket.exists(), "socket file cleaned up on shutdown");
+    }
+}

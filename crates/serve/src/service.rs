@@ -1,0 +1,490 @@
+//! The resident design service: warm caches + incremental ECO re-analysis.
+
+use crate::json::Value;
+use crate::protocol::{EcoChange, EcoField, Request};
+use crate::store::Store;
+use crate::{Result, ServeError};
+use clarinox_cells::Tech;
+use clarinox_char::DriverLibrary;
+use clarinox_core::analysis::NoiseAnalyzer;
+use clarinox_core::config::AnalyzerConfig;
+use clarinox_core::design::DesignNet;
+use clarinox_core::incremental::{IncrementalDesign, IncrementalReport};
+use clarinox_core::provider::Library;
+use clarinox_netgen::generate::{generate_block, BlockConfig};
+use clarinox_sta::fixpoint::NoiseCoupling;
+use clarinox_sta::window::TimingWindow;
+use std::sync::Arc;
+
+/// Service-level knobs (the analysis knobs live in [`AnalyzerConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of generated nets in the resident design.
+    pub nets: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker threads for per-net re-analysis.
+    pub jobs: usize,
+    /// Fixed-point round budget.
+    pub max_rounds: usize,
+    /// Persistence directory; `None` disables the store.
+    pub store: Option<std::path::PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            nets: 8,
+            seed: 1,
+            jobs: 1,
+            max_rounds: 20,
+            store: None,
+        }
+    }
+}
+
+/// What a store restore recovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Driver corners imported into the library.
+    pub corners: usize,
+    /// Per-net summaries whose spec hashes still matched.
+    pub summaries: usize,
+}
+
+/// The deterministic switching window of generated net `i` — part of the
+/// design definition, so a restarted service reproduces identical content
+/// hashes.
+pub fn input_window_for(i: usize) -> TimingWindow {
+    TimingWindow::new(i as f64 * 20e-12, 0.4e-9 + i as f64 * 10e-12)
+        .expect("generated windows are ordered by construction")
+}
+
+/// The deterministic design-level coupling topology over `n` generated
+/// nets: each net is aggressed by its one or two successors (mod `n`).
+pub fn couplings_for(n: usize) -> Vec<NoiseCoupling> {
+    let mut out = Vec::new();
+    for v in 0..n {
+        for step in [1, 2] {
+            let a = (v + step) % n;
+            if a != v && (step == 1 || n > 2) {
+                out.push(NoiseCoupling {
+                    victim: v,
+                    aggressor: a,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A design held resident behind the request loop.
+pub struct DesignService {
+    design: IncrementalDesign,
+    library: Arc<DriverLibrary>,
+    store: Option<Store>,
+    restored: RestoreStats,
+}
+
+impl DesignService {
+    /// Generates the design, wires the shared driver library through the
+    /// analyzer's provider layer, and (when configured) restores the
+    /// persisted caches.
+    ///
+    /// # Errors
+    ///
+    /// Store corruption; design construction failures.
+    pub fn new(tech: Tech, cfg: AnalyzerConfig, svc: &ServiceConfig) -> Result<Self> {
+        let library = Arc::new(DriverLibrary::new(tech));
+        let analyzer = NoiseAnalyzer::with_config(tech, cfg)
+            .with_provider(Arc::new(Library::new(Arc::clone(&library))));
+        let specs = generate_block(&tech, &BlockConfig::default().with_nets(svc.nets), svc.seed);
+        let nets: Vec<DesignNet> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| DesignNet {
+                spec,
+                input_window: input_window_for(i),
+            })
+            .collect();
+        let mut design = IncrementalDesign::new(analyzer, nets, couplings_for(svc.nets), svc.jobs)?;
+
+        let store = svc.store.as_ref().map(Store::open);
+        let mut restored = RestoreStats::default();
+        if let Some(store) = &store {
+            if let Some(contents) = store.load()? {
+                for record in &contents.library_records {
+                    if library.import_record(record)? {
+                        restored.corners += 1;
+                    }
+                }
+                for (hash, summary) in contents.summaries {
+                    restored.summaries += design.preload_summary(hash, summary);
+                }
+            }
+        }
+        Ok(DesignService {
+            design,
+            library,
+            store,
+            restored,
+        })
+    }
+
+    /// The resident design.
+    pub fn design(&self) -> &IncrementalDesign {
+        &self.design
+    }
+
+    /// What the store restore recovered at construction.
+    pub fn restored(&self) -> RestoreStats {
+        self.restored
+    }
+
+    /// Handles one request; the `bool` asks the server loop to stop.
+    ///
+    /// # Errors
+    ///
+    /// Analysis, store, or request-validation failures (the server loop
+    /// turns these into error responses — the service stays up).
+    pub fn handle(&mut self, req: &Request, max_rounds: usize) -> Result<(Value, bool)> {
+        match req {
+            Request::Status => Ok((self.status(), false)),
+            Request::Analyze { profile } => {
+                let report = self.design.analyze(max_rounds)?;
+                Ok((self.report_response(&report, *profile), false))
+            }
+            Request::Eco {
+                net,
+                field,
+                change,
+                profile,
+            } => {
+                self.apply_eco(*net, *field, *change)?;
+                let report = self.design.analyze(max_rounds)?;
+                let mut v = self.report_response(&report, *profile);
+                if let Value::Obj(fields) = &mut v {
+                    fields.insert(1, ("eco_net".into(), Value::Num(*net as f64)));
+                }
+                Ok((v, false))
+            }
+            Request::Save => {
+                let store = self.store.as_ref().ok_or_else(|| {
+                    ServeError::store("service started without --store; nothing to save to")
+                })?;
+                let stats = store.save(&self.library, &self.design.cached_summaries())?;
+                Ok((
+                    Value::Obj(vec![
+                        ("ok".into(), Value::Bool(true)),
+                        ("path".into(), Value::str(store.dir().display().to_string())),
+                        ("corners".into(), Value::Num(stats.corners as f64)),
+                        ("summaries".into(), Value::Num(stats.summaries as f64)),
+                    ]),
+                    false,
+                ))
+            }
+            Request::Shutdown => Ok((
+                Value::Obj(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    ("shutting_down".into(), Value::Bool(true)),
+                ]),
+                true,
+            )),
+        }
+    }
+
+    fn apply_eco(&mut self, net: usize, field: EcoField, change: EcoChange) -> Result<()> {
+        if net >= self.design.len() {
+            return Err(ServeError::protocol(format!(
+                "eco net {net} out of range (design has {})",
+                self.design.len()
+            )));
+        }
+        let mut edited = self.design.net(net).clone();
+        let apply = |current: f64| match change {
+            EcoChange::Set(v) => v,
+            EcoChange::Scale(s) => current * s,
+        };
+        match field {
+            EcoField::WireLen => edited.spec.victim.wire_len = apply(edited.spec.victim.wire_len),
+            EcoField::ReceiverLoad => {
+                edited.spec.victim.receiver_load = apply(edited.spec.victim.receiver_load)
+            }
+            EcoField::DriverStrength => {
+                edited.spec.victim.driver.strength = apply(edited.spec.victim.driver.strength)
+            }
+            EcoField::DriverInputRamp => {
+                edited.spec.victim.driver_input_ramp = apply(edited.spec.victim.driver_input_ramp)
+            }
+            EcoField::CouplingLen => {
+                for a in &mut edited.spec.aggressors {
+                    a.coupling_len = apply(a.coupling_len);
+                }
+            }
+            EcoField::WindowEarly => {
+                let w = &edited.input_window;
+                edited.input_window = TimingWindow::new(apply(w.early), w.late)
+                    .map_err(|e| ServeError::protocol(format!("bad window edit: {e}")))?;
+            }
+            EcoField::WindowLate => {
+                let w = &edited.input_window;
+                edited.input_window = TimingWindow::new(w.early, apply(w.late))
+                    .map_err(|e| ServeError::protocol(format!("bad window edit: {e}")))?;
+            }
+        }
+        self.design.update_net(net, edited)?;
+        Ok(())
+    }
+
+    fn status(&self) -> Value {
+        let stats = self.design.analyzer().provider_stats();
+        Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("nets".into(), Value::Num(self.design.len() as f64)),
+            (
+                "cached_summaries".into(),
+                Value::Num(self.design.cached_summaries().len() as f64),
+            ),
+            (
+                "library_corners".into(),
+                Value::Num(self.library.corners() as f64),
+            ),
+            (
+                "restored_corners".into(),
+                Value::Num(self.restored.corners as f64),
+            ),
+            (
+                "restored_summaries".into(),
+                Value::Num(self.restored.summaries as f64),
+            ),
+            ("provider_hits".into(), Value::Num(stats.hits as f64)),
+            ("provider_builds".into(), Value::Num(stats.builds as f64)),
+            (
+                "store".into(),
+                match &self.store {
+                    Some(s) => Value::str(s.dir().display().to_string()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    fn report_response(&self, report: &IncrementalReport, profile: bool) -> Value {
+        let nets: Vec<Value> = report
+            .nets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Value::Obj(vec![
+                    ("id".into(), Value::Num(s.id as f64)),
+                    ("delta".into(), Value::Num(report.deltas[i])),
+                    (
+                        "window".into(),
+                        Value::Arr(vec![
+                            Value::Num(report.windows[i].early),
+                            Value::Num(report.windows[i].late),
+                        ]),
+                    ),
+                    (
+                        "delay_noise_rcv_out".into(),
+                        Value::Num(s.delay_noise_rcv_out),
+                    ),
+                    ("base_delay_out".into(), Value::Num(s.base_delay_out)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("ok".into(), Value::Bool(true)),
+            ("iterations".into(), Value::Num(report.iterations as f64)),
+            (
+                "stats".into(),
+                Value::Obj(vec![
+                    ("analyzed".into(), Value::Num(report.stats.analyzed as f64)),
+                    ("reused".into(), Value::Num(report.stats.reused as f64)),
+                    (
+                        "fixpoint_dirty".into(),
+                        Value::Num(report.stats.fixpoint_dirty as f64),
+                    ),
+                    ("warm_start".into(), Value::Bool(report.stats.warm_start)),
+                ]),
+            ),
+            ("nets".into(), Value::Arr(nets)),
+        ];
+        if profile {
+            fields.push(("profile".into(), profile_json(self.design.analyzer())));
+        }
+        Value::Obj(fields)
+    }
+}
+
+/// The engine-counter block attached to `--profile` output: process-wide
+/// LU/PRIMA counters plus the analyzer's provider and table statistics.
+pub fn profile_json(analyzer: &NoiseAnalyzer) -> Value {
+    let stats = analyzer.provider_stats();
+    Value::Obj(vec![
+        (
+            "lu_factorizations".into(),
+            Value::Num(clarinox_circuit::profile::lu_factorizations() as f64),
+        ),
+        (
+            "prima".into(),
+            Value::Obj(vec![
+                (
+                    "rom_builds".into(),
+                    Value::Num(clarinox_core::profile::prima_rom_builds() as f64),
+                ),
+                (
+                    "fallbacks".into(),
+                    Value::Num(clarinox_core::profile::prima_fallbacks() as f64),
+                ),
+                (
+                    "reduced_sims".into(),
+                    Value::Num(clarinox_core::profile::prima_reduced_sims() as f64),
+                ),
+            ]),
+        ),
+        (
+            "provider".into(),
+            Value::Obj(vec![
+                ("name".into(), Value::str(analyzer.provider().name())),
+                ("hits".into(), Value::Num(stats.hits as f64)),
+                ("builds".into(), Value::Num(stats.builds as f64)),
+                ("hit_rate".into(), Value::Num(stats.hit_rate())),
+            ]),
+        ),
+        (
+            "table_characterizations".into(),
+            Value::Num(analyzer.table_characterizations() as f64),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{quick_analyzer_config, scratch_dir};
+
+    fn small_service(store: Option<std::path::PathBuf>) -> DesignService {
+        let svc = ServiceConfig {
+            nets: 2,
+            seed: 9,
+            jobs: 1,
+            max_rounds: 20,
+            store,
+        };
+        DesignService::new(Tech::default_180nm(), quick_analyzer_config(), &svc).unwrap()
+    }
+
+    #[test]
+    fn eco_request_reanalyzes_only_the_edited_net() {
+        let mut svc = small_service(None);
+        let (first, stop) = svc
+            .handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        assert!(!stop);
+        assert_eq!(
+            first
+                .get("stats")
+                .unwrap()
+                .get("analyzed")
+                .unwrap()
+                .as_usize(),
+            Some(2)
+        );
+
+        let (resp, _) = svc
+            .handle(
+                &Request::Eco {
+                    net: 1,
+                    field: EcoField::WireLen,
+                    change: EcoChange::Scale(1.3),
+                    profile: true,
+                },
+                20,
+            )
+            .unwrap();
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+        let stats = resp.get("stats").unwrap();
+        assert_eq!(stats.get("analyzed").unwrap().as_usize(), Some(1));
+        assert_eq!(stats.get("reused").unwrap().as_usize(), Some(1));
+        assert_eq!(stats.get("warm_start").unwrap().as_bool(), Some(true));
+        assert!(resp.get("profile").unwrap().get("provider").is_some());
+
+        // A no-op edit (scale by 1) leaves the content hash unchanged:
+        // nothing re-analyzes.
+        let (resp, _) = svc
+            .handle(
+                &Request::Eco {
+                    net: 1,
+                    field: EcoField::WireLen,
+                    change: EcoChange::Scale(1.0),
+                    profile: false,
+                },
+                20,
+            )
+            .unwrap();
+        assert_eq!(
+            resp.get("stats")
+                .unwrap()
+                .get("analyzed")
+                .unwrap()
+                .as_usize(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn restart_against_saved_store_recharacterizes_nothing() {
+        let dir = scratch_dir("service-restart");
+        let mut svc = small_service(Some(dir.clone()));
+        svc.handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        let (saved, _) = svc.handle(&Request::Save, 20).unwrap();
+        assert_eq!(saved.get("ok").unwrap().as_bool(), Some(true));
+        assert!(saved.get("corners").unwrap().as_usize().unwrap() > 0);
+        let builds_before = svc.design.analyzer().provider_stats().builds;
+        assert!(builds_before > 0, "cold start must characterize");
+
+        // Restart: same design definition, fresh process state.
+        let mut svc2 = small_service(Some(dir));
+        assert_eq!(svc2.restored().summaries, 2);
+        assert!(svc2.restored().corners > 0);
+        let (resp, _) = svc2
+            .handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        assert_eq!(
+            resp.get("stats")
+                .unwrap()
+                .get("analyzed")
+                .unwrap()
+                .as_usize(),
+            Some(0),
+            "restored summaries must skip all simulation"
+        );
+        assert_eq!(
+            svc2.design.analyzer().provider_stats().builds,
+            0,
+            "restart must perform zero driver re-characterizations"
+        );
+    }
+
+    #[test]
+    fn eco_validation_rejects_bad_requests() {
+        let mut svc = small_service(None);
+        assert!(svc
+            .handle(
+                &Request::Eco {
+                    net: 99,
+                    field: EcoField::WireLen,
+                    change: EcoChange::Scale(2.0),
+                    profile: false,
+                },
+                20,
+            )
+            .is_err());
+        assert!(
+            svc.handle(&Request::Save, 20).is_err(),
+            "no store configured"
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Versioned on-disk persistence of the warm caches.
+//!
+//! A store is a directory:
+//!
+//! ```text
+//! <dir>/VERSION      "clarinox-store/1"
+//! <dir>/library.rec  one DriverCorner record per line (hex f64 bits)
+//! <dir>/results.rec  "<spec-hash:016x> <NetSummary record>" per line
+//! ```
+//!
+//! Everything is keyed by content: driver corners by their exact
+//! characterization inputs (inside the record), per-net summaries by the
+//! spec content hash ([`clarinox_core::incremental::spec_content_hash`]).
+//! A restarted service loads the store, seeds its library and design, and
+//! re-characterizes nothing whose inputs are unchanged; entries whose keys
+//! no longer match simply never get looked up. Records hold `f64`s as hex
+//! bit patterns, so a round trip is bit-exact.
+//!
+//! Files are written to a temporary sibling and renamed into place, so a
+//! crash mid-save leaves the previous store intact.
+
+use crate::{Result, ServeError};
+use clarinox_char::DriverLibrary;
+use clarinox_core::incremental::NetSummary;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The store layout version this build reads and writes.
+pub const STORE_VERSION: &str = "clarinox-store/1";
+
+/// What a load found on disk.
+#[derive(Debug, Default)]
+pub struct StoreContents {
+    /// Driver-corner records for [`DriverLibrary::import_record`].
+    pub library_records: Vec<String>,
+    /// Per-net summaries keyed by spec content hash.
+    pub summaries: Vec<(u64, NetSummary)>,
+}
+
+/// What a save wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Driver corners persisted.
+    pub corners: usize,
+    /// Per-net summaries persisted.
+    pub summaries: usize,
+}
+
+/// Handle on a store directory (which need not exist yet).
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Points at `dir` without touching the filesystem.
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        Store { dir: dir.into() }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Persists the driver library and the design's cached summaries.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn save(
+        &self,
+        library: &DriverLibrary,
+        summaries: &[(u64, NetSummary)],
+    ) -> Result<StoreStats> {
+        fs::create_dir_all(&self.dir)?;
+        let records = library.export_records();
+        let mut lib_text = String::new();
+        for r in &records {
+            lib_text.push_str(r);
+            lib_text.push('\n');
+        }
+        let mut res_text = String::new();
+        for (hash, s) in summaries {
+            res_text.push_str(&format!("{hash:016x} {}\n", s.to_record()));
+        }
+        write_atomic(&self.dir.join("library.rec"), &lib_text)?;
+        write_atomic(&self.dir.join("results.rec"), &res_text)?;
+        // VERSION last: its presence marks the store complete.
+        write_atomic(&self.dir.join("VERSION"), &format!("{STORE_VERSION}\n"))?;
+        Ok(StoreStats {
+            corners: records.len(),
+            summaries: summaries.len(),
+        })
+    }
+
+    /// Loads the store; `Ok(None)` when no (complete) store exists at the
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// Version mismatch, corrupt records, or filesystem failures.
+    pub fn load(&self) -> Result<Option<StoreContents>> {
+        let version_path = self.dir.join("VERSION");
+        let version = match fs::read_to_string(&version_path) {
+            Ok(v) => v,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if version.trim() != STORE_VERSION {
+            return Err(ServeError::store(format!(
+                "store at {} has version {:?}, this build reads {STORE_VERSION:?}",
+                self.dir.display(),
+                version.trim()
+            )));
+        }
+        let mut contents = StoreContents::default();
+        for line in read_lines(&self.dir.join("library.rec"))? {
+            contents.library_records.push(line);
+        }
+        for line in read_lines(&self.dir.join("results.rec"))? {
+            let (hash_text, record) = line.split_once(' ').ok_or_else(|| {
+                ServeError::store(format!("results.rec line has no hash: {line:?}"))
+            })?;
+            let hash = u64::from_str_radix(hash_text, 16).map_err(|_| {
+                ServeError::store(format!("results.rec line has bad hash {hash_text:?}"))
+            })?;
+            let summary = NetSummary::parse_record(record)
+                .map_err(|e| ServeError::store(format!("results.rec: {e}")))?;
+            contents.summaries.push((hash, summary));
+        }
+        Ok(Some(contents))
+    }
+}
+
+fn write_atomic(path: &Path, text: &str) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+fn read_lines(path: &Path) -> Result<Vec<String>> {
+    match fs::read_to_string(path) {
+        Ok(text) => Ok(text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(String::from)
+            .collect()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_dir;
+    use clarinox_cells::{Gate, Tech};
+    use clarinox_netgen::spec::{AggressorSpec, CoupledNetSpec, NetSpec};
+    use clarinox_netgen::topology::{load_network_for, NetRef};
+    use clarinox_waveform::measure::Edge;
+
+    fn sample_summary(id: usize) -> NetSummary {
+        NetSummary {
+            id,
+            rounds: 1,
+            has_noise: true,
+            ceff: 2e-14,
+            rth: 900.0,
+            holding_r: 1100.0,
+            base_delay_out: 2.5e-10,
+            delay_noise_rcv_in: 4e-12,
+            delay_noise_rcv_out: 5e-12,
+            victim_slew_rcv: 2e-10,
+            peak_time: 1.8e-9,
+            comp_height: 0.31,
+            comp_width50: 2.2e-10,
+        }
+    }
+
+    #[test]
+    fn missing_store_loads_as_none() {
+        let dir = scratch_dir("store-missing");
+        let store = Store::open(dir.join("nope"));
+        assert!(store.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        let dir = scratch_dir("store-round-trip");
+        let tech = Tech::default_180nm();
+        let lib = DriverLibrary::new(tech);
+        // Warm one corner so library.rec is non-trivial.
+        let base = NetSpec {
+            driver: Gate::inv(4.0, &tech),
+            driver_input_ramp: 100e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 0.8e-3,
+            segments: 3,
+            receiver: Gate::inv(2.0, &tech),
+            receiver_load: 20e-15,
+        };
+        let spec = CoupledNetSpec {
+            id: 0,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: base,
+                coupling_len: 0.5e-3,
+                coupling_start: 0.1,
+            }],
+        };
+        let load = load_network_for(&tech, &spec, NetRef::Victim).unwrap();
+        lib.characterize(
+            base.driver,
+            base.driver_input_edge,
+            base.driver_input_ramp,
+            &load,
+            3,
+        )
+        .unwrap();
+
+        let store = Store::open(&dir);
+        let pairs = vec![(0xdead_beef_u64, sample_summary(7))];
+        let stats = store.save(&lib, &pairs).unwrap();
+        assert_eq!(stats.summaries, 1);
+        assert!(stats.corners >= 1);
+
+        let loaded = store.load().unwrap().expect("store exists");
+        assert_eq!(loaded.library_records.len(), stats.corners);
+        assert_eq!(loaded.summaries.len(), 1);
+        assert_eq!(loaded.summaries[0].0, 0xdead_beef);
+        assert!(loaded.summaries[0].1.bits_eq(&pairs[0].1));
+
+        // Imported corners round-trip into a fresh library without builds.
+        let lib2 = DriverLibrary::new(tech);
+        for r in &loaded.library_records {
+            assert!(lib2.import_record(r).unwrap());
+        }
+        assert_eq!(lib2.corners(), lib.corners());
+        assert_eq!(lib2.builds(), 0);
+    }
+
+    #[test]
+    fn version_mismatch_is_an_error() {
+        let dir = scratch_dir("store-version");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("VERSION"), "clarinox-store/999\n").unwrap();
+        assert!(matches!(
+            Store::open(&dir).load(),
+            Err(ServeError::Store(_))
+        ));
+    }
+}

@@ -52,9 +52,41 @@ pub struct FixpointResult {
 pub fn iterate_to_fixpoint(
     graph: &TimingGraph,
     couplings: &[NoiseCoupling],
+    delta_fn: impl FnMut(usize, &[usize], &[TimingWindow]) -> f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<FixpointResult> {
+    iterate_to_fixpoint_seeded(graph, couplings, delta_fn, tol, max_iter, None)
+}
+
+/// Runs the fixed point warm-started from a previous converged delta
+/// vector (the incremental re-analysis entry point).
+///
+/// The iteration accumulates deltas monotonically from the seed exactly as
+/// [`iterate_to_fixpoint`] does from zero. Because windows only widen as
+/// deltas grow, the iterates from any seed that is element-wise **at or
+/// below** the cold-start fixed point dominate the cold iterates while
+/// staying bounded by the fixed point — so they converge to the *same*
+/// fixed point, just in fewer rounds. Callers guarantee the bound by
+/// zeroing the seed entry of every stage whose inputs (or transitive
+/// aggressor cone) changed since the seed converged; unchanged stages keep
+/// their old deltas, which are exactly their entries in the new fixed
+/// point.
+///
+/// `seed = None` (or all zeros) is the cold start.
+///
+/// # Errors
+///
+/// As [`iterate_to_fixpoint`], plus [`StaError::MalformedGraph`] for a
+/// seed whose length differs from the graph or that contains a negative or
+/// non-finite entry.
+pub fn iterate_to_fixpoint_seeded(
+    graph: &TimingGraph,
+    couplings: &[NoiseCoupling],
     mut delta_fn: impl FnMut(usize, &[usize], &[TimingWindow]) -> f64,
     tol: f64,
     max_iter: usize,
+    seed: Option<&[f64]>,
 ) -> Result<FixpointResult> {
     let n = graph.len();
     for c in couplings {
@@ -64,7 +96,23 @@ pub fn iterate_to_fixpoint(
             )));
         }
     }
-    let mut deltas = vec![0.0; n];
+    let mut deltas = match seed {
+        None => vec![0.0; n],
+        Some(s) => {
+            if s.len() != n {
+                return Err(StaError::graph(format!(
+                    "seed has {} deltas for {n} stages",
+                    s.len()
+                )));
+            }
+            if let Some(bad) = s.iter().find(|d| !(**d >= 0.0) || !d.is_finite()) {
+                return Err(StaError::graph(format!(
+                    "seed delta {bad:?} is negative or non-finite"
+                )));
+            }
+            s.to_vec()
+        }
+    };
     let mut windows = graph.arrival_windows(&deltas)?;
     let mut active: Vec<NoiseCoupling> = Vec::new();
     for round in 1..=max_iter {
@@ -111,6 +159,7 @@ pub fn iterate_to_fixpoint(
 mod tests {
     use super::*;
     use crate::graph::Stage;
+    use proptest::prelude::*;
 
     /// Two parallel primary-driven stages coupled to each other.
     fn coupled_pair(w1: TimingWindow, w2: TimingWindow) -> (TimingGraph, Vec<NoiseCoupling>) {
@@ -243,6 +292,123 @@ mod tests {
             aggressor: 0,
         }];
         assert!(iterate_to_fixpoint(&g, &bad, |_, _, _| 0.0, 1e-15, 5).is_err());
+    }
+
+    /// A deterministic per-coupling delta weight: value depends only on
+    /// the (victim, aggressor) pair, so delta evaluations are discrete and
+    /// the monotone iteration saturates exactly (the regime the real
+    /// design-level delta function is in — per-net report values scaled by
+    /// the active-aggressor fraction).
+    fn pair_weight(victim: usize, aggressor: usize) -> f64 {
+        ((victim * 31 + aggressor * 17) % 7 + 1) as f64 * 10e-12
+    }
+
+    /// Builds a random n-net design-shaped graph (primary + internal stage
+    /// per net) and coupling set from the sampled bits.
+    fn random_design(n: usize, wseed: u64, cmask: u64) -> (TimingGraph, Vec<NoiseCoupling>) {
+        let mut g = TimingGraph::new();
+        let mut bits = wseed;
+        let mut next = || {
+            bits = bits
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (bits >> 33) as f64 / (1u64 << 31) as f64 // in [0, 1)
+        };
+        for _ in 0..n {
+            let start = next() * 2e-9;
+            let width = next() * 1e-9;
+            let p = g
+                .add_stage(Stage::primary(
+                    TimingWindow::new(start, start + width).unwrap(),
+                ))
+                .unwrap();
+            g.add_stage(Stage::internal(0.05e-9 + next() * 0.3e-9, vec![p]))
+                .unwrap();
+        }
+        let mut couplings = Vec::new();
+        let mut bit = 0;
+        for v in 0..n {
+            for a in 0..n {
+                if v != a {
+                    if cmask >> (bit % 64) & 1 == 1 {
+                        couplings.push(NoiseCoupling {
+                            victim: 2 * v + 1,
+                            aggressor: 2 * a + 1,
+                        });
+                    }
+                    bit += 1;
+                }
+            }
+        }
+        (g, couplings)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        /// Warm-start soundness: seeding the iteration with a previously-
+        /// converged delta vector — or any element-wise scale-down of it —
+        /// converges to the *same* fixed point as a cold start, bit for
+        /// bit, in no more rounds.
+        #[test]
+        fn prop_seeded_fixpoint_matches_cold(
+            n in 2usize..7,
+            wseed in 0u64..u64::MAX,
+            cmask in 0u64..u64::MAX,
+            scale in 0.0f64..1.0,
+        ) {
+            let (g, c) = random_design(n, wseed, cmask);
+            let delta_fn = |victim: usize, aggs: &[usize], _: &[TimingWindow]| {
+                aggs.iter().map(|&a| pair_weight(victim, a)).sum()
+            };
+            let cold = iterate_to_fixpoint(&g, &c, delta_fn, 1e-15, 64).unwrap();
+
+            // Seeded from the converged vector itself.
+            let warm = iterate_to_fixpoint_seeded(
+                &g, &c, delta_fn, 1e-15, 64, Some(&cold.deltas),
+            )
+            .unwrap();
+            let bits = |d: &[f64]| d.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&warm.deltas), bits(&cold.deltas));
+            prop_assert_eq!(&warm.windows, &cold.windows);
+            prop_assert_eq!(&warm.active_couplings, &cold.active_couplings);
+            prop_assert!(warm.iterations <= cold.iterations);
+
+            // Seeded from any point below the fixed point (e.g. a converged
+            // vector of a weaker, pre-ECO coupling configuration).
+            let partial: Vec<f64> = cold.deltas.iter().map(|d| d * scale).collect();
+            let part = iterate_to_fixpoint_seeded(
+                &g, &c, delta_fn, 1e-15, 64, Some(&partial),
+            )
+            .unwrap();
+            prop_assert_eq!(bits(&part.deltas), bits(&cold.deltas));
+            prop_assert_eq!(&part.windows, &cold.windows);
+            prop_assert!(part.iterations <= cold.iterations);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_the_cold_start() {
+        let (g, c) = coupled_pair(
+            TimingWindow::new(0.0, 1e-9).unwrap(),
+            TimingWindow::new(0.5e-9, 1.5e-9).unwrap(),
+        );
+        let f = |_: usize, aggs: &[usize], _: &[TimingWindow]| aggs.len() as f64 * 50e-12;
+        let cold = iterate_to_fixpoint(&g, &c, f, 1e-15, 20).unwrap();
+        let zero = iterate_to_fixpoint_seeded(&g, &c, f, 1e-15, 20, Some(&[0.0; 4])).unwrap();
+        assert_eq!(zero, cold);
+    }
+
+    #[test]
+    fn invalid_seed_rejected() {
+        let (g, c) = coupled_pair(TimingWindow::instant(0.0), TimingWindow::instant(0.0));
+        // Wrong length.
+        assert!(iterate_to_fixpoint_seeded(&g, &c, |_, _, _| 0.0, 1e-15, 5, Some(&[0.0])).is_err());
+        // Negative and non-finite entries.
+        for bad in [[-1e-12, 0.0, 0.0, 0.0], [f64::NAN, 0.0, 0.0, 0.0]] {
+            assert!(
+                iterate_to_fixpoint_seeded(&g, &c, |_, _, _| 0.0, 1e-15, 5, Some(&bad)).is_err()
+            );
+        }
     }
 
     #[test]

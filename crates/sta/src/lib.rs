@@ -42,7 +42,9 @@ pub mod window;
 mod error;
 
 pub use error::StaError;
-pub use fixpoint::{iterate_to_fixpoint, FixpointResult, NoiseCoupling};
+pub use fixpoint::{
+    iterate_to_fixpoint, iterate_to_fixpoint_seeded, FixpointResult, NoiseCoupling,
+};
 pub use graph::{Stage, TimingGraph};
 pub use window::TimingWindow;
 

@@ -20,6 +20,18 @@
 //!
 //! clarinox spef [--seed S] [--id I]
 //!     dump a generated net's parasitic skeleton in SPEF-subset form
+//!
+//! clarinox serve [--socket P] [--nets N] [--seed S] [--jobs J]
+//!                [--store DIR] [--max-rounds R] [--backend full|prima]
+//!     hold a generated design resident and answer line-delimited JSON
+//!     requests (status/analyze/eco/save/shutdown) on a Unix socket,
+//!     re-analyzing incrementally after each ECO edit
+//!
+//! clarinox eco [--socket P] --net I --field F (--value X | --scale X)
+//!              [--profile]
+//! clarinox eco [--socket P] (--status | --analyze | --save | --shutdown)
+//!     one-shot client for a running `clarinox serve`; prints the JSON
+//!     response and fails when the server reports an error
 //! ```
 //!
 //! `--backend` selects the linear transient engine: `full` (the full-MNA
@@ -28,7 +40,12 @@
 //! it defaults to `on` for block-scale commands (`block`, `functional`)
 //! and `off` for single-net ones. Either way the reported numbers are
 //! bit-identical for the driver cache, and PRIMA-guarded within tolerance
-//! for the backend.
+//! for the backend. `--profile` (on `block`, `serve` requests, and `eco`)
+//! attaches a JSON block of engine counters: LU factorizations, PRIMA
+//! builds/fallbacks, driver-library hit rate, and alignment-table
+//! characterizations.
+//!
+//! Every subcommand rejects unknown arguments with exit status 2.
 
 use clarinox::cells::{Gate, Tech};
 use clarinox::core::analysis::NoiseAnalyzer;
@@ -38,9 +55,33 @@ use clarinox::core::config::{
 use clarinox::core::functional::{check_functional_noise_block, QuietState};
 use clarinox::netgen::generate::{generate_block, BlockConfig};
 use clarinox::numeric::stats;
+use clarinox::serve::protocol::{EcoChange, EcoField, Request};
+use clarinox::serve::service::{DesignService, ServiceConfig};
+use clarinox::serve::{client, profile_json, server};
 
 fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Strict argument validation: every token after the subcommand must be a
+/// known boolean flag or a known value-taking flag (whose value is the
+/// next token). Anything else exits with status 2, so typos fail loudly
+/// instead of silently running with defaults.
+fn validate_args(bool_flags: &[&str], value_flags: &[&str]) {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if bool_flags.contains(&a) {
+            i += 1;
+        } else if value_flags.contains(&a) {
+            // The value itself is validated by arg_value.
+            i += 2;
+        } else {
+            eprintln!("error: unknown argument {a:?} for this command");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn arg_value<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -106,6 +147,10 @@ fn base_config() -> AnalyzerConfig {
 }
 
 fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(
+        &["--thevenin", "--exhaustive", "--profile"],
+        &["--nets", "--seed", "--jobs", "--backend", "--driver-cache"],
+    );
     let nets = arg_value("--nets", 20usize);
     let seed = arg_value("--seed", 1u64);
     let jobs = arg_jobs();
@@ -160,10 +205,17 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
             ps.hit_rate() * 100.0
         );
     }
+    if arg_flag("--profile") {
+        println!("{}", profile_json(&analyzer).emit());
+    }
     Ok(())
 }
 
 fn cmd_net() -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(
+        &["--verbose"],
+        &["--seed", "--id", "--backend", "--driver-cache"],
+    );
     let seed = arg_value("--seed", 1u64);
     let id = arg_value("--id", 0usize);
     let tech = Tech::default_180nm();
@@ -213,6 +265,17 @@ fn cmd_net() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(
+        &[],
+        &[
+            "--nets",
+            "--seed",
+            "--margin",
+            "--jobs",
+            "--backend",
+            "--driver-cache",
+        ],
+    );
     let nets = arg_value("--nets", 10usize);
     let seed = arg_value("--seed", 1u64);
     let margin_mv = arg_value("--margin", 180.0f64);
@@ -242,6 +305,7 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_characterize() -> Result<(), Box<dyn std::error::Error>> {
     use clarinox::char::thevenin::fit_thevenin;
     use clarinox::waveform::measure::Edge;
+    validate_args(&[], &["--strength"]);
     let strength = arg_value("--strength", 2.0f64);
     let tech = Tech::default_180nm();
     let gate = Gate::inv(strength, &tech);
@@ -265,12 +329,115 @@ fn cmd_characterize() -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_spef() -> Result<(), Box<dyn std::error::Error>> {
     use clarinox::circuit::spef::write_parasitics;
     use clarinox::netgen::build_topology;
+    validate_args(&[], &["--seed", "--id"]);
     let seed = arg_value("--seed", 1u64);
     let id = arg_value("--id", 0usize);
     let tech = Tech::default_180nm();
     let block = generate_block(&tech, &BlockConfig::default().with_nets(id + 1), seed);
     let topo = build_topology(&tech, &block[id])?;
     print!("{}", write_parasitics(&topo.circuit, &format!("net{id}"))?);
+    Ok(())
+}
+
+fn default_socket() -> String {
+    std::env::temp_dir()
+        .join("clarinox.sock")
+        .display()
+        .to_string()
+}
+
+fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(
+        &[],
+        &[
+            "--socket",
+            "--nets",
+            "--seed",
+            "--jobs",
+            "--store",
+            "--max-rounds",
+            "--backend",
+        ],
+    );
+    let socket = std::path::PathBuf::from(arg_value("--socket", default_socket()));
+    let store: String = arg_value("--store", String::new());
+    let svc_cfg = ServiceConfig {
+        nets: arg_value("--nets", 8usize),
+        seed: arg_value("--seed", 1u64),
+        jobs: arg_jobs(),
+        max_rounds: arg_value("--max-rounds", 20usize),
+        store: (!store.is_empty()).then(|| store.into()),
+    };
+    let cfg = base_config().with_linear_backend(arg_backend());
+    let mut service = DesignService::new(Tech::default_180nm(), cfg, &svc_cfg)?;
+    let restored = service.restored();
+    if restored.summaries + restored.corners > 0 {
+        println!(
+            "restored from store: {} net summaries, {} driver corners",
+            restored.summaries, restored.corners
+        );
+    }
+    let max_rounds = svc_cfg.max_rounds;
+    let banner = format!(
+        "serving {} nets (seed {}) on {}",
+        svc_cfg.nets,
+        svc_cfg.seed,
+        socket.display()
+    );
+    server::serve(&socket, &mut service, max_rounds, move || {
+        println!("{banner}");
+    })?;
+    println!("shutdown complete");
+    Ok(())
+}
+
+fn cmd_eco() -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(
+        &["--status", "--analyze", "--save", "--shutdown", "--profile"],
+        &["--socket", "--net", "--field", "--value", "--scale"],
+    );
+    let socket = std::path::PathBuf::from(arg_value("--socket", default_socket()));
+    let profile = arg_flag("--profile");
+    let request = if arg_flag("--status") {
+        Request::Status
+    } else if arg_flag("--analyze") {
+        Request::Analyze { profile }
+    } else if arg_flag("--save") {
+        Request::Save
+    } else if arg_flag("--shutdown") {
+        Request::Shutdown
+    } else {
+        let net = arg_value("--net", usize::MAX);
+        if net == usize::MAX {
+            eprintln!(
+                "error: eco needs --net I --field F with --value X or --scale X \
+                 (or one of --status/--analyze/--save/--shutdown)"
+            );
+            std::process::exit(2);
+        }
+        let field = EcoField::from_name(&arg_value("--field", String::new()))?;
+        let value = arg_value("--value", f64::NAN);
+        let scale = arg_value("--scale", f64::NAN);
+        let change = match (value.is_nan(), scale.is_nan()) {
+            (false, true) => EcoChange::Set(value),
+            (true, false) => EcoChange::Scale(scale),
+            _ => {
+                eprintln!("error: eco needs exactly one of --value or --scale");
+                std::process::exit(2);
+            }
+        };
+        Request::Eco {
+            net,
+            field,
+            change,
+            profile,
+        }
+    };
+    let response = client::request(&socket, &request)?;
+    println!("{}", response.emit());
+    if response.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+        std::process::exit(1);
+    }
     Ok(())
 }
 
@@ -282,9 +449,11 @@ fn main() {
         "functional" => cmd_functional(),
         "characterize" => cmd_characterize(),
         "spef" => cmd_spef(),
+        "serve" => cmd_serve(),
+        "eco" => cmd_eco(),
         _ => {
             eprintln!(
-                "usage: clarinox <block|net|functional|characterize|spef> [options]\n\
+                "usage: clarinox <block|net|functional|characterize|spef|serve|eco> [options]\n\
                  see the module docs (src/bin/clarinox.rs) for options"
             );
             std::process::exit(2);

@@ -45,6 +45,7 @@
 //! | [`mod@char`] | `clarinox-char` | Thevenin fits, C-effective, timing & alignment tables |
 //! | [`netgen`] | `clarinox-netgen` | seeded coupled-net workload generation |
 //! | [`sta`] | `clarinox-sta` | switching windows and the noise/window fixed point |
+//! | [`serve`] | `clarinox-serve` | resident analysis service, ECO protocol, persistent caches |
 
 pub use clarinox_cells as cells;
 pub use clarinox_char as char;
@@ -53,6 +54,7 @@ pub use clarinox_core as core;
 pub use clarinox_mor as mor;
 pub use clarinox_netgen as netgen;
 pub use clarinox_numeric as numeric;
+pub use clarinox_serve as serve;
 pub use clarinox_spice as spice;
 pub use clarinox_sta as sta;
 pub use clarinox_waveform as waveform;

@@ -1,0 +1,105 @@
+//! ECO re-analysis invariants: after mutating one net's parasitics in a
+//! generated block, the incremental engine must re-analyze only the
+//! affected nets and land on bit-for-bit the same report as a cold full
+//! re-run over the edited design.
+
+use clarinox::cells::Tech;
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::core::config::AnalyzerConfig;
+use clarinox::core::design::DesignNet;
+use clarinox::core::IncrementalDesign;
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+use clarinox::serve::{couplings_for, input_window_for};
+
+fn quick_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ceff_iterations: 3,
+        table_char: clarinox::char::alignment::AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        },
+        ..AnalyzerConfig::default()
+    }
+}
+
+fn block_design(tech: &Tech, n: usize, seed: u64) -> Vec<DesignNet> {
+    generate_block(tech, &BlockConfig::default().with_nets(n), seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| DesignNet {
+            spec,
+            input_window: input_window_for(i),
+        })
+        .collect()
+}
+
+#[test]
+fn eco_on_one_net_matches_cold_full_rerun_bit_for_bit() {
+    let tech = Tech::default_180nm();
+    let n = 6;
+    let nets = block_design(&tech, n, 33);
+    let couplings = couplings_for(n);
+
+    // Resident design: full cold analysis, then a parasitic edit on one net.
+    let mut resident = IncrementalDesign::new(
+        NoiseAnalyzer::with_config(tech, quick_config()),
+        nets.clone(),
+        couplings.clone(),
+        2,
+    )
+    .expect("valid design");
+    let initial = resident.analyze(20).expect("initial analysis converges");
+    assert_eq!(initial.stats.analyzed, n, "cold run analyzes every net");
+
+    let edited = n / 2;
+    let mut net = resident.net(edited).clone();
+    net.spec.victim.wire_len *= 1.3;
+    resident.update_net(edited, net).expect("valid edit");
+    let eco = resident.analyze(20).expect("ECO re-analysis converges");
+
+    // Only the edited net's spec hash changed, so only it re-simulates;
+    // the fixpoint warm-starts from the previous converged deltas.
+    assert_eq!(
+        eco.stats.analyzed, 1,
+        "one spec changed, one net re-analyzed"
+    );
+    assert_eq!(eco.stats.reused, n - 1);
+    assert!(eco.stats.warm_start);
+
+    // Cold reference: a fresh engine over the edited design.
+    let edited_nets: Vec<DesignNet> = (0..n).map(|i| resident.net(i).clone()).collect();
+    let mut cold = IncrementalDesign::new(
+        NoiseAnalyzer::with_config(tech, quick_config()),
+        edited_nets,
+        couplings,
+        2,
+    )
+    .expect("valid design");
+    let full = cold.analyze(20).expect("cold re-run converges");
+    assert_eq!(full.stats.analyzed, n);
+    assert!(!full.stats.warm_start);
+
+    for (e, c) in eco.nets.iter().zip(full.nets.iter()) {
+        assert!(
+            e.bits_eq(c),
+            "net {}: incremental summary differs from cold re-run",
+            e.id
+        );
+    }
+    for (e, c) in eco.deltas.iter().zip(full.deltas.iter()) {
+        assert_eq!(e.to_bits(), c.to_bits(), "stage delta differs");
+    }
+    for (e, c) in eco.windows.iter().zip(full.windows.iter()) {
+        assert_eq!(e.early.to_bits(), c.early.to_bits());
+        assert_eq!(e.late.to_bits(), c.late.to_bits());
+    }
+    assert!(
+        eco.iterations <= full.iterations,
+        "warm start must not need more fixpoint rounds than cold ({} > {})",
+        eco.iterations,
+        full.iterations
+    );
+}
