@@ -101,10 +101,10 @@ impl TransientEngine {
             Integration::BackwardEuler => 1.0 / spec.dt,
         };
         let companion = system.g().add_scaled(system.c(), alpha)?;
-        let lu = companion.lu()?;
+        let lu = crate::recover::lu_with_gmin(&companion, system.node_unknowns())?;
         record_lu();
         let dc_lu = if spec.dc_init {
-            let f = system.g().lu()?;
+            let f = crate::recover::lu_with_gmin(system.g(), system.node_unknowns())?;
             record_lu();
             Some(f)
         } else {

@@ -47,6 +47,7 @@ pub mod engine;
 pub mod mna;
 pub mod netlist;
 pub mod profile;
+pub mod recover;
 pub mod spef;
 pub mod transient;
 

@@ -1,4 +1,5 @@
-//! Lightweight counters for the linear-solver hot path.
+//! Lightweight counters for the linear-solver hot path and the recovery
+//! ladder.
 //!
 //! The batch analysis flow is built around reusing one LU factorization per
 //! holding configuration instead of refactoring for every driver
@@ -9,11 +10,38 @@
 //!
 //! Counting covers the *linear* circuit solves of this crate (transient,
 //! DC, and [`crate::engine::TransientEngine`]); non-linear fixture
-//! simulation in other crates is out of scope.
+//! simulation in other crates is out of scope — except for the **recovery
+//! counters**, which the non-linear solver in `clarinox-spice` also
+//! records through [`record_recovery`]. Each recovery attempt additionally
+//! bumps a thread-local counter ([`thread_recovery_steps`]) so block
+//! workers can attribute ladder activity to the specific net they were
+//! analyzing when it happened.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static LU_FACTORIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// One rung of the solver recovery ladder (see `DESIGN.md` §4.9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// Re-integrating a failed timestep as several half-size substeps.
+    TimestepHalving,
+    /// Solving with extra node-to-ground conductance stepped back to zero
+    /// (Newton continuation), or factoring a singular matrix with a small
+    /// diagonal `GMIN` added.
+    GminStep,
+    /// Re-integrating a failed timestep with backward Euler at reduced dt.
+    BackwardEuler,
+}
+
+static RECOVERY_TIMESTEP_HALVINGS: AtomicU64 = AtomicU64::new(0);
+static RECOVERY_GMIN_STEPS: AtomicU64 = AtomicU64::new(0);
+static RECOVERY_BACKWARD_EULER: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TL_RECOVERY_STEPS: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Records one LU factorization (called by this crate's solve sites).
 pub(crate) fn record_lu() {
@@ -34,6 +62,59 @@ pub fn reset_lu_factorizations() -> u64 {
     LU_FACTORIZATIONS.swap(0, Ordering::Relaxed)
 }
 
+/// Records one recovery-ladder attempt of the given kind (process-wide and
+/// on the calling thread's attribution counter). Public so the non-linear
+/// solver in `clarinox-spice` shares the same ledger.
+pub fn record_recovery(kind: RecoveryKind) {
+    let counter = match kind {
+        RecoveryKind::TimestepHalving => &RECOVERY_TIMESTEP_HALVINGS,
+        RecoveryKind::GminStep => &RECOVERY_GMIN_STEPS,
+        RecoveryKind::BackwardEuler => &RECOVERY_BACKWARD_EULER,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+    TL_RECOVERY_STEPS.with(|c| c.set(c.get() + 1));
+}
+
+/// Timestep-halving recovery attempts since process start (or the last
+/// reset).
+pub fn recovery_timestep_halvings() -> u64 {
+    RECOVERY_TIMESTEP_HALVINGS.load(Ordering::Relaxed)
+}
+
+/// GMIN-stepping recovery attempts since process start (or the last reset).
+pub fn recovery_gmin_steps() -> u64 {
+    RECOVERY_GMIN_STEPS.load(Ordering::Relaxed)
+}
+
+/// Backward-Euler recovery attempts since process start (or the last
+/// reset).
+pub fn recovery_backward_euler() -> u64 {
+    RECOVERY_BACKWARD_EULER.load(Ordering::Relaxed)
+}
+
+/// Total recovery-ladder attempts of any kind since process start (or the
+/// last reset).
+pub fn recovery_attempts() -> u64 {
+    recovery_timestep_halvings() + recovery_gmin_steps() + recovery_backward_euler()
+}
+
+/// Resets the recovery counters and returns the previous total.
+pub fn reset_recovery_counters() -> u64 {
+    RECOVERY_TIMESTEP_HALVINGS.swap(0, Ordering::Relaxed)
+        + RECOVERY_GMIN_STEPS.swap(0, Ordering::Relaxed)
+        + RECOVERY_BACKWARD_EULER.swap(0, Ordering::Relaxed)
+}
+
+/// Recovery attempts recorded *on the calling thread* since it started.
+///
+/// Block workers read this before and after a net's analysis; the delta is
+/// the number of ladder attempts that net needed (each net is analyzed
+/// entirely on one worker thread), which is what turns an `Analyzed`
+/// outcome into `Degraded`.
+pub fn thread_recovery_steps() -> u64 {
+    TL_RECOVERY_STEPS.with(|c| c.get())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,5 +127,33 @@ mod tests {
         assert!(lu_factorizations() >= 2);
         let prev = reset_lu_factorizations();
         assert!(prev >= 2);
+    }
+
+    #[test]
+    fn recovery_counters_accumulate_by_kind() {
+        reset_recovery_counters();
+        let tl_before = thread_recovery_steps();
+        record_recovery(RecoveryKind::TimestepHalving);
+        record_recovery(RecoveryKind::GminStep);
+        record_recovery(RecoveryKind::BackwardEuler);
+        record_recovery(RecoveryKind::GminStep);
+        assert!(recovery_timestep_halvings() >= 1);
+        assert!(recovery_gmin_steps() >= 2);
+        assert!(recovery_backward_euler() >= 1);
+        assert!(recovery_attempts() >= 4);
+        assert_eq!(thread_recovery_steps() - tl_before, 4);
+        assert!(reset_recovery_counters() >= 4);
+    }
+
+    #[test]
+    fn thread_counter_is_per_thread() {
+        let tl_before = thread_recovery_steps();
+        std::thread::spawn(|| {
+            record_recovery(RecoveryKind::GminStep);
+            assert!(thread_recovery_steps() >= 1);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(thread_recovery_steps(), tl_before);
     }
 }

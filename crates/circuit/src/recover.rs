@@ -1,0 +1,98 @@
+//! Singular-matrix recovery for linear factorization sites.
+//!
+//! A physically sensible RC network always yields a factorable companion
+//! matrix, but degenerate inputs (a floating node with no DC path, an
+//! extraction bug upstream) surface here as
+//! [`NumericError::SingularMatrix`]. Rather than abort the whole net, the
+//! factorization sites in this crate retry with a small `GMIN`
+//! conductance added to every node diagonal — the classic SPICE remedy —
+//! stepping it up from a value far below any real admittance in the
+//! system. Each retry is recorded as a
+//! [`RecoveryKind::GminStep`](crate::profile::RecoveryKind) attempt so
+//! degraded results are observable; a clean first factorization takes
+//! exactly the old path and is bit-identical to it.
+//!
+//! This is also a fault-injection point
+//! ([`FaultSite::LuFactor`](clarinox_numeric::fault::FaultSite)): an armed
+//! plan can force the first factorization to fail, which exercises the
+//! GMIN path deterministically in tests.
+
+use crate::profile::{record_recovery, RecoveryKind};
+use crate::Result;
+use clarinox_numeric::fault::{self, FaultSite};
+use clarinox_numeric::matrix::{LuFactors, Matrix};
+use clarinox_numeric::NumericError;
+
+/// GMIN ladder for singular-matrix recovery: far below any real admittance
+/// first, larger only if the matrix is badly degenerate.
+const GMIN_LADDER: [f64; 3] = [1e-12, 1e-9, 1e-6];
+
+/// Factors `m`, retrying with a stepped diagonal `GMIN` on the first
+/// `node_unknowns` rows (the node-voltage block of an MNA matrix) if the
+/// clean factorization reports a singular matrix.
+///
+/// # Errors
+///
+/// The original singular-matrix error when every `GMIN` step still fails,
+/// or any non-singularity factorization error unchanged.
+pub fn lu_with_gmin(m: &Matrix, node_unknowns: usize) -> Result<LuFactors> {
+    let first = if fault::should_fail(FaultSite::LuFactor) {
+        Err(NumericError::InvalidInput {
+            context: fault::injected_message(FaultSite::LuFactor),
+        })
+    } else {
+        m.lu()
+    };
+    let err = match first {
+        Ok(f) => return Ok(f),
+        Err(e) => e,
+    };
+    for gmin in GMIN_LADDER {
+        record_recovery(RecoveryKind::GminStep);
+        let mut damped = m.clone();
+        for i in 0..node_unknowns {
+            damped.add(i, i, gmin);
+        }
+        if let Ok(f) = damped.lu() {
+            return Ok(f);
+        }
+    }
+    Err(err.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile;
+
+    #[test]
+    fn clean_factorization_is_untouched() {
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let before = profile::recovery_gmin_steps();
+        let f = lu_with_gmin(&m, 2).unwrap();
+        assert_eq!(profile::recovery_gmin_steps(), before);
+        let x = f.solve(&[1.0, 0.0]).unwrap();
+        assert!((2.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_recovers_via_gmin() {
+        // A floating node: zero row/column in the node block.
+        let m = Matrix::from_rows(&[&[1e-3, 0.0], &[0.0, 0.0]]).unwrap();
+        assert!(m.lu().is_err(), "test premise: matrix is singular");
+        let before = profile::recovery_gmin_steps();
+        let f = lu_with_gmin(&m, 2).unwrap();
+        assert!(profile::recovery_gmin_steps() > before);
+        // The damped solve pins the floating unknown near zero.
+        let x = f.solve(&[1e-3, 0.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-2);
+        assert!(x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn hopeless_matrix_reports_original_error() {
+        // Singular in the *branch* block, which GMIN does not touch.
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]).unwrap();
+        assert!(lu_with_gmin(&m, 1).is_err());
+    }
+}

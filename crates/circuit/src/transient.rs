@@ -155,7 +155,7 @@ pub fn simulate(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResu
     let mut x = if spec.dc_init {
         let mut b0 = vec![0.0; dim];
         system.rhs_at(circuit, 0.0, &mut b0);
-        let glu = system.g().lu()?;
+        let glu = crate::recover::lu_with_gmin(system.g(), system.node_unknowns())?;
         crate::profile::record_lu();
         glu.solve(&b0)?
     } else {
@@ -169,7 +169,7 @@ pub fn simulate(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResu
         Integration::BackwardEuler => (1.0 / h, 0.0),
     };
     let companion = system.g().add_scaled(system.c(), alpha)?;
-    let lu = companion.lu()?;
+    let lu = crate::recover::lu_with_gmin(&companion, system.node_unknowns())?;
     crate::profile::record_lu();
 
     let mut times = Vec::with_capacity(steps + 1);

@@ -6,13 +6,15 @@ use crate::alignment::{
 use crate::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
 use crate::holding::extract_rt;
 use crate::models::NetModels;
+use crate::outcome::{conservative_bound, NetOutcome};
 use crate::par::KeyedOnceCache;
 use crate::provider::{provider_for, ModelProvider, ProviderStats};
 use crate::superposition::LinearNetAnalysis;
-use crate::Result;
+use crate::{CoreError, Result};
 use clarinox_cells::{Gate, GateKind, Tech};
 use clarinox_char::alignment::AlignmentTable;
 use clarinox_netgen::spec::CoupledNetSpec;
+use clarinox_numeric::fault::{self, FaultSite};
 use clarinox_sta::window::TimingWindow;
 use clarinox_waveform::measure::{settle_crossing_hysteresis, Edge};
 use clarinox_waveform::{CompositePulse, NoisePulse, Pwl};
@@ -195,15 +197,34 @@ impl NoiseAnalyzer {
 
     /// Analyzes a block of nets, fanning them across `jobs` worker threads
     /// (work-stealing over a shared index). Results are returned in input
-    /// order and are **identical** to running [`NoiseAnalyzer::analyze`]
-    /// serially on each spec: every net's computation is independent, so
-    /// scheduling cannot change any report bit.
+    /// order; healthy nets are **identical** to running
+    /// [`NoiseAnalyzer::analyze`] serially on each spec: every net's
+    /// computation is independent, so scheduling cannot change any report
+    /// bit.
+    ///
+    /// The batch is fault-isolated (see [`crate::outcome`]): a net whose
+    /// solve needed the spice recovery ladder comes back
+    /// [`crate::outcome::Outcome::Degraded`] with its converged report,
+    /// and a net whose analysis errored — or panicked — comes back
+    /// [`crate::outcome::Outcome::Failed`] with a conservative closed-form
+    /// bound, without disturbing any other net.
     ///
     /// `jobs` is clamped to `1..=specs.len()`; pass `1` for the serial
     /// path. Shared caches (the alignment tables) are characterized once
     /// and shared across workers.
-    pub fn analyze_block(&self, specs: &[CoupledNetSpec], jobs: usize) -> Vec<Result<NetReport>> {
-        crate::par::run_indexed(specs.len(), jobs, |i| self.analyze(&specs[i]))
+    pub fn analyze_block(&self, specs: &[CoupledNetSpec], jobs: usize) -> Vec<NetOutcome> {
+        crate::par::run_indexed(specs.len(), jobs, |i| self.analyze_outcome(&specs[i]))
+    }
+
+    /// Fault-isolated analysis of one net: [`NoiseAnalyzer::analyze`]
+    /// wrapped in the panic guard, recovery attribution, and conservative
+    /// fallback of [`crate::outcome`].
+    pub fn analyze_outcome(&self, spec: &CoupledNetSpec) -> NetOutcome {
+        crate::outcome::guarded(
+            spec.id,
+            || conservative_bound(&self.tech, spec),
+            || self.analyze(spec),
+        )
     }
 
     /// Analyzes one coupled net with the configured driver model and
@@ -219,10 +240,22 @@ impl NoiseAnalyzer {
     /// Analyzes one coupled net, optionally constraining the pulse-peak
     /// time to a feasible aggressor switching window.
     ///
+    /// The net's id is installed as the thread's fault-injection scope for
+    /// the duration of the call (see [`clarinox_numeric::fault`]), so an
+    /// armed net-scoped plan hits exactly this net on every analysis path.
+    ///
     /// # Errors
     ///
     /// See [`NoiseAnalyzer::analyze`].
     pub fn analyze_windowed(
+        &self,
+        spec: &CoupledNetSpec,
+        peak_window: Option<TimingWindow>,
+    ) -> Result<NetReport> {
+        fault::scoped(spec.id, || self.analyze_windowed_inner(spec, peak_window))
+    }
+
+    fn analyze_windowed_inner(
         &self,
         spec: &CoupledNetSpec,
         peak_window: Option<TimingWindow>,
@@ -361,6 +394,11 @@ impl NoiseAnalyzer {
         let out_edge = ctx.receiver_out_edge();
         let vmid = self.tech.vmid();
         let hyst = self.config.settle_hysteresis_frac * self.tech.vdd;
+        if fault::should_fail(FaultSite::Measure) {
+            return Err(CoreError::analysis(fault::injected_message(
+                FaultSite::Measure,
+            )));
+        }
         let t_in_clean =
             settle_crossing_hysteresis(&noiseless.at_victim_rcv, vmid, victim_edge, hyst)?;
         let t_in_noisy = settle_crossing_hysteresis(&noisy_rcv, vmid, victim_edge, hyst)?;

@@ -16,12 +16,14 @@
 //!   under ~100 mV "does not constitute a functional noise failure").
 
 use crate::config::AnalyzerConfig;
+use crate::outcome::{conservative_bound, FunctionalOutcome};
 use crate::provider::{provider_for, ModelProvider};
 use crate::superposition::LinearNetAnalysis;
 use crate::{CoreError, Result};
 use clarinox_cells::fixture::receiver_response;
 use clarinox_cells::Tech;
 use clarinox_netgen::spec::CoupledNetSpec;
+use clarinox_numeric::fault::{self, FaultSite};
 use clarinox_waveform::measure::Edge;
 use clarinox_waveform::{CompositePulse, NoisePulse, Pwl};
 
@@ -137,6 +139,19 @@ pub fn check_functional_noise_with(
     config: &AnalyzerConfig,
     provider: &dyn ModelProvider,
 ) -> Result<FunctionalNoiseReport> {
+    fault::scoped(spec.id, || {
+        check_functional_inner(tech, spec, state, margin, config, provider)
+    })
+}
+
+fn check_functional_inner(
+    tech: &Tech,
+    spec: &CoupledNetSpec,
+    state: QuietState,
+    margin: f64,
+    config: &AnalyzerConfig,
+    provider: &dyn ModelProvider,
+) -> Result<FunctionalNoiseReport> {
     if !(margin > 0.0) {
         return Err(CoreError::analysis("noise margin must be positive"));
     }
@@ -189,6 +204,11 @@ pub fn check_functional_noise_with(
         t_stop,
         config.dt,
     )?;
+    if fault::should_fail(FaultSite::Measure) {
+        return Err(CoreError::analysis(fault::injected_message(
+            FaultSite::Measure,
+        )));
+    }
     let glitch_out = out.sub(&quiet_out).extremum_point().1.abs();
 
     Ok(FunctionalNoiseReport {
@@ -205,8 +225,15 @@ pub fn check_functional_noise_with(
 /// Runs the functional-noise check over a whole block, fanning the
 /// `(net, quiet-state)` pairs across `jobs` worker threads (work stealing
 /// over a shared index). Results come back in input order — for each spec,
-/// one report per entry of `states`, flattened — and are identical to
-/// calling [`check_functional_noise`] serially on each pair.
+/// one report per entry of `states`, flattened — and on the healthy path
+/// are identical to calling [`check_functional_noise`] serially on each
+/// pair.
+///
+/// Each pair is fault-isolated (see [`crate::outcome`]): a check that
+/// needed the solver recovery ladder returns its report tagged
+/// [`crate::outcome::Outcome::Degraded`], and a check that errored or
+/// panicked returns [`crate::outcome::Outcome::Failed`] with a
+/// conservative glitch bound, leaving every other pair untouched.
 ///
 /// One model provider (per [`AnalyzerConfig::model_provider`]) is built
 /// for the whole run and shared by every worker, so with the library
@@ -219,12 +246,16 @@ pub fn check_functional_noise_block(
     margin: f64,
     config: &AnalyzerConfig,
     jobs: usize,
-) -> Vec<Result<FunctionalNoiseReport>> {
+) -> Vec<FunctionalOutcome> {
     let provider = provider_for(config.model_provider, tech);
     crate::par::run_indexed(specs.len() * states.len(), jobs, |i| {
         let spec = &specs[i / states.len()];
         let state = states[i % states.len()];
-        check_functional_noise_with(tech, spec, state, margin, config, provider.as_ref())
+        crate::outcome::guarded(
+            spec.id,
+            || conservative_bound(tech, spec),
+            || check_functional_noise_with(tech, spec, state, margin, config, provider.as_ref()),
+        )
     })
 }
 

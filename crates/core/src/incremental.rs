@@ -38,6 +38,7 @@ use crate::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind, LinearB
 use crate::design::{
     build_stage_graph, declared_aggressors, design_delta_fn, to_stage_couplings, DesignNet,
 };
+use crate::outcome::{ConservativeBound, Outcome};
 use crate::par::run_indexed;
 use crate::{CoreError, Result};
 use clarinox_cells::{Gate, GateKind, Tech};
@@ -145,6 +146,29 @@ impl NetSummary {
             s.push_str(&format!(" {:016x}", x.to_bits()));
         }
         s
+    }
+
+    /// The pessimistic stand-in summary of a net whose analysis failed:
+    /// the closed-form [`ConservativeBound`] supplies the delay fields so
+    /// downstream timing windows stay sound, and the purely diagnostic
+    /// fields hold the NaN sentinel. Deliberately *not* cached by
+    /// [`IncrementalDesign`] — a failed net is retried on every analyze.
+    pub fn conservative(id: usize, bound: &ConservativeBound) -> Self {
+        NetSummary {
+            id,
+            rounds: 0,
+            has_noise: true,
+            ceff: f64::NAN,
+            rth: f64::NAN,
+            holding_r: f64::NAN,
+            base_delay_out: bound.base_delay,
+            delay_noise_rcv_in: bound.delay_noise,
+            delay_noise_rcv_out: bound.delay_noise,
+            victim_slew_rcv: f64::NAN,
+            peak_time: f64::NAN,
+            comp_height: bound.peak_noise,
+            comp_width50: f64::NAN,
+        }
     }
 
     /// Parses a record written by [`NetSummary::to_record`].
@@ -354,6 +378,13 @@ pub struct EcoStats {
     pub fixpoint_dirty: usize,
     /// Whether the fixed point was warm-started from previous deltas.
     pub warm_start: bool,
+    /// Re-computed nets that needed the solver recovery ladder (their
+    /// results are still full simulations).
+    pub degraded: usize,
+    /// Re-computed nets whose analysis failed; their summaries this round
+    /// are conservative closed-form bounds and they are retried on the
+    /// next analyze.
+    pub failed: usize,
 }
 
 /// Result of an incremental design analysis; the per-net projection of the
@@ -520,10 +551,18 @@ impl IncrementalDesign {
     /// runs the window ↔ noise fixed point warm-started from the previous
     /// converged deltas with the dirty closure zeroed.
     ///
+    /// Per-net work is fault-isolated (see [`crate::outcome`]): a net
+    /// whose solve needed the recovery ladder keeps its (full) result and
+    /// is counted in [`EcoStats::degraded`]; a net whose analysis failed
+    /// enters this round's fixed point with the conservative
+    /// [`NetSummary::conservative`] bound, is counted in
+    /// [`EcoStats::failed`], is *not* cached, and is marked dirty so the
+    /// next analyze retries it and re-zeroes its warm-start seed.
+    ///
     /// # Errors
     ///
-    /// Per-net analysis or fixed-point failures. Summaries of nets that
-    /// did complete stay cached, so a retry resumes where it failed.
+    /// Fixed-point or stage-graph failures. Summaries of nets that did
+    /// complete stay cached, so a retry resumes where it failed.
     pub fn analyze(&mut self, max_rounds: usize) -> Result<IncrementalReport> {
         let n = self.states.len();
         let todo: Vec<usize> = (0..n)
@@ -531,14 +570,28 @@ impl IncrementalDesign {
             .collect();
         let analyzer = &self.analyzer;
         let states = &self.states;
-        let fresh: Vec<Result<NetSummary>> = run_indexed(todo.len(), self.jobs, |k| {
-            analyzer
-                .analyze(&states[todo[k]].net.spec)
-                .map(|r| NetSummary::from_report(&r))
+        let fresh: Vec<crate::outcome::NetOutcome> = run_indexed(todo.len(), self.jobs, |k| {
+            analyzer.analyze_outcome(&states[todo[k]].net.spec)
         });
         let analyzed = todo.len();
-        for (&i, res) in todo.iter().zip(fresh) {
-            self.states[i].summary = Some(res?);
+        let mut degraded = 0;
+        let mut failed = 0;
+        // Conservative stand-ins for this round only (never cached).
+        let mut fallback: Vec<(usize, NetSummary)> = Vec::new();
+        for (&i, out) in todo.iter().zip(fresh) {
+            match out {
+                Outcome::Analyzed(r) => {
+                    self.states[i].summary = Some(NetSummary::from_report(&r));
+                }
+                Outcome::Degraded { value, .. } => {
+                    degraded += 1;
+                    self.states[i].summary = Some(NetSummary::from_report(&value));
+                }
+                Outcome::Failed { id, bound, .. } => {
+                    failed += 1;
+                    fallback.push((i, NetSummary::conservative(id, &bound)));
+                }
+            }
         }
 
         // Dirty closure: an edited net changes its own delta and window,
@@ -558,10 +611,13 @@ impl IncrementalDesign {
 
         let input_windows: Vec<TimingWindow> =
             self.states.iter().map(|s| s.net.input_window).collect();
-        let summaries: Vec<NetSummary> = self
-            .states
-            .iter()
-            .map(|s| s.summary.expect("all summaries filled above"))
+        let mut working: Vec<Option<NetSummary>> = self.states.iter().map(|s| s.summary).collect();
+        for &(i, s) in &fallback {
+            working[i] = Some(s);
+        }
+        let summaries: Vec<NetSummary> = working
+            .into_iter()
+            .map(|s| s.expect("every net has a summary or a conservative stand-in"))
             .collect();
         let base_delays: Vec<f64> = summaries.iter().map(|s| s.base_delay_out).collect();
         let noise: Vec<f64> = summaries.iter().map(|s| s.delay_noise_rcv_out).collect();
@@ -596,6 +652,13 @@ impl IncrementalDesign {
         )?;
         self.prev_deltas = Some(res.deltas.clone());
         self.dirty.iter_mut().for_each(|d| *d = false);
+        // A failed net's converged deltas reflect the conservative bound,
+        // which may sit *above* the true fixed point — keeping it dirty
+        // forces the next round's closure to zero those seeds, preserving
+        // the warm-start soundness argument.
+        for &(i, _) in &fallback {
+            self.dirty[i] = true;
+        }
 
         Ok(IncrementalReport {
             nets: summaries,
@@ -607,6 +670,8 @@ impl IncrementalDesign {
                 reused: n - analyzed,
                 fixpoint_dirty,
                 warm_start,
+                degraded,
+                failed,
             },
         })
     }

@@ -73,6 +73,7 @@ pub mod gold;
 pub mod holding;
 pub mod incremental;
 pub mod models;
+pub mod outcome;
 pub mod par;
 pub mod profile;
 pub mod provider;
@@ -86,6 +87,7 @@ pub use config::{
 };
 pub use error::CoreError;
 pub use incremental::{EcoStats, IncrementalDesign, IncrementalReport, NetSummary};
+pub use outcome::{conservative_bound, ConservativeBound, FunctionalOutcome, NetOutcome, Outcome};
 pub use provider::{ModelProvider, ProviderStats};
 
 /// Crate-wide result alias.

@@ -1,0 +1,321 @@
+//! Fault-isolated per-net outcomes and the conservative fallback bound.
+//!
+//! The block-level entry points ([`crate::analysis::NoiseAnalyzer::analyze_block`],
+//! [`crate::functional::check_functional_noise_block`]) never abort a whole
+//! batch because one net misbehaved. Each net's work is wrapped here:
+//!
+//! * a clean run with zero solver-recovery steps is [`Outcome::Analyzed`];
+//! * a run that needed the spice recovery ladder (timestep halving, GMIN
+//!   stepping, backward Euler — see `clarinox-spice`) still returns its
+//!   converged report, tagged [`Outcome::Degraded`] with the number of
+//!   recovery attempts spent on this net's worker thread;
+//! * a run that errored — or *panicked* — is caught and becomes
+//!   [`Outcome::Failed`], carrying a closed-form [`ConservativeBound`] so
+//!   downstream timing windows stay sound without the simulation.
+//!
+//! The healthy path is bit-identical to the pre-outcome API: the wrapper
+//! adds only a panic guard and two counter reads around the existing
+//! computation.
+//!
+//! # The conservative bound
+//!
+//! When simulation is unavailable the bound falls back to the analytical
+//! coupling-noise models of Hunagund & Kalpana (arXiv 1304.0835; see
+//! PAPERS.md), simplified toward pessimism:
+//!
+//! * **Peak noise** is the charge-sharing ceiling `Vdd · Cc / (Cc + Cg)` —
+//!   the glitch a fully switching aggressor bank can capacitively force on
+//!   a *floating* victim. Any finite holding resistance only reduces it,
+//!   and omitting the victim driver's drain capacitance from `Cg` inflates
+//!   it further.
+//! * **Delay noise** is a Miller-factor-2 Elmore term: the aggressor bank
+//!   switching opposite to the victim at the worst moment at most doubles
+//!   the effective coupling charge, so the push-out is bounded by the RC
+//!   time `(R_drv + R_wire) · 2·Cc` scaled to a 10–90% settle (×2.2), plus
+//!   half the input ramp for the launch-point shift. `R_drv` is a weak
+//!   (series-stack, triode) resistance estimate, doubled.
+//! * **Base delay** upper-bounds the noiseless stage delay with the same
+//!   weak driver through the full Miller-2 load plus the receiver stage —
+//!   a *late-side* bound: sound for setup/max-delay windows, which is the
+//!   direction delay noise threatens.
+
+use crate::Result;
+use clarinox_cells::{Gate, Tech};
+use clarinox_netgen::spec::CoupledNetSpec;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Closed-form pessimistic bounds substituted for a net whose simulation
+/// failed. All fields are finite and non-negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConservativeBound {
+    /// Upper bound on the coupled glitch at the receiver input (volts).
+    pub peak_noise: f64,
+    /// Upper bound on the delay noise at the receiver output (seconds).
+    pub delay_noise: f64,
+    /// Late-side bound on the noiseless stage delay (seconds).
+    pub base_delay: f64,
+}
+
+/// Outcome of one unit of fault-isolated analysis work.
+#[derive(Debug, Clone)]
+pub enum Outcome<T> {
+    /// Completed without any solver recovery.
+    Analyzed(T),
+    /// Completed, but only after the solver recovery ladder engaged.
+    Degraded {
+        /// The full result — converged, but via a recovery path.
+        value: T,
+        /// Recovery attempts recorded on this net's worker thread.
+        recovery_steps: u64,
+    },
+    /// Analysis errored or panicked; only the conservative bound is known.
+    Failed {
+        /// The net id (the value carries it on the other arms).
+        id: usize,
+        /// Rendered error (or panic payload) text.
+        error: String,
+        /// Pessimistic closed-form substitute for the missing result.
+        bound: ConservativeBound,
+    },
+}
+
+/// Outcome of one net's delay-noise analysis.
+pub type NetOutcome = Outcome<crate::analysis::NetReport>;
+
+/// Outcome of one `(net, quiet-state)` functional-noise check.
+pub type FunctionalOutcome = Outcome<crate::functional::FunctionalNoiseReport>;
+
+impl<T> Outcome<T> {
+    /// The report, when one exists (healthy or degraded).
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            Outcome::Analyzed(v) | Outcome::Degraded { value: v, .. } => Some(v),
+            Outcome::Failed { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the report when one exists.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            Outcome::Analyzed(v) | Outcome::Degraded { value: v, .. } => Some(v),
+            Outcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether this is the clean, zero-recovery arm.
+    pub fn is_analyzed(&self) -> bool {
+        matches!(self, Outcome::Analyzed(_))
+    }
+
+    /// Whether the solver recovery ladder was needed.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Outcome::Degraded { .. })
+    }
+
+    /// Whether analysis failed outright.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Outcome::Failed { .. })
+    }
+
+    /// Recovery attempts spent on this net (zero unless degraded).
+    pub fn recovery_steps(&self) -> u64 {
+        match self {
+            Outcome::Degraded { recovery_steps, .. } => *recovery_steps,
+            _ => 0,
+        }
+    }
+
+    /// Stable status word for reports and JSON (`analyzed` / `degraded` /
+    /// `failed`).
+    pub fn status(&self) -> &'static str {
+        match self {
+            Outcome::Analyzed(_) => "analyzed",
+            Outcome::Degraded { .. } => "degraded",
+            Outcome::Failed { .. } => "failed",
+        }
+    }
+}
+
+/// Weak (pessimistically large) on-resistance of `gate`'s driver: the
+/// triode resistance of the weaker device at full gate drive, doubled to
+/// cover series stacks and the saturation region.
+fn weak_driver_resistance(tech: &Tech, gate: &Gate) -> f64 {
+    let w_over_l = |w: f64| (w / tech.l_min).max(f64::MIN_POSITIVE);
+    let resistance = |kp: f64, vt: f64, w: f64| {
+        let overdrive = (tech.vdd - vt).max(0.05 * tech.vdd);
+        1.0 / (kp * w_over_l(w) * overdrive)
+    };
+    let wn = gate.strength * tech.w_unit;
+    let wp = wn * gate.pn_ratio;
+    let r_n = resistance(tech.nmos.kp, tech.nmos.vt, wn);
+    let r_p = resistance(tech.pmos.kp, tech.pmos.vt, wp);
+    2.0 * r_n.max(r_p)
+}
+
+/// The closed-form pessimistic bound for `spec` (see the module docs for
+/// the derivation and the pessimism argument).
+pub fn conservative_bound(tech: &Tech, spec: &CoupledNetSpec) -> ConservativeBound {
+    let victim = &spec.victim;
+    let cc: f64 = spec.aggressors.iter().map(|a| a.coupling_cap(tech)).sum();
+    let cg = victim.wire_capacitance(tech) + victim.receiver.input_cap(tech);
+    let peak_noise = if cc + cg > 0.0 {
+        tech.vdd * cc / (cc + cg)
+    } else {
+        0.0
+    };
+
+    let r_path = weak_driver_resistance(tech, &victim.driver) + victim.wire_resistance(tech);
+    let half_ramp = 0.5 * victim.driver_input_ramp;
+    let delay_noise = 2.2 * r_path * 2.0 * cc + half_ramp;
+
+    let r_rcv = weak_driver_resistance(tech, &victim.receiver);
+    let c_rcv = victim.receiver_load + victim.receiver.output_cap(tech);
+    let base_delay = half_ramp + 2.2 * r_path * (cg + 2.0 * cc) + 2.2 * r_rcv * c_rcv;
+
+    ConservativeBound {
+        peak_noise,
+        delay_noise,
+        base_delay,
+    }
+}
+
+/// Runs `f` under the fault-isolation contract: panics are caught, solver
+/// recoveries on this thread are attributed, errors fall back to `bound()`.
+///
+/// The caller is responsible for running `f` with the net's fault scope
+/// installed (the analysis entry points do this via
+/// [`clarinox_numeric::fault::scoped`]); this wrapper only classifies.
+pub(crate) fn guarded<T>(
+    id: usize,
+    bound: impl FnOnce() -> ConservativeBound,
+    f: impl FnOnce() -> Result<T>,
+) -> Outcome<T> {
+    let steps_before = clarinox_circuit::profile::thread_recovery_steps();
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let steps = clarinox_circuit::profile::thread_recovery_steps() - steps_before;
+    match result {
+        Ok(Ok(value)) if steps == 0 => Outcome::Analyzed(value),
+        Ok(Ok(value)) => Outcome::Degraded {
+            value,
+            recovery_steps: steps,
+        },
+        Ok(Err(e)) => Outcome::Failed {
+            id,
+            error: e.to_string(),
+            bound: bound(),
+        },
+        Err(payload) => Outcome::Failed {
+            id,
+            error: format!("panic: {}", crate::par::payload_text(payload.as_ref())),
+            bound: bound(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreError;
+    use clarinox_netgen::spec::{AggressorSpec, NetSpec};
+    use clarinox_waveform::measure::Edge;
+
+    fn spec(tech: &Tech) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(2.0, tech),
+            driver_input_ramp: 120e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 1.0e-3,
+            segments: 4,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 15e-15,
+        };
+        CoupledNetSpec {
+            id: 3,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: NetSpec {
+                    driver: Gate::inv(8.0, tech),
+                    driver_input_edge: Edge::Falling,
+                    ..base
+                },
+                coupling_len: 0.8e-3,
+                coupling_start: 0.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn bound_is_finite_positive_and_scales_with_coupling() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let b = conservative_bound(&tech, &s);
+        assert!(b.peak_noise > 0.0 && b.peak_noise < tech.vdd);
+        assert!(b.delay_noise.is_finite() && b.delay_noise > 0.0);
+        assert!(b.base_delay.is_finite() && b.base_delay > 0.0);
+
+        let mut stronger = s.clone();
+        stronger.aggressors[0].coupling_len *= 2.0;
+        let b2 = conservative_bound(&tech, &stronger);
+        assert!(b2.peak_noise > b.peak_noise);
+        assert!(b2.delay_noise > b.delay_noise);
+
+        let mut quiet = s;
+        quiet.aggressors.clear();
+        let b0 = conservative_bound(&tech, &quiet);
+        assert_eq!(b0.peak_noise, 0.0);
+    }
+
+    #[test]
+    fn guarded_classifies_all_three_arms() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+        let bound = || conservative_bound(&tech, &s);
+
+        let ok: Outcome<u32> = guarded(1, bound, || Ok(7));
+        assert!(ok.is_analyzed());
+        assert_eq!(ok.value(), Some(&7));
+        assert_eq!(ok.status(), "analyzed");
+
+        let err: Outcome<u32> = guarded(2, bound, || Err(CoreError::analysis("boom")));
+        assert!(err.is_failed());
+        assert!(err.value().is_none());
+        match &err {
+            Outcome::Failed { id, error, bound } => {
+                assert_eq!(*id, 2);
+                assert!(error.contains("boom"));
+                assert!(bound.delay_noise > 0.0);
+            }
+            other => panic!("expected Failed, got {}", other.status()),
+        }
+
+        let panicked: Outcome<u32> = guarded(3, bound, || panic!("net exploded"));
+        match &panicked {
+            Outcome::Failed { error, .. } => {
+                assert!(error.contains("panic") && error.contains("net exploded"));
+            }
+            other => panic!("expected Failed, got {}", other.status()),
+        }
+    }
+
+    #[test]
+    fn guarded_attributes_thread_recovery_steps() {
+        let steps: Outcome<u32> = guarded(
+            4,
+            || ConservativeBound {
+                peak_noise: 0.0,
+                delay_noise: 0.0,
+                base_delay: 0.0,
+            },
+            || {
+                clarinox_circuit::profile::record_recovery(
+                    clarinox_circuit::profile::RecoveryKind::GminStep,
+                );
+                Ok(9)
+            },
+        );
+        assert!(steps.is_degraded());
+        assert_eq!(steps.recovery_steps(), 1);
+        assert_eq!(steps.status(), "degraded");
+        assert_eq!(steps.into_value(), Some(9));
+    }
+}

@@ -28,7 +28,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker.
+/// A panic from `f(i)` is captured on the worker, remaining work is
+/// cancelled, and unwinding resumes on the caller — after every worker has
+/// been joined — with a payload naming the item index that panicked (the
+/// lowest such index when several race). The batch layer in
+/// [`crate::analysis`] catches per-net panics before they reach this fan-
+/// out; a panic escaping here means the caller's closure itself is broken.
 pub(crate) fn run_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -39,36 +44,77 @@ where
         return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
-    let gathered: Vec<(usize, T)> = std::thread::scope(|scope| {
+    let abort = std::sync::atomic::AtomicBool::new(false);
+    type Panic = (usize, Box<dyn std::any::Any + Send + 'static>);
+    let gathered: Vec<Result<Vec<(usize, T)>, Panic>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
                     let mut done = Vec::new();
                     loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        done.push((i, f(i)));
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                            Ok(r) => done.push((i, r)),
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                return Err((i, payload));
+                            }
+                        }
                     }
-                    done
+                    Ok(done)
                 })
             })
             .collect();
+        // Every handle is joined before anything unwinds: a worker panic
+        // cannot leave detached threads racing the caller.
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("batch worker panicked"))
+            .map(|h| h.join().expect("worker closure is panic-proof"))
             .collect()
     });
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    for (i, r) in gathered {
-        slots[i] = Some(r);
+    let mut first_panic: Option<Panic> = None;
+    for worker in gathered {
+        match worker {
+            Ok(done) => {
+                for (i, r) in done {
+                    slots[i] = Some(r);
+                }
+            }
+            Err((i, payload)) => {
+                if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_panic = Some((i, payload));
+                }
+            }
+        }
+    }
+    if let Some((i, payload)) = first_panic {
+        let detail = payload_text(payload.as_ref());
+        std::panic::resume_unwind(Box::new(format!("batch item {i} panicked: {detail}")));
     }
     slots
         .into_iter()
         .map(|s| s.expect("work-stealing index visits every slot"))
         .collect()
+}
+
+/// Best-effort text of a panic payload (panics carry `&str` or `String`
+/// in practice; anything else is described as opaque).
+pub(crate) fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +138,36 @@ mod tests {
         let id = std::thread::current().id();
         let out = run_indexed(3, 1, |_| std::thread::current().id());
         assert!(out.iter().all(|&t| t == id));
+    }
+
+    #[test]
+    fn worker_panic_reports_item_index() {
+        use std::sync::atomic::AtomicUsize;
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_indexed(64, 4, |i| {
+                if i == 37 {
+                    panic!("deliberate test panic");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let text = payload_text(payload.as_ref());
+        assert!(
+            text.contains("batch item 37") && text.contains("deliberate test panic"),
+            "payload should name the item: {text:?}"
+        );
+        // The panic cancelled remaining work but let claimed items finish.
+        assert!(completed.load(Ordering::Relaxed) < 64);
+    }
+
+    #[test]
+    fn payload_text_handles_string_and_opaque() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static".to_string());
+        assert_eq!(payload_text(s.as_ref()), "static");
+        let o: Box<dyn std::any::Any + Send> = Box::new(17usize);
+        assert_eq!(payload_text(o.as_ref()), "non-string panic payload");
     }
 }

@@ -8,6 +8,18 @@
 //! [`crate::provider::ModelProvider::stats`] — because a library's reuse is
 //! scoped to whoever shares it, while ROM builds are a process-wide cost.)
 
+//!
+//! The solver-recovery counters of the fault-isolated pipeline live at
+//! their point of record in [`clarinox_circuit::profile`] and are
+//! re-exported here, so flow-level consumers (the CLI's `--profile`
+//! output, the serve layer, the outcome tests) read everything from one
+//! module.
+
+pub use clarinox_circuit::profile::{
+    recovery_attempts, recovery_backward_euler, recovery_gmin_steps, recovery_timestep_halvings,
+    reset_recovery_counters, thread_recovery_steps, RecoveryKind,
+};
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static PRIMA_ROM_BUILDS: AtomicU64 = AtomicU64::new(0);

@@ -1,0 +1,442 @@
+//! Deterministic, test-only fault injection.
+//!
+//! The robustness of the fault-isolated analysis pipeline (recovery
+//! ladder, degraded-mode block reports, serve hardening) is only testable
+//! if failures can be provoked *on demand* and *reproducibly*. This module
+//! provides a process-global [`FaultPlan`] with named injection sites that
+//! the solver stack consults at its failure-prone points:
+//!
+//! * [`FaultSite::LuFactor`] — linear companion-matrix factorization
+//!   (`clarinox-circuit`),
+//! * [`FaultSite::NewtonIter`] — a non-linear Newton solve
+//!   (`clarinox-spice`),
+//! * [`FaultSite::Measure`] — waveform measurement in the analysis flow
+//!   (`clarinox-core`),
+//! * [`FaultSite::Request`] — a serve request handler (`clarinox-serve`),
+//!   which *panics* rather than erroring, to exercise `catch_unwind`.
+//!
+//! When no plan is armed (the default), every check is a single relaxed
+//! atomic load returning `false` — the production hot path pays nothing.
+//!
+//! # Scoping and determinism
+//!
+//! Block workers bracket each net's analysis with [`scoped`], which tags
+//! the current thread with the net id. A rule written `newton@2` then only
+//! fires inside net 2's analysis regardless of which worker thread runs
+//! it or in what order nets are claimed — so injected runs are
+//! deterministic at any `--jobs` level. Probabilistic rules (`p=<f>`)
+//! hash a fixed seed with the site, scope, and per-scope occurrence
+//! number instead of sampling an RNG, for the same reason.
+//!
+//! # Spec grammar
+//!
+//! A plan parses from a comma-separated list of clauses:
+//!
+//! ```text
+//! spec    := clause ("," clause)*
+//! clause  := site [ "@" net ] [ ":" mode ] | "seed=" u64
+//! site    := "newton" | "lu" | "measure" | "request"
+//! mode    := "once" | "always" | "p=" f64
+//! ```
+//!
+//! `once` (the default) fires on the first check in each matching scope;
+//! `always` fires on every check; `p=0.25` fires on a deterministic
+//! pseudo-random quarter of checks. Examples:
+//!
+//! * `newton@2` — one Newton divergence on net 2 (the recovery ladder
+//!   then rescues the net: a `Degraded` outcome),
+//! * `newton@2:always` — every Newton attempt on net 2 fails (recovery
+//!   exhausted: a `Failed` outcome with a conservative bound),
+//! * `lu:p=0.1,seed=7` — a seeded 10% of factorizations fail.
+//!
+//! ```
+//! use clarinox_numeric::fault::{self, FaultPlan, FaultSite};
+//!
+//! let plan: FaultPlan = "newton@2,measure@0:always".parse().unwrap();
+//! fault::arm(plan);
+//! assert!(!fault::should_fail(FaultSite::NewtonIter)); // unscoped: no match
+//! fault::scoped(2, || {
+//!     assert!(fault::should_fail(FaultSite::NewtonIter)); // fires once
+//!     assert!(!fault::should_fail(FaultSite::NewtonIter));
+//! });
+//! fault::disarm();
+//! ```
+
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::sync::lock_unpoisoned;
+
+/// A named injection point in the solver stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Linear LU factorization of a circuit matrix.
+    LuFactor,
+    /// A non-linear Newton solve (one `newton()` call).
+    NewtonIter,
+    /// Waveform measurement in the analysis flow.
+    Measure,
+    /// A serve request handler (panics instead of erroring).
+    Request,
+}
+
+impl FaultSite {
+    fn parse(text: &str) -> Option<FaultSite> {
+        match text {
+            "newton" => Some(FaultSite::NewtonIter),
+            "lu" => Some(FaultSite::LuFactor),
+            "measure" => Some(FaultSite::Measure),
+            "request" => Some(FaultSite::Request),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FaultSite::NewtonIter => "newton",
+            FaultSite::LuFactor => "lu",
+            FaultSite::Measure => "measure",
+            FaultSite::Request => "request",
+        }
+    }
+
+    fn id(self) -> u64 {
+        match self {
+            FaultSite::LuFactor => 1,
+            FaultSite::NewtonIter => 2,
+            FaultSite::Measure => 3,
+            FaultSite::Request => 4,
+        }
+    }
+}
+
+/// When a matching rule fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultMode {
+    /// First check in each matching scope.
+    Once,
+    /// Every check.
+    Always,
+    /// Deterministic pseudo-random fraction of checks.
+    Prob(f64),
+}
+
+/// One injection rule: a site, an optional net scope, and a firing mode.
+#[derive(Debug, Clone, PartialEq)]
+struct FaultRule {
+    site: FaultSite,
+    /// `None` matches any scope, including unscoped checks.
+    net: Option<usize>,
+    mode: FaultMode,
+}
+
+/// A parsed, seeded set of injection rules.
+///
+/// Construct with [`FromStr`] (see the module docs for the grammar), then
+/// activate with [`arm`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// True when the plan has no rules (arming it is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                return Err(format!("fault spec {spec:?} has an empty clause"));
+            }
+            if let Some(seed_text) = clause.strip_prefix("seed=") {
+                plan.seed = seed_text
+                    .parse()
+                    .map_err(|_| format!("bad fault seed {seed_text:?}"))?;
+                continue;
+            }
+            let (head, mode_text) = match clause.split_once(':') {
+                Some((h, m)) => (h, Some(m)),
+                None => (clause, None),
+            };
+            let (site_text, net) = match head.split_once('@') {
+                Some((s, n)) => {
+                    let net = n
+                        .parse()
+                        .map_err(|_| format!("bad net index {n:?} in fault clause {clause:?}"))?;
+                    (s, Some(net))
+                }
+                None => (head, None),
+            };
+            let site = FaultSite::parse(site_text).ok_or_else(|| {
+                format!(
+                    "unknown fault site {site_text:?} (expected newton, lu, measure, or request)"
+                )
+            })?;
+            let mode = match mode_text {
+                None | Some("once") => FaultMode::Once,
+                Some("always") => FaultMode::Always,
+                Some(m) => {
+                    let p_text = m.strip_prefix("p=").ok_or_else(|| {
+                        format!("unknown fault mode {m:?} (expected once, always, or p=<f>)")
+                    })?;
+                    let p: f64 = p_text
+                        .parse()
+                        .map_err(|_| format!("bad fault probability {p_text:?}"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("fault probability {p} is outside [0, 1]"));
+                    }
+                    FaultMode::Prob(p)
+                }
+            };
+            plan.rules.push(FaultRule { site, net, mode });
+        }
+        Ok(plan)
+    }
+}
+
+/// Armed-plan bookkeeping: which `Once` rules have fired per scope, and
+/// per-(site, scope) occurrence counters for `Prob` hashing.
+#[derive(Debug)]
+struct PlanState {
+    plan: FaultPlan,
+    fired_once: Mutex<HashSet<(usize, Option<usize>)>>,
+    occurrences: Mutex<HashMap<(u64, Option<usize>), u64>>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static RwLock<Option<Arc<PlanState>>> {
+    static SLOT: RwLock<Option<Arc<PlanState>>> = RwLock::new(None);
+    &SLOT
+}
+
+thread_local! {
+    static NET_SCOPE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Installs `plan` process-wide, replacing any previous plan and resetting
+/// its firing state. Intended for tests and the `--inject` CLI flag only.
+pub fn arm(plan: FaultPlan) {
+    let state = PlanState {
+        plan,
+        fired_once: Mutex::new(HashSet::new()),
+        occurrences: Mutex::new(HashMap::new()),
+    };
+    *write_unpoisoned(plan_slot()) = Some(Arc::new(state));
+    ARMED.store(true, Ordering::Release);
+}
+
+/// Removes the armed plan; subsequent [`should_fail`] checks are free and
+/// return `false`.
+pub fn disarm() {
+    ARMED.store(false, Ordering::Release);
+    *write_unpoisoned(plan_slot()) = None;
+}
+
+fn write_unpoisoned<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+fn read_unpoisoned<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// True when a plan is armed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Acquire)
+}
+
+/// Runs `f` with the current thread's net scope set to `net`, restoring
+/// the previous scope afterwards (also on unwind).
+pub fn scoped<T>(net: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            NET_SCOPE.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(NET_SCOPE.with(|s| s.replace(Some(net))));
+    f()
+}
+
+/// The net id the current thread is analyzing, if any.
+pub fn current_scope() -> Option<usize> {
+    NET_SCOPE.with(|s| s.get())
+}
+
+/// Consults the armed plan: should the calling site fail now?
+///
+/// Always `false` when nothing is armed (one relaxed atomic load). With a
+/// plan armed, a rule matches when its site equals `site` and its net
+/// scope is absent or equals the thread's current scope; the match then
+/// fires per its mode (see the module docs).
+pub fn should_fail(site: FaultSite) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let state = match read_unpoisoned(plan_slot()).clone() {
+        Some(s) => s,
+        None => return false,
+    };
+    let scope = current_scope();
+    let occurrence = {
+        let mut occ = lock_unpoisoned(&state.occurrences);
+        let n = occ.entry((site.id(), scope)).or_insert(0);
+        let now = *n;
+        *n += 1;
+        now
+    };
+    for (idx, rule) in state.plan.rules.iter().enumerate() {
+        if rule.site != site {
+            continue;
+        }
+        if rule.net.is_some() && rule.net != scope {
+            continue;
+        }
+        let fires = match rule.mode {
+            FaultMode::Always => true,
+            FaultMode::Once => lock_unpoisoned(&state.fired_once).insert((idx, scope)),
+            FaultMode::Prob(p) => decide(state.plan.seed, site, scope, occurrence) < p,
+        };
+        if fires {
+            return true;
+        }
+    }
+    false
+}
+
+/// The standard message for injected failures, so error text identifies
+/// provoked faults unambiguously.
+pub fn injected_message(site: FaultSite) -> String {
+    format!("fault injection: forced {} failure", site.name())
+}
+
+/// Deterministic uniform-ish value in [0, 1) from the rule inputs
+/// (SplitMix64 finalizer over a combined key).
+fn decide(seed: u64, site: FaultSite, scope: Option<usize>, occurrence: u64) -> f64 {
+    let scope_key = match scope {
+        None => u64::MAX,
+        Some(n) => n as u64,
+    };
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(site.id().wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(scope_key.wrapping_mul(0x94d0_49bb_1331_11eb))
+        .wrapping_add(occurrence);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that arm the process-global plan.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        lock_unpoisoned(&GATE)
+    }
+
+    #[test]
+    fn disarmed_checks_are_false() {
+        let _g = lock();
+        disarm();
+        assert!(!armed());
+        assert!(!should_fail(FaultSite::NewtonIter));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("bogus".parse::<FaultPlan>().is_err());
+        assert!("newton@x".parse::<FaultPlan>().is_err());
+        assert!("newton:p=1.5".parse::<FaultPlan>().is_err());
+        assert!("newton:sometimes".parse::<FaultPlan>().is_err());
+        assert!("".parse::<FaultPlan>().is_err());
+        assert!("seed=abc".parse::<FaultPlan>().is_err());
+    }
+
+    #[test]
+    fn once_fires_once_per_scope() {
+        let _g = lock();
+        arm("newton@2".parse().unwrap());
+        assert!(!should_fail(FaultSite::NewtonIter));
+        scoped(1, || assert!(!should_fail(FaultSite::NewtonIter)));
+        scoped(2, || {
+            assert!(should_fail(FaultSite::NewtonIter));
+            assert!(!should_fail(FaultSite::NewtonIter));
+        });
+        // Re-entering the scope does not re-fire: once per scope, not per
+        // entry.
+        scoped(2, || assert!(!should_fail(FaultSite::NewtonIter)));
+        disarm();
+    }
+
+    #[test]
+    fn always_fires_every_time_and_scope_restores() {
+        let _g = lock();
+        arm("measure@3:always".parse().unwrap());
+        scoped(3, || {
+            assert!(should_fail(FaultSite::Measure));
+            scoped(4, || assert!(!should_fail(FaultSite::Measure)));
+            assert_eq!(current_scope(), Some(3));
+            assert!(should_fail(FaultSite::Measure));
+        });
+        assert_eq!(current_scope(), None);
+        disarm();
+    }
+
+    #[test]
+    fn unscoped_rule_matches_everywhere() {
+        let _g = lock();
+        arm("lu:always".parse().unwrap());
+        assert!(should_fail(FaultSite::LuFactor));
+        scoped(9, || assert!(should_fail(FaultSite::LuFactor)));
+        assert!(!should_fail(FaultSite::NewtonIter));
+        disarm();
+    }
+
+    #[test]
+    fn prob_is_deterministic_and_roughly_calibrated() {
+        let _g = lock();
+        let run = || {
+            arm("newton:p=0.3,seed=42".parse().unwrap());
+            let hits: Vec<bool> = (0..200)
+                .map(|_| should_fail(FaultSite::NewtonIter))
+                .collect();
+            disarm();
+            hits
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "seeded decisions must replay identically");
+        let frac = a.iter().filter(|h| **h).count() as f64 / a.len() as f64;
+        assert!((0.15..=0.45).contains(&frac), "hit fraction {frac}");
+    }
+
+    #[test]
+    fn scope_restored_on_unwind() {
+        let _g = lock();
+        let r = std::panic::catch_unwind(|| scoped(5, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(current_scope(), None);
+    }
+
+    #[test]
+    fn injected_message_names_site() {
+        assert!(injected_message(FaultSite::NewtonIter).contains("newton"));
+    }
+}

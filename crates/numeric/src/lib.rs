@@ -20,7 +20,9 @@
 //! * small statistics helpers ([`stats`]) — error summaries for the
 //!   experiment harnesses,
 //! * shared-state primitives ([`sync`]) — the build-once-per-key cache and
-//!   poisoned-lock recovery behind the flow's characterization caches.
+//!   poisoned-lock recovery behind the flow's characterization caches,
+//! * deterministic fault injection ([`fault`]) — seeded, test-only failure
+//!   provocation for the solver stack's recovery and isolation paths.
 //!
 //! All quantities are `f64` in SI units throughout the workspace.
 //!
@@ -37,6 +39,7 @@
 //! # }
 //! ```
 
+pub mod fault;
 pub mod hash;
 pub mod interp;
 pub mod matrix;

@@ -13,6 +13,10 @@ pub enum ServeError {
     Store(String),
     /// Analysis failure from the core engine.
     Core(clarinox_core::CoreError),
+    /// Another live server already owns the socket (the probe connect
+    /// succeeded, so the socket file is not stale and must not be
+    /// removed).
+    AlreadyRunning(std::path::PathBuf),
 }
 
 impl ServeError {
@@ -34,6 +38,11 @@ impl fmt::Display for ServeError {
             ServeError::Protocol(c) => write!(f, "protocol error: {c}"),
             ServeError::Store(c) => write!(f, "store error: {c}"),
             ServeError::Core(e) => write!(f, "analysis error: {e}"),
+            ServeError::AlreadyRunning(path) => write!(
+                f,
+                "a server is already listening on {} (refusing to replace a live socket)",
+                path.display()
+            ),
         }
     }
 }

@@ -6,22 +6,53 @@
 //! requests is what makes ECO responses deterministic. Malformed requests
 //! get an `{"ok":false,...}` response and the connection stays up; only a
 //! `shutdown` request (or an unrecoverable socket error) ends the loop.
+//!
+//! The loop is hardened against misbehaving clients and requests (see
+//! DESIGN.md §4.9): a client that hangs mid-line trips the per-connection
+//! read timeout ([`ServeOptions`]) and only loses *its* connection; a
+//! request whose handler panics gets an `{"ok":false,...}` response via a
+//! `catch_unwind` shield; and a socket file left by a dead server is
+//! removed only after a probe connect proves no live server owns it.
 
 use crate::json;
 use crate::protocol::{error_response, Request};
 use crate::service::DesignService;
-use crate::Result;
+use crate::{Result, ServeError};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::time::Duration;
 
-/// Binds `socket_path` and serves requests until a `shutdown` request.
-/// A stale socket file at the path is replaced. `on_ready` runs after the
-/// listener is bound (e.g. to print the path, or to release a test latch).
+/// Per-connection transport limits of the request loop.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// How long a blocking read may wait for the next byte before the
+    /// connection is dropped; `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// How long a blocking write may wait before the connection is
+    /// dropped; `None` waits forever.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Binds `socket_path` and serves requests until a `shutdown` request,
+/// with the default [`ServeOptions`]. `on_ready` runs after the listener
+/// is bound (e.g. to print the path, or to release a test latch).
 ///
 /// # Errors
 ///
-/// Bind failures and unrecoverable I/O errors; per-request failures are
+/// [`ServeError::AlreadyRunning`] when a live server owns the socket
+/// (a *stale* socket file — one nothing accepts on — is replaced); bind
+/// failures and unrecoverable I/O errors. Per-request failures are
 /// reported to the client instead.
 pub fn serve(
     socket_path: &Path,
@@ -29,15 +60,42 @@ pub fn serve(
     max_rounds: usize,
     on_ready: impl FnOnce(),
 ) -> Result<()> {
+    serve_with(
+        socket_path,
+        service,
+        max_rounds,
+        &ServeOptions::default(),
+        on_ready,
+    )
+}
+
+/// [`serve`] with explicit transport options.
+///
+/// # Errors
+///
+/// See [`serve`].
+pub fn serve_with(
+    socket_path: &Path,
+    service: &mut DesignService,
+    max_rounds: usize,
+    options: &ServeOptions,
+    on_ready: impl FnOnce(),
+) -> Result<()> {
     if socket_path.exists() {
-        std::fs::remove_file(socket_path)?;
+        // Only a *stale* socket may be removed: if anything still accepts
+        // connections on it, replacing it would silently hijack a live
+        // server's address.
+        match UnixStream::connect(socket_path) {
+            Ok(_) => return Err(ServeError::AlreadyRunning(socket_path.to_path_buf())),
+            Err(_) => std::fs::remove_file(socket_path)?,
+        }
     }
     let listener = UnixListener::bind(socket_path)?;
     on_ready();
     let mut shutdown = false;
     while !shutdown {
         let (stream, _) = listener.accept()?;
-        shutdown = serve_connection(stream, service, max_rounds)?;
+        shutdown = serve_connection(stream, service, max_rounds, options)?;
     }
     let _ = std::fs::remove_file(socket_path);
     Ok(())
@@ -49,24 +107,43 @@ fn serve_connection(
     stream: UnixStream,
     service: &mut DesignService,
     max_rounds: usize,
+    options: &ServeOptions,
 ) -> Result<bool> {
+    stream.set_read_timeout(options.read_timeout)?;
+    stream.set_write_timeout(options.write_timeout)?;
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let line = match line {
             Ok(l) => l,
-            // A client dropping mid-line is its problem, not the server's.
+            // A client dropping — or hanging past the read timeout —
+            // mid-line is its problem, not the server's: drop this
+            // connection, keep accepting.
             Err(_) => return Ok(false),
         };
         if line.trim().is_empty() {
             continue;
         }
-        let (response, stop) = match json::parse(&line)
-            .and_then(|v| Request::from_json(&v))
-            .and_then(|req| service.handle(&req, max_rounds))
-        {
-            Ok(pair) => pair,
-            Err(e) => (error_response(&e), false),
+        // The panic shield: a request that panics its handler must not
+        // take the server down with it. The service's caches are all
+        // poison-recovering (see `clarinox_numeric::sync`) and the
+        // incremental design re-derives anything half-done, so answering
+        // the *next* request after a panic is safe.
+        let handled = catch_unwind(AssertUnwindSafe(|| {
+            json::parse(&line)
+                .and_then(|v| Request::from_json(&v))
+                .and_then(|req| service.handle(&req, max_rounds))
+        }));
+        let (response, stop) = match handled {
+            Ok(Ok(pair)) => pair,
+            Ok(Err(e)) => (error_response(&e), false),
+            Err(payload) => (
+                error_response(&ServeError::protocol(format!(
+                    "request handler panicked: {}",
+                    panic_text(payload.as_ref())
+                ))),
+                false,
+            ),
         };
         writer.write_all(response.emit().as_bytes())?;
         writer.write_all(b"\n")?;
@@ -78,6 +155,17 @@ fn serve_connection(
     Ok(false)
 }
 
+/// Best-effort text of a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,7 +174,49 @@ mod tests {
     use crate::service::ServiceConfig;
     use crate::testutil::{quick_analyzer_config, scratch_dir};
     use clarinox_cells::Tech;
+    use clarinox_numeric::fault::{self, FaultPlan};
     use std::sync::mpsc;
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            nets: 2,
+            seed: 9,
+            jobs: 1,
+            max_rounds: 20,
+            store: None,
+        }
+    }
+
+    /// Spawns a server on a fresh socket; returns the socket path, the
+    /// service's fault scope, and the join handle, blocking until the
+    /// listener is ready.
+    fn spawn_server(
+        tag: &str,
+        options: ServeOptions,
+    ) -> (std::path::PathBuf, usize, std::thread::JoinHandle<()>) {
+        let dir = scratch_dir(tag);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("clarinox.sock");
+        let mut service = DesignService::new(
+            Tech::default_180nm(),
+            quick_analyzer_config(),
+            &tiny_config(),
+        )
+        .unwrap();
+        let scope = service.fault_scope();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let handle = {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                serve_with(&socket, &mut service, 20, &options, move || {
+                    ready_tx.send(()).unwrap();
+                })
+                .unwrap();
+            })
+        };
+        ready_rx.recv().unwrap();
+        (socket, scope, handle)
+    }
 
     #[test]
     fn socket_round_trip_with_eco_and_shutdown() {
@@ -144,5 +274,99 @@ mod tests {
         assert_eq!(bye.get("shutting_down").unwrap().as_bool(), Some(true));
         server.join().unwrap();
         assert!(!socket.exists(), "socket file cleaned up on shutdown");
+    }
+
+    #[test]
+    fn panicking_request_gets_error_response_and_server_survives() {
+        let (socket, scope, server) = spawn_server("server-panic", ServeOptions::default());
+        // The injected `request` fault panics this service's handler
+        // exactly once; the scope keeps concurrent tests' services safe.
+        fault::arm(
+            format!("request@{scope}:once")
+                .parse::<FaultPlan>()
+                .unwrap(),
+        );
+        let poisoned = client::request(&socket, &Request::Status).unwrap();
+        fault::disarm();
+        assert_eq!(poisoned.get("ok").unwrap().as_bool(), Some(false));
+        let err = poisoned.get("error").unwrap().as_str().unwrap();
+        assert!(err.contains("panicked"), "error text: {err:?}");
+
+        // The very same server answers the next request normally.
+        let healthy = client::request(&socket, &Request::Status).unwrap();
+        assert_eq!(healthy.get("ok").unwrap().as_bool(), Some(true));
+        client::request(&socket, &Request::Shutdown).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn midline_hang_drops_only_the_hanging_connection() {
+        let options = ServeOptions {
+            read_timeout: Some(Duration::from_millis(150)),
+            write_timeout: Some(Duration::from_secs(5)),
+        };
+        let (socket, _, server) = spawn_server("server-hang", options);
+
+        // Client A sends half a request and goes silent, holding its
+        // connection open.
+        let mut hanging = UnixStream::connect(&socket).unwrap();
+        hanging.write_all(b"{\"cmd\":\"sta").unwrap();
+        hanging.flush().unwrap();
+
+        // Client B queues behind A; once A trips the read timeout, B must
+        // be served normally.
+        let healthy = client::request(&socket, &Request::Status).unwrap();
+        assert_eq!(healthy.get("ok").unwrap().as_bool(), Some(true));
+        drop(hanging);
+        client::request(&socket, &Request::Shutdown).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn live_socket_is_not_hijacked_but_stale_socket_is_replaced() {
+        let (socket, _, server) = spawn_server("server-live", ServeOptions::default());
+
+        // A second server on the same path must refuse, leaving the live
+        // socket alone.
+        let mut service2 = DesignService::new(
+            Tech::default_180nm(),
+            quick_analyzer_config(),
+            &tiny_config(),
+        )
+        .unwrap();
+        let err = serve(&socket, &mut service2, 20, || {}).unwrap_err();
+        assert!(
+            matches!(err, ServeError::AlreadyRunning(_)),
+            "expected AlreadyRunning, got: {err}"
+        );
+        assert!(socket.exists(), "live socket must survive the probe");
+        client::request(&socket, &Request::Shutdown).unwrap();
+        server.join().unwrap();
+
+        // A stale socket file (bound once, listener gone) is replaced.
+        let stale_dir = scratch_dir("server-stale");
+        std::fs::create_dir_all(&stale_dir).unwrap();
+        let stale = stale_dir.join("clarinox.sock");
+        drop(UnixListener::bind(&stale).unwrap());
+        assert!(stale.exists());
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let handle = {
+            let stale = stale.clone();
+            std::thread::spawn(move || {
+                let mut service = DesignService::new(
+                    Tech::default_180nm(),
+                    quick_analyzer_config(),
+                    &tiny_config(),
+                )
+                .unwrap();
+                serve(&stale, &mut service, 20, move || {
+                    ready_tx.send(()).unwrap();
+                })
+                .unwrap();
+            })
+        };
+        ready_rx.recv().unwrap();
+        client::request(&stale, &Request::Shutdown).unwrap();
+        handle.join().unwrap();
     }
 }

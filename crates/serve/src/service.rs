@@ -12,6 +12,7 @@ use clarinox_core::design::DesignNet;
 use clarinox_core::incremental::{IncrementalDesign, IncrementalReport};
 use clarinox_core::provider::Library;
 use clarinox_netgen::generate::{generate_block, BlockConfig};
+use clarinox_numeric::fault::{self, FaultSite};
 use clarinox_sta::fixpoint::NoiseCoupling;
 use clarinox_sta::window::TimingWindow;
 use std::sync::Arc;
@@ -50,6 +51,10 @@ pub struct RestoreStats {
     pub corners: usize,
     /// Per-net summaries whose spec hashes still matched.
     pub summaries: usize,
+    /// Corrupt records quarantined during the restore (results lines by
+    /// the store load, library lines at import) — the affected entries
+    /// simply re-characterize.
+    pub quarantined: usize,
 }
 
 /// The deterministic switching window of generated net `i` — part of the
@@ -84,6 +89,10 @@ pub struct DesignService {
     library: Arc<DriverLibrary>,
     store: Option<Store>,
     restored: RestoreStats,
+    /// Process-unique fault-injection scope of this instance, so a test
+    /// can arm `request@<scope>` and panic exactly this service's handler
+    /// without touching services owned by concurrently running tests.
+    fault_scope: usize,
 }
 
 impl DesignService {
@@ -113,22 +122,44 @@ impl DesignService {
         let mut restored = RestoreStats::default();
         if let Some(store) = &store {
             if let Some(contents) = store.load()? {
-                for record in &contents.library_records {
-                    if library.import_record(record)? {
-                        restored.corners += 1;
+                restored.quarantined += contents.quarantined;
+                // A library record that fails to import is corruption, not
+                // a fatal store: quarantine it like the store layer does
+                // for results lines, keep every record that parsed.
+                let mut clean: Vec<String> = Vec::new();
+                let mut bad: Vec<String> = Vec::new();
+                for record in contents.library_records {
+                    match library.import_record(&record) {
+                        Ok(imported) => {
+                            if imported {
+                                restored.corners += 1;
+                            }
+                            clean.push(record);
+                        }
+                        Err(_) => bad.push(record),
                     }
                 }
+                restored.quarantined += store.quarantine("library.rec", &bad, &clean)?;
                 for (hash, summary) in contents.summaries {
                     restored.summaries += design.preload_summary(hash, summary);
                 }
             }
         }
+        static NEXT_SCOPE: std::sync::atomic::AtomicUsize =
+            std::sync::atomic::AtomicUsize::new(0x5eed_0000);
         Ok(DesignService {
             design,
             library,
             store,
             restored,
+            fault_scope: NEXT_SCOPE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
+    }
+
+    /// This instance's fault-injection scope (see the `fault_scope`
+    /// field).
+    pub fn fault_scope(&self) -> usize {
+        self.fault_scope
     }
 
     /// The resident design.
@@ -148,6 +179,13 @@ impl DesignService {
     /// Analysis, store, or request-validation failures (the server loop
     /// turns these into error responses — the service stays up).
     pub fn handle(&mut self, req: &Request, max_rounds: usize) -> Result<(Value, bool)> {
+        // Test-only fault site: an armed `request` rule (optionally scoped
+        // to this instance's `fault_scope`) panics the handler so the
+        // server loop's `catch_unwind` shield can be exercised from
+        // outside the process.
+        if fault::scoped(self.fault_scope, || fault::should_fail(FaultSite::Request)) {
+            panic!("{}", fault::injected_message(FaultSite::Request));
+        }
         match req {
             Request::Status => Ok((self.status(), false)),
             Request::Analyze { profile } => {
@@ -257,6 +295,10 @@ impl DesignService {
                 "restored_summaries".into(),
                 Value::Num(self.restored.summaries as f64),
             ),
+            (
+                "quarantined_records".into(),
+                Value::Num(self.restored.quarantined as f64),
+            ),
             ("provider_hits".into(), Value::Num(stats.hits as f64)),
             ("provider_builds".into(), Value::Num(stats.builds as f64)),
             (
@@ -306,6 +348,8 @@ impl DesignService {
                         Value::Num(report.stats.fixpoint_dirty as f64),
                     ),
                     ("warm_start".into(), Value::Bool(report.stats.warm_start)),
+                    ("degraded".into(), Value::Num(report.stats.degraded as f64)),
+                    ("failed".into(), Value::Num(report.stats.failed as f64)),
                 ]),
             ),
             ("nets".into(), Value::Arr(nets)),
@@ -340,6 +384,27 @@ pub fn profile_json(analyzer: &NoiseAnalyzer) -> Value {
                 (
                     "reduced_sims".into(),
                     Value::Num(clarinox_core::profile::prima_reduced_sims() as f64),
+                ),
+            ]),
+        ),
+        (
+            "recovery".into(),
+            Value::Obj(vec![
+                (
+                    "timestep_halvings".into(),
+                    Value::Num(clarinox_core::profile::recovery_timestep_halvings() as f64),
+                ),
+                (
+                    "gmin_steps".into(),
+                    Value::Num(clarinox_core::profile::recovery_gmin_steps() as f64),
+                ),
+                (
+                    "backward_euler".into(),
+                    Value::Num(clarinox_core::profile::recovery_backward_euler() as f64),
+                ),
+                (
+                    "attempts".into(),
+                    Value::Num(clarinox_core::profile::recovery_attempts() as f64),
                 ),
             ]),
         ),
@@ -465,6 +530,104 @@ mod tests {
             svc2.design.analyzer().provider_stats().builds,
             0,
             "restart must perform zero driver re-characterizations"
+        );
+    }
+
+    #[test]
+    fn corrupt_store_records_are_quarantined_and_only_they_recharacterize() {
+        let dir = scratch_dir("service-corrupt");
+        let mut svc = small_service(Some(dir.clone()));
+        svc.handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        svc.handle(&Request::Save, 20).unwrap();
+
+        // Fuzz the records: truncate one results line mid-record and
+        // bit-flip a hex digit of one library line.
+        let results_path = dir.join("results.rec");
+        let mut results: Vec<String> = std::fs::read_to_string(&results_path)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(results.len(), 2);
+        let cut = results[0].len() / 2;
+        results[0].truncate(cut);
+        std::fs::write(&results_path, results.join("\n")).unwrap();
+
+        let library_path = dir.join("library.rec");
+        let mut library: Vec<String> = std::fs::read_to_string(&library_path)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert!(!library.is_empty());
+        let mid = library[0].len() / 2;
+        library[0].replace_range(mid..mid + 1, "z");
+        std::fs::write(&library_path, library.join("\n")).unwrap();
+
+        // Restart: the damage is quarantined, not fatal.
+        let svc2 = small_service(Some(dir.clone()));
+        assert_eq!(svc2.restored().quarantined, 2, "one line per file");
+        assert_eq!(svc2.restored().summaries, 1, "the intact summary survives");
+        assert!(dir.join("results.rec.corrupt").exists());
+        assert!(dir.join("library.rec.corrupt").exists());
+
+        // Only the quarantined net re-simulates.
+        let mut svc2 = svc2;
+        let (resp, _) = svc2
+            .handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        assert_eq!(
+            resp.get("stats")
+                .unwrap()
+                .get("analyzed")
+                .unwrap()
+                .as_usize(),
+            Some(1)
+        );
+
+        // The rewritten files are clean: a third start quarantines nothing.
+        svc2.handle(&Request::Save, 20).unwrap();
+        let svc3 = small_service(Some(dir));
+        assert_eq!(svc3.restored().quarantined, 0);
+        assert_eq!(svc3.restored().summaries, 2);
+    }
+
+    #[test]
+    fn interrupted_save_leaves_previous_store_intact() {
+        let dir = scratch_dir("service-kill-save");
+        let mut svc = small_service(Some(dir.clone()));
+        svc.handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        svc.handle(&Request::Save, 20).unwrap();
+
+        // Emulate a SIGKILL mid-save: garbage temporary siblings written,
+        // rename never reached. The atomic-write protocol must make these
+        // invisible to the next load.
+        for name in ["library.rec.tmp", "results.rec.tmp", "VERSION.tmp"] {
+            std::fs::write(dir.join(name), "garbage interrupted write").unwrap();
+        }
+
+        let svc2 = small_service(Some(dir));
+        assert_eq!(svc2.restored().quarantined, 0);
+        assert_eq!(svc2.restored().summaries, 2);
+        let mut svc2 = svc2;
+        let (resp, _) = svc2
+            .handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        assert_eq!(
+            resp.get("stats")
+                .unwrap()
+                .get("analyzed")
+                .unwrap()
+                .as_usize(),
+            Some(0),
+            "an interrupted save must not force any re-analysis"
+        );
+        assert_eq!(
+            svc2.design.analyzer().provider_stats().builds,
+            0,
+            "zero driver re-characterizations after the interrupted save"
         );
     }
 

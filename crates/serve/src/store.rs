@@ -18,6 +18,14 @@
 //!
 //! Files are written to a temporary sibling and renamed into place, so a
 //! crash mid-save leaves the previous store intact.
+//!
+//! A *corrupt record* (truncated line, flipped bits, bad hash) is not a
+//! fatal condition: [`Store::load`] quarantines the offending lines —
+//! appending them to a `.corrupt` sibling of their file and rewriting the
+//! file without them — and returns every healthy record. The affected
+//! entries simply re-characterize; a damaged store costs work, never a
+//! refusal to start. A wrong VERSION stays a hard error: that is a
+//! different build's store, not a damaged one.
 
 use crate::{Result, ServeError};
 use clarinox_char::DriverLibrary;
@@ -35,6 +43,8 @@ pub struct StoreContents {
     pub library_records: Vec<String>,
     /// Per-net summaries keyed by spec content hash.
     pub summaries: Vec<(u64, NetSummary)>,
+    /// Corrupt `results.rec` lines moved to quarantine during this load.
+    pub quarantined: usize,
 }
 
 /// What a save wrote.
@@ -95,11 +105,14 @@ impl Store {
     }
 
     /// Loads the store; `Ok(None)` when no (complete) store exists at the
-    /// directory.
+    /// directory. Corrupt `results.rec` lines are quarantined (moved to
+    /// `results.rec.corrupt`, counted in [`StoreContents::quarantined`])
+    /// rather than failing the load; library records are validated by the
+    /// caller at import time (see [`Store::quarantine`]).
     ///
     /// # Errors
     ///
-    /// Version mismatch, corrupt records, or filesystem failures.
+    /// Version mismatch or filesystem failures.
     pub fn load(&self) -> Result<Option<StoreContents>> {
         let version_path = self.dir.join("VERSION");
         let version = match fs::read_to_string(&version_path) {
@@ -118,19 +131,66 @@ impl Store {
         for line in read_lines(&self.dir.join("library.rec"))? {
             contents.library_records.push(line);
         }
+        let mut clean: Vec<String> = Vec::new();
+        let mut bad: Vec<String> = Vec::new();
         for line in read_lines(&self.dir.join("results.rec"))? {
-            let (hash_text, record) = line.split_once(' ').ok_or_else(|| {
-                ServeError::store(format!("results.rec line has no hash: {line:?}"))
-            })?;
-            let hash = u64::from_str_radix(hash_text, 16).map_err(|_| {
-                ServeError::store(format!("results.rec line has bad hash {hash_text:?}"))
-            })?;
-            let summary = NetSummary::parse_record(record)
-                .map_err(|e| ServeError::store(format!("results.rec: {e}")))?;
-            contents.summaries.push((hash, summary));
+            match parse_result_line(&line) {
+                Ok(pair) => {
+                    contents.summaries.push(pair);
+                    clean.push(line);
+                }
+                Err(_) => bad.push(line),
+            }
+        }
+        if !bad.is_empty() {
+            contents.quarantined = self.quarantine("results.rec", &bad, &clean)?;
         }
         Ok(Some(contents))
     }
+
+    /// Quarantines corrupt lines of `file` (a name inside the store
+    /// directory): appends them to `<file>.corrupt` and atomically
+    /// rewrites `file` with only the `clean` lines, so the next load never
+    /// re-reads the damage. Returns how many lines were quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures.
+    pub fn quarantine(&self, file: &str, bad: &[String], clean: &[String]) -> Result<usize> {
+        if bad.is_empty() {
+            return Ok(0);
+        }
+        let corrupt_path = self.dir.join(format!("{file}.corrupt"));
+        let mut corrupt_text = match fs::read_to_string(&corrupt_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e.into()),
+        };
+        for line in bad {
+            corrupt_text.push_str(line);
+            corrupt_text.push('\n');
+        }
+        write_atomic(&corrupt_path, &corrupt_text)?;
+        let mut clean_text = String::new();
+        for line in clean {
+            clean_text.push_str(line);
+            clean_text.push('\n');
+        }
+        write_atomic(&self.dir.join(file), &clean_text)?;
+        Ok(bad.len())
+    }
+}
+
+/// Parses one `results.rec` line: `<spec-hash:016x> <NetSummary record>`.
+fn parse_result_line(line: &str) -> Result<(u64, NetSummary)> {
+    let (hash_text, record) = line
+        .split_once(' ')
+        .ok_or_else(|| ServeError::store(format!("results.rec line has no hash: {line:?}")))?;
+    let hash = u64::from_str_radix(hash_text, 16)
+        .map_err(|_| ServeError::store(format!("results.rec line has bad hash {hash_text:?}")))?;
+    let summary = NetSummary::parse_record(record)
+        .map_err(|e| ServeError::store(format!("results.rec: {e}")))?;
+    Ok((hash, summary))
 }
 
 fn write_atomic(path: &Path, text: &str) -> Result<()> {

@@ -47,7 +47,8 @@ pub struct FixpointResult {
 ///
 /// # Errors
 ///
-/// * [`StaError::MalformedGraph`] for couplings referencing missing stages.
+/// * [`StaError::MalformedGraph`] for couplings referencing missing stages
+///   or a `delta_fn` returning a non-finite delta.
 /// * [`StaError::NoConvergence`] if `max_iter` rounds do not stabilize.
 pub fn iterate_to_fixpoint(
     graph: &TimingGraph,
@@ -132,6 +133,15 @@ pub fn iterate_to_fixpoint_seeded(
             }
             if !aggs.is_empty() {
                 let d = delta_fn(victim, &aggs, &windows);
+                // A NaN or infinite delta would silently poison every
+                // window it propagates into (and `max` would mask the NaN);
+                // fail loudly at the source instead.
+                if !d.is_finite() {
+                    return Err(StaError::graph(format!(
+                        "delta_fn returned non-finite delta {d:?} for stage {victim} \
+                         in round {round}"
+                    )));
+                }
                 new_deltas[victim] = new_deltas[victim].max(d.max(0.0));
             }
         }
@@ -408,6 +418,23 @@ mod tests {
             assert!(
                 iterate_to_fixpoint_seeded(&g, &c, |_, _, _| 0.0, 1e-15, 5, Some(&bad)).is_err()
             );
+        }
+    }
+
+    #[test]
+    fn non_finite_delta_rejected() {
+        let (g, c) = coupled_pair(
+            TimingWindow::new(0.0, 1e-9).unwrap(),
+            TimingWindow::new(0.5e-9, 1.5e-9).unwrap(),
+        );
+        for bad in [f64::NAN, f64::INFINITY] {
+            let err = iterate_to_fixpoint(&g, &c, |_, _, _| bad, 1e-15, 20);
+            match err {
+                Err(StaError::MalformedGraph { context }) => {
+                    assert!(context.contains("non-finite"), "context: {context}");
+                }
+                other => panic!("expected MalformedGraph, got {other:?}"),
+            }
         }
     }
 

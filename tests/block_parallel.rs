@@ -35,8 +35,13 @@ fn parallel_block_analysis_is_bit_identical_to_serial() {
     assert_eq!(parallel.len(), nets.len());
 
     for (i, (s, p)) in serial.iter().zip(parallel.iter()).enumerate() {
-        let s = s.as_ref().expect("serial analysis succeeds");
-        let p = p.as_ref().expect("parallel analysis succeeds");
+        assert!(s.is_analyzed(), "serial analysis succeeds without recovery");
+        assert!(
+            p.is_analyzed(),
+            "parallel analysis succeeds without recovery"
+        );
+        let s = s.value().expect("serial analysis succeeds");
+        let p = p.value().expect("parallel analysis succeeds");
         assert_eq!(s.id, nets[i].id, "input order must be preserved");
         assert_eq!(p.id, s.id);
         // Debug formatting of f64 round-trips exactly, so equal renderings

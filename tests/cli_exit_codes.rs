@@ -1,0 +1,95 @@
+//! CLI exit-status taxonomy: 0 success (degraded nets included), 2 usage
+//! errors (including malformed `--inject` specs), 3 completed-with-Failed
+//! nets. Each invocation is its own process, so the process-global fault
+//! plan never leaks between cases.
+
+use std::process::Command;
+
+fn clarinox() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clarinox"))
+}
+
+fn run(args: &[&str]) -> (Option<i32>, String, String) {
+    let out = clarinox().args(args).output().expect("spawn clarinox");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let (code, _, stderr) = run(&["block", "--bogus"]);
+    assert_eq!(code, Some(2), "unknown flag: {stderr}");
+
+    let (code, _, stderr) = run(&["block", "--inject", "frobnicate@1"]);
+    assert_eq!(code, Some(2), "unknown fault site: {stderr}");
+    assert!(
+        stderr.contains("--inject"),
+        "stderr names the flag: {stderr}"
+    );
+
+    let (code, _, stderr) = run(&["functional", "--inject", "newton:p=2.0"]);
+    assert_eq!(code, Some(2), "out-of-range probability: {stderr}");
+
+    let (code, _, stderr) = run(&["serve", "--inject", "newton@"]);
+    assert_eq!(code, Some(2), "bad net index: {stderr}");
+}
+
+#[test]
+fn completed_with_failed_nets_exits_3() {
+    // Newton always diverges on net 1: the recovery ladder is exhausted
+    // and the run completes with one Failed net carrying bounds.
+    let (code, stdout, stderr) = run(&[
+        "block",
+        "--nets",
+        "2",
+        "--seed",
+        "1",
+        "--jobs",
+        "1",
+        "--driver-cache",
+        "off",
+        "--inject",
+        "newton@1:always",
+    ]);
+    assert_eq!(code, Some(3), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("failed:"), "per-net failure row: {stdout}");
+    assert!(
+        stdout.contains("1 analyzed, 0 degraded, 1 failed"),
+        "summary counts: {stdout}"
+    );
+    assert!(
+        stderr.contains("conservative bounds"),
+        "exit-3 warning: {stderr}"
+    );
+}
+
+#[test]
+fn recovered_injection_exits_0_with_one_degraded_net() {
+    // Newton diverges exactly once on net 1: the recovery ladder absorbs
+    // it, so the run succeeds with one Degraded net.
+    let (code, stdout, stderr) = run(&[
+        "block",
+        "--nets",
+        "2",
+        "--seed",
+        "1",
+        "--jobs",
+        "1",
+        "--driver-cache",
+        "off",
+        "--inject",
+        "newton@1:once",
+    ]);
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(
+        stdout.contains("degraded ("),
+        "per-net degraded status: {stdout}"
+    );
+    assert!(
+        stdout.contains("1 analyzed, 1 degraded, 0 failed"),
+        "summary counts: {stdout}"
+    );
+}

@@ -1,0 +1,141 @@
+//! Fault isolation: deterministic injection on k of n nets must leave the
+//! other n−k nets bit-identical to a clean run — at every job count — with
+//! the injected nets reported as Degraded (recovery absorbed the fault) or
+//! Failed (conservative bounds stand in for the missing simulation).
+
+use clarinox::cells::Tech;
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::core::config::AnalyzerConfig;
+use clarinox::core::outcome::{conservative_bound, Outcome};
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+use clarinox::numeric::fault::{self, FaultPlan};
+use std::sync::Mutex;
+
+/// The armed fault plan is process-global: tests that arm one (or compare
+/// against a clean run) must not overlap.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn quick_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ceff_iterations: 3,
+        table_char: clarinox::char::alignment::AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        },
+        ..AnalyzerConfig::default()
+    }
+}
+
+#[test]
+fn injected_faults_isolate_to_their_nets_at_every_job_count() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    fault::disarm();
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(6), 7);
+
+    let baseline = NoiseAnalyzer::with_config(tech, quick_config()).analyze_block(&nets, 1);
+    assert!(
+        baseline.iter().all(|o| o.is_analyzed()),
+        "clean run must analyze every net without recovery"
+    );
+
+    // Net 1's Newton iterations fail on every check (the recovery ladder
+    // is exhausted); net 3 diverges exactly once (the ladder absorbs it).
+    let plan: FaultPlan = "newton@1:always,newton@3:once,seed=5"
+        .parse()
+        .expect("valid fault spec");
+    for jobs in [1usize, 4] {
+        fault::arm(plan.clone());
+        let injected = NoiseAnalyzer::with_config(tech, quick_config()).analyze_block(&nets, jobs);
+        fault::disarm();
+        assert_eq!(injected.len(), nets.len());
+
+        match &injected[1] {
+            Outcome::Failed { id, error, bound } => {
+                assert_eq!(*id, 1);
+                // The injection simulates divergence, so the error reads
+                // either as the natural solver failure or as the injected
+                // marker, depending on which ladder rung gave up last.
+                assert!(
+                    error.contains("diverged") || error.contains("injected"),
+                    "jobs={jobs}: error should describe the divergence, got {error:?}"
+                );
+                assert!(bound.peak_noise > 0.0 && bound.peak_noise.is_finite());
+                assert!(bound.delay_noise > 0.0 && bound.delay_noise.is_finite());
+                assert!(bound.base_delay > 0.0 && bound.base_delay.is_finite());
+            }
+            other => panic!(
+                "jobs={jobs}: net 1 should be failed, got {}",
+                other.status()
+            ),
+        }
+
+        assert!(
+            injected[3].is_degraded(),
+            "jobs={jobs}: net 3 should be degraded, got {}",
+            injected[3].status()
+        );
+        assert!(injected[3].recovery_steps() >= 1);
+        assert!(
+            injected[3].value().is_some(),
+            "a degraded net still carries its full report"
+        );
+
+        // The n−k untouched nets are bit-identical to the clean baseline
+        // (Debug formatting of f64 round-trips exactly).
+        for i in [0usize, 2, 4, 5] {
+            assert!(
+                injected[i].is_analyzed(),
+                "jobs={jobs}: healthy net {i} should be analyzed, got {}",
+                injected[i].status()
+            );
+            let b = baseline[i].value().expect("baseline report");
+            let g = injected[i].value().expect("healthy report");
+            assert_eq!(
+                format!("{b:?}"),
+                format!("{g:?}"),
+                "jobs={jobs}: healthy net {i} diverged under injection"
+            );
+        }
+    }
+}
+
+#[test]
+fn conservative_bounds_dominate_simulated_values() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    fault::disarm();
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(6), 7);
+    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+
+    for (spec, outcome) in nets.iter().zip(analyzer.analyze_block(&nets, 1)) {
+        let r = outcome.value().expect("clean analysis").clone();
+        let bound = conservative_bound(&tech, spec);
+        assert!(
+            bound.delay_noise >= r.delay_noise_rcv_out,
+            "net {}: delay-noise bound {} below simulated {}",
+            spec.id,
+            bound.delay_noise,
+            r.delay_noise_rcv_out
+        );
+        assert!(
+            bound.base_delay >= r.base_delay_out,
+            "net {}: base-delay bound {} below simulated {}",
+            spec.id,
+            bound.base_delay,
+            r.base_delay_out
+        );
+        if let Some(c) = &r.composite {
+            assert!(
+                bound.peak_noise >= c.height,
+                "net {}: peak-noise bound {} below simulated glitch {}",
+                spec.id,
+                bound.peak_noise,
+                c.height
+            );
+        }
+    }
+}
