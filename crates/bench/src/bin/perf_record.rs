@@ -25,20 +25,37 @@
 //!   and re-analyzed incrementally vs. a full cold re-run — the ECO result
 //!   must be bit-identical and (at block scale) ≥5× faster — plus a
 //!   store save/restart cycle through the `clarinox-serve` service, which
-//!   must re-characterize zero drivers.
+//!   must re-characterize zero drivers,
+//! * a **sparse** section (`--ladder-nets`, `--ladder-segments`): a
+//!   finely-segmented netgen ladder block (hundreds of circuit nodes per
+//!   coupled net) analyzed cold with `--solver dense` vs.
+//!   `--solver sparse` at one job. The sparse pass must agree with the
+//!   dense pass within the analysis tolerance (pivot orders differ, so the
+//!   match is numeric, not bitwise) and — at full ladder scale — be ≥3×
+//!   faster. The sparse factorization counters (symbolic analyses, reuse
+//!   hits, numeric factors, refactor replays, nnz gauges) are recorded,
+//!   and a dense-vs-sparse engine-build sweep over RC ladders of growing
+//!   dimension reports the measured crossover dimension next to the
+//!   compiled-in `SPARSE_CROSSOVER_DIM` heuristic.
 //!
 //! Usage:
-//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R --eco-nets M] > BENCH_pr3.json`
+//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R --eco-nets M --ladder-nets L --ladder-segments S] > BENCH_pr5.json`
 
 use std::time::Instant;
 
 use clarinox_cells::Tech;
-use clarinox_core::analysis::NoiseAnalyzer;
+use clarinox_circuit::netlist::SourceWave;
+use clarinox_circuit::transient::TransientSpec;
+use clarinox_circuit::{Circuit, TransientEngine};
+use clarinox_core::analysis::{NetReport, NoiseAnalyzer};
 use clarinox_core::config::{AnalyzerConfig, LinearBackendKind, ModelProviderKind};
 use clarinox_core::design::DesignNet;
 use clarinox_core::incremental::IncrementalDesign;
+use clarinox_core::outcome::NetOutcome;
 use clarinox_core::profile;
+use clarinox_core::{SolverKind, SPARSE_CROSSOVER_DIM};
 use clarinox_netgen::generate::{generate_block, BlockConfig};
+use clarinox_netgen::{build_topology, CoupledNetSpec};
 use clarinox_serve::protocol::Request;
 use clarinox_serve::service::{couplings_for, input_window_for, DesignService, ServiceConfig};
 
@@ -202,10 +219,199 @@ fn measure_incremental(tech: Tech, cfg: AnalyzerConfig, eco_nets: usize) -> Incr
     }
 }
 
+/// One point of the dense-vs-sparse engine-build crossover sweep.
+struct CrossoverPoint {
+    dim: usize,
+    dense_s: f64,
+    sparse_s: f64,
+}
+
+/// The dense-vs-sparse ladder measurements of the sparse MNA solver.
+struct SparseNumbers {
+    ladder_nets: usize,
+    ladder_segments: usize,
+    /// Circuit nodes of the largest coupled-net skeleton in the ladder
+    /// block (drivers and receiver loads add a few more unknowns on top).
+    max_skeleton_nodes: usize,
+    dense_cold_s: f64,
+    sparse_cold_s: f64,
+    sparse_speedup_cold: f64,
+    results_match: bool,
+    max_rel_delay_diff: f64,
+    symbolic_analyses: u64,
+    symbolic_reuse_hits: u64,
+    numeric_factors: u64,
+    refactors: u64,
+    max_nnz_a: u64,
+    max_fill_nnz: u64,
+    crossover: Vec<CrossoverPoint>,
+    measured_crossover_dim: Option<usize>,
+}
+
+/// Relative difference with a 1 ps absolute floor, so near-zero delay
+/// noises don't blow up the ratio.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-12)
+}
+
+/// Compares dense and sparse reports for one net: same outcome shape, and
+/// every delay-class number within `tol` relative difference. Returns the
+/// worst relative difference seen, or `None` on a shape mismatch.
+fn report_diff(dense: &NetOutcome, sparse: &NetOutcome) -> Option<f64> {
+    let shape_match = matches!(
+        (dense, sparse),
+        (NetOutcome::Analyzed(_), NetOutcome::Analyzed(_))
+            | (NetOutcome::Degraded { .. }, NetOutcome::Degraded { .. })
+    );
+    if !shape_match {
+        return None;
+    }
+    let (d, s): (&NetReport, &NetReport) = (dense.value()?, sparse.value()?);
+    Some(
+        [
+            rel_diff(d.base_delay_out, s.base_delay_out),
+            rel_diff(d.delay_noise_rcv_in, s.delay_noise_rcv_in),
+            rel_diff(d.delay_noise_rcv_out, s.delay_noise_rcv_out),
+            rel_diff(d.victim_slew_rcv, s.victim_slew_rcv),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max),
+    )
+}
+
+/// Times engine assembly+factorization of an `n`-segment grounded RC
+/// ladder under `kind`, amortized over enough builds to be measurable.
+fn time_ladder_build(n: usize, kind: SolverKind) -> f64 {
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::ground();
+    let input = ckt.node("in");
+    ckt.add_vsource(input, gnd, SourceWave::shorted())
+        .expect("distinct nodes");
+    let mut prev = input;
+    for _ in 0..n {
+        let next = ckt.fresh_node();
+        ckt.add_resistor(prev, next, 100.0).expect("valid resistor");
+        ckt.add_capacitor(next, gnd, 1e-15)
+            .expect("valid capacitor");
+        prev = next;
+    }
+    let spec = TransientSpec::new(1e-9, 1e-12).expect("valid spec");
+    let iters = (2048 / n).max(1);
+    median_secs(3, || {
+        for _ in 0..iters {
+            let _ = TransientEngine::with_solver(&ckt, &spec, kind, None).expect("factors");
+        }
+    }) / iters as f64
+}
+
+fn measure_sparse(
+    tech: Tech,
+    cfg: AnalyzerConfig,
+    ladder_nets: usize,
+    ladder_segments: usize,
+) -> SparseNumbers {
+    // A finely-segmented block: every coupled net expands to hundreds of
+    // circuit nodes, deep inside the sparse solver's win region.
+    let ladder_cfg = BlockConfig {
+        segments: ladder_segments,
+        aggressors: (3, 3),
+        ..BlockConfig::default().with_nets(ladder_nets)
+    };
+    let block: Vec<CoupledNetSpec> = generate_block(&tech, &ladder_cfg, 31);
+    let max_skeleton_nodes = block
+        .iter()
+        .map(|spec| {
+            build_topology(&tech, spec)
+                .map(|t| t.circuit.node_count())
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(0);
+
+    // Both variants share the library provider: driver characterization
+    // cost is solver-independent, and caching it keeps the measurement
+    // focused on the linear backend the solver flag actually switches.
+    let cfg = cfg.with_model_provider(ModelProviderKind::Library);
+    let dense = NoiseAnalyzer::with_config(tech, cfg.with_solver(SolverKind::Dense));
+    let t0 = Instant::now();
+    let dense_out = dense.analyze_block(&block, 1);
+    let dense_cold_s = t0.elapsed().as_secs_f64();
+
+    profile::reset_sparse_counters();
+    let sparse = NoiseAnalyzer::with_config(tech, cfg.with_solver(SolverKind::Sparse));
+    let t0 = Instant::now();
+    let sparse_out = sparse.analyze_block(&block, 1);
+    let sparse_cold_s = t0.elapsed().as_secs_f64();
+    let (
+        symbolic_analyses,
+        symbolic_reuse_hits,
+        numeric_factors,
+        refactors,
+        max_nnz_a,
+        max_fill_nnz,
+    ) = (
+        profile::sparse_symbolic_analyses(),
+        profile::sparse_symbolic_reuse_hits(),
+        profile::sparse_numeric_factors(),
+        profile::sparse_refactors(),
+        profile::sparse_max_nnz_a(),
+        profile::sparse_max_fill_nnz(),
+    );
+
+    // Pivot orders differ between the factorizations, so the comparison is
+    // numeric: every delay-class figure within 1% (with a 1 ps floor).
+    let mut results_match = dense_out.len() == sparse_out.len();
+    let mut max_rel_delay_diff: f64 = 0.0;
+    for (d, s) in dense_out.iter().zip(&sparse_out) {
+        match report_diff(d, s) {
+            Some(diff) => max_rel_delay_diff = max_rel_delay_diff.max(diff),
+            None => results_match = false,
+        }
+    }
+    if max_rel_delay_diff > 0.01 {
+        results_match = false;
+    }
+
+    // Engine-build crossover sweep on plain RC ladders.
+    let crossover: Vec<CrossoverPoint> = [8usize, 16, 24, 32, 48, 64, 96, 128, 192, 256]
+        .into_iter()
+        .map(|dim| CrossoverPoint {
+            dim,
+            dense_s: time_ladder_build(dim, SolverKind::Dense),
+            sparse_s: time_ladder_build(dim, SolverKind::Sparse),
+        })
+        .collect();
+    let measured_crossover_dim = crossover
+        .iter()
+        .find(|p| p.sparse_s <= p.dense_s)
+        .map(|p| p.dim);
+
+    SparseNumbers {
+        ladder_nets,
+        ladder_segments,
+        max_skeleton_nodes,
+        dense_cold_s,
+        sparse_cold_s,
+        sparse_speedup_cold: dense_cold_s / sparse_cold_s,
+        results_match,
+        max_rel_delay_diff,
+        symbolic_analyses,
+        symbolic_reuse_hits,
+        numeric_factors,
+        refactors,
+        max_nnz_a,
+        max_fill_nnz,
+        crossover,
+        measured_crossover_dim,
+    }
+}
+
 fn main() {
     let nets = arg_value("--nets", 10usize);
     let reps = arg_value("--reps", 3usize).max(1);
     let eco_nets = arg_value("--eco-nets", 32usize).max(2);
+    let ladder_nets = arg_value("--ladder-nets", 4usize).max(1);
+    let ladder_segments = arg_value("--ladder-segments", 128usize).max(1);
     let tech = Tech::default_180nm();
     let cfg = AnalyzerConfig {
         dt: 2e-12,
@@ -287,9 +493,10 @@ fn main() {
     let bit_identical = uncached_full.reports == library_full.reports;
     let library_speedup_warm = uncached_full.warm_s / library_full.warm_s;
     let inc = measure_incremental(tech, cfg, eco_nets);
+    let sp = measure_sparse(tech, cfg, ladder_nets, ladder_segments);
 
     println!("{{");
-    println!("  \"schema\": \"clarinox-perf-record/3\",");
+    println!("  \"schema\": \"clarinox-perf-record/4\",");
     println!("  \"host_parallelism\": {hw},");
     println!("  \"nets\": {nets},");
     println!("  \"warm_reps\": {reps},");
@@ -339,6 +546,39 @@ fn main() {
         "    \"restart_driver_builds\": {}",
         inc.restart_driver_builds
     );
+    println!("  }},");
+    println!("  \"sparse\": {{");
+    println!("    \"ladder_nets\": {},", sp.ladder_nets);
+    println!("    \"ladder_segments\": {},", sp.ladder_segments);
+    println!("    \"max_skeleton_nodes\": {},", sp.max_skeleton_nodes);
+    println!("    \"dense_cold_s\": {:.6},", sp.dense_cold_s);
+    println!("    \"sparse_cold_s\": {:.6},", sp.sparse_cold_s);
+    println!(
+        "    \"sparse_speedup_cold\": {:.3},",
+        sp.sparse_speedup_cold
+    );
+    println!("    \"results_match\": {},", sp.results_match);
+    println!("    \"max_rel_delay_diff\": {:.3e},", sp.max_rel_delay_diff);
+    println!("    \"symbolic_analyses\": {},", sp.symbolic_analyses);
+    println!("    \"symbolic_reuse_hits\": {},", sp.symbolic_reuse_hits);
+    println!("    \"numeric_factors\": {},", sp.numeric_factors);
+    println!("    \"refactors\": {},", sp.refactors);
+    println!("    \"max_nnz_a\": {},", sp.max_nnz_a);
+    println!("    \"max_fill_nnz\": {},", sp.max_fill_nnz);
+    println!("    \"compiled_crossover_dim\": {SPARSE_CROSSOVER_DIM},");
+    match sp.measured_crossover_dim {
+        Some(dim) => println!("    \"measured_crossover_dim\": {dim},"),
+        None => println!("    \"measured_crossover_dim\": null,"),
+    }
+    println!("    \"engine_build_sweep\": [");
+    for (i, p) in sp.crossover.iter().enumerate() {
+        let comma = if i + 1 == sp.crossover.len() { "" } else { "," };
+        println!(
+            "      {{\"dim\": {}, \"dense_build_s\": {:.3e}, \"sparse_build_s\": {:.3e}}}{comma}",
+            p.dim, p.dense_s, p.sparse_s
+        );
+    }
+    println!("    ]");
     println!("  }}");
     println!("}}");
 
@@ -365,5 +605,31 @@ fn main() {
             inc.eco_speedup
         );
         std::process::exit(1);
+    }
+    // The sparse pass must agree with dense regardless of scale.
+    if !sp.results_match {
+        eprintln!(
+            "error: sparse ladder reports diverged from dense (max rel diff {:.3e})",
+            sp.max_rel_delay_diff
+        );
+        std::process::exit(1);
+    }
+    // At full ladder scale the sparse solver must clear the acceptance
+    // bar; coarse smoke ladders only check correctness.
+    if ladder_segments >= 64 {
+        if sp.max_skeleton_nodes < 200 {
+            eprintln!(
+                "error: ladder nets too small ({} skeleton nodes) for the acceptance measurement",
+                sp.max_skeleton_nodes
+            );
+            std::process::exit(1);
+        }
+        if sp.sparse_speedup_cold < 3.0 {
+            eprintln!(
+                "error: sparse cold-block speedup {:.2}x below the 3x floor",
+                sp.sparse_speedup_cold
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -2,7 +2,9 @@
 
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, NodeId};
+use crate::solver::SolverKind;
 use crate::Result;
+use clarinox_numeric::sparse::{SparseLu, Symbolic};
 
 /// DC solution of a linear circuit.
 #[derive(Debug, Clone)]
@@ -26,7 +28,8 @@ impl DcSolution {
     }
 }
 
-/// Solves the DC operating point with sources evaluated at `t = 0`.
+/// Solves the DC operating point with sources evaluated at `t = 0`, with
+/// automatic solver selection ([`SolverKind::Auto`]).
 ///
 /// # Errors
 ///
@@ -34,12 +37,31 @@ impl DcSolution {
 /// to ground beyond `GMIN`) — in practice the `GMIN` stamp keeps well-formed
 /// interconnect circuits solvable.
 pub fn solve_dc(circuit: &Circuit) -> Result<DcSolution> {
+    solve_dc_with_solver(circuit, SolverKind::Auto)
+}
+
+/// Solves the DC operating point through the requested factorization path.
+///
+/// # Errors
+///
+/// As [`solve_dc`]; the sparse and dense paths report the same
+/// [`crate::CircuitError::Solve`] classification for singular systems.
+pub fn solve_dc_with_solver(circuit: &Circuit, kind: SolverKind) -> Result<DcSolution> {
     let system = MnaSystem::assemble(circuit)?;
     let mut b = vec![0.0; system.dim()];
     system.rhs_at(circuit, 0.0, &mut b);
-    let glu = system.g().lu()?;
-    crate::profile::record_lu();
-    let x = glu.solve(&b)?;
+    let x = if kind.use_sparse(system.dim()) {
+        crate::profile::record_sparse_symbolic();
+        let sym = Symbolic::analyze(system.pattern())?;
+        let glu = SparseLu::factor(system.g_sparse(), &sym)?;
+        crate::profile::record_sparse_factor(system.pattern().nnz(), glu.fill_nnz());
+        crate::profile::record_lu();
+        glu.solve(&b)?
+    } else {
+        let glu = system.g().lu()?;
+        crate::profile::record_lu();
+        glu.solve(&b)?
+    };
     Ok(DcSolution { system, x })
 }
 

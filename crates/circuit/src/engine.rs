@@ -24,32 +24,38 @@
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, NodeId};
 use crate::profile::record_lu;
+use crate::solver::{SolverKind, SymbolicCache};
 use crate::transient::{Integration, TransientSpec};
 use crate::{CircuitError, Result};
-use clarinox_numeric::matrix::{LuFactors, Matrix};
+use clarinox_numeric::matrix::LuFactors;
+use clarinox_numeric::sparse::{SparseLu, SparseMatrix, Symbolic};
+use std::sync::Arc;
+
 use clarinox_waveform::Pwl;
 
-/// Row-wise sparse view of a dense matrix: per row, the `(col, value)`
-/// pairs of non-zero entries in column order. Skipping exact zeros keeps
-/// every partial sum of the dense row sweep, so products agree with
-/// [`Matrix::mul_vec`] to the last bit (modulo the sign of zero).
+/// Row-wise sparse view of a matrix: per row, the `(col, value)` pairs of
+/// non-zero entries in column order. Skipping exact zeros keeps every
+/// partial sum of the dense row sweep, so products agree with
+/// [`clarinox_numeric::matrix::Matrix::mul_vec`] to the last bit (modulo
+/// the sign of zero).
 #[derive(Debug, Clone)]
 struct SparseRows {
     rows: Vec<Vec<(usize, f64)>>,
 }
 
 impl SparseRows {
-    fn from_dense(m: &Matrix) -> Self {
-        let rows = (0..m.rows())
-            .map(|i| {
-                (0..m.cols())
-                    .filter_map(|j| {
-                        let v = m.get(i, j);
-                        (v != 0.0).then_some((j, v))
-                    })
-                    .collect()
-            })
-            .collect();
+    /// Builds the row view from a CSC matrix. Walking columns in order and
+    /// appending to each touched row reproduces exactly the
+    /// ascending-column traversal of `from_dense` on the densified matrix.
+    fn from_csc(m: &SparseMatrix) -> Self {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m.pattern().n_rows()];
+        for c in 0..m.pattern().n_cols() {
+            for (&r, &v) in m.pattern().col_rows(c).iter().zip(m.col_values(c)) {
+                if v != 0.0 {
+                    rows[r].push((c, v));
+                }
+            }
+        }
         SparseRows { rows }
     }
 
@@ -64,16 +70,32 @@ impl SparseRows {
     }
 }
 
+/// The factored linear solver behind a [`TransientEngine`]: dense LU below
+/// the crossover, sparse LU (with a reusable symbolic analysis) above it.
+// One instance per engine, so the size gap between the inline variants
+// costs nothing; boxing would add a pointer chase to every step's solve.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum EngineSolver {
+    Dense {
+        /// LU factors of the companion matrix `G + αC`.
+        lu: LuFactors,
+        /// LU factors of `G` for DC initialization.
+        dc_lu: Option<LuFactors>,
+    },
+    Sparse {
+        lu: SparseLu,
+        dc_lu: Option<SparseLu>,
+    },
+}
+
 /// A transient solver bound to one circuit topology and timestep, reusable
 /// across source-waveform changes.
 #[derive(Debug, Clone)]
 pub struct TransientEngine {
     system: MnaSystem,
     spec: TransientSpec,
-    /// LU factors of the companion matrix `G + αC`.
-    lu: LuFactors,
-    /// LU factors of `G` for DC initialization (absent with `dc_init` off).
-    dc_lu: Option<LuFactors>,
+    solver: EngineSolver,
     alpha: f64,
     trapezoidal: bool,
     g_sparse: SparseRows,
@@ -84,10 +106,10 @@ pub struct TransientEngine {
 }
 
 impl TransientEngine {
-    /// Assembles and factors the solver for `circuit` under `spec`.
+    /// Assembles and factors the solver for `circuit` under `spec` with
+    /// automatic solver selection ([`SolverKind::Auto`]).
     ///
-    /// This is the expensive step (two `O(dim³)` factorizations with DC
-    /// initialization, one without); every subsequent [`run`] reuses it.
+    /// This is the expensive step; every subsequent [`run`] reuses it.
     ///
     /// # Errors
     ///
@@ -95,28 +117,76 @@ impl TransientEngine {
     ///
     /// [`run`]: TransientEngine::run
     pub fn new(circuit: &Circuit, spec: &TransientSpec) -> Result<Self> {
+        TransientEngine::with_solver(circuit, spec, SolverKind::Auto, None)
+    }
+
+    /// Assembles and factors the solver for `circuit` under `spec`, using
+    /// `kind` to pick the factorization. A shared [`SymbolicCache`] lets
+    /// structurally identical topologies (per-victim-R_t variants, dt
+    /// re-specs) reuse one fill-reducing ordering; without one, the
+    /// engine still shares its own analysis between the companion and DC
+    /// factorizations.
+    ///
+    /// # Errors
+    ///
+    /// Assembly and factorization failures ([`CircuitError::Solve`]).
+    pub fn with_solver(
+        circuit: &Circuit,
+        spec: &TransientSpec,
+        kind: SolverKind,
+        symbolic_cache: Option<&SymbolicCache>,
+    ) -> Result<Self> {
         let system = MnaSystem::assemble(circuit)?;
         let alpha = match spec.method {
             Integration::Trapezoidal => 2.0 / spec.dt,
             Integration::BackwardEuler => 1.0 / spec.dt,
         };
-        let companion = system.g().add_scaled(system.c(), alpha)?;
-        let lu = crate::recover::lu_with_gmin(&companion, system.node_unknowns())?;
-        record_lu();
-        let dc_lu = if spec.dc_init {
-            let f = crate::recover::lu_with_gmin(system.g(), system.node_unknowns())?;
+        let solver = if kind.use_sparse(system.dim()) {
+            let companion = system.g_sparse().add_scaled(system.c_sparse(), alpha)?;
+            let symbolic = match symbolic_cache {
+                Some(cache) => cache.analysis_for(companion.pattern())?,
+                None => {
+                    crate::profile::record_sparse_symbolic();
+                    Arc::new(Symbolic::analyze(companion.pattern())?)
+                }
+            };
+            let lu =
+                crate::recover::sparse_lu_with_gmin(&companion, &symbolic, system.node_unknowns())?;
             record_lu();
-            Some(f)
+            let dc_lu = if spec.dc_init {
+                // Same union pattern as the companion: the symbolic
+                // analysis is reused as-is.
+                crate::profile::record_sparse_reuse_hit();
+                let f = crate::recover::sparse_lu_with_gmin(
+                    system.g_sparse(),
+                    &symbolic,
+                    system.node_unknowns(),
+                )?;
+                record_lu();
+                Some(f)
+            } else {
+                None
+            };
+            EngineSolver::Sparse { lu, dc_lu }
         } else {
-            None
+            let companion = system.g().add_scaled(system.c(), alpha)?;
+            let lu = crate::recover::lu_with_gmin(&companion, system.node_unknowns())?;
+            record_lu();
+            let dc_lu = if spec.dc_init {
+                let f = crate::recover::lu_with_gmin(system.g(), system.node_unknowns())?;
+                record_lu();
+                Some(f)
+            } else {
+                None
+            };
+            EngineSolver::Dense { lu, dc_lu }
         };
-        let g_sparse = SparseRows::from_dense(system.g());
-        let c_sparse = SparseRows::from_dense(system.c());
+        let g_sparse = SparseRows::from_csc(system.g_sparse());
+        let c_sparse = SparseRows::from_csc(system.c_sparse());
         Ok(TransientEngine {
             system,
             spec: spec.clone(),
-            lu,
-            dc_lu,
+            solver,
             alpha,
             trapezoidal: spec.method == Integration::Trapezoidal,
             g_sparse,
@@ -125,6 +195,11 @@ impl TransientEngine {
             element_count: circuit.elements().len(),
             vsource_count: circuit.vsource_count(),
         })
+    }
+
+    /// Whether this engine factored through the sparse path.
+    pub fn uses_sparse(&self) -> bool {
+        matches!(self.solver, EngineSolver::Sparse { .. })
     }
 
     /// The assembled MNA system.
@@ -178,14 +253,24 @@ impl TransientEngine {
         let dim = self.system.dim();
         let h = self.spec.dt;
         let steps = self.spec.steps();
+        let mut scratch = vec![0.0; dim];
 
-        let mut x = match &self.dc_lu {
-            Some(glu) => {
+        let mut x = match &self.solver {
+            EngineSolver::Dense {
+                dc_lu: Some(glu), ..
+            } => {
                 let mut b0 = vec![0.0; dim];
                 self.system.rhs_at(circuit, 0.0, &mut b0);
                 glu.solve(&b0)?
             }
-            None => vec![0.0; dim],
+            EngineSolver::Sparse {
+                dc_lu: Some(glu), ..
+            } => {
+                let mut b0 = vec![0.0; dim];
+                self.system.rhs_at(circuit, 0.0, &mut b0);
+                glu.solve(&b0)?
+            }
+            _ => vec![0.0; dim],
         };
 
         let probe_idx: Vec<Option<usize>> =
@@ -224,7 +309,10 @@ impl TransientEngine {
                     rhs[i] = b_now[i] + self.alpha * cx[i];
                 }
             }
-            self.lu.solve_into(&rhs, &mut x)?;
+            match &self.solver {
+                EngineSolver::Dense { lu, .. } => lu.solve_into(&rhs, &mut x)?,
+                EngineSolver::Sparse { lu, .. } => lu.solve_into(&rhs, &mut x, &mut scratch)?,
+            }
             times.push(t);
             record(&x, &mut traces);
             std::mem::swap(&mut b_prev, &mut b_now);
@@ -353,6 +441,148 @@ mod tests {
         let mut grown = ckt.clone();
         grown.add_capacitor(a, Circuit::ground(), 1e-15).unwrap();
         assert!(engine.run(&grown, &[a]).is_err());
+    }
+
+    #[test]
+    fn sparse_engine_matches_dense_engine() {
+        let (mut ckt, _a, v, va) = coupled_pair();
+        ckt.set_vsource_wave(
+            va,
+            SourceWave::Pwl(Pwl::ramp(0.5e-9, 150e-12, 0.0, 1.8).unwrap()),
+        )
+        .unwrap();
+        let spec = TransientSpec::new(4e-9, 1e-12).unwrap();
+        let dense = TransientEngine::with_solver(&ckt, &spec, SolverKind::Dense, None).unwrap();
+        let sparse = TransientEngine::with_solver(&ckt, &spec, SolverKind::Sparse, None).unwrap();
+        assert!(!dense.uses_sparse());
+        assert!(sparse.uses_sparse());
+        let wd = dense.run(&ckt, &[v]).unwrap().remove(0);
+        let ws = sparse.run(&ckt, &[v]).unwrap().remove(0);
+        for k in 0..=400 {
+            let t = k as f64 * 1e-11;
+            assert!(
+                (wd.value(t) - ws.value(t)).abs() < 1e-9,
+                "t={t}: dense {} vs sparse {}",
+                wd.value(t),
+                ws.value(t)
+            );
+        }
+    }
+
+    #[test]
+    fn auto_keeps_small_circuits_dense() {
+        let (ckt, ..) = coupled_pair();
+        let spec = TransientSpec::new(1e-9, 2e-12).unwrap();
+        let engine = TransientEngine::new(&ckt, &spec).unwrap();
+        assert!(!engine.uses_sparse(), "3-unknown circuit must stay dense");
+    }
+
+    #[test]
+    fn symbolic_cache_is_shared_across_engines() {
+        let (ckt, ..) = coupled_pair();
+        let spec = TransientSpec::new(1e-9, 2e-12).unwrap();
+        let cache = crate::solver::SymbolicCache::new();
+        for _ in 0..3 {
+            let e = TransientEngine::with_solver(&ckt, &spec, SolverKind::Sparse, Some(&cache))
+                .unwrap();
+            assert!(e.uses_sparse());
+        }
+        // One structure, analyzed exactly once.
+        assert_eq!(cache.len(), 1);
+    }
+
+    /// Both factorizations must classify a genuinely singular MNA system
+    /// (one the `GMIN` ladder cannot regularize: two contradictory vsource
+    /// branch rows on the same node pair) as the same [`CircuitError`].
+    #[test]
+    fn dense_and_sparse_classify_singular_systems_identically() {
+        let mut ckt = Circuit::new();
+        let g = Circuit::ground();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(a, g, SourceWave::Dc(1.0)).unwrap();
+        ckt.add_vsource(a, g, SourceWave::Dc(1.0)).unwrap();
+        ckt.add_resistor(a, b, 100.0).unwrap();
+        ckt.add_capacitor(b, g, 10e-15).unwrap();
+        let spec = TransientSpec::new(1e-9, 2e-12).unwrap();
+        let dense = TransientEngine::with_solver(&ckt, &spec, SolverKind::Dense, None);
+        let sparse = TransientEngine::with_solver(&ckt, &spec, SolverKind::Sparse, None);
+        assert!(
+            matches!(dense, Err(crate::CircuitError::Solve(_))),
+            "dense: {dense:?}"
+        );
+        assert!(
+            matches!(sparse, Err(crate::CircuitError::Solve(_))),
+            "sparse: {sparse:?}"
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Dense and sparse engines agree on random MNA-shaped systems: a
+        /// driven resistor spine keeps the system connected, random extra
+        /// resistors and capacitors give it an irregular sparsity pattern.
+        #[test]
+        fn prop_sparse_engine_matches_dense_on_random_mna(
+            n in 3usize..10,
+            n_extra in 0usize..14,
+            seed in 1u64..u64::MAX,
+            ramp_ps in 40.0f64..200.0,
+        ) {
+            let mut ckt = Circuit::new();
+            let g = Circuit::ground();
+            let src = ckt.node("src");
+            ckt.add_vsource(
+                src,
+                g,
+                SourceWave::Pwl(Pwl::ramp(0.1e-9, ramp_ps * 1e-12, 0.0, 1.8).unwrap()),
+            )
+            .unwrap();
+            let nodes: Vec<NodeId> = (0..n).map(|i| ckt.node(&format!("n{i}"))).collect();
+            ckt.add_resistor(src, nodes[0], 150.0).unwrap();
+            for w in nodes.windows(2) {
+                ckt.add_resistor(w[0], w[1], 220.0).unwrap();
+                ckt.add_capacitor(w[1], g, 8e-15).unwrap();
+            }
+            // Random extra elements from a xorshift stream over the seed,
+            // giving each case an irregular sparsity pattern.
+            let mut s = seed;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for _ in 0..n_extra {
+                let a = nodes[(next() % n as u64) as usize];
+                let b = nodes[(next() % n as u64) as usize];
+                let scale = 1.0 + (next() % 9) as f64;
+                if next() & 1 == 1 {
+                    let b = if a == b { g } else { b };
+                    ckt.add_resistor(a, b, 100.0 * scale).unwrap();
+                } else if a != b {
+                    ckt.add_capacitor(a, b, 3e-15 * scale).unwrap();
+                }
+            }
+            let spec = TransientSpec::new(2e-9, 2e-12).unwrap();
+            let dense =
+                TransientEngine::with_solver(&ckt, &spec, SolverKind::Dense, None).unwrap();
+            let sparse =
+                TransientEngine::with_solver(&ckt, &spec, SolverKind::Sparse, None).unwrap();
+            let wd = dense.run(&ckt, &[nodes[n - 1]]).unwrap().remove(0);
+            let ws = sparse.run(&ckt, &[nodes[n - 1]]).unwrap().remove(0);
+            for k in 0..=200 {
+                let t = k as f64 * 1e-11;
+                proptest::prop_assert!(
+                    (wd.value(t) - ws.value(t)).abs() < 1e-9,
+                    "t={}: dense {} vs sparse {}",
+                    t,
+                    wd.value(t),
+                    ws.value(t)
+                );
+            }
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod mna;
 pub mod netlist;
 pub mod profile;
 pub mod recover;
+pub mod solver;
 pub mod spef;
 pub mod transient;
 
@@ -56,6 +57,7 @@ mod error;
 pub use engine::TransientEngine;
 pub use error::CircuitError;
 pub use netlist::{Circuit, NodeId, SourceWave};
+pub use solver::{SolverKind, SymbolicCache, SPARSE_CROSSOVER_DIM};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CircuitError>;

@@ -4,10 +4,21 @@
 //! branch current per voltage source. A small `GMIN` conductance is stamped
 //! from every node to ground so that capacitor-only (floating) nodes do not
 //! make `G` singular — the standard SPICE safeguard.
+//!
+//! Assembly is triplet-native: element stamps are collected as
+//! `(row, col, value)` triplets and compressed into CSC matrices over one
+//! **union pattern** shared by `G` and `C` (explicit zeros where only the
+//! other matrix stamps). The shared pattern is what lets the sparse solver
+//! form companions `G + αC` entrywise and reuse one symbolic analysis for
+//! every matrix of the topology. Dense copies are materialized lazily, only
+//! when a dense-path caller asks; because triplets accumulate in stamp
+//! order, the dense entries are bit-identical to direct dense stamping.
 
 use crate::netlist::{Circuit, Element, NodeId, VsourceId};
 use crate::{CircuitError, Result};
 use clarinox_numeric::matrix::Matrix;
+use clarinox_numeric::sparse::{Pattern, SparseMatrix};
+use std::sync::{Arc, OnceLock};
 
 /// Minimum conductance to ground stamped on every node (siemens).
 pub const GMIN: f64 = 1e-12;
@@ -15,10 +26,14 @@ pub const GMIN: f64 = 1e-12;
 /// The assembled MNA system of a [`Circuit`].
 #[derive(Debug, Clone)]
 pub struct MnaSystem {
-    /// Conductance/incidence matrix `G`.
-    g: Matrix,
-    /// Capacitance matrix `C`.
-    c: Matrix,
+    /// Conductance/incidence matrix `G` in CSC form.
+    g_sparse: SparseMatrix,
+    /// Capacitance matrix `C` in CSC form (same pattern as `G`).
+    c_sparse: SparseMatrix,
+    /// Lazily densified `G` (dense-path callers only).
+    g_dense: OnceLock<Matrix>,
+    /// Lazily densified `C` (dense-path callers only).
+    c_dense: OnceLock<Matrix>,
     /// Unknown count (`nodes - 1 + vsources`).
     dim: usize,
     /// Non-ground node count.
@@ -43,10 +58,10 @@ impl MnaSystem {
         }
         let node_unknowns = nn - 1;
         let dim = node_unknowns + circuit.vsource_count();
-        let mut g = Matrix::zeros(dim, dim);
-        let mut c = Matrix::zeros(dim, dim);
+        let mut g_trip: Vec<(usize, usize, f64)> = Vec::new();
+        let mut c_trip: Vec<(usize, usize, f64)> = Vec::new();
         for i in 0..node_unknowns {
-            g.add(i, i, GMIN);
+            g_trip.push((i, i, GMIN));
         }
         let mut vsources = Vec::new();
         let mut isources = Vec::new();
@@ -54,20 +69,20 @@ impl MnaSystem {
         for (ei, e) in circuit.elements().iter().enumerate() {
             match e {
                 Element::Resistor { a, b, ohms } => {
-                    stamp_conductance(&mut g, idx(*a), idx(*b), 1.0 / ohms);
+                    stamp_conductance(&mut g_trip, idx(*a), idx(*b), 1.0 / ohms);
                 }
                 Element::Capacitor { a, b, farads } => {
-                    stamp_conductance(&mut c, idx(*a), idx(*b), *farads);
+                    stamp_conductance(&mut c_trip, idx(*a), idx(*b), *farads);
                 }
                 Element::Vsource { pos, neg, .. } => {
                     let row = node_unknowns + vidx;
                     if let Some(p) = idx(*pos) {
-                        g.add(p, row, 1.0);
-                        g.add(row, p, 1.0);
+                        g_trip.push((p, row, 1.0));
+                        g_trip.push((row, p, 1.0));
                     }
                     if let Some(n) = idx(*neg) {
-                        g.add(n, row, -1.0);
-                        g.add(row, n, -1.0);
+                        g_trip.push((n, row, -1.0));
+                        g_trip.push((row, n, -1.0));
                     }
                     vsources.push((row, ei));
                     vidx += 1;
@@ -75,9 +90,21 @@ impl MnaSystem {
                 Element::Isource { .. } => isources.push(ei),
             }
         }
+        // One union pattern for G and C, so companions `G + αC` are an
+        // entrywise combination and a single symbolic analysis covers
+        // every matrix of the topology.
+        let pattern = Arc::new(Pattern::from_entries(
+            dim,
+            dim,
+            g_trip.iter().chain(c_trip.iter()).map(|&(r, c, _)| (r, c)),
+        )?);
+        let g_sparse = SparseMatrix::assemble(Arc::clone(&pattern), &g_trip)?;
+        let c_sparse = SparseMatrix::assemble(pattern, &c_trip)?;
         Ok(MnaSystem {
-            g,
-            c,
+            g_sparse,
+            c_sparse,
+            g_dense: OnceLock::new(),
+            c_dense: OnceLock::new(),
             dim,
             node_unknowns,
             vsources,
@@ -85,14 +112,31 @@ impl MnaSystem {
         })
     }
 
-    /// The conductance matrix `G`.
+    /// The conductance matrix `G`, densified on first use. Triplet-order
+    /// accumulation makes every entry bit-identical to direct dense
+    /// stamping.
     pub fn g(&self) -> &Matrix {
-        &self.g
+        self.g_dense.get_or_init(|| self.g_sparse.to_dense())
     }
 
-    /// The capacitance matrix `C`.
+    /// The capacitance matrix `C`, densified on first use.
     pub fn c(&self) -> &Matrix {
-        &self.c
+        self.c_dense.get_or_init(|| self.c_sparse.to_dense())
+    }
+
+    /// The conductance matrix `G` in CSC form.
+    pub fn g_sparse(&self) -> &SparseMatrix {
+        &self.g_sparse
+    }
+
+    /// The capacitance matrix `C` in CSC form (shares `G`'s pattern).
+    pub fn c_sparse(&self) -> &SparseMatrix {
+        &self.c_sparse
+    }
+
+    /// The union nonzero pattern shared by `G` and `C`.
+    pub fn pattern(&self) -> &Arc<Pattern> {
+        self.g_sparse.pattern()
     }
 
     /// Dimension of the unknown vector.
@@ -160,17 +204,22 @@ fn idx(n: NodeId) -> Option<usize> {
     }
 }
 
-/// Stamps a two-terminal conductance-like value into a matrix.
-fn stamp_conductance(m: &mut Matrix, a: Option<usize>, b: Option<usize>, val: f64) {
+/// Stamps a two-terminal conductance-like value as triplets.
+fn stamp_conductance(
+    t: &mut Vec<(usize, usize, f64)>,
+    a: Option<usize>,
+    b: Option<usize>,
+    val: f64,
+) {
     if let Some(i) = a {
-        m.add(i, i, val);
+        t.push((i, i, val));
     }
     if let Some(j) = b {
-        m.add(j, j, val);
+        t.push((j, j, val));
     }
     if let (Some(i), Some(j)) = (a, b) {
-        m.add(i, j, -val);
-        m.add(j, i, -val);
+        t.push((i, j, -val));
+        t.push((j, i, -val));
     }
 }
 
@@ -239,6 +288,36 @@ mod tests {
         let sys = MnaSystem::assemble(&c).unwrap();
         assert_eq!(sys.c().get(0, 1), -5e-15);
         assert_eq!(sys.c().get(0, 0), 5e-15);
+    }
+
+    #[test]
+    fn sparse_and_dense_assemblies_agree_bitwise() {
+        let (c, _, _) = divider();
+        let sys = MnaSystem::assemble(&c).unwrap();
+        for r in 0..sys.dim() {
+            for j in 0..sys.dim() {
+                assert_eq!(sys.g().get(r, j), sys.g_sparse().get(r, j), "G ({r},{j})");
+                assert_eq!(sys.c().get(r, j), sys.c_sparse().get(r, j), "C ({r},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn g_and_c_share_one_union_pattern() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let g = Circuit::ground();
+        c.add_resistor(a, b, 100.0).unwrap();
+        c.add_capacitor(b, g, 1e-15).unwrap();
+        let sys = MnaSystem::assemble(&c).unwrap();
+        assert!(std::sync::Arc::ptr_eq(
+            sys.g_sparse().pattern(),
+            sys.c_sparse().pattern()
+        ));
+        // C has an explicit zero where only G stamps (the a-b resistor).
+        assert!(sys.pattern().find(0, 1).is_some());
+        assert_eq!(sys.c_sparse().get(0, 1), 0.0);
     }
 
     #[test]

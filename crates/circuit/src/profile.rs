@@ -39,6 +39,13 @@ static RECOVERY_TIMESTEP_HALVINGS: AtomicU64 = AtomicU64::new(0);
 static RECOVERY_GMIN_STEPS: AtomicU64 = AtomicU64::new(0);
 static RECOVERY_BACKWARD_EULER: AtomicU64 = AtomicU64::new(0);
 
+static SPARSE_SYMBOLIC_ANALYSES: AtomicU64 = AtomicU64::new(0);
+static SPARSE_SYMBOLIC_REUSE_HITS: AtomicU64 = AtomicU64::new(0);
+static SPARSE_NUMERIC_FACTORS: AtomicU64 = AtomicU64::new(0);
+static SPARSE_REFACTORS: AtomicU64 = AtomicU64::new(0);
+static SPARSE_MAX_NNZ_A: AtomicU64 = AtomicU64::new(0);
+static SPARSE_MAX_FILL_NNZ: AtomicU64 = AtomicU64::new(0);
+
 thread_local! {
     static TL_RECOVERY_STEPS: Cell<u64> = const { Cell::new(0) };
 }
@@ -105,6 +112,78 @@ pub fn reset_recovery_counters() -> u64 {
         + RECOVERY_BACKWARD_EULER.swap(0, Ordering::Relaxed)
 }
 
+/// Records one sparse symbolic analysis (fill-reducing ordering computed
+/// from scratch for a new matrix pattern).
+pub fn record_sparse_symbolic() {
+    SPARSE_SYMBOLIC_ANALYSES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one symbolic-analysis cache hit (an existing ordering reused
+/// for a structurally identical pattern — the dt-change / GMIN-rung /
+/// per-victim-R / Newton-refresh fast path).
+pub fn record_sparse_reuse_hit() {
+    SPARSE_SYMBOLIC_REUSE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one full sparse numeric factorization (pivot search + fill
+/// discovery) along with the matrix and factor sizes it saw. Public so the
+/// non-linear solver in `clarinox-spice` shares the same ledger.
+pub fn record_sparse_factor(nnz_a: usize, fill_nnz: usize) {
+    SPARSE_NUMERIC_FACTORS.fetch_add(1, Ordering::Relaxed);
+    SPARSE_MAX_NNZ_A.fetch_max(nnz_a as u64, Ordering::Relaxed);
+    SPARSE_MAX_FILL_NNZ.fetch_max(fill_nnz as u64, Ordering::Relaxed);
+}
+
+/// Records one sparse numeric *refactorization* (stored pattern and pivot
+/// sequence replayed on new values — no pivot search).
+pub fn record_sparse_refactor() {
+    SPARSE_REFACTORS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Sparse symbolic analyses since process start (or the last reset).
+pub fn sparse_symbolic_analyses() -> u64 {
+    SPARSE_SYMBOLIC_ANALYSES.load(Ordering::Relaxed)
+}
+
+/// Symbolic-analysis reuse hits since process start (or the last reset).
+pub fn sparse_symbolic_reuse_hits() -> u64 {
+    SPARSE_SYMBOLIC_REUSE_HITS.load(Ordering::Relaxed)
+}
+
+/// Full sparse numeric factorizations since process start (or the last
+/// reset).
+pub fn sparse_numeric_factors() -> u64 {
+    SPARSE_NUMERIC_FACTORS.load(Ordering::Relaxed)
+}
+
+/// Sparse numeric refactorizations since process start (or the last
+/// reset).
+pub fn sparse_refactors() -> u64 {
+    SPARSE_REFACTORS.load(Ordering::Relaxed)
+}
+
+/// Largest `nnz(A)` seen by a sparse factorization since process start
+/// (or the last reset).
+pub fn sparse_max_nnz_a() -> u64 {
+    SPARSE_MAX_NNZ_A.load(Ordering::Relaxed)
+}
+
+/// Largest `nnz(L + U)` (fill-in) produced by a sparse factorization since
+/// process start (or the last reset).
+pub fn sparse_max_fill_nnz() -> u64 {
+    SPARSE_MAX_FILL_NNZ.load(Ordering::Relaxed)
+}
+
+/// Resets every sparse-path counter and gauge to zero.
+pub fn reset_sparse_counters() {
+    SPARSE_SYMBOLIC_ANALYSES.store(0, Ordering::Relaxed);
+    SPARSE_SYMBOLIC_REUSE_HITS.store(0, Ordering::Relaxed);
+    SPARSE_NUMERIC_FACTORS.store(0, Ordering::Relaxed);
+    SPARSE_REFACTORS.store(0, Ordering::Relaxed);
+    SPARSE_MAX_NNZ_A.store(0, Ordering::Relaxed);
+    SPARSE_MAX_FILL_NNZ.store(0, Ordering::Relaxed);
+}
+
 /// Recovery attempts recorded *on the calling thread* since it started.
 ///
 /// Block workers read this before and after a net's analysis; the delta is
@@ -143,6 +222,22 @@ mod tests {
         assert!(recovery_attempts() >= 4);
         assert_eq!(thread_recovery_steps() - tl_before, 4);
         assert!(reset_recovery_counters() >= 4);
+    }
+
+    #[test]
+    fn sparse_counters_accumulate_and_gauge() {
+        reset_sparse_counters();
+        record_sparse_symbolic();
+        record_sparse_reuse_hit();
+        record_sparse_factor(120, 150);
+        record_sparse_factor(80, 90);
+        record_sparse_refactor();
+        assert!(sparse_symbolic_analyses() >= 1);
+        assert!(sparse_symbolic_reuse_hits() >= 1);
+        assert!(sparse_numeric_factors() >= 2);
+        assert!(sparse_refactors() >= 1);
+        assert!(sparse_max_nnz_a() >= 120);
+        assert!(sparse_max_fill_nnz() >= 150);
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! plan can force the first factorization to fail, which exercises the
 //! GMIN path deterministically in tests.
 
-use crate::profile::{record_recovery, RecoveryKind};
+use crate::profile::{record_recovery, record_sparse_factor, RecoveryKind};
 use crate::Result;
 use clarinox_numeric::fault::{self, FaultSite};
 use clarinox_numeric::matrix::{LuFactors, Matrix};
+use clarinox_numeric::sparse::{SparseLu, SparseMatrix, Symbolic};
 use clarinox_numeric::NumericError;
 
 /// GMIN ladder for singular-matrix recovery: far below any real admittance
@@ -54,6 +55,51 @@ pub fn lu_with_gmin(m: &Matrix, node_unknowns: usize) -> Result<LuFactors> {
             damped.add(i, i, gmin);
         }
         if let Ok(f) = damped.lu() {
+            return Ok(f);
+        }
+    }
+    Err(err.into())
+}
+
+/// Sparse twin of [`lu_with_gmin`]: factors `m` under `symbolic`, retrying
+/// down the same `GMIN` ladder with the same fault-injection hook and the
+/// same [`RecoveryKind::GminStep`] accounting, so the recovery semantics
+/// of the sparse path match the dense path exactly.
+///
+/// The symbolic ordering is reused for the damped retries — MNA matrices
+/// stamp `GMIN` on every node diagonal, so damping cannot change the
+/// pattern (and even if a diagonal were missing, the ordering is still a
+/// valid column order for the extended pattern).
+///
+/// # Errors
+///
+/// The original singular-matrix error when every `GMIN` step still fails,
+/// or any non-singularity factorization error unchanged.
+pub fn sparse_lu_with_gmin(
+    m: &SparseMatrix,
+    symbolic: &Symbolic,
+    node_unknowns: usize,
+) -> Result<SparseLu> {
+    let first = if fault::should_fail(FaultSite::LuFactor) {
+        Err(NumericError::InvalidInput {
+            context: fault::injected_message(FaultSite::LuFactor),
+        })
+    } else {
+        let r = SparseLu::factor(m, symbolic);
+        if let Ok(f) = &r {
+            record_sparse_factor(m.pattern().nnz(), f.fill_nnz());
+        }
+        r
+    };
+    let err = match first {
+        Ok(f) => return Ok(f),
+        Err(e) => e,
+    };
+    for gmin in GMIN_LADDER {
+        record_recovery(RecoveryKind::GminStep);
+        let damped = m.with_added_diag(node_unknowns, gmin);
+        if let Ok(f) = SparseLu::factor(&damped, symbolic) {
+            record_sparse_factor(damped.pattern().nnz(), f.fill_nnz());
             return Ok(f);
         }
     }
@@ -94,5 +140,44 @@ mod tests {
         // Singular in the *branch* block, which GMIN does not touch.
         let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]).unwrap();
         assert!(lu_with_gmin(&m, 1).is_err());
+    }
+
+    #[test]
+    fn sparse_clean_factorization_records_no_recovery() {
+        let m = SparseMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
+        )
+        .unwrap();
+        let sym = Symbolic::analyze(m.pattern()).unwrap();
+        let before = profile::recovery_gmin_steps();
+        let f = sparse_lu_with_gmin(&m, &sym, 2).unwrap();
+        assert_eq!(profile::recovery_gmin_steps(), before);
+        let x = f.solve(&[1.0, 0.0]).unwrap();
+        assert!((2.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_singular_matrix_recovers_via_gmin() {
+        // A floating node: diagonal present (as MNA's GMIN stamp
+        // guarantees) but zero, so the clean factorization is singular.
+        let m = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1e-3), (1, 1, 0.0)]).unwrap();
+        let sym = Symbolic::analyze(m.pattern()).unwrap();
+        assert!(SparseLu::factor(&m, &sym).is_err(), "premise: singular");
+        let before = profile::recovery_gmin_steps();
+        let f = sparse_lu_with_gmin(&m, &sym, 2).unwrap();
+        assert!(profile::recovery_gmin_steps() > before);
+        let x = f.solve(&[1e-3, 0.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-2);
+        assert!(x[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_hopeless_matrix_reports_original_error() {
+        // Singular in the branch block, beyond GMIN's reach.
+        let m = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 0.0)]).unwrap();
+        let sym = Symbolic::analyze(m.pattern()).unwrap();
+        assert!(sparse_lu_with_gmin(&m, &sym, 1).is_err());
     }
 }

@@ -1,0 +1,160 @@
+//! Linear-solver selection and shared symbolic-analysis reuse.
+//!
+//! Every factorization site in the solve stack (transient companion
+//! matrices, DC operating points, GMIN recovery rungs, Newton Jacobians)
+//! can run either through the dense LU in `clarinox_numeric::matrix` or
+//! the sparse CSC LU in `clarinox_numeric::sparse`. [`SolverKind`] names
+//! the choice; [`SolverKind::Auto`] applies the crossover heuristic
+//! ([`SPARSE_CROSSOVER_DIM`]): below it the dense factorization's tight
+//! inner loops win and — just as importantly — every existing small-system
+//! result stays **bit-identical** to the dense-only code; at and above it
+//! the `O(n³)` dense cost loses to the near-linear sparse path on
+//! ladder-structured MNA matrices.
+//!
+//! [`SymbolicCache`] shares fill-reducing orderings between matrices with
+//! the same nonzero structure: the per-victim-R_t engine variants of a
+//! block analysis, a topology's `G` and its companion `G + αC` (same
+//! union pattern by construction), and re-analyses at a different `dt`
+//! all hit the same cached analysis.
+
+use clarinox_numeric::sparse::{Pattern, Symbolic};
+use clarinox_numeric::sync::lock_unpoisoned;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::profile::{record_sparse_reuse_hit, record_sparse_symbolic};
+use crate::Result;
+
+/// Dimension at or above which [`SolverKind::Auto`] switches to the sparse
+/// factorization. Chosen so every fixture-sized circuit in the flow (R_t
+/// extraction, alignment characterization, unit tests) stays on the dense
+/// path, while multi-segment block ladders go sparse; `perf_record`
+/// measures the empirical crossover per release.
+pub const SPARSE_CROSSOVER_DIM: usize = 64;
+
+/// Which linear-system factorization the solve stack should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Always the dense LU (`clarinox_numeric::matrix`).
+    Dense,
+    /// Always the sparse CSC LU (`clarinox_numeric::sparse`).
+    Sparse,
+    /// Dense below [`SPARSE_CROSSOVER_DIM`] unknowns, sparse at or above.
+    #[default]
+    Auto,
+}
+
+impl SolverKind {
+    /// Whether a system of `dim` unknowns should take the sparse path.
+    pub fn use_sparse(self, dim: usize) -> bool {
+        match self {
+            SolverKind::Dense => false,
+            SolverKind::Sparse => true,
+            SolverKind::Auto => dim >= SPARSE_CROSSOVER_DIM,
+        }
+    }
+
+    /// Parses a CLI flag value (`dense` | `sparse` | `auto`).
+    pub fn parse(s: &str) -> Option<SolverKind> {
+        match s {
+            "dense" => Some(SolverKind::Dense),
+            "sparse" => Some(SolverKind::Sparse),
+            "auto" => Some(SolverKind::Auto),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Dense => "dense",
+            SolverKind::Sparse => "sparse",
+            SolverKind::Auto => "auto",
+        }
+    }
+}
+
+/// A cache of fill-reducing symbolic analyses keyed by pattern structure.
+///
+/// Thread-safe; block workers analyzing per-victim-R variants of one
+/// topology share a single instance so the ordering is computed once.
+/// Hits and misses feed the `circuit::profile` sparse counters.
+#[derive(Debug, Default)]
+pub struct SymbolicCache {
+    inner: Mutex<HashMap<u64, Arc<Symbolic>>>,
+}
+
+impl SymbolicCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SymbolicCache::default()
+    }
+
+    /// The symbolic analysis for `pattern`, computed on first sight of the
+    /// structure and reused (a profile `reuse hit`) thereafter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures for degenerate (non-square) patterns.
+    pub fn analysis_for(&self, pattern: &Pattern) -> Result<Arc<Symbolic>> {
+        let key = pattern.fingerprint();
+        let mut map = lock_unpoisoned(&self.inner);
+        if let Some(sym) = map.get(&key) {
+            record_sparse_reuse_hit();
+            return Ok(Arc::clone(sym));
+        }
+        record_sparse_symbolic();
+        let sym = Arc::new(Symbolic::analyze(pattern)?);
+        map.insert(key, Arc::clone(&sym));
+        Ok(sym)
+    }
+
+    /// Number of distinct patterns analyzed so far.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).len()
+    }
+
+    /// Whether no pattern has been analyzed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_numeric::sparse::SparseMatrix;
+
+    #[test]
+    fn auto_crosses_over_at_threshold() {
+        assert!(!SolverKind::Auto.use_sparse(SPARSE_CROSSOVER_DIM - 1));
+        assert!(SolverKind::Auto.use_sparse(SPARSE_CROSSOVER_DIM));
+        assert!(!SolverKind::Dense.use_sparse(10_000));
+        assert!(SolverKind::Sparse.use_sparse(2));
+    }
+
+    #[test]
+    fn parse_and_name_roundtrip() {
+        for kind in [SolverKind::Dense, SolverKind::Sparse, SolverKind::Auto] {
+            assert_eq!(SolverKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SolverKind::parse("fast"), None);
+        assert_eq!(SolverKind::default(), SolverKind::Auto);
+    }
+
+    #[test]
+    fn cache_computes_once_per_structure() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let b = SparseMatrix::from_triplets(2, 2, &[(0, 0, 5.0), (1, 1, -1.0)]).unwrap();
+        let c =
+            SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)]).unwrap();
+        let cache = SymbolicCache::new();
+        assert!(cache.is_empty());
+        let s1 = cache.analysis_for(a.pattern()).unwrap();
+        let s2 = cache.analysis_for(b.pattern()).unwrap();
+        assert!(Arc::ptr_eq(&s1, &s2), "same structure, same analysis");
+        let s3 = cache.analysis_for(c.pattern()).unwrap();
+        assert!(!Arc::ptr_eq(&s1, &s3));
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -9,8 +9,11 @@
 
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, NodeId, VsourceId};
+use crate::solver::SolverKind;
 use crate::{CircuitError, Result};
+use clarinox_numeric::sparse::Symbolic;
 use clarinox_waveform::Pwl;
+use std::sync::Arc;
 
 /// Time-integration method.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,23 +142,72 @@ impl TransientResult {
     }
 }
 
-/// Runs a linear transient simulation of `circuit`.
+/// One-shot factored solver for [`simulate_with_solver`]: dense below the
+/// crossover, sparse at or above it.
+enum SimLu {
+    Dense(clarinox_numeric::matrix::LuFactors),
+    Sparse(clarinox_numeric::sparse::SparseLu),
+}
+
+impl SimLu {
+    fn solve(&self, b: &[f64]) -> clarinox_numeric::Result<Vec<f64>> {
+        match self {
+            SimLu::Dense(lu) => lu.solve(b),
+            SimLu::Sparse(lu) => lu.solve(b),
+        }
+    }
+}
+
+/// Runs a linear transient simulation of `circuit` with automatic solver
+/// selection ([`SolverKind::Auto`]).
 ///
 /// # Errors
 ///
 /// Propagates assembly and factorization failures ([`CircuitError::Solve`]),
 /// e.g. for circuits whose `G` is singular even with `GMIN`.
 pub fn simulate(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResult> {
+    simulate_with_solver(circuit, spec, SolverKind::Auto)
+}
+
+/// Runs a linear transient simulation of `circuit` through the requested
+/// factorization path. The dense and sparse paths integrate identically —
+/// only the LU behind each step's back-substitution differs.
+///
+/// # Errors
+///
+/// Propagates assembly and factorization failures ([`CircuitError::Solve`]).
+pub fn simulate_with_solver(
+    circuit: &Circuit,
+    spec: &TransientSpec,
+    kind: SolverKind,
+) -> Result<TransientResult> {
     let system = MnaSystem::assemble(circuit)?;
     let dim = system.dim();
     let h = spec.dt;
     let steps = spec.steps();
+    let sparse = kind.use_sparse(dim);
+    let symbolic = if sparse {
+        crate::profile::record_sparse_symbolic();
+        Some(Arc::new(Symbolic::analyze(system.pattern())?))
+    } else {
+        None
+    };
 
     // Initial state.
     let mut x = if spec.dc_init {
         let mut b0 = vec![0.0; dim];
         system.rhs_at(circuit, 0.0, &mut b0);
-        let glu = crate::recover::lu_with_gmin(system.g(), system.node_unknowns())?;
+        let glu = match &symbolic {
+            Some(sym) => SimLu::Sparse(crate::recover::sparse_lu_with_gmin(
+                system.g_sparse(),
+                sym,
+                system.node_unknowns(),
+            )?),
+            None => SimLu::Dense(crate::recover::lu_with_gmin(
+                system.g(),
+                system.node_unknowns(),
+            )?),
+        };
         crate::profile::record_lu();
         glu.solve(&b0)?
     } else {
@@ -168,8 +220,24 @@ pub fn simulate(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResu
         // Backward Euler: (G + C/h) x1 = b1 + (C/h) x0
         Integration::BackwardEuler => (1.0 / h, 0.0),
     };
-    let companion = system.g().add_scaled(system.c(), alpha)?;
-    let lu = crate::recover::lu_with_gmin(&companion, system.node_unknowns())?;
+    let lu = match &symbolic {
+        Some(sym) => {
+            let companion = system.g_sparse().add_scaled(system.c_sparse(), alpha)?;
+            crate::profile::record_sparse_reuse_hit();
+            SimLu::Sparse(crate::recover::sparse_lu_with_gmin(
+                &companion,
+                sym,
+                system.node_unknowns(),
+            )?)
+        }
+        None => {
+            let companion = system.g().add_scaled(system.c(), alpha)?;
+            SimLu::Dense(crate::recover::lu_with_gmin(
+                &companion,
+                system.node_unknowns(),
+            )?)
+        }
+    };
     crate::profile::record_lu();
 
     let mut times = Vec::with_capacity(steps + 1);
@@ -185,10 +253,18 @@ pub fn simulate(circuit: &Circuit, spec: &TransientSpec) -> Result<TransientResu
     for k in 1..=steps {
         let t = (k as f64) * h;
         system.rhs_at(circuit, t, &mut b_now);
-        let cx = system.c().mul_vec(&x)?;
+        let cx = if sparse {
+            system.c_sparse().mul_vec(&x)?
+        } else {
+            system.c().mul_vec(&x)?
+        };
         if beta != 0.0 {
             // Trapezoidal.
-            let gx = system.g().mul_vec(&x)?;
+            let gx = if sparse {
+                system.g_sparse().mul_vec(&x)?
+            } else {
+                system.g().mul_vec(&x)?
+            };
             for i in 0..dim {
                 rhs[i] = b_now[i] + b_prev[i] - gx[i] + alpha * cx[i];
             }

@@ -652,6 +652,45 @@ mod tests {
         );
     }
 
+    /// Fault isolation on the sparse factorization path: an injected
+    /// factorization failure on one net engages the sparse `GMIN` ladder
+    /// and degrades that net only; its neighbour stays healthy, and the
+    /// degraded result is still the converged one.
+    #[test]
+    fn sparse_path_fault_degrades_only_the_injected_net() {
+        let tech = Tech::default_180nm();
+        // Unique ids so the armed plan cannot touch concurrent tests.
+        let mut faulted = spec(&tech);
+        faulted.id = 77;
+        let mut healthy = spec(&tech);
+        healthy.id = 78;
+        let analyzer = NoiseAnalyzer::with_config(
+            tech,
+            quick_config().with_solver(clarinox_circuit::solver::SolverKind::Sparse),
+        );
+
+        let clean = analyzer.analyze(&faulted).unwrap();
+
+        fault::arm("lu@77".parse().unwrap());
+        let outcomes = analyzer.analyze_block(std::slice::from_ref(&faulted), 1);
+        let healthy_out = analyzer.analyze_block(std::slice::from_ref(&healthy), 1);
+        fault::disarm();
+
+        assert!(
+            outcomes[0].is_degraded(),
+            "expected degraded, got {}",
+            outcomes[0].status()
+        );
+        assert!(healthy_out[0].is_analyzed());
+        let degraded = outcomes[0].value().unwrap();
+        assert!(
+            (degraded.delay_noise_rcv_out - clean.delay_noise_rcv_out).abs() < 1e-12,
+            "degraded {:e} vs clean {:e}",
+            degraded.delay_noise_rcv_out,
+            clean.delay_noise_rcv_out
+        );
+    }
+
     #[test]
     fn alignment_table_is_cached() {
         let tech = Tech::default_180nm();

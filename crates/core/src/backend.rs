@@ -41,6 +41,7 @@ use crate::superposition::DriverSimResult;
 use crate::{profile, Result};
 use clarinox_circuit::engine::TransientEngine;
 use clarinox_circuit::netlist::{Circuit, NodeId, SourceWave, VsourceId};
+use clarinox_circuit::solver::{SolverKind, SymbolicCache};
 use clarinox_circuit::transient::TransientSpec;
 use clarinox_mor::{RcPorts, ReducedModel};
 use clarinox_netgen::topology::NetTopology;
@@ -77,16 +78,18 @@ pub trait LinearBackend: std::fmt::Debug + Send + Sync {
 /// Builds the backend selected by `kind` for one coupled net.
 ///
 /// `agg_rths` are the aggressor Thevenin resistances in spec order; `dt`
-/// and `t_stop` fix the shared simulation grid.
+/// and `t_stop` fix the shared simulation grid; `solver` selects the
+/// factorization path for every engine the backend builds.
 pub fn backend_for(
     kind: LinearBackendKind,
     topo: &NetTopology,
     agg_rths: Vec<f64>,
     dt: f64,
     t_stop: f64,
+    solver: SolverKind,
 ) -> Box<dyn LinearBackend> {
     match kind {
-        LinearBackendKind::FullMna => Box::new(FullMna::new(topo, agg_rths, dt, t_stop)),
+        LinearBackendKind::FullMna => Box::new(FullMna::new(topo, agg_rths, dt, t_stop, solver)),
         LinearBackendKind::PrimaReduced {
             arnoldi_blocks,
             dc_tolerance,
@@ -99,6 +102,7 @@ pub fn backend_for(
             arnoldi_blocks,
             dc_tolerance,
             min_nodes,
+            solver,
         )),
     }
 }
@@ -127,12 +131,23 @@ pub struct FullMna {
     agg_rths: Vec<f64>,
     dt: f64,
     t_stop: f64,
+    solver: SolverKind,
+    /// Fill-reducing orderings shared across the per-victim-R engine
+    /// variants: they all have the same MNA structure, so the sparse path
+    /// analyzes it once and every other configuration is a reuse hit.
+    symbolic_cache: SymbolicCache,
     engines: KeyedOnceCache<u64, EngineEntry>,
 }
 
 impl FullMna {
     /// Prepares the backend for one coupled net (no factorization yet).
-    pub fn new(topo: &NetTopology, agg_rths: Vec<f64>, dt: f64, t_stop: f64) -> Self {
+    pub fn new(
+        topo: &NetTopology,
+        agg_rths: Vec<f64>,
+        dt: f64,
+        t_stop: f64,
+        solver: SolverKind,
+    ) -> Self {
         FullMna {
             skeleton: topo.circuit.clone(),
             ports: topo.all_driver_ports(),
@@ -141,6 +156,8 @@ impl FullMna {
             agg_rths,
             dt,
             t_stop,
+            solver,
+            symbolic_cache: SymbolicCache::new(),
             engines: KeyedOnceCache::new(),
         }
     }
@@ -169,7 +186,12 @@ impl FullMna {
             sources.push(ckt.add_vsource(src, gnd, SourceWave::shorted())?);
             ckt.add_resistor(src, port, self.port_r(p, victim_r))?;
         }
-        let engine = TransientEngine::new(&ckt, &TransientSpec::new(self.t_stop, self.dt)?)?;
+        let engine = TransientEngine::with_solver(
+            &ckt,
+            &TransientSpec::new(self.t_stop, self.dt)?,
+            self.solver,
+            Some(&self.symbolic_cache),
+        )?;
         Ok(EngineEntry {
             engine,
             template: ckt,
@@ -243,6 +265,7 @@ pub struct PrimaReduced {
 
 impl PrimaReduced {
     /// Prepares the backend for one coupled net (no reduction yet).
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         topo: &NetTopology,
         agg_rths: Vec<f64>,
@@ -251,6 +274,7 @@ impl PrimaReduced {
         arnoldi_blocks: usize,
         dc_tolerance: f64,
         min_nodes: usize,
+        solver: SolverKind,
     ) -> Self {
         PrimaReduced {
             skeleton: topo.circuit.clone(),
@@ -263,7 +287,7 @@ impl PrimaReduced {
             dc_tolerance,
             min_nodes,
             roms: KeyedOnceCache::new(),
-            full: FullMna::new(topo, agg_rths, dt, t_stop),
+            full: FullMna::new(topo, agg_rths, dt, t_stop, solver),
         }
     }
 
@@ -429,8 +453,8 @@ mod tests {
         let topo = build_topology(tech, &s).unwrap();
         let rths: Vec<f64> = models.aggressors.iter().map(|m| m.thevenin.rth).collect();
         let t_stop = cfg.victim_input_start + 100e-12 + cfg.settle_time;
-        let full = FullMna::new(&topo, rths.clone(), cfg.dt, t_stop);
-        let other = backend_for(kind_extra, &topo, rths, cfg.dt, t_stop);
+        let full = FullMna::new(&topo, rths.clone(), cfg.dt, t_stop, cfg.solver);
+        let other = backend_for(kind_extra, &topo, rths, cfg.dt, t_stop, cfg.solver);
         (full, other, models)
     }
 

@@ -1,6 +1,7 @@
 //! Analyzer configuration.
 
 use clarinox_char::alignment::AlignmentCharSpec;
+use clarinox_circuit::solver::SolverKind;
 
 /// Which linear model holds the victim driver while aggressors inject
 /// noise.
@@ -122,6 +123,10 @@ pub struct AnalyzerConfig {
     pub model_provider: ModelProviderKind,
     /// Linear transient backend for the superposition simulations.
     pub linear_backend: LinearBackendKind,
+    /// Linear-system factorization path for the transient engines
+    /// ([`SolverKind::Auto`] picks dense below the crossover dimension,
+    /// sparse at or above it).
+    pub solver: SolverKind,
 }
 
 impl Default for AnalyzerConfig {
@@ -142,6 +147,7 @@ impl Default for AnalyzerConfig {
             settle_hysteresis_frac: 0.05,
             model_provider: ModelProviderKind::default(),
             linear_backend: LinearBackendKind::default(),
+            solver: SolverKind::default(),
         }
     }
 }
@@ -170,6 +176,12 @@ impl AnalyzerConfig {
         self.linear_backend = kind;
         self
     }
+
+    /// Same config with a different factorization path.
+    pub fn with_solver(mut self, kind: SolverKind) -> Self {
+        self.solver = kind;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +197,7 @@ mod tests {
         // The single-net defaults preserve the pre-layer behaviour exactly.
         assert_eq!(c.model_provider, ModelProviderKind::Uncached);
         assert_eq!(c.linear_backend, LinearBackendKind::FullMna);
+        assert_eq!(c.solver, SolverKind::Auto);
     }
 
     #[test]
@@ -193,7 +206,9 @@ mod tests {
             .with_driver_model(DriverModelKind::Thevenin)
             .with_alignment(AlignmentObjective::ReceiverInput)
             .with_model_provider(ModelProviderKind::Library)
-            .with_linear_backend(LinearBackendKind::prima());
+            .with_linear_backend(LinearBackendKind::prima())
+            .with_solver(SolverKind::Sparse);
+        assert_eq!(c.solver, SolverKind::Sparse);
         assert_eq!(c.driver_model, DriverModelKind::Thevenin);
         assert_eq!(c.alignment, AlignmentObjective::ReceiverInput);
         assert_eq!(c.model_provider, ModelProviderKind::Library);

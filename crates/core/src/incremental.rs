@@ -42,6 +42,7 @@ use crate::outcome::{ConservativeBound, Outcome};
 use crate::par::run_indexed;
 use crate::{CoreError, Result};
 use clarinox_cells::{Gate, GateKind, Tech};
+use clarinox_circuit::solver::SolverKind;
 use clarinox_netgen::spec::{CoupledNetSpec, NetSpec};
 use clarinox_numeric::hash::Fnv64;
 use clarinox_spice::MosParams;
@@ -339,6 +340,14 @@ fn fold_config(h: &mut Fnv64, c: &AnalyzerConfig) {
             h.write_usize(min_nodes);
         }
     }
+    // The factorization path is folded in even though healthy-path results
+    // agree within test tolerances: the sparse pivot order is not the dense
+    // one, so results are only tolerance-equal, like the PRIMA backend.
+    h.write_u8(match c.solver {
+        SolverKind::Dense => 0,
+        SolverKind::Sparse => 1,
+        SolverKind::Auto => 2,
+    });
 }
 
 /// Content hash of everything a net's *report* depends on: technology,
@@ -736,6 +745,10 @@ mod tests {
         // Linear backend is only tolerance-equal → different hash.
         let prima_cfg = cfg.with_linear_backend(LinearBackendKind::prima());
         assert_ne!(base, spec_content_hash(&tech, &prima_cfg, &nets[0].spec));
+
+        // Factorization path is only tolerance-equal too → different hash.
+        let sparse_cfg = cfg.with_solver(SolverKind::Sparse);
+        assert_ne!(base, spec_content_hash(&tech, &sparse_cfg, &nets[0].spec));
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub mod superposition;
 mod error;
 
 pub use analysis::{NetReport, NoiseAnalyzer};
+pub use clarinox_circuit::solver::{SolverKind, SPARSE_CROSSOVER_DIM};
 pub use config::{
     AlignmentObjective, AnalyzerConfig, DriverModelKind, LinearBackendKind, ModelProviderKind,
 };

@@ -15,9 +15,14 @@
 //! output, the serve layer, the outcome tests) read everything from one
 //! module.
 
+//! The sparse-solver counters (symbolic analyses, reuse hits, numeric
+//! factors and refactors, nnz gauges) are re-exported the same way.
+
 pub use clarinox_circuit::profile::{
     recovery_attempts, recovery_backward_euler, recovery_gmin_steps, recovery_timestep_halvings,
-    reset_recovery_counters, thread_recovery_steps, RecoveryKind,
+    reset_recovery_counters, reset_sparse_counters, sparse_max_fill_nnz, sparse_max_nnz_a,
+    sparse_numeric_factors, sparse_refactors, sparse_symbolic_analyses, sparse_symbolic_reuse_hits,
+    thread_recovery_steps, RecoveryKind,
 };
 
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -18,6 +18,7 @@ use crate::models::NetModels;
 use crate::Result;
 use clarinox_cells::Tech;
 use clarinox_circuit::netlist::Circuit;
+use clarinox_circuit::solver::SolverKind;
 use clarinox_mor::{RcPorts, ReducedModel};
 use clarinox_netgen::spec::CoupledNetSpec;
 use clarinox_netgen::topology::{build_topology, NetRef, NetTopology};
@@ -56,6 +57,9 @@ pub struct LinearNetAnalysis<'a> {
     pub t_stop: f64,
     /// Which backend kind `backend` was built as (kept for [`Clone`]).
     backend_kind: LinearBackendKind,
+    /// Which factorization path the backend's engines use (kept for
+    /// [`Clone`]).
+    solver: SolverKind,
     /// The linear transient backend, its configuration cache inside.
     backend: Box<dyn LinearBackend>,
 }
@@ -71,6 +75,7 @@ impl Clone for LinearNetAnalysis<'_> {
             dt: self.dt,
             t_stop: self.t_stop,
             backend_kind: self.backend_kind,
+            solver: self.solver,
             backend: backend_for(
                 self.backend_kind,
                 &self.topo,
@@ -81,6 +86,7 @@ impl Clone for LinearNetAnalysis<'_> {
                     .collect(),
                 self.dt,
                 self.t_stop,
+                self.solver,
             ),
         }
     }
@@ -112,6 +118,7 @@ impl<'a> LinearNetAnalysis<'a> {
             models.aggressors.iter().map(|m| m.thevenin.rth).collect(),
             config.dt,
             t_stop,
+            config.solver,
         );
         Ok(LinearNetAnalysis {
             spec,
@@ -121,6 +128,7 @@ impl<'a> LinearNetAnalysis<'a> {
             dt: config.dt,
             t_stop,
             backend_kind: config.linear_backend,
+            solver: config.solver,
             backend,
         })
     }

@@ -9,7 +9,10 @@
 //! more:
 //!
 //! * dense matrices with LU factorization ([`matrix`]) — the workhorse behind
-//!   MNA circuit solves and PRIMA projections,
+//!   small MNA circuit solves and PRIMA projections,
+//! * sparse CSC matrices with fill-reducing LU and symbolic-factorization
+//!   reuse ([`sparse`]) — the asymptotically right solver for the
+//!   ladder-structured MNA systems of long coupled nets,
 //! * 1-D/2-D table interpolation ([`interp`]) — gate timing tables and the
 //!   paper's 8-point alignment-voltage tables,
 //! * root bracketing and refinement ([`roots`]) — threshold-crossing and
@@ -46,6 +49,7 @@ pub mod matrix;
 pub mod ortho;
 pub mod quad;
 pub mod roots;
+pub mod sparse;
 pub mod stats;
 pub mod sync;
 

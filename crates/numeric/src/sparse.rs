@@ -1,0 +1,1064 @@
+//! Compressed-sparse-column matrices and sparse LU factorization.
+//!
+//! MNA matrices of coupled-RC interconnect are ladder/tree structured —
+//! 3–5 nonzeros per row regardless of net length — so the dense `O(n³)`
+//! factorization in [`crate::matrix`] wastes almost all of its work above
+//! a few dozen unknowns. This module provides the sparse complement the
+//! solve stack switches to above that size:
+//!
+//! * [`Pattern`] — an immutable CSC nonzero structure, shareable (via
+//!   [`std::sync::Arc`]) between matrices that stamp the same positions
+//!   (`G`, `C`, companion `G + αC`, Newton Jacobians),
+//! * [`SparseMatrix`] — values over a `Pattern`, assembled from triplets
+//!   in stamp order so duplicate stamps accumulate exactly like dense
+//!   stamping (bit-identical per entry),
+//! * [`Symbolic`] — a fill-reducing column ordering (minimum-degree /
+//!   Markowitz on the symmetrized pattern), computed once per pattern and
+//!   reused across every matrix that shares it,
+//! * [`SparseLu`] — left-looking (Gilbert–Peierls) LU with partial row
+//!   pivoting, split into [`SparseLu::factor`] (chooses pivots, discovers
+//!   fill) and [`SparseLu::refactor`] (replays the stored pattern and
+//!   pivot sequence on new values — the cheap per-Newton-iteration and
+//!   per-GMIN-rung path), plus an allocation-free
+//!   [`solve_into`](SparseLu::solve_into).
+//!
+//! `refactor` guards its reused pivots: if a pivot loses too much
+//! magnitude relative to its column it returns an error and the caller
+//! falls back to a fresh, fully pivoted [`factor`](SparseLu::factor).
+
+use crate::hash::Fnv64;
+use crate::{NumericError, Result};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// An immutable compressed-sparse-column nonzero structure.
+///
+/// Row indices within each column are strictly ascending. A `Pattern` is
+/// deliberately separate from matrix values so that several matrices (and
+/// one symbolic analysis) can share it through an [`Arc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    n_rows: usize,
+    n_cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+}
+
+impl Pattern {
+    /// Builds a pattern from `(row, col)` positions (duplicates collapse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] when an index is out of
+    /// bounds.
+    pub fn from_entries(
+        n_rows: usize,
+        n_cols: usize,
+        entries: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Result<Pattern> {
+        let mut pos: Vec<(usize, usize)> = Vec::new();
+        for (r, c) in entries {
+            if r >= n_rows || c >= n_cols {
+                return Err(NumericError::invalid(format!(
+                    "entry ({r}, {c}) outside {n_rows}x{n_cols} pattern"
+                )));
+            }
+            pos.push((c, r));
+        }
+        pos.sort_unstable();
+        pos.dedup();
+        let mut col_ptr = Vec::with_capacity(n_cols + 1);
+        let mut row_idx = Vec::with_capacity(pos.len());
+        col_ptr.push(0);
+        let mut col = 0usize;
+        for (c, r) in pos {
+            while col < c {
+                col_ptr.push(row_idx.len());
+                col += 1;
+            }
+            row_idx.push(r);
+        }
+        while col < n_cols {
+            col_ptr.push(row_idx.len());
+            col += 1;
+        }
+        Ok(Pattern {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+        })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored positions.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Row indices of column `c` (ascending).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col_rows(&self, c: usize) -> &[usize] {
+        &self.row_idx[self.col_ptr[c]..self.col_ptr[c + 1]]
+    }
+
+    /// Storage slot of position (`r`, `c`), or `None` when the position is
+    /// not in the pattern.
+    pub fn find(&self, r: usize, c: usize) -> Option<usize> {
+        if r >= self.n_rows || c >= self.n_cols {
+            return None;
+        }
+        let lo = self.col_ptr[c];
+        let rows = &self.row_idx[lo..self.col_ptr[c + 1]];
+        rows.binary_search(&r).ok().map(|k| lo + k)
+    }
+
+    /// Deterministic structural fingerprint (dimensions + positions), used
+    /// to key symbolic-analysis caches across structurally identical
+    /// assemblies.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_usize(self.n_rows);
+        h.write_usize(self.n_cols);
+        for &p in &self.col_ptr {
+            h.write_usize(p);
+        }
+        for &r in &self.row_idx {
+            h.write_usize(r);
+        }
+        h.finish()
+    }
+}
+
+/// Sparse matrix: `f64` values over a shared [`Pattern`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    pattern: Arc<Pattern>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// An all-zero matrix over `pattern` (explicit zeros at every stored
+    /// position).
+    pub fn zeros(pattern: Arc<Pattern>) -> SparseMatrix {
+        let nnz = pattern.nnz();
+        SparseMatrix {
+            pattern,
+            values: vec![0.0; nnz],
+        }
+    }
+
+    /// Assembles a matrix from `(row, col, value)` triplets, building the
+    /// pattern from their positions. Duplicates accumulate **in triplet
+    /// order**, matching dense stamping bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] for out-of-bounds triplets.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<SparseMatrix> {
+        let pattern = Arc::new(Pattern::from_entries(
+            n_rows,
+            n_cols,
+            triplets.iter().map(|&(r, c, _)| (r, c)),
+        )?);
+        SparseMatrix::assemble(pattern, triplets)
+    }
+
+    /// Scatter-adds triplets into an existing pattern (in triplet order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidInput`] when a triplet's position is
+    /// not in the pattern.
+    pub fn assemble(
+        pattern: Arc<Pattern>,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<SparseMatrix> {
+        let mut m = SparseMatrix::zeros(pattern);
+        for &(r, c, v) in triplets {
+            let slot = m.pattern.find(r, c).ok_or_else(|| {
+                NumericError::invalid(format!("triplet position ({r}, {c}) not in pattern"))
+            })?;
+            m.values[slot] += v;
+        }
+        Ok(m)
+    }
+
+    /// The shared nonzero structure.
+    pub fn pattern(&self) -> &Arc<Pattern> {
+        &self.pattern
+    }
+
+    /// Stored values in pattern (column-major) order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable stored values in pattern order.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Value at (`r`, `c`) — zero when the position is not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.pattern.find(r, c).map_or(0.0, |s| self.values[s])
+    }
+
+    /// Adds `v` at (`r`, `c`); returns `false` (leaving the matrix
+    /// unchanged) when the position is not in the pattern.
+    pub fn add(&mut self, r: usize, c: usize, v: f64) -> bool {
+        match self.pattern.find(r, c) {
+            Some(s) => {
+                self.values[s] += v;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Values of column `c` aligned with [`Pattern::col_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col_values(&self, c: usize) -> &[f64] {
+        &self.values[self.pattern.col_ptr[c]..self.pattern.col_ptr[c + 1]]
+    }
+
+    /// `self + scale * other` over the **same** pattern (entrywise, so the
+    /// arithmetic per entry matches [`crate::matrix::Matrix::add_scaled`]
+    /// bit for bit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] when the patterns
+    /// differ.
+    pub fn add_scaled(&self, other: &SparseMatrix, scale: f64) -> Result<SparseMatrix> {
+        if !Arc::ptr_eq(&self.pattern, &other.pattern) && self.pattern != other.pattern {
+            return Err(NumericError::dims(
+                "sparse add_scaled requires a shared pattern".to_string(),
+            ));
+        }
+        let values = self
+            .values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| a + scale * b)
+            .collect();
+        Ok(SparseMatrix {
+            pattern: Arc::clone(&self.pattern),
+            values,
+        })
+    }
+
+    /// Returns a copy with `v` added to the diagonal of rows
+    /// `0..diag_rows`, extending the pattern when a diagonal position is
+    /// missing (the GMIN-recovery case).
+    pub fn with_added_diag(&self, diag_rows: usize, v: f64) -> SparseMatrix {
+        let n = diag_rows.min(self.pattern.n_rows).min(self.pattern.n_cols);
+        if (0..n).all(|i| self.pattern.find(i, i).is_some()) {
+            let mut out = self.clone();
+            for i in 0..n {
+                out.add(i, i, v);
+            }
+            return out;
+        }
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(self.values.len() + n);
+        for c in 0..self.pattern.n_cols {
+            for (&r, &val) in self.pattern.col_rows(c).iter().zip(self.col_values(c)) {
+                triplets.push((r, c, val));
+            }
+        }
+        for i in 0..n {
+            triplets.push((i, i, v));
+        }
+        SparseMatrix::from_triplets(self.pattern.n_rows, self.pattern.n_cols, &triplets)
+            .expect("positions copied from a valid pattern")
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `x.len()` differs
+    /// from the column count.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.pattern.n_cols {
+            return Err(NumericError::dims(format!(
+                "sparse({}x{}) * vec({})",
+                self.pattern.n_rows,
+                self.pattern.n_cols,
+                x.len()
+            )));
+        }
+        let mut y = vec![0.0; self.pattern.n_rows];
+        for (c, &xc) in x.iter().enumerate() {
+            for (&r, &v) in self.pattern.col_rows(c).iter().zip(self.col_values(c)) {
+                y[r] += v * xc;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Densifies into a [`crate::matrix::Matrix`] (mostly for tests and
+    /// the dense solver path of mixed-mode callers).
+    pub fn to_dense(&self) -> crate::matrix::Matrix {
+        let mut m = crate::matrix::Matrix::zeros(self.pattern.n_rows, self.pattern.n_cols);
+        for c in 0..self.pattern.n_cols {
+            for (&r, &v) in self.pattern.col_rows(c).iter().zip(self.col_values(c)) {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+}
+
+/// Fill-reducing symbolic analysis of a square [`Pattern`]: a column
+/// elimination order chosen by minimum degree (Markowitz on the
+/// symmetrized pattern `A + Aᵀ`), with deterministic smallest-index tie
+/// breaking.
+///
+/// One analysis serves every matrix sharing the pattern — `G`, `C`
+/// companions across `dt` changes, GMIN-damped retries, Newton Jacobians —
+/// which is what makes refactorization cheap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbolic {
+    n: usize,
+    /// `q[k]` = original column eliminated at position `k`.
+    q: Vec<usize>,
+}
+
+impl Symbolic {
+    /// Analyzes `pattern`, producing a fill-reducing column order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for non-square
+    /// patterns and [`NumericError::InvalidInput`] for empty ones.
+    pub fn analyze(pattern: &Pattern) -> Result<Symbolic> {
+        if pattern.n_rows != pattern.n_cols {
+            return Err(NumericError::dims(format!(
+                "symbolic analysis of non-square {}x{}",
+                pattern.n_rows, pattern.n_cols
+            )));
+        }
+        let n = pattern.n_rows;
+        if n == 0 {
+            return Err(NumericError::invalid("symbolic analysis of empty pattern"));
+        }
+        // Symmetrized adjacency (A + Aᵀ, no self loops).
+        let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for c in 0..n {
+            for &r in pattern.col_rows(c) {
+                if r != c {
+                    adj[r].insert(c);
+                    adj[c].insert(r);
+                }
+            }
+        }
+        let mut eliminated = vec![false; n];
+        let mut q = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = (0..n)
+                .filter(|&i| !eliminated[i])
+                .min_by_key(|&i| (adj[i].len(), i))
+                .expect("one uneliminated vertex per step");
+            eliminated[v] = true;
+            q.push(v);
+            let nbrs: Vec<usize> = adj[v].iter().copied().collect();
+            for &a in &nbrs {
+                adj[a].remove(&v);
+            }
+            // Eliminating v turns its neighborhood into a clique — the
+            // structural fill this ordering is minimizing.
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    adj[a].insert(b);
+                    adj[b].insert(a);
+                }
+            }
+            adj[v].clear();
+        }
+        Ok(Symbolic { n, q })
+    }
+
+    /// The natural (identity) ordering — no fill reduction.
+    pub fn natural(n: usize) -> Symbolic {
+        Symbolic {
+            n,
+            q: (0..n).collect(),
+        }
+    }
+
+    /// Dimension the analysis was computed for.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Column elimination order: entry `k` is the original column
+    /// eliminated at position `k`.
+    pub fn col_order(&self) -> &[usize] {
+        &self.q
+    }
+}
+
+/// Sparse LU factorization `P A Q = L U` of a [`SparseMatrix`] under a
+/// [`Symbolic`] column ordering.
+///
+/// [`factor`](SparseLu::factor) chooses row pivots and discovers fill;
+/// [`refactor`](SparseLu::refactor) replays the stored structure and pivot
+/// sequence on new values at a fraction of the cost, refusing (with an
+/// error, so the caller re-pivots) when a reused pivot becomes unstable.
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// Strictly-lower L by elimination column; row ids are *original* rows.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    /// U by elimination column; row ids are *elimination positions*,
+    /// ascending, with the diagonal entry last.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+    /// `perm[k]` = original row pivoted at elimination position `k`.
+    perm: Vec<usize>,
+    /// `pinv[r]` = elimination position of original row `r`.
+    pinv: Vec<usize>,
+    /// `q[k]` = original column eliminated at position `k`.
+    q: Vec<usize>,
+}
+
+/// Pivot magnitudes below this threshold are treated as singular (matches
+/// the dense [`crate::matrix::LuFactors`] threshold).
+const PIVOT_TOL: f64 = 1e-300;
+
+/// A refactored pivot must retain at least this fraction of its column's
+/// largest magnitude; otherwise [`SparseLu::refactor`] rejects the reuse
+/// and the caller re-pivots from scratch.
+const REFACTOR_PIVOT_RATIO: f64 = 1e-3;
+
+impl SparseLu {
+    /// Factors `a` left-looking with partial row pivoting under the
+    /// column order of `symbolic`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] for non-square or mismatched
+    /// inputs, [`NumericError::SingularMatrix`] when a pivot column has no
+    /// usable pivot.
+    pub fn factor(a: &SparseMatrix, symbolic: &Symbolic) -> Result<SparseLu> {
+        let p = a.pattern();
+        if p.n_rows != p.n_cols {
+            return Err(NumericError::dims(format!(
+                "sparse lu of non-square {}x{}",
+                p.n_rows, p.n_cols
+            )));
+        }
+        let n = p.n_rows;
+        if symbolic.n != n {
+            return Err(NumericError::dims(format!(
+                "symbolic analysis is for dimension {} but matrix is {n}",
+                symbolic.n
+            )));
+        }
+        let mut lu = SparseLu {
+            n,
+            l_colptr: Vec::with_capacity(n + 1),
+            l_rows: Vec::new(),
+            l_vals: Vec::new(),
+            u_colptr: Vec::with_capacity(n + 1),
+            u_rows: Vec::new(),
+            u_vals: Vec::new(),
+            perm: vec![usize::MAX; n],
+            pinv: vec![usize::MAX; n],
+            q: symbolic.q.clone(),
+        };
+        lu.l_colptr.push(0);
+        lu.u_colptr.push(0);
+
+        // Dense scatter workspace over original row ids, plus a per-column
+        // visit marker (`flag[r] == k` means row r is active in column k).
+        let mut x = vec![0.0; n];
+        let mut flag = vec![usize::MAX; n];
+        let mut found: Vec<usize> = Vec::new();
+        // Pivotal elimination positions still to apply, popped ascending
+        // (every update from position j only reaches positions > j, so an
+        // ascending sweep is a valid topological order).
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+            std::collections::BinaryHeap::new();
+        let mut u_col: Vec<usize> = Vec::new();
+
+        for k in 0..n {
+            let col = lu.q[k];
+            found.clear();
+            u_col.clear();
+            for (&r, &v) in p.col_rows(col).iter().zip(a.col_values(col)) {
+                x[r] = v;
+                flag[r] = k;
+                found.push(r);
+                if lu.pinv[r] != usize::MAX {
+                    heap.push(std::cmp::Reverse(lu.pinv[r]));
+                }
+            }
+            // Left-looking sparse triangular solve with the finished L
+            // columns, discovering fill as it goes.
+            while let Some(std::cmp::Reverse(j)) = heap.pop() {
+                u_col.push(j);
+                let xj = x[lu.perm[j]];
+                for (&r, &lv) in lu.l_col(j) {
+                    if flag[r] != k {
+                        flag[r] = k;
+                        x[r] = 0.0;
+                        found.push(r);
+                        if lu.pinv[r] != usize::MAX {
+                            heap.push(std::cmp::Reverse(lu.pinv[r]));
+                        }
+                    }
+                    x[r] -= lv * xj;
+                }
+            }
+            // Partial pivot over the not-yet-pivotal rows; deterministic
+            // smallest-row tie break.
+            let mut pivot_row = usize::MAX;
+            let mut pivot_mag = -1.0;
+            for &r in &found {
+                if lu.pinv[r] == usize::MAX {
+                    let mag = x[r].abs();
+                    if mag > pivot_mag || (mag == pivot_mag && r < pivot_row) {
+                        pivot_mag = mag;
+                        pivot_row = r;
+                    }
+                }
+            }
+            if pivot_row == usize::MAX || !(pivot_mag >= PIVOT_TOL) {
+                return Err(NumericError::SingularMatrix { pivot: k });
+            }
+            let pivot = x[pivot_row];
+            lu.perm[k] = pivot_row;
+            lu.pinv[pivot_row] = k;
+            // U column: earlier pivots ascending, diagonal last.
+            for &j in &u_col {
+                lu.u_rows.push(j);
+                lu.u_vals.push(x[lu.perm[j]]);
+            }
+            lu.u_rows.push(k);
+            lu.u_vals.push(pivot);
+            lu.u_colptr.push(lu.u_rows.len());
+            // L column: remaining rows scaled by the pivot, sorted by
+            // original row id so refactor replays identically. Numeric
+            // zeros are kept — they are structural positions a refactor
+            // may need.
+            let mut below: Vec<usize> = found
+                .iter()
+                .copied()
+                .filter(|&r| lu.pinv[r] == usize::MAX)
+                .collect();
+            below.sort_unstable();
+            for r in below {
+                lu.l_rows.push(r);
+                lu.l_vals.push(x[r] / pivot);
+            }
+            lu.l_colptr.push(lu.l_rows.len());
+            for &r in &found {
+                x[r] = 0.0;
+            }
+        }
+        Ok(lu)
+    }
+
+    /// Recomputes the numeric factorization for new values over the same
+    /// pattern, replaying the stored structure and pivot sequence (no
+    /// fill discovery, no pivot search).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::DimensionMismatch`] on shape mismatch,
+    /// [`NumericError::InvalidInput`] when `a` has a position outside the
+    /// stored structure, [`NumericError::SingularMatrix`] when a replayed
+    /// pivot underflows, and [`NumericError::NoConvergence`] when a
+    /// replayed pivot is too small relative to its column (the caller
+    /// should fall back to a fresh [`factor`](SparseLu::factor)).
+    pub fn refactor(&mut self, a: &SparseMatrix) -> Result<()> {
+        let p = a.pattern();
+        if p.n_rows != self.n || p.n_cols != self.n {
+            return Err(NumericError::dims(format!(
+                "refactor of {}x{} values against dimension {}",
+                p.n_rows, p.n_cols, self.n
+            )));
+        }
+        let n = self.n;
+        let mut x = vec![0.0; n];
+        let mut flag = vec![usize::MAX; n];
+        for k in 0..n {
+            // Mark the rows this column's stored structure can hold.
+            flag[self.perm[k]] = k;
+            for idx in self.u_colptr[k]..self.u_colptr[k + 1] - 1 {
+                flag[self.perm[self.u_rows[idx]]] = k;
+            }
+            for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+                flag[self.l_rows[idx]] = k;
+            }
+            for (&r, &v) in p.col_rows(self.q[k]).iter().zip(a.col_values(self.q[k])) {
+                if flag[r] != k {
+                    return Err(NumericError::invalid(format!(
+                        "refactor: position ({r}, {}) outside the factored structure",
+                        self.q[k]
+                    )));
+                }
+                x[r] = v;
+            }
+            // Apply earlier columns in ascending elimination order (the
+            // stored U row order).
+            for idx in self.u_colptr[k]..self.u_colptr[k + 1] - 1 {
+                let j = self.u_rows[idx];
+                let ujk = x[self.perm[j]];
+                self.u_vals[idx] = ujk;
+                for lidx in self.l_colptr[j]..self.l_colptr[j + 1] {
+                    x[self.l_rows[lidx]] -= self.l_vals[lidx] * ujk;
+                }
+            }
+            let pivot = x[self.perm[k]];
+            let mut col_max = pivot.abs();
+            for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+                col_max = col_max.max(x[self.l_rows[idx]].abs());
+            }
+            if !(pivot.abs() >= PIVOT_TOL) {
+                return Err(NumericError::SingularMatrix { pivot: k });
+            }
+            if pivot.abs() < REFACTOR_PIVOT_RATIO * col_max {
+                return Err(NumericError::NoConvergence {
+                    iterations: k,
+                    residual: pivot.abs() / col_max,
+                });
+            }
+            let diag_idx = self.u_colptr[k + 1] - 1;
+            self.u_vals[diag_idx] = pivot;
+            for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+                self.l_vals[idx] = x[self.l_rows[idx]] / pivot;
+            }
+            // Clear the workspace at the touched rows.
+            x[self.perm[k]] = 0.0;
+            for idx in self.u_colptr[k]..self.u_colptr[k + 1] - 1 {
+                x[self.perm[self.u_rows[idx]]] = 0.0;
+            }
+            for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+                x[self.l_rows[idx]] = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    fn l_col(&self, k: usize) -> impl Iterator<Item = (&usize, &f64)> {
+        self.l_rows[self.l_colptr[k]..self.l_colptr[k + 1]]
+            .iter()
+            .zip(&self.l_vals[self.l_colptr[k]..self.l_colptr[k + 1]])
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored nonzeros of `L + U` (the fill-in measure benchmarks report).
+    pub fn fill_nnz(&self) -> usize {
+        self.l_rows.len() + self.u_rows.len()
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs
+    /// from the factored dimension.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let mut x = Vec::with_capacity(self.n);
+        let mut scratch = Vec::with_capacity(self.n);
+        self.solve_into(b, &mut x, &mut scratch)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` into caller-provided buffers — the same arithmetic
+    /// as [`solve`](SparseLu::solve), bit for bit, without per-call
+    /// allocation. `scratch` holds the permuted intermediate; both buffers
+    /// are resized to the system dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` differs
+    /// from the factored dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut Vec<f64>, scratch: &mut Vec<f64>) -> Result<()> {
+        if b.len() != self.n {
+            return Err(NumericError::dims(format!(
+                "sparse solve rhs length {} for dimension {}",
+                b.len(),
+                self.n
+            )));
+        }
+        let n = self.n;
+        // y = P b in elimination space.
+        scratch.clear();
+        scratch.extend((0..n).map(|k| b[self.perm[k]]));
+        // Forward: L y = P b (unit diagonal, entries keyed by original row).
+        for k in 0..n {
+            let yk = scratch[k];
+            for (&r, &v) in self.l_col(k) {
+                scratch[self.pinv[r]] -= v * yk;
+            }
+        }
+        // Backward: U z = y (U rows are elimination positions, diag last).
+        for k in (0..n).rev() {
+            let diag_idx = self.u_colptr[k + 1] - 1;
+            let zk = scratch[k] / self.u_vals[diag_idx];
+            scratch[k] = zk;
+            for idx in self.u_colptr[k]..diag_idx {
+                scratch[self.u_rows[idx]] -= self.u_vals[idx] * zk;
+            }
+        }
+        // Undo the column permutation.
+        x.clear();
+        x.resize(n, 0.0);
+        for k in 0..n {
+            x[self.q[k]] = scratch[k];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::matrix::Matrix;
+    use proptest::prelude::*;
+
+    fn dense_of(t: &[(usize, usize, f64)], n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for &(r, c, v) in t {
+            m.add(r, c, v);
+        }
+        m
+    }
+
+    fn factor_of(t: &[(usize, usize, f64)], n: usize) -> (SparseMatrix, SparseLu) {
+        let a = SparseMatrix::from_triplets(n, n, t).unwrap();
+        let sym = Symbolic::analyze(a.pattern()).unwrap();
+        let lu = SparseLu::factor(&a, &sym).unwrap();
+        (a, lu)
+    }
+
+    #[test]
+    fn triplets_accumulate_and_get() {
+        let a =
+            SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.5), (0, 0, 2.5), (1, 0, -1.0)]).unwrap();
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert_eq!(a.pattern().nnz(), 2);
+    }
+
+    #[test]
+    fn out_of_bounds_triplet_rejected() {
+        assert!(SparseMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0)]).unwrap();
+        assert!(SparseMatrix::assemble(Arc::clone(a.pattern()), &[(1, 1, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_and_to_dense_agree() {
+        let t = [(0, 0, 2.0), (1, 0, -1.0), (0, 1, 0.5), (2, 2, 3.0)];
+        let a = SparseMatrix::from_triplets(3, 3, &t).unwrap();
+        let d = dense_of(&t, 3);
+        let x = [1.0, 2.0, -3.0];
+        assert_eq!(a.mul_vec(&x).unwrap(), d.mul_vec(&x).unwrap());
+        assert_eq!(a.to_dense(), d);
+        assert!(a.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn identity_solve_roundtrip() {
+        let t: Vec<_> = (0..4).map(|i| (i, i, 1.0)).collect();
+        let (_, lu) = factor_of(&t, 4);
+        let x = lu.solve(&[1.0, -2.0, 3.0, 0.5]).unwrap();
+        assert_eq!(x, vec![1.0, -2.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn known_3x3_matches_dense() {
+        let t = [
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (0, 2, -1.0),
+            (1, 0, -3.0),
+            (1, 1, -1.0),
+            (1, 2, 2.0),
+            (2, 0, -2.0),
+            (2, 1, 1.0),
+            (2, 2, 2.0),
+        ];
+        let (_, lu) = factor_of(&t, 3);
+        let x = lu.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert!(approx_eq(x[0], 2.0, 1e-12, 1e-12));
+        assert!(approx_eq(x[1], 3.0, 1e-12, 1e-12));
+        assert!(approx_eq(x[2], -1.0, 1e-12, 1e-12));
+    }
+
+    #[test]
+    fn solve_into_matches_solve_bitwise() {
+        let t = [
+            (0, 0, 2.0),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 1, 3.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (2, 2, 4.0),
+        ];
+        let (_, lu) = factor_of(&t, 3);
+        let mut x = Vec::new();
+        let mut scratch = Vec::new();
+        for b in [[1.0, 2.0, 3.0], [0.0, -1.0, 1e9]] {
+            lu.solve_into(&b, &mut x, &mut scratch).unwrap();
+            assert_eq!(x, lu.solve(&b).unwrap(), "rhs {b:?}");
+        }
+        assert!(lu.solve_into(&[1.0], &mut x, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let t = [(0, 1, 1.0), (1, 0, 1.0)];
+        let (_, lu) = factor_of(&t, 2);
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert!(approx_eq(x[0], 7.0, 1e-12, 0.0));
+        assert!(approx_eq(x[1], 3.0, 1e-12, 0.0));
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let t = [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 2.0), (1, 1, 4.0)];
+        let a = SparseMatrix::from_triplets(2, 2, &t).unwrap();
+        let sym = Symbolic::analyze(a.pattern()).unwrap();
+        match SparseLu::factor(&a, &sym) {
+            Err(NumericError::SingularMatrix { .. }) => {}
+            other => panic!("expected SingularMatrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structurally_singular_reports_error() {
+        // Column 1 is entirely absent from the pattern.
+        let t = [(0, 0, 1.0), (1, 0, 1.0)];
+        let a = SparseMatrix::from_triplets(2, 2, &t).unwrap();
+        let sym = Symbolic::analyze(a.pattern()).unwrap();
+        assert!(matches!(
+            SparseLu::factor(&a, &sym),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_same_values_is_bit_identical() {
+        let t = [
+            (0, 0, 4.0),
+            (0, 1, -1.0),
+            (1, 0, -1.0),
+            (1, 1, 4.0),
+            (1, 2, -1.0),
+            (2, 1, -1.0),
+            (2, 2, 4.0),
+        ];
+        let (a, mut lu) = factor_of(&t, 3);
+        let l_before = lu.l_vals.clone();
+        let u_before = lu.u_vals.clone();
+        lu.refactor(&a).unwrap();
+        assert_eq!(lu.l_vals, l_before);
+        assert_eq!(lu.u_vals, u_before);
+    }
+
+    #[test]
+    fn refactor_tracks_new_values() {
+        let t = [
+            (0, 0, 4.0),
+            (0, 1, -1.0),
+            (1, 0, -1.0),
+            (1, 1, 5.0),
+            (1, 2, -2.0),
+            (2, 1, -2.0),
+            (2, 2, 6.0),
+        ];
+        let (a, mut lu) = factor_of(&t, 3);
+        // Same pattern, new values.
+        let scaled = a.add_scaled(&a, 1.5).unwrap();
+        lu.refactor(&scaled).unwrap();
+        let x = lu.solve(&[1.0, 2.0, 3.0]).unwrap();
+        let d = scaled.to_dense();
+        let x_dense = d.lu().unwrap().solve(&[1.0, 2.0, 3.0]).unwrap();
+        for (s, dd) in x.iter().zip(&x_dense) {
+            assert!(approx_eq(*s, *dd, 1e-12, 1e-14), "{x:?} vs {x_dense:?}");
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_unstable_pivot() {
+        // Diagonally dominant first, then values that make the chosen
+        // pivot tiny relative to its column.
+        let t = [(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 10.0)];
+        let (a, mut lu) = factor_of(&t, 2);
+        let mut bad = a.clone();
+        let slot = bad.pattern().find(0, 0).unwrap();
+        bad.values_mut()[slot] = 1e-9;
+        match lu.refactor(&bad) {
+            Err(NumericError::NoConvergence { .. }) => {}
+            other => panic!("expected pivot-instability error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_foreign_pattern() {
+        let t = [(0, 0, 2.0), (1, 1, 2.0)];
+        let (_, mut lu) = factor_of(&t, 2);
+        let other =
+            SparseMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        assert!(lu.refactor(&other).is_err());
+    }
+
+    #[test]
+    fn min_degree_orders_star_center_last() {
+        // Star graph: natural order on the center-first matrix fills
+        // completely; min degree eliminates leaves first.
+        let n = 8;
+        let mut t = vec![(0usize, 0usize, 8.0)];
+        for i in 1..n {
+            t.push((i, i, 2.0));
+            t.push((0, i, -1.0));
+            t.push((i, 0, -1.0));
+        }
+        let a = SparseMatrix::from_triplets(n, n, &t).unwrap();
+        let sym = Symbolic::analyze(a.pattern()).unwrap();
+        // The center stays high-degree until the leaves are gone, so it is
+        // eliminated at (or next to) the very end.
+        let center_pos = sym.col_order().iter().position(|&c| c == 0).unwrap();
+        assert!(center_pos >= n - 2, "center eliminated at {center_pos}");
+        let lu = SparseLu::factor(&a, &sym).unwrap();
+        // Leaves-first elimination produces no fill at all: nnz(L+U) is
+        // exactly nnz(A).
+        assert_eq!(lu.fill_nnz(), a.pattern().nnz());
+        // And the solve is still right.
+        let b: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let x = lu.solve(&b).unwrap();
+        let xd = a.to_dense().lu().unwrap().solve(&b).unwrap();
+        for (s, d) in x.iter().zip(&xd) {
+            assert!(approx_eq(*s, *d, 1e-12, 1e-14));
+        }
+    }
+
+    #[test]
+    fn with_added_diag_extends_missing_pattern() {
+        let t = [(0, 1, 1.0), (1, 0, 1.0)];
+        let a = SparseMatrix::from_triplets(2, 2, &t).unwrap();
+        let damped = a.with_added_diag(2, 0.5);
+        assert_eq!(damped.get(0, 0), 0.5);
+        assert_eq!(damped.get(1, 1), 0.5);
+        assert_eq!(damped.get(0, 1), 1.0);
+        // Present-diagonal fast path keeps the pattern shared.
+        let b = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let damped_b = b.with_added_diag(2, 0.5);
+        assert!(Arc::ptr_eq(b.pattern(), damped_b.pattern()));
+        assert_eq!(damped_b.get(0, 0), 1.5);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_values() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let b = SparseMatrix::from_triplets(2, 2, &[(0, 0, 9.0), (1, 1, -2.0)]).unwrap();
+        let c =
+            SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        assert_eq!(a.pattern().fingerprint(), b.pattern().fingerprint());
+        assert_ne!(a.pattern().fingerprint(), c.pattern().fingerprint());
+    }
+
+    #[test]
+    fn add_scaled_requires_shared_pattern() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 2.0)]).unwrap();
+        let b = SparseMatrix::assemble(Arc::clone(a.pattern()), &[(0, 0, 3.0)]).unwrap();
+        let s = a.add_scaled(&b, 2.0).unwrap();
+        assert_eq!(s.get(0, 0), 7.0);
+        assert_eq!(s.get(1, 1), 2.0);
+        let c = SparseMatrix::from_triplets(2, 2, &[(1, 0, 1.0)]).unwrap();
+        assert!(a.add_scaled(&c, 1.0).is_err());
+    }
+
+    proptest! {
+        /// Sparse factor+solve matches the dense solver on random
+        /// MNA-shaped (ladder + random coupling) diagonally dominant
+        /// systems, and refactor after a value change matches a fresh
+        /// dense solve too.
+        #[test]
+        fn prop_sparse_matches_dense(seed in 0u64..300) {
+            let n = 2 + (seed as usize % 12);
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            // Ladder structure plus a few random off-diagonal couplings.
+            let mut t: Vec<(usize, usize, f64)> = Vec::new();
+            for i in 0..n {
+                t.push((i, i, 0.0)); // placeholder; made dominant below
+                if i + 1 < n {
+                    let v = next();
+                    t.push((i, i + 1, v));
+                    t.push((i + 1, i, v));
+                }
+            }
+            for _ in 0..n / 2 {
+                let r = ((next().abs() * n as f64) as usize).min(n - 1);
+                let c = ((next().abs() * n as f64) as usize).min(n - 1);
+                if r != c {
+                    t.push((r, c, next()));
+                }
+            }
+            let mut a = SparseMatrix::from_triplets(n, n, &t).unwrap();
+            // Make each row diagonally dominant.
+            let dense0 = a.to_dense();
+            for r in 0..n {
+                let s: f64 = dense0.row(r).iter().map(|v| v.abs()).sum();
+                assert!(a.add(r, r, s + 1.0));
+            }
+            let dense = a.to_dense();
+            let sym = Symbolic::analyze(a.pattern()).unwrap();
+            let mut lu = SparseLu::factor(&a, &sym).unwrap();
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let xs = lu.solve(&b).unwrap();
+            let xd = dense.lu().unwrap().solve(&b).unwrap();
+            for (s, d) in xs.iter().zip(&xd) {
+                prop_assert!(approx_eq(*s, *d, 1e-9, 1e-12), "{xs:?} vs {xd:?}");
+            }
+            // Refactor with scaled values tracks the dense solve as well.
+            let scaled = a.add_scaled(&a, 0.5).unwrap();
+            if lu.refactor(&scaled).is_ok() {
+                let xs2 = lu.solve(&b).unwrap();
+                let xd2 = scaled.to_dense().lu().unwrap().solve(&b).unwrap();
+                for (s, d) in xs2.iter().zip(&xd2) {
+                    prop_assert!(approx_eq(*s, *d, 1e-9, 1e-12));
+                }
+            }
+        }
+    }
+}

@@ -362,13 +362,43 @@ impl DesignService {
 }
 
 /// The engine-counter block attached to `--profile` output: process-wide
-/// LU/PRIMA counters plus the analyzer's provider and table statistics.
+/// LU, sparse-solver and PRIMA counters plus the analyzer's provider and
+/// table statistics.
 pub fn profile_json(analyzer: &NoiseAnalyzer) -> Value {
     let stats = analyzer.provider_stats();
     Value::Obj(vec![
         (
             "lu_factorizations".into(),
             Value::Num(clarinox_circuit::profile::lu_factorizations() as f64),
+        ),
+        (
+            "sparse".into(),
+            Value::Obj(vec![
+                (
+                    "symbolic_analyses".into(),
+                    Value::Num(clarinox_core::profile::sparse_symbolic_analyses() as f64),
+                ),
+                (
+                    "symbolic_reuse_hits".into(),
+                    Value::Num(clarinox_core::profile::sparse_symbolic_reuse_hits() as f64),
+                ),
+                (
+                    "numeric_factors".into(),
+                    Value::Num(clarinox_core::profile::sparse_numeric_factors() as f64),
+                ),
+                (
+                    "refactors".into(),
+                    Value::Num(clarinox_core::profile::sparse_refactors() as f64),
+                ),
+                (
+                    "max_nnz_a".into(),
+                    Value::Num(clarinox_core::profile::sparse_max_nnz_a() as f64),
+                ),
+                (
+                    "max_fill_nnz".into(),
+                    Value::Num(clarinox_core::profile::sparse_max_fill_nnz() as f64),
+                ),
+            ]),
         ),
         (
             "prima".into(),
@@ -496,6 +526,47 @@ mod tests {
                 .as_usize(),
             Some(0)
         );
+    }
+
+    /// The service's warm-start ECO contract holds with the sparse solver
+    /// forced, and `--profile` reports the sparse factorization counters.
+    #[test]
+    fn sparse_solver_service_warm_starts_and_reports_counters() {
+        let svc_cfg = ServiceConfig {
+            nets: 2,
+            seed: 9,
+            jobs: 1,
+            max_rounds: 20,
+            store: None,
+        };
+        let mut svc = DesignService::new(
+            Tech::default_180nm(),
+            quick_analyzer_config().with_solver(clarinox_core::SolverKind::Sparse),
+            &svc_cfg,
+        )
+        .unwrap();
+        svc.handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        let (resp, _) = svc
+            .handle(
+                &Request::Eco {
+                    net: 1,
+                    field: EcoField::WireLen,
+                    change: EcoChange::Scale(1.3),
+                    profile: true,
+                },
+                20,
+            )
+            .unwrap();
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(true));
+        let stats = resp.get("stats").unwrap();
+        assert_eq!(stats.get("analyzed").unwrap().as_usize(), Some(1));
+        assert_eq!(stats.get("warm_start").unwrap().as_bool(), Some(true));
+        let sparse = resp.get("profile").unwrap().get("sparse").unwrap();
+        // This service forced the sparse path, so the process-wide
+        // symbolic-analysis counter must be positive by now.
+        assert!(sparse.get("symbolic_analyses").unwrap().as_usize() > Some(0));
+        assert!(sparse.get("numeric_factors").is_some());
     }
 
     #[test]

@@ -31,11 +31,17 @@ use crate::mosfet::{MosParams, Mosfet, Polarity};
 use crate::{Result, SpiceError};
 use clarinox_circuit::mna::MnaSystem;
 use clarinox_circuit::netlist::{Circuit, NodeId};
-use clarinox_circuit::profile::{record_recovery, RecoveryKind};
+use clarinox_circuit::profile::{
+    record_recovery, record_sparse_factor, record_sparse_refactor, record_sparse_symbolic,
+    RecoveryKind,
+};
+use clarinox_circuit::solver::SolverKind;
 use clarinox_circuit::transient::TransientSpec;
 use clarinox_numeric::fault::{self, FaultSite};
 use clarinox_numeric::matrix::Matrix;
+use clarinox_numeric::sparse::{Pattern, SparseLu, SparseMatrix, Symbolic};
 use clarinox_waveform::Pwl;
+use std::sync::Arc;
 
 /// Maximum Newton iterations per timestep.
 const MAX_NEWTON: usize = 200;
@@ -65,11 +71,149 @@ fn recoverable(e: &SpiceError) -> bool {
     )
 }
 
+/// The constant part of the Newton operator, either dense or sparse.
+///
+/// The sparse variant's pattern already contains every position a device
+/// Jacobian can stamp (as explicit zeros), so each iteration's Jacobian is
+/// a value-clone of the base followed by in-pattern scatter adds — the
+/// pattern, and therefore the symbolic analysis, never changes across
+/// iterations, damped GMIN variants, or integration-constant changes.
+#[derive(Debug, Clone)]
+enum NewtonOp {
+    Dense(Matrix),
+    Sparse {
+        base: SparseMatrix,
+        symbolic: Arc<Symbolic>,
+    },
+}
+
+impl NewtonOp {
+    /// `base * x`.
+    fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        Ok(match self {
+            NewtonOp::Dense(m) => m.mul_vec(x)?,
+            NewtonOp::Sparse { base, .. } => base.mul_vec(x)?,
+        })
+    }
+
+    /// A damped copy with `gmin` added to the first `nv` diagonals. The
+    /// sparse variant keeps its pattern (MNA stamps `GMIN` on every node
+    /// diagonal, so the positions exist) and so keeps the same symbolic.
+    fn with_gmin(&self, nv: usize, gmin: f64) -> NewtonOp {
+        match self {
+            NewtonOp::Dense(m) => {
+                let mut damped = m.clone();
+                for i in 0..nv {
+                    damped.add(i, i, gmin);
+                }
+                NewtonOp::Dense(damped)
+            }
+            NewtonOp::Sparse { base, symbolic } => NewtonOp::Sparse {
+                base: base.with_added_diag(nv, gmin),
+                symbolic: Arc::clone(symbolic),
+            },
+        }
+    }
+}
+
+/// Per-solve factorization context: the sparse half is built once per
+/// entry point ([`NonlinearCircuit::solve_dc`] / `simulate`) and shared by
+/// every base variant the recovery ladder constructs, so one symbolic
+/// analysis covers the main stepping operator, halved-substep operators,
+/// GMIN continuations, and the backward-Euler rescue.
+#[derive(Debug)]
+struct OpBuilder {
+    sparse: Option<SparseOps>,
+}
+
+/// Linear matrices scattered onto the device-extended pattern.
+#[derive(Debug)]
+struct SparseOps {
+    g: SparseMatrix,
+    c: SparseMatrix,
+    symbolic: Arc<Symbolic>,
+}
+
+impl OpBuilder {
+    /// Prepares the operator builder. Sparse setup happens here exactly
+    /// once: extend the MNA union pattern with device stamp positions,
+    /// order it, and scatter `G` and `C` onto it.
+    fn new(system: &MnaSystem, devices: &[Mosfet], kind: SolverKind) -> Result<OpBuilder> {
+        if !kind.use_sparse(system.dim()) {
+            return Ok(OpBuilder { sparse: None });
+        }
+        let dim = system.dim();
+        let mut positions: Vec<(usize, usize)> = Vec::new();
+        let base_pattern = system.pattern();
+        for c in 0..base_pattern.n_cols() {
+            for &r in base_pattern.col_rows(c) {
+                positions.push((r, c));
+            }
+        }
+        for dev in devices {
+            let rows = [system.node_index(dev.d), system.node_index(dev.s)];
+            let cols = [
+                system.node_index(dev.d),
+                system.node_index(dev.g),
+                system.node_index(dev.s),
+            ];
+            for r in rows.into_iter().flatten() {
+                for c in cols.into_iter().flatten() {
+                    positions.push((r, c));
+                }
+            }
+        }
+        let pattern = Arc::new(Pattern::from_entries(dim, dim, positions)?);
+        record_sparse_symbolic();
+        let symbolic = Arc::new(Symbolic::analyze(&pattern)?);
+        let g = scatter_onto(system.g_sparse(), &pattern)?;
+        let c = scatter_onto(system.c_sparse(), &pattern)?;
+        Ok(OpBuilder {
+            sparse: Some(SparseOps { g, c, symbolic }),
+        })
+    }
+
+    /// The stepping operator `G + alpha C`.
+    fn stepping(&self, system: &MnaSystem, alpha: f64) -> Result<NewtonOp> {
+        Ok(match &self.sparse {
+            None => NewtonOp::Dense(system.g().add_scaled(system.c(), alpha)?),
+            Some(ops) => NewtonOp::Sparse {
+                base: ops.g.add_scaled(&ops.c, alpha)?,
+                symbolic: Arc::clone(&ops.symbolic),
+            },
+        })
+    }
+
+    /// The DC operator: `G` alone.
+    fn dc(&self, system: &MnaSystem) -> NewtonOp {
+        match &self.sparse {
+            None => NewtonOp::Dense(system.g().clone()),
+            Some(ops) => NewtonOp::Sparse {
+                base: ops.g.clone(),
+                symbolic: Arc::clone(&ops.symbolic),
+            },
+        }
+    }
+}
+
+/// Copies `m`'s values onto the superset `pattern` (extra positions stay
+/// zero); entry order is preserved so accumulated values are unchanged.
+fn scatter_onto(m: &SparseMatrix, pattern: &Arc<Pattern>) -> Result<SparseMatrix> {
+    let mut triplets = Vec::with_capacity(m.pattern().nnz());
+    for c in 0..m.pattern().n_cols() {
+        for (&r, &v) in m.pattern().col_rows(c).iter().zip(m.col_values(c)) {
+            triplets.push((r, c, v));
+        }
+    }
+    Ok(SparseMatrix::assemble(Arc::clone(pattern), &triplets)?)
+}
+
 /// A linear [`Circuit`] augmented with MOSFET devices.
 #[derive(Debug, Clone)]
 pub struct NonlinearCircuit {
     linear: Circuit,
     devices: Vec<Mosfet>,
+    solver: SolverKind,
 }
 
 impl NonlinearCircuit {
@@ -79,7 +223,22 @@ impl NonlinearCircuit {
         NonlinearCircuit {
             linear,
             devices: Vec::new(),
+            solver: SolverKind::Auto,
         }
+    }
+
+    /// Selects the linear-solve path for Newton iterations.
+    ///
+    /// [`SolverKind::Auto`] (the default) keeps small systems on the dense
+    /// path; the sparse path reuses one symbolic analysis across the whole
+    /// run and refactorizes numerically between Newton iterations.
+    pub fn set_solver(&mut self, kind: SolverKind) {
+        self.solver = kind;
+    }
+
+    /// The selected linear-solve path.
+    pub fn solver(&self) -> SolverKind {
+        self.solver
     }
 
     /// The wrapped linear circuit.
@@ -130,6 +289,8 @@ impl NonlinearCircuit {
     /// stepping.
     pub fn solve_dc(&self) -> Result<DcState> {
         let system = MnaSystem::assemble(&self.linear)?;
+        let builder = OpBuilder::new(&system, &self.devices, self.solver)?;
+        let op = builder.dc(&system);
         let mut b = vec![0.0; system.dim()];
         system.rhs_at(&self.linear, 0.0, &mut b);
         let mut x = vec![0.0; system.dim()];
@@ -138,9 +299,9 @@ impl NonlinearCircuit {
         // are cheap and make full-rail CMOS circuits converge reliably.
         for frac in [0.1, 0.3, 0.6, 1.0] {
             let bs: Vec<f64> = b.iter().map(|v| v * frac).collect();
-            x = match self.newton(&system, system.g(), &bs, x, None) {
+            x = match self.newton(&system, &op, &bs, x, None) {
                 Ok(next) => next,
-                Err(e) if recoverable(&e) => self.recover_dc(&system, &bs, e)?,
+                Err(e) if recoverable(&e) => self.recover_dc(&system, &op, &bs, e)?,
                 Err(e) => return Err(e),
             };
         }
@@ -150,15 +311,18 @@ impl NonlinearCircuit {
     /// GMIN-stepping rescue for a diverged DC solve: a continuation in an
     /// extra node-to-ground conductance, stepped down to exactly zero with
     /// each solution seeding the next.
-    fn recover_dc(&self, system: &MnaSystem, bs: &[f64], orig: SpiceError) -> Result<Vec<f64>> {
+    fn recover_dc(
+        &self,
+        system: &MnaSystem,
+        op: &NewtonOp,
+        bs: &[f64],
+        orig: SpiceError,
+    ) -> Result<Vec<f64>> {
         record_recovery(RecoveryKind::GminStep);
         let nv = system.node_unknowns();
         let mut x = vec![0.0; system.dim()];
         for gmin in GMIN_SCHEDULE {
-            let mut damped = system.g().clone();
-            for i in 0..nv {
-                damped.add(i, i, gmin);
-            }
+            let damped = op.with_gmin(nv, gmin);
             x = self
                 .newton(system, &damped, bs, x, None)
                 .map_err(|_| orig.clone())?;
@@ -192,7 +356,8 @@ impl NonlinearCircuit {
         let mut ic = vec![0.0; dim];
 
         // Constant part of the Newton matrix: G + alpha C.
-        let base = system.g().add_scaled(system.c(), alpha)?;
+        let builder = OpBuilder::new(&system, &self.devices, self.solver)?;
+        let base = builder.stepping(&system, alpha)?;
 
         let mut times = Vec::with_capacity(steps + 1);
         let mut states = Vec::with_capacity(steps + 1);
@@ -206,7 +371,7 @@ impl NonlinearCircuit {
             let (x1, ic1) = match self.step_trap(&system, &base, &b, &x, &ic, t, alpha) {
                 Ok(next) => next,
                 Err(e) if recoverable(&e) => {
-                    self.recover_step(&system, &base, &x, &ic, t - h, h, e)?
+                    self.recover_step(&system, &builder, &base, &x, &ic, t - h, h, e)?
                 }
                 Err(e) => return Err(e),
             };
@@ -232,7 +397,7 @@ impl NonlinearCircuit {
     fn step_trap(
         &self,
         system: &MnaSystem,
-        base: &Matrix,
+        base: &NewtonOp,
         b_t1: &[f64],
         x0: &[f64],
         ic0: &[f64],
@@ -259,7 +424,8 @@ impl NonlinearCircuit {
     fn recover_step(
         &self,
         system: &MnaSystem,
-        base: &Matrix,
+        builder: &OpBuilder,
+        base: &NewtonOp,
         x0: &[f64],
         ic0: &[f64],
         t0: f64,
@@ -268,7 +434,9 @@ impl NonlinearCircuit {
     ) -> Result<(Vec<f64>, Vec<f64>)> {
         for depth in 1..=MAX_HALVINGS {
             record_recovery(RecoveryKind::TimestepHalving);
-            if let Ok(next) = self.try_trap_substeps(system, x0, ic0, t0, h, 1usize << depth) {
+            if let Ok(next) =
+                self.try_trap_substeps(system, builder, x0, ic0, t0, h, 1usize << depth)
+            {
                 return Ok(next);
             }
         }
@@ -277,7 +445,7 @@ impl NonlinearCircuit {
             return Ok(next);
         }
         record_recovery(RecoveryKind::BackwardEuler);
-        if let Ok(next) = self.try_backward_euler(system, x0, t0, h) {
+        if let Ok(next) = self.try_backward_euler(system, builder, x0, t0, h) {
             return Ok(next);
         }
         Err(orig)
@@ -285,9 +453,11 @@ impl NonlinearCircuit {
 
     /// Rung 1: re-integrates `t0 -> t0 + h` as `n_sub` trapezoidal
     /// substeps.
+    #[allow(clippy::too_many_arguments)]
     fn try_trap_substeps(
         &self,
         system: &MnaSystem,
+        builder: &OpBuilder,
         x0: &[f64],
         ic0: &[f64],
         t0: f64,
@@ -296,7 +466,7 @@ impl NonlinearCircuit {
     ) -> Result<(Vec<f64>, Vec<f64>)> {
         let h_sub = h / n_sub as f64;
         let alpha = 2.0 / h_sub;
-        let base = system.g().add_scaled(system.c(), alpha)?;
+        let base = builder.stepping(system, alpha)?;
         let mut x = x0.to_vec();
         let mut ic = ic0.to_vec();
         let mut b = vec![0.0; system.dim()];
@@ -319,7 +489,7 @@ impl NonlinearCircuit {
     fn try_gmin_step(
         &self,
         system: &MnaSystem,
-        base: &Matrix,
+        base: &NewtonOp,
         x0: &[f64],
         ic0: &[f64],
         t1: f64,
@@ -333,10 +503,7 @@ impl NonlinearCircuit {
         let rhs: Vec<f64> = (0..dim).map(|i| b[i] + alpha * cx0[i] + ic0[i]).collect();
         let mut x = x0.to_vec();
         for gmin in GMIN_SCHEDULE {
-            let mut damped = base.clone();
-            for i in 0..nv {
-                damped.add(i, i, gmin);
-            }
+            let damped = base.with_gmin(nv, gmin);
             x = self.newton(system, &damped, &rhs, x, Some(t1))?;
         }
         let cx1 = system.c().mul_vec(&x)?;
@@ -353,13 +520,14 @@ impl NonlinearCircuit {
     fn try_backward_euler(
         &self,
         system: &MnaSystem,
+        builder: &OpBuilder,
         x0: &[f64],
         t0: f64,
         h: f64,
     ) -> Result<(Vec<f64>, Vec<f64>)> {
         let h_sub = h / BE_SUBSTEPS as f64;
         let alpha = 1.0 / h_sub;
-        let base = system.g().add_scaled(system.c(), alpha)?;
+        let base = builder.stepping(system, alpha)?;
         let dim = system.dim();
         let mut x = x0.to_vec();
         let mut x_prev = x0.to_vec();
@@ -379,10 +547,16 @@ impl NonlinearCircuit {
     }
 
     /// Damped Newton iteration solving `base * x + i_dev(x) = rhs`.
+    ///
+    /// On the sparse path the Jacobian pattern is identical every
+    /// iteration (device positions are explicit zeros in the base), so the
+    /// first iteration runs a full numeric factorization and later ones
+    /// replay it through [`SparseLu::refactor`], falling back to a fresh
+    /// factorization only when the replayed pivots are too unstable.
     fn newton(
         &self,
         system: &MnaSystem,
-        base: &Matrix,
+        base: &NewtonOp,
         rhs: &[f64],
         mut x: Vec<f64>,
         time: Option<f64>,
@@ -396,19 +570,48 @@ impl NonlinearCircuit {
         }
         let nv = system.node_unknowns();
         let mut residual = f64::INFINITY;
+        let mut sparse_lu: Option<SparseLu> = None;
         for _iter in 0..MAX_NEWTON {
             // F(x) = base*x + i_dev(x) - rhs ; J = base + J_dev(x)
             let mut f = base.mul_vec(&x)?;
             for (fi, r) in f.iter_mut().zip(rhs.iter()) {
                 *fi -= r;
             }
-            let mut jac = base.clone();
-            self.stamp_devices(system, &x, &mut f, &mut jac);
-            residual = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
-
             // Solve J dx = -F.
-            let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
-            let dx = jac.lu()?.solve(&neg_f)?;
+            let dx = match base {
+                NewtonOp::Dense(m) => {
+                    let mut jac = m.clone();
+                    self.stamp_devices(system, &x, &mut f, |r, c, v| {
+                        jac.add(r, c, v);
+                    });
+                    residual = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+                    let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
+                    jac.lu()?.solve(&neg_f)?
+                }
+                NewtonOp::Sparse { base: m, symbolic } => {
+                    let mut jac = m.clone();
+                    self.stamp_devices(system, &x, &mut f, |r, c, v| {
+                        jac.add(r, c, v);
+                    });
+                    residual = f.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+                    let neg_f: Vec<f64> = f.iter().map(|v| -v).collect();
+                    let replayed = match sparse_lu.as_mut() {
+                        Some(lu) => lu.refactor(&jac).is_ok(),
+                        None => false,
+                    };
+                    if replayed {
+                        record_sparse_refactor();
+                    } else {
+                        let fresh = SparseLu::factor(&jac, symbolic)?;
+                        record_sparse_factor(jac.pattern().nnz(), fresh.fill_nnz());
+                        sparse_lu = Some(fresh);
+                    }
+                    sparse_lu
+                        .as_ref()
+                        .expect("factorization just stored")
+                        .solve(&neg_f)?
+                }
+            };
             // Limit the node-voltage step, preserving the Newton direction.
             let max_dv = dx[..nv].iter().fold(0.0f64, |m, v| m.max(v.abs()));
             let scale = if max_dv > STEP_LIMIT {
@@ -430,8 +633,16 @@ impl NonlinearCircuit {
         })
     }
 
-    /// Stamps every device's current into `f` and Jacobian into `jac`.
-    fn stamp_devices(&self, system: &MnaSystem, x: &[f64], f: &mut [f64], jac: &mut Matrix) {
+    /// Stamps every device's current into `f` and its Jacobian entries
+    /// through `jac_add` (an `(row, col, value)` scatter-add, dense or
+    /// sparse).
+    fn stamp_devices(
+        &self,
+        system: &MnaSystem,
+        x: &[f64],
+        f: &mut [f64],
+        mut jac_add: impl FnMut(usize, usize, f64),
+    ) {
         for dev in &self.devices {
             let vd = node_voltage(system, x, dev.d);
             let vg = node_voltage(system, x, dev.g);
@@ -454,10 +665,10 @@ impl NonlinearCircuit {
             for (col, dval) in derivs {
                 if let Some(c) = col {
                     if let Some(di) = id_idx {
-                        jac.add(di, c, dval);
+                        jac_add(di, c, dval);
                     }
                     if let Some(si) = is_idx {
-                        jac.add(si, c, -dval);
+                        jac_add(si, c, -dval);
                     }
                 }
             }
@@ -720,6 +931,72 @@ mod tests {
         let (nl, _, _) = inverter(SourceWave::Dc(0.0), 1e-15);
         assert_eq!(nl.devices().len(), 2);
         assert_eq!(nl.devices()[0].polarity, Polarity::Nmos);
+        assert_eq!(nl.solver(), SolverKind::Auto);
+    }
+
+    #[test]
+    fn sparse_newton_matches_dense() {
+        let wave = SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.1e-9, 0.0, VDD).unwrap());
+        let spec = TransientSpec::new(2e-9, 1e-12).unwrap();
+        let (mut nl_dense, _, out) = inverter(wave.clone(), 20e-15);
+        nl_dense.set_solver(SolverKind::Dense);
+        let dense = nl_dense.simulate(&spec).unwrap().voltage(out).unwrap();
+        let (mut nl_sparse, _, out2) = inverter(wave, 20e-15);
+        nl_sparse.set_solver(SolverKind::Sparse);
+        let sparse = nl_sparse.simulate(&spec).unwrap().voltage(out2).unwrap();
+        for k in 0..=100 {
+            let t = k as f64 * 0.02e-9;
+            let (vd, vs) = (dense.value(t), sparse.value(t));
+            assert!(
+                (vd - vs).abs() < 1e-4,
+                "dense/sparse Newton diverge at t={t}: {vd} vs {vs}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_newton_reuses_numeric_refactors() {
+        use clarinox_circuit::profile;
+        let (mut nl, _, out) = inverter(SourceWave::Dc(VDD), 10e-15);
+        nl.set_solver(SolverKind::Sparse);
+        let before = profile::sparse_refactors();
+        let dc = nl.solve_dc().unwrap();
+        assert!(
+            profile::sparse_refactors() > before,
+            "Newton iterations after the first must replay the factorization"
+        );
+        let system = MnaSystem::assemble(nl.linear()).unwrap();
+        let i = system.node_index(out).unwrap();
+        assert!(dc.unknowns()[i].abs() < 1e-3);
+    }
+
+    #[test]
+    fn sparse_path_recovers_from_injected_divergence() {
+        use clarinox_circuit::profile;
+        use clarinox_numeric::fault;
+        let _g = fault_lock();
+        let wave = SourceWave::Pwl(Pwl::ramp(0.2e-9, 0.1e-9, 0.0, VDD).unwrap());
+        let (mut nl, _, out) = inverter(wave, 20e-15);
+        nl.set_solver(SolverKind::Sparse);
+        let spec = TransientSpec::new(2e-9, 1e-12).unwrap();
+        let clean = nl.simulate(&spec).unwrap().voltage(out).unwrap();
+
+        fault::arm("newton@21".parse().unwrap());
+        let before = profile::recovery_attempts();
+        let res = fault::scoped(21, || nl.simulate(&spec));
+        fault::disarm();
+        let noisy = res.unwrap().voltage(out).unwrap();
+        assert!(
+            profile::recovery_attempts() > before,
+            "sparse path must walk the same recovery ladder"
+        );
+        for k in 0..=40 {
+            let t = k as f64 * 0.05e-9;
+            assert!(
+                (clean.value(t) - noisy.value(t)).abs() < 1e-2,
+                "recovered sparse waveform diverges from clean at t={t}"
+            );
+        }
     }
 
     /// Serializes tests that arm the process-global fault plan.

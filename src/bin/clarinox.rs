@@ -2,17 +2,22 @@
 //! analyzer.
 //!
 //! ```text
-//! clarinox block [--nets N] [--seed S] [--jobs J] [--thevenin] [--exhaustive]
-//!                [--backend full|prima] [--driver-cache on|off] [--inject SPEC]
+//! clarinox block [--nets N] [--seed S] [--jobs J] [--segments K]
+//!                [--thevenin] [--exhaustive]
+//!                [--backend full|prima] [--solver dense|sparse|auto]
+//!                [--driver-cache on|off] [--inject SPEC]
 //!     analyze a generated block of coupled nets, print per-net extra
-//!     delays and summary statistics
+//!     delays and summary statistics (`--segments` sets the extraction
+//!     granularity per wire — finer ladders reward `--solver sparse`)
 //!
 //! clarinox net [--seed S] [--id I] [--verbose]
-//!              [--backend full|prima] [--driver-cache on|off]
+//!              [--backend full|prima] [--solver dense|sparse|auto]
+//!              [--driver-cache on|off]
 //!     analyze a single net of a generated block in detail
 //!
 //! clarinox functional [--nets N] [--seed S] [--margin MV] [--jobs J]
-//!                     [--backend full|prima] [--driver-cache on|off] [--inject SPEC]
+//!                     [--backend full|prima] [--solver dense|sparse|auto]
+//!                     [--driver-cache on|off] [--inject SPEC]
 //!     run the functional (glitch) noise check over a block
 //!
 //! clarinox characterize [--strength X]
@@ -23,7 +28,8 @@
 //!
 //! clarinox serve [--socket P] [--nets N] [--seed S] [--jobs J]
 //!                [--store DIR] [--max-rounds R] [--backend full|prima]
-//!                [--inject SPEC] [--read-timeout S] [--write-timeout S]
+//!                [--solver dense|sparse|auto] [--inject SPEC]
+//!                [--read-timeout S] [--write-timeout S]
 //!     hold a generated design resident and answer line-delimited JSON
 //!     requests (status/analyze/eco/save/shutdown) on a Unix socket,
 //!     re-analyzing incrementally after each ECO edit
@@ -37,14 +43,21 @@
 //!
 //! `--backend` selects the linear transient engine: `full` (the full-MNA
 //! reference, default) or `prima` (PRIMA macromodels with the build-time
-//! guardrail). `--driver-cache` toggles the cross-net driver library;
-//! it defaults to `on` for block-scale commands (`block`, `functional`)
-//! and `off` for single-net ones. Either way the reported numbers are
-//! bit-identical for the driver cache, and PRIMA-guarded within tolerance
-//! for the backend. `--profile` (on `block`, `serve` requests, and `eco`)
-//! attaches a JSON block of engine counters: LU factorizations, PRIMA
-//! builds/fallbacks, driver-library hit rate, alignment-table
-//! characterizations, and solver-recovery attempts.
+//! guardrail). `--solver` selects the factorization path inside every
+//! engine: `dense` (the reference LU), `sparse` (CSC LU with fill-reducing
+//! ordering and symbolic-factorization reuse), or `auto` (the default:
+//! dense below the crossover dimension, sparse at or above it — small nets
+//! stay bit-identical to the dense-only code while big ladders get the
+//! near-linear path). `--driver-cache` toggles the cross-net driver
+//! library; it defaults to `on` for block-scale commands (`block`,
+//! `functional`) and `off` for single-net ones. Either way the reported
+//! numbers are bit-identical for the driver cache, and PRIMA-guarded /
+//! sparse-pivot within tolerance for the backend and solver. `--profile`
+//! (on `block`, `serve` requests, and `eco`) attaches a JSON block of
+//! engine counters: LU factorizations, sparse symbolic analyses / reuse
+//! hits / refactors and fill-in gauges, PRIMA builds/fallbacks,
+//! driver-library hit rate, alignment-table characterizations, and
+//! solver-recovery attempts.
 //!
 //! `--inject <spec>` (on `block`, `functional`, `serve`; testing only)
 //! arms the deterministic fault-injection plan described in
@@ -67,6 +80,7 @@ use clarinox::core::config::{
 };
 use clarinox::core::functional::{check_functional_noise_block, QuietState};
 use clarinox::core::outcome::Outcome;
+use clarinox::core::SolverKind;
 use clarinox::netgen::generate::{generate_block, BlockConfig};
 use clarinox::numeric::fault::{self, FaultPlan};
 use clarinox::numeric::stats;
@@ -139,6 +153,19 @@ fn arg_backend() -> LinearBackendKind {
     }
 }
 
+/// Factorization-path selection: `--solver dense|sparse|auto` (default
+/// `auto`: dense below the crossover dimension, sparse at or above it).
+fn arg_solver() -> SolverKind {
+    let raw = arg_value("--solver", "auto".to_string());
+    match SolverKind::parse(&raw) {
+        Some(kind) => kind,
+        None => {
+            eprintln!("error: --solver must be 'dense', 'sparse' or 'auto', got {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Driver-library selection: `--driver-cache on|off`, with a per-command
 /// default (block-scale commands cache, single-net ones do not).
 fn arg_driver_cache(default_on: bool) -> ModelProviderKind {
@@ -194,7 +221,9 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
             "--nets",
             "--seed",
             "--jobs",
+            "--segments",
             "--backend",
+            "--solver",
             "--driver-cache",
             "--inject",
         ],
@@ -202,6 +231,7 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
     arg_inject();
     let nets = arg_value("--nets", 20usize);
     let seed = arg_value("--seed", 1u64);
+    let segments = arg_value("--segments", BlockConfig::default().segments).max(1);
     let jobs = arg_jobs();
     let tech = Tech::default_180nm();
     let mut cfg = base_config();
@@ -213,9 +243,14 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
     }
     cfg = cfg
         .with_model_provider(arg_driver_cache(true))
-        .with_linear_backend(arg_backend());
+        .with_linear_backend(arg_backend())
+        .with_solver(arg_solver());
     let analyzer = NoiseAnalyzer::with_config(tech, cfg);
-    let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
+    let block_cfg = BlockConfig {
+        segments,
+        ..BlockConfig::default().with_nets(nets)
+    };
+    let block = generate_block(&tech, &block_cfg, seed);
 
     println!(
         "{:>5} {:>12} {:>12} {:>12} {:>10} {:>10}  status",
@@ -290,14 +325,15 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_net() -> Result<(), Box<dyn std::error::Error>> {
     validate_args(
         &["--verbose"],
-        &["--seed", "--id", "--backend", "--driver-cache"],
+        &["--seed", "--id", "--backend", "--solver", "--driver-cache"],
     );
     let seed = arg_value("--seed", 1u64);
     let id = arg_value("--id", 0usize);
     let tech = Tech::default_180nm();
     let cfg = base_config()
         .with_model_provider(arg_driver_cache(false))
-        .with_linear_backend(arg_backend());
+        .with_linear_backend(arg_backend())
+        .with_solver(arg_solver());
     let analyzer = NoiseAnalyzer::with_config(tech, cfg);
     let block = generate_block(&tech, &BlockConfig::default().with_nets(id + 1), seed);
     let spec = &block[id];
@@ -349,6 +385,7 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
             "--margin",
             "--jobs",
             "--backend",
+            "--solver",
             "--driver-cache",
             "--inject",
         ],
@@ -361,7 +398,8 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Tech::default_180nm();
     let cfg = base_config()
         .with_model_provider(arg_driver_cache(true))
-        .with_linear_backend(arg_backend());
+        .with_linear_backend(arg_backend())
+        .with_solver(arg_solver());
     let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
     let mut fails = 0usize;
     let mut failed = 0usize;
@@ -453,6 +491,7 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
             "--store",
             "--max-rounds",
             "--backend",
+            "--solver",
             "--inject",
             "--read-timeout",
             "--write-timeout",
@@ -468,7 +507,9 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
         max_rounds: arg_value("--max-rounds", 20usize),
         store: (!store.is_empty()).then(|| store.into()),
     };
-    let cfg = base_config().with_linear_backend(arg_backend());
+    let cfg = base_config()
+        .with_linear_backend(arg_backend())
+        .with_solver(arg_solver());
     let mut service = DesignService::new(Tech::default_180nm(), cfg, &svc_cfg)?;
     let restored = service.restored();
     if restored.summaries + restored.corners > 0 {

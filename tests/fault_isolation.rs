@@ -103,6 +103,61 @@ fn injected_faults_isolate_to_their_nets_at_every_job_count() {
     }
 }
 
+/// The same k-of-n isolation contract with the sparse factorization path
+/// forced: injection, the recovery ladder, and Degraded/Failed
+/// classification are solver-agnostic, and the untouched nets stay
+/// bit-identical to a clean sparse baseline.
+#[test]
+fn injected_faults_isolate_on_the_sparse_path() {
+    let _guard = FAULT_LOCK.lock().unwrap();
+    fault::disarm();
+    let tech = Tech::default_180nm();
+    let nets = generate_block(&tech, &BlockConfig::default().with_nets(4), 7);
+    let cfg = quick_config().with_solver(clarinox::core::SolverKind::Sparse);
+
+    let baseline = NoiseAnalyzer::with_config(tech, cfg).analyze_block(&nets, 1);
+    assert!(
+        baseline.iter().all(|o| o.is_analyzed()),
+        "clean sparse run must analyze every net without recovery"
+    );
+
+    let plan: FaultPlan = "newton@1:always,newton@3:once,seed=5"
+        .parse()
+        .expect("valid fault spec");
+    for jobs in [1usize, 4] {
+        fault::arm(plan.clone());
+        let injected = NoiseAnalyzer::with_config(tech, cfg).analyze_block(&nets, jobs);
+        fault::disarm();
+
+        assert!(
+            injected[1].is_failed(),
+            "jobs={jobs}: net 1 should be failed, got {}",
+            injected[1].status()
+        );
+        assert!(
+            injected[3].is_degraded(),
+            "jobs={jobs}: net 3 should be degraded, got {}",
+            injected[3].status()
+        );
+        assert!(injected[3].recovery_steps() >= 1);
+
+        for i in [0usize, 2] {
+            assert!(
+                injected[i].is_analyzed(),
+                "jobs={jobs}: healthy net {i} should be analyzed, got {}",
+                injected[i].status()
+            );
+            let b = baseline[i].value().expect("baseline report");
+            let g = injected[i].value().expect("healthy report");
+            assert_eq!(
+                format!("{b:?}"),
+                format!("{g:?}"),
+                "jobs={jobs}: healthy net {i} diverged under injection"
+            );
+        }
+    }
+}
+
 #[test]
 fn conservative_bounds_dominate_simulated_values() {
     let _guard = FAULT_LOCK.lock().unwrap();

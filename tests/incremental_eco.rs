@@ -103,3 +103,57 @@ fn eco_on_one_net_matches_cold_full_rerun_bit_for_bit() {
         full.iterations
     );
 }
+
+/// The warm-start/bit-identity contract holds with the sparse solver
+/// forced: both the ECO pass and the cold reference factor sparsely and
+/// deterministically, so reuse stays exact on that path too.
+#[test]
+fn sparse_eco_matches_sparse_cold_rerun_bit_for_bit() {
+    let tech = Tech::default_180nm();
+    let n = 4;
+    let cfg = quick_config().with_solver(clarinox::core::SolverKind::Sparse);
+    let nets = block_design(&tech, n, 33);
+    let couplings = couplings_for(n);
+
+    let mut resident = IncrementalDesign::new(
+        NoiseAnalyzer::with_config(tech, cfg),
+        nets,
+        couplings.clone(),
+        2,
+    )
+    .expect("valid design");
+    resident.analyze(20).expect("initial analysis converges");
+
+    let edited = n / 2;
+    let mut net = resident.net(edited).clone();
+    net.spec.victim.wire_len *= 1.3;
+    resident.update_net(edited, net).expect("valid edit");
+    let eco = resident.analyze(20).expect("ECO re-analysis converges");
+    assert_eq!(eco.stats.analyzed, 1);
+    assert!(eco.stats.warm_start);
+
+    let edited_nets: Vec<DesignNet> = (0..n).map(|i| resident.net(i).clone()).collect();
+    let mut cold = IncrementalDesign::new(
+        NoiseAnalyzer::with_config(tech, cfg),
+        edited_nets,
+        couplings,
+        2,
+    )
+    .expect("valid design");
+    let full = cold.analyze(20).expect("cold re-run converges");
+
+    for (e, c) in eco.nets.iter().zip(full.nets.iter()) {
+        assert!(
+            e.bits_eq(c),
+            "net {}: sparse incremental summary differs from sparse cold re-run",
+            e.id
+        );
+    }
+    for (e, c) in eco.deltas.iter().zip(full.deltas.iter()) {
+        assert_eq!(e.to_bits(), c.to_bits(), "stage delta differs");
+    }
+    for (e, c) in eco.windows.iter().zip(full.windows.iter()) {
+        assert_eq!(e.early.to_bits(), c.early.to_bits());
+        assert_eq!(e.late.to_bits(), c.late.to_bits());
+    }
+}
