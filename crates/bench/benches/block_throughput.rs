@@ -3,14 +3,116 @@
 //! `N×` the single-job rate (nets are independent and the per-net work is
 //! seconds-scale, so scheduling overhead is negligible); on a single core
 //! the two variants coincide — the parallel path adds no measurable cost.
+//!
+//! The harness first runs a steady-state allocation assertion: the
+//! transient stepping loop must perform no per-step allocation once a
+//! reused [`EngineScratch`] is warm (the sparse solver's permutation
+//! scratch is caller-owned, not re-allocated per solve). The assertion
+//! compares allocation counts of warm runs with different step counts —
+//! per-step allocation would scale the count with steps by thousands,
+//! while the allocation-free loop only pays the output's amortized
+//! growth.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use clarinox_cells::Tech;
+use clarinox_circuit::engine::{EngineScratch, TransientEngine};
+use clarinox_circuit::netlist::{Circuit, SourceWave};
+use clarinox_circuit::solver::SolverKind;
+use clarinox_circuit::transient::TransientSpec;
 use clarinox_core::analysis::NoiseAnalyzer;
 use clarinox_core::config::AnalyzerConfig;
 use clarinox_netgen::generate::{generate_block, BlockConfig};
+use clarinox_waveform::Pwl;
+
+/// System allocator with a process-wide allocation counter, so the
+/// steady-state assertion can observe the hot loop from outside.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// An RC ladder long enough to take the sparse factorization path;
+/// returns the circuit and its far-end node.
+fn ladder_circuit(sections: usize) -> (Circuit, clarinox_circuit::netlist::NodeId) {
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::ground();
+    let src = ckt.node("src");
+    ckt.add_vsource(
+        src,
+        gnd,
+        SourceWave::Pwl(Pwl::ramp(0.2e-9, 100e-12, 0.0, 1.8).unwrap()),
+    )
+    .unwrap();
+    let mut prev = src;
+    for i in 0..sections {
+        let node = ckt.node(&format!("n{i}"));
+        ckt.add_resistor(prev, node, 50.0).unwrap();
+        ckt.add_capacitor(node, gnd, 5e-15).unwrap();
+        prev = node;
+    }
+    (ckt, prev)
+}
+
+/// Warm runs must not allocate per step: compares a 1 ns and a 3 ns run of
+/// the same sparse-path ladder through one reused scratch. The 2000 extra
+/// steps may only add the output's amortized growth (a few dozen
+/// allocations), nowhere near one-per-solve.
+fn assert_steady_state_stepping_is_allocation_free() {
+    let (ckt, probe) = ladder_circuit(96);
+    let short_spec = TransientSpec::new(1e-9, 1e-12).unwrap();
+    let long_spec = TransientSpec::new(3e-9, 1e-12).unwrap();
+    let short = TransientEngine::with_solver(&ckt, &short_spec, SolverKind::Sparse, None).unwrap();
+    let long = TransientEngine::with_solver(&ckt, &long_spec, SolverKind::Sparse, None).unwrap();
+    assert!(short.uses_sparse() && long.uses_sparse());
+    let mut ws = EngineScratch::new();
+    // Warm-up: sizes every scratch buffer for the larger run.
+    long.run_with_scratch(&ckt, &[probe], &mut ws).unwrap();
+    short.run_with_scratch(&ckt, &[probe], &mut ws).unwrap();
+
+    let before_short = allocations();
+    short.run_with_scratch(&ckt, &[probe], &mut ws).unwrap();
+    let short_allocs = allocations() - before_short;
+    let before_long = allocations();
+    long.run_with_scratch(&ckt, &[probe], &mut ws).unwrap();
+    let long_allocs = allocations() - before_long;
+
+    let extra_steps = 2000u64;
+    assert!(
+        long_allocs < short_allocs + extra_steps / 10,
+        "stepping loop allocates per step: {short_allocs} allocations over 1000 steps vs \
+         {long_allocs} over 3000"
+    );
+    println!(
+        "allocation check OK: warm runs allocated {short_allocs} (1000 steps) / \
+         {long_allocs} (3000 steps)"
+    );
+}
 
 fn bench_block_throughput(c: &mut Criterion) {
     let tech = Tech::default_180nm();
@@ -42,4 +144,11 @@ fn bench_block_throughput(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_block_throughput);
-criterion_main!(benches);
+
+fn main() {
+    // Cargo passes harness flags (--bench, filters); accept and ignore
+    // them for compatibility, like criterion_main! does.
+    let _args: Vec<String> = std::env::args().collect();
+    assert_steady_state_stepping_is_allocation_free();
+    benches();
+}

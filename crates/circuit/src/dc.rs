@@ -2,9 +2,10 @@
 
 use crate::mna::MnaSystem;
 use crate::netlist::{Circuit, NodeId};
-use crate::solver::SolverKind;
+use crate::solver::{SolverKind, SymbolicCache};
 use crate::Result;
-use clarinox_numeric::sparse::{SparseLu, Symbolic};
+use clarinox_numeric::sparse::Symbolic;
+use std::sync::Arc;
 
 /// DC solution of a linear circuit.
 #[derive(Debug, Clone)]
@@ -47,18 +48,42 @@ pub fn solve_dc(circuit: &Circuit) -> Result<DcSolution> {
 /// As [`solve_dc`]; the sparse and dense paths report the same
 /// [`crate::CircuitError::Solve`] classification for singular systems.
 pub fn solve_dc_with_solver(circuit: &Circuit, kind: SolverKind) -> Result<DcSolution> {
+    solve_dc_with_solver_cached(circuit, kind, None)
+}
+
+/// Solves the DC operating point with an optional shared [`SymbolicCache`].
+///
+/// Both factorization paths run through the GMIN continuation ladder
+/// ([`crate::recover`]), and on the sparse path a single symbolic analysis —
+/// fetched from `cache` when provided — is reused across every continuation
+/// rung instead of being re-analyzed per attempt.
+///
+/// # Errors
+///
+/// As [`solve_dc_with_solver`]; a system that stays singular through the full
+/// GMIN ladder reports the underlying solver error.
+pub fn solve_dc_with_solver_cached(
+    circuit: &Circuit,
+    kind: SolverKind,
+    cache: Option<&SymbolicCache>,
+) -> Result<DcSolution> {
     let system = MnaSystem::assemble(circuit)?;
     let mut b = vec![0.0; system.dim()];
     system.rhs_at(circuit, 0.0, &mut b);
     let x = if kind.use_sparse(system.dim()) {
-        crate::profile::record_sparse_symbolic();
-        let sym = Symbolic::analyze(system.pattern())?;
-        let glu = SparseLu::factor(system.g_sparse(), &sym)?;
-        crate::profile::record_sparse_factor(system.pattern().nnz(), glu.fill_nnz());
+        let sym: Arc<Symbolic> = match cache {
+            Some(cache) => cache.analysis_for(system.pattern())?,
+            None => {
+                crate::profile::record_sparse_symbolic();
+                Arc::new(Symbolic::analyze(system.pattern())?)
+            }
+        };
+        let glu =
+            crate::recover::sparse_lu_with_gmin(system.g_sparse(), &sym, system.node_unknowns())?;
         crate::profile::record_lu();
         glu.solve(&b)?
     } else {
-        let glu = system.g().lu()?;
+        let glu = crate::recover::lu_with_gmin(system.g(), system.node_unknowns())?;
         crate::profile::record_lu();
         glu.solve(&b)?
     };
@@ -94,6 +119,46 @@ mod tests {
         c.add_isource(g, a, SourceWave::Dc(1e-3)).unwrap();
         let dc = solve_dc(&c).unwrap();
         assert!((dc.voltage(a) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cached_symbolic_is_shared_across_dc_solves() {
+        let build = |r: f64| {
+            let mut c = Circuit::new();
+            let inp = c.node("in");
+            let mid = c.node("mid");
+            let g = Circuit::ground();
+            c.add_vsource(inp, g, SourceWave::Dc(2.0)).unwrap();
+            c.add_resistor(inp, mid, r).unwrap();
+            c.add_resistor(mid, g, 3000.0).unwrap();
+            c
+        };
+        let cache = SymbolicCache::new();
+        let a =
+            solve_dc_with_solver_cached(&build(1000.0), SolverKind::Sparse, Some(&cache)).unwrap();
+        let b =
+            solve_dc_with_solver_cached(&build(2000.0), SolverKind::Sparse, Some(&cache)).unwrap();
+        // Same sparsity pattern: one analysis serves both solves.
+        assert_eq!(cache.len(), 1);
+        let mid = build(1000.0).node("mid");
+        assert!((a.voltage(mid) - 1.5).abs() < 1e-6);
+        assert!((b.voltage(mid) - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_and_dense_dc_agree_through_gmin_path() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let mid = c.node("mid");
+        let g = Circuit::ground();
+        c.add_vsource(inp, g, SourceWave::Dc(1.0)).unwrap();
+        c.add_resistor(inp, mid, 500.0).unwrap();
+        c.add_capacitor(mid, g, 1e-12).unwrap();
+        let dense = solve_dc_with_solver(&c, SolverKind::Dense).unwrap();
+        let sparse = solve_dc_with_solver(&c, SolverKind::Sparse).unwrap();
+        for (d, s) in dense.unknowns().iter().zip(sparse.unknowns()) {
+            assert!((d - s).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -40,7 +40,13 @@ use clarinox_waveform::Pwl;
 /// the sign of zero).
 #[derive(Debug, Clone)]
 struct SparseRows {
-    rows: Vec<Vec<(usize, f64)>>,
+    // Flat CSR: one contiguous index/value stream instead of a `Vec` per
+    // row — the product is a linear walk with no per-row pointer chase,
+    // which is what keeps the per-step `G x` / `C x` products from
+    // dominating the transient loop at ladder scale.
+    row_ptr: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
 }
 
 impl SparseRows {
@@ -56,16 +62,21 @@ impl SparseRows {
                 }
             }
         }
-        SparseRows { rows }
-    }
-
-    fn mul_into(&self, x: &[f64], out: &mut [f64]) {
-        for (row, o) in self.rows.iter().zip(out.iter_mut()) {
-            let mut acc = 0.0;
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for row in &rows {
             for &(j, v) in row {
-                acc += v * x[j];
+                cols.push(j);
+                vals.push(v);
             }
-            *o = acc;
+            row_ptr.push(cols.len());
+        }
+        SparseRows {
+            row_ptr,
+            cols,
+            vals,
         }
     }
 }
@@ -87,6 +98,80 @@ enum EngineSolver {
         lu: SparseLu,
         dc_lu: Option<SparseLu>,
     },
+}
+
+/// Reusable workspace for [`TransientEngine::run_with_scratch`] and
+/// [`TransientEngine::run_batch_with_scratch`]: every per-step vector and
+/// RHS panel the stepping loop needs, grown on first use and reused
+/// across runs so the hot loop performs no allocation at all.
+///
+/// One scratch serves engines of any dimension and batch width — buffers
+/// are resized (never shrunk below capacity) at the start of each run.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    /// Solution state; a `dim * width` *interleaved* panel when batched
+    /// (`x[i * width + j]` is unknown `i` of circuit `j`).
+    x: Vec<f64>,
+    /// Sparse-solver permutation arena (panel-sized when batched).
+    arena: Vec<f64>,
+    b_prev: Vec<f64>,
+    b_now: Vec<f64>,
+    rhs: Vec<f64>,
+    /// Per-row accumulators for the fused `C x` / `G x` products
+    /// (`width` values each — one partial sum per panel column).
+    cx: Vec<f64>,
+    gx: Vec<f64>,
+    /// Column-major staging panels for the dense solver, which takes
+    /// column-major RHS blocks.
+    tmp: Vec<f64>,
+    tmp2: Vec<f64>,
+}
+
+impl EngineScratch {
+    /// An empty workspace; buffers grow on first run.
+    pub fn new() -> Self {
+        EngineScratch::default()
+    }
+
+    /// Sizes the excitation panels and per-row accumulators for a
+    /// `dim`-unknown system with a `width`-column RHS panel, zeroing the
+    /// excitation panels — the stepping loop only ever writes the source
+    /// rows, every other panel position must stay zero. (`x`, `arena` and
+    /// the dense staging panels are sized by their uses.)
+    fn ensure(&mut self, dim: usize, width: usize) {
+        for v in [&mut self.b_prev, &mut self.b_now, &mut self.rhs] {
+            v.clear();
+            v.resize(dim * width, 0.0);
+        }
+        for v in [&mut self.cx, &mut self.gx] {
+            v.clear();
+            v.resize(width, 0.0);
+        }
+    }
+}
+
+/// De-interleaves `panel` (`dim * width`, `[i * width + j]`) into the
+/// column-major layout (`[j * dim + i]`) the dense block solver takes.
+fn deinterleave(panel: &[f64], dim: usize, width: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(dim * width, 0.0);
+    for (i, row) in panel.chunks_exact(width).enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            out[j * dim + i] = v;
+        }
+    }
+}
+
+/// Inverse of [`deinterleave`]: packs a column-major panel back into the
+/// interleaved layout.
+fn interleave(cm: &[f64], dim: usize, width: usize, out: &mut Vec<f64>) {
+    out.clear();
+    out.resize(dim * width, 0.0);
+    for (i, row) in out.chunks_exact_mut(width).enumerate() {
+        for (j, d) in row.iter_mut().enumerate() {
+            *d = cm[j * dim + i];
+        }
+    }
 }
 
 /// A transient solver bound to one circuit topology and timestep, reusable
@@ -249,78 +334,253 @@ impl TransientEngine {
     /// [`CircuitError::InvalidSpec`] on topology mismatch, solver errors
     /// otherwise.
     pub fn run(&self, circuit: &Circuit, probes: &[NodeId]) -> Result<Vec<Pwl>> {
-        self.check_compatible(circuit)?;
+        self.run_with_scratch(circuit, probes, &mut EngineScratch::new())
+    }
+
+    /// As [`run`](TransientEngine::run), but stepping through a
+    /// caller-owned [`EngineScratch`] so repeated runs (per-aggressor
+    /// sweeps, alignment probes) reuse one set of buffers instead of
+    /// reallocating per call. Results are bit-identical to `run`.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](TransientEngine::run).
+    pub fn run_with_scratch(
+        &self,
+        circuit: &Circuit,
+        probes: &[NodeId],
+        ws: &mut EngineScratch,
+    ) -> Result<Vec<Pwl>> {
+        let mut out = self.run_batch_with_scratch(&[circuit], probes, ws)?;
+        Ok(out.remove(0))
+    }
+
+    /// Runs the transient for several source configurations of the same
+    /// topology in lockstep, submitting one RHS panel (one column per
+    /// circuit) to the blocked solver each timestep instead of one vector
+    /// solve per circuit per step. Factor values and indices are then
+    /// loaded once per step for the whole batch — the multi-RHS
+    /// amortization the superposition sweep is shaped for.
+    ///
+    /// Returns one `Vec<Pwl>` (one waveform per probe) per input circuit.
+    /// Each circuit's result is bit-for-bit identical to a standalone
+    /// [`run`](TransientEngine::run) on that circuit: the per-column
+    /// arithmetic of the panel solve matches the single-RHS path exactly,
+    /// and every other per-step operation is already per-column.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidSpec`] if any circuit's topology differs
+    /// from the construction circuit, solver errors otherwise.
+    pub fn run_batch(&self, circuits: &[&Circuit], probes: &[NodeId]) -> Result<Vec<Vec<Pwl>>> {
+        self.run_batch_with_scratch(circuits, probes, &mut EngineScratch::new())
+    }
+
+    /// As [`run_batch`](TransientEngine::run_batch) with a caller-owned
+    /// workspace (see [`run_with_scratch`](TransientEngine::run_with_scratch)).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_batch`](TransientEngine::run_batch).
+    pub fn run_batch_with_scratch(
+        &self,
+        circuits: &[&Circuit],
+        probes: &[NodeId],
+        ws: &mut EngineScratch,
+    ) -> Result<Vec<Vec<Pwl>>> {
+        for circuit in circuits {
+            self.check_compatible(circuit)?;
+        }
+        let width = circuits.len();
+        if width == 0 {
+            return Ok(Vec::new());
+        }
         let dim = self.system.dim();
         let h = self.spec.dt;
         let steps = self.spec.steps();
-        let mut scratch = vec![0.0; dim];
+        ws.ensure(dim, width);
 
-        let mut x = match &self.solver {
+        // Every panel in the loop is interleaved: `panel[i * width + j]`
+        // is unknown `i` of circuit `j`, so the `width` values of one
+        // unknown share a cache line. The excitation panels were zeroed by
+        // `ensure`; `rhs_at_strided` only ever touches the source rows, so
+        // each column always holds exactly the vector `rhs_at` would
+        // produce.
+
+        // DC initialization: one blocked solve over the t=0 excitation
+        // panel (per column identical to the single-RHS DC solve).
+        let dc_solved = match &self.solver {
             EngineSolver::Dense {
                 dc_lu: Some(glu), ..
             } => {
-                let mut b0 = vec![0.0; dim];
-                self.system.rhs_at(circuit, 0.0, &mut b0);
-                glu.solve(&b0)?
+                for (j, circuit) in circuits.iter().enumerate() {
+                    self.system
+                        .rhs_at_strided(circuit, 0.0, &mut ws.b_now, width, j);
+                }
+                deinterleave(&ws.b_now, dim, width, &mut ws.tmp);
+                glu.solve_block_into(&ws.tmp, width, &mut ws.tmp2)?;
+                interleave(&ws.tmp2, dim, width, &mut ws.x);
+                true
             }
             EngineSolver::Sparse {
                 dc_lu: Some(glu), ..
             } => {
-                let mut b0 = vec![0.0; dim];
-                self.system.rhs_at(circuit, 0.0, &mut b0);
-                glu.solve(&b0)?
+                for (j, circuit) in circuits.iter().enumerate() {
+                    self.system
+                        .rhs_at_strided(circuit, 0.0, &mut ws.b_now, width, j);
+                }
+                glu.solve_block_interleaved_into(&ws.b_now, width, &mut ws.x, &mut ws.arena)?;
+                true
             }
-            _ => vec![0.0; dim],
+            _ => {
+                ws.x.clear();
+                ws.x.resize(dim * width, 0.0);
+                false
+            }
         };
 
         let probe_idx: Vec<Option<usize>> =
             probes.iter().map(|&n| self.system.node_index(n)).collect();
         let mut times = Vec::with_capacity(steps + 1);
-        let mut traces: Vec<Vec<f64>> = probes
-            .iter()
-            .map(|_| Vec::with_capacity(steps + 1))
+        // Traces are per circuit, then per probe.
+        let mut traces: Vec<Vec<Vec<f64>>> = (0..width)
+            .map(|_| {
+                probes
+                    .iter()
+                    .map(|_| Vec::with_capacity(steps + 1))
+                    .collect()
+            })
             .collect();
-        let record = |x: &[f64], traces: &mut Vec<Vec<f64>>| {
-            for (trace, &pi) in traces.iter_mut().zip(&probe_idx) {
-                trace.push(pi.map_or(0.0, |i| x[i]));
+        let record = |x: &[f64], traces: &mut Vec<Vec<Vec<f64>>>| {
+            for (j, per_circuit) in traces.iter_mut().enumerate() {
+                for (trace, &pi) in per_circuit.iter_mut().zip(&probe_idx) {
+                    trace.push(pi.map_or(0.0, |i| x[i * width + j]));
+                }
             }
         };
         times.push(0.0);
-        record(&x, &mut traces);
+        record(&ws.x, &mut traces);
 
-        let mut b_prev = vec![0.0; dim];
-        self.system.rhs_at(circuit, 0.0, &mut b_prev);
-        let mut b_now = vec![0.0; dim];
-        let mut rhs = vec![0.0; dim];
-        let mut cx = vec![0.0; dim];
-        let mut gx = vec![0.0; dim];
+        for (j, circuit) in circuits.iter().enumerate() {
+            self.system
+                .rhs_at_strided(circuit, 0.0, &mut ws.b_prev, width, j);
+        }
 
+        let c_rows = &self.c_sparse;
+        let g_rows = &self.g_sparse;
         for k in 1..=steps {
             let t = (k as f64) * h;
-            self.system.rhs_at(circuit, t, &mut b_now);
-            self.c_sparse.mul_into(&x, &mut cx);
-            if self.trapezoidal {
-                self.g_sparse.mul_into(&x, &mut gx);
-                for i in 0..dim {
-                    rhs[i] = b_now[i] + b_prev[i] - gx[i] + self.alpha * cx[i];
-                }
-            } else {
-                for i in 0..dim {
-                    rhs[i] = b_now[i] + self.alpha * cx[i];
+            for (j, circuit) in circuits.iter().enumerate() {
+                self.system
+                    .rhs_at_strided(circuit, t, &mut ws.b_now, width, j);
+            }
+            // Fused RHS build: one row-major sweep computes the `C x` and
+            // `G x` partial sums for all panel columns and combines them
+            // in place. Matrix indices and values are read once per step
+            // for the whole batch; per column the accumulation order and
+            // the combining expression match the single-RHS formula
+            // exactly, so results stay bit-identical at any width.
+            //
+            // Borrowing each workspace field once up front gives the
+            // optimizer disjoint slices instead of repeated projections
+            // through the scratch struct (whose heap buffers it must
+            // otherwise assume may alias).
+            {
+                let x: &[f64] = &ws.x;
+                let rhs: &mut [f64] = &mut ws.rhs;
+                let b_now: &[f64] = &ws.b_now;
+                let b_prev: &[f64] = &ws.b_prev;
+                if width == 1 {
+                    // Scalar fast path: keeps the per-entry work
+                    // register-only instead of round-tripping width-1
+                    // slices.
+                    for (r, out) in rhs.iter_mut().enumerate() {
+                        let mut cx = 0.0;
+                        for idx in c_rows.row_ptr[r]..c_rows.row_ptr[r + 1] {
+                            cx += c_rows.vals[idx] * x[c_rows.cols[idx]];
+                        }
+                        *out = if self.trapezoidal {
+                            let mut gx = 0.0;
+                            for idx in g_rows.row_ptr[r]..g_rows.row_ptr[r + 1] {
+                                gx += g_rows.vals[idx] * x[g_rows.cols[idx]];
+                            }
+                            b_now[r] + b_prev[r] - gx + self.alpha * cx
+                        } else {
+                            b_now[r] + self.alpha * cx
+                        };
+                    }
+                } else {
+                    let cxr: &mut [f64] = &mut ws.cx[..width];
+                    let gxr: &mut [f64] = &mut ws.gx[..width];
+                    for (r, out) in rhs.chunks_exact_mut(width).enumerate() {
+                        cxr.fill(0.0);
+                        for idx in c_rows.row_ptr[r]..c_rows.row_ptr[r + 1] {
+                            let v = c_rows.vals[idx];
+                            let xrow = &x[c_rows.cols[idx] * width..][..width];
+                            for (a, &xv) in cxr.iter_mut().zip(xrow) {
+                                *a += v * xv;
+                            }
+                        }
+                        let bn = &b_now[r * width..][..width];
+                        if self.trapezoidal {
+                            gxr.fill(0.0);
+                            for idx in g_rows.row_ptr[r]..g_rows.row_ptr[r + 1] {
+                                let v = g_rows.vals[idx];
+                                let xrow = &x[g_rows.cols[idx] * width..][..width];
+                                for (a, &xv) in gxr.iter_mut().zip(xrow) {
+                                    *a += v * xv;
+                                }
+                            }
+                            let bp = &b_prev[r * width..][..width];
+                            for (q, o) in out.iter_mut().enumerate() {
+                                *o = bn[q] + bp[q] - gxr[q] + self.alpha * cxr[q];
+                            }
+                        } else {
+                            for (q, o) in out.iter_mut().enumerate() {
+                                *o = bn[q] + self.alpha * cxr[q];
+                            }
+                        }
+                    }
                 }
             }
             match &self.solver {
-                EngineSolver::Dense { lu, .. } => lu.solve_into(&rhs, &mut x)?,
-                EngineSolver::Sparse { lu, .. } => lu.solve_into(&rhs, &mut x, &mut scratch)?,
+                EngineSolver::Dense { lu, .. } => {
+                    if width == 1 {
+                        lu.solve_block_into(&ws.rhs, width, &mut ws.x)?;
+                    } else {
+                        deinterleave(&ws.rhs, dim, width, &mut ws.tmp);
+                        lu.solve_block_into(&ws.tmp, width, &mut ws.tmp2)?;
+                        interleave(&ws.tmp2, dim, width, &mut ws.x);
+                    }
+                }
+                EngineSolver::Sparse { lu, .. } => {
+                    if width == 1 {
+                        lu.solve_into(&ws.rhs, &mut ws.x, &mut ws.arena)?;
+                    } else {
+                        lu.solve_block_interleaved_into(&ws.rhs, width, &mut ws.x, &mut ws.arena)?;
+                    }
+                }
             }
             times.push(t);
-            record(&x, &mut traces);
-            std::mem::swap(&mut b_prev, &mut b_now);
+            record(&ws.x, &mut traces);
+            std::mem::swap(&mut ws.b_prev, &mut ws.b_now);
+        }
+
+        // Width-1 runs go through the same panel kernel but are not
+        // "batched" work; only real panels feed the batch counters.
+        if width > 1 {
+            let panel_solves = steps as u64 + u64::from(dc_solved);
+            crate::profile::record_batch_panels(panel_solves, panel_solves * width as u64, width);
         }
 
         traces
             .into_iter()
-            .map(|vs| Ok(Pwl::from_samples(&times, &vs)?))
+            .map(|per_circuit| {
+                per_circuit
+                    .into_iter()
+                    .map(|vs| Ok(Pwl::from_samples(&times, &vs)?))
+                    .collect()
+            })
             .collect()
     }
 }
@@ -395,6 +655,54 @@ mod tests {
             0,
             "run() must not refactor"
         );
+    }
+
+    #[test]
+    fn run_batch_is_bitwise_identical_to_serial_runs() {
+        let (ckt, a, v, va) = coupled_pair();
+        let spec = TransientSpec::new(3e-9, 2e-12).unwrap();
+        let engine = TransientEngine::new(&ckt, &spec).unwrap();
+        let variants: Vec<Circuit> = [0.4e-9, 0.7e-9, 1.1e-9]
+            .iter()
+            .map(|&start| {
+                let mut c = ckt.clone();
+                c.set_vsource_wave(
+                    va,
+                    SourceWave::Pwl(Pwl::ramp(start, 100e-12, 0.0, 1.8).unwrap()),
+                )
+                .unwrap();
+                c
+            })
+            .collect();
+        let refs: Vec<&Circuit> = variants.iter().collect();
+        crate::profile::reset_batch_counters();
+        let batched = engine.run_batch(&refs, &[a, v]).unwrap();
+        assert_eq!(batched.len(), 3);
+        assert!(crate::profile::batch_runs() >= 1);
+        assert!(crate::profile::batch_panel_solves() > 0);
+        assert_eq!(crate::profile::batch_max_width(), 3);
+        for (c, batch_traces) in variants.iter().zip(&batched) {
+            let serial = engine.run(c, &[a, v]).unwrap();
+            for (b, s) in batch_traces.iter().zip(&serial) {
+                assert_eq!(b.points().len(), s.points().len());
+                for (pb, ps) in b.points().iter().zip(s.points()) {
+                    assert_eq!(pb.0.to_bits(), ps.0.to_bits());
+                    assert_eq!(pb.1.to_bits(), ps.1.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_handles_empty_and_mismatched_input() {
+        let (ckt, _a, v, _va) = coupled_pair();
+        let spec = TransientSpec::new(1e-9, 2e-12).unwrap();
+        let engine = TransientEngine::new(&ckt, &spec).unwrap();
+        assert!(engine.run_batch(&[], &[v]).unwrap().is_empty());
+        let mut other = ckt.clone();
+        let x = other.node("extra");
+        other.add_resistor(x, Circuit::ground(), 50.0).unwrap();
+        assert!(engine.run_batch(&[&ckt, &other], &[v]).is_err());
     }
 
     #[test]

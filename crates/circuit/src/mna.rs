@@ -42,6 +42,9 @@ pub struct MnaSystem {
     vsources: Vec<(usize, usize)>,
     /// Element indices of current sources.
     isources: Vec<usize>,
+    /// Sorted, deduplicated rows any source can write — the only rows
+    /// `b(t)` is ever nonzero at (see [`MnaSystem::rhs_rows`]).
+    rhs_rows: Vec<usize>,
 }
 
 impl MnaSystem {
@@ -90,6 +93,19 @@ impl MnaSystem {
                 Element::Isource { .. } => isources.push(ei),
             }
         }
+        let mut rhs_rows: Vec<usize> = vsources.iter().map(|&(row, _)| row).collect();
+        for &ei in &isources {
+            if let Element::Isource { from, into, .. } = &circuit.elements()[ei] {
+                if let Some(p) = idx(*into) {
+                    rhs_rows.push(p);
+                }
+                if let Some(n) = idx(*from) {
+                    rhs_rows.push(n);
+                }
+            }
+        }
+        rhs_rows.sort_unstable();
+        rhs_rows.dedup();
         // One union pattern for G and C, so companions `G + αC` are an
         // entrywise combination and a single symbolic analysis covers
         // every matrix of the topology.
@@ -109,6 +125,7 @@ impl MnaSystem {
             node_unknowns,
             vsources,
             isources,
+            rhs_rows,
         })
     }
 
@@ -187,6 +204,62 @@ impl MnaSystem {
                     }
                     if let Some(n) = idx(*from) {
                         out[n] -= i;
+                    }
+                }
+                _ => panic!("element {ei} is not the expected isource"),
+            }
+        }
+    }
+
+    /// The sorted, deduplicated unknown rows `b(t)` can be nonzero at:
+    /// voltage-source branch rows plus current-source terminal nodes.
+    /// Every other row of the excitation is identically zero for all `t`.
+    pub fn rhs_rows(&self) -> &[usize] {
+        &self.rhs_rows
+    }
+
+    /// As [`rhs_at`](MnaSystem::rhs_at), but writing column `offset` of an
+    /// interleaved RHS panel: row `r`'s value lands at
+    /// `out[r * stride + offset]`. Only the rows in
+    /// [`rhs_rows`](MnaSystem::rhs_rows) are touched (zeroed, then
+    /// written); the caller keeps all other panel positions at zero, so
+    /// each column holds exactly the vector `rhs_at` would have produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= stride`, `out.len() != dim * stride`, or the
+    /// circuit's element list no longer matches the assembly.
+    pub fn rhs_at_strided(
+        &self,
+        circuit: &Circuit,
+        t: f64,
+        out: &mut [f64],
+        stride: usize,
+        offset: usize,
+    ) {
+        assert!(
+            offset < stride,
+            "panel column {offset} outside stride {stride}"
+        );
+        assert_eq!(out.len(), self.dim * stride, "rhs panel has wrong length");
+        for &row in &self.rhs_rows {
+            out[row * stride + offset] = 0.0;
+        }
+        for &(row, ei) in &self.vsources {
+            match &circuit.elements()[ei] {
+                Element::Vsource { wave, .. } => out[row * stride + offset] = wave.value(t),
+                _ => panic!("element {ei} is not the expected vsource"),
+            }
+        }
+        for &ei in &self.isources {
+            match &circuit.elements()[ei] {
+                Element::Isource { from, into, wave } => {
+                    let i = wave.value(t);
+                    if let Some(p) = idx(*into) {
+                        out[p * stride + offset] += i;
+                    }
+                    if let Some(n) = idx(*from) {
+                        out[n * stride + offset] -= i;
                     }
                 }
                 _ => panic!("element {ei} is not the expected isource"),

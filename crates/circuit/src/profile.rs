@@ -184,6 +184,53 @@ pub fn reset_sparse_counters() {
     SPARSE_MAX_FILL_NNZ.store(0, Ordering::Relaxed);
 }
 
+static BATCH_PANEL_SOLVES: AtomicU64 = AtomicU64::new(0);
+static BATCH_PANEL_COLUMNS: AtomicU64 = AtomicU64::new(0);
+static BATCH_MAX_WIDTH: AtomicU64 = AtomicU64::new(0);
+static BATCH_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one batched engine run: `solves` blocked panel solves covering
+/// `columns` RHS columns in total, at a panel width of `width` circuits.
+/// Width-1 runs are not recorded — these counters measure how much work
+/// actually went through the multi-RHS path.
+pub fn record_batch_panels(solves: u64, columns: u64, width: usize) {
+    BATCH_RUNS.fetch_add(1, Ordering::Relaxed);
+    BATCH_PANEL_SOLVES.fetch_add(solves, Ordering::Relaxed);
+    BATCH_PANEL_COLUMNS.fetch_add(columns, Ordering::Relaxed);
+    BATCH_MAX_WIDTH.fetch_max(width as u64, Ordering::Relaxed);
+}
+
+/// Batched engine runs (each covering a whole transient) since process
+/// start (or the last reset).
+pub fn batch_runs() -> u64 {
+    BATCH_RUNS.load(Ordering::Relaxed)
+}
+
+/// Blocked multi-RHS panel solves since process start (or the last reset).
+pub fn batch_panel_solves() -> u64 {
+    BATCH_PANEL_SOLVES.load(Ordering::Relaxed)
+}
+
+/// Total RHS columns carried by those panel solves — the panel-fill
+/// numerator: `batch_panel_columns / batch_panel_solves` is the average
+/// panel width actually achieved.
+pub fn batch_panel_columns() -> u64 {
+    BATCH_PANEL_COLUMNS.load(Ordering::Relaxed)
+}
+
+/// Widest RHS panel submitted since process start (or the last reset).
+pub fn batch_max_width() -> u64 {
+    BATCH_MAX_WIDTH.load(Ordering::Relaxed)
+}
+
+/// Resets every batch counter and gauge to zero.
+pub fn reset_batch_counters() {
+    BATCH_RUNS.store(0, Ordering::Relaxed);
+    BATCH_PANEL_SOLVES.store(0, Ordering::Relaxed);
+    BATCH_PANEL_COLUMNS.store(0, Ordering::Relaxed);
+    BATCH_MAX_WIDTH.store(0, Ordering::Relaxed);
+}
+
 /// Recovery attempts recorded *on the calling thread* since it started.
 ///
 /// Block workers read this before and after a net's analysis; the delta is
@@ -238,6 +285,17 @@ mod tests {
         assert!(sparse_refactors() >= 1);
         assert!(sparse_max_nnz_a() >= 120);
         assert!(sparse_max_fill_nnz() >= 150);
+    }
+
+    #[test]
+    fn batch_counters_accumulate_and_gauge() {
+        reset_batch_counters();
+        record_batch_panels(100, 400, 4);
+        record_batch_panels(50, 100, 2);
+        assert!(batch_runs() >= 2);
+        assert!(batch_panel_solves() >= 150);
+        assert!(batch_panel_columns() >= 500);
+        assert!(batch_max_width() >= 4);
     }
 
     #[test]

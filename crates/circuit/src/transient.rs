@@ -146,7 +146,7 @@ impl TransientResult {
 /// crossover, sparse at or above it.
 enum SimLu {
     Dense(clarinox_numeric::matrix::LuFactors),
-    Sparse(clarinox_numeric::sparse::SparseLu),
+    Sparse(Box<clarinox_numeric::sparse::SparseLu>),
 }
 
 impl SimLu {
@@ -198,11 +198,11 @@ pub fn simulate_with_solver(
         let mut b0 = vec![0.0; dim];
         system.rhs_at(circuit, 0.0, &mut b0);
         let glu = match &symbolic {
-            Some(sym) => SimLu::Sparse(crate::recover::sparse_lu_with_gmin(
+            Some(sym) => SimLu::Sparse(Box::new(crate::recover::sparse_lu_with_gmin(
                 system.g_sparse(),
                 sym,
                 system.node_unknowns(),
-            )?),
+            )?)),
             None => SimLu::Dense(crate::recover::lu_with_gmin(
                 system.g(),
                 system.node_unknowns(),
@@ -224,11 +224,11 @@ pub fn simulate_with_solver(
         Some(sym) => {
             let companion = system.g_sparse().add_scaled(system.c_sparse(), alpha)?;
             crate::profile::record_sparse_reuse_hit();
-            SimLu::Sparse(crate::recover::sparse_lu_with_gmin(
+            SimLu::Sparse(Box::new(crate::recover::sparse_lu_with_gmin(
                 &companion,
                 sym,
                 system.node_unknowns(),
-            )?)
+            )?))
         }
         None => {
             let companion = system.g().add_scaled(system.c(), alpha)?;

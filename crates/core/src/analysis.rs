@@ -289,8 +289,19 @@ impl NoiseAnalyzer {
             noises_drv.clear();
             let mut valid: Vec<NoisePulse> = Vec::new();
             let mut valid_idx: Vec<usize> = Vec::new();
-            for i in 0..spec.aggressors.len() {
-                let noise = lin.aggressor_noise(i, AGG_REF_START)?;
+            // One canonical simulation per aggressor: batched as a single
+            // multi-RHS panel when the policy allows (bit-identical to the
+            // serial path), one solve per aggressor otherwise.
+            let n_agg = spec.aggressors.len();
+            let agg_noises = if cfg.batch.use_batch(n_agg) {
+                let jobs: Vec<(usize, f64)> = (0..n_agg).map(|i| (i, AGG_REF_START)).collect();
+                lin.aggressor_noise_batch(&jobs)?
+            } else {
+                (0..n_agg)
+                    .map(|i| lin.aggressor_noise(i, AGG_REF_START))
+                    .collect::<Result<Vec<_>>>()?
+            };
+            for (i, noise) in agg_noises.into_iter().enumerate() {
                 let pulse = NoisePulse::from_waveform(noise.at_victim_rcv.clone())
                     .ok()
                     .filter(|p| p.height >= MIN_PULSE_HEIGHT);

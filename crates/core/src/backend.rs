@@ -66,6 +66,25 @@ pub trait LinearBackend: std::fmt::Debug + Send + Sync {
     /// Preparation (factorization/reduction) or simulation failures.
     fn simulate(&self, slot: usize, source: &Pwl, victim_r: f64) -> Result<DriverSimResult>;
 
+    /// Simulates several configurations that share one holding
+    /// configuration (same `victim_r`), returning one result per `(slot,
+    /// source)` job in order.
+    ///
+    /// The default loops [`Self::simulate`]; backends with a multi-RHS
+    /// solve path (notably [`FullMna`] via
+    /// [`TransientEngine::run_batch`]) override it to step every job
+    /// through one RHS panel per timestep. Overrides must stay
+    /// bit-identical to the serial loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::simulate`]; the first failing job aborts the batch.
+    fn simulate_batch(&self, jobs: &[(usize, Pwl)], victim_r: f64) -> Result<Vec<DriverSimResult>> {
+        jobs.iter()
+            .map(|(slot, source)| self.simulate(*slot, source, victim_r))
+            .collect()
+    }
+
     /// Short stable name, for reports and benchmarks.
     fn name(&self) -> &'static str;
 
@@ -214,6 +233,35 @@ impl LinearBackend for FullMna {
             at_victim_drv,
             at_victim_rcv,
         })
+    }
+
+    fn simulate_batch(&self, jobs: &[(usize, Pwl)], victim_r: f64) -> Result<Vec<DriverSimResult>> {
+        let entry = self
+            .engines
+            .get_or_try_build(victim_r.to_bits(), || self.build_entry(victim_r))?;
+        let variants = jobs
+            .iter()
+            .map(|(slot, source)| {
+                let mut ckt = entry.template.clone();
+                ckt.set_vsource_wave(entry.sources[*slot], SourceWave::Pwl(source.clone()))?;
+                Ok(ckt)
+            })
+            .collect::<Result<Vec<Circuit>>>()?;
+        let refs: Vec<&Circuit> = variants.iter().collect();
+        let traces = entry
+            .engine
+            .run_batch(&refs, &[self.probe_drv, self.probe_rcv])?;
+        Ok(traces
+            .into_iter()
+            .map(|mut waves| {
+                let at_victim_rcv = waves.pop().expect("two probes requested");
+                let at_victim_drv = waves.pop().expect("two probes requested");
+                DriverSimResult {
+                    at_victim_drv,
+                    at_victim_rcv,
+                }
+            })
+            .collect())
     }
 
     fn name(&self) -> &'static str {
@@ -521,6 +569,27 @@ mod tests {
         assert_eq!(f.at_victim_rcv, p.at_victim_rcv);
         assert_eq!(f.at_victim_drv, p.at_victim_drv);
         let _ = sims_before; // process-wide; other tests may run sims
+    }
+
+    #[test]
+    fn batched_simulation_is_bitwise_identical_to_serial() {
+        let tech = Tech::default_180nm();
+        let (full, _, models) = backends(&tech, LinearBackendKind::FullMna);
+        let victim_r = models.victim.thevenin.rth;
+        let jobs: Vec<(usize, Pwl)> = vec![
+            (1, models.aggressors[0].at_input_start(0.4e-9).source_wave()),
+            (1, models.aggressors[0].at_input_start(0.8e-9).source_wave()),
+            (0, models.victim.at_input_start(1.5e-9).source_wave()),
+        ];
+        let batched = full.simulate_batch(&jobs, victim_r).unwrap();
+        assert_eq!(batched.len(), jobs.len());
+        for ((slot, src), b) in jobs.iter().zip(&batched) {
+            let s = full.simulate(*slot, src, victim_r).unwrap();
+            assert_eq!(s.at_victim_drv, b.at_victim_drv);
+            assert_eq!(s.at_victim_rcv, b.at_victim_rcv);
+        }
+        // One holding configuration serves the whole panel.
+        assert_eq!(full.configurations_built(), 1);
     }
 
     #[test]

@@ -84,6 +84,55 @@ impl LinearBackendKind {
     }
 }
 
+/// Whether per-round aggressor simulations are submitted to the linear
+/// backend as one multi-RHS panel (see
+/// [`crate::backend::LinearBackend::simulate_batch`]).
+///
+/// The batched path is bit-identical to serial single-RHS stepping — within
+/// one factor column the update order per solution entry is unchanged — so
+/// switching it has no effect on results, only on throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchKind {
+    /// Batch whenever a round has two or more simulations to submit.
+    #[default]
+    Auto,
+    /// Route every round through the batched path, even width-1 rounds.
+    On,
+    /// Serial single-RHS simulations (the pre-batching behaviour).
+    Off,
+}
+
+impl BatchKind {
+    /// Parses a CLI-style name (`auto` | `on` | `off`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(BatchKind::Auto),
+            "on" => Some(BatchKind::On),
+            "off" => Some(BatchKind::Off),
+            _ => None,
+        }
+    }
+
+    /// Stable display name, the inverse of [`Self::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchKind::Auto => "auto",
+            BatchKind::On => "on",
+            BatchKind::Off => "off",
+        }
+    }
+
+    /// Whether a round of `width` simulations should go through the
+    /// batched path.
+    pub fn use_batch(self, width: usize) -> bool {
+        match self {
+            BatchKind::Auto => width >= 2,
+            BatchKind::On => width >= 1,
+            BatchKind::Off => false,
+        }
+    }
+}
+
 /// Tunable parameters of the analysis flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyzerConfig {
@@ -127,6 +176,10 @@ pub struct AnalyzerConfig {
     /// ([`SolverKind::Auto`] picks dense below the crossover dimension,
     /// sparse at or above it).
     pub solver: SolverKind,
+    /// Multi-RHS batching of per-round aggressor simulations
+    /// ([`BatchKind::Auto`] batches any round with two or more entries;
+    /// results are bit-identical either way).
+    pub batch: BatchKind,
 }
 
 impl Default for AnalyzerConfig {
@@ -148,6 +201,7 @@ impl Default for AnalyzerConfig {
             model_provider: ModelProviderKind::default(),
             linear_backend: LinearBackendKind::default(),
             solver: SolverKind::default(),
+            batch: BatchKind::default(),
         }
     }
 }
@@ -182,6 +236,12 @@ impl AnalyzerConfig {
         self.solver = kind;
         self
     }
+
+    /// Same config with a different multi-RHS batching policy.
+    pub fn with_batch(mut self, kind: BatchKind) -> Self {
+        self.batch = kind;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +258,21 @@ mod tests {
         assert_eq!(c.model_provider, ModelProviderKind::Uncached);
         assert_eq!(c.linear_backend, LinearBackendKind::FullMna);
         assert_eq!(c.solver, SolverKind::Auto);
+        assert_eq!(c.batch, BatchKind::Auto);
+    }
+
+    #[test]
+    fn batch_kind_round_trips_and_gates_by_width() {
+        for kind in [BatchKind::Auto, BatchKind::On, BatchKind::Off] {
+            assert_eq!(BatchKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BatchKind::parse("sometimes"), None);
+        assert!(!BatchKind::Auto.use_batch(1));
+        assert!(BatchKind::Auto.use_batch(2));
+        assert!(BatchKind::On.use_batch(1));
+        assert!(!BatchKind::Off.use_batch(8));
+        let c = AnalyzerConfig::default().with_batch(BatchKind::Off);
+        assert_eq!(c.batch, BatchKind::Off);
     }
 
     #[test]

@@ -348,6 +348,10 @@ fn fold_config(h: &mut Fnv64, c: &AnalyzerConfig) {
         SolverKind::Sparse => 1,
         SolverKind::Auto => 2,
     });
+    // `c.batch` is deliberately NOT folded in: the multi-RHS panel path is
+    // bit-identical to serial single-RHS stepping (same per-column operand
+    // order), so toggling it must keep warm caches valid — like the
+    // provider layer, it changes throughput, never results.
 }
 
 /// Content hash of everything a net's *report* depends on: technology,
@@ -749,6 +753,13 @@ mod tests {
         // Factorization path is only tolerance-equal too → different hash.
         let sparse_cfg = cfg.with_solver(SolverKind::Sparse);
         assert_ne!(base, spec_content_hash(&tech, &sparse_cfg, &nets[0].spec));
+
+        // Multi-RHS batching is bit-identical by contract → same hash
+        // (warm caches stay valid when the knob is toggled).
+        let batched_cfg = cfg.with_batch(crate::config::BatchKind::On);
+        assert_eq!(base, spec_content_hash(&tech, &batched_cfg, &nets[0].spec));
+        let serial_cfg = cfg.with_batch(crate::config::BatchKind::Off);
+        assert_eq!(base, spec_content_hash(&tech, &serial_cfg, &nets[0].spec));
     }
 
     #[test]

@@ -84,7 +84,8 @@ mod error;
 pub use analysis::{NetReport, NoiseAnalyzer};
 pub use clarinox_circuit::solver::{SolverKind, SPARSE_CROSSOVER_DIM};
 pub use config::{
-    AlignmentObjective, AnalyzerConfig, DriverModelKind, LinearBackendKind, ModelProviderKind,
+    AlignmentObjective, AnalyzerConfig, BatchKind, DriverModelKind, LinearBackendKind,
+    ModelProviderKind,
 };
 pub use error::CoreError;
 pub use incremental::{EcoStats, IncrementalDesign, IncrementalReport, NetSummary};

@@ -16,10 +16,13 @@
 //! module.
 
 //! The sparse-solver counters (symbolic analyses, reuse hits, numeric
-//! factors and refactors, nnz gauges) are re-exported the same way.
+//! factors and refactors, nnz gauges) and the multi-RHS batch counters
+//! (batched runs, panel solves/columns, widest panel) are re-exported the
+//! same way.
 
 pub use clarinox_circuit::profile::{
-    recovery_attempts, recovery_backward_euler, recovery_gmin_steps, recovery_timestep_halvings,
+    batch_max_width, batch_panel_columns, batch_panel_solves, batch_runs, recovery_attempts,
+    recovery_backward_euler, recovery_gmin_steps, recovery_timestep_halvings, reset_batch_counters,
     reset_recovery_counters, reset_sparse_counters, sparse_max_fill_nnz, sparse_max_nnz_a,
     sparse_numeric_factors, sparse_refactors, sparse_symbolic_analyses, sparse_symbolic_reuse_hits,
     thread_recovery_steps, RecoveryKind,

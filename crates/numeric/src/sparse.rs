@@ -443,6 +443,28 @@ pub struct SparseLu {
     pinv: Vec<usize>,
     /// `q[k]` = original column eliminated at position `k`.
     q: Vec<usize>,
+    /// Elimination position (`pinv`) of each L entry, aligned with
+    /// `l_rows`. After [`SparseLu::factor`] finalizes, each column's
+    /// entries are sorted by this field, so the contiguous fill blocks the
+    /// min-degree ordering creates become contiguous storage runs.
+    l_epos: Vec<usize>,
+    /// Maximal runs of consecutive elimination positions in L, stored as
+    /// `(first entry index, length)`; the runs of elimination column `k`
+    /// are `l_runs[l_run_ptr[k]..l_run_ptr[k + 1]]`. These feed the dense
+    /// panel micro-kernel in [`SparseLu::solve_block_into`].
+    l_run_ptr: Vec<usize>,
+    l_runs: Vec<(usize, usize)>,
+    /// Same run encoding for the off-diagonal part of U (diagonal entry
+    /// excluded; `u_rows` is already ascending within a column).
+    u_run_ptr: Vec<usize>,
+    u_runs: Vec<(usize, usize)>,
+    /// Elimination columns grouped by dependency level: column `k` depends
+    /// on the columns named by its off-diagonal U rows, and every column
+    /// in level `l` depends only on columns in levels `< l`. Level `l`
+    /// holds `level_cols[level_ptr[l]..level_ptr[l + 1]]` (ascending).
+    /// This is the schedule [`SparseLu::refactor_parallel`] runs.
+    level_ptr: Vec<usize>,
+    level_cols: Vec<usize>,
 }
 
 /// Pivot magnitudes below this threshold are treated as singular (matches
@@ -453,6 +475,37 @@ const PIVOT_TOL: f64 = 1e-300;
 /// largest magnitude; otherwise [`SparseLu::refactor`] rejects the reuse
 /// and the caller re-pivots from scratch.
 const REFACTOR_PIVOT_RATIO: f64 = 1e-3;
+
+/// Appends the maximal runs of consecutive values in `keys[lo..hi]` to
+/// `runs` as `(start index, length)` pairs.
+fn encode_runs(keys: &[usize], lo: usize, hi: usize, runs: &mut Vec<(usize, usize)>) {
+    let mut idx = lo;
+    while idx < hi {
+        let start = idx;
+        let base = keys[idx];
+        idx += 1;
+        while idx < hi && keys[idx] == base + (idx - start) {
+            idx += 1;
+        }
+        runs.push((start, idx - start));
+    }
+}
+
+/// Raw pointer that may cross scoped-thread boundaries. Safety rests on
+/// the level schedule: within a level every worker writes a disjoint
+/// column slice and reads only columns finished in earlier levels, with
+/// the level barrier providing the happens-before edge.
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than field access) so closures capture the `Sync`
+    /// wrapper, not the raw pointer itself.
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
+}
 
 impl SparseLu {
     /// Factors `a` left-looking with partial row pivoting under the
@@ -489,6 +542,13 @@ impl SparseLu {
             perm: vec![usize::MAX; n],
             pinv: vec![usize::MAX; n],
             q: symbolic.q.clone(),
+            l_epos: Vec::new(),
+            l_run_ptr: Vec::new(),
+            l_runs: Vec::new(),
+            u_run_ptr: Vec::new(),
+            u_runs: Vec::new(),
+            level_ptr: Vec::new(),
+            level_cols: Vec::new(),
         };
         lu.l_colptr.push(0);
         lu.u_colptr.push(0);
@@ -580,7 +640,100 @@ impl SparseLu {
                 x[r] = 0.0;
             }
         }
+        lu.finalize();
         Ok(lu)
+    }
+
+    /// Post-factor analysis reused by every refactor and solve: maps L
+    /// entries to elimination positions (sorting each column so contiguous
+    /// fill becomes contiguous storage), run-length encodes L and U for the
+    /// panel micro-kernel, and levels the column dependency DAG for
+    /// [`refactor_parallel`](SparseLu::refactor_parallel). Reordering
+    /// within a column is bit-neutral: factor-column updates touch
+    /// distinct rows, so every target sees the same operand sequence.
+    fn finalize(&mut self) {
+        let n = self.n;
+        // Sort each L column by elimination position (jointly with values).
+        self.l_epos = vec![0; self.l_rows.len()];
+        let mut tmp: Vec<(usize, usize, f64)> = Vec::new();
+        for k in 0..n {
+            let (lo, hi) = (self.l_colptr[k], self.l_colptr[k + 1]);
+            tmp.clear();
+            for idx in lo..hi {
+                let r = self.l_rows[idx];
+                tmp.push((self.pinv[r], r, self.l_vals[idx]));
+            }
+            tmp.sort_unstable_by_key(|e| e.0);
+            for (off, &(e, r, v)) in tmp.iter().enumerate() {
+                self.l_epos[lo + off] = e;
+                self.l_rows[lo + off] = r;
+                self.l_vals[lo + off] = v;
+            }
+        }
+        // Run-length encode consecutive elimination positions.
+        self.l_run_ptr = Vec::with_capacity(n + 1);
+        self.l_run_ptr.push(0);
+        self.l_runs.clear();
+        self.u_run_ptr = Vec::with_capacity(n + 1);
+        self.u_run_ptr.push(0);
+        self.u_runs.clear();
+        for k in 0..n {
+            encode_runs(
+                &self.l_epos[..],
+                self.l_colptr[k],
+                self.l_colptr[k + 1],
+                &mut self.l_runs,
+            );
+            self.l_run_ptr.push(self.l_runs.len());
+            encode_runs(
+                &self.u_rows[..],
+                self.u_colptr[k],
+                self.u_colptr[k + 1] - 1,
+                &mut self.u_runs,
+            );
+            self.u_run_ptr.push(self.u_runs.len());
+        }
+        // Level schedule: level(k) = 1 + max level of the columns k's
+        // off-diagonal U rows name (0 when independent).
+        let mut level = vec![0usize; n];
+        let mut max_level = 0usize;
+        for k in 0..n {
+            let mut lv = 0usize;
+            for idx in self.u_colptr[k]..self.u_colptr[k + 1] - 1 {
+                lv = lv.max(level[self.u_rows[idx]] + 1);
+            }
+            level[k] = lv;
+            max_level = max_level.max(lv);
+        }
+        self.level_ptr = vec![0; max_level + 2];
+        for &lv in &level {
+            self.level_ptr[lv + 1] += 1;
+        }
+        for l in 0..max_level + 1 {
+            self.level_ptr[l + 1] += self.level_ptr[l];
+        }
+        self.level_cols = vec![0; n];
+        let mut slot = self.level_ptr.clone();
+        for (k, &lv) in level.iter().enumerate() {
+            self.level_cols[slot[lv]] = k;
+            slot[lv] += 1;
+        }
+    }
+
+    /// Number of levels in the refactorization dependency schedule (1 for
+    /// a diagonal matrix; approaches `n` for a dependency chain).
+    pub fn level_count(&self) -> usize {
+        self.level_ptr.len().saturating_sub(1)
+    }
+
+    /// Widest level of the refactorization schedule — the available
+    /// column-level parallelism.
+    pub fn max_level_width(&self) -> usize {
+        self.level_ptr
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Recomputes the numeric factorization for new values over the same
@@ -665,6 +818,185 @@ impl SparseLu {
         Ok(())
     }
 
+    /// As [`refactor`](SparseLu::refactor), but runs the numeric phase
+    /// across up to `jobs` scoped worker threads using the elimination-
+    /// level schedule computed at factor time: each level's columns are
+    /// independent (a column depends only on the columns its off-diagonal
+    /// U rows name, all in earlier levels), so workers claim columns from
+    /// a per-level atomic counter and a barrier separates levels.
+    ///
+    /// The result is bit-for-bit identical to the serial
+    /// [`refactor`](SparseLu::refactor): every column reads only finalized
+    /// earlier-level values and writes its own disjoint slice, so the
+    /// arithmetic per column does not depend on scheduling. With `jobs <= 1`
+    /// this simply calls the serial path.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`refactor`](SparseLu::refactor). When several
+    /// pivots degrade at once the reported column is the smallest among
+    /// those discovered before the workers stopped, which may differ from
+    /// the serial path; in either case the factor values are unusable and
+    /// the caller should re-run [`factor`](SparseLu::factor).
+    pub fn refactor_parallel(&mut self, a: &SparseMatrix, jobs: usize) -> Result<()> {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::{Barrier, Mutex};
+
+        if jobs <= 1 {
+            return self.refactor(a);
+        }
+        let p = a.pattern();
+        if p.n_rows != self.n || p.n_cols != self.n {
+            return Err(NumericError::dims(format!(
+                "refactor of {}x{} values against dimension {}",
+                p.n_rows, p.n_cols, self.n
+            )));
+        }
+        let n = self.n;
+        let jobs = jobs.min(n);
+        // The value arrays move out of `self` so the workers can share the
+        // structural fields immutably while writing values through raw
+        // pointers; each column's value ranges are written by exactly one
+        // worker, and the level barrier orders writes before the reads of
+        // later levels.
+        let mut l_vals = std::mem::take(&mut self.l_vals);
+        let mut u_vals = std::mem::take(&mut self.u_vals);
+        let lp = SendPtr(l_vals.as_mut_ptr());
+        let up = SendPtr(u_vals.as_mut_ptr());
+        let n_levels = self.level_count();
+        let counters: Vec<AtomicUsize> = (0..n_levels).map(|_| AtomicUsize::new(0)).collect();
+        let barrier = Barrier::new(jobs);
+        let abort = AtomicBool::new(false);
+        let first_err: Mutex<Option<(usize, NumericError)>> = Mutex::new(None);
+        let this = &*self;
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    let mut x = vec![0.0; n];
+                    let mut flag = vec![usize::MAX; n];
+                    for (lvl, counter) in counters.iter().enumerate() {
+                        let lo = this.level_ptr[lvl];
+                        let hi = this.level_ptr[lvl + 1];
+                        if !abort.load(Ordering::Relaxed) {
+                            loop {
+                                let i = counter.fetch_add(1, Ordering::Relaxed);
+                                if lo + i >= hi {
+                                    break;
+                                }
+                                let k = this.level_cols[lo + i];
+                                let res = unsafe {
+                                    this.refactor_column_raw(
+                                        a,
+                                        k,
+                                        &mut x,
+                                        &mut flag,
+                                        lp.get(),
+                                        up.get(),
+                                    )
+                                };
+                                if let Err(e) = res {
+                                    abort.store(true, Ordering::Relaxed);
+                                    let mut slot =
+                                        first_err.lock().unwrap_or_else(|p| p.into_inner());
+                                    if slot.as_ref().is_none_or(|(kk, _)| k < *kk) {
+                                        *slot = Some((k, e));
+                                    }
+                                    break;
+                                }
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        self.l_vals = l_vals;
+        self.u_vals = u_vals;
+        match first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// One column of numeric refactorization — the loop body of
+    /// [`refactor`](SparseLu::refactor) with factor values accessed through
+    /// raw pointers instead of `&mut self`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee exclusive write access to column `k`'s
+    /// `l_vals`/`u_vals` ranges and that the values of every column named
+    /// by `k`'s off-diagonal U rows are final and visible to this thread.
+    unsafe fn refactor_column_raw(
+        &self,
+        a: &SparseMatrix,
+        k: usize,
+        x: &mut [f64],
+        flag: &mut [usize],
+        l_vals: *mut f64,
+        u_vals: *mut f64,
+    ) -> Result<()> {
+        // Mark the rows this column's stored structure can hold.
+        flag[self.perm[k]] = k;
+        for idx in self.u_colptr[k]..self.u_colptr[k + 1] - 1 {
+            flag[self.perm[self.u_rows[idx]]] = k;
+        }
+        for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+            flag[self.l_rows[idx]] = k;
+        }
+        let p = a.pattern();
+        for (&r, &v) in p.col_rows(self.q[k]).iter().zip(a.col_values(self.q[k])) {
+            if flag[r] != k {
+                return Err(NumericError::invalid(format!(
+                    "refactor: position ({r}, {}) outside the factored structure",
+                    self.q[k]
+                )));
+            }
+            x[r] = v;
+        }
+        // Apply earlier columns in ascending elimination order (the
+        // stored U row order).
+        for idx in self.u_colptr[k]..self.u_colptr[k + 1] - 1 {
+            let j = self.u_rows[idx];
+            let ujk = x[self.perm[j]];
+            *u_vals.add(idx) = ujk;
+            for lidx in self.l_colptr[j]..self.l_colptr[j + 1] {
+                x[self.l_rows[lidx]] -= *l_vals.add(lidx) * ujk;
+            }
+        }
+        let pivot = x[self.perm[k]];
+        let mut col_max = pivot.abs();
+        for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+            col_max = col_max.max(x[self.l_rows[idx]].abs());
+        }
+        let cleanup = |x: &mut [f64]| {
+            x[self.perm[k]] = 0.0;
+            for idx in self.u_colptr[k]..self.u_colptr[k + 1] - 1 {
+                x[self.perm[self.u_rows[idx]]] = 0.0;
+            }
+            for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+                x[self.l_rows[idx]] = 0.0;
+            }
+        };
+        if !(pivot.abs() >= PIVOT_TOL) {
+            cleanup(x);
+            return Err(NumericError::SingularMatrix { pivot: k });
+        }
+        if pivot.abs() < REFACTOR_PIVOT_RATIO * col_max {
+            cleanup(x);
+            return Err(NumericError::NoConvergence {
+                iterations: k,
+                residual: pivot.abs() / col_max,
+            });
+        }
+        *u_vals.add(self.u_colptr[k + 1] - 1) = pivot;
+        for idx in self.l_colptr[k]..self.l_colptr[k + 1] {
+            *l_vals.add(idx) = x[self.l_rows[idx]] / pivot;
+        }
+        cleanup(x);
+        Ok(())
+    }
+
     fn l_col(&self, k: usize) -> impl Iterator<Item = (&usize, &f64)> {
         self.l_rows[self.l_colptr[k]..self.l_colptr[k + 1]]
             .iter()
@@ -738,6 +1070,170 @@ impl SparseLu {
             x[self.q[k]] = scratch[k];
         }
         Ok(())
+    }
+
+    /// Solves `A X = B` for a column-major RHS panel of `width` columns
+    /// packed in `b` (`b[j * n + i]` is row `i` of column `j`), writing the
+    /// solution panel into `x` in the same layout. `scratch` is a
+    /// caller-owned arena resized to the panel size; no other allocation
+    /// happens once the buffers have grown.
+    ///
+    /// Each solution column is bit-for-bit identical to a separate
+    /// [`solve_into`](SparseLu::solve_into) call on that column: the panel
+    /// sweep walks factor columns once, replaying each column's
+    /// run-length-encoded fill blocks as dense row updates against every
+    /// panel column, so factor values and indices are loaded once per step
+    /// instead of once per RHS. Within one factor column all updates hit
+    /// distinct positions, so batching them across the panel preserves the
+    /// per-position operand order exactly. A `width` of zero clears `x`
+    /// and succeeds.
+    ///
+    /// Internally the panel is *interleaved* (`scratch[k * width + j]`):
+    /// the `width` values of one elimination position sit in one
+    /// contiguous row, so a run entry's update is a broadcast
+    /// multiply-subtract over a contiguous slice — the memory shape the
+    /// vectorizer wants — instead of `width` strided touches `n` apart.
+    /// The interleave happens inside the entry/exit permutations, which
+    /// were already scattered; it costs no extra pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` is not
+    /// `width` panel columns of the factored dimension.
+    pub fn solve_block_into(
+        &self,
+        b: &[f64],
+        width: usize,
+        x: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+    ) -> Result<()> {
+        let n = self.n;
+        if b.len() != n * width {
+            return Err(NumericError::dims(format!(
+                "sparse solve_block rhs length {} for {} columns of dimension {}",
+                b.len(),
+                width,
+                n
+            )));
+        }
+        scratch.clear();
+        scratch.resize(n * width, 0.0);
+        x.clear();
+        x.resize(n * width, 0.0);
+        if width == 0 {
+            return Ok(());
+        }
+        // y = P b, interleaved: row k of the panel holds column j's
+        // elimination position k at `scratch[k * width + j]`.
+        for (k, row) in scratch.chunks_exact_mut(width).enumerate() {
+            let pk = self.perm[k];
+            for (j, d) in row.iter_mut().enumerate() {
+                *d = b[j * n + pk];
+            }
+        }
+        self.panel_sweep(scratch, width);
+        // Undo the column permutation, de-interleaving into column-major.
+        for (k, row) in scratch.chunks_exact(width).enumerate() {
+            let qk = self.q[k];
+            for (j, &s) in row.iter().enumerate() {
+                x[j * n + qk] = s;
+            }
+        }
+        Ok(())
+    }
+
+    /// As [`solve_block_into`](SparseLu::solve_block_into), but the panel
+    /// is *interleaved* in memory on both sides: `b[i * width + j]` is row
+    /// `i` of column `j`, and the solution lands in `x` in the same
+    /// layout. Callers that keep their state interleaved (the transient
+    /// engine's lockstep batch) skip the column-major transposes entirely;
+    /// each column's arithmetic is still bit-for-bit a
+    /// [`solve_into`](SparseLu::solve_into) on that column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` is not
+    /// `width` interleaved columns of the factored dimension.
+    pub fn solve_block_interleaved_into(
+        &self,
+        b: &[f64],
+        width: usize,
+        x: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+    ) -> Result<()> {
+        let n = self.n;
+        if b.len() != n * width {
+            return Err(NumericError::dims(format!(
+                "sparse solve_block rhs length {} for {} columns of dimension {}",
+                b.len(),
+                width,
+                n
+            )));
+        }
+        scratch.clear();
+        scratch.resize(n * width, 0.0);
+        x.clear();
+        x.resize(n * width, 0.0);
+        if width == 0 {
+            return Ok(());
+        }
+        // y = P b: whole interleaved rows move at once.
+        for (k, row) in scratch.chunks_exact_mut(width).enumerate() {
+            row.copy_from_slice(&b[self.perm[k] * width..self.perm[k] * width + width]);
+        }
+        self.panel_sweep(scratch, width);
+        // Undo the column permutation, row by interleaved row.
+        for (k, row) in scratch.chunks_exact(width).enumerate() {
+            x[self.q[k] * width..self.q[k] * width + width].copy_from_slice(row);
+        }
+        Ok(())
+    }
+
+    /// Forward/backward substitution over an interleaved panel `y`
+    /// (`y[k * width + j]` = elimination position `k` of column `j`),
+    /// in place. Each run entry's update is a broadcast multiply-subtract
+    /// over one contiguous `width`-row — the memory shape the vectorizer
+    /// wants — and factor values/indices are read once for the whole
+    /// panel. Per column the operation order matches
+    /// [`solve_into`](SparseLu::solve_into) exactly.
+    fn panel_sweep(&self, y: &mut [f64], width: usize) {
+        let n = self.n;
+        // Forward: L y = P b. Runs target positions strictly below k, so
+        // the pivot row and the update window never alias.
+        for k in 0..n {
+            let (yrow, below) = y[k * width..].split_at_mut(width);
+            for &(start, len) in &self.l_runs[self.l_run_ptr[k]..self.l_run_ptr[k + 1]] {
+                let vals = &self.l_vals[start..start + len];
+                let off = (self.l_epos[start] - k - 1) * width;
+                let dst = &mut below[off..off + len * width];
+                for (drow, &v) in dst.chunks_exact_mut(width).zip(vals) {
+                    for (d, &yk) in drow.iter_mut().zip(&*yrow) {
+                        *d -= v * yk;
+                    }
+                }
+            }
+        }
+        // Backward: U z = y. Divide by the diagonal first (as the
+        // single-RHS path does), then replay the off-diagonal runs, which
+        // target positions strictly above k.
+        for k in (0..n).rev() {
+            let diag = self.u_vals[self.u_colptr[k + 1] - 1];
+            let (above, zrow) = y.split_at_mut(k * width);
+            let zrow = &mut zrow[..width];
+            for z in zrow.iter_mut() {
+                *z /= diag;
+            }
+            for &(start, len) in &self.u_runs[self.u_run_ptr[k]..self.u_run_ptr[k + 1]] {
+                let vals = &self.u_vals[start..start + len];
+                let off = self.u_rows[start] * width;
+                let dst = &mut above[off..off + len * width];
+                for (drow, &v) in dst.chunks_exact_mut(width).zip(vals) {
+                    for (d, &zk) in drow.iter_mut().zip(&*zrow) {
+                        *d -= v * zk;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -1004,7 +1500,184 @@ mod tests {
         assert!(a.add_scaled(&c, 1.0).is_err());
     }
 
+    #[test]
+    fn solve_block_empty_and_bad_lengths() {
+        let t = [(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)];
+        let (_, lu) = factor_of(&t, 2);
+        let mut x = vec![5.0; 3];
+        let mut scratch = Vec::new();
+        lu.solve_block_into(&[], 0, &mut x, &mut scratch).unwrap();
+        assert!(x.is_empty());
+        // Panel length must be width * n exactly — the same dimension
+        // error a per-column solve_into reports for a wrong-length rhs.
+        assert!(lu
+            .solve_block_into(&[1.0, 2.0, 3.0], 2, &mut x, &mut scratch)
+            .is_err());
+        assert!(lu
+            .solve_block_into(&[1.0], 1, &mut x, &mut scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn level_schedule_exposes_star_parallelism() {
+        // Star graph: every leaf column is independent (level 0); only the
+        // center depends on them, one level later.
+        let n = 8;
+        let mut t = vec![(0usize, 0usize, 8.0)];
+        for i in 1..n {
+            t.push((i, i, 2.0));
+            t.push((0, i, -1.0));
+            t.push((i, 0, -1.0));
+        }
+        let (_, lu) = factor_of(&t, n);
+        // Leaves dominate one wide level; the center (and any leaf ordered
+        // after it) adds at most two more.
+        assert!(lu.level_count() <= 3, "levels {}", lu.level_count());
+        assert!(
+            lu.max_level_width() >= n - 2,
+            "width {}",
+            lu.max_level_width()
+        );
+    }
+
+    #[test]
+    fn refactor_parallel_matches_serial_bitwise() {
+        // A ladder with couplings has a multi-level schedule; the parallel
+        // replay must reproduce the serial values bit for bit.
+        let n = 40;
+        let mut t: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0 + (i % 5) as f64));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0 - (i % 3) as f64 * 0.25));
+                t.push((i + 1, i, -1.25));
+            }
+            if i + 7 < n {
+                t.push((i, i + 7, 0.125));
+            }
+        }
+        let (a, lu) = factor_of(&t, n);
+        let scaled = a.add_scaled(&a, 0.75).unwrap();
+        let mut serial = lu.clone();
+        serial.refactor(&scaled).unwrap();
+        let mut parallel = lu.clone();
+        parallel.refactor_parallel(&scaled, 3).unwrap();
+        assert_eq!(serial.l_vals, parallel.l_vals);
+        assert_eq!(serial.u_vals, parallel.u_vals);
+        // And jobs <= 1 is exactly the serial path.
+        let mut one = lu.clone();
+        one.refactor_parallel(&scaled, 1).unwrap();
+        assert_eq!(serial.l_vals, one.l_vals);
+        assert_eq!(serial.u_vals, one.u_vals);
+    }
+
+    #[test]
+    fn refactor_parallel_rejects_unstable_pivot() {
+        let t = [(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 10.0)];
+        let (a, mut lu) = factor_of(&t, 2);
+        let mut bad = a.clone();
+        let slot = bad.pattern().find(0, 0).unwrap();
+        bad.values_mut()[slot] = 1e-9;
+        match lu.refactor_parallel(&bad, 2) {
+            Err(NumericError::NoConvergence { .. }) => {}
+            other => panic!("expected pivot-instability error, got {other:?}"),
+        }
+    }
+
     proptest! {
+        /// The blocked panel solve is bit-identical to column-by-column
+        /// `solve_into` on random MNA-shaped systems, for every panel
+        /// width including empty and single-column panels.
+        #[test]
+        fn prop_solve_block_bitwise_matches_columns(seed in 0u64..300) {
+            let n = 2 + (seed as usize % 12);
+            let width = (seed as usize / 12) % 6; // 0..=5
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            let mut t: Vec<(usize, usize, f64)> = Vec::new();
+            for i in 0..n {
+                t.push((i, i, 0.0));
+                if i + 1 < n {
+                    let v = next();
+                    t.push((i, i + 1, v));
+                    t.push((i + 1, i, v));
+                }
+            }
+            for _ in 0..n / 2 {
+                let r = ((next().abs() * n as f64) as usize).min(n - 1);
+                let c = ((next().abs() * n as f64) as usize).min(n - 1);
+                if r != c {
+                    t.push((r, c, next()));
+                }
+            }
+            let mut a = SparseMatrix::from_triplets(n, n, &t).unwrap();
+            let dense0 = a.to_dense();
+            for r in 0..n {
+                let s: f64 = dense0.row(r).iter().map(|v| v.abs()).sum();
+                assert!(a.add(r, r, s + 1.0));
+            }
+            let sym = Symbolic::analyze(a.pattern()).unwrap();
+            let lu = SparseLu::factor(&a, &sym).unwrap();
+            let panel: Vec<f64> = (0..n * width).map(|_| next()).collect();
+            let mut block = Vec::new();
+            let mut arena = Vec::new();
+            lu.solve_block_into(&panel, width, &mut block, &mut arena).unwrap();
+            prop_assert_eq!(block.len(), n * width);
+            let mut col = Vec::new();
+            let mut scratch = Vec::new();
+            for j in 0..width {
+                lu.solve_into(&panel[j * n..(j + 1) * n], &mut col, &mut scratch).unwrap();
+                for i in 0..n {
+                    prop_assert_eq!(block[j * n + i].to_bits(), col[i].to_bits());
+                }
+            }
+            // The interleaved entry is the same sweep behind a different
+            // panel layout: bit-identical to the column-major result.
+            let mut inter = vec![0.0; n * width];
+            for j in 0..width {
+                for i in 0..n {
+                    inter[i * width + j] = panel[j * n + i];
+                }
+            }
+            let mut xi = Vec::new();
+            lu.solve_block_interleaved_into(&inter, width, &mut xi, &mut arena).unwrap();
+            for j in 0..width {
+                for i in 0..n {
+                    prop_assert_eq!(xi[i * width + j].to_bits(), block[j * n + i].to_bits());
+                }
+            }
+        }
+
+        /// Parallel refactorization replays values bit-identically to the
+        /// serial path under any job count.
+        #[test]
+        fn prop_refactor_parallel_bitwise(seed in 0u64..120) {
+            let n = 4 + (seed as usize % 20);
+            let jobs = 2 + (seed as usize % 3);
+            let mut t: Vec<(usize, usize, f64)> = Vec::new();
+            for i in 0..n {
+                t.push((i, i, 5.0 + (i % 4) as f64));
+                if i + 1 < n {
+                    t.push((i, i + 1, -1.0));
+                    t.push((i + 1, i, -0.5));
+                }
+                if i + 5 < n && i % 2 == 0 {
+                    t.push((i + 5, i, 0.25));
+                }
+            }
+            let (a, lu) = factor_of(&t, n);
+            let scaled = a.add_scaled(&a, 0.5 + (seed as f64) * 1e-3).unwrap();
+            let mut serial = lu.clone();
+            serial.refactor(&scaled).unwrap();
+            let mut parallel = lu.clone();
+            parallel.refactor_parallel(&scaled, jobs).unwrap();
+            prop_assert_eq!(&serial.l_vals, &parallel.l_vals);
+            prop_assert_eq!(&serial.u_vals, &parallel.u_vals);
+        }
+
         /// Sparse factor+solve matches the dense solver on random
         /// MNA-shaped (ladder + random coupling) diagonally dominant
         /// systems, and refactor after a value change matches a fresh

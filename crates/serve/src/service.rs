@@ -418,6 +418,27 @@ pub fn profile_json(analyzer: &NoiseAnalyzer) -> Value {
             ]),
         ),
         (
+            "batch".into(),
+            Value::Obj(vec![
+                (
+                    "runs".into(),
+                    Value::Num(clarinox_core::profile::batch_runs() as f64),
+                ),
+                (
+                    "panel_solves".into(),
+                    Value::Num(clarinox_core::profile::batch_panel_solves() as f64),
+                ),
+                (
+                    "panel_columns".into(),
+                    Value::Num(clarinox_core::profile::batch_panel_columns() as f64),
+                ),
+                (
+                    "max_width".into(),
+                    Value::Num(clarinox_core::profile::batch_max_width() as f64),
+                ),
+            ]),
+        ),
+        (
             "recovery".into(),
             Value::Obj(vec![
                 (

@@ -5,6 +5,7 @@
 //! clarinox block [--nets N] [--seed S] [--jobs J] [--segments K]
 //!                [--thevenin] [--exhaustive]
 //!                [--backend full|prima] [--solver dense|sparse|auto]
+//!                [--batch auto|on|off]
 //!                [--driver-cache on|off] [--inject SPEC]
 //!     analyze a generated block of coupled nets, print per-net extra
 //!     delays and summary statistics (`--segments` sets the extraction
@@ -17,6 +18,7 @@
 //!
 //! clarinox functional [--nets N] [--seed S] [--margin MV] [--jobs J]
 //!                     [--backend full|prima] [--solver dense|sparse|auto]
+//!                     [--batch auto|on|off]
 //!                     [--driver-cache on|off] [--inject SPEC]
 //!     run the functional (glitch) noise check over a block
 //!
@@ -28,8 +30,8 @@
 //!
 //! clarinox serve [--socket P] [--nets N] [--seed S] [--jobs J]
 //!                [--store DIR] [--max-rounds R] [--backend full|prima]
-//!                [--solver dense|sparse|auto] [--inject SPEC]
-//!                [--read-timeout S] [--write-timeout S]
+//!                [--solver dense|sparse|auto] [--batch auto|on|off]
+//!                [--inject SPEC] [--read-timeout S] [--write-timeout S]
 //!     hold a generated design resident and answer line-delimited JSON
 //!     requests (status/analyze/eco/save/shutdown) on a Unix socket,
 //!     re-analyzing incrementally after each ECO edit
@@ -48,7 +50,15 @@
 //! ordering and symbolic-factorization reuse), or `auto` (the default:
 //! dense below the crossover dimension, sparse at or above it — small nets
 //! stay bit-identical to the dense-only code while big ladders get the
-//! near-linear path). `--driver-cache` toggles the cross-net driver
+//! near-linear path). `--batch` (on `block`, `functional`, `serve`)
+//! controls multi-RHS batching of per-round aggressor simulations: `auto`
+//! (default) submits any round with two or more aggressors as one RHS
+//! panel stepped through a single blocked solve per timestep, `on` forces
+//! the panel path even for one aggressor, `off` keeps the serial
+//! single-RHS loop. Batched and serial results are bit-identical; the
+//! knob trades nothing but throughput, and `--profile` reports the panel
+//! counters (batched runs, panel solves/columns, widest panel).
+//! `--driver-cache` toggles the cross-net driver
 //! library; it defaults to `on` for block-scale commands (`block`,
 //! `functional`) and `off` for single-net ones. Either way the reported
 //! numbers are bit-identical for the driver cache, and PRIMA-guarded /
@@ -76,7 +86,8 @@
 use clarinox::cells::{Gate, Tech};
 use clarinox::core::analysis::NoiseAnalyzer;
 use clarinox::core::config::{
-    AlignmentObjective, AnalyzerConfig, DriverModelKind, LinearBackendKind, ModelProviderKind,
+    AlignmentObjective, AnalyzerConfig, BatchKind, DriverModelKind, LinearBackendKind,
+    ModelProviderKind,
 };
 use clarinox::core::functional::{check_functional_noise_block, QuietState};
 use clarinox::core::outcome::Outcome;
@@ -166,6 +177,20 @@ fn arg_solver() -> SolverKind {
     }
 }
 
+/// Multi-RHS batching policy: `--batch auto|on|off` (default `auto`:
+/// rounds with two or more aggressor simulations go through one RHS
+/// panel; results are bit-identical either way).
+fn arg_batch() -> BatchKind {
+    let raw = arg_value("--batch", "auto".to_string());
+    match BatchKind::parse(&raw) {
+        Some(kind) => kind,
+        None => {
+            eprintln!("error: --batch must be 'auto', 'on' or 'off', got {raw:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Driver-library selection: `--driver-cache on|off`, with a per-command
 /// default (block-scale commands cache, single-net ones do not).
 fn arg_driver_cache(default_on: bool) -> ModelProviderKind {
@@ -224,6 +249,7 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
             "--segments",
             "--backend",
             "--solver",
+            "--batch",
             "--driver-cache",
             "--inject",
         ],
@@ -244,7 +270,8 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
     cfg = cfg
         .with_model_provider(arg_driver_cache(true))
         .with_linear_backend(arg_backend())
-        .with_solver(arg_solver());
+        .with_solver(arg_solver())
+        .with_batch(arg_batch());
     let analyzer = NoiseAnalyzer::with_config(tech, cfg);
     let block_cfg = BlockConfig {
         segments,
@@ -386,6 +413,7 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
             "--jobs",
             "--backend",
             "--solver",
+            "--batch",
             "--driver-cache",
             "--inject",
         ],
@@ -399,7 +427,8 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = base_config()
         .with_model_provider(arg_driver_cache(true))
         .with_linear_backend(arg_backend())
-        .with_solver(arg_solver());
+        .with_solver(arg_solver())
+        .with_batch(arg_batch());
     let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
     let mut fails = 0usize;
     let mut failed = 0usize;
@@ -492,6 +521,7 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
             "--max-rounds",
             "--backend",
             "--solver",
+            "--batch",
             "--inject",
             "--read-timeout",
             "--write-timeout",
@@ -509,7 +539,8 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
     };
     let cfg = base_config()
         .with_linear_backend(arg_backend())
-        .with_solver(arg_solver());
+        .with_solver(arg_solver())
+        .with_batch(arg_batch());
     let mut service = DesignService::new(Tech::default_180nm(), cfg, &svc_cfg)?;
     let restored = service.restored();
     if restored.summaries + restored.corners > 0 {
