@@ -46,6 +46,14 @@
 //!   order, so in practice those are bitwise too, and the record says
 //!   whether they were) — and at full scale (≥1000 ladder sections) the
 //!   panel must be ≥2× faster than the serial sweep at one job,
+//! * a **funnel** section (`--funnel-nets`, default 48): the same block
+//!   analyzed all-full (`--funnel full`, the pre-funnel flow) vs. through
+//!   the Screen → ROM → Full escalation ladder (`--funnel auto`), cold
+//!   each time on a fresh analyzer. Enforced: ≥50% of nets certified at
+//!   the screening tier, ≥3× end-to-end speedup over all-full, and zero
+//!   missed violations — the over-budget net set of the funnel pass must
+//!   equal the all-full pass's set exactly (the funnel's soundness
+//!   invariant, checked on measured values),
 //! * a **multicore** section (`--mc-segments`): the companion matrix of a
 //!   finely-segmented coupled netgen ladder refactored serially vs.
 //!   level-scheduled across 1/2/4 workers
@@ -56,7 +64,7 @@
 //!   capped at 1×).
 //!
 //! Usage:
-//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R --eco-nets M --ladder-nets L --ladder-segments S --batch-sections A,B,C --batch-width W --mc-segments G] > BENCH_pr6.json`
+//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R --eco-nets M --ladder-nets L --ladder-segments S --batch-sections A,B,C --batch-width W --mc-segments G --funnel-nets F] > BENCH_pr7.json`
 
 use std::time::Instant;
 
@@ -67,7 +75,9 @@ use clarinox_circuit::netlist::SourceWave;
 use clarinox_circuit::transient::TransientSpec;
 use clarinox_circuit::{Circuit, TransientEngine};
 use clarinox_core::analysis::{NetReport, NoiseAnalyzer};
-use clarinox_core::config::{AnalyzerConfig, LinearBackendKind, ModelProviderKind};
+use clarinox_core::config::{
+    AnalyzerConfig, FunnelKind, FunnelPolicy, LinearBackendKind, ModelProviderKind,
+};
 use clarinox_core::design::DesignNet;
 use clarinox_core::incremental::IncrementalDesign;
 use clarinox_core::outcome::NetOutcome;
@@ -281,7 +291,7 @@ fn rel_diff(a: f64, b: f64) -> f64 {
 fn report_diff(dense: &NetOutcome, sparse: &NetOutcome) -> Option<f64> {
     let shape_match = matches!(
         (dense, sparse),
-        (NetOutcome::Analyzed(_), NetOutcome::Analyzed(_))
+        (NetOutcome::Analyzed { .. }, NetOutcome::Analyzed { .. })
             | (NetOutcome::Degraded { .. }, NetOutcome::Degraded { .. })
     );
     if !shape_match {
@@ -633,6 +643,132 @@ fn measure_multicore(tech: Tech, mc_segments: usize, reps: usize) -> MulticoreNu
     }
 }
 
+/// The tiered-funnel measurements: all-full vs. Screen → ROM → Full.
+struct FunnelNumbers {
+    funnel_nets: usize,
+    delay_budget_ps: f64,
+    noise_budget_mv: f64,
+    full_s: f64,
+    screen_s: f64,
+    speedup: f64,
+    screened: u64,
+    rom_certified: u64,
+    escalated_rom: u64,
+    escalated_full: u64,
+    bound_evals: u64,
+    screened_frac: f64,
+    violations_full: Vec<usize>,
+    violations_screen: Vec<usize>,
+    missed_violations: usize,
+    spurious_violations: usize,
+}
+
+/// The over-budget net ids of one analyzed block, from measured (or, for
+/// `Failed`, conservative-bound) values. `Screened` outcomes are certified
+/// within budget and never violate.
+fn violating_ids(outcomes: &[NetOutcome], policy: &FunnelPolicy) -> Vec<usize> {
+    let mut ids: Vec<usize> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            NetOutcome::Screened { .. } => None,
+            NetOutcome::Analyzed { value: r, .. } | NetOutcome::Degraded { value: r, .. } => {
+                let peak = r.composite.as_ref().map(|c| c.height).unwrap_or(0.0);
+                (r.delay_noise_rcv_out > policy.delay_budget || peak > policy.noise_budget)
+                    .then_some(r.id)
+            }
+            NetOutcome::Failed { id, bound, .. } => (bound.delay_noise > policy.delay_budget
+                || bound.peak_noise > policy.noise_budget)
+                .then_some(*id),
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn measure_funnel(tech: Tech, cfg: AnalyzerConfig, funnel_nets: usize) -> FunnelNumbers {
+    // A realistic production-shaped population: mostly quiet victims
+    // (short wires, light coupling — the regime where most nets sit
+    // nowhere near budget) plus a violating stress tail, so the
+    // missed-violation check bites. The default netgen block is all
+    // stress and would leave the screen nothing to do.
+    let tail_nets = (funnel_nets / 16).max(2);
+    let quiet_nets = funnel_nets - tail_nets;
+    let quiet_cfg = BlockConfig {
+        wire_len: (0.05e-3, 0.45e-3),
+        coupling_frac: (0.02, 0.2),
+        aggressors: (1, 1),
+        segments: 6,
+        ..BlockConfig::default().with_nets(quiet_nets)
+    };
+    let stress_cfg = BlockConfig {
+        wire_len: (0.6e-3, 1.0e-3),
+        coupling_frac: (0.7, 0.95),
+        aggressors: (1, 1),
+        segments: 6,
+        ..BlockConfig::default().with_nets(tail_nets)
+    };
+    let mut block = generate_block(&tech, &quiet_cfg, 41);
+    for mut spec in generate_block(&tech, &stress_cfg, 43) {
+        spec.id += quiet_nets;
+        block.push(spec);
+    }
+    // Both passes run cold on a fresh library-provider analyzer: the funnel
+    // speedup must come from skipped simulations (and the driver
+    // characterizations they would have demanded), not cache residue.
+    let cfg = cfg.with_model_provider(ModelProviderKind::Library);
+    // `auto`: the full ladder with the size-gated ROM rung — the policy a
+    // production flow would run. At this block's scale (~10-node nets) the
+    // gate routes escalations straight to the full tier, where a reduced
+    // simulation would cost more than it saves.
+    let policy = FunnelPolicy {
+        kind: FunnelKind::Auto,
+        ..FunnelPolicy::default()
+    };
+
+    let full = NoiseAnalyzer::with_config(tech, cfg);
+    let t0 = Instant::now();
+    let full_out = full.analyze_block(&block, 1);
+    let full_s = t0.elapsed().as_secs_f64();
+    let violations_full = violating_ids(&full_out, &policy);
+
+    profile::reset_funnel_counters();
+    let screen = NoiseAnalyzer::with_config(tech, cfg.with_funnel(policy));
+    let t0 = Instant::now();
+    let screen_out = screen.analyze_block(&block, 1);
+    let screen_s = t0.elapsed().as_secs_f64();
+    let bound_evals = profile::funnel_bound_evals();
+    let (screened, rom_certified, escalated_rom, escalated_full) = profile::reset_funnel_counters();
+    let violations_screen = violating_ids(&screen_out, &policy);
+
+    let missed_violations = violations_full
+        .iter()
+        .filter(|id| !violations_screen.contains(id))
+        .count();
+    let spurious_violations = violations_screen
+        .iter()
+        .filter(|id| !violations_full.contains(id))
+        .count();
+
+    FunnelNumbers {
+        funnel_nets,
+        delay_budget_ps: policy.delay_budget * 1e12,
+        noise_budget_mv: policy.noise_budget * 1e3,
+        full_s,
+        screen_s,
+        speedup: full_s / screen_s,
+        screened,
+        rom_certified,
+        escalated_rom,
+        escalated_full,
+        bound_evals,
+        screened_frac: screened as f64 / funnel_nets as f64,
+        violations_full,
+        violations_screen,
+        missed_violations,
+        spurious_violations,
+    }
+}
+
 fn main() {
     let nets = arg_value("--nets", 10usize);
     let reps = arg_value("--reps", 3usize).max(1);
@@ -650,6 +786,7 @@ fn main() {
         .collect();
     let batch_width = arg_value("--batch-width", 8usize).max(1);
     let mc_segments = arg_value("--mc-segments", 2048usize).max(1);
+    let funnel_nets = arg_value("--funnel-nets", 48usize).max(2);
     let tech = Tech::default_180nm();
     let cfg = AnalyzerConfig {
         dt: 2e-12,
@@ -742,9 +879,10 @@ fn main() {
             .collect(),
     };
     let mc = measure_multicore(tech, mc_segments, reps);
+    let fu = measure_funnel(tech, cfg, funnel_nets);
 
     println!("{{");
-    println!("  \"schema\": \"clarinox-perf-record/5\",");
+    println!("  \"schema\": \"clarinox-perf-record/6\",");
     println!("  \"host_parallelism\": {hw},");
     println!("  \"nets\": {nets},");
     println!("  \"warm_reps\": {reps},");
@@ -865,6 +1003,38 @@ fn main() {
         );
     }
     println!("    ]");
+    println!("  }},");
+    println!("  \"funnel\": {{");
+    println!("    \"funnel_nets\": {},", fu.funnel_nets);
+    println!("    \"delay_budget_ps\": {:.1},", fu.delay_budget_ps);
+    println!("    \"noise_budget_mv\": {:.1},", fu.noise_budget_mv);
+    println!("    \"all_full_s\": {:.6},", fu.full_s);
+    println!("    \"screen_s\": {:.6},", fu.screen_s);
+    println!("    \"funnel_speedup\": {:.3},", fu.speedup);
+    println!("    \"screened\": {},", fu.screened);
+    println!("    \"rom_certified\": {},", fu.rom_certified);
+    println!("    \"escalated_rom\": {},", fu.escalated_rom);
+    println!("    \"escalated_full\": {},", fu.escalated_full);
+    println!("    \"bound_evals\": {},", fu.bound_evals);
+    println!("    \"screened_frac\": {:.4},", fu.screened_frac);
+    let fmt_ids = |ids: &[usize]| {
+        let inner = ids
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("[{inner}]")
+    };
+    println!(
+        "    \"violations_all_full\": {},",
+        fmt_ids(&fu.violations_full)
+    );
+    println!(
+        "    \"violations_screen\": {},",
+        fmt_ids(&fu.violations_screen)
+    );
+    println!("    \"missed_violations\": {},", fu.missed_violations);
+    println!("    \"spurious_violations\": {}", fu.spurious_violations);
     println!("  }}");
     println!("}}");
 
@@ -967,6 +1137,33 @@ fn main() {
             eprintln!(
                 "error: jobs-4 parallel refactorization speedup {:.2}x below the 1.5x floor",
                 jobs4.speedup
+            );
+            std::process::exit(1);
+        }
+    }
+    // The funnel's soundness invariant binds at every scale: the screen
+    // pass must declare exactly the all-full violation set.
+    if fu.missed_violations > 0 || fu.spurious_violations > 0 {
+        eprintln!(
+            "error: funnel violation set diverged from all-full ({} missed, {} spurious)",
+            fu.missed_violations, fu.spurious_violations
+        );
+        std::process::exit(1);
+    }
+    // At population scale the screen must carry most of the block and the
+    // funnel must win big end-to-end; tiny smoke runs only check soundness.
+    if fu.funnel_nets >= 32 {
+        if fu.screened_frac < 0.5 {
+            eprintln!(
+                "error: screened fraction {:.1}% below the 50% floor",
+                fu.screened_frac * 100.0
+            );
+            std::process::exit(1);
+        }
+        if fu.speedup < 3.0 {
+            eprintln!(
+                "error: funnel end-to-end speedup {:.2}x below the 3x floor",
+                fu.speedup
             );
             std::process::exit(1);
         }

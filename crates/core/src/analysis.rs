@@ -6,7 +6,7 @@ use crate::alignment::{
 use crate::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind};
 use crate::holding::extract_rt;
 use crate::models::NetModels;
-use crate::outcome::{conservative_bound, NetOutcome};
+use crate::outcome::{guarded_simulation, screen_bound, NetOutcome, Outcome, Tier};
 use crate::par::KeyedOnceCache;
 use crate::provider::{provider_for, ModelProvider, ProviderStats};
 use crate::superposition::LinearNetAnalysis;
@@ -19,6 +19,7 @@ use clarinox_sta::window::TimingWindow;
 use clarinox_waveform::measure::{settle_crossing_hysteresis, Edge};
 use clarinox_waveform::{CompositePulse, NoisePulse, Pwl};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Noise pulses smaller than this (volts) are ignored as aggressor
 /// contributions.
@@ -216,15 +217,83 @@ impl NoiseAnalyzer {
         crate::par::run_indexed(specs.len(), jobs, |i| self.analyze_outcome(&specs[i]))
     }
 
-    /// Fault-isolated analysis of one net: [`NoiseAnalyzer::analyze`]
-    /// wrapped in the panic guard, recovery attribution, and conservative
-    /// fallback of [`crate::outcome`].
+    /// Fault-isolated analysis of one net through the escalation funnel
+    /// (see [`crate::funnel`]).
+    ///
+    /// Under the default [`crate::config::FunnelKind::Full`] policy this
+    /// is [`NoiseAnalyzer::analyze`] wrapped in the panic guard, recovery
+    /// attribution, and conservative fallback of [`crate::outcome`] —
+    /// bit-identical to the pre-funnel flow. With screening active, a net
+    /// whose certified closed-form bound already meets both budgets stops
+    /// at the screen ([`Outcome::Screened`]); a bound-violator runs the
+    /// PRIMA ROM rung and stops there when the ROM certificate holds
+    /// ([`Tier::RomCertified`]); everything else escalates to the full
+    /// configured-backend simulation. Violations are only ever declared
+    /// from full-tier values.
     pub fn analyze_outcome(&self, spec: &CoupledNetSpec) -> NetOutcome {
-        crate::outcome::guarded(
-            spec.id,
-            || conservative_bound(&self.tech, spec),
-            || self.analyze(spec),
-        )
+        let policy = &self.config.funnel;
+        if !policy.kind.screening_active() {
+            let t0 = Instant::now();
+            let out = guarded_simulation(&self.tech, spec, Tier::FullSim, || self.analyze(spec));
+            crate::profile::record_funnel_tier_ns(Tier::FullSim, t0.elapsed().as_nanos() as u64);
+            return out;
+        }
+
+        // Screen tier: the certified closed-form bound against the budgets.
+        let t0 = Instant::now();
+        let bound = screen_bound(&self.tech, spec);
+        if crate::funnel::screen_passes(&bound, policy) {
+            crate::profile::record_funnel_screened();
+            crate::profile::record_funnel_tier_ns(Tier::Screened, t0.elapsed().as_nanos() as u64);
+            return Outcome::Screened { id: spec.id, bound };
+        }
+        crate::profile::record_funnel_tier_ns(Tier::Screened, t0.elapsed().as_nanos() as u64);
+
+        // ROM rung: PRIMA with the DC moment-match guardrail as certificate.
+        if crate::funnel::rom_rung_applies(&self.config, spec, &bound) {
+            crate::profile::record_funnel_escalated_rom();
+            let t1 = Instant::now();
+            let rom_cfg = AnalyzerConfig {
+                linear_backend: crate::funnel::rom_backend(),
+                ..self.config
+            };
+            let rom = guarded_simulation(&self.tech, spec, Tier::RomCertified, || {
+                fault::scoped(spec.id, || self.analyze_windowed_cfg(spec, None, &rom_cfg))
+            });
+            crate::profile::record_funnel_tier_ns(
+                Tier::RomCertified,
+                t1.elapsed().as_nanos() as u64,
+            );
+            // Certificate: clean run (zero recovery), clean guardrail,
+            // and both measured values clear the budgets with the guard
+            // band to spare. Anything else escalates.
+            if let Outcome::Analyzed {
+                value: (report, degraded_cfgs),
+                ..
+            } = rom
+            {
+                let peak = report.composite.as_ref().map_or(0.0, |c| c.height);
+                if crate::funnel::rom_certifies(
+                    peak,
+                    report.delay_noise_rcv_out,
+                    degraded_cfgs,
+                    policy,
+                ) {
+                    crate::profile::record_funnel_rom_certified();
+                    return Outcome::Analyzed {
+                        value: report,
+                        tier: Tier::RomCertified,
+                    };
+                }
+            }
+        }
+
+        // Full tier: the pre-funnel path with the configured backend.
+        crate::profile::record_funnel_escalated_full();
+        let t2 = Instant::now();
+        let out = guarded_simulation(&self.tech, spec, Tier::FullSim, || self.analyze(spec));
+        crate::profile::record_funnel_tier_ns(Tier::FullSim, t2.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Analyzes one coupled net with the configured driver model and
@@ -252,15 +321,22 @@ impl NoiseAnalyzer {
         spec: &CoupledNetSpec,
         peak_window: Option<TimingWindow>,
     ) -> Result<NetReport> {
-        fault::scoped(spec.id, || self.analyze_windowed_inner(spec, peak_window))
+        fault::scoped(spec.id, || {
+            self.analyze_windowed_cfg(spec, peak_window, &self.config)
+                .map(|(report, _)| report)
+        })
     }
 
-    fn analyze_windowed_inner(
+    /// The windowed analysis under an explicit configuration (the funnel's
+    /// ROM rung substitutes the PRIMA backend; every other knob matches
+    /// `self.config`). Also returns the backend's degraded-configuration
+    /// count for this net, an input of the ROM certificate.
+    fn analyze_windowed_cfg(
         &self,
         spec: &CoupledNetSpec,
         peak_window: Option<TimingWindow>,
-    ) -> Result<NetReport> {
-        let cfg = &self.config;
+        cfg: &AnalyzerConfig,
+    ) -> Result<(NetReport, usize)> {
         let models = self
             .provider
             .net_models(&self.tech, spec, cfg.ceff_iterations)?;
@@ -314,7 +390,8 @@ impl NoiseAnalyzer {
                 noises_drv.push(noise.at_victim_drv);
             }
             if valid.is_empty() {
-                return self.quiet_report(spec, &models, &lin, noiseless, victim_slew_rcv);
+                let quiet = self.quiet_report(spec, &models, &lin, noiseless, victim_slew_rcv)?;
+                return Ok((quiet, lin.backend_degraded_configurations()));
             }
             let comp = CompositePulse::peaks_aligned(&valid)?;
             // Choose the alignment under the current models.
@@ -417,27 +494,30 @@ impl NoiseAnalyzer {
         let t_out_noisy = settle_crossing_hysteresis(&noisy_out, vmid, out_edge, hyst)?;
         let t_launch = cfg.victim_input_start + 0.5 * spec.victim.driver_input_ramp;
 
-        Ok(NetReport {
-            id: spec.id,
-            victim_edge,
-            ceff: models.victim.ceff,
-            rth: models.victim.thevenin.rth,
-            holding_r: lin.victim_holding_r,
-            rounds,
-            noiseless_drv: noiseless.at_victim_drv,
-            noiseless_rcv: noiseless.at_victim_rcv,
-            noisy_rcv,
-            noiseless_out,
-            noisy_out,
-            pulses: report_pulses,
-            composite: Some(composite.pulse),
-            peak_time,
-            agg_input_starts,
-            delay_noise_rcv_in: t_in_noisy - t_in_clean,
-            delay_noise_rcv_out: t_out_noisy - t_out_clean,
-            base_delay_out: t_out_clean - t_launch,
-            victim_slew_rcv,
-        })
+        Ok((
+            NetReport {
+                id: spec.id,
+                victim_edge,
+                ceff: models.victim.ceff,
+                rth: models.victim.thevenin.rth,
+                holding_r: lin.victim_holding_r,
+                rounds,
+                noiseless_drv: noiseless.at_victim_drv,
+                noiseless_rcv: noiseless.at_victim_rcv,
+                noisy_rcv,
+                noiseless_out,
+                noisy_out,
+                pulses: report_pulses,
+                composite: Some(composite.pulse),
+                peak_time,
+                agg_input_starts,
+                delay_noise_rcv_in: t_in_noisy - t_in_clean,
+                delay_noise_rcv_out: t_out_noisy - t_out_clean,
+                base_delay_out: t_out_clean - t_launch,
+                victim_slew_rcv,
+            },
+            lin.backend_degraded_configurations(),
+        ))
     }
 
     /// Builds the alignment context shared by all strategies. The composite

@@ -92,6 +92,16 @@ pub trait LinearBackend: std::fmt::Debug + Send + Sync {
     /// for [`FullMna`]; macromodel build attempts — including degraded
     /// ones, plus any fallback factorizations — for [`PrimaReduced`]).
     fn configurations_built(&self) -> usize;
+
+    /// Number of holding configurations whose preparation *degraded* —
+    /// for [`PrimaReduced`], guardrail rejections served by the embedded
+    /// full-MNA fallback. Zero for backends with no degraded mode. The
+    /// funnel's ROM tier reads this as part of its certificate: a
+    /// certified ROM result must come from a backend with zero degraded
+    /// configurations (see [`crate::funnel::rom_certifies`]).
+    fn degraded_configurations(&self) -> usize {
+        0
+    }
 }
 
 /// Builds the backend selected by `kind` for one coupled net.
@@ -307,6 +317,10 @@ pub struct PrimaReduced {
     dc_tolerance: f64,
     min_nodes: usize,
     roms: KeyedOnceCache<u64, RomEntry>,
+    /// Guardrail rejections on *this* net (per-instance, unlike the
+    /// process-wide [`profile::prima_fallbacks`]): the funnel's ROM
+    /// certificate checks it per net.
+    degraded: std::sync::atomic::AtomicUsize,
     /// Fallback path for degraded configurations.
     full: FullMna,
 }
@@ -335,6 +349,7 @@ impl PrimaReduced {
             dc_tolerance,
             min_nodes,
             roms: KeyedOnceCache::new(),
+            degraded: std::sync::atomic::AtomicUsize::new(0),
             full: FullMna::new(topo, agg_rths, dt, t_stop, solver),
         }
     }
@@ -363,12 +378,20 @@ impl PrimaReduced {
         true
     }
 
+    /// Records one guardrail rejection (process-wide and per-instance) and
+    /// yields the degraded entry.
+    fn degraded_entry(&self) -> Result<RomEntry> {
+        profile::record_prima_fallback();
+        self.degraded
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(RomEntry::Degraded)
+    }
+
     /// Builds (or degrades) the macromodel of one holding configuration.
     fn build_entry(&self, victim_r: f64) -> Result<RomEntry> {
         profile::record_prima_rom_build();
         if self.skeleton.node_count() < self.min_nodes {
-            profile::record_prima_fallback();
-            return Ok(RomEntry::Degraded);
+            return self.degraded_entry();
         }
         let mut ckt = self.skeleton.clone();
         let gnd = Circuit::ground();
@@ -379,22 +402,18 @@ impl PrimaReduced {
             resistances.push(r);
         }
         let Ok(rc) = RcPorts::from_circuit(&ckt, &self.ports) else {
-            profile::record_prima_fallback();
-            return Ok(RomEntry::Degraded);
+            return self.degraded_entry();
         };
         let (Some(drv_row), Some(rcv_row)) =
             (rc.node_row(self.probe_drv), rc.node_row(self.probe_rcv))
         else {
-            profile::record_prima_fallback();
-            return Ok(RomEntry::Degraded);
+            return self.degraded_entry();
         };
         let Ok(rom) = ReducedModel::reduce(&rc, self.arnoldi_blocks) else {
-            profile::record_prima_fallback();
-            return Ok(RomEntry::Degraded);
+            return self.degraded_entry();
         };
         if !self.dc_moment_ok(&rc, &rom) {
-            profile::record_prima_fallback();
-            return Ok(RomEntry::Degraded);
+            return self.degraded_entry();
         }
         Ok(RomEntry::Reduced {
             rom: Box::new(rom),
@@ -449,6 +468,10 @@ impl LinearBackend for PrimaReduced {
 
     fn configurations_built(&self) -> usize {
         self.roms.builds() + self.full.configurations_built()
+    }
+
+    fn degraded_configurations(&self) -> usize {
+        self.degraded.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 

@@ -133,6 +133,92 @@ impl BatchKind {
     }
 }
 
+/// Which rungs of the Screen → Rom → Full escalation ladder the per-net
+/// analysis may stop at (see [`crate::funnel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FunnelKind {
+    /// The full ladder: certified closed-form screening first, the PRIMA
+    /// ROM rung for bound-violators, full simulation only for nets the ROM
+    /// tier cannot certify.
+    Screen,
+    /// Every net goes straight to full simulation — bit-identical to the
+    /// pre-funnel flow, and the default.
+    #[default]
+    Full,
+    /// Like [`FunnelKind::Screen`], but the ROM rung is skipped for nets
+    /// too small to profit from reduction (their PRIMA build would
+    /// deterministically fall back to full MNA anyway) — they escalate
+    /// straight from the screen to full simulation.
+    Auto,
+}
+
+impl FunnelKind {
+    /// Parses a CLI-style name (`screen` | `full` | `auto`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "screen" => Some(FunnelKind::Screen),
+            "full" => Some(FunnelKind::Full),
+            "auto" => Some(FunnelKind::Auto),
+            _ => None,
+        }
+    }
+
+    /// Stable display name, the inverse of [`Self::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            FunnelKind::Screen => "screen",
+            FunnelKind::Full => "full",
+            FunnelKind::Auto => "auto",
+        }
+    }
+
+    /// Whether the screening tier runs at all.
+    pub fn screening_active(self) -> bool {
+        !matches!(self, FunnelKind::Full)
+    }
+}
+
+/// The escalation policy of the tiered analysis funnel: which rungs run
+/// ([`FunnelKind`]) and the per-net budgets the certified screening bound
+/// is compared against.
+///
+/// A net *screens out* when its closed-form upper bounds sit within both
+/// budgets — the bound certifies the simulated value would too, so the
+/// simulation is skipped. The ROM rung additionally demands its result stay
+/// below `(1 - rom_guard_frac) ×` budget: PRIMA is only tolerance-equal to
+/// full MNA, so results inside the guard band escalate to the full tier
+/// rather than risk a missed violation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FunnelPolicy {
+    /// Which rungs may terminate the ladder.
+    pub kind: FunnelKind,
+    /// Per-net delay-noise budget (seconds) the screening bound must meet.
+    pub delay_budget: f64,
+    /// Per-net peak-noise budget (volts) the screening bound must meet.
+    pub noise_budget: f64,
+    /// Fraction of budget reserved as the ROM-tier guard band.
+    pub rom_guard_frac: f64,
+}
+
+impl Default for FunnelPolicy {
+    fn default() -> Self {
+        FunnelPolicy {
+            kind: FunnelKind::Full,
+            delay_budget: 60e-12,
+            noise_budget: 0.45,
+            rom_guard_frac: 0.10,
+        }
+    }
+}
+
+impl FunnelPolicy {
+    /// The default policy with a different kind.
+    pub fn with_kind(mut self, kind: FunnelKind) -> Self {
+        self.kind = kind;
+        self
+    }
+}
+
 /// Tunable parameters of the analysis flow.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AnalyzerConfig {
@@ -180,6 +266,10 @@ pub struct AnalyzerConfig {
     /// ([`BatchKind::Auto`] batches any round with two or more entries;
     /// results are bit-identical either way).
     pub batch: BatchKind,
+    /// Escalation policy of the tiered analysis funnel
+    /// ([`FunnelKind::Full`] — the default — simulates every net and is
+    /// bit-identical to the pre-funnel flow).
+    pub funnel: FunnelPolicy,
 }
 
 impl Default for AnalyzerConfig {
@@ -202,6 +292,7 @@ impl Default for AnalyzerConfig {
             linear_backend: LinearBackendKind::default(),
             solver: SolverKind::default(),
             batch: BatchKind::default(),
+            funnel: FunnelPolicy::default(),
         }
     }
 }
@@ -242,6 +333,12 @@ impl AnalyzerConfig {
         self.batch = kind;
         self
     }
+
+    /// Same config with a different funnel policy.
+    pub fn with_funnel(mut self, funnel: FunnelPolicy) -> Self {
+        self.funnel = funnel;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +356,23 @@ mod tests {
         assert_eq!(c.linear_backend, LinearBackendKind::FullMna);
         assert_eq!(c.solver, SolverKind::Auto);
         assert_eq!(c.batch, BatchKind::Auto);
+        assert_eq!(c.funnel.kind, FunnelKind::Full);
+    }
+
+    #[test]
+    fn funnel_kind_round_trips_and_gates_screening() {
+        for kind in [FunnelKind::Screen, FunnelKind::Full, FunnelKind::Auto] {
+            assert_eq!(FunnelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(FunnelKind::parse("sometimes"), None);
+        assert!(FunnelKind::Screen.screening_active());
+        assert!(FunnelKind::Auto.screening_active());
+        assert!(!FunnelKind::Full.screening_active());
+        let p = FunnelPolicy::default();
+        assert!(p.delay_budget > 0.0 && p.noise_budget > 0.0);
+        assert!(p.rom_guard_frac > 0.0 && p.rom_guard_frac < 1.0);
+        let c = AnalyzerConfig::default().with_funnel(p.with_kind(FunnelKind::Screen));
+        assert_eq!(c.funnel.kind, FunnelKind::Screen);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   under ~100 mV "does not constitute a functional noise failure").
 
 use crate::config::AnalyzerConfig;
-use crate::outcome::{conservative_bound, FunctionalOutcome};
+use crate::outcome::{guarded_simulation, screen_bound, FunctionalOutcome, Outcome, Tier};
 use crate::provider::{provider_for, ModelProvider};
 use crate::superposition::LinearNetAnalysis;
 use crate::{CoreError, Result};
@@ -140,7 +140,7 @@ pub fn check_functional_noise_with(
     provider: &dyn ModelProvider,
 ) -> Result<FunctionalNoiseReport> {
     fault::scoped(spec.id, || {
-        check_functional_inner(tech, spec, state, margin, config, provider)
+        check_functional_inner(tech, spec, state, margin, config, provider).map(|(r, _)| r)
     })
 }
 
@@ -151,7 +151,7 @@ fn check_functional_inner(
     margin: f64,
     config: &AnalyzerConfig,
     provider: &dyn ModelProvider,
-) -> Result<FunctionalNoiseReport> {
+) -> Result<(FunctionalNoiseReport, usize)> {
     if !(margin > 0.0) {
         return Err(CoreError::analysis("noise margin must be positive"));
     }
@@ -211,15 +211,18 @@ fn check_functional_inner(
     }
     let glitch_out = out.sub(&quiet_out).extremum_point().1.abs();
 
-    Ok(FunctionalNoiseReport {
-        id: spec.id,
-        state,
-        pulses,
-        glitch_in,
-        glitch_out,
-        margin,
-        output: out,
-    })
+    Ok((
+        FunctionalNoiseReport {
+            id: spec.id,
+            state,
+            pulses,
+            glitch_in,
+            glitch_out,
+            margin,
+            output: out,
+        },
+        lin.backend_degraded_configurations(),
+    ))
 }
 
 /// Runs the functional-noise check over a whole block, fanning the
@@ -251,12 +254,92 @@ pub fn check_functional_noise_block(
     crate::par::run_indexed(specs.len() * states.len(), jobs, |i| {
         let spec = &specs[i / states.len()];
         let state = states[i % states.len()];
-        crate::outcome::guarded(
-            spec.id,
-            || conservative_bound(tech, spec),
-            || check_functional_noise_with(tech, spec, state, margin, config, provider.as_ref()),
-        )
+        functional_funnel(tech, spec, state, margin, config, provider.as_ref())
     })
+}
+
+/// One `(net, quiet-state)` pair through the escalation funnel (see
+/// [`crate::funnel`]): the screen certifies a pair whose input-glitch
+/// ceiling is both within margin and sub-threshold at the receiver; the
+/// ROM rung certifies a clean PRIMA run whose output glitch clears the
+/// margin with the guard band to spare; everything else runs the full
+/// configured backend. [`crate::config::FunnelKind::Full`] (the default)
+/// bypasses the ladder and is bit-identical to the pre-funnel flow.
+fn functional_funnel(
+    tech: &Tech,
+    spec: &CoupledNetSpec,
+    state: QuietState,
+    margin: f64,
+    config: &AnalyzerConfig,
+    provider: &dyn ModelProvider,
+) -> FunctionalOutcome {
+    use std::time::Instant;
+    let policy = &config.funnel;
+    let full = |tier_started: Instant| {
+        let out = guarded_simulation(tech, spec, Tier::FullSim, || {
+            check_functional_noise_with(tech, spec, state, margin, config, provider)
+        });
+        crate::profile::record_funnel_tier_ns(
+            Tier::FullSim,
+            tier_started.elapsed().as_nanos() as u64,
+        );
+        out
+    };
+    // A non-positive margin is a configuration error; let the full path
+    // report it rather than screening against a vacuous budget.
+    if !policy.kind.screening_active() || !(margin > 0.0) {
+        return full(Instant::now());
+    }
+
+    let t0 = Instant::now();
+    let bound = screen_bound(tech, spec);
+    if crate::funnel::functional_screen_passes(&bound, margin, tech) {
+        crate::profile::record_funnel_screened();
+        crate::profile::record_funnel_tier_ns(Tier::Screened, t0.elapsed().as_nanos() as u64);
+        return Outcome::Screened { id: spec.id, bound };
+    }
+    crate::profile::record_funnel_tier_ns(Tier::Screened, t0.elapsed().as_nanos() as u64);
+
+    // The rung is worth attempting only when the glitch ceiling is within
+    // shouting distance of the margin (the functional analogue of
+    // [`crate::funnel::rom_rung_hopeful`]).
+    if crate::funnel::rom_rung_structurally_applies(config, spec)
+        && bound.peak_noise <= crate::funnel::ROM_HOPE_FACTOR * margin
+    {
+        crate::profile::record_funnel_escalated_rom();
+        let t1 = Instant::now();
+        let rom_cfg = AnalyzerConfig {
+            linear_backend: crate::funnel::rom_backend(),
+            ..*config
+        };
+        let rom = guarded_simulation(tech, spec, Tier::RomCertified, || {
+            fault::scoped(spec.id, || {
+                check_functional_inner(tech, spec, state, margin, &rom_cfg, provider)
+            })
+        });
+        crate::profile::record_funnel_tier_ns(Tier::RomCertified, t1.elapsed().as_nanos() as u64);
+        if let Outcome::Analyzed {
+            value: (report, degraded_cfgs),
+            ..
+        } = rom
+        {
+            if crate::funnel::rom_certifies_functional(
+                report.glitch_out,
+                degraded_cfgs,
+                policy,
+                margin,
+            ) {
+                crate::profile::record_funnel_rom_certified();
+                return Outcome::Analyzed {
+                    value: report,
+                    tier: Tier::RomCertified,
+                };
+            }
+        }
+    }
+
+    crate::profile::record_funnel_escalated_full();
+    full(Instant::now())
 }
 
 #[cfg(test)]

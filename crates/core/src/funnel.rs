@@ -1,0 +1,345 @@
+//! The certified Screen → Rom → Full escalation funnel.
+//!
+//! On realistic net populations most victims sit nowhere near their noise
+//! or delay budget, yet the paper flow simulates every one with full
+//! driver modeling and alignment search. The funnel inverts that: every
+//! net first passes through a *certified* cheap tier, and only nets the
+//! cheap tier cannot clear escalate to the next, more expensive rung.
+//!
+//! ```text
+//!   Screen  — closed-form upper bound ([`crate::outcome::screen_bound`]):
+//!             bound within budget ⟹ true value within budget. No
+//!             simulation runs; the outcome is [`Outcome::Screened`]
+//!             carrying the certifying bound. STA windows for screened
+//!             nets use the bound windows, which over-cover the true
+//!             worst case by construction.
+//!   Rom     — PRIMA reduced-order simulation with the DC moment-match
+//!             guardrail as certificate: the result is trusted when every
+//!             holding configuration passed the guardrail (zero degraded
+//!             configurations), the solver needed zero recovery steps,
+//!             and the measured values clear the budgets with a guard
+//!             band to spare ([`FunnelPolicy::rom_guard_frac`]).
+//!   Full    — the pre-funnel path: full MNA + R_t refinement + alignment
+//!             search with the configured backend. Violations are only
+//!             ever *declared* from this tier's values (or from a ROM run
+//!             that failed its budget — escalation, not certification,
+//!             and the full tier then re-measures).
+//! ```
+//!
+//! Soundness invariant: a net stopped at a cheaper tier is never a missed
+//! violation, because each tier's stop condition is `certified value ≤
+//! budget` and each certificate dominates the true value (the screen by
+//! construction of the bound, the ROM by guardrail + guard band). The
+//! [`FunnelKind::Full`] policy (the default) bypasses the ladder entirely
+//! and is bit-identical to the pre-funnel flow.
+//!
+//! This module holds the policy mechanics — the screening trait, budget
+//! comparisons, ROM-rung applicability and the ROM certificate. The
+//! ladder itself is driven from [`crate::analysis::NoiseAnalyzer`] and
+//! [`crate::functional::check_functional_noise_block`], which own the
+//! simulation machinery; per-tier counters live in [`crate::profile`].
+
+use crate::config::{AnalyzerConfig, FunnelKind, FunnelPolicy, LinearBackendKind};
+use crate::outcome::{screen_bound, ConservativeBound};
+use clarinox_cells::Tech;
+use clarinox_netgen::spec::CoupledNetSpec;
+
+/// A first-tier screening backend: produces a certified upper bound on a
+/// net's noise metrics without simulating it.
+///
+/// The contract is the soundness invariant of the funnel: for every spec,
+/// `screen(...)` must dominate the true (full-simulation) peak noise and
+/// delay noise — an implementation that can under-estimate is not a
+/// screen, it is a heuristic, and must not be used here.
+pub trait ScreeningBackend: Send + Sync {
+    /// Certified upper bound for `spec` under `tech`.
+    fn screen(&self, tech: &Tech, spec: &CoupledNetSpec) -> ConservativeBound;
+
+    /// Stable name for reports and profiles.
+    fn name(&self) -> &'static str;
+}
+
+/// The closed-form screen: Hunagund–Kalpana charge-sharing peak bound and
+/// the Miller-2 Elmore delay bound tightened by the Shi–Wu–Yan slope term
+/// (see [`crate::outcome::screen_bound`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClosedFormScreen;
+
+impl ScreeningBackend for ClosedFormScreen {
+    fn screen(&self, tech: &Tech, spec: &CoupledNetSpec) -> ConservativeBound {
+        screen_bound(tech, spec)
+    }
+
+    fn name(&self) -> &'static str {
+        "closed-form"
+    }
+}
+
+/// Whether `bound` certifies the net within the delay-noise budgets: both
+/// the peak-noise and delay-noise upper bounds sit at or under budget, so
+/// the true values must too.
+pub fn screen_passes(bound: &ConservativeBound, policy: &FunnelPolicy) -> bool {
+    bound.delay_noise <= policy.delay_budget && bound.peak_noise <= policy.noise_budget
+}
+
+/// Whether `bound` certifies a `(net, quiet-state)` pair functionally
+/// quiet: the input-glitch ceiling sits within the configured output
+/// margin *and* under the receiver's switching-threshold floor (the
+/// smaller device threshold), so a sub-threshold glitch cannot propagate
+/// through the receiver at all, let alone exceed the margin.
+pub fn functional_screen_passes(bound: &ConservativeBound, margin: f64, tech: &Tech) -> bool {
+    let vt_floor = tech.nmos.vt.min(tech.pmos.vt.abs());
+    bound.peak_noise <= margin && bound.peak_noise <= vt_floor
+}
+
+/// Estimated MNA node count of the coupled system: one node per wire
+/// segment boundary on the victim and each aggressor. Used by
+/// [`FunnelKind::Auto`] to skip the ROM rung for nets too small for
+/// reduction to pay ([`ROM_RUNG_MIN_NODES`]).
+pub fn estimated_nodes(spec: &CoupledNetSpec) -> usize {
+    (spec.victim.segments + 1)
+        + spec
+            .aggressors
+            .iter()
+            .map(|a| a.net.segments + 1)
+            .sum::<usize>()
+}
+
+/// The backend the ROM rung simulates with: PRIMA with the default
+/// guardrail (4 Arnoldi blocks, 1 ppm DC tolerance, 8-node minimum).
+pub fn rom_backend() -> LinearBackendKind {
+    LinearBackendKind::prima()
+}
+
+/// The smallest estimated node count at which [`FunnelKind::Auto`]
+/// attempts the ROM rung. Deliberately higher than the PRIMA guardrail's
+/// own `min_nodes` (which only guards *correctness* of the reduction):
+/// below a few dozen nodes the Arnoldi build plus the reduced simulation
+/// costs as much as full MNA, so the rung can only lose time even when it
+/// certifies. [`FunnelKind::Screen`] attempts the rung regardless, as the
+/// explicit "maximum certification" policy.
+pub const ROM_RUNG_MIN_NODES: usize = 24;
+
+/// How far over budget the screening bound may sit for the ROM rung to be
+/// worth attempting. The ROM can only *certify* values under the budgets;
+/// a net whose certified upper bound already exceeds `factor ×` a budget
+/// is overwhelmingly likely to measure over it too, and attempting the
+/// rung would just pay a reduced simulation on top of the full one it
+/// escalates to anyway. Cost heuristic only — skipping the rung never
+/// changes a verdict, it just routes straight to the full tier.
+pub const ROM_HOPE_FACTOR: f64 = 2.0;
+
+/// Whether the ROM rung has a realistic shot at certifying a net whose
+/// screen bound is `bound`: both bound dimensions within
+/// [`ROM_HOPE_FACTOR`] of their budgets.
+pub fn rom_rung_hopeful(bound: &ConservativeBound, policy: &FunnelPolicy) -> bool {
+    bound.delay_noise <= ROM_HOPE_FACTOR * policy.delay_budget
+        && bound.peak_noise <= ROM_HOPE_FACTOR * policy.noise_budget
+}
+
+/// Whether the ROM rung applies to `spec` under `cfg`. It does not when:
+///
+/// * screening is off ([`FunnelKind::Full`]) — the ladder is bypassed;
+/// * the configured backend is already [`LinearBackendKind::PrimaReduced`]
+///   — the full tier *is* a ROM run, so a separate rung would duplicate
+///   it without adding evidence;
+/// * the policy is [`FunnelKind::Auto`] and the net is too small for the
+///   reduction to pay for itself ([`ROM_RUNG_MIN_NODES`]);
+/// * the screen bound is hopeless ([`rom_rung_hopeful`]) — so far over
+///   budget that the rung would almost surely escalate anyway.
+pub fn rom_rung_applies(
+    cfg: &AnalyzerConfig,
+    spec: &CoupledNetSpec,
+    bound: &ConservativeBound,
+) -> bool {
+    rom_rung_structurally_applies(cfg, spec) && rom_rung_hopeful(bound, &cfg.funnel)
+}
+
+/// The structural part of [`rom_rung_applies`]: policy, backend and net
+/// size — everything except the hopefulness of a concrete bound. The
+/// functional flow combines this with its own margin-based hope check.
+pub fn rom_rung_structurally_applies(cfg: &AnalyzerConfig, spec: &CoupledNetSpec) -> bool {
+    if !cfg.funnel.kind.screening_active() {
+        return false;
+    }
+    if !matches!(cfg.linear_backend, LinearBackendKind::FullMna) {
+        return false;
+    }
+    match cfg.funnel.kind {
+        FunnelKind::Auto => estimated_nodes(spec) >= ROM_RUNG_MIN_NODES,
+        _ => true,
+    }
+}
+
+/// Whether a ROM-tier delay-noise result is *certified*: the run was
+/// clean (zero solver recovery — the caller checks this via the outcome
+/// arm), every holding configuration passed the PRIMA DC moment-match
+/// guardrail (`degraded_configs == 0`), and the measured values clear
+/// both budgets with the guard band to spare. Anything else escalates to
+/// the full tier.
+pub fn rom_certifies(
+    peak_noise: f64,
+    delay_noise: f64,
+    degraded_configs: usize,
+    policy: &FunnelPolicy,
+) -> bool {
+    let guard = (1.0 - policy.rom_guard_frac).max(0.0);
+    degraded_configs == 0
+        && delay_noise <= guard * policy.delay_budget
+        && peak_noise <= guard * policy.noise_budget
+}
+
+/// The functional-noise ROM certificate: clean run, clean guardrail, and
+/// the output glitch clears the margin with the guard band to spare.
+pub fn rom_certifies_functional(
+    glitch_out: f64,
+    degraded_configs: usize,
+    policy: &FunnelPolicy,
+    margin: f64,
+) -> bool {
+    let guard = (1.0 - policy.rom_guard_frac).max(0.0);
+    degraded_configs == 0 && glitch_out <= guard * margin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_cells::Gate;
+    use clarinox_netgen::spec::{AggressorSpec, NetSpec};
+    use clarinox_waveform::measure::Edge;
+
+    fn spec(tech: &Tech, segments: usize) -> CoupledNetSpec {
+        let base = NetSpec {
+            driver: Gate::inv(2.0, tech),
+            driver_input_ramp: 120e-12,
+            driver_input_edge: Edge::Rising,
+            wire_len: 1.0e-3,
+            segments,
+            receiver: Gate::inv(2.0, tech),
+            receiver_load: 15e-15,
+        };
+        CoupledNetSpec {
+            id: 0,
+            victim: base,
+            aggressors: vec![AggressorSpec {
+                net: NetSpec {
+                    driver: Gate::inv(8.0, tech),
+                    driver_input_edge: Edge::Falling,
+                    ..base
+                },
+                coupling_len: 0.8e-3,
+                coupling_start: 0.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn screen_passes_compares_both_budgets() {
+        let b = ConservativeBound {
+            peak_noise: 0.1,
+            delay_noise: 10e-12,
+            base_delay: 100e-12,
+        };
+        let policy = FunnelPolicy {
+            kind: FunnelKind::Screen,
+            delay_budget: 20e-12,
+            noise_budget: 0.2,
+            rom_guard_frac: 0.1,
+        };
+        assert!(screen_passes(&b, &policy));
+        let tight_delay = FunnelPolicy {
+            delay_budget: 5e-12,
+            ..policy
+        };
+        assert!(!screen_passes(&b, &tight_delay));
+        let tight_noise = FunnelPolicy {
+            noise_budget: 0.05,
+            ..policy
+        };
+        assert!(!screen_passes(&b, &tight_noise));
+    }
+
+    #[test]
+    fn functional_screen_requires_sub_threshold_glitch() {
+        let tech = Tech::default_180nm();
+        let vt_floor = tech.nmos.vt.min(tech.pmos.vt.abs());
+        let quiet = ConservativeBound {
+            peak_noise: 0.5 * vt_floor,
+            delay_noise: 0.0,
+            base_delay: 0.0,
+        };
+        assert!(functional_screen_passes(&quiet, tech.vdd, &tech));
+        // A bound above the threshold floor never screens, even with a
+        // generous margin: it could propagate.
+        let loud = ConservativeBound {
+            peak_noise: 1.5 * vt_floor,
+            ..quiet
+        };
+        assert!(!functional_screen_passes(&loud, tech.vdd, &tech));
+        // And a bound above the margin never screens either.
+        assert!(!functional_screen_passes(&quiet, 0.25 * vt_floor, &tech));
+    }
+
+    #[test]
+    fn rom_rung_applicability_follows_policy_backend_and_size() {
+        let tech = Tech::default_180nm();
+        let big = spec(&tech, 12);
+        let small = spec(&tech, 1);
+        assert_eq!(estimated_nodes(&big), 26);
+        assert_eq!(estimated_nodes(&small), 4);
+
+        let mut cfg = AnalyzerConfig::default();
+        cfg.funnel.kind = FunnelKind::Screen;
+        // A bound just over budget: the rung is worth attempting.
+        let near = ConservativeBound {
+            peak_noise: 1.1 * cfg.funnel.noise_budget,
+            delay_noise: 1.1 * cfg.funnel.delay_budget,
+            base_delay: 100e-12,
+        };
+        assert!(rom_rung_applies(&cfg, &big, &near));
+        assert!(rom_rung_applies(&cfg, &small, &near));
+
+        cfg.funnel.kind = FunnelKind::Auto;
+        assert!(rom_rung_applies(&cfg, &big, &near));
+        assert!(!rom_rung_applies(&cfg, &small, &near));
+
+        cfg.funnel.kind = FunnelKind::Full;
+        assert!(!rom_rung_applies(&cfg, &big, &near));
+
+        cfg.funnel.kind = FunnelKind::Screen;
+        cfg.linear_backend = LinearBackendKind::prima();
+        assert!(!rom_rung_applies(&cfg, &big, &near));
+
+        // A hopeless bound (far over budget) skips the rung: the ROM
+        // could never certify it and would only add cost.
+        cfg.linear_backend = LinearBackendKind::FullMna;
+        let hopeless = ConservativeBound {
+            delay_noise: (ROM_HOPE_FACTOR + 0.5) * cfg.funnel.delay_budget,
+            ..near
+        };
+        assert!(rom_rung_hopeful(&near, &cfg.funnel));
+        assert!(!rom_rung_hopeful(&hopeless, &cfg.funnel));
+        assert!(!rom_rung_applies(&cfg, &big, &hopeless));
+    }
+
+    #[test]
+    fn rom_certificate_needs_clean_guardrail_and_guard_band() {
+        let policy = FunnelPolicy {
+            kind: FunnelKind::Screen,
+            delay_budget: 100e-12,
+            noise_budget: 0.4,
+            rom_guard_frac: 0.10,
+        };
+        // Within 90% of both budgets, clean guardrail: certified.
+        assert!(rom_certifies(0.30, 80e-12, 0, &policy));
+        // A degraded configuration voids the certificate.
+        assert!(!rom_certifies(0.30, 80e-12, 1, &policy));
+        // Inside the guard band (91% of budget): escalate.
+        assert!(!rom_certifies(0.30, 91e-12, 0, &policy));
+        assert!(!rom_certifies(0.37, 80e-12, 0, &policy));
+
+        assert!(rom_certifies_functional(0.30, 0, &policy, 0.4));
+        assert!(!rom_certifies_functional(0.37, 0, &policy, 0.4));
+        assert!(!rom_certifies_functional(0.30, 2, &policy, 0.4));
+    }
+}

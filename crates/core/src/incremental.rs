@@ -34,11 +34,13 @@
 //! skip re-analysis entirely across process restarts.
 
 use crate::analysis::{NetReport, NoiseAnalyzer};
-use crate::config::{AlignmentObjective, AnalyzerConfig, DriverModelKind, LinearBackendKind};
+use crate::config::{
+    AlignmentObjective, AnalyzerConfig, DriverModelKind, FunnelKind, LinearBackendKind,
+};
 use crate::design::{
     build_stage_graph, declared_aggressors, design_delta_fn, to_stage_couplings, DesignNet,
 };
-use crate::outcome::{ConservativeBound, Outcome};
+use crate::outcome::{ConservativeBound, Outcome, Tier};
 use crate::par::run_indexed;
 use crate::{CoreError, Result};
 use clarinox_cells::{Gate, GateKind, Tech};
@@ -84,6 +86,9 @@ pub struct NetSummary {
     pub comp_height: f64,
     /// Composite pulse 50%-height width (seconds; NaN when quiet).
     pub comp_width50: f64,
+    /// Which funnel tier produced this summary (see [`crate::funnel`]).
+    /// Legacy records without a tier token migrate as [`Tier::FullSim`].
+    pub tier: Tier,
 }
 
 impl NetSummary {
@@ -103,7 +108,15 @@ impl NetSummary {
             peak_time: r.peak_time,
             comp_height: r.composite.as_ref().map_or(f64::NAN, |p| p.height),
             comp_width50: r.composite.as_ref().map_or(f64::NAN, |p| p.width50),
+            tier: Tier::FullSim,
         }
+    }
+
+    /// The same summary tagged with the funnel tier that produced the
+    /// report.
+    pub fn with_tier(mut self, tier: Tier) -> Self {
+        self.tier = tier;
+        self
     }
 
     fn f64_fields(&self) -> [f64; 10] {
@@ -127,6 +140,7 @@ impl NetSummary {
         self.id == other.id
             && self.rounds == other.rounds
             && self.has_noise == other.has_noise
+            && self.tier == other.tier
             && self
                 .f64_fields()
                 .iter()
@@ -146,6 +160,8 @@ impl NetSummary {
         for x in self.f64_fields() {
             s.push_str(&format!(" {:016x}", x.to_bits()));
         }
+        s.push(' ');
+        s.push_str(self.tier.name());
         s
     }
 
@@ -169,6 +185,33 @@ impl NetSummary {
             peak_time: f64::NAN,
             comp_height: bound.peak_noise,
             comp_width50: f64::NAN,
+            tier: Tier::FullSim,
+        }
+    }
+
+    /// The summary of a net the screening tier certified within budget:
+    /// the certified bound supplies the delay and noise fields, so
+    /// downstream timing windows over-cover the (unmeasured) true worst
+    /// case, and the purely diagnostic fields hold the NaN sentinel.
+    /// Unlike [`NetSummary::conservative`], this *is* cached — the bound
+    /// is the certified result of this policy, and a policy change
+    /// invalidates via the content hash.
+    pub fn screened(id: usize, bound: &ConservativeBound) -> Self {
+        NetSummary {
+            id,
+            rounds: 0,
+            has_noise: bound.peak_noise > 0.0,
+            ceff: f64::NAN,
+            rth: f64::NAN,
+            holding_r: f64::NAN,
+            base_delay_out: bound.base_delay,
+            delay_noise_rcv_in: bound.delay_noise,
+            delay_noise_rcv_out: bound.delay_noise,
+            victim_slew_rcv: f64::NAN,
+            peak_time: f64::NAN,
+            comp_height: bound.peak_noise,
+            comp_width50: f64::NAN,
+            tier: Tier::Screened,
         }
     }
 
@@ -194,6 +237,14 @@ impl NetSummary {
         for (i, slot) in f.iter_mut().enumerate() {
             *slot = f64::from_bits(hex_u64(&mut tok, FIELD_NAMES[i])?);
         }
+        // The tier token is optional: records written before the funnel
+        // (store version /1) carry none and migrate as full simulations.
+        let tier = match tok.next() {
+            None => Tier::FullSim,
+            Some(t) => Tier::parse(t).ok_or_else(|| {
+                CoreError::analysis(format!("net-summary record: bad tier {t:?}"))
+            })?,
+        };
         if let Some(extra) = tok.next() {
             return Err(CoreError::analysis(format!(
                 "net-summary record: trailing token {extra:?}"
@@ -213,6 +264,7 @@ impl NetSummary {
             peak_time: f[7],
             comp_height: f[8],
             comp_width50: f[9],
+            tier,
         })
     }
 }
@@ -352,6 +404,22 @@ fn fold_config(h: &mut Fnv64, c: &AnalyzerConfig) {
     // bit-identical to serial single-RHS stepping (same per-column operand
     // order), so toggling it must keep warm caches valid — like the
     // provider layer, it changes throughput, never results.
+    //
+    // The funnel policy is folded in ONLY when screening is active: under
+    // `FunnelKind::Full` the flow is bit-identical to the pre-funnel one,
+    // so pre-existing stores and hashes stay valid, while any change to an
+    // *active* policy (kind or budgets) can change which tier certifies a
+    // net and must invalidate.
+    if c.funnel.kind.screening_active() {
+        h.write_u8(match c.funnel.kind {
+            FunnelKind::Full => 0,
+            FunnelKind::Screen => 1,
+            FunnelKind::Auto => 2,
+        });
+        h.write_f64(c.funnel.delay_budget);
+        h.write_f64(c.funnel.noise_budget);
+        h.write_f64(c.funnel.rom_guard_frac);
+    }
 }
 
 /// Content hash of everything a net's *report* depends on: technology,
@@ -383,7 +451,9 @@ pub fn window_content_hash(w: &TimingWindow) -> u64 {
 /// What the last [`IncrementalDesign::analyze`] call actually did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EcoStats {
-    /// Nets whose reports were (re-)computed this round.
+    /// Nets whose outcomes were (re-)derived this round (simulated *or*
+    /// certified at the screening tier — [`EcoStats::screened`] counts the
+    /// subset that skipped simulation).
     pub analyzed: usize,
     /// Nets whose cached summaries were reused.
     pub reused: usize,
@@ -398,6 +468,9 @@ pub struct EcoStats {
     /// are conservative closed-form bounds and they are retried on the
     /// next analyze.
     pub failed: usize,
+    /// Re-derived nets the screening tier certified without simulation;
+    /// their cached summaries carry the certified bound values.
+    pub screened: usize,
 }
 
 /// Result of an incremental design analysis; the per-net projection of the
@@ -589,16 +662,21 @@ impl IncrementalDesign {
         let analyzed = todo.len();
         let mut degraded = 0;
         let mut failed = 0;
+        let mut screened = 0;
         // Conservative stand-ins for this round only (never cached).
         let mut fallback: Vec<(usize, NetSummary)> = Vec::new();
         for (&i, out) in todo.iter().zip(fresh) {
             match out {
-                Outcome::Analyzed(r) => {
-                    self.states[i].summary = Some(NetSummary::from_report(&r));
+                Outcome::Screened { id, bound } => {
+                    screened += 1;
+                    self.states[i].summary = Some(NetSummary::screened(id, &bound));
                 }
-                Outcome::Degraded { value, .. } => {
+                Outcome::Analyzed { value, tier } => {
+                    self.states[i].summary = Some(NetSummary::from_report(&value).with_tier(tier));
+                }
+                Outcome::Degraded { value, tier, .. } => {
                     degraded += 1;
-                    self.states[i].summary = Some(NetSummary::from_report(&value));
+                    self.states[i].summary = Some(NetSummary::from_report(&value).with_tier(tier));
                 }
                 Outcome::Failed { id, bound, .. } => {
                     failed += 1;
@@ -685,6 +763,7 @@ impl IncrementalDesign {
                 warm_start,
                 degraded,
                 failed,
+                screened,
             },
         })
     }
@@ -760,6 +839,30 @@ mod tests {
         assert_eq!(base, spec_content_hash(&tech, &batched_cfg, &nets[0].spec));
         let serial_cfg = cfg.with_batch(crate::config::BatchKind::Off);
         assert_eq!(base, spec_content_hash(&tech, &serial_cfg, &nets[0].spec));
+
+        // An *active* funnel policy changes results → different hash; and
+        // its budgets matter too.
+        use crate::config::FunnelPolicy;
+        let screen_cfg = cfg.with_funnel(FunnelPolicy::default().with_kind(FunnelKind::Screen));
+        let screen_hash = spec_content_hash(&tech, &screen_cfg, &nets[0].spec);
+        assert_ne!(base, screen_hash);
+        let tighter = cfg.with_funnel(FunnelPolicy {
+            kind: FunnelKind::Screen,
+            delay_budget: 1e-12,
+            ..FunnelPolicy::default()
+        });
+        assert_ne!(
+            screen_hash,
+            spec_content_hash(&tech, &tighter, &nets[0].spec)
+        );
+
+        // Budgets under the default Full policy are inert → same hash, so
+        // pre-funnel stores stay valid.
+        let inert = cfg.with_funnel(FunnelPolicy {
+            delay_budget: 1e-12,
+            ..FunnelPolicy::default()
+        });
+        assert_eq!(base, spec_content_hash(&tech, &inert, &nets[0].spec));
     }
 
     #[test]
@@ -778,11 +881,30 @@ mod tests {
             peak_time: 1.9e-9,
             comp_height: f64::NAN,
             comp_width50: f64::NAN,
+            tier: Tier::FullSim,
         };
         let back = NetSummary::parse_record(&s.to_record()).unwrap();
         assert!(s.bits_eq(&back));
 
+        // A screened summary round-trips its tier token.
+        let scr = NetSummary {
+            tier: Tier::Screened,
+            ..s
+        };
+        let scr_back = NetSummary::parse_record(&scr.to_record()).unwrap();
+        assert!(scr.bits_eq(&scr_back));
+        assert_eq!(scr_back.tier, Tier::Screened);
+
+        // A legacy (store /1) record without the tier token migrates as a
+        // full simulation.
+        let legacy = s.to_record();
+        let legacy = legacy.rsplit_once(' ').unwrap().0;
+        let migrated = NetSummary::parse_record(legacy).unwrap();
+        assert_eq!(migrated.tier, Tier::FullSim);
+        assert!(migrated.bits_eq(&s));
+
         assert!(NetSummary::parse_record("1 2").is_err());
+        assert!(NetSummary::parse_record(&format!("{legacy} bogus-tier")).is_err());
         assert!(NetSummary::parse_record(&format!("{} extra", s.to_record())).is_err());
         let mut toks: Vec<String> = s.to_record().split_whitespace().map(String::from).collect();
         toks[3] = "not-hex".into();

@@ -69,6 +69,7 @@ pub mod backend;
 pub mod config;
 pub mod design;
 pub mod functional;
+pub mod funnel;
 pub mod gold;
 pub mod holding;
 pub mod incremental;
@@ -84,12 +85,15 @@ mod error;
 pub use analysis::{NetReport, NoiseAnalyzer};
 pub use clarinox_circuit::solver::{SolverKind, SPARSE_CROSSOVER_DIM};
 pub use config::{
-    AlignmentObjective, AnalyzerConfig, BatchKind, DriverModelKind, LinearBackendKind,
-    ModelProviderKind,
+    AlignmentObjective, AnalyzerConfig, BatchKind, DriverModelKind, FunnelKind, FunnelPolicy,
+    LinearBackendKind, ModelProviderKind,
 };
 pub use error::CoreError;
 pub use incremental::{EcoStats, IncrementalDesign, IncrementalReport, NetSummary};
-pub use outcome::{conservative_bound, ConservativeBound, FunctionalOutcome, NetOutcome, Outcome};
+pub use outcome::{
+    conservative_bound, screen_bound, ConservativeBound, FunctionalOutcome, NetOutcome, Outcome,
+    Tier,
+};
 pub use provider::{ModelProvider, ProviderStats};
 
 /// Crate-wide result alias.

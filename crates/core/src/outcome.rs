@@ -1,9 +1,13 @@
-//! Fault-isolated per-net outcomes and the conservative fallback bound.
+//! Fault-isolated per-net outcomes, tier provenance, and the certified
+//! closed-form screening bound.
 //!
 //! The block-level entry points ([`crate::analysis::NoiseAnalyzer::analyze_block`],
 //! [`crate::functional::check_functional_noise_block`]) never abort a whole
 //! batch because one net misbehaved. Each net's work is wrapped here:
 //!
+//! * a net whose closed-form bounds already sit within the configured
+//!   budgets (see [`crate::funnel`]) skips simulation entirely and is
+//!   [`Outcome::Screened`], carrying the certifying bound;
 //! * a clean run with zero solver-recovery steps is [`Outcome::Analyzed`];
 //! * a run that needed the spice recovery ladder (timestep halving, GMIN
 //!   stepping, backward Euler — see `clarinox-spice`) still returns its
@@ -13,27 +17,42 @@
 //!   [`Outcome::Failed`], carrying a closed-form [`ConservativeBound`] so
 //!   downstream timing windows stay sound without the simulation.
 //!
+//! `Analyzed` and `Degraded` outcomes record the [`Tier`] that produced
+//! them (`RomCertified` when the PRIMA rung of the funnel certified the
+//! result, `FullSim` otherwise), so reports and the incremental store can
+//! distinguish how much evidence backs each number.
+//!
 //! The healthy path is bit-identical to the pre-outcome API: the wrapper
 //! adds only a panic guard and two counter reads around the existing
 //! computation.
 //!
-//! # The conservative bound
+//! # The screening / conservative bound
 //!
-//! When simulation is unavailable the bound falls back to the analytical
-//! coupling-noise models of Hunagund & Kalpana (arXiv 1304.0835; see
-//! PAPERS.md), simplified toward pessimism:
+//! The same closed-form bound serves two roles: the first rung of the
+//! escalation funnel (a net whose bound meets budget needs no simulation)
+//! and the pessimistic stand-in for a net whose simulation failed. It
+//! combines the analytical coupling-noise models of Hunagund & Kalpana
+//! (arXiv 1004.4458) with the coupled-RC delay slope model of Shi, Wu &
+//! Yan (arXiv 1304.0835; see PAPERS.md), simplified toward pessimism:
 //!
 //! * **Peak noise** is the charge-sharing ceiling `Vdd · Cc / (Cc + Cg)` —
 //!   the glitch a fully switching aggressor bank can capacitively force on
 //!   a *floating* victim. Any finite holding resistance only reduces it,
 //!   and omitting the victim driver's drain capacitance from `Cg` inflates
 //!   it further.
-//! * **Delay noise** is a Miller-factor-2 Elmore term: the aggressor bank
-//!   switching opposite to the victim at the worst moment at most doubles
-//!   the effective coupling charge, so the push-out is bounded by the RC
-//!   time `(R_drv + R_wire) · 2·Cc` scaled to a 10–90% settle (×2.2), plus
-//!   half the input ramp for the launch-point shift. `R_drv` is a weak
-//!   (series-stack, triode) resistance estimate, doubled.
+//! * **Delay noise** is the smaller of two upper bounds, plus half the
+//!   input ramp for the launch-point shift. The *Miller-2 Elmore* term
+//!   bounds the push-out by the RC time `(R_drv + R_wire) · 2·Cc` scaled
+//!   to a 10–90% settle (×2.2): the aggressor bank switching opposite to
+//!   the victim at the worst moment at most doubles the effective coupling
+//!   charge. The *slope* term bounds the same push-out by how long the
+//!   (monotone, exponential-tailed) victim transition takes to traverse a
+//!   band of the peak-noise height around `Vdd/2`: for a transition with
+//!   time constant `τ ≤ R_path · (Cg + 2·Cc)`, the crossing shifts by at
+//!   most `τ · V_p / (Vdd/2 − V_p)`, again ×2.2 for settle-measurement and
+//!   receiver-stage pessimism, and only applied where the geometry is
+//!   valid (`V_p < 0.35 · Vdd`). `R_drv` is a weak (series-stack, triode)
+//!   resistance estimate, doubled.
 //! * **Base delay** upper-bounds the noiseless stage delay with the same
 //!   weak driver through the full Miller-2 load plus the receiver stage —
 //!   a *late-side* bound: sound for setup/max-delay windows, which is the
@@ -44,8 +63,44 @@ use clarinox_cells::{Gate, Tech};
 use clarinox_netgen::spec::CoupledNetSpec;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Closed-form pessimistic bounds substituted for a net whose simulation
-/// failed. All fields are finite and non-negative.
+/// Which rung of the Screen → Rom → Full escalation ladder produced an
+/// outcome (see [`crate::funnel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The certified closed-form bound met budget; no simulation ran.
+    Screened,
+    /// The PRIMA ROM rung certified the result (guardrail clean, zero
+    /// recovery, result outside the guard band of every budget).
+    RomCertified,
+    /// Full configured-backend simulation (the pre-funnel path).
+    FullSim,
+}
+
+impl Tier {
+    /// Stable name for reports, JSON and store records
+    /// (`screened` / `rom` / `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Screened => "screened",
+            Tier::RomCertified => "rom",
+            Tier::FullSim => "full",
+        }
+    }
+
+    /// Parses [`Tier::name`] output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "screened" => Some(Tier::Screened),
+            "rom" => Some(Tier::RomCertified),
+            "full" => Some(Tier::FullSim),
+            _ => None,
+        }
+    }
+}
+
+/// Closed-form pessimistic bounds: the screening certificate of the funnel
+/// and the substitute for a net whose simulation failed. All fields are
+/// finite and non-negative.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConservativeBound {
     /// Upper bound on the coupled glitch at the receiver input (volts).
@@ -59,12 +114,27 @@ pub struct ConservativeBound {
 /// Outcome of one unit of fault-isolated analysis work.
 #[derive(Debug, Clone)]
 pub enum Outcome<T> {
+    /// The screening tier certified the net within budget; only the bound
+    /// is known — and it is enough.
+    Screened {
+        /// The net id (the value carries it on the simulated arms).
+        id: usize,
+        /// The certifying closed-form bound.
+        bound: ConservativeBound,
+    },
     /// Completed without any solver recovery.
-    Analyzed(T),
+    Analyzed {
+        /// The full result.
+        value: T,
+        /// Which ladder rung produced it.
+        tier: Tier,
+    },
     /// Completed, but only after the solver recovery ladder engaged.
     Degraded {
         /// The full result — converged, but via a recovery path.
         value: T,
+        /// Which ladder rung produced it.
+        tier: Tier,
         /// Recovery attempts recorded on this net's worker thread.
         recovery_steps: u64,
     },
@@ -89,22 +159,45 @@ impl<T> Outcome<T> {
     /// The report, when one exists (healthy or degraded).
     pub fn value(&self) -> Option<&T> {
         match self {
-            Outcome::Analyzed(v) | Outcome::Degraded { value: v, .. } => Some(v),
-            Outcome::Failed { .. } => None,
+            Outcome::Analyzed { value, .. } | Outcome::Degraded { value, .. } => Some(value),
+            Outcome::Screened { .. } | Outcome::Failed { .. } => None,
         }
     }
 
     /// Consumes the outcome, yielding the report when one exists.
     pub fn into_value(self) -> Option<T> {
         match self {
-            Outcome::Analyzed(v) | Outcome::Degraded { value: v, .. } => Some(v),
-            Outcome::Failed { .. } => None,
+            Outcome::Analyzed { value, .. } | Outcome::Degraded { value, .. } => Some(value),
+            Outcome::Screened { .. } | Outcome::Failed { .. } => None,
         }
     }
 
-    /// Whether this is the clean, zero-recovery arm.
+    /// The certifying or fallback bound, on the arms that carry one.
+    pub fn bound(&self) -> Option<&ConservativeBound> {
+        match self {
+            Outcome::Screened { bound, .. } | Outcome::Failed { bound, .. } => Some(bound),
+            _ => None,
+        }
+    }
+
+    /// Which ladder rung produced this outcome ([`Tier::FullSim`] for
+    /// `Failed`: the failure happened attempting a simulation).
+    pub fn tier(&self) -> Tier {
+        match self {
+            Outcome::Screened { .. } => Tier::Screened,
+            Outcome::Analyzed { tier, .. } | Outcome::Degraded { tier, .. } => *tier,
+            Outcome::Failed { .. } => Tier::FullSim,
+        }
+    }
+
+    /// Whether the screening tier certified this net without simulation.
+    pub fn is_screened(&self) -> bool {
+        matches!(self, Outcome::Screened { .. })
+    }
+
+    /// Whether this is the clean, zero-recovery simulated arm.
     pub fn is_analyzed(&self) -> bool {
-        matches!(self, Outcome::Analyzed(_))
+        matches!(self, Outcome::Analyzed { .. })
     }
 
     /// Whether the solver recovery ladder was needed.
@@ -125,11 +218,12 @@ impl<T> Outcome<T> {
         }
     }
 
-    /// Stable status word for reports and JSON (`analyzed` / `degraded` /
-    /// `failed`).
+    /// Stable status word for reports and JSON (`screened` / `analyzed` /
+    /// `degraded` / `failed`).
     pub fn status(&self) -> &'static str {
         match self {
-            Outcome::Analyzed(_) => "analyzed",
+            Outcome::Screened { .. } => "screened",
+            Outcome::Analyzed { .. } => "analyzed",
             Outcome::Degraded { .. } => "degraded",
             Outcome::Failed { .. } => "failed",
         }
@@ -152,9 +246,21 @@ fn weak_driver_resistance(tech: &Tech, gate: &Gate) -> f64 {
     2.0 * r_n.max(r_p)
 }
 
-/// The closed-form pessimistic bound for `spec` (see the module docs for
-/// the derivation and the pessimism argument).
-pub fn conservative_bound(tech: &Tech, spec: &CoupledNetSpec) -> ConservativeBound {
+/// The slope-term validity ceiling: the Shi–Wu–Yan traversal bound needs
+/// the noise band `[Vdd/2 − V_p, Vdd/2 + V_p]` to stay well clear of the
+/// rails, where the exponential-tail slope argument holds.
+const SLOPE_TERM_MAX_FRAC: f64 = 0.35;
+
+/// Extra pessimism on the slope term, covering settle-measurement
+/// hysteresis and receiver-stage amplification of the input-side shift.
+const SLOPE_TERM_SETTLE_FACTOR: f64 = 2.2;
+
+/// The certified closed-form screening bound for `spec` (see the module
+/// docs for the derivation and the pessimism argument). This is the single
+/// place the bound is computed — every guarded net evaluates it exactly
+/// once, counted in [`crate::profile::funnel_bound_evals`].
+pub fn screen_bound(tech: &Tech, spec: &CoupledNetSpec) -> ConservativeBound {
+    crate::profile::record_funnel_bound_eval();
     let victim = &spec.victim;
     let cc: f64 = spec.aggressors.iter().map(|a| a.coupling_cap(tech)).sum();
     let cg = victim.wire_capacitance(tech) + victim.receiver.input_cap(tech);
@@ -166,7 +272,24 @@ pub fn conservative_bound(tech: &Tech, spec: &CoupledNetSpec) -> ConservativeBou
 
     let r_path = weak_driver_resistance(tech, &victim.driver) + victim.wire_resistance(tech);
     let half_ramp = 0.5 * victim.driver_input_ramp;
-    let delay_noise = 2.2 * r_path * 2.0 * cc + half_ramp;
+    // Miller-2 Elmore push-out bound (Hunagund–Kalpana).
+    let miller2 = 2.2 * r_path * 2.0 * cc;
+    // Shi–Wu–Yan slope bound: time for the victim transition (time
+    // constant ≤ τ) to traverse the peak-noise band around Vdd/2.
+    let delay_term = if peak_noise < SLOPE_TERM_MAX_FRAC * tech.vdd {
+        let tau = r_path * (cg + 2.0 * cc);
+        let slope = SLOPE_TERM_SETTLE_FACTOR * tau * peak_noise
+            / (0.5 * tech.vdd - peak_noise).max(f64::MIN_POSITIVE);
+        miller2.min(slope)
+    } else {
+        miller2
+    };
+    // Unlike `base_delay`, the delay-*noise* bound carries no ramp term:
+    // delay noise is the difference between the noisy and quiet arrival of
+    // the same input edge, so the ramp contribution cancels. The push-out
+    // itself is covered by the Miller-2 charge argument (any alignment)
+    // tightened by the slope term where the peak is benign.
+    let delay_noise = delay_term;
 
     let r_rcv = weak_driver_resistance(tech, &victim.receiver);
     let c_rcv = victim.receiver_load + victim.receiver.output_cap(tech);
@@ -179,14 +302,23 @@ pub fn conservative_bound(tech: &Tech, spec: &CoupledNetSpec) -> ConservativeBou
     }
 }
 
+/// The closed-form pessimistic bound for `spec` — the historical name,
+/// kept as an alias of [`screen_bound`] for callers that want the fallback
+/// semantics by name.
+pub fn conservative_bound(tech: &Tech, spec: &CoupledNetSpec) -> ConservativeBound {
+    screen_bound(tech, spec)
+}
+
 /// Runs `f` under the fault-isolation contract: panics are caught, solver
 /// recoveries on this thread are attributed, errors fall back to `bound()`.
+/// Healthy and degraded results are tagged `tier`.
 ///
 /// The caller is responsible for running `f` with the net's fault scope
 /// installed (the analysis entry points do this via
 /// [`clarinox_numeric::fault::scoped`]); this wrapper only classifies.
 pub(crate) fn guarded<T>(
     id: usize,
+    tier: Tier,
     bound: impl FnOnce() -> ConservativeBound,
     f: impl FnOnce() -> Result<T>,
 ) -> Outcome<T> {
@@ -194,9 +326,10 @@ pub(crate) fn guarded<T>(
     let result = catch_unwind(AssertUnwindSafe(f));
     let steps = clarinox_circuit::profile::thread_recovery_steps() - steps_before;
     match result {
-        Ok(Ok(value)) if steps == 0 => Outcome::Analyzed(value),
+        Ok(Ok(value)) if steps == 0 => Outcome::Analyzed { value, tier },
         Ok(Ok(value)) => Outcome::Degraded {
             value,
+            tier,
             recovery_steps: steps,
         },
         Ok(Err(e)) => Outcome::Failed {
@@ -210,6 +343,19 @@ pub(crate) fn guarded<T>(
             bound: bound(),
         },
     }
+}
+
+/// The shared fault-isolation wrapper of both block entry points
+/// (`analysis` and `functional`): [`guarded`] with the conservative
+/// fallback bound supplied by [`screen_bound`] — computed (and counted) in
+/// exactly this one place.
+pub(crate) fn guarded_simulation<T>(
+    tech: &Tech,
+    spec: &CoupledNetSpec,
+    tier: Tier,
+    f: impl FnOnce() -> Result<T>,
+) -> Outcome<T> {
+    guarded(spec.id, tier, || screen_bound(tech, spec), f)
 }
 
 #[cfg(test)]
@@ -248,16 +394,16 @@ mod tests {
     fn bound_is_finite_positive_and_scales_with_coupling() {
         let tech = Tech::default_180nm();
         let s = spec(&tech);
-        let b = conservative_bound(&tech, &s);
+        let b = screen_bound(&tech, &s);
         assert!(b.peak_noise > 0.0 && b.peak_noise < tech.vdd);
         assert!(b.delay_noise.is_finite() && b.delay_noise > 0.0);
         assert!(b.base_delay.is_finite() && b.base_delay > 0.0);
 
         let mut stronger = s.clone();
         stronger.aggressors[0].coupling_len *= 2.0;
-        let b2 = conservative_bound(&tech, &stronger);
+        let b2 = screen_bound(&tech, &stronger);
         assert!(b2.peak_noise > b.peak_noise);
-        assert!(b2.delay_noise > b.delay_noise);
+        assert!(b2.delay_noise >= b.delay_noise);
 
         let mut quiet = s;
         quiet.aggressors.clear();
@@ -266,41 +412,80 @@ mod tests {
     }
 
     #[test]
-    fn guarded_classifies_all_three_arms() {
+    fn slope_term_never_loosens_the_miller_bound() {
+        // The SWY slope term only ever tightens the delay side: the bound
+        // with the term is ≤ the pure Miller-2 Elmore bound.
         let tech = Tech::default_180nm();
         let s = spec(&tech);
-        let bound = || conservative_bound(&tech, &s);
+        let b = screen_bound(&tech, &s);
+        let victim = &s.victim;
+        let cc: f64 = s.aggressors.iter().map(|a| a.coupling_cap(&tech)).sum();
+        let r_path = weak_driver_resistance(&tech, &victim.driver) + victim.wire_resistance(&tech);
+        let miller2 = 2.2 * r_path * 2.0 * cc + 0.5 * victim.driver_input_ramp;
+        assert!(b.delay_noise <= miller2 + 1e-18);
+    }
 
-        let ok: Outcome<u32> = guarded(1, bound, || Ok(7));
+    #[test]
+    fn tier_names_round_trip() {
+        for t in [Tier::Screened, Tier::RomCertified, Tier::FullSim] {
+            assert_eq!(Tier::parse(t.name()), Some(t));
+        }
+        assert_eq!(Tier::parse("bogus"), None);
+    }
+
+    #[test]
+    fn guarded_classifies_all_arms() {
+        let tech = Tech::default_180nm();
+        let s = spec(&tech);
+
+        let ok: Outcome<u32> = guarded_simulation(&tech, &s, Tier::FullSim, || Ok(7));
         assert!(ok.is_analyzed());
         assert_eq!(ok.value(), Some(&7));
         assert_eq!(ok.status(), "analyzed");
+        assert_eq!(ok.tier(), Tier::FullSim);
 
-        let err: Outcome<u32> = guarded(2, bound, || Err(CoreError::analysis("boom")));
+        let rom: Outcome<u32> = guarded_simulation(&tech, &s, Tier::RomCertified, || Ok(8));
+        assert_eq!(rom.tier(), Tier::RomCertified);
+
+        let err: Outcome<u32> = guarded_simulation(&tech, &s, Tier::FullSim, || {
+            Err(CoreError::analysis("boom"))
+        });
         assert!(err.is_failed());
         assert!(err.value().is_none());
         match &err {
             Outcome::Failed { id, error, bound } => {
-                assert_eq!(*id, 2);
+                assert_eq!(*id, 3);
                 assert!(error.contains("boom"));
                 assert!(bound.delay_noise > 0.0);
             }
             other => panic!("expected Failed, got {}", other.status()),
         }
 
-        let panicked: Outcome<u32> = guarded(3, bound, || panic!("net exploded"));
+        let panicked: Outcome<u32> =
+            guarded_simulation(&tech, &s, Tier::FullSim, || panic!("net exploded"));
         match &panicked {
             Outcome::Failed { error, .. } => {
                 assert!(error.contains("panic") && error.contains("net exploded"));
             }
             other => panic!("expected Failed, got {}", other.status()),
         }
+
+        let screened: Outcome<u32> = Outcome::Screened {
+            id: 3,
+            bound: screen_bound(&tech, &s),
+        };
+        assert!(screened.is_screened());
+        assert_eq!(screened.status(), "screened");
+        assert_eq!(screened.tier(), Tier::Screened);
+        assert!(screened.value().is_none());
+        assert!(screened.bound().is_some());
     }
 
     #[test]
     fn guarded_attributes_thread_recovery_steps() {
         let steps: Outcome<u32> = guarded(
             4,
+            Tier::FullSim,
             || ConservativeBound {
                 peak_noise: 0.0,
                 delay_noise: 0.0,

@@ -81,9 +81,131 @@ pub fn reset_prima_counters() -> (u64, u64, u64) {
     )
 }
 
+static FUNNEL_SCREENED: AtomicU64 = AtomicU64::new(0);
+static FUNNEL_ROM_CERTIFIED: AtomicU64 = AtomicU64::new(0);
+static FUNNEL_ESCALATED_ROM: AtomicU64 = AtomicU64::new(0);
+static FUNNEL_ESCALATED_FULL: AtomicU64 = AtomicU64::new(0);
+static FUNNEL_BOUND_EVALS: AtomicU64 = AtomicU64::new(0);
+static FUNNEL_SCREEN_NS: AtomicU64 = AtomicU64::new(0);
+static FUNNEL_ROM_NS: AtomicU64 = AtomicU64::new(0);
+static FUNNEL_FULL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one net certified at the screening tier (no simulation ran).
+pub(crate) fn record_funnel_screened() {
+    FUNNEL_SCREENED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one net certified at the ROM tier.
+pub(crate) fn record_funnel_rom_certified() {
+    FUNNEL_ROM_CERTIFIED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one screen-tier rejection that escalated to the ROM rung.
+pub(crate) fn record_funnel_escalated_rom() {
+    FUNNEL_ESCALATED_ROM.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one net escalated to the full-simulation tier (either directly
+/// from the screen or because the ROM tier could not certify it).
+pub(crate) fn record_funnel_escalated_full() {
+    FUNNEL_ESCALATED_FULL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one closed-form screening-bound evaluation (the shared helper
+/// in [`crate::outcome`] is the only call site).
+pub(crate) fn record_funnel_bound_eval() {
+    FUNNEL_BOUND_EVALS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds wall time spent at a funnel tier (nanoseconds).
+pub(crate) fn record_funnel_tier_ns(tier: crate::outcome::Tier, ns: u64) {
+    let slot = match tier {
+        crate::outcome::Tier::Screened => &FUNNEL_SCREEN_NS,
+        crate::outcome::Tier::RomCertified => &FUNNEL_ROM_NS,
+        crate::outcome::Tier::FullSim => &FUNNEL_FULL_NS,
+    };
+    slot.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Nets certified at the screening tier since process start (or the last
+/// [`reset_funnel_counters`]).
+pub fn funnel_screened() -> u64 {
+    FUNNEL_SCREENED.load(Ordering::Relaxed)
+}
+
+/// Nets certified at the ROM tier.
+pub fn funnel_rom_certified() -> u64 {
+    FUNNEL_ROM_CERTIFIED.load(Ordering::Relaxed)
+}
+
+/// Screen-tier rejections that entered the ROM rung.
+pub fn funnel_escalated_rom() -> u64 {
+    FUNNEL_ESCALATED_ROM.load(Ordering::Relaxed)
+}
+
+/// Nets that reached the full-simulation tier through the funnel.
+pub fn funnel_escalated_full() -> u64 {
+    FUNNEL_ESCALATED_FULL.load(Ordering::Relaxed)
+}
+
+/// Closed-form screening-bound evaluations (one per guarded net, whatever
+/// the tier — the bound also backs the `Failed` fallback).
+pub fn funnel_bound_evals() -> u64 {
+    FUNNEL_BOUND_EVALS.load(Ordering::Relaxed)
+}
+
+/// Wall time spent per tier, nanoseconds, as
+/// `(screen_ns, rom_ns, full_ns)`.
+pub fn funnel_tier_ns() -> (u64, u64, u64) {
+    (
+        FUNNEL_SCREEN_NS.load(Ordering::Relaxed),
+        FUNNEL_ROM_NS.load(Ordering::Relaxed),
+        FUNNEL_FULL_NS.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets all funnel counters and returns the previous
+/// `(screened, rom_certified, escalated_rom, escalated_full)` counts.
+///
+/// The counters are process-wide: concurrent work on other threads is
+/// included, so bracket measured regions accordingly.
+pub fn reset_funnel_counters() -> (u64, u64, u64, u64) {
+    FUNNEL_BOUND_EVALS.swap(0, Ordering::Relaxed);
+    FUNNEL_SCREEN_NS.swap(0, Ordering::Relaxed);
+    FUNNEL_ROM_NS.swap(0, Ordering::Relaxed);
+    FUNNEL_FULL_NS.swap(0, Ordering::Relaxed);
+    (
+        FUNNEL_SCREENED.swap(0, Ordering::Relaxed),
+        FUNNEL_ROM_CERTIFIED.swap(0, Ordering::Relaxed),
+        FUNNEL_ESCALATED_ROM.swap(0, Ordering::Relaxed),
+        FUNNEL_ESCALATED_FULL.swap(0, Ordering::Relaxed),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn funnel_counters_accumulate() {
+        let s0 = funnel_screened();
+        let r0 = funnel_rom_certified();
+        let er0 = funnel_escalated_rom();
+        let ef0 = funnel_escalated_full();
+        let b0 = funnel_bound_evals();
+        record_funnel_screened();
+        record_funnel_rom_certified();
+        record_funnel_escalated_rom();
+        record_funnel_escalated_full();
+        record_funnel_bound_eval();
+        record_funnel_tier_ns(crate::outcome::Tier::Screened, 5);
+        assert!(funnel_screened() > s0);
+        assert!(funnel_rom_certified() > r0);
+        assert!(funnel_escalated_rom() > er0);
+        assert!(funnel_escalated_full() > ef0);
+        assert!(funnel_bound_evals() > b0);
+        assert!(funnel_tier_ns().0 >= 5);
+    }
 
     #[test]
     fn counters_accumulate_and_reset() {

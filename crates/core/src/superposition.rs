@@ -165,6 +165,13 @@ impl<'a> LinearNetAnalysis<'a> {
         self.backend.name()
     }
 
+    /// Holding configurations this net's backend degraded (PRIMA
+    /// guardrail rejections served by the full-MNA fallback; zero for
+    /// other backends). Part of the funnel's ROM-tier certificate.
+    pub fn backend_degraded_configurations(&self) -> usize {
+        self.backend.degraded_configurations()
+    }
+
     /// Simulates the net with exactly `active` switching (its input ramp
     /// starting at `input_start`); all other drivers are shorted through
     /// their holding resistances.

@@ -10,6 +10,7 @@ use clarinox_core::analysis::NoiseAnalyzer;
 use clarinox_core::config::AnalyzerConfig;
 use clarinox_core::design::DesignNet;
 use clarinox_core::incremental::{IncrementalDesign, IncrementalReport};
+use clarinox_core::outcome::Tier;
 use clarinox_core::provider::Library;
 use clarinox_netgen::generate::{generate_block, BlockConfig};
 use clarinox_numeric::fault::{self, FaultSite};
@@ -276,12 +277,23 @@ impl DesignService {
 
     fn status(&self) -> Value {
         let stats = self.design.analyzer().provider_stats();
+        let cached = self.design.cached_summaries();
+        let cached_by = |tier: Tier| cached.iter().filter(|(_, s)| s.tier == tier).count();
         Value::Obj(vec![
             ("ok".into(), Value::Bool(true)),
             ("nets".into(), Value::Num(self.design.len() as f64)),
             (
-                "cached_summaries".into(),
-                Value::Num(self.design.cached_summaries().len() as f64),
+                "funnel".into(),
+                Value::str(self.design.analyzer().config().funnel.kind.name()),
+            ),
+            ("cached_summaries".into(), Value::Num(cached.len() as f64)),
+            (
+                "cached_screened".into(),
+                Value::Num(cached_by(Tier::Screened) as f64),
+            ),
+            (
+                "cached_rom_certified".into(),
+                Value::Num(cached_by(Tier::RomCertified) as f64),
             ),
             (
                 "library_corners".into(),
@@ -348,6 +360,7 @@ impl DesignService {
                         Value::Num(report.stats.fixpoint_dirty as f64),
                     ),
                     ("warm_start".into(), Value::Bool(report.stats.warm_start)),
+                    ("screened".into(), Value::Num(report.stats.screened as f64)),
                     ("degraded".into(), Value::Num(report.stats.degraded as f64)),
                     ("failed".into(), Value::Num(report.stats.failed as f64)),
                 ]),
@@ -417,6 +430,34 @@ pub fn profile_json(analyzer: &NoiseAnalyzer) -> Value {
                 ),
             ]),
         ),
+        ("funnel".into(), {
+            let (screen_ns, rom_ns, full_ns) = clarinox_core::profile::funnel_tier_ns();
+            Value::Obj(vec![
+                (
+                    "screened".into(),
+                    Value::Num(clarinox_core::profile::funnel_screened() as f64),
+                ),
+                (
+                    "rom_certified".into(),
+                    Value::Num(clarinox_core::profile::funnel_rom_certified() as f64),
+                ),
+                (
+                    "escalated_rom".into(),
+                    Value::Num(clarinox_core::profile::funnel_escalated_rom() as f64),
+                ),
+                (
+                    "escalated_full".into(),
+                    Value::Num(clarinox_core::profile::funnel_escalated_full() as f64),
+                ),
+                (
+                    "bound_evals".into(),
+                    Value::Num(clarinox_core::profile::funnel_bound_evals() as f64),
+                ),
+                ("screen_ns".into(), Value::Num(screen_ns as f64)),
+                ("rom_ns".into(), Value::Num(rom_ns as f64)),
+                ("full_ns".into(), Value::Num(full_ns as f64)),
+            ])
+        }),
         (
             "batch".into(),
             Value::Obj(vec![

@@ -3,7 +3,7 @@
 //! A store is a directory:
 //!
 //! ```text
-//! <dir>/VERSION      "clarinox-store/1"
+//! <dir>/VERSION      "clarinox-store/2"
 //! <dir>/library.rec  one DriverCorner record per line (hex f64 bits)
 //! <dir>/results.rec  "<spec-hash:016x> <NetSummary record>" per line
 //! ```
@@ -25,7 +25,12 @@
 //! file without them — and returns every healthy record. The affected
 //! entries simply re-characterize; a damaged store costs work, never a
 //! refusal to start. A wrong VERSION stays a hard error: that is a
-//! different build's store, not a damaged one.
+//! different build's store, not a damaged one. The one exception is the
+//! known-compatible legacy list ([`LEGACY_STORE_VERSIONS`]): a `/1` store
+//! predates the funnel's per-net tier token, and its records load as
+//! full-simulation summaries ([`NetSummary::parse_record`] migrates the
+//! absent token), so an upgrade re-analyzes only what the spec-hash
+//! change dirties rather than discarding the store.
 
 use crate::{Result, ServeError};
 use clarinox_char::DriverLibrary;
@@ -34,7 +39,14 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// The store layout version this build reads and writes.
-pub const STORE_VERSION: &str = "clarinox-store/1";
+///
+/// `/2` appends the funnel tier token to each `results.rec` summary
+/// record (see [`NetSummary::to_record`]).
+pub const STORE_VERSION: &str = "clarinox-store/2";
+
+/// Older layout versions this build still loads (forward-migrating their
+/// records in memory; the next save writes [`STORE_VERSION`]).
+pub const LEGACY_STORE_VERSIONS: &[&str] = &["clarinox-store/1"];
 
 /// What a load found on disk.
 #[derive(Debug, Default)]
@@ -120,11 +132,12 @@ impl Store {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e.into()),
         };
-        if version.trim() != STORE_VERSION {
+        let found = version.trim();
+        if found != STORE_VERSION && !LEGACY_STORE_VERSIONS.contains(&found) {
             return Err(ServeError::store(format!(
                 "store at {} has version {:?}, this build reads {STORE_VERSION:?}",
                 self.dir.display(),
-                version.trim()
+                found
             )));
         }
         let mut contents = StoreContents::default();
@@ -217,6 +230,7 @@ mod tests {
     use super::*;
     use crate::testutil::scratch_dir;
     use clarinox_cells::{Gate, Tech};
+    use clarinox_core::outcome::Tier;
     use clarinox_netgen::spec::{AggressorSpec, CoupledNetSpec, NetSpec};
     use clarinox_netgen::topology::{load_network_for, NetRef};
     use clarinox_waveform::measure::Edge;
@@ -236,6 +250,7 @@ mod tests {
             peak_time: 1.8e-9,
             comp_height: 0.31,
             comp_width50: 2.2e-10,
+            tier: Tier::FullSim,
         }
     }
 
@@ -299,6 +314,40 @@ mod tests {
         }
         assert_eq!(lib2.corners(), lib.corners());
         assert_eq!(lib2.builds(), 0);
+    }
+
+    #[test]
+    fn legacy_v1_store_loads_with_records_migrated_to_full_tier() {
+        let dir = scratch_dir("store-legacy-v1");
+        fs::create_dir_all(&dir).unwrap();
+        // A /1-era results.rec line: no trailing tier token.
+        let modern = sample_summary(7).to_record();
+        let legacy_record = modern
+            .rsplit_once(' ')
+            .map(|(head, _)| head.to_string())
+            .unwrap();
+        fs::write(
+            dir.join("results.rec"),
+            format!(
+                "{:016x} {legacy_record}
+",
+                0xdead_beef_u64
+            ),
+        )
+        .unwrap();
+        fs::write(
+            dir.join("VERSION"),
+            "clarinox-store/1
+",
+        )
+        .unwrap();
+
+        let loaded = Store::open(&dir).load().unwrap().expect("store exists");
+        assert_eq!(loaded.summaries.len(), 1);
+        assert_eq!(loaded.quarantined, 0);
+        let s = &loaded.summaries[0].1;
+        assert_eq!(s.tier, Tier::FullSim);
+        assert!(s.bits_eq(&sample_summary(7)));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! clarinox block [--nets N] [--seed S] [--jobs J] [--segments K]
 //!                [--thevenin] [--exhaustive]
 //!                [--backend full|prima] [--solver dense|sparse|auto]
-//!                [--batch auto|on|off]
+//!                [--batch auto|on|off] [--funnel screen|full|auto]
+//!                [--delay-budget PS] [--noise-budget MV]
 //!                [--driver-cache on|off] [--inject SPEC]
 //!     analyze a generated block of coupled nets, print per-net extra
 //!     delays and summary statistics (`--segments` sets the extraction
@@ -17,8 +18,10 @@
 //!     analyze a single net of a generated block in detail
 //!
 //! clarinox functional [--nets N] [--seed S] [--margin MV] [--jobs J]
+//!                     [--segments K]
 //!                     [--backend full|prima] [--solver dense|sparse|auto]
-//!                     [--batch auto|on|off]
+//!                     [--batch auto|on|off] [--funnel screen|full|auto]
+//!                     [--delay-budget PS] [--noise-budget MV]
 //!                     [--driver-cache on|off] [--inject SPEC]
 //!     run the functional (glitch) noise check over a block
 //!
@@ -31,6 +34,8 @@
 //! clarinox serve [--socket P] [--nets N] [--seed S] [--jobs J]
 //!                [--store DIR] [--max-rounds R] [--backend full|prima]
 //!                [--solver dense|sparse|auto] [--batch auto|on|off]
+//!                [--funnel screen|full|auto] [--delay-budget PS]
+//!                [--noise-budget MV]
 //!                [--inject SPEC] [--read-timeout S] [--write-timeout S]
 //!     hold a generated design resident and answer line-delimited JSON
 //!     requests (status/analyze/eco/save/shutdown) on a Unix socket,
@@ -69,6 +74,20 @@
 //! driver-library hit rate, alignment-table characterizations, and
 //! solver-recovery attempts.
 //!
+//! `--funnel` (on `block`, `functional`, `serve`) selects the tiered
+//! escalation policy of `clarinox::core::funnel`: `full` (default) simulates
+//! every net and is bit-identical to the pre-funnel flow; `screen` certifies
+//! nets whose closed-form noise/delay bounds already meet the budgets
+//! without simulating them, escalates bound-violators to the PRIMA ROM rung,
+//! and only ROM-escapees to full simulation; `auto` is `screen` with the ROM
+//! rung skipped for nets too small to profit from reduction. `--delay-budget`
+//! (picoseconds, default 60) and `--noise-budget` (millivolts, default 450)
+//! set the per-net budgets the screen certifies against. When `--funnel` is
+//! given explicitly, `block` appends the per-tier counts and a
+//! `violations:` line listing the nets whose *measured* (full-tier) values
+//! exceed the budgets — the set is identical across `screen` and `full` by
+//! the soundness invariant (certified tiers never hide a violation).
+//!
 //! `--inject <spec>` (on `block`, `functional`, `serve`; testing only)
 //! arms the deterministic fault-injection plan described in
 //! `clarinox_numeric::fault` — e.g. `newton@3:once,seed=7` forces one
@@ -86,11 +105,11 @@
 use clarinox::cells::{Gate, Tech};
 use clarinox::core::analysis::NoiseAnalyzer;
 use clarinox::core::config::{
-    AlignmentObjective, AnalyzerConfig, BatchKind, DriverModelKind, LinearBackendKind,
-    ModelProviderKind,
+    AlignmentObjective, AnalyzerConfig, BatchKind, DriverModelKind, FunnelKind, FunnelPolicy,
+    LinearBackendKind, ModelProviderKind,
 };
 use clarinox::core::functional::{check_functional_noise_block, QuietState};
-use clarinox::core::outcome::Outcome;
+use clarinox::core::outcome::{Outcome, Tier};
 use clarinox::core::SolverKind;
 use clarinox::netgen::generate::{generate_block, BlockConfig};
 use clarinox::numeric::fault::{self, FaultPlan};
@@ -191,6 +210,33 @@ fn arg_batch() -> BatchKind {
     }
 }
 
+/// Tiered-funnel policy: `--funnel screen|full|auto` (default `full`,
+/// bit-identical to the pre-funnel flow) with `--delay-budget` in
+/// picoseconds and `--noise-budget` in millivolts.
+fn arg_funnel() -> FunnelPolicy {
+    let raw = arg_value("--funnel", "full".to_string());
+    let Some(kind) = FunnelKind::parse(&raw) else {
+        eprintln!("error: --funnel must be 'screen', 'full' or 'auto', got {raw:?}");
+        std::process::exit(2);
+    };
+    let base = FunnelPolicy::default();
+    let delay_ps: f64 = arg_value("--delay-budget", base.delay_budget * 1e12);
+    let noise_mv: f64 = arg_value("--noise-budget", base.noise_budget * 1e3);
+    if !delay_ps.is_finite() || !noise_mv.is_finite() || delay_ps <= 0.0 || noise_mv <= 0.0 {
+        eprintln!(
+            "error: --delay-budget ({delay_ps} ps) and --noise-budget ({noise_mv} mV) \
+             must be positive"
+        );
+        std::process::exit(2);
+    }
+    FunnelPolicy {
+        kind,
+        delay_budget: delay_ps * 1e-12,
+        noise_budget: noise_mv * 1e-3,
+        ..base
+    }
+}
+
 /// Driver-library selection: `--driver-cache on|off`, with a per-command
 /// default (block-scale commands cache, single-net ones do not).
 fn arg_driver_cache(default_on: bool) -> ModelProviderKind {
@@ -250,6 +296,9 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
             "--backend",
             "--solver",
             "--batch",
+            "--funnel",
+            "--delay-budget",
+            "--noise-budget",
             "--driver-cache",
             "--inject",
         ],
@@ -267,11 +316,13 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
     if arg_flag("--exhaustive") {
         cfg = cfg.with_alignment(AlignmentObjective::ExhaustiveReceiverOutput { points: 17 });
     }
+    let funnel_explicit = arg_flag("--funnel");
     cfg = cfg
         .with_model_provider(arg_driver_cache(true))
         .with_linear_backend(arg_backend())
         .with_solver(arg_solver())
-        .with_batch(arg_batch());
+        .with_batch(arg_batch())
+        .with_funnel(arg_funnel());
     let analyzer = NoiseAnalyzer::with_config(tech, cfg);
     let block_cfg = BlockConfig {
         segments,
@@ -285,9 +336,31 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut extras = Vec::new();
     let (mut degraded, mut failed) = (0usize, 0usize);
+    let (mut screened, mut rom_certified) = (0usize, 0usize);
+    let mut violations: Vec<usize> = Vec::new();
+    let policy = analyzer.config().funnel;
     for outcome in analyzer.analyze_block(&block, jobs) {
         match &outcome {
-            Outcome::Analyzed(r) | Outcome::Degraded { value: r, .. } => {
+            Outcome::Screened { id, bound } => {
+                screened += 1;
+                // Certified within both budgets: the bound values stand in
+                // for the (skipped) simulation and can never hide a
+                // violation.
+                println!(
+                    "{:>5} {:>12.1} {:>12.1} {:>12.0} {:>10} {:>10}  screened",
+                    id,
+                    bound.base_delay * 1e12,
+                    bound.delay_noise * 1e12,
+                    bound.peak_noise * 1e3,
+                    "-",
+                    "-"
+                );
+                extras.push(bound.delay_noise * 1e12);
+            }
+            Outcome::Analyzed { value: r, .. } | Outcome::Degraded { value: r, .. } => {
+                if outcome.tier() == Tier::RomCertified {
+                    rom_certified += 1;
+                }
                 let status = match outcome.recovery_steps() {
                     0 => "ok".to_string(),
                     n => {
@@ -304,6 +377,10 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
                     r.rth,
                     r.holding_r
                 );
+                let peak = r.composite.as_ref().map(|c| c.height).unwrap_or(0.0);
+                if r.delay_noise_rcv_out > policy.delay_budget || peak > policy.noise_budget {
+                    violations.push(r.id);
+                }
                 extras.push(r.delay_noise_rcv_out * 1e12);
             }
             Outcome::Failed { id, error, bound } => {
@@ -318,7 +395,12 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
                     "-"
                 );
                 // Conservative bounds stand in for the missing simulation,
-                // so the summary statistics stay sound.
+                // so the summary statistics stay sound — including the
+                // violation set, where an over-budget bound counts.
+                if bound.delay_noise > policy.delay_budget || bound.peak_noise > policy.noise_budget
+                {
+                    violations.push(*id);
+                }
                 extras.push(bound.delay_noise * 1e12);
             }
         }
@@ -339,6 +421,28 @@ fn cmd_block() -> Result<(), Box<dyn std::error::Error>> {
             ps.hits,
             ps.hit_rate() * 100.0
         );
+    }
+    if funnel_explicit {
+        println!(
+            "funnel ({}): {screened} screened, {rom_certified} rom-certified, {} full \
+             (budgets: {:.0} ps / {:.0} mV)",
+            policy.kind.name(),
+            extras.len() - screened - rom_certified,
+            policy.delay_budget * 1e12,
+            policy.noise_budget * 1e3
+        );
+        violations.sort_unstable();
+        violations.dedup();
+        let list = if violations.is_empty() {
+            "none".to_string()
+        } else {
+            violations
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!("violations: {list}");
     }
     if arg_flag("--profile") {
         println!("{}", profile_json(&analyzer).emit());
@@ -411,9 +515,13 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
             "--seed",
             "--margin",
             "--jobs",
+            "--segments",
             "--backend",
             "--solver",
             "--batch",
+            "--funnel",
+            "--delay-budget",
+            "--noise-budget",
             "--driver-cache",
             "--inject",
         ],
@@ -422,22 +530,34 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
     let nets = arg_value("--nets", 10usize);
     let seed = arg_value("--seed", 1u64);
     let margin_mv = arg_value("--margin", 180.0f64);
+    let segments = arg_value("--segments", BlockConfig::default().segments).max(1);
     let jobs = arg_jobs();
+    let funnel_explicit = arg_flag("--funnel");
     let tech = Tech::default_180nm();
     let cfg = base_config()
         .with_model_provider(arg_driver_cache(true))
         .with_linear_backend(arg_backend())
         .with_solver(arg_solver())
-        .with_batch(arg_batch());
-    let block = generate_block(&tech, &BlockConfig::default().with_nets(nets), seed);
+        .with_batch(arg_batch())
+        .with_funnel(arg_funnel());
+    let block_cfg = BlockConfig {
+        segments,
+        ..BlockConfig::default().with_nets(nets)
+    };
+    let block = generate_block(&tech, &block_cfg, seed);
     let mut fails = 0usize;
     let mut failed = 0usize;
+    let mut screened = 0usize;
     let states = [QuietState::Low, QuietState::High];
     let reports =
         check_functional_noise_block(&tech, &block, &states, margin_mv * 1e-3, &cfg, jobs);
     for outcome in reports {
         match outcome {
-            Outcome::Analyzed(r) | Outcome::Degraded { value: r, .. } => {
+            // Certified quiet by the screen: the input-glitch ceiling is
+            // both within margin and sub-threshold at the receiver, so the
+            // pair cannot fail.
+            Outcome::Screened { .. } => screened += 1,
+            Outcome::Analyzed { value: r, .. } | Outcome::Degraded { value: r, .. } => {
                 if r.glitch_in > 0.0 {
                     println!("{r}");
                 }
@@ -457,6 +577,9 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
                 );
             }
         }
+    }
+    if funnel_explicit {
+        println!("funnel: {screened} of {} checks screened", 2 * nets);
     }
     println!("\n{fails} functional violations at {margin_mv:.0} mV output margin");
     if failed > 0 {
@@ -522,6 +645,9 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
             "--backend",
             "--solver",
             "--batch",
+            "--funnel",
+            "--delay-budget",
+            "--noise-budget",
             "--inject",
             "--read-timeout",
             "--write-timeout",
@@ -540,7 +666,8 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = base_config()
         .with_linear_backend(arg_backend())
         .with_solver(arg_solver())
-        .with_batch(arg_batch());
+        .with_batch(arg_batch())
+        .with_funnel(arg_funnel());
     let mut service = DesignService::new(Tech::default_180nm(), cfg, &svc_cfg)?;
     let restored = service.restored();
     if restored.summaries + restored.corners > 0 {

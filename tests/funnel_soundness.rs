@@ -1,0 +1,151 @@
+//! Soundness of the tiered analysis funnel.
+//!
+//! The screening tier only works if its certificate is real: the
+//! closed-form bound must dominate the simulated peak noise and delay
+//! noise on every net it could ever be asked about, and the funnel as a
+//! whole must declare exactly the same violating-net set as the all-full
+//! flow it replaces.
+
+use clarinox::cells::Tech;
+use clarinox::core::analysis::NoiseAnalyzer;
+use clarinox::core::config::{AnalyzerConfig, FunnelKind, FunnelPolicy};
+use clarinox::core::outcome::{screen_bound, NetOutcome};
+use clarinox::netgen::generate::{generate_block, BlockConfig};
+
+fn quick_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ceff_iterations: 3,
+        table_char: clarinox::char::alignment::AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        },
+        ..AnalyzerConfig::default()
+    }
+}
+
+/// Property-style sweep: over pseudo-random blocks spanning quiet and
+/// stress populations — and both aggressor polarities, which the
+/// generator mixes per net — the screening bound must dominate the
+/// simulated worst-case peak noise and delay noise on every net.
+#[test]
+fn screen_bound_dominates_simulation() {
+    let tech = Tech::default_180nm();
+    let populations = [
+        // Quiet: short wires, light coupling — the screen's win region.
+        BlockConfig {
+            wire_len: (0.05e-3, 0.8e-3),
+            coupling_frac: (0.05, 0.5),
+            aggressors: (1, 2),
+            ..BlockConfig::default()
+        },
+        // Stress: the default netgen population, long wires, heavy
+        // multi-aggressor coupling, where the bound must still hold.
+        BlockConfig::default(),
+    ];
+    let analyzer = NoiseAnalyzer::with_config(tech, quick_config());
+    let mut checked = 0usize;
+    for (p, population) in populations.into_iter().enumerate() {
+        for seed in [3u64, 17, 90] {
+            let block = generate_block(&tech, &population.with_nets(6), seed);
+            for (spec, outcome) in block.iter().zip(analyzer.analyze_block(&block, 1)) {
+                let bound = screen_bound(&tech, spec);
+                let report = outcome.value().expect("analysis succeeds");
+                let peak = report.composite.as_ref().map_or(0.0, |c| c.height);
+                assert!(
+                    bound.peak_noise >= peak,
+                    "population {p} seed {seed} net {}: peak bound {:.1} mV \
+                     below simulated {:.1} mV",
+                    spec.id,
+                    bound.peak_noise * 1e3,
+                    peak * 1e3
+                );
+                assert!(
+                    bound.delay_noise >= report.delay_noise_rcv_out,
+                    "population {p} seed {seed} net {}: delay bound {:.2} ps \
+                     below simulated {:.2} ps",
+                    spec.id,
+                    bound.delay_noise * 1e12,
+                    report.delay_noise_rcv_out * 1e12
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 36, "sweep actually covered the populations");
+}
+
+/// The ids a block-level caller would flag as over budget, from measured
+/// values (screened nets are certified within budget by construction).
+fn violating_ids(outcomes: &[NetOutcome], policy: &FunnelPolicy) -> Vec<usize> {
+    let mut ids: Vec<usize> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            NetOutcome::Screened { .. } => None,
+            NetOutcome::Analyzed { value: r, .. } | NetOutcome::Degraded { value: r, .. } => {
+                let peak = r.composite.as_ref().map_or(0.0, |c| c.height);
+                (r.delay_noise_rcv_out > policy.delay_budget || peak > policy.noise_budget)
+                    .then_some(r.id)
+            }
+            NetOutcome::Failed { id, bound, .. } => (bound.delay_noise > policy.delay_budget
+                || bound.peak_noise > policy.noise_budget)
+                .then_some(*id),
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Block-level equivalence: `--funnel screen` and `--funnel full` must
+/// report the same violating-net set — the funnel may skip work, never
+/// verdicts. Escalated nets run the identical full-tier path, so their
+/// measured values agree bitwise too.
+#[test]
+fn screen_and_full_report_identical_violation_sets() {
+    let tech = Tech::default_180nm();
+    // A mixed population with both quiet (screenable) and violating nets.
+    let block_cfg = BlockConfig {
+        wire_len: (0.05e-3, 1.2e-3),
+        coupling_frac: (0.05, 0.7),
+        aggressors: (1, 2),
+        ..BlockConfig::default()
+    };
+    let block = generate_block(&tech, &block_cfg.with_nets(10), 23);
+    let policy = FunnelPolicy {
+        kind: FunnelKind::Screen,
+        ..FunnelPolicy::default()
+    };
+
+    let full = NoiseAnalyzer::with_config(tech, quick_config());
+    let full_out = full.analyze_block(&block, 1);
+    let screen = NoiseAnalyzer::with_config(tech, quick_config().with_funnel(policy));
+    let screen_out = screen.analyze_block(&block, 1);
+
+    let screened = screen_out.iter().filter(|o| o.is_screened()).count();
+    assert!(
+        screened > 0,
+        "population yields at least one screened net (got none — \
+         the equivalence check would be vacuous)"
+    );
+    assert_eq!(
+        violating_ids(&full_out, &policy),
+        violating_ids(&screen_out, &policy),
+        "funnel changed the violation verdicts"
+    );
+
+    // Nets the funnel escalated to the full tier are the same computation
+    // as the all-full pass: bitwise-equal reports.
+    for (f, s) in full_out.iter().zip(&screen_out) {
+        if s.tier() == clarinox::core::outcome::Tier::FullSim {
+            let (f, s) = (f.value().unwrap(), s.value().unwrap());
+            assert_eq!(
+                format!("{f:?}"),
+                format!("{s:?}"),
+                "net {}: escalated full-tier report differs from all-full",
+                f.id
+            );
+        }
+    }
+}
