@@ -61,12 +61,23 @@
 //!   identity check per row. The jobs-4 row must be ≥1.5× faster than
 //!   serial — enforced only when the host has ≥4 cores (the rows are
 //!   still recorded on smaller hosts, where the speedup is physically
-//!   capped at 1×).
+//!   capped at 1×),
+//! * a **serve** section (`--serve-nets`, `--serve-reqs`): the TCP
+//!   multiplexer ([`serve_mux`]) driven by 1/4/16 concurrent clients,
+//!   each firing sequential ECO requests against one resident design —
+//!   once with the coalescing window disabled (every request its own
+//!   dirty-closure + fixpoint pass, the serial dispatch baseline) and
+//!   once with a short window that merges concurrent edits into one
+//!   batched pass. Each row records both wall times, requests/s, the
+//!   p99 request latency from the `metrics` document, and the coalesced
+//!   batch counters. At full design scale on a ≥4-core host the
+//!   16-client coalesced throughput must be ≥1.5× serial dispatch.
 //!
 //! Usage:
-//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R --eco-nets M --ladder-nets L --ladder-segments S --batch-sections A,B,C --batch-width W --mc-segments G --funnel-nets F] > BENCH_pr7.json`
+//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R --eco-nets M --ladder-nets L --ladder-segments S --batch-sections A,B,C --batch-width W --mc-segments G --funnel-nets F --serve-nets V --serve-reqs Q] > BENCH_pr8.json`
 
-use std::time::Instant;
+use std::sync::{mpsc, Barrier};
+use std::time::{Duration, Instant};
 
 use clarinox_cells::Tech;
 use clarinox_circuit::engine::EngineScratch;
@@ -86,8 +97,10 @@ use clarinox_core::{SolverKind, SPARSE_CROSSOVER_DIM};
 use clarinox_netgen::generate::{generate_block, BlockConfig};
 use clarinox_netgen::{build_topology, CoupledNetSpec};
 use clarinox_numeric::sparse::{SparseLu, Symbolic};
-use clarinox_serve::protocol::Request;
+use clarinox_serve::protocol::{EcoChange, EcoField, Request};
+use clarinox_serve::server::ServeOptions;
 use clarinox_serve::service::{couplings_for, input_window_for, DesignService, ServiceConfig};
+use clarinox_serve::{client, serve_mux, MuxOptions};
 use clarinox_waveform::Pwl;
 
 fn arg_value<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -769,6 +782,192 @@ fn measure_funnel(tech: Tech, cfg: AnalyzerConfig, funnel_nets: usize) -> Funnel
     }
 }
 
+/// One row of the concurrent-client serve sweep: the same ECO request
+/// load dispatched serially (coalescing window zero) vs. coalesced
+/// (a short window merging concurrent edits into one batched pass).
+struct ServeRow {
+    clients: usize,
+    requests: usize,
+    serial_s: f64,
+    batched_s: f64,
+    serial_rps: f64,
+    batched_rps: f64,
+    coalesced_speedup: f64,
+    serial_p99_us: f64,
+    batched_p99_us: f64,
+    batches: u64,
+    max_batch: u64,
+}
+
+/// The TCP multiplexer measurements.
+struct ServeNumbers {
+    serve_nets: usize,
+    requests_per_client: usize,
+    queue_depth: usize,
+    coalesce_window_ms: f64,
+    jobs: usize,
+    rows: Vec<ServeRow>,
+}
+
+/// Runs one timed serve pass: the mux on a fresh Unix socket + ephemeral
+/// TCP port, `clients` threads each firing `reqs` sequential ECO requests
+/// over TCP. Returns `(wall_s, p99_us, batches, max_batch)`, the latency
+/// and coalescing figures read back from the `metrics` request.
+fn serve_pass(
+    service: &mut DesignService,
+    tag: &str,
+    clients: usize,
+    reqs: usize,
+    nets: usize,
+    queue_depth: usize,
+    window: Duration,
+) -> (f64, f64, u64, u64) {
+    let socket = std::env::temp_dir().join(format!(
+        "clarinox-perf-serve-{}-{tag}.sock",
+        std::process::id()
+    ));
+    let options = MuxOptions {
+        io: ServeOptions::default(),
+        queue_depth,
+        coalesce_window: window,
+    };
+    let (tx, rx) = mpsc::channel();
+    let barrier = Barrier::new(clients + 1);
+    let mut wall_s = 0.0;
+    let (mut p99_us, mut batches, mut max_batch) = (0.0, 0, 0);
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || {
+            serve_mux(&socket, Some("127.0.0.1:0"), service, 20, &options, |a| {
+                let _ = tx.send(a.expect("tcp listener bound"));
+            })
+        });
+        let addr = rx.recv().expect("server ready").to_string();
+        // Warm pass outside the timed region: the first pass pays the
+        // cold characterization, later ones are a cheap no-op. Patient
+        // deadline, because that cold pass can be slow.
+        let warm = Request::Analyze { profile: false }.to_json().emit();
+        client::request_tcp_line_with_timeout(&addr, &warm, Some(Duration::from_secs(600)))
+            .expect("warm analyze");
+        profile::reset_serve_counters();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let (addr, barrier) = (addr.clone(), &barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    for r in 0..reqs {
+                        // Paired scales return each net near its original
+                        // length, keeping successive passes comparable.
+                        let scale = if r % 2 == 0 { 1.25 } else { 0.8 };
+                        let resp = client::request_tcp(
+                            &addr,
+                            &Request::Eco {
+                                net: c % nets,
+                                field: EcoField::WireLen,
+                                change: EcoChange::Scale(scale),
+                                profile: false,
+                            },
+                        )
+                        .expect("eco request");
+                        assert_eq!(
+                            resp.get("ok").and_then(|v| v.as_bool()),
+                            Some(true),
+                            "eco rejected: {}",
+                            resp.emit()
+                        );
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        for w in workers {
+            w.join().expect("client thread");
+        }
+        wall_s = t0.elapsed().as_secs_f64();
+        let metrics = client::request_tcp(&addr, &Request::Metrics).expect("metrics request");
+        let num = |section: &str, key: &str| {
+            metrics
+                .get(section)
+                .and_then(|s| s.get(key))
+                .and_then(|v| v.as_f64())
+                .expect("metrics key")
+        };
+        p99_us = num("latency", "p99_us");
+        batches = num("coalesce", "batches") as u64;
+        max_batch = num("coalesce", "max_batch") as u64;
+        client::request_tcp(&addr, &Request::Shutdown).expect("shutdown request");
+        server.join().expect("server thread").expect("serve loop");
+    });
+    (wall_s, p99_us, batches, max_batch)
+}
+
+fn measure_serve(
+    tech: Tech,
+    cfg: AnalyzerConfig,
+    serve_nets: usize,
+    reqs_per_client: usize,
+    jobs: usize,
+) -> ServeNumbers {
+    // Deep enough that a 16-wide burst never sees backpressure (the
+    // sweep measures throughput, not the overflow contract), and wide
+    // enough to let a whole burst coalesce into one batch.
+    const QUEUE_DEPTH: usize = 64;
+    const WINDOW_MS: f64 = 5.0;
+    let svc_cfg = ServiceConfig {
+        nets: serve_nets,
+        seed: 27,
+        jobs,
+        max_rounds: 20,
+        store: None,
+    };
+    let mut service = DesignService::new(tech, cfg, &svc_cfg).expect("service construction");
+    let rows = [1usize, 4, 16]
+        .into_iter()
+        .map(|clients| {
+            let (serial_s, serial_p99_us, _, _) = serve_pass(
+                &mut service,
+                &format!("serial{clients}"),
+                clients,
+                reqs_per_client,
+                serve_nets,
+                QUEUE_DEPTH,
+                Duration::ZERO,
+            );
+            let (batched_s, batched_p99_us, batches, max_batch) = serve_pass(
+                &mut service,
+                &format!("batched{clients}"),
+                clients,
+                reqs_per_client,
+                serve_nets,
+                QUEUE_DEPTH,
+                Duration::from_micros((WINDOW_MS * 1e3) as u64),
+            );
+            let requests = clients * reqs_per_client;
+            ServeRow {
+                clients,
+                requests,
+                serial_s,
+                batched_s,
+                serial_rps: requests as f64 / serial_s,
+                batched_rps: requests as f64 / batched_s,
+                coalesced_speedup: serial_s / batched_s,
+                serial_p99_us,
+                batched_p99_us,
+                batches,
+                max_batch,
+            }
+        })
+        .collect();
+    ServeNumbers {
+        serve_nets,
+        requests_per_client: reqs_per_client,
+        queue_depth: QUEUE_DEPTH,
+        coalesce_window_ms: WINDOW_MS,
+        jobs,
+        rows,
+    }
+}
+
 fn main() {
     let nets = arg_value("--nets", 10usize);
     let reps = arg_value("--reps", 3usize).max(1);
@@ -787,6 +986,8 @@ fn main() {
     let batch_width = arg_value("--batch-width", 8usize).max(1);
     let mc_segments = arg_value("--mc-segments", 2048usize).max(1);
     let funnel_nets = arg_value("--funnel-nets", 48usize).max(2);
+    let serve_nets = arg_value("--serve-nets", 32usize).max(2);
+    let serve_reqs = arg_value("--serve-reqs", 4usize).max(1);
     let tech = Tech::default_180nm();
     let cfg = AnalyzerConfig {
         dt: 2e-12,
@@ -880,9 +1081,10 @@ fn main() {
     };
     let mc = measure_multicore(tech, mc_segments, reps);
     let fu = measure_funnel(tech, cfg, funnel_nets);
+    let sv = measure_serve(tech, cfg, serve_nets, serve_reqs, hw.min(8));
 
     println!("{{");
-    println!("  \"schema\": \"clarinox-perf-record/6\",");
+    println!("  \"schema\": \"clarinox-perf-record/7\",");
     println!("  \"host_parallelism\": {hw},");
     println!("  \"nets\": {nets},");
     println!("  \"warm_reps\": {reps},");
@@ -1035,6 +1237,31 @@ fn main() {
     );
     println!("    \"missed_violations\": {},", fu.missed_violations);
     println!("    \"spurious_violations\": {}", fu.spurious_violations);
+    println!("  }},");
+    println!("  \"serve\": {{");
+    println!("    \"serve_nets\": {},", sv.serve_nets);
+    println!("    \"requests_per_client\": {},", sv.requests_per_client);
+    println!("    \"queue_depth\": {},", sv.queue_depth);
+    println!("    \"coalesce_window_ms\": {:.1},", sv.coalesce_window_ms);
+    println!("    \"jobs\": {},", sv.jobs);
+    println!("    \"rows\": [");
+    for (i, r) in sv.rows.iter().enumerate() {
+        let comma = if i + 1 == sv.rows.len() { "" } else { "," };
+        println!("      {{");
+        println!("        \"clients\": {},", r.clients);
+        println!("        \"requests\": {},", r.requests);
+        println!("        \"serial_s\": {:.6},", r.serial_s);
+        println!("        \"batched_s\": {:.6},", r.batched_s);
+        println!("        \"serial_rps\": {:.3},", r.serial_rps);
+        println!("        \"batched_rps\": {:.3},", r.batched_rps);
+        println!("        \"coalesced_speedup\": {:.3},", r.coalesced_speedup);
+        println!("        \"serial_p99_us\": {:.1},", r.serial_p99_us);
+        println!("        \"batched_p99_us\": {:.1},", r.batched_p99_us);
+        println!("        \"batches\": {},", r.batches);
+        println!("        \"max_batch\": {}", r.max_batch);
+        println!("      }}{comma}");
+    }
+    println!("    ]");
     println!("  }}");
     println!("}}");
 
@@ -1164,6 +1391,26 @@ fn main() {
             eprintln!(
                 "error: funnel end-to-end speedup {:.2}x below the 3x floor",
                 fu.speedup
+            );
+            std::process::exit(1);
+        }
+    }
+    // Coalescing must actually buy throughput where there is concurrency
+    // to merge: at full design scale the 16-client coalesced pass must
+    // beat serial dispatch by the acceptance margin. Smoke scales only
+    // check that the sweep runs end to end, and the floor binds only on
+    // hosts with >=4 cores — a batched pass with nothing to parallelize
+    // across can do no better than tie the serial schedule.
+    if serve_nets >= 32 && hw >= 4 {
+        let row16 = sv
+            .rows
+            .iter()
+            .find(|r| r.clients == 16)
+            .expect("16-client row");
+        if row16.coalesced_speedup < 1.5 {
+            eprintln!(
+                "error: 16-client coalesced throughput {:.2}x below the 1.5x floor",
+                row16.coalesced_speedup
             );
             std::process::exit(1);
         }

@@ -495,6 +495,21 @@ struct NetState {
     summary: Option<NetSummary>,
 }
 
+/// One request of a coalesced [`IncrementalDesign::analyze_batch`] call:
+/// the net edits to apply (in order) before this request's analysis pass.
+/// A pure `analyze` carries no edits; an ECO edit carries one.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOp {
+    /// `(net index, replacement)` pairs, applied via
+    /// [`IncrementalDesign::update_net`] before the pass.
+    pub edits: Vec<(usize, DesignNet)>,
+}
+
+/// Pre-simulated outcomes keyed by `(net index, spec content hash)`,
+/// consumed FIFO so repeated edit cycles replay in simulation order.
+type Prefetched =
+    std::collections::HashMap<(usize, u64), std::collections::VecDeque<crate::outcome::NetOutcome>>;
+
 /// A resident design that re-analyzes incrementally across edits.
 ///
 /// Construct once, [`analyze`](IncrementalDesign::analyze), then apply ECO
@@ -650,15 +665,43 @@ impl IncrementalDesign {
     /// Fixed-point or stage-graph failures. Summaries of nets that did
     /// complete stay cached, so a retry resumes where it failed.
     pub fn analyze(&mut self, max_rounds: usize) -> Result<IncrementalReport> {
+        self.analyze_step(max_rounds, &mut Prefetched::new())
+    }
+
+    /// One analysis pass, consuming pre-simulated outcomes where they match
+    /// a net's current spec hash and simulating everything else exactly as
+    /// [`analyze`](Self::analyze) would. With an empty map this *is* the
+    /// plain analyze path.
+    fn analyze_step(
+        &mut self,
+        max_rounds: usize,
+        prefetched: &mut Prefetched,
+    ) -> Result<IncrementalReport> {
         let n = self.states.len();
         let todo: Vec<usize> = (0..n)
             .filter(|&i| self.states[i].summary.is_none())
             .collect();
+        let mut outcomes: Vec<Option<crate::outcome::NetOutcome>> = todo
+            .iter()
+            .map(|&i| {
+                prefetched
+                    .get_mut(&(i, self.states[i].spec_hash))
+                    .and_then(|q| q.pop_front())
+            })
+            .collect();
+        let misses: Vec<usize> = (0..todo.len()).filter(|&k| outcomes[k].is_none()).collect();
         let analyzer = &self.analyzer;
         let states = &self.states;
-        let fresh: Vec<crate::outcome::NetOutcome> = run_indexed(todo.len(), self.jobs, |k| {
-            analyzer.analyze_outcome(&states[todo[k]].net.spec)
-        });
+        let simulated: Vec<crate::outcome::NetOutcome> =
+            run_indexed(misses.len(), self.jobs, |k| {
+                analyzer.analyze_outcome(&states[todo[misses[k]]].net.spec)
+            });
+        for (&slot, out) in misses.iter().zip(simulated) {
+            outcomes[slot] = Some(out);
+        }
+        let fresh = outcomes
+            .into_iter()
+            .map(|o| o.expect("every todo slot filled from prefetch or simulation"));
         let analyzed = todo.len();
         let mut degraded = 0;
         let mut failed = 0;
@@ -766,6 +809,80 @@ impl IncrementalDesign {
                 screened,
             },
         })
+    }
+
+    /// Coalesced multi-request analysis: processes `requests` exactly as a
+    /// serial `update_net*` + [`analyze`](Self::analyze) loop would —
+    /// per-request reports, caches, and warm-start state all bit-identical
+    /// — but hoists every per-net simulation any request will need into
+    /// one up-front parallel pass over the *union* of the requests' dirty
+    /// nets. Serial processing simulates each request's dirty closure
+    /// alone (typically one net — no parallelism to exploit); the batch
+    /// pass fans the whole union across the job budget, which is where the
+    /// coalescing throughput win comes from. The per-request fixed points
+    /// are then cheap warm-started replays with no simulation left to do.
+    ///
+    /// Each request yields its own `Result`; an invalid edit fails only
+    /// its request (the design state is untouched by it), like the serial
+    /// loop. A net whose prefetched analysis failed is retried inline by
+    /// any later request, matching serial retry semantics.
+    pub fn analyze_batch(
+        &mut self,
+        requests: &[BatchOp],
+        max_rounds: usize,
+    ) -> Vec<Result<IncrementalReport>> {
+        // Virtual replay of the edit timeline to discover every simulation
+        // the serial loop would run: per net, the current spec (hash) and
+        // whether a summary for it would be cached at that point.
+        let n = self.states.len();
+        let mut has: Vec<bool> = self.states.iter().map(|s| s.summary.is_some()).collect();
+        let mut hash: Vec<u64> = self.states.iter().map(|s| s.spec_hash).collect();
+        let mut cur: Vec<&DesignNet> = self.states.iter().map(|s| &s.net).collect();
+        let mut jobs: Vec<(usize, u64, DesignNet)> = Vec::new();
+        for req in requests {
+            for (i, net) in &req.edits {
+                let Some(slot) = hash.get_mut(*i) else {
+                    continue; // out of range: the replay will fail this request
+                };
+                let new_hash =
+                    spec_content_hash(self.analyzer.tech(), self.analyzer.config(), &net.spec);
+                if new_hash != *slot {
+                    *slot = new_hash;
+                    has[*i] = false;
+                }
+                cur[*i] = net;
+            }
+            for i in 0..n {
+                if !has[i] {
+                    jobs.push((i, hash[i], cur[i].clone()));
+                    has[i] = true;
+                }
+            }
+        }
+
+        let analyzer = &self.analyzer;
+        let outcomes: Vec<crate::outcome::NetOutcome> = run_indexed(jobs.len(), self.jobs, |k| {
+            analyzer.analyze_outcome(&jobs[k].2.spec)
+        });
+        let mut prefetched = Prefetched::new();
+        for ((i, h, _), out) in jobs.into_iter().zip(outcomes) {
+            prefetched.entry((i, h)).or_default().push_back(out);
+        }
+
+        // Serial replay: same edits, same per-request fixed points, with
+        // the simulations already in hand.
+        let mut reports = Vec::with_capacity(requests.len());
+        for req in requests {
+            let applied = req
+                .edits
+                .iter()
+                .try_for_each(|(i, net)| self.update_net(*i, net.clone()));
+            reports.push(match applied {
+                Ok(()) => self.analyze_step(max_rounds, &mut prefetched),
+                Err(e) => Err(e),
+            });
+        }
+        reports
     }
 }
 
@@ -957,6 +1074,87 @@ mod tests {
             assert_eq!(a.late.to_bits(), b.late.to_bits());
         }
         assert!(eco.iterations <= full.iterations);
+    }
+
+    /// The coalesced batch entry point must be indistinguishable — report
+    /// by report, bit for bit — from the serial update/analyze loop it
+    /// replaces, including repeated edits to the same net and interleaved
+    /// pure analyzes.
+    #[test]
+    fn coalesced_batch_matches_serial_request_loop_bit_for_bit() {
+        let tech = Tech::default_180nm();
+        let (nets, couplings) = ring_design(&tech, 3, 11);
+        let build = || {
+            IncrementalDesign::new(
+                NoiseAnalyzer::with_config(tech, quick_config()),
+                nets.clone(),
+                couplings.clone(),
+                2,
+            )
+            .unwrap()
+        };
+        let mut serial = build();
+        let mut batched = build();
+        serial.analyze(20).unwrap();
+        batched.analyze(20).unwrap();
+
+        let edit = |base: &DesignNet, scale: f64| {
+            let mut e = base.clone();
+            e.spec.victim.wire_len *= scale;
+            e
+        };
+        let ops = vec![
+            BatchOp {
+                edits: vec![(1, edit(&nets[1], 1.25))],
+            },
+            BatchOp::default(), // pure analyze
+            BatchOp {
+                edits: vec![(2, edit(&nets[2], 0.8))],
+            },
+            BatchOp {
+                edits: vec![(1, edit(&edit(&nets[1], 1.25), 1.1))],
+            },
+        ];
+
+        let serial_reports: Vec<IncrementalReport> = ops
+            .iter()
+            .map(|op| {
+                for (i, net) in &op.edits {
+                    serial.update_net(*i, net.clone()).unwrap();
+                }
+                serial.analyze(20).unwrap()
+            })
+            .collect();
+        let batch_reports = batched.analyze_batch(&ops, 20);
+        assert_eq!(batch_reports.len(), serial_reports.len());
+        for (s, b) in serial_reports.iter().zip(&batch_reports) {
+            let b = b.as_ref().unwrap();
+            assert_eq!(s.stats, b.stats);
+            assert_eq!(s.iterations, b.iterations);
+            for (x, y) in s.nets.iter().zip(&b.nets) {
+                assert!(x.bits_eq(y), "summary mismatch: {x:?} vs {y:?}");
+            }
+            for (x, y) in s.deltas.iter().zip(&b.deltas) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in s.windows.iter().zip(&b.windows) {
+                assert_eq!(x.early.to_bits(), y.early.to_bits());
+                assert_eq!(x.late.to_bits(), y.late.to_bits());
+            }
+        }
+
+        // An out-of-range edit fails only its own request.
+        let mixed = batched.analyze_batch(
+            &[
+                BatchOp {
+                    edits: vec![(99, edit(&nets[0], 1.5))],
+                },
+                BatchOp::default(),
+            ],
+            20,
+        );
+        assert!(mixed[0].is_err());
+        assert!(mixed[1].is_ok());
     }
 
     #[test]

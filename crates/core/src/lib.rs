@@ -89,7 +89,7 @@ pub use config::{
     LinearBackendKind, ModelProviderKind,
 };
 pub use error::CoreError;
-pub use incremental::{EcoStats, IncrementalDesign, IncrementalReport, NetSummary};
+pub use incremental::{BatchOp, EcoStats, IncrementalDesign, IncrementalReport, NetSummary};
 pub use outcome::{
     conservative_bound, screen_bound, ConservativeBound, FunctionalOutcome, NetOutcome, Outcome,
     Tier,

@@ -182,6 +182,150 @@ pub fn reset_funnel_counters() -> (u64, u64, u64, u64) {
     )
 }
 
+// ---------------------------------------------------------------------
+// Request-latency histogram and admission-queue counters (the serve
+// layer's multiplexer records into these; `clarinox metrics` reads them).
+// ---------------------------------------------------------------------
+
+/// Log₂-scaled latency buckets: bucket `i` counts requests whose
+/// end-to-end latency was in `[2^i, 2^{i+1})` microseconds (bucket 0 also
+/// absorbs sub-microsecond requests). 32 buckets cover ~71 minutes.
+const LATENCY_BUCKETS: usize = 32;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static REQ_LATENCY: [AtomicU64; LATENCY_BUCKETS] = [ZERO; LATENCY_BUCKETS];
+static REQ_LATENCY_MAX_US: AtomicU64 = AtomicU64::new(0);
+
+static QUEUE_ADMITTED: AtomicU64 = AtomicU64::new(0);
+static QUEUE_REJECTED: AtomicU64 = AtomicU64::new(0);
+static QUEUE_MAX_DEPTH: AtomicU64 = AtomicU64::new(0);
+static COALESCED_BATCHES: AtomicU64 = AtomicU64::new(0);
+static COALESCED_REQUESTS: AtomicU64 = AtomicU64::new(0);
+static COALESCED_MAX_BATCH: AtomicU64 = AtomicU64::new(0);
+
+fn bump_max(slot: &AtomicU64, candidate: u64) {
+    slot.fetch_max(candidate, Ordering::Relaxed);
+}
+
+/// Records one request's end-to-end latency (admission to response
+/// enqueued), in nanoseconds.
+pub fn record_request_latency_ns(ns: u64) {
+    let us = ns / 1_000;
+    let bucket = (63 - (us.max(1)).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+    REQ_LATENCY[bucket].fetch_add(1, Ordering::Relaxed);
+    bump_max(&REQ_LATENCY_MAX_US, us);
+}
+
+/// Records one request admitted into the queue, with the depth *after*
+/// admission (feeds the high-water gauge).
+pub fn record_queue_admitted(depth_after: usize) {
+    QUEUE_ADMITTED.fetch_add(1, Ordering::Relaxed);
+    bump_max(&QUEUE_MAX_DEPTH, depth_after as u64);
+}
+
+/// Records one request refused with a backpressure response because the
+/// queue was at its depth bound.
+pub fn record_queue_rejected() {
+    QUEUE_REJECTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one coalesced dispatch of `size` analyze-class requests
+/// answered by a single shared engine pass (`size == 1` still counts as a
+/// batch so the average is well-defined).
+pub fn record_coalesced_batch(size: usize) {
+    COALESCED_BATCHES.fetch_add(1, Ordering::Relaxed);
+    COALESCED_REQUESTS.fetch_add(size as u64, Ordering::Relaxed);
+    bump_max(&COALESCED_MAX_BATCH, size as u64);
+}
+
+/// Point-in-time view of the request-latency histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Requests recorded.
+    pub count: u64,
+    /// Median latency, microseconds (upper edge of the median's bucket).
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds (upper bucket edge).
+    pub p99_us: u64,
+    /// Largest latency seen, microseconds.
+    pub max_us: u64,
+}
+
+/// Snapshot of the request-latency histogram. Percentiles are resolved to
+/// the upper edge of the log₂ bucket holding the rank, so they are exact
+/// to within a factor of two — enough to tell a 100 µs service from a
+/// 10 ms one, at the cost of three words per request recorded.
+pub fn request_latency() -> LatencySnapshot {
+    let counts: Vec<u64> = REQ_LATENCY
+        .iter()
+        .map(|b| b.load(Ordering::Relaxed))
+        .collect();
+    let count: u64 = counts.iter().sum();
+    let rank = |p: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let target = ((count as f64) * p).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    };
+    LatencySnapshot {
+        count,
+        p50_us: rank(0.50),
+        p99_us: rank(0.99),
+        max_us: REQ_LATENCY_MAX_US.load(Ordering::Relaxed),
+    }
+}
+
+/// Requests admitted into the serve queue.
+pub fn queue_admitted() -> u64 {
+    QUEUE_ADMITTED.load(Ordering::Relaxed)
+}
+
+/// Requests refused with the backpressure response.
+pub fn queue_rejected() -> u64 {
+    QUEUE_REJECTED.load(Ordering::Relaxed)
+}
+
+/// High-water mark of the queue depth.
+pub fn queue_max_depth() -> u64 {
+    QUEUE_MAX_DEPTH.load(Ordering::Relaxed)
+}
+
+/// Coalesced dispatches, total requests they covered, and the widest
+/// batch, as `(batches, requests, max_batch)`.
+pub fn coalesce_stats() -> (u64, u64, u64) {
+    (
+        COALESCED_BATCHES.load(Ordering::Relaxed),
+        COALESCED_REQUESTS.load(Ordering::Relaxed),
+        COALESCED_MAX_BATCH.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets the latency histogram and every queue/coalesce counter.
+///
+/// The counters are process-wide: concurrent work on other threads is
+/// included, so bracket measured regions accordingly.
+pub fn reset_serve_counters() {
+    for b in &REQ_LATENCY {
+        b.store(0, Ordering::Relaxed);
+    }
+    REQ_LATENCY_MAX_US.store(0, Ordering::Relaxed);
+    QUEUE_ADMITTED.store(0, Ordering::Relaxed);
+    QUEUE_REJECTED.store(0, Ordering::Relaxed);
+    QUEUE_MAX_DEPTH.store(0, Ordering::Relaxed);
+    COALESCED_BATCHES.store(0, Ordering::Relaxed);
+    COALESCED_REQUESTS.store(0, Ordering::Relaxed);
+    COALESCED_MAX_BATCH.store(0, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +349,29 @@ mod tests {
         assert!(funnel_escalated_full() > ef0);
         assert!(funnel_bound_evals() > b0);
         assert!(funnel_tier_ns().0 >= 5);
+    }
+
+    #[test]
+    fn latency_histogram_and_queue_counters_accumulate() {
+        let before = request_latency();
+        record_request_latency_ns(150_000); // 150 µs → bucket [128, 256)
+        record_request_latency_ns(150_000);
+        record_request_latency_ns(90_000_000); // 90 ms tail
+        let after = request_latency();
+        assert!(after.count >= before.count + 3);
+        assert!(after.max_us >= 90_000);
+        assert!(after.p50_us > 0 && after.p99_us >= after.p50_us);
+
+        let a0 = queue_admitted();
+        let r0 = queue_rejected();
+        record_queue_admitted(5);
+        record_queue_rejected();
+        record_coalesced_batch(4);
+        assert!(queue_admitted() > a0);
+        assert!(queue_rejected() > r0);
+        assert!(queue_max_depth() >= 5);
+        let (batches, requests, max_batch) = coalesce_stats();
+        assert!(batches >= 1 && requests >= 4 && max_batch >= 4);
     }
 
     #[test]

@@ -1,46 +1,184 @@
 //! One-shot client for the line-delimited socket protocol (the `clarinox
-//! eco` side of the conversation).
+//! eco` / `clarinox metrics` side of the conversation), over the Unix
+//! socket or TCP.
+//!
+//! Every request carries a client-side deadline ([`DEFAULT_TIMEOUT`]
+//! unless overridden): a server that accepts the connection and then
+//! hangs — wedged handler, stopped process image, dead NAT path — fails
+//! the call with a clean timeout error instead of blocking the CLI
+//! forever.
 
 use crate::json::{self, Value};
 use crate::protocol::Request;
 use crate::{Result, ServeError};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
-/// Sends one request and reads one response.
+/// Default client-side deadline for connect, send, and the response read.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Sends one request over the Unix socket and reads one response, under
+/// the [`DEFAULT_TIMEOUT`].
 ///
 /// # Errors
 ///
-/// Connection failures, or a malformed/missing response line.
+/// Connection failures, a malformed/missing response line, or the
+/// deadline expiring.
 pub fn request(socket_path: &Path, req: &Request) -> Result<Value> {
     request_line(socket_path, &req.to_json().emit())
 }
 
-/// Sends one raw request line and reads one response. Exposed so tests and
-/// scripts can exercise the server's error path with malformed input.
+/// Sends one raw request line over the Unix socket and reads one
+/// response. Exposed so tests and scripts can exercise the server's
+/// error path with malformed input.
 ///
 /// # Errors
 ///
 /// As [`request`].
 pub fn request_line(socket_path: &Path, line: &str) -> Result<Value> {
+    request_line_with_timeout(socket_path, line, Some(DEFAULT_TIMEOUT))
+}
+
+/// [`request_line`] with an explicit deadline (`None` waits forever).
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn request_line_with_timeout(
+    socket_path: &Path,
+    line: &str,
+    timeout: Option<Duration>,
+) -> Result<Value> {
     let stream = UnixStream::connect(socket_path).map_err(|e| {
         ServeError::protocol(format!(
             "cannot connect to {}: {e} (is `clarinox serve` running?)",
             socket_path.display()
         ))
     })?;
-    let mut writer = stream.try_clone()?;
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()?;
-    let mut reader = BufReader::new(stream);
-    let mut response = String::new();
-    let n = reader.read_line(&mut response)?;
-    if n == 0 {
-        return Err(ServeError::protocol(
-            "server closed the connection without responding",
-        ));
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let writer = stream.try_clone()?;
+    exchange(writer, stream, line, timeout)
+}
+
+/// Sends one request over TCP and reads one response, under the
+/// [`DEFAULT_TIMEOUT`].
+///
+/// # Errors
+///
+/// As [`request`], plus a malformed `addr`.
+pub fn request_tcp(addr: &str, req: &Request) -> Result<Value> {
+    request_tcp_line_with_timeout(addr, &req.to_json().emit(), Some(DEFAULT_TIMEOUT))
+}
+
+/// Sends one raw request line over TCP with an explicit deadline
+/// (`None` waits forever).
+///
+/// # Errors
+///
+/// As [`request_tcp`].
+pub fn request_tcp_line_with_timeout(
+    addr: &str,
+    line: &str,
+    timeout: Option<Duration>,
+) -> Result<Value> {
+    let parsed: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| ServeError::protocol(format!("bad tcp address {addr:?} (want IP:PORT)")))?;
+    // The connect itself honors the deadline too: a black-holed address
+    // must not hang the CLI for the kernel's SYN-retry minutes.
+    let stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&parsed, t),
+        None => TcpStream::connect(parsed),
     }
-    json::parse(response.trim_end())
+    .map_err(|e| {
+        ServeError::protocol(format!(
+            "cannot connect to {addr}: {e} (is `clarinox serve --tcp` running?)"
+        ))
+    })?;
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let writer = stream.try_clone()?;
+    exchange(writer, stream, line, timeout)
+}
+
+/// Writes the request line and reads back one response line, mapping a
+/// tripped socket timeout to a clean deadline error.
+fn exchange(
+    mut writer: impl Write,
+    reader: impl Read,
+    line: &str,
+    timeout: Option<Duration>,
+) -> Result<Value> {
+    let deadline_err = |what: &str| {
+        ServeError::protocol(format!(
+            "server did not {what} within {:.1}s (client-side deadline)",
+            timeout.unwrap_or_default().as_secs_f64()
+        ))
+    };
+    let timed_out = |e: &std::io::Error| {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    };
+    let send = (|| {
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()
+    })();
+    if let Err(e) = send {
+        return Err(if timed_out(&e) {
+            deadline_err("accept the request")
+        } else {
+            e.into()
+        });
+    }
+    let mut reader = BufReader::new(reader);
+    let mut response = String::new();
+    match reader.read_line(&mut response) {
+        Ok(0) => Err(ServeError::protocol(
+            "server closed the connection without responding",
+        )),
+        Ok(_) => json::parse(response.trim_end()),
+        Err(e) if timed_out(&e) => Err(deadline_err("respond")),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_dir;
+    use std::os::unix::net::UnixListener;
+
+    /// A server that accepts and then never answers must fail the call at
+    /// the client-side deadline, not hang it.
+    #[test]
+    fn hung_server_trips_the_client_deadline() {
+        let dir = scratch_dir("client-deadline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("clarinox.sock");
+        let listener = UnixListener::bind(&socket).unwrap();
+        let hold = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            // Hold the connection open, never read or write.
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let err = request_line_with_timeout(
+            &socket,
+            "{\"cmd\":\"status\"}",
+            Some(Duration::from_millis(100)),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("client-side deadline"),
+            "got: {err}"
+        );
+        hold.join().unwrap();
+    }
 }

@@ -17,6 +17,16 @@ pub enum ServeError {
     /// succeeded, so the socket file is not stale and must not be
     /// removed).
     AlreadyRunning(std::path::PathBuf),
+    /// The TCP listener could not start (bad address text, address in
+    /// use, permission) — the TCP analogue of [`ServeError::AlreadyRunning`],
+    /// diagnosed in one line at startup instead of surfacing as a bare
+    /// I/O error.
+    Listen {
+        /// The `--tcp` address as given.
+        addr: String,
+        /// What went wrong binding it.
+        reason: String,
+    },
 }
 
 impl ServeError {
@@ -43,6 +53,9 @@ impl fmt::Display for ServeError {
                 "a server is already listening on {} (refusing to replace a live socket)",
                 path.display()
             ),
+            ServeError::Listen { addr, reason } => {
+                write!(f, "cannot listen on tcp address {addr:?}: {reason}")
+            }
         }
     }
 }

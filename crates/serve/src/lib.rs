@@ -14,6 +14,13 @@
 //! * [`server`] answers line-delimited JSON requests ([`protocol`],
 //!   [`json`]) over a Unix socket; [`client`] is the one-shot counterpart
 //!   the `clarinox eco` subcommand uses.
+//! * [`mux`] is the network-scale front end: one event-driven poll loop
+//!   ([`net`]) serving the Unix socket and a TCP listener together, with
+//!   a bounded admission queue ([`queue`]) that answers overload with
+//!   explicit backpressure, and a coalescing window that merges
+//!   concurrent analyze-class requests into one batched engine pass —
+//!   bit-identical to serial dispatch. [`metrics`] exposes the service's
+//!   latency/queue/coalescing counters as one JSON document.
 //! * [`store`] persists the driver library and per-net results keyed by
 //!   content hash, so a restarted service re-characterizes nothing whose
 //!   inputs are unchanged.
@@ -50,7 +57,11 @@
 
 pub mod client;
 pub mod json;
+pub mod metrics;
+pub mod mux;
+pub mod net;
 pub mod protocol;
+pub mod queue;
 pub mod server;
 pub mod service;
 pub mod store;
@@ -58,6 +69,7 @@ pub mod store;
 mod error;
 
 pub use error::ServeError;
+pub use mux::{serve_mux, MuxOptions};
 pub use protocol::{EcoChange, EcoField, Request};
 pub use service::{couplings_for, input_window_for, profile_json, DesignService, ServiceConfig};
 pub use store::{Store, STORE_VERSION};

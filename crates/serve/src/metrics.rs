@@ -1,0 +1,83 @@
+//! The `metrics` request: one JSON document with the service's request
+//! latency distribution, queue pressure, coalescing effectiveness, and
+//! the engine counters `--profile` already exposes.
+//!
+//! Latency and queue counters are process-wide
+//! ([`clarinox_core::profile`]) and recorded by the multiplexer; the
+//! queue *depth* is the only live gauge, injected by whoever owns the
+//! queue at response time (the serial Unix loop has no queue and reports
+//! zero). All counts are monotone between resets, so a scraper can rate
+//! them.
+
+use crate::json::Value;
+use crate::service::profile_json;
+use clarinox_core::analysis::NoiseAnalyzer;
+use clarinox_core::profile as prof;
+
+/// Builds the full metrics document. `queue_depth` is the live admission
+/// queue depth at response time.
+pub fn metrics_json(analyzer: &NoiseAnalyzer, queue_depth: usize) -> Value {
+    let lat = prof::request_latency();
+    let (batches, coalesced, max_batch) = prof::coalesce_stats();
+    Value::Obj(vec![
+        ("ok".into(), Value::Bool(true)),
+        (
+            "latency".into(),
+            Value::Obj(vec![
+                ("requests".into(), Value::Num(lat.count as f64)),
+                ("p50_us".into(), Value::Num(lat.p50_us as f64)),
+                ("p99_us".into(), Value::Num(lat.p99_us as f64)),
+                ("max_us".into(), Value::Num(lat.max_us as f64)),
+            ]),
+        ),
+        (
+            "queue".into(),
+            Value::Obj(vec![
+                ("depth".into(), Value::Num(queue_depth as f64)),
+                (
+                    "max_depth".into(),
+                    Value::Num(prof::queue_max_depth() as f64),
+                ),
+                ("admitted".into(), Value::Num(prof::queue_admitted() as f64)),
+                ("rejected".into(), Value::Num(prof::queue_rejected() as f64)),
+            ]),
+        ),
+        (
+            "coalesce".into(),
+            Value::Obj(vec![
+                ("batches".into(), Value::Num(batches as f64)),
+                ("requests".into(), Value::Num(coalesced as f64)),
+                ("max_batch".into(), Value::Num(max_batch as f64)),
+            ]),
+        ),
+        ("profile".into(), profile_json(analyzer)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clarinox_cells::Tech;
+
+    #[test]
+    fn document_carries_every_section() {
+        let analyzer = NoiseAnalyzer::new(Tech::default_180nm());
+        let doc = metrics_json(&analyzer, 3);
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        for (section, key) in [
+            ("latency", "p99_us"),
+            ("queue", "rejected"),
+            ("coalesce", "max_batch"),
+            ("profile", "funnel"),
+        ] {
+            assert!(
+                doc.get(section).unwrap().get(key).is_some(),
+                "missing {section}.{key}"
+            );
+        }
+        assert_eq!(
+            doc.get("queue").unwrap().get("depth").unwrap().as_usize(),
+            Some(3)
+        );
+    }
+}

@@ -1,0 +1,874 @@
+//! The event-driven connection multiplexer: one thread, many
+//! connections, two transports.
+//!
+//! [`serve_mux`] serves the Unix socket and (optionally) a TCP listener
+//! from a single `poll(2)` loop (see [`crate::net`]): nonblocking
+//! sockets, per-connection read/write buffers, and the per-connection
+//! read/write timeouts of [`ServeOptions`] enforced as poll deadlines.
+//! Parsed requests pass through the bounded two-class
+//! [`AdmissionQueue`]; when the queue is at its depth bound, the client
+//! gets an explicit `{"ok":false,...,"backpressure":true}` response
+//! instead of unbounded buffering or a hang.
+//!
+//! # Coalescing
+//!
+//! With a non-zero coalescing window, when an `analyze`/`eco` request
+//! without `profile` reaches the head of the normal class, dispatch
+//! waits until `admission + window`, then claims the longest run of
+//! such requests from the queue and hands them to
+//! [`DesignService::handle_batch`] as one batch: one dirty-closure
+//! union, one warm-started fixpoint pass, per-request responses
+//! demultiplexed afterward in admission order. The batch path is
+//! bit-identical to dispatching the same requests one at a time (the
+//! contract of [`clarinox_core::incremental`]'s `analyze_batch`), so
+//! the window trades *only* latency for throughput. `profile:true`
+//! requests never coalesce: their response embeds process-wide engine
+//! counters read at response-build time, which batching would shift. A
+//! window of zero (the default) disables coalescing entirely and
+//! dispatches strictly one at a time.
+//!
+//! # Ordering
+//!
+//! Normal-class requests are answered in admission order across all
+//! connections — the order the bit-identity contract is defined
+//! against. Control-class requests (`status`, `metrics`) jump the
+//! backlog; malformed lines queue as normal-class jobs so each
+//! connection's non-control responses still come back in the order its
+//! lines were sent.
+
+use crate::json::Value;
+use crate::net::{self, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
+use crate::protocol::{error_response, Request};
+use crate::queue::{Admission, AdmissionQueue, Job, Pending};
+use crate::server::{claim_unix_socket, panic_text, ServeOptions};
+use crate::service::DesignService;
+use crate::{Result, ServeError};
+use clarinox_core::profile as prof;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A single request line (and therefore buffered request bytes per
+/// connection) may not exceed this; a client streaming an endless line
+/// is dropped instead of growing the buffer without bound.
+const MAX_REQUEST_BYTES: usize = 4 << 20;
+
+/// Configuration of the multiplexer.
+#[derive(Debug, Clone)]
+pub struct MuxOptions {
+    /// Per-connection read/write deadlines, with the same semantics as
+    /// the serial loop: the read deadline ticks only while the server is
+    /// waiting for that connection's bytes (not while its request is in
+    /// the queue), the write deadline while a response is buffered.
+    pub io: ServeOptions,
+    /// Admission queue depth bound (clamped to at least 1); beyond it,
+    /// requests get the explicit backpressure response. Also the upper
+    /// bound on a coalesced batch.
+    pub queue_depth: usize,
+    /// Coalescing window for analyze-class requests; zero disables
+    /// coalescing.
+    pub coalesce_window: Duration,
+}
+
+impl Default for MuxOptions {
+    fn default() -> Self {
+        MuxOptions {
+            io: ServeOptions::default(),
+            queue_depth: 64,
+            coalesce_window: Duration::ZERO,
+        }
+    }
+}
+
+/// Serves the Unix socket at `socket_path` — and, when `tcp_addr` is
+/// given, a TCP listener — from one event loop, until a `shutdown`
+/// request. `on_ready` runs once the listeners are bound and receives
+/// the actual TCP address (useful with port 0).
+///
+/// # Errors
+///
+/// As [`crate::server::serve`], plus [`ServeError::Listen`] for TCP
+/// bind failures. Per-request failures are reported to the client.
+pub fn serve_mux(
+    socket_path: &Path,
+    tcp_addr: Option<&str>,
+    service: &mut DesignService,
+    max_rounds: usize,
+    options: &MuxOptions,
+    on_ready: impl FnOnce(Option<SocketAddr>),
+) -> Result<()> {
+    let unix = claim_unix_socket(socket_path)?;
+    unix.set_nonblocking(true)?;
+    let tcp = tcp_addr.map(net::bind_tcp).transpose()?;
+    let bound = match &tcp {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
+    on_ready(bound);
+    let mut mux = Mux {
+        service,
+        max_rounds,
+        options,
+        conns: HashMap::new(),
+        next_id: 0,
+        queue: AdmissionQueue::new(options.queue_depth),
+        shutdown: false,
+    };
+    let result = mux.run(&unix, tcp.as_ref());
+    let _ = std::fs::remove_file(socket_path);
+    result
+}
+
+/// Either transport behind one connection slot.
+enum Transport {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Transport {
+    fn fd(&self) -> RawFd {
+        match self {
+            Transport::Unix(s) => s.as_raw_fd(),
+            Transport::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.read(buf),
+            Transport::Tcp(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.write(buf),
+            Transport::Tcp(s) => s.write(buf),
+        }
+    }
+}
+
+/// One multiplexed connection.
+struct Conn {
+    stream: Transport,
+    /// Bytes read but not yet split into lines.
+    rbuf: Vec<u8>,
+    /// Response bytes not yet written; `wpos` marks how far the kernel
+    /// has accepted them.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// The peer closed its write side (EOF); the connection stays up
+    /// until its queued requests are answered and flushed.
+    read_closed: bool,
+    /// Requests admitted to the queue whose responses are still owed.
+    inflight: usize,
+    /// Last byte read or response flushed — the base of the read
+    /// deadline, which ticks only while nothing is inflight.
+    last_activity: Instant,
+    /// When the currently-buffered response bytes were first queued —
+    /// the base of the write deadline.
+    wbuf_since: Option<Instant>,
+}
+
+impl Conn {
+    fn new(stream: Transport, now: Instant) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            read_closed: false,
+            inflight: 0,
+            last_activity: now,
+            wbuf_since: None,
+        }
+    }
+
+    fn pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+
+    /// Whether everything this connection asked for has been delivered
+    /// and its peer is gone.
+    fn finished(&self) -> bool {
+        self.read_closed && self.inflight == 0 && !self.pending_write()
+    }
+
+    /// Appends one response line to the write buffer.
+    fn push_response(&mut self, v: &Value, now: Instant) {
+        if !self.pending_write() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            self.wbuf_since = Some(now);
+        }
+        self.wbuf.extend_from_slice(v.emit().as_bytes());
+        self.wbuf.push(b'\n');
+    }
+}
+
+/// Whether a job may join a coalesced batch: analyze-class, and not
+/// profiling (see the module docs).
+fn coalescible(job: &Job) -> bool {
+    matches!(
+        job,
+        Job::Req(Request::Analyze { profile: false } | Request::Eco { profile: false, .. })
+    )
+}
+
+/// The explicit queue-full response.
+fn backpressure_response(bound: usize) -> Value {
+    Value::Obj(vec![
+        ("ok".into(), Value::Bool(false)),
+        (
+            "error".into(),
+            Value::str(format!(
+                "backpressure: admission queue is at its depth bound ({bound}); retry"
+            )),
+        ),
+        ("backpressure".into(), Value::Bool(true)),
+    ])
+}
+
+/// What a poll entry refers to.
+#[derive(Clone, Copy)]
+enum Tag {
+    UnixListener,
+    TcpListener,
+    Conn(usize),
+}
+
+struct Mux<'a> {
+    service: &'a mut DesignService,
+    max_rounds: usize,
+    options: &'a MuxOptions,
+    conns: HashMap<usize, Conn>,
+    next_id: usize,
+    queue: AdmissionQueue,
+    shutdown: bool,
+}
+
+impl Mux<'_> {
+    fn run(&mut self, unix: &UnixListener, tcp: Option<&TcpListener>) -> Result<()> {
+        loop {
+            let coalesce_deadline = self.dispatch_ready(Instant::now());
+            let now = Instant::now();
+            self.flush_all(now);
+            self.reap_expired(now);
+            if self.shutdown {
+                // Listeners are closed to new work; stay only to flush
+                // buffered responses.
+                self.conns.retain(|_, c| c.pending_write());
+                if self.conns.is_empty() {
+                    return Ok(());
+                }
+            }
+
+            let mut fds = Vec::new();
+            let mut tags = Vec::new();
+            if !self.shutdown {
+                fds.push(PollFd::new(unix.as_raw_fd(), POLLIN));
+                tags.push(Tag::UnixListener);
+                if let Some(l) = tcp {
+                    fds.push(PollFd::new(l.as_raw_fd(), POLLIN));
+                    tags.push(Tag::TcpListener);
+                }
+            }
+            for (&id, c) in &self.conns {
+                let mut events = 0;
+                if !c.read_closed && !self.shutdown {
+                    events |= POLLIN;
+                }
+                if c.pending_write() {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    fds.push(PollFd::new(c.stream.fd(), events));
+                    tags.push(Tag::Conn(id));
+                }
+            }
+            let timeout = self.poll_timeout(coalesce_deadline, now);
+            if fds.is_empty() {
+                // Only a pending coalesce deadline can make progress.
+                if let Some(t) = timeout {
+                    std::thread::sleep(t);
+                }
+                continue;
+            }
+            net::poll_fds(&mut fds, timeout)?;
+
+            let now = Instant::now();
+            for (fd, tag) in fds.iter().zip(&tags) {
+                if fd.revents == 0 {
+                    continue;
+                }
+                match tag {
+                    Tag::UnixListener => self.accept_unix(unix, now),
+                    Tag::TcpListener => {
+                        if let Some(l) = tcp {
+                            self.accept_tcp(l, now);
+                        }
+                    }
+                    Tag::Conn(id) => {
+                        if fd.returned(POLLIN | POLLHUP | POLLERR | POLLNVAL) {
+                            self.read_conn(*id, now);
+                        }
+                        if fd.returned(POLLOUT) {
+                            self.flush_conn(*id, now);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the queue as far as dispatch policy allows. Returns the
+    /// coalesce deadline to wait for, if a window is still open.
+    fn dispatch_ready(&mut self, now: Instant) -> Option<Instant> {
+        loop {
+            // Control class first: read-only, jumps the backlog.
+            while self.queue.peek_normal().is_none() && !self.queue.is_empty() {
+                let p = self.queue.pop().expect("queue is non-empty");
+                self.dispatch_one(p);
+            }
+            let head = self.queue.peek_normal()?;
+            if self.shutdown {
+                // Admitted after the shutdown request: answered, not
+                // silently dropped.
+                let p = self.queue.pop().expect("normal head peeked");
+                let e = ServeError::protocol("server is shutting down");
+                self.queue_response(p.conn, &error_response(&e), p.admitted);
+                continue;
+            }
+            let window = self.options.coalesce_window;
+            if !window.is_zero() && coalescible(&head.job) {
+                let deadline = head.admitted + window;
+                if now < deadline {
+                    return Some(deadline);
+                }
+                let batch = self
+                    .queue
+                    .take_normal_prefix(self.options.queue_depth.max(1), coalescible);
+                self.dispatch_batch(batch);
+            } else {
+                let p = self.queue.pop().expect("normal head peeked");
+                self.dispatch_one(p);
+            }
+        }
+    }
+
+    /// Answers one queue entry through the serial service path.
+    fn dispatch_one(&mut self, p: Pending) {
+        match p.job {
+            Job::Malformed(e) => self.queue_response(p.conn, &error_response(&e), p.admitted),
+            Job::Req(Request::Metrics) => {
+                // Depth is a live gauge: what is queued behind this
+                // response right now.
+                let v = self.service.metrics(self.queue.depth());
+                self.queue_response(p.conn, &v, p.admitted);
+            }
+            Job::Req(req) => {
+                let rounds = self.max_rounds;
+                let service = &mut *self.service;
+                // Same panic shield as the serial loop: a request that
+                // panics its handler answers with an error and the loop
+                // lives on (service caches are poison-recovering).
+                let handled = catch_unwind(AssertUnwindSafe(|| service.handle(&req, rounds)));
+                let (resp, stop) = match handled {
+                    Ok(Ok(pair)) => pair,
+                    Ok(Err(e)) => (error_response(&e), false),
+                    Err(payload) => (
+                        error_response(&ServeError::protocol(format!(
+                            "request handler panicked: {}",
+                            panic_text(payload.as_ref())
+                        ))),
+                        false,
+                    ),
+                };
+                self.queue_response(p.conn, &resp, p.admitted);
+                if stop {
+                    self.shutdown = true;
+                }
+            }
+        }
+    }
+
+    /// Answers a claimed run of analyze-class requests through the
+    /// batched service path, demultiplexing responses in admission
+    /// order.
+    fn dispatch_batch(&mut self, batch: Vec<Pending>) {
+        if batch.is_empty() {
+            return;
+        }
+        prof::record_coalesced_batch(batch.len());
+        let reqs: Vec<Request> = batch
+            .iter()
+            .map(|p| match &p.job {
+                Job::Req(r) => r.clone(),
+                Job::Malformed(_) => unreachable!("coalesce predicate admits only parsed requests"),
+            })
+            .collect();
+        let rounds = self.max_rounds;
+        let service = &mut *self.service;
+        let handled = catch_unwind(AssertUnwindSafe(|| service.handle_batch(&reqs, rounds)));
+        match handled {
+            Ok(results) => {
+                debug_assert_eq!(results.len(), batch.len());
+                for (p, r) in batch.into_iter().zip(results) {
+                    let v = match r {
+                        Ok(v) => v,
+                        Err(e) => error_response(&e),
+                    };
+                    self.queue_response(p.conn, &v, p.admitted);
+                }
+            }
+            Err(payload) => {
+                let text = format!("request handler panicked: {}", panic_text(payload.as_ref()));
+                for p in batch {
+                    let e = ServeError::protocol(text.clone());
+                    self.queue_response(p.conn, &error_response(&e), p.admitted);
+                }
+            }
+        }
+    }
+
+    /// Buffers a response for a queued request and closes out its
+    /// latency measurement. The connection may have died while the
+    /// request waited; the response is then discarded.
+    fn queue_response(&mut self, conn: usize, v: &Value, admitted: Instant) {
+        prof::record_request_latency_ns(admitted.elapsed().as_nanos() as u64);
+        let now = Instant::now();
+        if let Some(c) = self.conns.get_mut(&conn) {
+            c.inflight = c.inflight.saturating_sub(1);
+            c.push_response(v, now);
+        }
+    }
+
+    fn accept_unix(&mut self, listener: &UnixListener, now: Instant) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.insert_conn(Transport::Unix(stream), now);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_tcp(&mut self, listener: &TcpListener, now: Instant) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    self.insert_conn(Transport::Tcp(stream), now);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn insert_conn(&mut self, stream: Transport, now: Instant) {
+        // Ids are never reused, so a response for a request whose
+        // connection died can't be misdelivered to a newer connection.
+        let id = self.next_id;
+        self.next_id += 1;
+        self.conns.insert(id, Conn::new(stream, now));
+    }
+
+    /// Drains readable bytes from one connection and admits any complete
+    /// request lines.
+    fn read_conn(&mut self, id: usize, now: Instant) {
+        let Some(mut c) = self.conns.remove(&id) else {
+            return;
+        };
+        let mut dead = false;
+        loop {
+            let mut buf = [0u8; 4096];
+            match c.stream.read(&mut buf) {
+                Ok(0) => {
+                    c.read_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    c.rbuf.extend_from_slice(&buf[..n]);
+                    c.last_activity = now;
+                    if c.rbuf.len() > MAX_REQUEST_BYTES {
+                        dead = true;
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if !dead {
+            dead = !self.ingest_lines(id, &mut c, now);
+        }
+        if !dead && !c.finished() {
+            self.conns.insert(id, c);
+        }
+    }
+
+    /// Splits complete lines out of the read buffer and admits them.
+    /// Returns `false` when the connection must be dropped (invalid
+    /// UTF-8, mirroring the serial loop's `lines()` behavior).
+    fn ingest_lines(&mut self, id: usize, c: &mut Conn, now: Instant) -> bool {
+        while let Some(pos) = c.rbuf.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = c.rbuf.drain(..=pos).collect();
+            line.pop();
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let Ok(text) = String::from_utf8(line) else {
+                return false;
+            };
+            if text.trim().is_empty() {
+                continue;
+            }
+            let job = match crate::json::parse(&text).and_then(|v| Request::from_json(&v)) {
+                Ok(req) => Job::Req(req),
+                Err(e) => Job::Malformed(e),
+            };
+            match self.queue.push(id, job, now) {
+                Admission::Queued(_) => c.inflight += 1,
+                Admission::Rejected => {
+                    c.push_response(&backpressure_response(self.options.queue_depth.max(1)), now);
+                }
+            }
+        }
+        true
+    }
+
+    /// Writes as much buffered response data as the socket accepts.
+    fn flush_conn(&mut self, id: usize, now: Instant) {
+        let Some(mut c) = self.conns.remove(&id) else {
+            return;
+        };
+        let mut dead = false;
+        while c.pending_write() {
+            match c.stream.write(&c.wbuf[c.wpos..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => c.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if !c.pending_write() {
+            c.wbuf.clear();
+            c.wpos = 0;
+            c.wbuf_since = None;
+            c.last_activity = now;
+        }
+        if !dead && !c.finished() {
+            self.conns.insert(id, c);
+        }
+    }
+
+    fn flush_all(&mut self, now: Instant) {
+        let pending: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.pending_write())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in pending {
+            self.flush_conn(id, now);
+        }
+    }
+
+    /// Drops connections past their read or write deadline, and ones
+    /// that finished cleanly.
+    fn reap_expired(&mut self, now: Instant) {
+        let read_timeout = self.options.io.read_timeout;
+        let write_timeout = self.options.io.write_timeout;
+        self.conns.retain(|_, c| {
+            if c.finished() {
+                return false;
+            }
+            if let (Some(wt), Some(since)) = (write_timeout, c.wbuf_since) {
+                if c.pending_write() && now >= since + wt {
+                    return false;
+                }
+            }
+            if let Some(rt) = read_timeout {
+                // The read deadline ticks only while the connection is
+                // idle from the server's point of view — not while its
+                // requests wait in the queue or its responses flush.
+                let idle = c.inflight == 0 && !c.pending_write() && !c.read_closed;
+                if idle && now >= c.last_activity + rt {
+                    return false;
+                }
+            }
+            true
+        });
+    }
+
+    /// The next instant anything must happen without socket activity:
+    /// an open coalesce window, a read deadline, or a write deadline.
+    fn poll_timeout(&self, coalesce_deadline: Option<Instant>, now: Instant) -> Option<Duration> {
+        let mut deadline = coalesce_deadline;
+        let mut consider = |d: Instant| {
+            deadline = Some(match deadline {
+                Some(cur) => cur.min(d),
+                None => d,
+            });
+        };
+        let read_timeout = self.options.io.read_timeout;
+        let write_timeout = self.options.io.write_timeout;
+        for c in self.conns.values() {
+            if let Some(rt) = read_timeout {
+                if c.inflight == 0 && !c.pending_write() && !c.read_closed {
+                    consider(c.last_activity + rt);
+                }
+            }
+            if let (Some(wt), Some(since)) = (write_timeout, c.wbuf_since) {
+                if c.pending_write() {
+                    consider(since + wt);
+                }
+            }
+        }
+        deadline.map(|d| d.saturating_duration_since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::protocol::{EcoChange, EcoField};
+    use crate::service::ServiceConfig;
+    use crate::testutil::{quick_analyzer_config, scratch_dir};
+    use clarinox_cells::Tech;
+    use std::sync::mpsc;
+
+    fn tiny_config() -> ServiceConfig {
+        ServiceConfig {
+            nets: 3,
+            seed: 11,
+            jobs: 1,
+            max_rounds: 20,
+            store: None,
+        }
+    }
+
+    /// Spawns a mux server with both transports on fresh addresses;
+    /// blocks until ready.
+    fn spawn_mux(
+        tag: &str,
+        options: MuxOptions,
+    ) -> (std::path::PathBuf, SocketAddr, std::thread::JoinHandle<()>) {
+        let dir = scratch_dir(tag);
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("clarinox.sock");
+        let mut service = DesignService::new(
+            Tech::default_180nm(),
+            quick_analyzer_config(),
+            &tiny_config(),
+        )
+        .unwrap();
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let handle = {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                serve_mux(
+                    &socket,
+                    Some("127.0.0.1:0"),
+                    &mut service,
+                    20,
+                    &options,
+                    move |addr| ready_tx.send(addr.unwrap()).unwrap(),
+                )
+                .unwrap();
+            })
+        };
+        let addr = ready_rx.recv().unwrap();
+        (socket, addr, handle)
+    }
+
+    fn eco(net: usize, scale: f64) -> Request {
+        Request::Eco {
+            net,
+            field: EcoField::WireLen,
+            change: EcoChange::Scale(scale),
+            profile: false,
+        }
+    }
+
+    #[test]
+    fn both_transports_round_trip_and_shutdown_cleans_up() {
+        let (socket, addr, server) = spawn_mux("mux-roundtrip", MuxOptions::default());
+        let tcp = addr.to_string();
+
+        let status = client::request(&socket, &Request::Status).unwrap();
+        assert_eq!(status.get("ok").unwrap().as_bool(), Some(true));
+
+        let eco_resp = client::request_tcp(&tcp, &eco(0, 1.2)).unwrap();
+        assert_eq!(eco_resp.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(eco_resp.get("eco_net").unwrap().as_usize(), Some(0));
+
+        // Malformed line over TCP: error response, connection usable.
+        let bad = client::request_tcp_line_with_timeout(
+            &tcp,
+            "{\"cmd\":\"warp\"}",
+            Some(Duration::from_secs(30)),
+        )
+        .unwrap();
+        assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+
+        let metrics = client::request_tcp(&tcp, &Request::Metrics).unwrap();
+        assert_eq!(metrics.get("ok").unwrap().as_bool(), Some(true));
+        let served = metrics
+            .get("latency")
+            .unwrap()
+            .get("requests")
+            .unwrap()
+            .as_usize()
+            .unwrap();
+        assert!(served >= 2, "latency.requests = {served}");
+
+        let bye = client::request(&socket, &Request::Shutdown).unwrap();
+        assert_eq!(bye.get("shutting_down").unwrap().as_bool(), Some(true));
+        server.join().unwrap();
+        assert!(!socket.exists(), "socket file cleaned up on shutdown");
+    }
+
+    #[test]
+    fn coalescing_window_batches_and_overflow_gets_backpressure() {
+        let options = MuxOptions {
+            io: ServeOptions::default(),
+            queue_depth: 2,
+            coalesce_window: Duration::from_millis(400),
+        };
+        let (socket, addr, server) = spawn_mux("mux-coalesce", options);
+        let tcp = addr.to_string();
+
+        // Two ecos land inside the window and fill the queue to its
+        // bound; the window holds dispatch, so a third is rejected with
+        // the explicit backpressure response.
+        let clients: Vec<_> = (0..2)
+            .map(|i| {
+                let tcp = tcp.clone();
+                std::thread::spawn(move || client::request_tcp(&tcp, &eco(i, 1.1)).unwrap())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(150));
+        let rejected = client::request_tcp(&tcp, &eco(2, 1.1)).unwrap();
+        assert_eq!(rejected.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            rejected.get("backpressure").and_then(Value::as_bool),
+            Some(true),
+            "expected backpressure, got: {}",
+            rejected.emit()
+        );
+        for c in clients {
+            let resp = c.join().unwrap();
+            assert_eq!(
+                resp.get("ok").unwrap().as_bool(),
+                Some(true),
+                "batched eco failed: {}",
+                resp.emit()
+            );
+        }
+
+        // The batch shows up in the coalescing counters (process-wide,
+        // so only >= assertions are safe under parallel tests).
+        let metrics = client::request(&socket, &Request::Metrics).unwrap();
+        let coalesce = metrics.get("coalesce").unwrap();
+        assert!(coalesce.get("batches").unwrap().as_usize().unwrap() >= 1);
+        assert!(coalesce.get("max_batch").unwrap().as_usize().unwrap() >= 2);
+        assert!(
+            metrics
+                .get("queue")
+                .unwrap()
+                .get("rejected")
+                .unwrap()
+                .as_usize()
+                .unwrap()
+                >= 1
+        );
+
+        client::request(&socket, &Request::Shutdown).unwrap();
+        server.join().unwrap();
+    }
+
+    /// Sends `lines` back-to-back on one TCP connection (pipelined, so
+    /// admission order is exactly the line order) and reads one response
+    /// line per request.
+    fn pipelined_tcp(addr: &str, lines: &[String]) -> Vec<String> {
+        use std::io::{BufRead, BufReader};
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let payload = lines.join("\n") + "\n";
+        stream.write_all(payload.as_bytes()).unwrap();
+        let mut reader = BufReader::new(stream);
+        lines
+            .iter()
+            .map(|_| {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                line.trim_end().to_string()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_eco_responses_match_the_serial_loop() {
+        // The same pipelined eco sequence — including two edits to the
+        // same net, so order matters — must produce byte-identical
+        // response lines whether dispatched one at a time (window 0) or
+        // claimed as one coalesced batch. Pipelining on one connection
+        // pins the admission order, making the comparison deterministic:
+        // this is the wire-level face of the analyze_batch bit-identity
+        // contract.
+        let lines: Vec<String> = [eco(0, 1.3), eco(1, 0.9), eco(0, 1.1)]
+            .iter()
+            .map(|r| r.to_json().emit())
+            .collect();
+        let serial = {
+            let (socket, addr, server) = spawn_mux("mux-bitid-serial", MuxOptions::default());
+            let responses = pipelined_tcp(&addr.to_string(), &lines);
+            client::request(&socket, &Request::Shutdown).unwrap();
+            server.join().unwrap();
+            responses
+        };
+        let batched = {
+            let options = MuxOptions {
+                coalesce_window: Duration::from_millis(200),
+                ..MuxOptions::default()
+            };
+            let (socket, addr, server) = spawn_mux("mux-bitid-batched", options);
+            let responses = pipelined_tcp(&addr.to_string(), &lines);
+            client::request(&socket, &Request::Shutdown).unwrap();
+            server.join().unwrap();
+            responses
+        };
+        for r in &serial {
+            assert!(r.contains("\"ok\":true"), "serial response failed: {r}");
+        }
+        assert_eq!(serial, batched);
+    }
+}

@@ -1,0 +1,155 @@
+//! Raw transport plumbing for the event-driven request loop: a thin
+//! `poll(2)` wrapper and the TCP listener with startup diagnostics.
+//!
+//! The workspace vendors no `libc` crate (the build environment has no
+//! registry access), so the multiplexer declares the one C entry point it
+//! needs — `poll` — directly against the platform C library that `std`
+//! already links. Everything else (nonblocking sockets, accept, raw fds)
+//! comes from `std::net` / `std::os::unix`.
+
+use crate::{Result, ServeError};
+use std::io;
+use std::net::TcpListener;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// `poll(2)` event bit: readable (or a pending accept on a listener).
+pub const POLLIN: i16 = 0x001;
+/// `poll(2)` event bit: writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// `poll(2)` revent bit: error condition.
+pub const POLLERR: i16 = 0x008;
+/// `poll(2)` revent bit: peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// `poll(2)` revent bit: fd not open (programming error).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the `poll(2)` fd array (the C `struct pollfd` layout).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// File descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch on `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether any of `bits` came back in `revents`.
+    pub fn returned(&self, bits: i16) -> bool {
+        self.revents & bits != 0
+    }
+}
+
+extern "C" {
+    // POSIX: int poll(struct pollfd *fds, nfds_t nfds, int timeout);
+    // nfds_t is an unsigned long on every platform std supports here.
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Blocks until an fd in `fds` has pending events or `timeout` elapses
+/// (`None` waits forever); returns how many entries have non-zero
+/// `revents`. `EINTR` is retried transparently. Sub-millisecond timeouts
+/// round *up* so a deadline is never polled past while still pending.
+///
+/// # Errors
+///
+/// The raw `poll(2)` failures other than `EINTR`.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        None => -1,
+        Some(t) => t
+            .as_millis()
+            .max(u128::from(!t.is_zero()))
+            .min(i32::MAX as u128) as i32,
+    };
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Binds a nonblocking TCP listener on `addr` (e.g. `127.0.0.1:9623`;
+/// port `0` asks the kernel for an ephemeral port — read the real one
+/// back with `local_addr`).
+///
+/// # Errors
+///
+/// [`ServeError::Listen`] with a one-line diagnosis for malformed address
+/// text and bind failures (address in use, permission denied, …), so the
+/// CLI can exit 1 the way the Unix-socket path does for a live socket.
+pub fn bind_tcp(addr: &str) -> Result<TcpListener> {
+    let parsed: std::net::SocketAddr = addr.parse().map_err(|_| ServeError::Listen {
+        addr: addr.to_string(),
+        reason: "not a valid IP:PORT address".to_string(),
+    })?;
+    let listener = TcpListener::bind(parsed).map_err(|e| ServeError::Listen {
+        addr: addr.to_string(),
+        reason: e.to_string(),
+    })?;
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_times_out_and_reports_readable() {
+        let listener = bind_tcp("127.0.0.1:0").unwrap();
+        let fd = listener.as_raw_fd();
+
+        // Nothing pending: a short timeout elapses with zero events.
+        let mut fds = [PollFd::new(fd, POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].returned(POLLIN));
+
+        // A pending connection flips the listener readable.
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"x").unwrap();
+        let mut fds = [PollFd::new(fd, POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].returned(POLLIN));
+    }
+
+    #[test]
+    fn bind_diagnoses_bad_address_and_address_in_use() {
+        let err = bind_tcp("not-an-address").unwrap_err();
+        assert!(
+            err.to_string().contains("not a valid IP:PORT"),
+            "got: {err}"
+        );
+
+        let first = bind_tcp("127.0.0.1:0").unwrap();
+        let taken = first.local_addr().unwrap().to_string();
+        let err = bind_tcp(&taken).unwrap_err();
+        match &err {
+            ServeError::Listen { addr, .. } => assert_eq!(addr, &taken),
+            other => panic!("expected Listen, got {other:?}"),
+        }
+    }
+}

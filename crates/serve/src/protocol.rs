@@ -9,6 +9,7 @@
 //! | `status`   | —                                                  | cache/residency counters |
 //! | `analyze`  | `profile?`                                         | (re-)analyze the design incrementally |
 //! | `eco`      | `net`, `field`, `value` or `scale`, `profile?`     | edit one net, then re-analyze |
+//! | `metrics`  | —                                                  | latency/queue/coalesce/engine counters |
 //! | `save`     | —                                                  | persist caches to the store |
 //! | `shutdown` | —                                                  | respond, then stop the server |
 
@@ -103,6 +104,9 @@ pub enum Request {
         /// Attach the profile block to the response.
         profile: bool,
     },
+    /// One JSON document of latency, queue, coalescing, and engine
+    /// counters (see [`crate::metrics`]).
+    Metrics,
     /// Persist the driver library and per-net results to the store.
     Save,
     /// Respond, then stop serving.
@@ -136,6 +140,7 @@ impl Request {
                 fields.push(("profile".into(), Value::Bool(*profile)));
                 Value::Obj(fields)
             }
+            Request::Metrics => Value::Obj(vec![("cmd".into(), Value::str("metrics"))]),
             Request::Save => Value::Obj(vec![("cmd".into(), Value::str("save"))]),
             Request::Shutdown => Value::Obj(vec![("cmd".into(), Value::str("shutdown"))]),
         }
@@ -184,11 +189,13 @@ impl Request {
                     profile,
                 }
             }
+            "metrics" => Request::Metrics,
             "save" => Request::Save,
             "shutdown" => Request::Shutdown,
             other => {
                 return Err(ServeError::protocol(format!(
-                    "unknown cmd {other:?} (expected status, analyze, eco, save, shutdown)"
+                    "unknown cmd {other:?} (expected status, analyze, eco, metrics, save, \
+                     shutdown)"
                 )))
             }
         })
@@ -225,6 +232,7 @@ mod tests {
                 change: EcoChange::Set(0.6e-9),
                 profile: false,
             },
+            Request::Metrics,
             Request::Save,
             Request::Shutdown,
         ];

@@ -1,0 +1,214 @@
+//! Bounded admission queue of the connection multiplexer.
+//!
+//! Every parsed request passes through here before the service sees it.
+//! The queue is two-class: *control* requests (`status`, `metrics`) are
+//! read-only and latency-sensitive, so they jump ahead of the analysis
+//! backlog; everything else drains strictly in admission order — the
+//! order the coalescing layer and the bit-identity contract are defined
+//! against. When the queue is at its depth bound, admission fails and the
+//! caller must answer with the explicit backpressure response instead of
+//! buffering unboundedly (or hanging the client).
+
+use crate::protocol::Request;
+use crate::ServeError;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// What a queue entry asks the dispatcher to do.
+///
+/// Malformed request lines are queued too (as [`Job::Malformed`], always
+/// normal-class) rather than answered on the spot, so a connection that
+/// pipelines `analyze` followed by garbage still gets its responses in
+/// the order it sent the lines. Note the one deliberate exception to
+/// per-connection ordering: control-class requests (`status`, `metrics`)
+/// jump the backlog, so a client pipelining mixed classes on one
+/// connection must match responses by content, not position.
+#[derive(Debug)]
+pub enum Job {
+    /// A parsed request for the service.
+    Req(Request),
+    /// A line that failed to parse; answered with its error when popped.
+    Malformed(ServeError),
+}
+
+/// A request admitted into the queue, tagged with its origin connection
+/// and admission time (the start of its latency measurement).
+#[derive(Debug)]
+pub struct Pending {
+    /// Multiplexer connection slot the response goes back to.
+    pub conn: usize,
+    /// The work item.
+    pub job: Job,
+    /// When the request was admitted.
+    pub admitted: Instant,
+}
+
+/// Admission verdict of [`AdmissionQueue::push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued; the depth after admission.
+    Queued(usize),
+    /// At the depth bound — the caller answers with backpressure.
+    Rejected,
+}
+
+/// The bounded two-class queue.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    control: VecDeque<Pending>,
+    normal: VecDeque<Pending>,
+    depth_bound: usize,
+}
+
+/// Whether a job rides the control class (read-only, answered ahead of
+/// the analysis backlog).
+fn is_control(job: &Job) -> bool {
+    matches!(job, Job::Req(Request::Status | Request::Metrics))
+}
+
+impl AdmissionQueue {
+    /// An empty queue holding at most `depth_bound` requests (clamped to
+    /// at least 1).
+    pub fn new(depth_bound: usize) -> Self {
+        AdmissionQueue {
+            control: VecDeque::new(),
+            normal: VecDeque::new(),
+            depth_bound: depth_bound.max(1),
+        }
+    }
+
+    /// Requests currently queued across both classes.
+    pub fn depth(&self) -> usize {
+        self.control.len() + self.normal.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.depth() == 0
+    }
+
+    /// Admits `job` from connection `conn`, or rejects it at the bound.
+    /// Records the admission/rejection in the process-wide profile
+    /// counters either way.
+    pub fn push(&mut self, conn: usize, job: Job, now: Instant) -> Admission {
+        if self.depth() >= self.depth_bound {
+            clarinox_core::profile::record_queue_rejected();
+            return Admission::Rejected;
+        }
+        let pending = Pending {
+            conn,
+            job,
+            admitted: now,
+        };
+        if is_control(&pending.job) {
+            self.control.push_back(pending);
+        } else {
+            self.normal.push_back(pending);
+        }
+        let depth = self.depth();
+        clarinox_core::profile::record_queue_admitted(depth);
+        Admission::Queued(depth)
+    }
+
+    /// Removes and returns the next request: control class first, then
+    /// the normal class in admission order.
+    pub fn pop(&mut self) -> Option<Pending> {
+        self.control.pop_front().or_else(|| self.normal.pop_front())
+    }
+
+    /// The next normal-class request, if the control class is drained —
+    /// what the coalescing window inspects without committing to a pop.
+    pub fn peek_normal(&self) -> Option<&Pending> {
+        if self.control.is_empty() {
+            self.normal.front()
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the longest prefix of the normal class for
+    /// which `take` holds (at most `max` requests), preserving admission
+    /// order. Used by the coalescing window to claim a run of
+    /// analyze-class requests; control-class requests must be drained
+    /// first (callers pop them ahead of coalescing).
+    pub fn take_normal_prefix(&mut self, max: usize, take: impl Fn(&Job) -> bool) -> Vec<Pending> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.normal.front() {
+                Some(p) if take(&p.job) => out.push(
+                    self.normal
+                        .pop_front()
+                        .expect("front exists; pop cannot fail"),
+                ),
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze() -> Job {
+        Job::Req(Request::Analyze { profile: false })
+    }
+
+    #[test]
+    fn bounded_admission_rejects_at_depth() {
+        let mut q = AdmissionQueue::new(2);
+        let t = Instant::now();
+        assert_eq!(q.push(0, analyze(), t), Admission::Queued(1));
+        assert_eq!(q.push(1, analyze(), t), Admission::Queued(2));
+        assert_eq!(q.push(2, analyze(), t), Admission::Rejected);
+        assert_eq!(q.depth(), 2);
+        q.pop().unwrap();
+        assert_eq!(q.push(2, analyze(), t), Admission::Queued(2));
+    }
+
+    #[test]
+    fn control_class_jumps_the_analysis_backlog() {
+        let mut q = AdmissionQueue::new(8);
+        let t = Instant::now();
+        q.push(0, analyze(), t);
+        q.push(1, Job::Req(Request::Status), t);
+        q.push(2, Job::Req(Request::Metrics), t);
+        assert_eq!(q.pop().unwrap().conn, 1, "status first");
+        assert_eq!(q.pop().unwrap().conn, 2, "metrics second");
+        assert_eq!(q.pop().unwrap().conn, 0, "analyze last");
+    }
+
+    #[test]
+    fn coalesce_prefix_stops_at_non_matching_request() {
+        let mut q = AdmissionQueue::new(8);
+        let t = Instant::now();
+        q.push(0, analyze(), t);
+        q.push(1, analyze(), t);
+        q.push(2, Job::Req(Request::Save), t);
+        q.push(3, analyze(), t);
+        let run = q.take_normal_prefix(16, |j| matches!(j, Job::Req(Request::Analyze { .. })));
+        assert_eq!(run.len(), 2);
+        assert_eq!(run[0].conn, 0);
+        assert_eq!(run[1].conn, 1);
+        assert!(matches!(q.pop().unwrap().job, Job::Req(Request::Save)));
+        // A control request blocks peek_normal until drained.
+        q.push(4, Job::Req(Request::Status), t);
+        assert!(q.peek_normal().is_none());
+        q.pop().unwrap();
+        assert_eq!(q.peek_normal().unwrap().conn, 3);
+    }
+
+    #[test]
+    fn malformed_lines_keep_admission_order() {
+        let mut q = AdmissionQueue::new(8);
+        let t = Instant::now();
+        q.push(0, analyze(), t);
+        q.push(0, Job::Malformed(ServeError::protocol("bad line")), t);
+        // The parse error drains in order, behind the analyze, and stops
+        // a coalescing prefix.
+        let run = q.take_normal_prefix(16, |j| matches!(j, Job::Req(Request::Analyze { .. })));
+        assert_eq!(run.len(), 1);
+        assert!(matches!(q.pop().unwrap().job, Job::Malformed(_)));
+    }
+}

@@ -81,6 +81,26 @@ pub fn serve_with(
     options: &ServeOptions,
     on_ready: impl FnOnce(),
 ) -> Result<()> {
+    let listener = claim_unix_socket(socket_path)?;
+    on_ready();
+    let mut shutdown = false;
+    while !shutdown {
+        let (stream, _) = listener.accept()?;
+        shutdown = serve_connection(stream, service, max_rounds, options)?;
+    }
+    let _ = std::fs::remove_file(socket_path);
+    Ok(())
+}
+
+/// Binds `socket_path`, replacing a *stale* socket file but refusing to
+/// hijack one a live server still accepts on (the probe-connect check).
+/// Shared by this serial loop and the [`crate::mux`] event loop.
+///
+/// # Errors
+///
+/// [`ServeError::AlreadyRunning`] when something accepts on the path;
+/// bind/remove failures otherwise.
+pub(crate) fn claim_unix_socket(socket_path: &Path) -> Result<UnixListener> {
     if socket_path.exists() {
         // Only a *stale* socket may be removed: if anything still accepts
         // connections on it, replacing it would silently hijack a live
@@ -90,15 +110,7 @@ pub fn serve_with(
             Err(_) => std::fs::remove_file(socket_path)?,
         }
     }
-    let listener = UnixListener::bind(socket_path)?;
-    on_ready();
-    let mut shutdown = false;
-    while !shutdown {
-        let (stream, _) = listener.accept()?;
-        shutdown = serve_connection(stream, service, max_rounds, options)?;
-    }
-    let _ = std::fs::remove_file(socket_path);
-    Ok(())
+    Ok(UnixListener::bind(socket_path)?)
 }
 
 /// Serves one connection to completion; `Ok(true)` means a shutdown
@@ -156,7 +168,7 @@ fn serve_connection(
 }
 
 /// Best-effort text of a panic payload.
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -9,7 +9,7 @@ use clarinox_char::DriverLibrary;
 use clarinox_core::analysis::NoiseAnalyzer;
 use clarinox_core::config::AnalyzerConfig;
 use clarinox_core::design::DesignNet;
-use clarinox_core::incremental::{IncrementalDesign, IncrementalReport};
+use clarinox_core::incremental::{BatchOp, IncrementalDesign, IncrementalReport};
 use clarinox_core::outcome::Tier;
 use clarinox_core::provider::Library;
 use clarinox_netgen::generate::{generate_block, BlockConfig};
@@ -207,6 +207,7 @@ impl DesignService {
                 }
                 Ok((v, false))
             }
+            Request::Metrics => Ok((self.metrics(0), false)),
             Request::Save => {
                 let store = self.store.as_ref().ok_or_else(|| {
                     ServeError::store("service started without --store; nothing to save to")
@@ -232,6 +233,96 @@ impl DesignService {
         }
     }
 
+    /// The metrics document; `queue_depth` is the live admission-queue
+    /// depth (zero on the serial Unix path, which has no queue).
+    pub fn metrics(&self, queue_depth: usize) -> Value {
+        crate::metrics::metrics_json(self.design.analyzer(), queue_depth)
+    }
+
+    /// Handles a coalesced run of analyze-class requests (`analyze` and
+    /// `eco` only — callers pre-filter) through one shared
+    /// [`IncrementalDesign::analyze_batch`] pass. Responses are
+    /// bit-identical to [`handle`](Self::handle) called serially in the
+    /// same order: edits are validated against the virtual state their
+    /// serial position would see, every per-net simulation is hoisted
+    /// into the batch pass, and each request gets its own replayed
+    /// fixed-point report (or its own error).
+    pub fn handle_batch(&mut self, reqs: &[Request], max_rounds: usize) -> Vec<Result<Value>> {
+        // See `handle`: the same test-only injection point, checked once
+        // per coalesced request.
+        if fault::scoped(self.fault_scope, || fault::should_fail(FaultSite::Request)) {
+            panic!("{}", fault::injected_message(FaultSite::Request));
+        }
+        let mut results: Vec<Option<Result<Value>>> = reqs.iter().map(|_| None).collect();
+        let mut ops: Vec<BatchOp> = Vec::new();
+        // Per op: the result slot, the eco net (for the `eco_net` response
+        // field), and the profile flag.
+        let mut meta: Vec<(usize, Option<usize>, bool)> = Vec::new();
+        // Nets already edited earlier in this batch: later edits must see
+        // them, exactly as their serial position would.
+        let mut virt: std::collections::HashMap<usize, DesignNet> =
+            std::collections::HashMap::new();
+        for (slot, req) in reqs.iter().enumerate() {
+            match req {
+                Request::Analyze { profile } => {
+                    ops.push(BatchOp::default());
+                    meta.push((slot, None, *profile));
+                }
+                Request::Eco {
+                    net,
+                    field,
+                    change,
+                    profile,
+                } => {
+                    if *net >= self.design.len() {
+                        results[slot] = Some(Err(ServeError::protocol(format!(
+                            "eco net {net} out of range (design has {})",
+                            self.design.len()
+                        ))));
+                        continue;
+                    }
+                    let base = virt
+                        .get(net)
+                        .cloned()
+                        .unwrap_or_else(|| self.design.net(*net).clone());
+                    match Self::edit_applied(base, *field, *change) {
+                        Ok(edited) => {
+                            virt.insert(*net, edited.clone());
+                            ops.push(BatchOp {
+                                edits: vec![(*net, edited)],
+                            });
+                            meta.push((slot, Some(*net), *profile));
+                        }
+                        Err(e) => results[slot] = Some(Err(e)),
+                    }
+                }
+                other => {
+                    // Non-coalescible requests never reach here from the
+                    // multiplexer; degrade gracefully by answering the
+                    // serial way (note: `handle` may mutate state, so
+                    // this arm must stay unreachable for batches that
+                    // also carry analyze-class requests).
+                    debug_assert!(false, "non-coalescible request in batch: {other:?}");
+                    results[slot] = Some(self.handle(other, max_rounds).map(|(v, _)| v));
+                }
+            }
+        }
+        let reports = self.design.analyze_batch(&ops, max_rounds);
+        for ((slot, eco_net, profile), report) in meta.into_iter().zip(reports) {
+            results[slot] = Some(report.map_err(Into::into).map(|r| {
+                let mut v = self.report_response(&r, profile);
+                if let (Some(net), Value::Obj(fields)) = (eco_net, &mut v) {
+                    fields.insert(1, ("eco_net".into(), Value::Num(net as f64)));
+                }
+                v
+            }));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every request slot answered"))
+            .collect()
+    }
+
     fn apply_eco(&mut self, net: usize, field: EcoField, change: EcoChange) -> Result<()> {
         if net >= self.design.len() {
             return Err(ServeError::protocol(format!(
@@ -239,7 +330,18 @@ impl DesignService {
                 self.design.len()
             )));
         }
-        let mut edited = self.design.net(net).clone();
+        let edited = Self::edit_applied(self.design.net(net).clone(), field, change)?;
+        self.design.update_net(net, edited)?;
+        Ok(())
+    }
+
+    /// `base` with one ECO edit applied (pure — no design mutation), so
+    /// both the serial path and the batch path derive edits identically.
+    fn edit_applied(
+        mut edited: DesignNet,
+        field: EcoField,
+        change: EcoChange,
+    ) -> Result<DesignNet> {
         let apply = |current: f64| match change {
             EcoChange::Set(v) => v,
             EcoChange::Scale(s) => current * s,
@@ -271,8 +373,7 @@ impl DesignService {
                     .map_err(|e| ServeError::protocol(format!("bad window edit: {e}")))?;
             }
         }
-        self.design.update_net(net, edited)?;
-        Ok(())
+        Ok(edited)
     }
 
     fn status(&self) -> Value {

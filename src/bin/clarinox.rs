@@ -37,15 +37,30 @@
 //!                [--funnel screen|full|auto] [--delay-budget PS]
 //!                [--noise-budget MV]
 //!                [--inject SPEC] [--read-timeout S] [--write-timeout S]
+//!                [--tcp ADDR] [--queue-depth N] [--coalesce-ms MS]
 //!     hold a generated design resident and answer line-delimited JSON
-//!     requests (status/analyze/eco/save/shutdown) on a Unix socket,
-//!     re-analyzing incrementally after each ECO edit
+//!     requests (status/analyze/eco/metrics/save/shutdown) on a Unix
+//!     socket, re-analyzing incrementally after each ECO edit. `--tcp`
+//!     additionally serves the same protocol on a TCP address through the
+//!     event-driven multiplexer; `--queue-depth` bounds its admission
+//!     queue (default 64; overload gets an explicit backpressure
+//!     response) and `--coalesce-ms` opens a coalescing window that
+//!     merges concurrent analyze/eco requests into one batched engine
+//!     pass, bit-identical to serial dispatch (default 0 = off).
+//!     Without any of these three flags the serial Unix-socket loop
+//!     runs exactly as before.
 //!
-//! clarinox eco [--socket P] --net I --field F (--value X | --scale X)
-//!              [--profile]
-//! clarinox eco [--socket P] (--status | --analyze | --save | --shutdown)
+//! clarinox eco [--socket P | --tcp ADDR] --net I --field F
+//!              (--value X | --scale X) [--profile]
+//! clarinox eco [--socket P | --tcp ADDR]
+//!              (--status | --analyze | --save | --shutdown)
 //!     one-shot client for a running `clarinox serve`; prints the JSON
 //!     response and fails when the server reports an error
+//!
+//! clarinox metrics [--socket P | --tcp ADDR]
+//!     fetch the serving metrics document (request latency percentiles,
+//!     admission-queue counters, coalesced-batch sizes, and the engine
+//!     profile counters) from a running `clarinox serve`
 //! ```
 //!
 //! `--backend` selects the linear transient engine: `full` (the full-MNA
@@ -116,7 +131,7 @@ use clarinox::numeric::fault::{self, FaultPlan};
 use clarinox::numeric::stats;
 use clarinox::serve::protocol::{EcoChange, EcoField, Request};
 use clarinox::serve::service::{DesignService, ServiceConfig};
-use clarinox::serve::{client, profile_json, server};
+use clarinox::serve::{client, profile_json, serve_mux, server, MuxOptions};
 
 fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
@@ -651,6 +666,9 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
             "--inject",
             "--read-timeout",
             "--write-timeout",
+            "--tcp",
+            "--queue-depth",
+            "--coalesce-ms",
         ],
     );
     arg_inject();
@@ -696,19 +714,75 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
         svc_cfg.seed,
         socket.display()
     );
-    server::serve_with(&socket, &mut service, max_rounds, &options, move || {
-        println!("{banner}");
-    })?;
+    // Any of the multiplexer flags switches to the event-driven loop;
+    // without them the serial Unix-socket path runs exactly as before.
+    let use_mux = arg_flag("--tcp") || arg_flag("--queue-depth") || arg_flag("--coalesce-ms");
+    if use_mux {
+        let tcp: String = arg_value("--tcp", String::new());
+        let queue_depth: usize = arg_value("--queue-depth", 64usize);
+        if queue_depth == 0 {
+            eprintln!("error: --queue-depth must be at least 1");
+            std::process::exit(2);
+        }
+        let coalesce_ms: f64 = arg_value("--coalesce-ms", 0.0f64);
+        if !coalesce_ms.is_finite() || coalesce_ms < 0.0 {
+            eprintln!(
+                "error: --coalesce-ms must be a non-negative number of milliseconds, \
+                 got {coalesce_ms}"
+            );
+            std::process::exit(2);
+        }
+        let mux_options = MuxOptions {
+            io: options,
+            queue_depth,
+            coalesce_window: std::time::Duration::from_secs_f64(coalesce_ms / 1e3),
+        };
+        let tcp_addr = (!tcp.is_empty()).then_some(tcp.as_str());
+        serve_mux(
+            &socket,
+            tcp_addr,
+            &mut service,
+            max_rounds,
+            &mux_options,
+            move |addr| match addr {
+                Some(a) => println!("{banner} and tcp {a}"),
+                None => println!("{banner}"),
+            },
+        )?;
+    } else {
+        server::serve_with(&socket, &mut service, max_rounds, &options, move || {
+            println!("{banner}");
+        })?;
+    }
     println!("shutdown complete");
+    Ok(())
+}
+
+/// Sends one request to a running server — over TCP when `--tcp ADDR` is
+/// given, over the Unix socket otherwise — and prints the JSON response.
+/// Exits 1 when the server reports an error.
+fn send_request(request: &Request) -> Result<(), Box<dyn std::error::Error>> {
+    let tcp: String = arg_value("--tcp", String::new());
+    let response = if tcp.is_empty() {
+        let socket = std::path::PathBuf::from(arg_value("--socket", default_socket()));
+        client::request(&socket, request)?
+    } else {
+        client::request_tcp(&tcp, request)?
+    };
+    println!("{}", response.emit());
+    if response.get("ok").and_then(|v| v.as_bool()) != Some(true) {
+        std::process::exit(1);
+    }
     Ok(())
 }
 
 fn cmd_eco() -> Result<(), Box<dyn std::error::Error>> {
     validate_args(
         &["--status", "--analyze", "--save", "--shutdown", "--profile"],
-        &["--socket", "--net", "--field", "--value", "--scale"],
+        &[
+            "--socket", "--tcp", "--net", "--field", "--value", "--scale",
+        ],
     );
-    let socket = std::path::PathBuf::from(arg_value("--socket", default_socket()));
     let profile = arg_flag("--profile");
     let request = if arg_flag("--status") {
         Request::Status
@@ -745,12 +819,12 @@ fn cmd_eco() -> Result<(), Box<dyn std::error::Error>> {
             profile,
         }
     };
-    let response = client::request(&socket, &request)?;
-    println!("{}", response.emit());
-    if response.get("ok").and_then(|v| v.as_bool()) != Some(true) {
-        std::process::exit(1);
-    }
-    Ok(())
+    send_request(&request)
+}
+
+fn cmd_metrics() -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(&[], &["--socket", "--tcp"]);
+    send_request(&Request::Metrics)
 }
 
 fn main() {
@@ -763,9 +837,11 @@ fn main() {
         "spef" => cmd_spef(),
         "serve" => cmd_serve(),
         "eco" => cmd_eco(),
+        "metrics" => cmd_metrics(),
         _ => {
             eprintln!(
-                "usage: clarinox <block|net|functional|characterize|spef|serve|eco> [options]\n\
+                "usage: clarinox <block|net|functional|characterize|spef|serve|eco|metrics> \
+                 [options]\n\
                  see the module docs (src/bin/clarinox.rs) for options"
             );
             std::process::exit(2);

@@ -1,0 +1,404 @@
+//! Network-serve invariants: concurrent TCP clients through the
+//! event-driven multiplexer get responses bit-identical to the same
+//! requests issued serially over the Unix socket loop; queue overflow
+//! gets the explicit backpressure response instead of a hang; and the
+//! metrics document carries every advertised section with counters that
+//! only move forward.
+
+use clarinox::cells::Tech;
+use clarinox::core::config::AnalyzerConfig;
+use clarinox::serve::client;
+use clarinox::serve::json::{parse, Value};
+use clarinox::serve::mux::{serve_mux, MuxOptions};
+use clarinox::serve::protocol::{EcoChange, EcoField, Request};
+use clarinox::serve::server::{self, ServeOptions};
+use clarinox::serve::service::{DesignService, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn quick_config() -> AnalyzerConfig {
+    AnalyzerConfig {
+        dt: 2e-12,
+        rt_iterations: 1,
+        ceff_iterations: 3,
+        table_char: clarinox::char::alignment::AlignmentCharSpec {
+            coarse_points: 7,
+            refine_tol: 0.05,
+            va_frac_range: (0.1, 0.95),
+        },
+        ..AnalyzerConfig::default()
+    }
+}
+
+fn service_config(nets: usize) -> ServiceConfig {
+    ServiceConfig {
+        nets,
+        seed: 17,
+        jobs: 2,
+        max_rounds: 20,
+        store: None,
+    }
+}
+
+fn scratch_socket(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "clarinox-serve-net-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("clarinox.sock")
+}
+
+/// Spawns a multiplexed server (Unix + TCP on an ephemeral port) over a
+/// fresh service; blocks until both listeners are bound.
+fn spawn_mux(tag: &str, nets: usize, options: MuxOptions) -> (PathBuf, SocketAddr, JoinHandle<()>) {
+    let socket = scratch_socket(tag);
+    let mut service =
+        DesignService::new(Tech::default_180nm(), quick_config(), &service_config(nets)).unwrap();
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let handle = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            serve_mux(
+                &socket,
+                Some("127.0.0.1:0"),
+                &mut service,
+                20,
+                &options,
+                |addr| {
+                    ready_tx.send(addr.unwrap()).unwrap();
+                },
+            )
+            .unwrap();
+        })
+    };
+    let addr = ready_rx.recv().unwrap();
+    (socket, addr, handle)
+}
+
+/// Spawns the plain serial Unix-socket loop over an identical fresh
+/// service — the baseline the bit-identity contract is checked against.
+fn spawn_serial(tag: &str, nets: usize) -> (PathBuf, JoinHandle<()>) {
+    let socket = scratch_socket(tag);
+    let mut service =
+        DesignService::new(Tech::default_180nm(), quick_config(), &service_config(nets)).unwrap();
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let handle = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            server::serve(&socket, &mut service, 20, move || {
+                ready_tx.send(()).unwrap();
+            })
+            .unwrap();
+        })
+    };
+    ready_rx.recv().unwrap();
+    (socket, handle)
+}
+
+fn eco(net: usize, change: EcoChange) -> Request {
+    Request::Eco {
+        net,
+        field: EcoField::WireLen,
+        change,
+        profile: false,
+    }
+}
+
+/// [`client::request_tcp`] with a deadline generous enough for a cold
+/// debug-build analysis pass — these tests check ordering and liveness,
+/// not wall-clock speed.
+fn request_tcp_patient(addr: &str, req: &Request) -> Value {
+    client::request_tcp_line_with_timeout(
+        addr,
+        &req.to_json().emit(),
+        Some(Duration::from_secs(300)),
+    )
+    .unwrap()
+}
+
+/// Sends `reqs` back-to-back on one TCP connection — pipelining pins the
+/// admission order to the request order — and returns the raw response
+/// lines.
+fn pipelined_tcp(addr: &SocketAddr, reqs: &[Request]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let payload: String = reqs.iter().map(|r| r.to_json().emit() + "\n").collect();
+    stream.write_all(payload.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    reqs.iter()
+        .map(|_| {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(!line.is_empty(), "server closed before responding");
+            line.trim_end().to_string()
+        })
+        .collect()
+}
+
+/// The ECO sequence both transports replay: overlapping edits (net 1
+/// twice) so the order of application matters, plus plain analyzes.
+fn eco_sequence() -> Vec<Request> {
+    vec![
+        Request::Analyze { profile: false },
+        eco(1, EcoChange::Scale(1.25)),
+        eco(3, EcoChange::Scale(0.8)),
+        eco(1, EcoChange::Scale(1.1)),
+        Request::Analyze { profile: false },
+    ]
+}
+
+#[test]
+fn coalesced_tcp_responses_are_bit_identical_to_the_serial_unix_loop() {
+    // Batched side: the full sequence lands in the admission queue
+    // within one generous coalescing window, so the analyze/eco run is
+    // claimed as one batch and answered through analyze_batch.
+    let options = MuxOptions {
+        io: ServeOptions::default(),
+        queue_depth: 16,
+        coalesce_window: Duration::from_millis(250),
+    };
+    let (mux_socket, addr, mux_server) = spawn_mux("bitid-mux", 6, options);
+    let batched = pipelined_tcp(&addr, &eco_sequence());
+    client::request(&mux_socket, &Request::Shutdown).unwrap();
+    mux_server.join().unwrap();
+
+    // Serial side: the same requests, one connection each, through the
+    // original Unix-socket loop over an identical fresh service.
+    let (serial_socket, serial_server) = spawn_serial("bitid-serial", 6);
+    let serial: Vec<String> = eco_sequence()
+        .iter()
+        .map(|r| client::request(&serial_socket, r).unwrap().emit())
+        .collect();
+    client::request(&serial_socket, &Request::Shutdown).unwrap();
+    serial_server.join().unwrap();
+
+    assert_eq!(batched.len(), serial.len());
+    for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+        assert!(s.contains("\"ok\":true"), "serial request {i} failed: {s}");
+        assert_eq!(
+            b, s,
+            "response {i} diverged between batched TCP and serial Unix"
+        );
+    }
+}
+
+#[test]
+fn overlapping_tcp_clients_all_get_answers() {
+    // Liveness under concurrency: eight clients fire overlapping ECO
+    // requests at a coalescing mux; every one must get an ok response
+    // within its client deadline (no hangs, no dropped requests).
+    let options = MuxOptions {
+        io: ServeOptions::default(),
+        queue_depth: 16,
+        coalesce_window: Duration::from_millis(40),
+    };
+    let (socket, addr, server) = spawn_mux("stress", 8, options);
+    let tcp = addr.to_string();
+    // Warm the design first so each concurrent eco re-simulates only its
+    // own net; the concurrency, not a cold-start pass, is under test.
+    let warm = request_tcp_patient(&tcp, &Request::Analyze { profile: false });
+    assert_eq!(warm.get("ok").and_then(Value::as_bool), Some(true));
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let tcp = tcp.clone();
+            std::thread::spawn(move || {
+                request_tcp_patient(&tcp, &eco(i, EcoChange::Scale(1.0 + 0.02 * i as f64)))
+            })
+        })
+        .collect();
+    for (i, c) in clients.into_iter().enumerate() {
+        let resp = c.join().unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "client {i} failed: {}",
+            resp.emit()
+        );
+        assert_eq!(resp.get("eco_net").and_then(Value::as_usize), Some(i));
+    }
+    client::request(&socket, &Request::Shutdown).unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn queue_overflow_gets_backpressure_not_a_hang() {
+    // Depth bound 2 with a long window: the first two ecos fill the
+    // queue and sit in the open coalescing window, so later arrivals
+    // must be answered immediately with the explicit backpressure
+    // response.
+    let options = MuxOptions {
+        io: ServeOptions::default(),
+        queue_depth: 2,
+        coalesce_window: Duration::from_millis(600),
+    };
+    let (socket, addr, server) = spawn_mux("overflow", 4, options);
+    let tcp = addr.to_string();
+    let admitted: Vec<_> = (0..2)
+        .map(|i| {
+            let tcp = tcp.clone();
+            std::thread::spawn(move || request_tcp_patient(&tcp, &eco(i, EcoChange::Scale(1.1))))
+        })
+        .collect();
+    // Give the admitted pair time to land in the queue, then overflow.
+    std::thread::sleep(Duration::from_millis(200));
+    let rejected = client::request_tcp(&tcp, &eco(2, EcoChange::Scale(1.1))).unwrap();
+    assert_eq!(rejected.get("ok").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        rejected.get("backpressure").and_then(Value::as_bool),
+        Some(true),
+        "expected backpressure, got: {}",
+        rejected.emit()
+    );
+    for c in admitted {
+        let resp = c.join().unwrap();
+        assert_eq!(resp.get("ok").and_then(Value::as_bool), Some(true));
+    }
+    client::request(&socket, &Request::Shutdown).unwrap();
+    server.join().unwrap();
+}
+
+/// Every advertised key of the metrics document.
+const METRICS_KEYS: &[(&str, &[&str])] = &[
+    ("latency", &["requests", "p50_us", "p99_us", "max_us"]),
+    ("queue", &["depth", "max_depth", "admitted", "rejected"]),
+    ("coalesce", &["batches", "requests", "max_batch"]),
+    ("profile", &["lu_factorizations", "funnel", "batch"]),
+];
+
+fn metrics_counters(doc: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (section, keys) in METRICS_KEYS {
+        let s = doc
+            .get(section)
+            .unwrap_or_else(|| panic!("metrics missing section {section:?}"));
+        for key in *keys {
+            assert!(s.get(key).is_some(), "metrics missing {section}.{key}");
+        }
+    }
+    // The monotone subset: process-wide counters (never the live depth
+    // gauge or the percentile positions, which may move either way).
+    for (section, key) in [
+        ("latency", "requests"),
+        ("latency", "max_us"),
+        ("queue", "max_depth"),
+        ("queue", "admitted"),
+        ("queue", "rejected"),
+        ("coalesce", "batches"),
+        ("coalesce", "requests"),
+        ("coalesce", "max_batch"),
+    ] {
+        let v = doc.get(section).unwrap().get(key).unwrap();
+        out.push((
+            format!("{section}.{key}"),
+            v.as_f64().expect("counter is numeric"),
+        ));
+    }
+    out
+}
+
+#[test]
+fn metrics_schema_is_complete_and_counters_are_monotone() {
+    let options = MuxOptions {
+        io: ServeOptions::default(),
+        queue_depth: 8,
+        coalesce_window: Duration::from_millis(20),
+    };
+    let (socket, addr, server) = spawn_mux("metrics", 4, options);
+    let tcp = addr.to_string();
+
+    let mut snapshots = Vec::new();
+    snapshots.push(metrics_counters(
+        &client::request_tcp(&tcp, &Request::Metrics).unwrap(),
+    ));
+    for (i, req) in [
+        eco(0, EcoChange::Scale(1.2)),
+        Request::Analyze { profile: false },
+        eco(1, EcoChange::Scale(0.9)),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let resp = request_tcp_patient(&tcp, req);
+        assert_eq!(
+            resp.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "request {i} failed: {}",
+            resp.emit()
+        );
+        snapshots.push(metrics_counters(
+            &client::request_tcp(&tcp, &Request::Metrics).unwrap(),
+        ));
+    }
+    for pair in snapshots.windows(2) {
+        for ((name, before), (_, after)) in pair[0].iter().zip(&pair[1]) {
+            assert!(
+                after >= before,
+                "{name} went backwards: {before} -> {after}"
+            );
+        }
+    }
+    // The sequence actually moved the request counters.
+    let first = &snapshots[0];
+    let last = snapshots.last().unwrap();
+    let requests = |snap: &[(String, f64)]| {
+        snap.iter()
+            .find(|(n, _)| n == "latency.requests")
+            .unwrap()
+            .1
+    };
+    assert!(
+        requests(last) >= requests(first) + 6.0,
+        "expected at least 6 more measured requests, got {} -> {}",
+        requests(first),
+        requests(last)
+    );
+
+    client::request(&socket, &Request::Shutdown).unwrap();
+    server.join().unwrap();
+}
+
+#[test]
+fn malformed_lines_over_tcp_answer_in_order_and_keep_the_connection() {
+    let (socket, addr, server) = spawn_mux("malformed", 4, MuxOptions::default());
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    // Normal-class requests around the malformed line: responses must
+    // come back in line order. (Control-class status/metrics would jump
+    // the backlog by design.)
+    stream
+        .write_all(b"{\"cmd\":\"analyze\"}\n{\"cmd\":\"warp\"}\n{\"cmd\":\"analyze\"}\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        lines.push(line);
+    }
+    let ok: Vec<Option<bool>> = lines
+        .iter()
+        .map(|l| {
+            parse(l.trim_end())
+                .unwrap()
+                .get("ok")
+                .and_then(Value::as_bool)
+        })
+        .collect();
+    assert_eq!(ok, vec![Some(true), Some(false), Some(true)]);
+    assert!(lines[1].contains("warp"), "error names the unknown cmd");
+    client::request(&socket, &Request::Shutdown).unwrap();
+    server.join().unwrap();
+}
