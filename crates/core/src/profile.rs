@@ -326,6 +326,117 @@ pub fn reset_serve_counters() {
     COALESCED_MAX_BATCH.store(0, Ordering::Relaxed);
 }
 
+// ---------------------------------------------------------------------
+// Worker-supervision and store-journal counters (the serve supervisor
+// and the journaled store record into these; they surface in `status`,
+// `metrics`, and `--profile`).
+// ---------------------------------------------------------------------
+
+static WORKER_DEATHS: AtomicU64 = AtomicU64::new(0);
+static WORKER_RESPAWNS: AtomicU64 = AtomicU64::new(0);
+static REQUESTS_REPLAYED: AtomicU64 = AtomicU64::new(0);
+static POISON_QUARANTINED: AtomicU64 = AtomicU64::new(0);
+static JOURNAL_APPENDS: AtomicU64 = AtomicU64::new(0);
+static JOURNAL_REPLAYED: AtomicU64 = AtomicU64::new(0);
+static JOURNAL_TRUNCATED: AtomicU64 = AtomicU64::new(0);
+static STORE_CHECKPOINTS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one supervised worker process found dead (any cause).
+pub fn record_worker_death() {
+    WORKER_DEATHS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one successful worker respawn (ready line received and the
+/// edit log replayed).
+pub fn record_worker_respawn() {
+    WORKER_RESPAWNS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one in-flight request re-sent to a freshly respawned worker.
+pub fn record_request_replayed() {
+    REQUESTS_REPLAYED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one poison request quarantined after killing the worker twice.
+pub fn record_poison_quarantined() {
+    POISON_QUARANTINED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one fsynced journal append acknowledging a save delta.
+pub fn record_journal_append() {
+    JOURNAL_APPENDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records journal entries replayed over the checkpoint on store load.
+pub fn record_journal_replayed(entries: u64) {
+    JOURNAL_REPLAYED.fetch_add(entries, Ordering::Relaxed);
+}
+
+/// Records torn journal tail lines truncated during recovery.
+pub fn record_journal_truncated(lines: u64) {
+    JOURNAL_TRUNCATED.fetch_add(lines, Ordering::Relaxed);
+}
+
+/// Records one full store checkpoint (rewrite + journal reset).
+pub fn record_store_checkpoint() {
+    STORE_CHECKPOINTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Worker deaths observed by the supervisor.
+pub fn worker_deaths() -> u64 {
+    WORKER_DEATHS.load(Ordering::Relaxed)
+}
+
+/// Successful worker respawns.
+pub fn worker_respawns() -> u64 {
+    WORKER_RESPAWNS.load(Ordering::Relaxed)
+}
+
+/// In-flight requests replayed after a respawn.
+pub fn requests_replayed() -> u64 {
+    REQUESTS_REPLAYED.load(Ordering::Relaxed)
+}
+
+/// Poison requests quarantined.
+pub fn poison_quarantined() -> u64 {
+    POISON_QUARANTINED.load(Ordering::Relaxed)
+}
+
+/// Journal appends fsynced.
+pub fn journal_appends() -> u64 {
+    JOURNAL_APPENDS.load(Ordering::Relaxed)
+}
+
+/// Journal entries replayed on store load.
+pub fn journal_replayed() -> u64 {
+    JOURNAL_REPLAYED.load(Ordering::Relaxed)
+}
+
+/// Torn journal tail lines truncated on store load.
+pub fn journal_truncated() -> u64 {
+    JOURNAL_TRUNCATED.load(Ordering::Relaxed)
+}
+
+/// Full store checkpoints written.
+pub fn store_checkpoints() -> u64 {
+    STORE_CHECKPOINTS.load(Ordering::Relaxed)
+}
+
+/// Resets every supervision and journal counter.
+///
+/// The counters are process-wide: concurrent work on other threads is
+/// included, so bracket measured regions accordingly.
+pub fn reset_supervise_counters() {
+    WORKER_DEATHS.store(0, Ordering::Relaxed);
+    WORKER_RESPAWNS.store(0, Ordering::Relaxed);
+    REQUESTS_REPLAYED.store(0, Ordering::Relaxed);
+    POISON_QUARANTINED.store(0, Ordering::Relaxed);
+    JOURNAL_APPENDS.store(0, Ordering::Relaxed);
+    JOURNAL_REPLAYED.store(0, Ordering::Relaxed);
+    JOURNAL_TRUNCATED.store(0, Ordering::Relaxed);
+    STORE_CHECKPOINTS.store(0, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,5 +498,33 @@ mod tests {
         assert!(prima_rom_builds() > b0);
         assert!(prima_fallbacks() > f0);
         assert!(prima_reduced_sims() > s0);
+    }
+
+    #[test]
+    fn supervise_and_journal_counters_accumulate() {
+        let d0 = worker_deaths();
+        let s0 = worker_respawns();
+        let p0 = requests_replayed();
+        let q0 = poison_quarantined();
+        let a0 = journal_appends();
+        let r0 = journal_replayed();
+        let t0 = journal_truncated();
+        let c0 = store_checkpoints();
+        record_worker_death();
+        record_worker_respawn();
+        record_request_replayed();
+        record_poison_quarantined();
+        record_journal_append();
+        record_journal_replayed(3);
+        record_journal_truncated(1);
+        record_store_checkpoint();
+        assert!(worker_deaths() > d0);
+        assert!(worker_respawns() > s0);
+        assert!(requests_replayed() > p0);
+        assert!(poison_quarantined() > q0);
+        assert!(journal_appends() > a0);
+        assert!(journal_replayed() >= r0 + 3);
+        assert!(journal_truncated() > t0);
+        assert!(store_checkpoints() > c0);
     }
 }

@@ -13,7 +13,11 @@
 //! * [`FaultSite::Measure`] — waveform measurement in the analysis flow
 //!   (`clarinox-core`),
 //! * [`FaultSite::Request`] — a serve request handler (`clarinox-serve`),
-//!   which *panics* rather than erroring, to exercise `catch_unwind`.
+//!   which *panics* rather than erroring, to exercise `catch_unwind`,
+//! * [`FaultSite::Store`] — a store write (`clarinox-serve`): a torn
+//!   journal append or a save that dies between tmp-write and rename,
+//! * [`FaultSite::Worker`] — a supervised worker process, which *aborts*
+//!   before replying, to exercise respawn and request replay.
 //!
 //! When no plan is armed (the default), every check is a single relaxed
 //! atomic load returning `false` — the production hot path pays nothing.
@@ -35,7 +39,7 @@
 //! ```text
 //! spec    := clause ("," clause)*
 //! clause  := site [ "@" net ] [ ":" mode ] | "seed=" u64
-//! site    := "newton" | "lu" | "measure" | "request"
+//! site    := "newton" | "lu" | "measure" | "request" | "store" | "worker"
 //! mode    := "once" | "always" | "p=" f64
 //! ```
 //!
@@ -81,6 +85,10 @@ pub enum FaultSite {
     Measure,
     /// A serve request handler (panics instead of erroring).
     Request,
+    /// A store write: torn journal append or failed checkpoint rename.
+    Store,
+    /// A supervised worker process (aborts instead of replying).
+    Worker,
 }
 
 impl FaultSite {
@@ -90,6 +98,8 @@ impl FaultSite {
             "lu" => Some(FaultSite::LuFactor),
             "measure" => Some(FaultSite::Measure),
             "request" => Some(FaultSite::Request),
+            "store" => Some(FaultSite::Store),
+            "worker" => Some(FaultSite::Worker),
             _ => None,
         }
     }
@@ -100,6 +110,8 @@ impl FaultSite {
             FaultSite::LuFactor => "lu",
             FaultSite::Measure => "measure",
             FaultSite::Request => "request",
+            FaultSite::Store => "store",
+            FaultSite::Worker => "worker",
         }
     }
 
@@ -109,6 +121,8 @@ impl FaultSite {
             FaultSite::NewtonIter => 2,
             FaultSite::Measure => 3,
             FaultSite::Request => 4,
+            FaultSite::Store => 5,
+            FaultSite::Worker => 6,
         }
     }
 }
@@ -181,7 +195,8 @@ impl FromStr for FaultPlan {
             };
             let site = FaultSite::parse(site_text).ok_or_else(|| {
                 format!(
-                    "unknown fault site {site_text:?} (expected newton, lu, measure, or request)"
+                    "unknown fault site {site_text:?} (expected newton, lu, measure, \
+                     request, store, or worker)"
                 )
             })?;
             let mode = match mode_text {
@@ -438,5 +453,16 @@ mod tests {
     #[test]
     fn injected_message_names_site() {
         assert!(injected_message(FaultSite::NewtonIter).contains("newton"));
+    }
+
+    #[test]
+    fn store_and_worker_sites_parse_and_fire() {
+        let _g = lock();
+        arm("store:once,worker@1:always".parse().unwrap());
+        assert!(should_fail(FaultSite::Store));
+        assert!(!should_fail(FaultSite::Store));
+        assert!(!should_fail(FaultSite::Worker));
+        scoped(1, || assert!(should_fail(FaultSite::Worker)));
+        disarm();
     }
 }

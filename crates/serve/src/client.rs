@@ -53,7 +53,7 @@ pub fn request_line_with_timeout(
     timeout: Option<Duration>,
 ) -> Result<Value> {
     let stream = UnixStream::connect(socket_path).map_err(|e| {
-        ServeError::protocol(format!(
+        ServeError::Unavailable(format!(
             "cannot connect to {}: {e} (is `clarinox serve` running?)",
             socket_path.display()
         ))
@@ -95,7 +95,7 @@ pub fn request_tcp_line_with_timeout(
         None => TcpStream::connect(parsed),
     }
     .map_err(|e| {
-        ServeError::protocol(format!(
+        ServeError::Unavailable(format!(
             "cannot connect to {addr}: {e} (is `clarinox serve --tcp` running?)"
         ))
     })?;
@@ -103,6 +103,80 @@ pub fn request_tcp_line_with_timeout(
     stream.set_write_timeout(timeout)?;
     let writer = stream.try_clone()?;
     exchange(writer, stream, line, timeout)
+}
+
+/// [`request`] with up to `retries` additional attempts on *transient*
+/// failures: a connect refusal ([`ServeError::Unavailable`] — e.g. the
+/// supervisor is respawning a dead worker and the listener is briefly
+/// gone) or an explicit `{"ok":false,...,"backpressure":true}` response.
+/// Attempts are separated by jittered exponential backoff and the whole
+/// call stays bounded by the [`DEFAULT_TIMEOUT`] request deadline.
+/// Timeouts and other errors never retry: the request may already have
+/// been applied, and ECO edits are not idempotent.
+///
+/// # Errors
+///
+/// As [`request`]; the last attempt's outcome is returned.
+pub fn request_retry(socket_path: &Path, req: &Request, retries: u32) -> Result<Value> {
+    let line = req.to_json().emit();
+    retry_loop(retries, |timeout| {
+        request_line_with_timeout(socket_path, &line, Some(timeout))
+    })
+}
+
+/// [`request_tcp`] with transient-failure retries; see [`request_retry`].
+///
+/// # Errors
+///
+/// As [`request_tcp`]; the last attempt's outcome is returned.
+pub fn request_tcp_retry(addr: &str, req: &Request, retries: u32) -> Result<Value> {
+    let line = req.to_json().emit();
+    retry_loop(retries, |timeout| {
+        request_tcp_line_with_timeout(addr, &line, Some(timeout))
+    })
+}
+
+/// Runs `attempt` (given the time remaining under the overall deadline)
+/// until it returns a non-transient outcome or the retry/deadline budget
+/// is exhausted.
+fn retry_loop(retries: u32, mut attempt: impl FnMut(Duration) -> Result<Value>) -> Result<Value> {
+    let started = std::time::Instant::now();
+    let mut tries = 0u32;
+    loop {
+        let remaining = DEFAULT_TIMEOUT.saturating_sub(started.elapsed());
+        let outcome = attempt(remaining.max(Duration::from_millis(1)));
+        let transient = match &outcome {
+            Err(ServeError::Unavailable(_)) => true,
+            Ok(v) => v.get("backpressure").and_then(Value::as_bool) == Some(true),
+            _ => false,
+        };
+        if !transient || tries >= retries {
+            return outcome;
+        }
+        tries += 1;
+        let backoff = backoff_delay(tries);
+        if backoff >= DEFAULT_TIMEOUT.saturating_sub(started.elapsed()) {
+            // Sleeping would eat the request deadline: report what we have.
+            return outcome;
+        }
+        std::thread::sleep(backoff);
+    }
+}
+
+/// Exponential backoff with deterministic jitter: attempt `n` sleeps in
+/// `[step/2, step]` where `step = 25ms · 2^n`, capped at one second. The
+/// jitter is keyed by pid and attempt so a burst of clients retrying a
+/// respawning server desynchronizes instead of stampeding.
+fn backoff_delay(attempt: u32) -> Duration {
+    const BASE_MS: u64 = 25;
+    const CAP_MS: u64 = 1_000;
+    let step = BASE_MS.saturating_mul(1u64 << attempt.min(10)).min(CAP_MS);
+    let mut z = (u64::from(std::process::id()))
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(attempt));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 31;
+    Duration::from_millis(step / 2 + z % (step / 2 + 1))
 }
 
 /// Writes the request line and reads back one response line, mapping a
@@ -180,5 +254,56 @@ mod tests {
             "got: {err}"
         );
         hold.join().unwrap();
+    }
+
+    /// A connect refusal is transient: the retry loop must ride out a
+    /// listener that appears a few backoff steps later (the shape of a
+    /// supervisor respawning its worker).
+    #[test]
+    fn retry_rides_out_a_briefly_absent_listener() {
+        let dir = scratch_dir("client-retry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("clarinox.sock");
+        let server = {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(120));
+                let listener = UnixListener::bind(&socket).unwrap();
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                let mut w = stream;
+                w.write_all(b"{\"ok\":true}\n").unwrap();
+            })
+        };
+        let v = request_retry(&socket, &Request::Status, 8).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        server.join().unwrap();
+    }
+
+    /// Zero retries preserves the old single-shot behavior: the connect
+    /// refusal surfaces as `Unavailable` immediately.
+    #[test]
+    fn zero_retries_fails_fast_with_unavailable() {
+        let dir = scratch_dir("client-no-retry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = request_retry(&dir.join("nope.sock"), &Request::Status, 0).unwrap_err();
+        assert!(matches!(err, ServeError::Unavailable(_)), "got: {err}");
+        assert!(err.to_string().contains("cannot connect"), "got: {err}");
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_capped() {
+        let first = backoff_delay(1);
+        assert!(first >= Duration::from_millis(25) && first <= Duration::from_millis(50));
+        for attempt in 1..20 {
+            let d = backoff_delay(attempt);
+            assert!(
+                d <= Duration::from_millis(1_000),
+                "attempt {attempt}: {d:?}"
+            );
+            assert!(d >= Duration::from_millis(12), "attempt {attempt}: {d:?}");
+        }
     }
 }

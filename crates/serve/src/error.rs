@@ -9,6 +9,11 @@ pub enum ServeError {
     Io(std::io::Error),
     /// Malformed request, response, or JSON text.
     Protocol(String),
+    /// The server could not be reached at all (connect refused or timed
+    /// out before any bytes moved) — the one failure a client may safely
+    /// retry, since the request cannot have been applied. A worker
+    /// respawn window looks exactly like this from outside.
+    Unavailable(String),
     /// Persistence-layer failure (bad version, corrupt record).
     Store(String),
     /// Analysis failure from the core engine.
@@ -46,6 +51,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
             ServeError::Protocol(c) => write!(f, "protocol error: {c}"),
+            ServeError::Unavailable(c) => write!(f, "{c}"),
             ServeError::Store(c) => write!(f, "store error: {c}"),
             ServeError::Core(e) => write!(f, "analysis error: {e}"),
             ServeError::AlreadyRunning(path) => write!(

@@ -65,14 +65,18 @@ pub mod queue;
 pub mod server;
 pub mod service;
 pub mod store;
+pub mod supervise;
 
 mod error;
 
 pub use error::ServeError;
 pub use mux::{serve_mux, MuxOptions};
 pub use protocol::{EcoChange, EcoField, Request};
-pub use service::{couplings_for, input_window_for, profile_json, DesignService, ServiceConfig};
+pub use service::{
+    couplings_for, input_window_for, profile_json, DesignService, RequestHandler, ServiceConfig,
+};
 pub use store::{Store, STORE_VERSION};
+pub use supervise::{worker_loop, SupervisedService, DEFAULT_RESPAWN_MAX};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ServeError>;
@@ -95,6 +99,14 @@ pub(crate) mod testutil {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// Serializes tests that arm the process-global fault plan: arming
+    /// replaces the plan wholesale, so concurrent arming tests would
+    /// steal each other's rules.
+    pub fn fault_gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The fast analyzer settings shared by the service tests.

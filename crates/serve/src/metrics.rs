@@ -17,10 +17,20 @@ use clarinox_core::profile as prof;
 /// Builds the full metrics document. `queue_depth` is the live admission
 /// queue depth at response time.
 pub fn metrics_json(analyzer: &NoiseAnalyzer, queue_depth: usize) -> Value {
+    let mut fields = vec![("ok".into(), Value::Bool(true))];
+    fields.extend(transport_sections(queue_depth));
+    fields.push(("profile".into(), profile_json(analyzer)));
+    Value::Obj(fields)
+}
+
+/// The transport-side sections (`latency`, `queue`, `coalesce`) read
+/// from this process's counters. Split out so the supervisor — whose
+/// mux runs in the parent process while the engine runs in the worker —
+/// can overlay its own transport view onto the worker's engine view.
+pub(crate) fn transport_sections(queue_depth: usize) -> Vec<(String, Value)> {
     let lat = prof::request_latency();
     let (batches, coalesced, max_batch) = prof::coalesce_stats();
-    Value::Obj(vec![
-        ("ok".into(), Value::Bool(true)),
+    vec![
         (
             "latency".into(),
             Value::Obj(vec![
@@ -50,7 +60,29 @@ pub fn metrics_json(analyzer: &NoiseAnalyzer, queue_depth: usize) -> Value {
                 ("max_batch".into(), Value::Num(max_batch as f64)),
             ]),
         ),
-        ("profile".into(), profile_json(analyzer)),
+    ]
+}
+
+/// The supervision section: worker lifecycle and journal counters as
+/// seen from the supervisor process.
+pub(crate) fn supervise_section() -> Value {
+    Value::Obj(vec![
+        (
+            "worker_deaths".into(),
+            Value::Num(prof::worker_deaths() as f64),
+        ),
+        (
+            "worker_respawns".into(),
+            Value::Num(prof::worker_respawns() as f64),
+        ),
+        (
+            "requests_replayed".into(),
+            Value::Num(prof::requests_replayed() as f64),
+        ),
+        (
+            "poison_quarantined".into(),
+            Value::Num(prof::poison_quarantined() as f64),
+        ),
     ])
 }
 

@@ -16,7 +16,7 @@
 //! without `profile` reaches the head of the normal class, dispatch
 //! waits until `admission + window`, then claims the longest run of
 //! such requests from the queue and hands them to
-//! [`DesignService::handle_batch`] as one batch: one dirty-closure
+//! [`RequestHandler::handle_batch`] as one batch: one dirty-closure
 //! union, one warm-started fixpoint pass, per-request responses
 //! demultiplexed afterward in admission order. The batch path is
 //! bit-identical to dispatching the same requests one at a time (the
@@ -41,7 +41,7 @@ use crate::net::{self, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use crate::protocol::{error_response, Request};
 use crate::queue::{Admission, AdmissionQueue, Job, Pending};
 use crate::server::{claim_unix_socket, panic_text, ServeOptions};
-use crate::service::DesignService;
+use crate::service::RequestHandler;
 use crate::{Result, ServeError};
 use clarinox_core::profile as prof;
 use std::collections::HashMap;
@@ -94,10 +94,10 @@ impl Default for MuxOptions {
 ///
 /// As [`crate::server::serve`], plus [`ServeError::Listen`] for TCP
 /// bind failures. Per-request failures are reported to the client.
-pub fn serve_mux(
+pub fn serve_mux<S: RequestHandler>(
     socket_path: &Path,
     tcp_addr: Option<&str>,
-    service: &mut DesignService,
+    service: &mut S,
     max_rounds: usize,
     options: &MuxOptions,
     on_ready: impl FnOnce(Option<SocketAddr>),
@@ -242,8 +242,8 @@ enum Tag {
     Conn(usize),
 }
 
-struct Mux<'a> {
-    service: &'a mut DesignService,
+struct Mux<'a, S: RequestHandler> {
+    service: &'a mut S,
     max_rounds: usize,
     options: &'a MuxOptions,
     conns: HashMap<usize, Conn>,
@@ -252,7 +252,7 @@ struct Mux<'a> {
     shutdown: bool,
 }
 
-impl Mux<'_> {
+impl<S: RequestHandler> Mux<'_, S> {
     fn run(&mut self, unix: &UnixListener, tcp: Option<&TcpListener>) -> Result<()> {
         loop {
             let coalesce_deadline = self.dispatch_ready(Instant::now());
@@ -658,7 +658,7 @@ mod tests {
     use super::*;
     use crate::client;
     use crate::protocol::{EcoChange, EcoField};
-    use crate::service::ServiceConfig;
+    use crate::service::{DesignService, ServiceConfig};
     use crate::testutil::{quick_analyzer_config, scratch_dir};
     use clarinox_cells::Tech;
     use std::sync::mpsc;

@@ -16,7 +16,7 @@
 
 use crate::json;
 use crate::protocol::{error_response, Request};
-use crate::service::DesignService;
+use crate::service::RequestHandler;
 use crate::{Result, ServeError};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -54,9 +54,9 @@ impl Default for ServeOptions {
 /// (a *stale* socket file — one nothing accepts on — is replaced); bind
 /// failures and unrecoverable I/O errors. Per-request failures are
 /// reported to the client instead.
-pub fn serve(
+pub fn serve<S: RequestHandler>(
     socket_path: &Path,
-    service: &mut DesignService,
+    service: &mut S,
     max_rounds: usize,
     on_ready: impl FnOnce(),
 ) -> Result<()> {
@@ -74,9 +74,9 @@ pub fn serve(
 /// # Errors
 ///
 /// See [`serve`].
-pub fn serve_with(
+pub fn serve_with<S: RequestHandler>(
     socket_path: &Path,
-    service: &mut DesignService,
+    service: &mut S,
     max_rounds: usize,
     options: &ServeOptions,
     on_ready: impl FnOnce(),
@@ -115,9 +115,9 @@ pub(crate) fn claim_unix_socket(socket_path: &Path) -> Result<UnixListener> {
 
 /// Serves one connection to completion; `Ok(true)` means a shutdown
 /// request was honored.
-fn serve_connection(
+fn serve_connection<S: RequestHandler>(
     stream: UnixStream,
-    service: &mut DesignService,
+    service: &mut S,
     max_rounds: usize,
     options: &ServeOptions,
 ) -> Result<bool> {
@@ -183,7 +183,7 @@ mod tests {
     use super::*;
     use crate::client;
     use crate::protocol::{EcoChange, EcoField};
-    use crate::service::ServiceConfig;
+    use crate::service::{DesignService, ServiceConfig};
     use crate::testutil::{quick_analyzer_config, scratch_dir};
     use clarinox_cells::Tech;
     use clarinox_numeric::fault::{self, FaultPlan};
@@ -290,6 +290,7 @@ mod tests {
 
     #[test]
     fn panicking_request_gets_error_response_and_server_survives() {
+        let _g = crate::testutil::fault_gate();
         let (socket, scope, server) = spawn_server("server-panic", ServeOptions::default());
         // The injected `request` fault panics this service's handler
         // exactly once; the scope keeps concurrent tests' services safe.

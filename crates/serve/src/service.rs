@@ -2,21 +2,48 @@
 
 use crate::json::Value;
 use crate::protocol::{EcoChange, EcoField, Request};
-use crate::store::Store;
+use crate::store::{Store, StoreStats};
 use crate::{Result, ServeError};
 use clarinox_cells::Tech;
 use clarinox_char::DriverLibrary;
 use clarinox_core::analysis::NoiseAnalyzer;
 use clarinox_core::config::AnalyzerConfig;
 use clarinox_core::design::DesignNet;
-use clarinox_core::incremental::{BatchOp, IncrementalDesign, IncrementalReport};
+use clarinox_core::incremental::{BatchOp, IncrementalDesign, IncrementalReport, NetSummary};
 use clarinox_core::outcome::Tier;
 use clarinox_core::provider::Library;
 use clarinox_netgen::generate::{generate_block, BlockConfig};
 use clarinox_numeric::fault::{self, FaultSite};
 use clarinox_sta::fixpoint::NoiseCoupling;
 use clarinox_sta::window::TimingWindow;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Journal entries accumulated between checkpoints before a save rewrites
+/// the base files instead of appending (bounds recovery-replay work).
+const JOURNAL_CHECKPOINT_ENTRIES: usize = 1024;
+
+/// What the serve front ends (serial loop, multiplexer, supervisor) need
+/// from a request handler. [`DesignService`] answers in-process;
+/// [`crate::supervise::SupervisedService`] forwards to a supervised
+/// worker process.
+pub trait RequestHandler {
+    /// Handles one request; the `bool` asks the server loop to stop.
+    ///
+    /// # Errors
+    ///
+    /// Analysis, store, or request-validation failures (the server loop
+    /// turns these into error responses — the service stays up).
+    fn handle(&mut self, req: &Request, max_rounds: usize) -> Result<(Value, bool)>;
+
+    /// Handles a coalesced run of analyze-class requests (see
+    /// [`DesignService::handle_batch`] for the bit-identity contract).
+    fn handle_batch(&mut self, reqs: &[Request], max_rounds: usize) -> Vec<Result<Value>>;
+
+    /// The metrics document; `queue_depth` is the live admission-queue
+    /// depth (zero on the serial Unix path, which has no queue).
+    fn metrics(&mut self, queue_depth: usize) -> Value;
+}
 
 /// Service-level knobs (the analysis knobs live in [`AnalyzerConfig`]).
 #[derive(Debug, Clone)]
@@ -56,6 +83,10 @@ pub struct RestoreStats {
     /// the store load, library lines at import) — the affected entries
     /// simply re-characterize.
     pub quarantined: usize,
+    /// Journal entries replayed over the checkpoint files.
+    pub journal_entries: usize,
+    /// Torn journal tail lines truncated during the restore.
+    pub journal_truncated: usize,
 }
 
 /// The deterministic switching window of generated net `i` — part of the
@@ -90,6 +121,16 @@ pub struct DesignService {
     library: Arc<DriverLibrary>,
     store: Option<Store>,
     restored: RestoreStats,
+    /// Whether a complete (VERSION-bearing) checkpoint exists on disk —
+    /// journal appends are only meaningful on top of one.
+    store_committed: bool,
+    /// Summaries the store already holds (checkpoint plus journal), so a
+    /// save can append only the delta.
+    persisted_sums: HashMap<u64, NetSummary>,
+    /// Library records the store already holds.
+    persisted_libs: HashSet<String>,
+    /// Journal entries accumulated since the last checkpoint.
+    journal_len: usize,
     /// Process-unique fault-injection scope of this instance, so a test
     /// can arm `request@<scope>` and panic exactly this service's handler
     /// without touching services owned by concurrently running tests.
@@ -121,9 +162,19 @@ impl DesignService {
 
         let store = svc.store.as_ref().map(Store::open);
         let mut restored = RestoreStats::default();
+        let mut store_committed = false;
+        let mut persisted_sums: HashMap<u64, NetSummary> = HashMap::new();
+        let mut persisted_libs: HashSet<String> = HashSet::new();
+        let mut journal_len = 0;
         if let Some(store) = &store {
             if let Some(contents) = store.load()? {
+                // A legacy checkpoint cannot be journaled onto: its next
+                // save must be a full checkpoint that rewrites VERSION.
+                store_committed = !contents.legacy;
                 restored.quarantined += contents.quarantined;
+                restored.journal_entries = contents.journal_entries;
+                restored.journal_truncated = contents.journal_truncated;
+                journal_len = contents.journal_entries;
                 // A library record that fails to import is corruption, not
                 // a fatal store: quarantine it like the store layer does
                 // for results lines, keep every record that parsed.
@@ -135,6 +186,7 @@ impl DesignService {
                             if imported {
                                 restored.corners += 1;
                             }
+                            persisted_libs.insert(record.clone());
                             clean.push(record);
                         }
                         Err(_) => bad.push(record),
@@ -143,6 +195,7 @@ impl DesignService {
                 restored.quarantined += store.quarantine("library.rec", &bad, &clean)?;
                 for (hash, summary) in contents.summaries {
                     restored.summaries += design.preload_summary(hash, summary);
+                    persisted_sums.insert(hash, summary);
                 }
             }
         }
@@ -153,6 +206,10 @@ impl DesignService {
             library,
             store,
             restored,
+            store_committed,
+            persisted_sums,
+            persisted_libs,
+            journal_len,
             fault_scope: NEXT_SCOPE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
     }
@@ -207,18 +264,17 @@ impl DesignService {
                 }
                 Ok((v, false))
             }
-            Request::Metrics => Ok((self.metrics(0), false)),
+            Request::Metrics => Ok((self.metrics_doc(0), false)),
             Request::Save => {
-                let store = self.store.as_ref().ok_or_else(|| {
-                    ServeError::store("service started without --store; nothing to save to")
-                })?;
-                let stats = store.save(&self.library, &self.design.cached_summaries())?;
+                let (stats, journaled) = self.save()?;
+                let store = self.store.as_ref().expect("save succeeded");
                 Ok((
                     Value::Obj(vec![
                         ("ok".into(), Value::Bool(true)),
                         ("path".into(), Value::str(store.dir().display().to_string())),
                         ("corners".into(), Value::Num(stats.corners as f64)),
                         ("summaries".into(), Value::Num(stats.summaries as f64)),
+                        ("journaled".into(), Value::Bool(journaled)),
                     ]),
                     false,
                 ))
@@ -235,8 +291,57 @@ impl DesignService {
 
     /// The metrics document; `queue_depth` is the live admission-queue
     /// depth (zero on the serial Unix path, which has no queue).
-    pub fn metrics(&self, queue_depth: usize) -> Value {
+    pub fn metrics_doc(&self, queue_depth: usize) -> Value {
         crate::metrics::metrics_json(self.design.analyzer(), queue_depth)
+    }
+
+    /// Persists the warm caches durably: a full checkpoint when none
+    /// exists yet (or the journal has grown past
+    /// [`JOURNAL_CHECKPOINT_ENTRIES`]), otherwise one fsynced journal
+    /// append of just the delta since the last save. Returns the stats
+    /// and whether the save was journaled.
+    ///
+    /// # Errors
+    ///
+    /// No store configured, or filesystem failures — in which case the
+    /// persisted-state tracking is untouched, so the next save retries
+    /// the same delta.
+    fn save(&mut self) -> Result<(StoreStats, bool)> {
+        let store = self.store.as_ref().ok_or_else(|| {
+            ServeError::store("service started without --store; nothing to save to")
+        })?;
+        let summaries = self.design.cached_summaries();
+        let lib_records = self.library.export_records();
+        let new_libs: Vec<String> = lib_records
+            .iter()
+            .filter(|r| !self.persisted_libs.contains(*r))
+            .cloned()
+            .collect();
+        let delta: Vec<(u64, NetSummary)> = summaries
+            .iter()
+            .filter(|(h, s)| !matches!(self.persisted_sums.get(h), Some(p) if p.bits_eq(s)))
+            .cloned()
+            .collect();
+        let checkpoint = !self.store_committed
+            || self.journal_len + new_libs.len() + delta.len() > JOURNAL_CHECKPOINT_ENTRIES;
+        let (stats, journaled) = if checkpoint {
+            let stats = store.save(&self.library, &summaries)?;
+            self.journal_len = 0;
+            self.store_committed = true;
+            (stats, false)
+        } else {
+            self.journal_len += store.append_journal(&new_libs, &delta)?;
+            (
+                StoreStats {
+                    corners: lib_records.len(),
+                    summaries: summaries.len(),
+                },
+                true,
+            )
+        };
+        self.persisted_libs = lib_records.into_iter().collect();
+        self.persisted_sums = summaries.into_iter().collect();
+        Ok((stats, journaled))
     }
 
     /// Handles a coalesced run of analyze-class requests (`analyze` and
@@ -323,7 +428,15 @@ impl DesignService {
             .collect()
     }
 
-    fn apply_eco(&mut self, net: usize, field: EcoField, change: EcoChange) -> Result<()> {
+    /// Applies one ECO edit to the design without analyzing — the
+    /// supervisor's worker replays acknowledged edit logs through this so
+    /// a respawned process reconstructs the exact pre-crash design state
+    /// (the next analyze then re-simulates only what the edits dirtied).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range net or invalid edit.
+    pub fn apply_eco(&mut self, net: usize, field: EcoField, change: EcoChange) -> Result<()> {
         if net >= self.design.len() {
             return Err(ServeError::protocol(format!(
                 "eco net {net} out of range (design has {})",
@@ -337,7 +450,7 @@ impl DesignService {
 
     /// `base` with one ECO edit applied (pure — no design mutation), so
     /// both the serial path and the batch path derive edits identically.
-    fn edit_applied(
+    pub(crate) fn edit_applied(
         mut edited: DesignNet,
         field: EcoField,
         change: EcoChange,
@@ -415,6 +528,14 @@ impl DesignService {
             ("provider_hits".into(), Value::Num(stats.hits as f64)),
             ("provider_builds".into(), Value::Num(stats.builds as f64)),
             (
+                "journal_entries".into(),
+                Value::Num(self.restored.journal_entries as f64),
+            ),
+            (
+                "journal_truncated".into(),
+                Value::Num(self.restored.journal_truncated as f64),
+            ),
+            (
                 "store".into(),
                 match &self.store {
                     Some(s) => Value::str(s.dir().display().to_string()),
@@ -472,6 +593,20 @@ impl DesignService {
             fields.push(("profile".into(), profile_json(self.design.analyzer())));
         }
         Value::Obj(fields)
+    }
+}
+
+impl RequestHandler for DesignService {
+    fn handle(&mut self, req: &Request, max_rounds: usize) -> Result<(Value, bool)> {
+        DesignService::handle(self, req, max_rounds)
+    }
+
+    fn handle_batch(&mut self, reqs: &[Request], max_rounds: usize) -> Vec<Result<Value>> {
+        DesignService::handle_batch(self, reqs, max_rounds)
+    }
+
+    fn metrics(&mut self, queue_depth: usize) -> Value {
+        self.metrics_doc(queue_depth)
     }
 }
 
@@ -608,6 +743,27 @@ pub fn profile_json(analyzer: &NoiseAnalyzer) -> Value {
                 ("hits".into(), Value::Num(stats.hits as f64)),
                 ("builds".into(), Value::Num(stats.builds as f64)),
                 ("hit_rate".into(), Value::Num(stats.hit_rate())),
+            ]),
+        ),
+        (
+            "journal".into(),
+            Value::Obj(vec![
+                (
+                    "appends".into(),
+                    Value::Num(clarinox_core::profile::journal_appends() as f64),
+                ),
+                (
+                    "replayed".into(),
+                    Value::Num(clarinox_core::profile::journal_replayed() as f64),
+                ),
+                (
+                    "truncated".into(),
+                    Value::Num(clarinox_core::profile::journal_truncated() as f64),
+                ),
+                (
+                    "checkpoints".into(),
+                    Value::Num(clarinox_core::profile::store_checkpoints() as f64),
+                ),
             ]),
         ),
         (
@@ -863,6 +1019,92 @@ mod tests {
             0,
             "zero driver re-characterizations after the interrupted save"
         );
+    }
+
+    #[test]
+    fn second_save_journals_the_delta_and_restores_bit_exactly() {
+        let dir = scratch_dir("service-journal-save");
+        let mut svc = small_service(Some(dir.clone()));
+        svc.handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        let (first, _) = svc.handle(&Request::Save, 20).unwrap();
+        assert_eq!(first.get("journaled").unwrap().as_bool(), Some(false));
+
+        // An edit dirties one net; the next save appends just that delta.
+        svc.handle(
+            &Request::Eco {
+                net: 1,
+                field: EcoField::WireLen,
+                change: EcoChange::Scale(1.3),
+                profile: false,
+            },
+            20,
+        )
+        .unwrap();
+        let (second, _) = svc.handle(&Request::Save, 20).unwrap();
+        assert_eq!(second.get("journaled").unwrap().as_bool(), Some(true));
+        assert_eq!(second.get("summaries").unwrap().as_usize(), Some(2));
+        let journal = std::fs::read_to_string(dir.join("journal.rec")).unwrap();
+        assert_eq!(
+            journal.lines().filter(|l| l.contains(" sum ")).count(),
+            1,
+            "only the edited net's summary is journaled: {journal:?}"
+        );
+
+        // A nothing-changed save is journaled too and appends nothing.
+        let (third, _) = svc.handle(&Request::Save, 20).unwrap();
+        assert_eq!(third.get("journaled").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            std::fs::read_to_string(dir.join("journal.rec")).unwrap(),
+            journal
+        );
+
+        // A restart replays the journal over the checkpoint: nothing
+        // re-analyzes, exactly as after a full save. (Besides the one
+        // summary, the journal may carry library corners the eco's
+        // re-analysis characterized.)
+        let mut svc2 = small_service(Some(dir));
+        assert_eq!(svc2.restored().journal_entries, journal.lines().count());
+        assert_eq!(svc2.restored().summaries, 2);
+        let (resp, _) = svc2
+            .handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        assert_eq!(
+            resp.get("stats")
+                .unwrap()
+                .get("analyzed")
+                .unwrap()
+                .as_usize(),
+            Some(0),
+            "journal replay must restore the edited summary bit-exactly"
+        );
+    }
+
+    #[test]
+    fn loading_a_legacy_store_forces_the_next_save_to_checkpoint() {
+        let dir = scratch_dir("service-legacy-upgrade");
+        let mut svc = small_service(Some(dir.clone()));
+        svc.handle(&Request::Analyze { profile: false }, 20)
+            .unwrap();
+        svc.handle(&Request::Save, 20).unwrap();
+        // Downgrade the on-disk checkpoint to a /2-era store. The record
+        // formats are compatible; only the version fence differs.
+        std::fs::write(dir.join("VERSION"), "clarinox-store/2\n").unwrap();
+
+        // A journal append on top of a legacy checkpoint would leave a
+        // mixed-version store that never upgrades, so the first save after
+        // a legacy load must be a full checkpoint rewriting VERSION.
+        let mut svc2 = small_service(Some(dir.clone()));
+        let (resp, _) = svc2.handle(&Request::Save, 20).unwrap();
+        assert_eq!(resp.get("journaled").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            std::fs::read_to_string(dir.join("VERSION")).unwrap().trim(),
+            crate::store::STORE_VERSION
+        );
+
+        // From the fresh checkpoint on, saves journal as usual.
+        let (next, _) = svc2.handle(&Request::Save, 20).unwrap();
+        assert_eq!(next.get("journaled").unwrap().as_bool(), Some(true));
     }
 
     #[test]

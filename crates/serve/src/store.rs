@@ -3,9 +3,10 @@
 //! A store is a directory:
 //!
 //! ```text
-//! <dir>/VERSION      "clarinox-store/2"
+//! <dir>/VERSION      "clarinox-store/3"
 //! <dir>/library.rec  one DriverCorner record per line (hex f64 bits)
 //! <dir>/results.rec  "<spec-hash:016x> <NetSummary record>" per line
+//! <dir>/journal.rec  CRC-checked deltas appended since the checkpoint
 //! ```
 //!
 //! Everything is keyed by content: driver corners by their exact
@@ -16,8 +17,31 @@
 //! no longer match simply never get looked up. Records hold `f64`s as hex
 //! bit patterns, so a round trip is bit-exact.
 //!
-//! Files are written to a temporary sibling and renamed into place, so a
-//! crash mid-save leaves the previous store intact.
+//! Files are written to a temporary sibling (fsynced before the rename,
+//! with the parent directory fsynced after it) and renamed into place, so
+//! a crash mid-save — even a power loss — leaves the previous store
+//! intact; [`Store::load`] sweeps any orphaned `.tmp` siblings such a
+//! crash leaves behind.
+//!
+//! # The journal
+//!
+//! Rewriting every record on every save makes durable (fsynced) saves
+//! O(store size). Instead, saves between *checkpoints* append only the
+//! changed records to `journal.rec` and fsync that one append
+//! ([`Store::append_journal`]). Each journal line carries a CRC-32 of its
+//! payload:
+//!
+//! ```text
+//! <crc32:08x> sum <spec-hash:016x> <NetSummary record>
+//! <crc32:08x> lib <DriverCorner record>
+//! ```
+//!
+//! [`Store::load`] replays the journal over the checkpoint files —
+//! later entries win — and truncates the journal at the first corrupt or
+//! incomplete line (a torn tail from a crash mid-append is expected
+//! damage, never an error; everything before it was acknowledged and
+//! survives). A full [`Store::save`] is a checkpoint: it rewrites the
+//! base files and resets the journal.
 //!
 //! A *corrupt record* (truncated line, flipped bits, bad hash) is not a
 //! fatal condition: [`Store::load`] quarantines the offending lines —
@@ -35,18 +59,24 @@
 use crate::{Result, ServeError};
 use clarinox_char::DriverLibrary;
 use clarinox_core::incremental::NetSummary;
+use clarinox_core::profile as prof;
+use clarinox_numeric::fault::{self, FaultSite};
+use std::collections::HashMap;
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// The store layout version this build reads and writes.
 ///
 /// `/2` appends the funnel tier token to each `results.rec` summary
-/// record (see [`NetSummary::to_record`]).
-pub const STORE_VERSION: &str = "clarinox-store/2";
+/// record (see [`NetSummary::to_record`]); `/3` adds the `journal.rec`
+/// delta journal, which a journal-unaware build would silently ignore —
+/// hence the version fence.
+pub const STORE_VERSION: &str = "clarinox-store/3";
 
 /// Older layout versions this build still loads (forward-migrating their
 /// records in memory; the next save writes [`STORE_VERSION`]).
-pub const LEGACY_STORE_VERSIONS: &[&str] = &["clarinox-store/1"];
+pub const LEGACY_STORE_VERSIONS: &[&str] = &["clarinox-store/1", "clarinox-store/2"];
 
 /// What a load found on disk.
 #[derive(Debug, Default)]
@@ -57,6 +87,15 @@ pub struct StoreContents {
     pub summaries: Vec<(u64, NetSummary)>,
     /// Corrupt `results.rec` lines moved to quarantine during this load.
     pub quarantined: usize,
+    /// Journal entries replayed over the checkpoint files.
+    pub journal_entries: usize,
+    /// Torn or corrupt journal tail lines truncated during this load.
+    pub journal_truncated: usize,
+    /// The checkpoint on disk is a legacy-version layout. Journal appends
+    /// are only valid on top of a current-version checkpoint, so the next
+    /// save must checkpoint in full (rewriting [`STORE_VERSION`]), not
+    /// journal a delta.
+    pub legacy: bool,
 }
 
 /// What a save wrote.
@@ -85,7 +124,9 @@ impl Store {
         &self.dir
     }
 
-    /// Persists the driver library and the design's cached summaries.
+    /// Persists the driver library and the design's cached summaries as a
+    /// full checkpoint: the base files are rewritten (each fsynced and
+    /// renamed into place) and the journal is reset.
     ///
     /// # Errors
     ///
@@ -110,10 +151,80 @@ impl Store {
         write_atomic(&self.dir.join("results.rec"), &res_text)?;
         // VERSION last: its presence marks the store complete.
         write_atomic(&self.dir.join("VERSION"), &format!("{STORE_VERSION}\n"))?;
+        // The base files now hold everything: retire the journal. A crash
+        // before this truncation merely replays entries the checkpoint
+        // already absorbed (later-wins merge makes that idempotent).
+        match fs::OpenOptions::new().write(true).open(self.journal_path()) {
+            Ok(f) => {
+                f.set_len(0)?;
+                f.sync_all()?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        prof::record_store_checkpoint();
         Ok(StoreStats {
             corners: records.len(),
             summaries: summaries.len(),
         })
+    }
+
+    /// The delta journal file inside the store directory.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.rec")
+    }
+
+    /// Durably appends a save delta — new driver-corner records and
+    /// changed summaries — to the journal, fsyncing before returning so a
+    /// caller's acknowledgement is a promise. Returns the number of
+    /// entries appended.
+    ///
+    /// The [`FaultSite::Store`] injection site tears this write: half the
+    /// bytes reach the file, then the append errors — exactly the damage
+    /// [`Store::load`] must truncate away.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures or an injected torn write.
+    pub fn append_journal(
+        &self,
+        library_records: &[String],
+        summaries: &[(u64, NetSummary)],
+    ) -> Result<usize> {
+        let entries = library_records.len() + summaries.len();
+        if entries == 0 {
+            return Ok(0);
+        }
+        let mut text = String::new();
+        for r in library_records {
+            let payload = format!("lib {r}");
+            text.push_str(&format!("{:08x} {payload}\n", crc32(payload.as_bytes())));
+        }
+        for (hash, s) in summaries {
+            let payload = format!("sum {hash:016x} {}", s.to_record());
+            text.push_str(&format!("{:08x} {payload}\n", crc32(payload.as_bytes())));
+        }
+        fs::create_dir_all(&self.dir)?;
+        let path = self.journal_path();
+        let fresh = !path.exists();
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        if fault::should_fail(FaultSite::Store) {
+            f.write_all(&text.as_bytes()[..text.len() / 2])?;
+            f.sync_data()?;
+            return Err(ServeError::store(fault::injected_message(FaultSite::Store)));
+        }
+        f.write_all(text.as_bytes())?;
+        f.sync_data()?;
+        if fresh {
+            // The first append created the file: make the directory entry
+            // itself durable.
+            sync_dir(&self.dir)?;
+        }
+        prof::record_journal_append();
+        Ok(entries)
     }
 
     /// Loads the store; `Ok(None)` when no (complete) store exists at the
@@ -121,6 +232,11 @@ impl Store {
     /// `results.rec.corrupt`, counted in [`StoreContents::quarantined`])
     /// rather than failing the load; library records are validated by the
     /// caller at import time (see [`Store::quarantine`]).
+    ///
+    /// Recovery work rides along: orphaned `.tmp` siblings from an
+    /// interrupted save are swept, the journal is replayed over the
+    /// checkpoint files (later entries win), and a torn journal tail is
+    /// truncated in place.
     ///
     /// # Errors
     ///
@@ -140,7 +256,11 @@ impl Store {
                 found
             )));
         }
-        let mut contents = StoreContents::default();
+        self.sweep_orphan_tmp()?;
+        let mut contents = StoreContents {
+            legacy: found != STORE_VERSION,
+            ..StoreContents::default()
+        };
         for line in read_lines(&self.dir.join("library.rec"))? {
             contents.library_records.push(line);
         }
@@ -158,7 +278,92 @@ impl Store {
         if !bad.is_empty() {
             contents.quarantined = self.quarantine("results.rec", &bad, &clean)?;
         }
+        self.replay_journal(&mut contents)?;
         Ok(Some(contents))
+    }
+
+    /// Removes `.tmp` siblings a crash between tmp-write and rename left
+    /// behind. They were never part of the committed store.
+    fn sweep_orphan_tmp(&self) -> Result<()> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays `journal.rec` over `contents` (later entries win) and
+    /// truncates the file at the first corrupt or incomplete line. An
+    /// acknowledged append always ends in a CRC-valid line plus newline,
+    /// so everything torn away was never promised to a client.
+    fn replay_journal(&self, contents: &mut StoreContents) -> Result<()> {
+        let path = self.journal_path();
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut by_hash: HashMap<u64, usize> = contents
+            .summaries
+            .iter()
+            .enumerate()
+            .map(|(i, (h, _))| (*h, i))
+            .collect();
+        let mut valid_end = 0usize;
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let rest = &bytes[offset..];
+            let nl = match rest.iter().position(|b| *b == b'\n') {
+                Some(n) => n,
+                // No trailing newline: an acknowledged entry always has
+                // one, so this tail is torn.
+                None => break,
+            };
+            let line = match std::str::from_utf8(&rest[..nl]) {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            let entry = match parse_journal_line(line) {
+                Some(e) => e,
+                None => break,
+            };
+            match entry {
+                JournalEntry::Library(record) => {
+                    if !contents.library_records.contains(&record) {
+                        contents.library_records.push(record);
+                    }
+                }
+                JournalEntry::Summary(hash, summary) => match by_hash.get(&hash) {
+                    Some(&i) => contents.summaries[i] = (hash, summary),
+                    None => {
+                        by_hash.insert(hash, contents.summaries.len());
+                        contents.summaries.push((hash, summary));
+                    }
+                },
+            }
+            contents.journal_entries += 1;
+            offset += nl + 1;
+            valid_end = offset;
+        }
+        if valid_end < bytes.len() {
+            contents.journal_truncated = bytes[valid_end..]
+                .split(|b| *b == b'\n')
+                .filter(|l| !l.is_empty())
+                .count();
+            let f = fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(valid_end as u64)?;
+            f.sync_all()?;
+        }
+        prof::record_journal_replayed(contents.journal_entries as u64);
+        prof::record_journal_truncated(contents.journal_truncated as u64);
+        Ok(())
     }
 
     /// Quarantines corrupt lines of `file` (a name inside the store
@@ -206,11 +411,75 @@ fn parse_result_line(line: &str) -> Result<(u64, NetSummary)> {
     Ok((hash, summary))
 }
 
+/// One decoded journal line.
+enum JournalEntry {
+    Library(String),
+    Summary(u64, NetSummary),
+}
+
+/// Decodes one journal line, `None` on any damage (bad CRC, bad payload).
+fn parse_journal_line(line: &str) -> Option<JournalEntry> {
+    let (crc_text, payload) = line.split_once(' ')?;
+    let crc = u32::from_str_radix(crc_text, 16).ok()?;
+    if crc != crc32(payload.as_bytes()) {
+        return None;
+    }
+    if let Some(record) = payload.strip_prefix("lib ") {
+        return Some(JournalEntry::Library(record.to_string()));
+    }
+    let rest = payload.strip_prefix("sum ")?;
+    let (hash, summary) = parse_result_line(rest).ok()?;
+    Some(JournalEntry::Summary(hash, summary))
+}
+
+/// CRC-32 (IEEE, reflected) — bitwise, no table: journal lines are short
+/// and appends are save-frequency, not request-frequency.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Writes `text` durably: into a `.tmp` sibling first, fsynced, then
+/// renamed over `path`, then the parent directory fsynced so the rename
+/// itself survives power loss. The [`FaultSite::Store`] injection site
+/// fails between tmp-write and rename, stranding the orphan `.tmp` that
+/// [`Store::load`] must sweep.
 fn write_atomic(path: &Path, text: &str) -> Result<()> {
-    let tmp = path.with_extension("tmp");
-    fs::write(&tmp, text)?;
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    if fault::should_fail(FaultSite::Store) {
+        return Err(ServeError::store(fault::injected_message(FaultSite::Store)));
+    }
     fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        sync_dir(parent)?;
+    }
     Ok(())
+}
+
+/// Fsyncs a directory so renames and creations inside it are durable.
+fn sync_dir(dir: &Path) -> Result<()> {
+    match fs::File::open(dir) {
+        Ok(d) => {
+            d.sync_all()?;
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
 }
 
 fn read_lines(path: &Path) -> Result<Vec<String>> {
@@ -302,6 +571,7 @@ mod tests {
         assert!(stats.corners >= 1);
 
         let loaded = store.load().unwrap().expect("store exists");
+        assert!(!loaded.legacy);
         assert_eq!(loaded.library_records.len(), stats.corners);
         assert_eq!(loaded.summaries.len(), 1);
         assert_eq!(loaded.summaries[0].0, 0xdead_beef);
@@ -343,6 +613,7 @@ mod tests {
         .unwrap();
 
         let loaded = Store::open(&dir).load().unwrap().expect("store exists");
+        assert!(loaded.legacy, "a /1 store must load flagged legacy");
         assert_eq!(loaded.summaries.len(), 1);
         assert_eq!(loaded.quarantined, 0);
         let s = &loaded.summaries[0].1;
@@ -359,5 +630,152 @@ mod tests {
             Store::open(&dir).load(),
             Err(ServeError::Store(_))
         ));
+    }
+
+    /// An empty checkpoint so journal-only tests have a VERSION fence.
+    fn empty_checkpoint(dir: &Path) -> Store {
+        let store = Store::open(dir);
+        let lib = DriverLibrary::new(Tech::default_180nm());
+        store.save(&lib, &[]).unwrap();
+        store
+    }
+
+    #[test]
+    fn journal_replays_over_checkpoint_with_later_entries_winning() {
+        let dir = scratch_dir("store-journal-replay");
+        let store = empty_checkpoint(&dir);
+        let old = sample_summary(7);
+        let mut new = sample_summary(7);
+        new.rounds = 9;
+        store.append_journal(&[], &[(0xaa, old)]).unwrap();
+        store
+            .append_journal(&[], &[(0xaa, new), (0xbb, sample_summary(8))])
+            .unwrap();
+        let loaded = store.load().unwrap().expect("store exists");
+        assert_eq!(loaded.journal_entries, 3);
+        assert_eq!(loaded.journal_truncated, 0);
+        assert_eq!(loaded.summaries.len(), 2);
+        let by_hash: HashMap<u64, &NetSummary> =
+            loaded.summaries.iter().map(|(h, s)| (*h, s)).collect();
+        assert!(by_hash[&0xaa].bits_eq(&new));
+        assert!(!by_hash[&0xaa].bits_eq(&old));
+        assert!(by_hash[&0xbb].bits_eq(&sample_summary(8)));
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_not_fatal() {
+        let dir = scratch_dir("store-journal-torn");
+        let store = empty_checkpoint(&dir);
+        store
+            .append_journal(&[], &[(0x11, sample_summary(1))])
+            .unwrap();
+        let clean_len = fs::metadata(store.journal_path()).unwrap().len();
+        // A crash mid-append: half a line, no newline.
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .open(store.journal_path())
+            .unwrap();
+        f.write_all(b"deadbeef sum 00000000000000").unwrap();
+        drop(f);
+        let loaded = store.load().unwrap().expect("store exists");
+        assert_eq!(loaded.journal_entries, 1);
+        assert_eq!(loaded.journal_truncated, 1);
+        assert_eq!(loaded.summaries.len(), 1);
+        assert_eq!(
+            fs::metadata(store.journal_path()).unwrap().len(),
+            clean_len,
+            "truncation must restore the acknowledged prefix exactly"
+        );
+        // A second load sees a clean journal.
+        let again = store.load().unwrap().expect("store exists");
+        assert_eq!(again.journal_truncated, 0);
+        assert_eq!(again.journal_entries, 1);
+    }
+
+    #[test]
+    fn corrupt_journal_line_stops_replay_at_the_damage() {
+        let dir = scratch_dir("store-journal-crc");
+        let store = empty_checkpoint(&dir);
+        store
+            .append_journal(&[], &[(0x11, sample_summary(1))])
+            .unwrap();
+        store
+            .append_journal(&[], &[(0x22, sample_summary(2))])
+            .unwrap();
+        // Flip a byte in the second line's payload.
+        let mut bytes = fs::read(store.journal_path()).unwrap();
+        let second = bytes.iter().position(|b| *b == b'\n').unwrap() + 12;
+        bytes[second] ^= 0x40;
+        fs::write(store.journal_path(), &bytes).unwrap();
+        let loaded = store.load().unwrap().expect("store exists");
+        assert_eq!(loaded.journal_entries, 1);
+        assert_eq!(loaded.journal_truncated, 1);
+        assert_eq!(loaded.summaries.len(), 1);
+        assert_eq!(loaded.summaries[0].0, 0x11);
+    }
+
+    #[test]
+    fn checkpoint_resets_the_journal() {
+        let dir = scratch_dir("store-journal-checkpoint");
+        let store = empty_checkpoint(&dir);
+        store
+            .append_journal(&[], &[(0x11, sample_summary(1))])
+            .unwrap();
+        assert!(fs::metadata(store.journal_path()).unwrap().len() > 0);
+        let lib = DriverLibrary::new(Tech::default_180nm());
+        store.save(&lib, &[(0x11, sample_summary(1))]).unwrap();
+        assert_eq!(fs::metadata(store.journal_path()).unwrap().len(), 0);
+        let loaded = store.load().unwrap().expect("store exists");
+        assert_eq!(loaded.journal_entries, 0);
+        assert_eq!(loaded.summaries.len(), 1);
+    }
+
+    #[test]
+    fn load_sweeps_orphan_tmp_files() {
+        let dir = scratch_dir("store-orphan-tmp");
+        let store = empty_checkpoint(&dir);
+        fs::write(dir.join("results.rec.tmp"), "garbage").unwrap();
+        fs::write(dir.join("library.rec.tmp"), "garbage").unwrap();
+        fs::write(dir.join("VERSION.tmp"), "garbage").unwrap();
+        let loaded = store.load().unwrap().expect("store exists");
+        assert_eq!(loaded.quarantined, 0);
+        assert!(!dir.join("results.rec.tmp").exists());
+        assert!(!dir.join("library.rec.tmp").exists());
+        assert!(!dir.join("VERSION.tmp").exists());
+    }
+
+    #[test]
+    fn injected_store_fault_strands_a_tmp_and_spares_the_base() {
+        let _g = crate::testutil::fault_gate();
+        let dir = scratch_dir("store-fault-tmp");
+        let store = empty_checkpoint(&dir);
+        let lib = DriverLibrary::new(Tech::default_180nm());
+        fault::arm("store:once".parse().unwrap());
+        let err = store.save(&lib, &[(0x11, sample_summary(1))]);
+        fault::disarm();
+        assert!(err.is_err());
+        assert!(dir.join("library.rec.tmp").exists());
+        // The committed store is untouched and recovery sweeps the tmp.
+        let loaded = store.load().unwrap().expect("store exists");
+        assert_eq!(loaded.summaries.len(), 0);
+        assert!(!dir.join("library.rec.tmp").exists());
+    }
+
+    #[test]
+    fn injected_store_fault_tears_a_journal_append() {
+        let _g = crate::testutil::fault_gate();
+        let dir = scratch_dir("store-fault-journal");
+        let store = empty_checkpoint(&dir);
+        store
+            .append_journal(&[], &[(0x11, sample_summary(1))])
+            .unwrap();
+        fault::arm("store:once".parse().unwrap());
+        let err = store.append_journal(&[], &[(0x22, sample_summary(2))]);
+        fault::disarm();
+        assert!(err.is_err());
+        let loaded = store.load().unwrap().expect("store exists");
+        assert_eq!(loaded.journal_entries, 1, "acked entry survives");
+        assert_eq!(loaded.journal_truncated, 1, "torn entry truncated");
+        assert_eq!(loaded.summaries[0].0, 0x11);
     }
 }

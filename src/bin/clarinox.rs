@@ -38,6 +38,7 @@
 //!                [--noise-budget MV]
 //!                [--inject SPEC] [--read-timeout S] [--write-timeout S]
 //!                [--tcp ADDR] [--queue-depth N] [--coalesce-ms MS]
+//!                [--workers 0|1] [--respawn-max N]
 //!     hold a generated design resident and answer line-delimited JSON
 //!     requests (status/analyze/eco/metrics/save/shutdown) on a Unix
 //!     socket, re-analyzing incrementally after each ECO edit. `--tcp`
@@ -48,19 +49,31 @@
 //!     merges concurrent analyze/eco requests into one batched engine
 //!     pass, bit-identical to serial dispatch (default 0 = off).
 //!     Without any of these three flags the serial Unix-socket loop
-//!     runs exactly as before.
+//!     runs exactly as before. `--workers 1` moves the analysis engine
+//!     into a supervised child process (re-exec of this binary): worker
+//!     death from any cause leaves the server answering, the in-flight
+//!     request is replayed into the respawned worker, and a request that
+//!     kills the worker twice is quarantined and answered with
+//!     conservative bounds. `--respawn-max` caps spawn attempts per
+//!     request (default 5). `--workers 0` (the default) keeps the
+//!     in-process engine exactly as before.
 //!
 //! clarinox eco [--socket P | --tcp ADDR] --net I --field F
-//!              (--value X | --scale X) [--profile]
-//! clarinox eco [--socket P | --tcp ADDR]
+//!              (--value X | --scale X) [--profile] [--retries N]
+//! clarinox eco [--socket P | --tcp ADDR] [--retries N]
 //!              (--status | --analyze | --save | --shutdown)
 //!     one-shot client for a running `clarinox serve`; prints the JSON
-//!     response and fails when the server reports an error
+//!     response and fails when the server reports an error. `--retries`
+//!     (default 2) retries connect refusals and explicit backpressure
+//!     responses — the two failures that are safe to retry — under
+//!     jittered exponential backoff within the request deadline, so a
+//!     worker-respawn window does not fail the client
 //!
-//! clarinox metrics [--socket P | --tcp ADDR]
+//! clarinox metrics [--socket P | --tcp ADDR] [--retries N]
 //!     fetch the serving metrics document (request latency percentiles,
-//!     admission-queue counters, coalesced-batch sizes, and the engine
-//!     profile counters) from a running `clarinox serve`
+//!     admission-queue counters, coalesced-batch sizes, supervision
+//!     counters, and the engine profile counters) from a running
+//!     `clarinox serve`
 //! ```
 //!
 //! `--backend` selects the linear transient engine: `full` (the full-MNA
@@ -130,7 +143,8 @@ use clarinox::netgen::generate::{generate_block, BlockConfig};
 use clarinox::numeric::fault::{self, FaultPlan};
 use clarinox::numeric::stats;
 use clarinox::serve::protocol::{EcoChange, EcoField, Request};
-use clarinox::serve::service::{DesignService, ServiceConfig};
+use clarinox::serve::service::{DesignService, RequestHandler, ServiceConfig};
+use clarinox::serve::supervise::{worker_loop, SupervisedService, DEFAULT_RESPAWN_MAX};
 use clarinox::serve::{client, profile_json, serve_mux, server, MuxOptions};
 
 fn arg_flag(name: &str) -> bool {
@@ -647,32 +661,46 @@ fn default_socket() -> String {
         .to_string()
 }
 
-fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
-    validate_args(
-        &[],
-        &[
-            "--socket",
-            "--nets",
-            "--seed",
-            "--jobs",
-            "--store",
-            "--max-rounds",
-            "--backend",
-            "--solver",
-            "--batch",
-            "--funnel",
-            "--delay-budget",
-            "--noise-budget",
-            "--inject",
-            "--read-timeout",
-            "--write-timeout",
-            "--tcp",
-            "--queue-depth",
-            "--coalesce-ms",
-        ],
-    );
-    arg_inject();
-    let socket = std::path::PathBuf::from(arg_value("--socket", default_socket()));
+/// The serve flags that describe the design and engine — exactly what a
+/// `--worker` child needs to reconstruct the same [`DesignService`] the
+/// in-process path would have built. Supervisor-only flags (sockets,
+/// queue, timeouts, worker policy) are deliberately absent.
+const WORKER_FLAGS: &[&str] = &[
+    "--nets",
+    "--seed",
+    "--jobs",
+    "--store",
+    "--max-rounds",
+    "--backend",
+    "--solver",
+    "--batch",
+    "--funnel",
+    "--delay-budget",
+    "--noise-budget",
+    "--inject",
+];
+
+/// The subset of this process's serve argv a worker child should inherit.
+fn worker_forward_args() -> Vec<String> {
+    let args: Vec<String> = std::env::args().skip(2).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if WORKER_FLAGS.contains(&args[i].as_str()) {
+            if let Some(v) = args.get(i + 1) {
+                out.push(args[i].clone());
+                out.push(v.clone());
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Builds the in-worker [`DesignService`] from the serve-shaped argv.
+fn worker_service() -> Result<(DesignService, usize), Box<dyn std::error::Error>> {
     let store: String = arg_value("--store", String::new());
     let svc_cfg = ServiceConfig {
         nets: arg_value("--nets", 8usize),
@@ -686,15 +714,28 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
         .with_solver(arg_solver())
         .with_batch(arg_batch())
         .with_funnel(arg_funnel());
-    let mut service = DesignService::new(Tech::default_180nm(), cfg, &svc_cfg)?;
-    let restored = service.restored();
-    if restored.summaries + restored.corners > 0 {
-        println!(
-            "restored from store: {} net summaries, {} driver corners",
-            restored.summaries, restored.corners
-        );
-    }
-    let max_rounds = svc_cfg.max_rounds;
+    let service = DesignService::new(Tech::default_180nm(), cfg, &svc_cfg)?;
+    Ok((service, svc_cfg.max_rounds))
+}
+
+/// The hidden `--worker` mode: serve the supervisor's line protocol over
+/// the socketpair inherited as stdin/stdout. Never invoked by hand.
+fn cmd_worker() -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(&[], WORKER_FLAGS);
+    arg_inject();
+    let (mut service, max_rounds) = worker_service()?;
+    worker_loop(&mut service, max_rounds)?;
+    Ok(())
+}
+
+/// Runs the chosen serve front end (serial Unix loop, or the multiplexer
+/// when any of its flags is present) over any request handler.
+fn run_front_end<S: RequestHandler>(
+    socket: &std::path::Path,
+    service: &mut S,
+    max_rounds: usize,
+    banner: String,
+) -> Result<(), Box<dyn std::error::Error>> {
     // Per-connection I/O timeouts in seconds; 0 disables the timeout.
     let timeout = |name| {
         let secs: f64 = arg_value(name, 30.0f64);
@@ -708,12 +749,6 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
         read_timeout: timeout("--read-timeout"),
         write_timeout: timeout("--write-timeout"),
     };
-    let banner = format!(
-        "serving {} nets (seed {}) on {}",
-        svc_cfg.nets,
-        svc_cfg.seed,
-        socket.display()
-    );
     // Any of the multiplexer flags switches to the event-driven loop;
     // without them the serial Unix-socket path runs exactly as before.
     let use_mux = arg_flag("--tcp") || arg_flag("--queue-depth") || arg_flag("--coalesce-ms");
@@ -739,9 +774,9 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
         };
         let tcp_addr = (!tcp.is_empty()).then_some(tcp.as_str());
         serve_mux(
-            &socket,
+            socket,
             tcp_addr,
-            &mut service,
+            service,
             max_rounds,
             &mux_options,
             move |addr| match addr {
@@ -750,7 +785,7 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
             },
         )?;
     } else {
-        server::serve_with(&socket, &mut service, max_rounds, &options, move || {
+        server::serve_with(socket, service, max_rounds, &options, move || {
             println!("{banner}");
         })?;
     }
@@ -758,16 +793,90 @@ fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_serve() -> Result<(), Box<dyn std::error::Error>> {
+    validate_args(
+        &[],
+        &[
+            "--socket",
+            "--nets",
+            "--seed",
+            "--jobs",
+            "--store",
+            "--max-rounds",
+            "--backend",
+            "--solver",
+            "--batch",
+            "--funnel",
+            "--delay-budget",
+            "--noise-budget",
+            "--inject",
+            "--read-timeout",
+            "--write-timeout",
+            "--tcp",
+            "--queue-depth",
+            "--coalesce-ms",
+            "--workers",
+            "--respawn-max",
+        ],
+    );
+    arg_inject();
+    let socket = std::path::PathBuf::from(arg_value("--socket", default_socket()));
+    let workers: usize = arg_value("--workers", 0usize);
+    if workers > 1 {
+        eprintln!("error: --workers must be 0 (in-process) or 1 (supervised); sharding across {workers} workers is not yet implemented");
+        std::process::exit(2);
+    }
+    let respawn_max: u32 = arg_value("--respawn-max", DEFAULT_RESPAWN_MAX);
+    if respawn_max == 0 {
+        eprintln!("error: --respawn-max must be at least 1");
+        std::process::exit(2);
+    }
+    let nets = arg_value("--nets", 8usize);
+    let seed = arg_value("--seed", 1u64);
+    let max_rounds = arg_value("--max-rounds", 20usize);
+    let banner = format!(
+        "serving {} nets (seed {}) on {}",
+        nets,
+        seed,
+        socket.display()
+    );
+    let print_restored = |restored: clarinox::serve::service::RestoreStats| {
+        if restored.summaries + restored.corners > 0 {
+            println!(
+                "restored from store: {} net summaries, {} driver corners",
+                restored.summaries, restored.corners
+            );
+        }
+    };
+    if workers == 1 {
+        let mut service = SupervisedService::new(
+            Tech::default_180nm(),
+            nets,
+            seed,
+            worker_forward_args(),
+            respawn_max,
+        )?;
+        print_restored(service.restored());
+        println!("supervising 1 worker (pid {})", service.worker_pid());
+        run_front_end(&socket, &mut service, max_rounds, banner)
+    } else {
+        let (mut service, _) = worker_service()?;
+        print_restored(service.restored());
+        run_front_end(&socket, &mut service, max_rounds, banner)
+    }
+}
+
 /// Sends one request to a running server — over TCP when `--tcp ADDR` is
 /// given, over the Unix socket otherwise — and prints the JSON response.
 /// Exits 1 when the server reports an error.
 fn send_request(request: &Request) -> Result<(), Box<dyn std::error::Error>> {
     let tcp: String = arg_value("--tcp", String::new());
+    let retries: u32 = arg_value("--retries", 2u32);
     let response = if tcp.is_empty() {
         let socket = std::path::PathBuf::from(arg_value("--socket", default_socket()));
-        client::request(&socket, request)?
+        client::request_retry(&socket, request, retries)?
     } else {
-        client::request_tcp(&tcp, request)?
+        client::request_tcp_retry(&tcp, request, retries)?
     };
     println!("{}", response.emit());
     if response.get("ok").and_then(|v| v.as_bool()) != Some(true) {
@@ -780,7 +889,13 @@ fn cmd_eco() -> Result<(), Box<dyn std::error::Error>> {
     validate_args(
         &["--status", "--analyze", "--save", "--shutdown", "--profile"],
         &[
-            "--socket", "--tcp", "--net", "--field", "--value", "--scale",
+            "--socket",
+            "--tcp",
+            "--net",
+            "--field",
+            "--value",
+            "--scale",
+            "--retries",
         ],
     );
     let profile = arg_flag("--profile");
@@ -823,7 +938,7 @@ fn cmd_eco() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_metrics() -> Result<(), Box<dyn std::error::Error>> {
-    validate_args(&[], &["--socket", "--tcp"]);
+    validate_args(&[], &["--socket", "--tcp", "--retries"]);
     send_request(&Request::Metrics)
 }
 
@@ -836,6 +951,7 @@ fn main() {
         "characterize" => cmd_characterize(),
         "spef" => cmd_spef(),
         "serve" => cmd_serve(),
+        "--worker" => cmd_worker(),
         "eco" => cmd_eco(),
         "metrics" => cmd_metrics(),
         _ => {

@@ -1,0 +1,326 @@
+//! Supervision and crash-consistency invariants, exercised against the
+//! real binary (`--workers 1` re-execs it as the worker):
+//!
+//! * `kill -9` of the worker mid-session leaves the server answering,
+//!   and the respawned worker — pristine design plus replayed edit log —
+//!   settles to analysis responses byte-identical to an in-process
+//!   server that lived through the same edit history.
+//! * SIGKILL of the whole server after an acknowledged journaled save
+//!   loses nothing: a restart replays the journal (plus truncates any
+//!   torn tail) and re-analyzes zero nets.
+//! * A poison request (injected `worker` fault) is answered with the
+//!   conservative closed-form bounds after exactly two worker deaths,
+//!   quarantined thereafter, and never takes the server down.
+//!
+//! All servers run `--funnel screen` with budgets high enough that every
+//! net certifies closed-form — these tests check failure semantics, not
+//! simulation speed in a debug binary.
+
+use clarinox::serve::client;
+use clarinox::serve::json::Value;
+use clarinox::serve::protocol::{EcoChange, EcoField, Request};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "clarinox-supervise-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns `clarinox serve` with the fast screen-certify flags plus
+/// `extra`, and blocks until the socket answers a status request.
+// The returned child is always reaped by `shutdown` (or killed+waited on
+// the timeout path); the lint cannot see through the ownership transfer.
+#[allow(clippy::zombie_processes)]
+fn spawn_serve(socket: &Path, nets: usize, extra: &[&str]) -> Child {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_clarinox"));
+    cmd.args([
+        "serve",
+        "--socket",
+        socket.to_str().unwrap(),
+        "--nets",
+        &nets.to_string(),
+        "--jobs",
+        "2",
+        "--funnel",
+        "screen",
+        "--delay-budget",
+        "1e6",
+        "--noise-budget",
+        "1e6",
+    ])
+    .args(extra)
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    let mut child = cmd.spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if socket.exists() {
+            if let Ok(v) = client::request(socket, &Request::Status) {
+                if v.get("ok").and_then(Value::as_bool) == Some(true) {
+                    return child;
+                }
+            }
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("server on {} never came up", socket.display());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn shutdown(socket: &Path, mut child: Child) {
+    let _ = client::request(socket, &Request::Shutdown);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match child.try_wait().unwrap() {
+            Some(_) => return,
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                panic!("server did not exit after shutdown");
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn ok_request(socket: &Path, req: &Request) -> Value {
+    let v = client::request(socket, req).unwrap();
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request failed: {}",
+        v.emit()
+    );
+    v
+}
+
+fn eco(net: usize, scale: f64) -> Request {
+    Request::Eco {
+        net,
+        field: EcoField::WireLen,
+        change: EcoChange::Scale(scale),
+        profile: false,
+    }
+}
+
+fn status_counter(socket: &Path, key: &str) -> usize {
+    ok_request(socket, &Request::Status)
+        .get(key)
+        .unwrap_or_else(|| panic!("status has no {key:?}"))
+        .as_usize()
+        .unwrap()
+}
+
+#[test]
+fn sigkill_of_the_worker_leaves_the_server_answering_bit_identically() {
+    let dir = scratch_dir("worker-kill");
+    let sup_sock = dir.join("supervised.sock");
+    let ref_sock = dir.join("reference.sock");
+    let sup = spawn_serve(&sup_sock, 5, &["--workers", "1"]);
+    let reference = spawn_serve(&ref_sock, 5, &[]);
+
+    // Identical edit histories; the supervised side loses its worker to
+    // SIGKILL between the two edits.
+    for sock in [&sup_sock, &ref_sock] {
+        ok_request(sock, &Request::Analyze { profile: false });
+        ok_request(sock, &eco(1, 1.25));
+    }
+    let worker_pid = status_counter(&sup_sock, "worker_pid");
+    assert!(worker_pid > 0);
+    let killed = Command::new("kill")
+        .args(["-9", &worker_pid.to_string()])
+        .status()
+        .unwrap();
+    assert!(killed.success());
+    for sock in [&sup_sock, &ref_sock] {
+        ok_request(sock, &eco(3, 0.8));
+        // One analyze to settle the (respawned, cold) design ...
+        ok_request(sock, &Request::Analyze { profile: false });
+    }
+    // ... so the final analyze is a pure cache read on both sides and
+    // must agree byte-for-byte: the respawned worker's pristine design
+    // plus replayed edit log IS the reference server's design.
+    let settled_sup = ok_request(&sup_sock, &Request::Analyze { profile: false });
+    let settled_ref = ok_request(&ref_sock, &Request::Analyze { profile: false });
+    assert_eq!(settled_sup.emit(), settled_ref.emit());
+    assert_eq!(
+        settled_sup
+            .get("stats")
+            .unwrap()
+            .get("analyzed")
+            .unwrap()
+            .as_usize(),
+        Some(0),
+        "settled analyze re-analyzed something: {}",
+        settled_sup.emit()
+    );
+
+    assert!(status_counter(&sup_sock, "worker_deaths") >= 1);
+    assert!(status_counter(&sup_sock, "worker_respawns") >= 1);
+    assert_ne!(
+        status_counter(&sup_sock, "worker_pid"),
+        worker_pid,
+        "status still reports the killed worker's pid"
+    );
+    shutdown(&sup_sock, sup);
+    shutdown(&ref_sock, reference);
+}
+
+#[test]
+fn sigkill_of_the_server_after_a_journaled_save_loses_nothing() {
+    let dir = scratch_dir("server-kill");
+    let sock = dir.join("clarinox.sock");
+    let store = dir.join("store");
+    let store_flag = store.display().to_string();
+    let mut server = spawn_serve(&sock, 4, &["--store", &store_flag]);
+
+    ok_request(&sock, &Request::Analyze { profile: false });
+    let first = ok_request(&sock, &Request::Save);
+    assert_eq!(
+        first.get("journaled").and_then(Value::as_bool),
+        Some(false),
+        "first save must checkpoint: {}",
+        first.emit()
+    );
+    ok_request(&sock, &eco(2, 1.4));
+    let second = ok_request(&sock, &Request::Save);
+    assert_eq!(
+        second.get("journaled").and_then(Value::as_bool),
+        Some(true),
+        "second save must journal the delta: {}",
+        second.emit()
+    );
+
+    // SIGKILL at an arbitrary instant after the acknowledged save, then
+    // hand-tear the journal tail the way a crash mid-append would: half
+    // a line, no newline, after the acknowledged entries.
+    server.kill().unwrap();
+    server.wait().unwrap();
+    let journal = store.join("journal.rec");
+    let acked = std::fs::read_to_string(&journal).unwrap();
+    let acked_lines = acked.lines().count();
+    assert!(acked_lines >= 1, "journaled save left no journal entries");
+    std::fs::write(&journal, format!("{acked}deadbeef sum 0123")).unwrap();
+
+    // The restart must replay every acknowledged entry, truncate the
+    // torn tail, and re-analyze nothing.
+    let server = spawn_serve(&sock, 4, &["--store", &store_flag]);
+    assert_eq!(status_counter(&sock, "journal_entries"), acked_lines);
+    assert_eq!(status_counter(&sock, "journal_truncated"), 1);
+    let settled = ok_request(&sock, &Request::Analyze { profile: false });
+    assert_eq!(
+        settled
+            .get("stats")
+            .unwrap()
+            .get("analyzed")
+            .unwrap()
+            .as_usize(),
+        Some(0),
+        "restart after SIGKILL lost an acknowledged result: {}",
+        settled.emit()
+    );
+    assert_eq!(
+        std::fs::read_to_string(&journal).unwrap(),
+        acked,
+        "torn tail survived the recovery truncation"
+    );
+    shutdown(&sock, server);
+}
+
+#[test]
+fn poison_request_is_quarantined_with_conservative_bounds() {
+    let dir = scratch_dir("poison");
+    let sock = dir.join("clarinox.sock");
+    // Any eco touching net 1 aborts the worker, every time — the shape
+    // of a reproducible crasher.
+    let server = spawn_serve(&sock, 3, &["--workers", "1", "--inject", "worker@1:always"]);
+
+    let v = ok_request(&sock, &eco(1, 1.3));
+    assert_eq!(v.get("quarantined").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("eco_net").and_then(Value::as_usize), Some(1));
+    let stats = v.get("stats").unwrap();
+    assert_eq!(stats.get("failed").and_then(Value::as_usize), Some(3));
+    assert_eq!(stats.get("analyzed").and_then(Value::as_usize), Some(0));
+    let nets = match v.get("nets").unwrap() {
+        Value::Arr(nets) => nets,
+        other => panic!("nets not an array: {other:?}"),
+    };
+    assert_eq!(nets.len(), 3);
+    for n in nets {
+        let bound = n.get("delay_noise_rcv_out").unwrap().as_f64().unwrap();
+        assert!(bound.is_finite() && bound > 0.0, "bound: {bound}");
+    }
+    // Exactly two deaths bought the verdict; the quarantined retry must
+    // answer instantly without killing anything else.
+    assert_eq!(status_counter(&sock, "worker_deaths"), 2);
+    assert_eq!(status_counter(&sock, "poison_quarantined"), 1);
+    let again = ok_request(&sock, &eco(1, 1.3));
+    assert_eq!(
+        again.get("quarantined").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(status_counter(&sock, "worker_deaths"), 2);
+
+    // Healthy traffic is untouched, and the quarantined edit was never
+    // applied: net 1 analyzes from its pristine state.
+    let healthy = ok_request(&sock, &eco(0, 1.1));
+    assert!(healthy.get("quarantined").is_none());
+    ok_request(&sock, &Request::Analyze { profile: false });
+    shutdown(&sock, server);
+}
+
+#[test]
+fn supervised_metrics_carries_the_supervise_section() {
+    let dir = scratch_dir("metrics");
+    let sock = dir.join("clarinox.sock");
+    let server = spawn_serve(&sock, 3, &["--workers", "1"]);
+    let doc = ok_request(&sock, &Request::Metrics);
+    for section in ["latency", "queue", "coalesce", "profile", "supervise"] {
+        assert!(doc.get(section).is_some(), "metrics missing {section:?}");
+    }
+    let sup = doc.get("supervise").unwrap();
+    for key in [
+        "worker_deaths",
+        "worker_respawns",
+        "requests_replayed",
+        "poison_quarantined",
+    ] {
+        assert!(sup.get(key).is_some(), "supervise missing {key:?}");
+    }
+    shutdown(&sock, server);
+}
+
+#[test]
+fn bad_supervision_flags_are_usage_errors() {
+    for args in [
+        &["serve", "--workers", "3"][..],
+        &["serve", "--workers", "frog"][..],
+        &["serve", "--respawn-max", "0"][..],
+        &["eco", "--status", "--retries", "frog"][..],
+        &["metrics", "--retries", "-1"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_clarinox"))
+            .args(args)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
