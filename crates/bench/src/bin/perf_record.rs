@@ -46,6 +46,26 @@
 //!   order, so in practice those are bitwise too, and the record says
 //!   whether they were) — and at full scale (≥1000 ladder sections) the
 //!   panel must be ≥2× faster than the serial sweep at one job,
+//! * a **config_batch** section: RC ladders of growing dimension under
+//!   three holding configurations (same topology, distinct per-section
+//!   resistance — three engines over one symbolic pattern, the shape of
+//!   an R_t refinement ladder), two waveform variants each. One
+//!   single-RHS run per job vs. all six submitted as one cross-engine
+//!   panel group ([`TransientEngine::run_configs_batch`]), with the
+//!   supernodal kernel on and off on the sparse rungs. Identity is
+//!   enforced as in the batched section, and at ≥4096 unknowns the
+//!   grouped pass must be ≥1.3× faster than the serial schedule
+//!   (single-threaded, so the gate arms on any host; each row records
+//!   its arming state),
+//! * a **supernodal** section (`--sn-segments`): one factored dense-fill
+//!   companion matrix (an RC ladder whose trailing nodes are mutually
+//!   coupled — a bus bundle converging at the far end, so elimination
+//!   leaves a dense trailing block), an interleaved
+//!   RHS panel swept through the blocked supernodal kernel
+//!   vs. the run-length fallback. Bitwise identity is enforced always;
+//!   the ≥1.2× per-step-column floor binds when ≥30% of the factor's
+//!   off-diagonal entries sit inside multi-column supernodes (recorded
+//!   as `gate_armed`),
 //! * a **funnel** section (`--funnel-nets`, default 48): the same block
 //!   analyzed all-full (`--funnel full`, the pre-funnel flow) vs. through
 //!   the Screen → ROM → Full escalation ladder (`--funnel auto`), cold
@@ -74,7 +94,12 @@
 //!   16-client coalesced throughput must be ≥1.5× serial dispatch.
 //!
 //! Usage:
-//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R --eco-nets M --ladder-nets L --ladder-segments S --batch-sections A,B,C --batch-width W --mc-segments G --funnel-nets F --serve-nets V --serve-reqs Q] > BENCH_pr8.json`
+//! `cargo run --release -p clarinox-bench --bin perf_record [-- --nets N --reps R --eco-nets M --ladder-nets L --ladder-segments S --batch-sections A,B,C --batch-width W --sn-segments D --mc-segments G --funnel-nets F --serve-nets V --serve-reqs Q] > BENCH_pr10.json`
+//!
+//! Every speedup floor either binds or says so: rows carry the host's
+//! `host_parallelism` and their `gate_armed` state, and an unarmed gate
+//! prints an explicit `gate: unarmed (...)` line to stderr instead of
+//! silently passing.
 
 use std::sync::{mpsc, Barrier};
 use std::time::{Duration, Instant};
@@ -479,6 +504,21 @@ fn driven_ladder(
     clarinox_circuit::netlist::VsourceId,
     clarinox_circuit::netlist::NodeId,
 ) {
+    driven_ladder_r(sections, 100.0)
+}
+
+/// As [`driven_ladder`], with the per-section resistance a parameter —
+/// distinct resistances produce distinct companion matrices over the
+/// *same* symbolic pattern, the exact shape of a holding-configuration
+/// ladder (one engine per R_t refinement rung).
+fn driven_ladder_r(
+    sections: usize,
+    r: f64,
+) -> (
+    Circuit,
+    clarinox_circuit::netlist::VsourceId,
+    clarinox_circuit::netlist::NodeId,
+) {
     let mut ckt = Circuit::new();
     let gnd = Circuit::ground();
     let input = ckt.node("in");
@@ -488,7 +528,7 @@ fn driven_ladder(
     let mut prev = input;
     for _ in 0..sections {
         let next = ckt.fresh_node();
-        ckt.add_resistor(prev, next, 100.0).expect("valid resistor");
+        ckt.add_resistor(prev, next, r).expect("valid resistor");
         ckt.add_capacitor(next, gnd, 1e-15)
             .expect("valid capacitor");
         prev = next;
@@ -576,6 +616,283 @@ fn measure_batch_rung(sections: usize, width: usize, reps: usize) -> BatchRung {
         max_rel_diff,
         panel_solves,
         panel_columns,
+    }
+}
+
+/// One row of the cross-configuration batching sweep.
+struct ConfigRung {
+    sections: usize,
+    dim: usize,
+    sparse: bool,
+    supernodal: bool,
+    serial_s: f64,
+    grouped_s: f64,
+    speedup: f64,
+    bitwise_identical: bool,
+    max_rel_diff: f64,
+    groups: u64,
+    total_width: u64,
+    supernodes: usize,
+    /// Whether the ≥1.3× speedup floor binds on this rung (it is a
+    /// single-threaded measurement, so the only arming condition is
+    /// problem scale: ≥4096 unknowns).
+    gate_armed: bool,
+}
+
+/// Measures one cross-configuration rung: three holding configurations
+/// (same ladder topology, distinct per-section resistance — three
+/// distinct engines over one symbolic pattern) each with `per_config`
+/// waveform variants, run one single-RHS pass at a time vs. all
+/// submitted as one [`TransientEngine::run_configs_batch`] panel group.
+fn measure_config_rungs(sections: usize, per_config: usize, reps: usize) -> Vec<ConfigRung> {
+    let resistances = [100.0, 140.0, 190.0];
+    let spec = TransientSpec::new(1e-9, 1e-12).expect("valid spec");
+    let built: Vec<_> = resistances
+        .iter()
+        .map(|&r| {
+            let (ckt, src, probe) = driven_ladder_r(sections, r);
+            let engine = TransientEngine::new(&ckt, &spec).expect("factors");
+            (ckt, src, probe, engine)
+        })
+        .collect();
+    let probe = built[0].2;
+    let variants: Vec<Vec<Circuit>> = built
+        .iter()
+        .enumerate()
+        .map(|(ci, (ckt, src, _, _))| {
+            (0..per_config)
+                .map(|v| {
+                    let mut c = ckt.clone();
+                    let start = 0.1e-9 + (ci * per_config + v) as f64 * 0.05e-9;
+                    // Idle at 0.9 V for the same subnormal-avoidance
+                    // reason as the batched rungs.
+                    c.set_vsource_wave(
+                        *src,
+                        SourceWave::Pwl(Pwl::ramp(start, 100e-12, 0.9, 1.8).expect("valid ramp")),
+                    )
+                    .expect("source exists");
+                    c
+                })
+                .collect()
+        })
+        .collect();
+    let sparse = built[0].3.uses_sparse();
+    // The supernodal toggle only reaches the sparse panel kernels; on a
+    // dense rung one row tells the whole story.
+    let toggles: &[bool] = if sparse { &[true, false] } else { &[true] };
+    toggles
+        .iter()
+        .map(|&supernodal| {
+            let engines: Vec<TransientEngine> = resistances
+                .iter()
+                .map(|&r| {
+                    let (ckt, _, _) = driven_ladder_r(sections, r);
+                    let mut e = TransientEngine::new(&ckt, &spec).expect("factors");
+                    e.set_supernodal(supernodal);
+                    e
+                })
+                .collect();
+            let supernodes = engines[0].supernode_count();
+            let dim = engines[0].system().dim();
+            let mut ws = EngineScratch::new();
+
+            // Identity first (also warms scratch): the serial baseline is
+            // one single-RHS run per (configuration, variant) job — the
+            // schedule the analyzer ran before cross-configuration
+            // batching existed.
+            let serial_out: Vec<Vec<Vec<Pwl>>> = engines
+                .iter()
+                .zip(&variants)
+                .map(|(engine, vs)| {
+                    vs.iter()
+                        .map(|c| engine.run_with_scratch(c, &[probe], &mut ws).expect("run"))
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<Vec<&Circuit>> = variants
+                .iter()
+                .map(|vs| vs.iter().collect::<Vec<_>>())
+                .collect();
+            let groups: Vec<(&TransientEngine, &[&Circuit])> = engines
+                .iter()
+                .zip(&refs)
+                .map(|(e, r)| (e, r.as_slice()))
+                .collect();
+            profile::reset_batch_counters();
+            let grouped_out =
+                TransientEngine::run_configs_batch_with_scratch(&groups, &[probe], &mut ws)
+                    .expect("configs batch");
+            let (batch_groups, total_width) = (
+                profile::config_batch_groups(),
+                profile::config_batch_max_width(),
+            );
+            let mut bitwise_identical = true;
+            let mut max_rel_diff: f64 = 0.0;
+            for (sg, bg) in serial_out.iter().zip(&grouped_out) {
+                for (s, b) in sg.iter().zip(bg) {
+                    for (sw, bw) in s.iter().zip(b) {
+                        if sw.points().len() != bw.points().len() {
+                            bitwise_identical = false;
+                            max_rel_diff = f64::INFINITY;
+                            continue;
+                        }
+                        for (sp, bp) in sw.points().iter().zip(bw.points()) {
+                            if sp.0.to_bits() != bp.0.to_bits() || sp.1.to_bits() != bp.1.to_bits()
+                            {
+                                bitwise_identical = false;
+                            }
+                            max_rel_diff = max_rel_diff.max(rel_diff(sp.1, bp.1));
+                        }
+                    }
+                }
+            }
+
+            let serial_s = median_secs(reps, || {
+                for (engine, vs) in engines.iter().zip(&variants) {
+                    for c in vs {
+                        let _ = engine.run_with_scratch(c, &[probe], &mut ws).expect("run");
+                    }
+                }
+            });
+            let grouped_s = median_secs(reps, || {
+                let _ = TransientEngine::run_configs_batch_with_scratch(&groups, &[probe], &mut ws)
+                    .expect("configs batch");
+            });
+
+            ConfigRung {
+                sections,
+                dim,
+                sparse,
+                supernodal,
+                serial_s,
+                grouped_s,
+                speedup: serial_s / grouped_s,
+                bitwise_identical,
+                max_rel_diff,
+                groups: batch_groups,
+                total_width,
+                supernodes,
+                gate_armed: dim >= 4096,
+            }
+        })
+        .collect()
+}
+
+/// The supernodal-kernel measurements: one factored dense-fill companion
+/// matrix, an interleaved RHS panel swept through the blocked supernodal
+/// kernel vs. the run-length fallback.
+struct SupernodalNumbers {
+    sn_segments: usize,
+    dim: usize,
+    fill_nnz: usize,
+    width: usize,
+    supernodes: usize,
+    supernodal_entries: usize,
+    scalar_entries: usize,
+    supernodal_share: f64,
+    runs_s: f64,
+    blocked_s: f64,
+    speedup: f64,
+    per_step_column_runs_us: f64,
+    per_step_column_blocked_us: f64,
+    bitwise_identical: bool,
+    /// The ≥1.2× floor binds only when the factor actually has blocked
+    /// work to vectorize: at least 30% of off-diagonal entries inside
+    /// multi-column supernodes.
+    gate_armed: bool,
+}
+
+fn measure_supernodal(sn_segments: usize, width: usize, reps: usize) -> SupernodalNumbers {
+    // An RC ladder whose trailing nodes are all mutually coupled — a bus
+    // bundle converging at the far end. The fill-reducing order pushes
+    // the coupled clique to the trailing columns, where elimination
+    // leaves a dense block: contiguous columns with identical
+    // below-diagonal patterns, exactly what the supernode detector merges
+    // and the blocked kernel vectorizes.
+    let tail = (sn_segments / 8).clamp(8, 96);
+    let mut ckt = Circuit::new();
+    let gnd = Circuit::ground();
+    let input = ckt.node("in");
+    ckt.add_vsource(input, gnd, SourceWave::shorted())
+        .expect("distinct nodes");
+    let mut prev = input;
+    let mut nodes = Vec::with_capacity(sn_segments);
+    for _ in 0..sn_segments {
+        let next = ckt.fresh_node();
+        ckt.add_resistor(prev, next, 100.0).expect("valid resistor");
+        ckt.add_capacitor(next, gnd, 1e-15)
+            .expect("valid capacitor");
+        nodes.push(next);
+        prev = next;
+    }
+    let bundle = &nodes[sn_segments - tail..];
+    for (i, &a) in bundle.iter().enumerate() {
+        for &b in &bundle[i + 1..] {
+            ckt.add_capacitor(a, b, 0.5e-15).expect("valid capacitor");
+        }
+    }
+    let system = MnaSystem::assemble(&ckt).expect("assembly");
+    let alpha = 2.0 / 1e-12;
+    let companion = system
+        .g_sparse()
+        .add_scaled(system.c_sparse(), alpha)
+        .expect("same pattern space");
+    let symbolic = Symbolic::analyze(companion.pattern()).expect("analysis");
+    let mut lu = SparseLu::factor(&companion, &symbolic).expect("factorization");
+    let n = system.dim();
+    let b: Vec<f64> = (0..n * width)
+        .map(|i| 0.5 + ((i * 31 + 7) % 97) as f64 / 97.0)
+        .collect();
+    let mut x_blocked = Vec::new();
+    let mut x_runs = Vec::new();
+    let mut scratch = Vec::new();
+
+    // One panel solve is tens of microseconds; amortize each timed rep
+    // over enough solves that scheduler noise stops mattering.
+    let iters = (20_000_000 / (lu.fill_nnz() * width).max(1)).clamp(20, 2000);
+    lu.set_supernodal(true);
+    lu.solve_block_interleaved_into(&b, width, &mut x_blocked, &mut scratch)
+        .expect("blocked panel solve");
+    let blocked_s = median_secs(reps, || {
+        for _ in 0..iters {
+            lu.solve_block_interleaved_into(&b, width, &mut x_blocked, &mut scratch)
+                .expect("blocked panel solve");
+        }
+    }) / iters as f64;
+    lu.set_supernodal(false);
+    lu.solve_block_interleaved_into(&b, width, &mut x_runs, &mut scratch)
+        .expect("run-length panel solve");
+    let runs_s = median_secs(reps, || {
+        for _ in 0..iters {
+            lu.solve_block_interleaved_into(&b, width, &mut x_runs, &mut scratch)
+                .expect("run-length panel solve");
+        }
+    }) / iters as f64;
+    lu.set_supernodal(true);
+
+    let bitwise_identical = x_blocked
+        .iter()
+        .zip(&x_runs)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    let (sn_entries, sc_entries) = (lu.supernodal_entries(), lu.scalar_entries());
+    let share = sn_entries as f64 / (sn_entries + sc_entries).max(1) as f64;
+
+    SupernodalNumbers {
+        sn_segments,
+        dim: n,
+        fill_nnz: lu.fill_nnz(),
+        width,
+        supernodes: lu.supernode_count(),
+        supernodal_entries: sn_entries,
+        scalar_entries: sc_entries,
+        supernodal_share: share,
+        runs_s,
+        blocked_s,
+        speedup: runs_s / blocked_s,
+        per_step_column_runs_us: runs_s / width as f64 * 1e6,
+        per_step_column_blocked_us: blocked_s / width as f64 * 1e6,
+        bitwise_identical,
+        gate_armed: share >= 0.3,
     }
 }
 
@@ -984,6 +1301,7 @@ fn main() {
         })
         .collect();
     let batch_width = arg_value("--batch-width", 8usize).max(1);
+    let sn_segments = arg_value("--sn-segments", 768usize).max(8);
     let mc_segments = arg_value("--mc-segments", 2048usize).max(1);
     let funnel_nets = arg_value("--funnel-nets", 48usize).max(2);
     let serve_nets = arg_value("--serve-nets", 32usize).max(2);
@@ -1079,12 +1397,20 @@ fn main() {
             .map(|sections| measure_batch_rung(sections, batch_width, reps))
             .collect(),
     };
+    // Cross-configuration rungs: a small dense rung always leads (its
+    // bitwise check exercises the dense path on every run), then the
+    // requested ladder sizes, each with the supernodal kernel on and off.
+    let cfgb: Vec<ConfigRung> = std::iter::once(32usize)
+        .chain(batch_sections.iter().copied())
+        .flat_map(|sections| measure_config_rungs(sections, 2, reps))
+        .collect();
+    let sn = measure_supernodal(sn_segments, batch_width, reps);
     let mc = measure_multicore(tech, mc_segments, reps);
     let fu = measure_funnel(tech, cfg, funnel_nets);
     let sv = measure_serve(tech, cfg, serve_nets, serve_reqs, hw.min(8));
 
     println!("{{");
-    println!("  \"schema\": \"clarinox-perf-record/7\",");
+    println!("  \"schema\": \"clarinox-perf-record/8\",");
     println!("  \"host_parallelism\": {hw},");
     println!("  \"nets\": {nets},");
     println!("  \"warm_reps\": {reps},");
@@ -1174,6 +1500,7 @@ fn main() {
     for (i, r) in batch.rungs.iter().enumerate() {
         let comma = if i + 1 == batch.rungs.len() { "" } else { "," };
         println!("      {{");
+        println!("        \"host_parallelism\": {hw},");
         println!("        \"sections\": {},", r.sections);
         println!("        \"dim\": {},", r.dim);
         println!("        \"sparse\": {},", r.sparse);
@@ -1188,6 +1515,55 @@ fn main() {
     }
     println!("    ]");
     println!("  }},");
+    println!("  \"config_batch\": {{");
+    println!("    \"configurations\": 3,");
+    println!("    \"variants_per_config\": 2,");
+    println!("    \"rungs\": [");
+    for (i, r) in cfgb.iter().enumerate() {
+        let comma = if i + 1 == cfgb.len() { "" } else { "," };
+        println!("      {{");
+        println!("        \"host_parallelism\": {hw},");
+        println!("        \"sections\": {},", r.sections);
+        println!("        \"dim\": {},", r.dim);
+        println!("        \"sparse\": {},", r.sparse);
+        println!("        \"supernodal\": {},", r.supernodal);
+        println!("        \"serial_s\": {:.6},", r.serial_s);
+        println!("        \"grouped_s\": {:.6},", r.grouped_s);
+        println!("        \"grouped_speedup\": {:.3},", r.speedup);
+        println!("        \"bitwise_identical\": {},", r.bitwise_identical);
+        println!("        \"max_rel_diff\": {:.3e},", r.max_rel_diff);
+        println!("        \"groups\": {},", r.groups);
+        println!("        \"total_width\": {},", r.total_width);
+        println!("        \"supernodes\": {},", r.supernodes);
+        println!("        \"gate_armed\": {}", r.gate_armed);
+        println!("      }}{comma}");
+    }
+    println!("    ]");
+    println!("  }},");
+    println!("  \"supernodal\": {{");
+    println!("    \"host_parallelism\": {hw},");
+    println!("    \"sn_segments\": {},", sn.sn_segments);
+    println!("    \"dim\": {},", sn.dim);
+    println!("    \"fill_nnz\": {},", sn.fill_nnz);
+    println!("    \"width\": {},", sn.width);
+    println!("    \"supernodes\": {},", sn.supernodes);
+    println!("    \"supernodal_entries\": {},", sn.supernodal_entries);
+    println!("    \"scalar_entries\": {},", sn.scalar_entries);
+    println!("    \"supernodal_share\": {:.4},", sn.supernodal_share);
+    println!("    \"runs_panel_s\": {:.6},", sn.runs_s);
+    println!("    \"blocked_panel_s\": {:.6},", sn.blocked_s);
+    println!("    \"blocked_speedup\": {:.3},", sn.speedup);
+    println!(
+        "    \"per_step_column_runs_us\": {:.3},",
+        sn.per_step_column_runs_us
+    );
+    println!(
+        "    \"per_step_column_blocked_us\": {:.3},",
+        sn.per_step_column_blocked_us
+    );
+    println!("    \"bitwise_identical\": {},", sn.bitwise_identical);
+    println!("    \"gate_armed\": {}", sn.gate_armed);
+    println!("  }},");
     println!("  \"multicore\": {{");
     println!("    \"mc_segments\": {},", mc.mc_segments);
     println!("    \"dim\": {},", mc.dim);
@@ -1199,8 +1575,8 @@ fn main() {
     for (i, row) in mc.rows.iter().enumerate() {
         let comma = if i + 1 == mc.rows.len() { "" } else { "," };
         println!(
-            "      {{\"jobs\": {}, \"refactor_s\": {:.6}, \"speedup\": {:.3}, \
-             \"solve_bitwise\": {}}}{comma}",
+            "      {{\"host_parallelism\": {hw}, \"jobs\": {}, \"refactor_s\": {:.6}, \
+             \"speedup\": {:.3}, \"solve_bitwise\": {}}}{comma}",
             row.jobs, row.refactor_s, row.speedup, row.solve_bitwise
         );
     }
@@ -1248,6 +1624,7 @@ fn main() {
     for (i, r) in sv.rows.iter().enumerate() {
         let comma = if i + 1 == sv.rows.len() { "" } else { "," };
         println!("      {{");
+        println!("        \"host_parallelism\": {hw},");
         println!("        \"clients\": {},", r.clients);
         println!("        \"requests\": {},", r.requests);
         println!("        \"serial_s\": {:.6},", r.serial_s);
@@ -1346,6 +1723,64 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // Cross-configuration identity is enforced on every rung: bitwise on
+    // the dense path, 1e-9 relative on the sparse path (the record says
+    // whether the sparse rungs were in fact bitwise — in practice they
+    // are, because the panel kernels preserve each column's operand
+    // order).
+    for r in &cfgb {
+        if !r.sparse && !r.bitwise_identical {
+            eprintln!(
+                "error: dense config-batched run diverged bitwise from serial at {} sections",
+                r.sections
+            );
+            std::process::exit(1);
+        }
+        if r.sparse && r.max_rel_diff > 1e-9 {
+            eprintln!(
+                "error: sparse config-batched run diverged from serial at {} sections \
+                 (supernodal {}, max rel diff {:.3e})",
+                r.sections, r.supernodal, r.max_rel_diff
+            );
+            std::process::exit(1);
+        }
+        if r.gate_armed {
+            if r.speedup < 1.3 {
+                eprintln!(
+                    "error: config-batch speedup {:.2}x below the 1.3x floor at {} sections \
+                     (supernodal {})",
+                    r.speedup, r.sections, r.supernodal
+                );
+                std::process::exit(1);
+            }
+        } else {
+            eprintln!(
+                "gate: unarmed (config-batch rung at {} unknowns, floor binds at >=4096)",
+                r.dim
+            );
+        }
+    }
+    // The supernodal kernel must match the run-length fallback bitwise
+    // always; its speedup floor binds only when the factor has blocked
+    // work to vectorize.
+    if !sn.bitwise_identical {
+        eprintln!("error: supernodal panel sweep diverged bitwise from the run-length fallback");
+        std::process::exit(1);
+    }
+    if sn.gate_armed {
+        if sn.speedup < 1.2 {
+            eprintln!(
+                "error: supernodal per-step-column speedup {:.2}x below the 1.2x floor",
+                sn.speedup
+            );
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!(
+            "gate: unarmed (supernodal share {:.0}% of factor entries, floor binds at >=30%)",
+            sn.supernodal_share * 100.0
+        );
+    }
     // Parallel refactorization must stay bitwise-equivalent everywhere;
     // the jobs-4 speedup floor only binds where the hardware can express
     // it (a single-core host caps every row at ~1x by construction).
@@ -1367,6 +1802,8 @@ fn main() {
             );
             std::process::exit(1);
         }
+    } else if hw < 4 {
+        eprintln!("gate: unarmed (host has {hw} cores, needs >=4) for the jobs-4 refactor floor");
     }
     // The funnel's soundness invariant binds at every scale: the screen
     // pass must declare exactly the all-full violation set.
@@ -1414,5 +1851,9 @@ fn main() {
             );
             std::process::exit(1);
         }
+    } else if hw < 4 {
+        eprintln!(
+            "gate: unarmed (host has {hw} cores, needs >=4) for the 16-client coalescing floor"
+        );
     }
 }

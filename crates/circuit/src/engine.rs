@@ -125,6 +125,14 @@ pub struct EngineScratch {
     /// column-major RHS blocks.
     tmp: Vec<f64>,
     tmp2: Vec<f64>,
+    /// Resolved unknown index per probe node (ground probes are `None`).
+    probe_idx: Vec<Option<usize>>,
+    /// Sample timestamps, shared by every trace of the run.
+    times: Vec<f64>,
+    /// Flat sample storage: circuit-major, then probe, then step
+    /// (`trace[(j * probes + p) * samples + s]`), so a warm run records
+    /// into reused capacity instead of growing per-trace vectors.
+    trace: Vec<f64>,
 }
 
 impl EngineScratch {
@@ -167,6 +175,12 @@ fn deinterleave(panel: &[f64], dim: usize, width: usize, out: &mut Vec<f64>) {
 fn interleave(cm: &[f64], dim: usize, width: usize, out: &mut Vec<f64>) {
     out.clear();
     out.resize(dim * width, 0.0);
+    interleave_slice(cm, dim, width, out);
+}
+
+/// As [`interleave`], but into a caller-sized slice — for panels that are
+/// windows of a larger multi-group arena.
+fn interleave_slice(cm: &[f64], dim: usize, width: usize, out: &mut [f64]) {
     for (i, row) in out.chunks_exact_mut(width).enumerate() {
         for (j, d) in row.iter_mut().enumerate() {
             *d = cm[j * dim + i];
@@ -238,6 +252,9 @@ impl TransientEngine {
             let lu =
                 crate::recover::sparse_lu_with_gmin(&companion, &symbolic, system.node_unknowns())?;
             record_lu();
+            // The companion factor is the per-step solver; its supernode
+            // structure is what the panel sweeps will exploit.
+            crate::profile::record_supernodes(lu.supernode_count() as u64);
             let dc_lu = if spec.dc_init {
                 // Same union pattern as the companion: the symbolic
                 // analysis is reused as-is.
@@ -285,6 +302,28 @@ impl TransientEngine {
     /// Whether this engine factored through the sparse path.
     pub fn uses_sparse(&self) -> bool {
         matches!(self.solver, EngineSolver::Sparse { .. })
+    }
+
+    /// Selects the sparse panel kernel: blocked supernodal (the default)
+    /// or the run-length fallback. The two are bit-identical — the
+    /// toggle exists for benchmarking the supernodal win in isolation.
+    /// No-op for dense engines.
+    pub fn set_supernodal(&mut self, on: bool) {
+        if let EngineSolver::Sparse { lu, dc_lu } = &mut self.solver {
+            lu.set_supernodal(on);
+            if let Some(glu) = dc_lu {
+                glu.set_supernodal(on);
+            }
+        }
+    }
+
+    /// Multi-column supernodes the sparse companion factorization
+    /// detected (0 for dense engines).
+    pub fn supernode_count(&self) -> usize {
+        match &self.solver {
+            EngineSolver::Sparse { lu, .. } => lu.supernode_count(),
+            EngineSolver::Dense { .. } => 0,
+        }
     }
 
     /// The assembled MNA system.
@@ -353,6 +392,115 @@ impl TransientEngine {
     ) -> Result<Vec<Pwl>> {
         let mut out = self.run_batch_with_scratch(&[circuit], probes, ws)?;
         Ok(out.remove(0))
+    }
+
+    /// Fused RHS build for one interleaved panel: one row-major sweep
+    /// computes the `C x` and `G x` partial sums for every panel column
+    /// and combines them in place (`b_now + b_prev - G x + α C x` under
+    /// trapezoidal integration, `b_now + α C x` under backward Euler).
+    /// Matrix indices and values are read once per step for the whole
+    /// batch; per column the accumulation order and the combining
+    /// expression match the single-RHS formula exactly, so results stay
+    /// bit-identical at any width.
+    ///
+    /// Taking every buffer as a slice gives the optimizer disjoint
+    /// regions instead of repeated projections through the scratch
+    /// struct (whose heap buffers it must otherwise assume may alias),
+    /// and lets the config-batch path hand in per-group windows of a
+    /// shared arena.
+    #[allow(clippy::too_many_arguments)]
+    fn build_rhs_panel(
+        &self,
+        x: &[f64],
+        b_now: &[f64],
+        b_prev: &[f64],
+        rhs: &mut [f64],
+        cxr: &mut [f64],
+        gxr: &mut [f64],
+        width: usize,
+    ) {
+        let c_rows = &self.c_sparse;
+        let g_rows = &self.g_sparse;
+        if width == 1 {
+            // Scalar fast path: keeps the per-entry work register-only
+            // instead of round-tripping width-1 slices.
+            for (r, out) in rhs.iter_mut().enumerate() {
+                let mut cx = 0.0;
+                for idx in c_rows.row_ptr[r]..c_rows.row_ptr[r + 1] {
+                    cx += c_rows.vals[idx] * x[c_rows.cols[idx]];
+                }
+                *out = if self.trapezoidal {
+                    let mut gx = 0.0;
+                    for idx in g_rows.row_ptr[r]..g_rows.row_ptr[r + 1] {
+                        gx += g_rows.vals[idx] * x[g_rows.cols[idx]];
+                    }
+                    b_now[r] + b_prev[r] - gx + self.alpha * cx
+                } else {
+                    b_now[r] + self.alpha * cx
+                };
+            }
+        } else if width == 2 {
+            // Pair fast path: the width every configuration group
+            // submits. The accumulator pair lives in registers, and the
+            // C/G streams are still read once for both columns; per
+            // column the accumulation order matches the scalar path
+            // exactly.
+            for (r, out) in rhs.chunks_exact_mut(2).enumerate() {
+                let mut cx0 = 0.0;
+                let mut cx1 = 0.0;
+                for idx in c_rows.row_ptr[r]..c_rows.row_ptr[r + 1] {
+                    let v = c_rows.vals[idx];
+                    let p = c_rows.cols[idx] * 2;
+                    cx0 += v * x[p];
+                    cx1 += v * x[p + 1];
+                }
+                if self.trapezoidal {
+                    let mut gx0 = 0.0;
+                    let mut gx1 = 0.0;
+                    for idx in g_rows.row_ptr[r]..g_rows.row_ptr[r + 1] {
+                        let v = g_rows.vals[idx];
+                        let p = g_rows.cols[idx] * 2;
+                        gx0 += v * x[p];
+                        gx1 += v * x[p + 1];
+                    }
+                    out[0] = b_now[r * 2] + b_prev[r * 2] - gx0 + self.alpha * cx0;
+                    out[1] = b_now[r * 2 + 1] + b_prev[r * 2 + 1] - gx1 + self.alpha * cx1;
+                } else {
+                    out[0] = b_now[r * 2] + self.alpha * cx0;
+                    out[1] = b_now[r * 2 + 1] + self.alpha * cx1;
+                }
+            }
+        } else {
+            for (r, out) in rhs.chunks_exact_mut(width).enumerate() {
+                cxr.fill(0.0);
+                for idx in c_rows.row_ptr[r]..c_rows.row_ptr[r + 1] {
+                    let v = c_rows.vals[idx];
+                    let xrow = &x[c_rows.cols[idx] * width..][..width];
+                    for (a, &xv) in cxr.iter_mut().zip(xrow) {
+                        *a += v * xv;
+                    }
+                }
+                let bn = &b_now[r * width..][..width];
+                if self.trapezoidal {
+                    gxr.fill(0.0);
+                    for idx in g_rows.row_ptr[r]..g_rows.row_ptr[r + 1] {
+                        let v = g_rows.vals[idx];
+                        let xrow = &x[g_rows.cols[idx] * width..][..width];
+                        for (a, &xv) in gxr.iter_mut().zip(xrow) {
+                            *a += v * xv;
+                        }
+                    }
+                    let bp = &b_prev[r * width..][..width];
+                    for (q, o) in out.iter_mut().enumerate() {
+                        *o = bn[q] + bp[q] - gxr[q] + self.alpha * cxr[q];
+                    }
+                } else {
+                    for (q, o) in out.iter_mut().enumerate() {
+                        *o = bn[q] + self.alpha * cxr[q];
+                    }
+                }
+            }
+        }
     }
 
     /// Runs the transient for several source configurations of the same
@@ -439,110 +587,58 @@ impl TransientEngine {
             }
         };
 
-        let probe_idx: Vec<Option<usize>> =
-            probes.iter().map(|&n| self.system.node_index(n)).collect();
-        let mut times = Vec::with_capacity(steps + 1);
-        // Traces are per circuit, then per probe.
-        let mut traces: Vec<Vec<Vec<f64>>> = (0..width)
-            .map(|_| {
-                probes
-                    .iter()
-                    .map(|_| Vec::with_capacity(steps + 1))
-                    .collect()
-            })
-            .collect();
-        let record = |x: &[f64], traces: &mut Vec<Vec<Vec<f64>>>| {
-            for (j, per_circuit) in traces.iter_mut().enumerate() {
-                for (trace, &pi) in per_circuit.iter_mut().zip(&probe_idx) {
-                    trace.push(pi.map_or(0.0, |i| x[i * width + j]));
+        // Probe indices, sample times, and the traces all live in the
+        // scratch: a warm run records into reused capacity, so the only
+        // allocations left are the returned waveforms themselves.
+        let np = probes.len();
+        let samples = steps + 1;
+        ws.probe_idx.clear();
+        ws.probe_idx
+            .extend(probes.iter().map(|&n| self.system.node_index(n)));
+        ws.times.clear();
+        ws.times.reserve(samples);
+        ws.trace.clear();
+        ws.trace.resize(width * np * samples, 0.0);
+        // Sample `s` of probe `p`, circuit `j` lands at
+        // `trace[(j * np + p) * samples + s]`.
+        fn record_sample(
+            trace: &mut [f64],
+            probe_idx: &[Option<usize>],
+            x: &[f64],
+            width: usize,
+            samples: usize,
+            s: usize,
+        ) {
+            for j in 0..width {
+                for (p, &pi) in probe_idx.iter().enumerate() {
+                    trace[(j * probe_idx.len() + p) * samples + s] =
+                        pi.map_or(0.0, |i| x[i * width + j]);
                 }
             }
-        };
-        times.push(0.0);
-        record(&ws.x, &mut traces);
+        }
+        ws.times.push(0.0);
+        record_sample(&mut ws.trace, &ws.probe_idx, &ws.x, width, samples, 0);
 
         for (j, circuit) in circuits.iter().enumerate() {
             self.system
                 .rhs_at_strided(circuit, 0.0, &mut ws.b_prev, width, j);
         }
 
-        let c_rows = &self.c_sparse;
-        let g_rows = &self.g_sparse;
         for k in 1..=steps {
             let t = (k as f64) * h;
             for (j, circuit) in circuits.iter().enumerate() {
                 self.system
                     .rhs_at_strided(circuit, t, &mut ws.b_now, width, j);
             }
-            // Fused RHS build: one row-major sweep computes the `C x` and
-            // `G x` partial sums for all panel columns and combines them
-            // in place. Matrix indices and values are read once per step
-            // for the whole batch; per column the accumulation order and
-            // the combining expression match the single-RHS formula
-            // exactly, so results stay bit-identical at any width.
-            //
-            // Borrowing each workspace field once up front gives the
-            // optimizer disjoint slices instead of repeated projections
-            // through the scratch struct (whose heap buffers it must
-            // otherwise assume may alias).
-            {
-                let x: &[f64] = &ws.x;
-                let rhs: &mut [f64] = &mut ws.rhs;
-                let b_now: &[f64] = &ws.b_now;
-                let b_prev: &[f64] = &ws.b_prev;
-                if width == 1 {
-                    // Scalar fast path: keeps the per-entry work
-                    // register-only instead of round-tripping width-1
-                    // slices.
-                    for (r, out) in rhs.iter_mut().enumerate() {
-                        let mut cx = 0.0;
-                        for idx in c_rows.row_ptr[r]..c_rows.row_ptr[r + 1] {
-                            cx += c_rows.vals[idx] * x[c_rows.cols[idx]];
-                        }
-                        *out = if self.trapezoidal {
-                            let mut gx = 0.0;
-                            for idx in g_rows.row_ptr[r]..g_rows.row_ptr[r + 1] {
-                                gx += g_rows.vals[idx] * x[g_rows.cols[idx]];
-                            }
-                            b_now[r] + b_prev[r] - gx + self.alpha * cx
-                        } else {
-                            b_now[r] + self.alpha * cx
-                        };
-                    }
-                } else {
-                    let cxr: &mut [f64] = &mut ws.cx[..width];
-                    let gxr: &mut [f64] = &mut ws.gx[..width];
-                    for (r, out) in rhs.chunks_exact_mut(width).enumerate() {
-                        cxr.fill(0.0);
-                        for idx in c_rows.row_ptr[r]..c_rows.row_ptr[r + 1] {
-                            let v = c_rows.vals[idx];
-                            let xrow = &x[c_rows.cols[idx] * width..][..width];
-                            for (a, &xv) in cxr.iter_mut().zip(xrow) {
-                                *a += v * xv;
-                            }
-                        }
-                        let bn = &b_now[r * width..][..width];
-                        if self.trapezoidal {
-                            gxr.fill(0.0);
-                            for idx in g_rows.row_ptr[r]..g_rows.row_ptr[r + 1] {
-                                let v = g_rows.vals[idx];
-                                let xrow = &x[g_rows.cols[idx] * width..][..width];
-                                for (a, &xv) in gxr.iter_mut().zip(xrow) {
-                                    *a += v * xv;
-                                }
-                            }
-                            let bp = &b_prev[r * width..][..width];
-                            for (q, o) in out.iter_mut().enumerate() {
-                                *o = bn[q] + bp[q] - gxr[q] + self.alpha * cxr[q];
-                            }
-                        } else {
-                            for (q, o) in out.iter_mut().enumerate() {
-                                *o = bn[q] + self.alpha * cxr[q];
-                            }
-                        }
-                    }
-                }
-            }
+            self.build_rhs_panel(
+                &ws.x,
+                &ws.b_now,
+                &ws.b_prev,
+                &mut ws.rhs,
+                &mut ws.cx[..width],
+                &mut ws.gx[..width],
+                width,
+            );
             match &self.solver {
                 EngineSolver::Dense { lu, .. } => {
                     if width == 1 {
@@ -561,24 +657,272 @@ impl TransientEngine {
                     }
                 }
             }
-            times.push(t);
-            record(&ws.x, &mut traces);
+            ws.times.push(t);
+            record_sample(&mut ws.trace, &ws.probe_idx, &ws.x, width, samples, k);
             std::mem::swap(&mut ws.b_prev, &mut ws.b_now);
         }
 
         // Width-1 runs go through the same panel kernel but are not
         // "batched" work; only real panels feed the batch counters.
+        let panel_solves = steps as u64 + u64::from(dc_solved);
         if width > 1 {
-            let panel_solves = steps as u64 + u64::from(dc_solved);
             crate::profile::record_batch_panels(panel_solves, panel_solves * width as u64, width);
+            if let EngineSolver::Sparse { lu, .. } = &self.solver {
+                // Each off-diagonal factor entry costs one multiply-
+                // subtract per RHS column per panel sweep; attribute the
+                // split to whichever kernel actually ran.
+                let (sn, sc) = if lu.blocked_for_width(width) {
+                    (lu.supernodal_entries() as u64, lu.scalar_entries() as u64)
+                } else {
+                    (0, (lu.supernodal_entries() + lu.scalar_entries()) as u64)
+                };
+                let per_column = panel_solves * width as u64;
+                crate::profile::record_panel_flops(sn * per_column, sc * per_column);
+            }
         }
 
-        traces
-            .into_iter()
-            .map(|per_circuit| {
-                per_circuit
-                    .into_iter()
-                    .map(|vs| Ok(Pwl::from_samples(&times, &vs)?))
+        (0..width)
+            .map(|j| {
+                (0..np)
+                    .map(|p| {
+                        let lo = (j * np + p) * samples;
+                        Ok(Pwl::from_samples(&ws.times, &ws.trace[lo..lo + samples])?)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Advances several *holding configurations* in lockstep: each group
+    /// pairs an engine (factored for one configuration — e.g. one
+    /// `victim_r` rung of the holding-refinement ladder) with the source
+    /// circuits to run under it. Every group steps through the shared
+    /// time loop together, so source evaluation, RHS panel builds, and
+    /// trace recording are fused across the whole family even though
+    /// each group solves against its own factorization.
+    ///
+    /// All engines must share dimension, timestep, horizon, integration
+    /// method, and DC-init mode (they differ only in stamped values, as
+    /// the R_t ladder does). Probes resolve through the first group's
+    /// system; configurations of one topology number unknowns
+    /// identically.
+    ///
+    /// Returns one `Vec<Vec<Pwl>>` per group (circuit-major, then
+    /// probe), each entry bit-identical to a standalone
+    /// [`run`](TransientEngine::run) of that circuit on that engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidSpec`] on spec/topology mismatch, solver
+    /// errors otherwise.
+    pub fn run_configs_batch(
+        groups: &[(&TransientEngine, &[&Circuit])],
+        probes: &[NodeId],
+    ) -> Result<Vec<Vec<Vec<Pwl>>>> {
+        TransientEngine::run_configs_batch_with_scratch(groups, probes, &mut EngineScratch::new())
+    }
+
+    /// As [`run_configs_batch`](TransientEngine::run_configs_batch) with
+    /// a caller-owned workspace (see
+    /// [`run_with_scratch`](TransientEngine::run_with_scratch)).
+    ///
+    /// # Errors
+    ///
+    /// As [`run_configs_batch`](TransientEngine::run_configs_batch).
+    pub fn run_configs_batch_with_scratch(
+        groups: &[(&TransientEngine, &[&Circuit])],
+        probes: &[NodeId],
+        ws: &mut EngineScratch,
+    ) -> Result<Vec<Vec<Vec<Pwl>>>> {
+        let Some(((first, _), rest)) = groups.split_first() else {
+            return Ok(Vec::new());
+        };
+        let dim = first.system.dim();
+        let h = first.spec.dt;
+        let steps = first.spec.steps();
+        for (engine, _) in rest {
+            if engine.system.dim() != dim
+                || engine.spec.dt.to_bits() != h.to_bits()
+                || engine.spec.steps() != steps
+                || engine.spec.method != first.spec.method
+                || engine.spec.dc_init != first.spec.dc_init
+            {
+                return Err(CircuitError::spec(
+                    "config batch requires every engine to share dimension, \
+                     timestep, horizon, integration method, and DC-init mode",
+                ));
+            }
+        }
+        for (engine, circuits) in groups {
+            for circuit in *circuits {
+                engine.check_compatible(circuit)?;
+            }
+        }
+        // Group-major arenas: group g's interleaved `dim × w_g` panel
+        // occupies `panel[q_g .. q_g + dim * w_g]` of every buffer, and
+        // its circuits own the global trace columns `o_g .. o_g + w_g`.
+        let mut layout: Vec<(usize, usize, usize)> = Vec::with_capacity(groups.len());
+        let mut total_w = 0usize;
+        for (_, circuits) in groups {
+            layout.push((circuits.len(), dim * total_w, total_w));
+            total_w += circuits.len();
+        }
+        if total_w == 0 {
+            return Ok(groups.iter().map(|_| Vec::new()).collect());
+        }
+        ws.ensure(dim, total_w);
+        ws.x.clear();
+        ws.x.resize(dim * total_w, 0.0);
+
+        // DC initialization, per group against its own G factor.
+        let mut dc_solved = false;
+        for ((engine, circuits), &(w, q, _)) in groups.iter().zip(&layout) {
+            if w == 0 {
+                continue;
+            }
+            let span = q..q + dim * w;
+            for (j, circuit) in circuits.iter().enumerate() {
+                engine
+                    .system
+                    .rhs_at_strided(circuit, 0.0, &mut ws.b_now[span.clone()], w, j);
+            }
+            match &engine.solver {
+                EngineSolver::Dense {
+                    dc_lu: Some(glu), ..
+                } => {
+                    deinterleave(&ws.b_now[span.clone()], dim, w, &mut ws.tmp);
+                    glu.solve_block_into(&ws.tmp, w, &mut ws.tmp2)?;
+                    interleave_slice(&ws.tmp2, dim, w, &mut ws.x[span]);
+                    dc_solved = true;
+                }
+                EngineSolver::Sparse {
+                    dc_lu: Some(glu), ..
+                } => {
+                    glu.solve_block_interleaved_slice(
+                        &ws.b_now[span.clone()],
+                        w,
+                        &mut ws.x[span],
+                        &mut ws.arena,
+                    )?;
+                    dc_solved = true;
+                }
+                _ => {}
+            }
+        }
+
+        let np = probes.len();
+        let samples = steps + 1;
+        ws.probe_idx.clear();
+        ws.probe_idx
+            .extend(probes.iter().map(|&n| first.system.node_index(n)));
+        ws.times.clear();
+        ws.times.reserve(samples);
+        ws.trace.clear();
+        ws.trace.resize(total_w * np * samples, 0.0);
+        // Sample `s` of probe `p`, global column `o + j` lands at
+        // `trace[((o + j) * np + p) * samples + s]`; the group-major
+        // solution holds that unknown at `x[q + i * w + j]`.
+        fn record_groups(
+            trace: &mut [f64],
+            probe_idx: &[Option<usize>],
+            x: &[f64],
+            layout: &[(usize, usize, usize)],
+            samples: usize,
+            s: usize,
+        ) {
+            let np = probe_idx.len();
+            for &(w, q, o) in layout {
+                for j in 0..w {
+                    for (p, &pi) in probe_idx.iter().enumerate() {
+                        trace[((o + j) * np + p) * samples + s] =
+                            pi.map_or(0.0, |i| x[q + i * w + j]);
+                    }
+                }
+            }
+        }
+        ws.times.push(0.0);
+        record_groups(&mut ws.trace, &ws.probe_idx, &ws.x, &layout, samples, 0);
+
+        for ((engine, circuits), &(w, q, _)) in groups.iter().zip(&layout) {
+            for (j, circuit) in circuits.iter().enumerate() {
+                engine
+                    .system
+                    .rhs_at_strided(circuit, 0.0, &mut ws.b_prev[q..q + dim * w], w, j);
+            }
+        }
+
+        for k in 1..=steps {
+            let t = (k as f64) * h;
+            for ((engine, circuits), &(w, q, _)) in groups.iter().zip(&layout) {
+                if w == 0 {
+                    continue;
+                }
+                let span = q..q + dim * w;
+                for (j, circuit) in circuits.iter().enumerate() {
+                    engine
+                        .system
+                        .rhs_at_strided(circuit, t, &mut ws.b_now[span.clone()], w, j);
+                }
+                engine.build_rhs_panel(
+                    &ws.x[span.clone()],
+                    &ws.b_now[span.clone()],
+                    &ws.b_prev[span.clone()],
+                    &mut ws.rhs[span.clone()],
+                    &mut ws.cx[..w],
+                    &mut ws.gx[..w],
+                    w,
+                );
+                match &engine.solver {
+                    EngineSolver::Dense { lu, .. } => {
+                        deinterleave(&ws.rhs[span.clone()], dim, w, &mut ws.tmp);
+                        lu.solve_block_into(&ws.tmp, w, &mut ws.tmp2)?;
+                        interleave_slice(&ws.tmp2, dim, w, &mut ws.x[span]);
+                    }
+                    EngineSolver::Sparse { lu, .. } => {
+                        lu.solve_block_interleaved_slice(
+                            &ws.rhs[span.clone()],
+                            w,
+                            &mut ws.x[span],
+                            &mut ws.arena,
+                        )?;
+                    }
+                }
+            }
+            ws.times.push(t);
+            record_groups(&mut ws.trace, &ws.probe_idx, &ws.x, &layout, samples, k);
+            std::mem::swap(&mut ws.b_prev, &mut ws.b_now);
+        }
+
+        crate::profile::record_config_batch(groups.len() as u64, total_w);
+        let panel_solves = steps as u64 + u64::from(dc_solved);
+        for ((engine, _), &(w, _, _)) in groups.iter().zip(&layout) {
+            if w > 1 {
+                crate::profile::record_batch_panels(panel_solves, panel_solves * w as u64, w);
+                if let EngineSolver::Sparse { lu, .. } = &engine.solver {
+                    let (sn, sc) = if lu.blocked_for_width(w) {
+                        (lu.supernodal_entries() as u64, lu.scalar_entries() as u64)
+                    } else {
+                        (0, (lu.supernodal_entries() + lu.scalar_entries()) as u64)
+                    };
+                    let per_column = panel_solves * w as u64;
+                    crate::profile::record_panel_flops(sn * per_column, sc * per_column);
+                }
+            }
+        }
+
+        groups
+            .iter()
+            .zip(&layout)
+            .map(|((_, circuits), &(_, _, o))| {
+                (0..circuits.len())
+                    .map(|j| {
+                        (0..np)
+                            .map(|p| {
+                                let lo = ((o + j) * np + p) * samples;
+                                Ok(Pwl::from_samples(&ws.times, &ws.trace[lo..lo + samples])?)
+                            })
+                            .collect()
+                    })
                     .collect()
             })
             .collect()
@@ -594,6 +938,13 @@ mod tests {
     /// Coupled pair: two driven nodes with a coupling cap, like a miniature
     /// victim/aggressor net.
     fn coupled_pair() -> (Circuit, NodeId, NodeId, crate::netlist::VsourceId) {
+        coupled_pair_with_r(600.0)
+    }
+
+    /// As [`coupled_pair`], with the victim holding resistance as a
+    /// parameter — one "configuration" of the shared topology, like an
+    /// R_t rung of the holding-refinement ladder.
+    fn coupled_pair_with_r(victim_r: f64) -> (Circuit, NodeId, NodeId, crate::netlist::VsourceId) {
         let mut ckt = Circuit::new();
         let a_src = ckt.node("a_src");
         let a = ckt.node("a");
@@ -601,7 +952,7 @@ mod tests {
         let g = Circuit::ground();
         let va = ckt.add_vsource(a_src, g, SourceWave::shorted()).unwrap();
         ckt.add_resistor(a_src, a, 400.0).unwrap();
-        ckt.add_resistor(v, g, 600.0).unwrap();
+        ckt.add_resistor(v, g, victim_r).unwrap();
         ckt.add_capacitor(a, v, 25e-15).unwrap();
         ckt.add_capacitor(a, g, 12e-15).unwrap();
         ckt.add_capacitor(v, g, 18e-15).unwrap();
@@ -691,6 +1042,82 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn run_configs_batch_is_bitwise_identical_to_serial_runs() {
+        // Three holding-resistance rungs, two source waves each, under
+        // both solver kinds: every trace must match a standalone run on
+        // that rung's engine bit for bit.
+        let spec = TransientSpec::new(3e-9, 2e-12).unwrap();
+        for kind in [SolverKind::Dense, SolverKind::Sparse] {
+            let rungs: Vec<(TransientEngine, Vec<Circuit>)> = [600.0, 450.0, 275.0]
+                .iter()
+                .map(|&r| {
+                    let (ckt, _a, _v, va) = coupled_pair_with_r(r);
+                    let engine = TransientEngine::with_solver(&ckt, &spec, kind, None).unwrap();
+                    let circuits = [0.4e-9, 0.9e-9]
+                        .iter()
+                        .map(|&start| {
+                            let mut c = ckt.clone();
+                            c.set_vsource_wave(
+                                va,
+                                SourceWave::Pwl(Pwl::ramp(start, 100e-12, 0.0, 1.8).unwrap()),
+                            )
+                            .unwrap();
+                            c
+                        })
+                        .collect();
+                    (engine, circuits)
+                })
+                .collect();
+            let probes = {
+                let (ckt, a, v, _) = coupled_pair_with_r(600.0);
+                let _ = ckt;
+                [a, v]
+            };
+            let groups: Vec<(&TransientEngine, Vec<&Circuit>)> = rungs
+                .iter()
+                .map(|(e, cs)| (e, cs.iter().collect()))
+                .collect();
+            let group_refs: Vec<(&TransientEngine, &[&Circuit])> =
+                groups.iter().map(|(e, cs)| (*e, cs.as_slice())).collect();
+            crate::profile::reset_batch_counters();
+            let batched = TransientEngine::run_configs_batch(&group_refs, &probes).unwrap();
+            assert_eq!(batched.len(), 3);
+            assert_eq!(crate::profile::config_batch_runs(), 1);
+            assert_eq!(crate::profile::config_batch_groups(), 3);
+            assert_eq!(crate::profile::config_batch_max_width(), 6);
+            for ((engine, circuits), group_out) in rungs.iter().zip(&batched) {
+                assert_eq!(group_out.len(), circuits.len());
+                for (c, traces) in circuits.iter().zip(group_out) {
+                    let serial = engine.run(c, &probes).unwrap();
+                    for (b, s) in traces.iter().zip(&serial) {
+                        assert_eq!(b.points().len(), s.points().len());
+                        for (pb, ps) in b.points().iter().zip(s.points()) {
+                            assert_eq!(pb.0.to_bits(), ps.0.to_bits());
+                            assert_eq!(pb.1.to_bits(), ps.1.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_configs_batch_rejects_mismatched_specs() {
+        let (ckt, _a, v, _va) = coupled_pair();
+        let spec_a = TransientSpec::new(3e-9, 2e-12).unwrap();
+        let spec_b = TransientSpec::new(3e-9, 4e-12).unwrap();
+        let e1 = TransientEngine::new(&ckt, &spec_a).unwrap();
+        let e2 = TransientEngine::new(&ckt, &spec_b).unwrap();
+        let c1 = [&ckt];
+        let err =
+            TransientEngine::run_configs_batch(&[(&e1, c1.as_slice()), (&e2, c1.as_slice())], &[v]);
+        assert!(err.is_err(), "mismatched dt must be rejected");
+        assert!(TransientEngine::run_configs_batch(&[], &[v])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -888,6 +1315,29 @@ mod tests {
                     t,
                     wd.value(t),
                     ws.value(t)
+                );
+            }
+            // Warm-path allocation budget: with a caller-owned scratch, a
+            // warm run's only allocations are the returned waveforms —
+            // the outer Vec, one per-probe Vec, and one points Vec per
+            // probe (3 total for a single probe). Everything per-step
+            // lives in the scratch.
+            for engine in [&dense, &sparse] {
+                let mut scratch = EngineScratch::new();
+                let _ = engine
+                    .run_with_scratch(&ckt, &[nodes[n - 1]], &mut scratch)
+                    .unwrap();
+                let before = crate::alloc_count::allocations();
+                let warm = engine
+                    .run_with_scratch(&ckt, &[nodes[n - 1]], &mut scratch)
+                    .unwrap();
+                let spent = crate::alloc_count::allocations() - before;
+                drop(warm);
+                proptest::prop_assert_eq!(
+                    spent,
+                    3,
+                    "warm run allocated {} times (budget: output only)",
+                    spent
                 );
             }
         }

@@ -59,5 +59,50 @@ pub use error::CircuitError;
 pub use netlist::{Circuit, NodeId, SourceWave};
 pub use solver::{SolverKind, SymbolicCache, SPARSE_CROSSOVER_DIM};
 
+/// Test-only allocation accounting: the lib test binary runs under a
+/// counting wrapper of the system allocator so hot-path tests can assert
+/// exact allocation budgets (the warm engine run must allocate nothing
+/// beyond its returned waveforms).
+#[cfg(test)]
+pub(crate) mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        // `const` init keeps the TLS slot trivially destructible: the
+        // allocator may run before/after normal TLS lifecycle and must
+        // never itself trigger a registration path that allocates.
+        static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A realloc is a fresh acquisition too: growth in a "warm"
+            // path is exactly what the budget assertions exist to catch.
+            ALLOCATIONS.with(|c| c.set(c.get() + 1));
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: CountingAlloc = CountingAlloc;
+
+    /// Heap acquisitions (alloc + realloc) by this thread so far.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.with(Cell::get)
+    }
+}
+
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CircuitError>;

@@ -229,6 +229,84 @@ pub fn reset_batch_counters() {
     BATCH_PANEL_SOLVES.store(0, Ordering::Relaxed);
     BATCH_PANEL_COLUMNS.store(0, Ordering::Relaxed);
     BATCH_MAX_WIDTH.store(0, Ordering::Relaxed);
+    CONFIG_BATCH_RUNS.store(0, Ordering::Relaxed);
+    CONFIG_BATCH_GROUPS.store(0, Ordering::Relaxed);
+    CONFIG_BATCH_MAX_WIDTH.store(0, Ordering::Relaxed);
+}
+
+static CONFIG_BATCH_RUNS: AtomicU64 = AtomicU64::new(0);
+static CONFIG_BATCH_GROUPS: AtomicU64 = AtomicU64::new(0);
+static CONFIG_BATCH_MAX_WIDTH: AtomicU64 = AtomicU64::new(0);
+
+/// Records one cross-configuration batched engine run: `groups` panel
+/// groups (one per distinct holding configuration) advanced in lock-step,
+/// `width` RHS columns in total across all groups.
+pub fn record_config_batch(groups: u64, width: usize) {
+    CONFIG_BATCH_RUNS.fetch_add(1, Ordering::Relaxed);
+    CONFIG_BATCH_GROUPS.fetch_add(groups, Ordering::Relaxed);
+    CONFIG_BATCH_MAX_WIDTH.fetch_max(width as u64, Ordering::Relaxed);
+}
+
+/// Cross-configuration batched engine runs since process start (or the
+/// last reset).
+pub fn config_batch_runs() -> u64 {
+    CONFIG_BATCH_RUNS.load(Ordering::Relaxed)
+}
+
+/// Total panel groups advanced by cross-configuration runs — the grouping
+/// denominator: `config_batch_groups / config_batch_runs` is the average
+/// number of distinct holding configurations per lock-step run.
+pub fn config_batch_groups() -> u64 {
+    CONFIG_BATCH_GROUPS.load(Ordering::Relaxed)
+}
+
+/// Widest combined panel (total RHS columns across all groups) a
+/// cross-configuration run carried since process start (or the last
+/// reset).
+pub fn config_batch_max_width() -> u64 {
+    CONFIG_BATCH_MAX_WIDTH.load(Ordering::Relaxed)
+}
+
+static SPARSE_SUPERNODES: AtomicU64 = AtomicU64::new(0);
+static SUPERNODAL_FLOPS: AtomicU64 = AtomicU64::new(0);
+static SCALAR_FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Records the multi-column supernodes a sparse factorization detected.
+pub fn record_supernodes(count: u64) {
+    SPARSE_SUPERNODES.fetch_add(count, Ordering::Relaxed);
+}
+
+/// Records panel-sweep work split by kernel: `supernodal` multiply-
+/// subtract operations went through the blocked supernodal kernel,
+/// `scalar` through the run-length fallback.
+pub fn record_panel_flops(supernodal: u64, scalar: u64) {
+    SUPERNODAL_FLOPS.fetch_add(supernodal, Ordering::Relaxed);
+    SCALAR_FLOPS.fetch_add(scalar, Ordering::Relaxed);
+}
+
+/// Multi-column supernodes detected by sparse factorizations since
+/// process start (or the last reset).
+pub fn sparse_supernodes() -> u64 {
+    SPARSE_SUPERNODES.load(Ordering::Relaxed)
+}
+
+/// Panel-sweep multiply-subtracts executed by the blocked supernodal
+/// kernel since process start (or the last reset).
+pub fn supernodal_flops() -> u64 {
+    SUPERNODAL_FLOPS.load(Ordering::Relaxed)
+}
+
+/// Panel-sweep multiply-subtracts executed by the run-length fallback
+/// since process start (or the last reset).
+pub fn scalar_flops() -> u64 {
+    SCALAR_FLOPS.load(Ordering::Relaxed)
+}
+
+/// Resets the supernode gauges and kernel flop split to zero.
+pub fn reset_supernode_counters() {
+    SPARSE_SUPERNODES.store(0, Ordering::Relaxed);
+    SUPERNODAL_FLOPS.store(0, Ordering::Relaxed);
+    SCALAR_FLOPS.store(0, Ordering::Relaxed);
 }
 
 /// Recovery attempts recorded *on the calling thread* since it started.
@@ -296,6 +374,23 @@ mod tests {
         assert!(batch_panel_solves() >= 150);
         assert!(batch_panel_columns() >= 500);
         assert!(batch_max_width() >= 4);
+    }
+
+    #[test]
+    fn config_batch_and_supernode_counters_accumulate() {
+        reset_batch_counters();
+        reset_supernode_counters();
+        record_config_batch(3, 9);
+        record_config_batch(2, 5);
+        assert!(config_batch_runs() >= 2);
+        assert!(config_batch_groups() >= 5);
+        assert!(config_batch_max_width() >= 9);
+        record_supernodes(4);
+        record_panel_flops(1000, 250);
+        assert!(sparse_supernodes() >= 4);
+        assert!(supernodal_flops() >= 1000);
+        assert!(scalar_flops() >= 250);
+        reset_supernode_counters();
     }
 
     #[test]

@@ -342,13 +342,26 @@ impl NoiseAnalyzer {
             .net_models(&self.tech, spec, cfg.ceff_iterations)?;
         let mut lin = LinearNetAnalysis::new(&self.tech, spec, &models, cfg)?;
         let victim_edge = spec.victim.wire_edge();
-        let noiseless = lin.noiseless(cfg.victim_input_start)?;
-        let victim_slew_rcv = clarinox_waveform::measure::slew_10_90(
-            &noiseless.at_victim_rcv,
-            0.0,
-            self.tech.vdd,
-            victim_edge,
-        )? / 0.8;
+        let slew_of = |nl: &crate::superposition::DriverSimResult| -> Result<f64> {
+            Ok(clarinox_waveform::measure::slew_10_90(
+                &nl.at_victim_rcv,
+                0.0,
+                self.tech.vdd,
+                victim_edge,
+            )? / 0.8)
+        };
+        // Under `--batch configs` the noiseless victim solve rides in the
+        // round-0 cross-configuration batch instead of running standalone
+        // (bit-identical either way); every other policy keeps the
+        // pre-configs operation order exactly.
+        let configs_mode = cfg.batch.configs_mode();
+        let mut noiseless: Option<crate::superposition::DriverSimResult> = None;
+        let mut victim_slew_rcv = f64::NAN;
+        if !configs_mode {
+            let nl = lin.noiseless(cfg.victim_input_start)?;
+            victim_slew_rcv = slew_of(&nl)?;
+            noiseless = Some(nl);
+        }
 
         let rounds = match cfg.driver_model {
             DriverModelKind::Thevenin => 1,
@@ -367,9 +380,22 @@ impl NoiseAnalyzer {
             let mut valid_idx: Vec<usize> = Vec::new();
             // One canonical simulation per aggressor: batched as a single
             // multi-RHS panel when the policy allows (bit-identical to the
-            // serial path), one solve per aggressor otherwise.
+            // serial path), one solve per aggressor otherwise. In configs
+            // mode the whole round — noiseless victim included, on round
+            // 0 — is one cross-configuration batch.
             let n_agg = spec.aggressors.len();
-            let agg_noises = if cfg.batch.use_batch(n_agg) {
+            let agg_noises = if configs_mode {
+                let jobs: Vec<(usize, f64)> = (0..n_agg).map(|i| (i, AGG_REF_START)).collect();
+                let (victim, aggs) = lin.round_configs_batch(
+                    noiseless.is_none().then_some(cfg.victim_input_start),
+                    &jobs,
+                )?;
+                if let Some(nl) = victim {
+                    victim_slew_rcv = slew_of(&nl)?;
+                    noiseless = Some(nl);
+                }
+                aggs
+            } else if cfg.batch.use_batch(n_agg) {
                 let jobs: Vec<(usize, f64)> = (0..n_agg).map(|i| (i, AGG_REF_START)).collect();
                 lin.aggressor_noise_batch(&jobs)?
             } else {
@@ -389,13 +415,18 @@ impl NoiseAnalyzer {
                 noises_rcv.push(noise.at_victim_rcv);
                 noises_drv.push(noise.at_victim_drv);
             }
+            let noiseless_rcv = &noiseless
+                .as_ref()
+                .expect("noiseless materialized by round 0")
+                .at_victim_rcv;
             if valid.is_empty() {
-                let quiet = self.quiet_report(spec, &models, &lin, noiseless, victim_slew_rcv)?;
+                let nl = noiseless.expect("noiseless materialized by round 0");
+                let quiet = self.quiet_report(spec, &models, &lin, nl, victim_slew_rcv)?;
                 return Ok((quiet, lin.backend_degraded_configurations()));
             }
             let comp = CompositePulse::peaks_aligned(&valid)?;
             // Choose the alignment under the current models.
-            let ctx = self.context(spec, &noiseless.at_victim_rcv, victim_edge, &lin);
+            let ctx = self.context(spec, noiseless_rcv, victim_edge, &lin);
             let ctx = AlignmentContext {
                 composite: &comp.pulse,
                 ..ctx
@@ -443,6 +474,7 @@ impl NoiseAnalyzer {
         }
 
         let composite = composite.expect("at least one round ran");
+        let noiseless = noiseless.expect("at least one round ran");
         // Final noisy waveform: each valid aggressor shifted so pulse peaks
         // land together at peak_time.
         let valid: Vec<NoisePulse> = report_pulses.iter().flatten().cloned().collect();

@@ -85,6 +85,28 @@ pub trait LinearBackend: std::fmt::Debug + Send + Sync {
             .collect()
     }
 
+    /// Simulates jobs spanning *several* holding configurations in one
+    /// call: each `(slot, source, victim_r)` job names its own victim
+    /// series resistance, so the R_t refinement ladder and the
+    /// noiseless-vs-held victim pair — families that differ only in
+    /// `victim_r` — submit together instead of as serial
+    /// [`Self::simulate`] calls. Returns one result per job, in order.
+    ///
+    /// The default loops [`Self::simulate`]; [`FullMna`] overrides it to
+    /// group the jobs by holding configuration and advance every group
+    /// through one lockstep time loop
+    /// ([`TransientEngine::run_configs_batch`]). Overrides must stay
+    /// bit-identical to the serial loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::simulate`]; the first failing job aborts the batch.
+    fn simulate_configs_batch(&self, jobs: &[(usize, Pwl, f64)]) -> Result<Vec<DriverSimResult>> {
+        jobs.iter()
+            .map(|(slot, source, victim_r)| self.simulate(*slot, source, *victim_r))
+            .collect()
+    }
+
     /// Short stable name, for reports and benchmarks.
     fn name(&self) -> &'static str;
 
@@ -271,6 +293,75 @@ impl LinearBackend for FullMna {
                     at_victim_rcv,
                 }
             })
+            .collect())
+    }
+
+    fn simulate_configs_batch(&self, jobs: &[(usize, Pwl, f64)]) -> Result<Vec<DriverSimResult>> {
+        // Group the jobs by holding configuration, in first-occurrence
+        // order so preparation order (and thus cache/build accounting)
+        // matches the serial loop.
+        let mut key_pos: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let mut keys: Vec<u64> = Vec::new();
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        for (i, (_, _, victim_r)) in jobs.iter().enumerate() {
+            let key = victim_r.to_bits();
+            let g = *key_pos.entry(key).or_insert_with(|| {
+                keys.push(key);
+                members.push(Vec::new());
+                keys.len() - 1
+            });
+            members[g].push(i);
+        }
+        let entries = keys
+            .iter()
+            .map(|&key| {
+                self.engines
+                    .get_or_try_build(key, || self.build_entry(f64::from_bits(key)))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let variants = entries
+            .iter()
+            .zip(&members)
+            .map(|(entry, idxs)| {
+                idxs.iter()
+                    .map(|&i| {
+                        let (slot, source, _) = &jobs[i];
+                        let mut ckt = entry.template.clone();
+                        ckt.set_vsource_wave(
+                            entry.sources[*slot],
+                            SourceWave::Pwl(source.clone()),
+                        )?;
+                        Ok(ckt)
+                    })
+                    .collect::<Result<Vec<Circuit>>>()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let circuit_refs: Vec<Vec<&Circuit>> = variants
+            .iter()
+            .map(|group| group.iter().collect())
+            .collect();
+        let groups: Vec<(&TransientEngine, &[&Circuit])> = entries
+            .iter()
+            .zip(&circuit_refs)
+            .map(|(entry, refs)| (&entry.engine, refs.as_slice()))
+            .collect();
+        let traces =
+            TransientEngine::run_configs_batch(&groups, &[self.probe_drv, self.probe_rcv])?;
+        // Scatter the group-major results back to input order.
+        let mut out: Vec<Option<DriverSimResult>> = jobs.iter().map(|_| None).collect();
+        for (idxs, group_traces) in members.iter().zip(traces) {
+            for (&i, mut waves) in idxs.iter().zip(group_traces) {
+                let at_victim_rcv = waves.pop().expect("two probes requested");
+                let at_victim_drv = waves.pop().expect("two probes requested");
+                out[i] = Some(DriverSimResult {
+                    at_victim_drv,
+                    at_victim_rcv,
+                });
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every job scattered exactly once"))
             .collect())
     }
 
@@ -613,6 +704,94 @@ mod tests {
         }
         // One holding configuration serves the whole panel.
         assert_eq!(full.configurations_built(), 1);
+    }
+
+    #[test]
+    fn configs_batched_simulation_is_bitwise_identical_to_serial() {
+        let tech = Tech::default_180nm();
+        let (full, _, models) = backends(&tech, LinearBackendKind::FullMna);
+        let rth = models.victim.thevenin.rth;
+        // Three holding configurations (an R_t-style ladder) plus the
+        // active victim under its own R_th, one call.
+        let jobs: Vec<(usize, Pwl, f64)> = vec![
+            (0, models.victim.at_input_start(1.5e-9).source_wave(), rth),
+            (
+                1,
+                models.aggressors[0].at_input_start(0.4e-9).source_wave(),
+                rth,
+            ),
+            (
+                1,
+                models.aggressors[0].at_input_start(0.8e-9).source_wave(),
+                1.7 * rth,
+            ),
+            (
+                1,
+                models.aggressors[0].at_input_start(0.6e-9).source_wave(),
+                2.4 * rth,
+            ),
+        ];
+        let batched = full.simulate_configs_batch(&jobs).unwrap();
+        assert_eq!(batched.len(), jobs.len());
+        for ((slot, src, victim_r), b) in jobs.iter().zip(&batched) {
+            let s = full.simulate(*slot, src, *victim_r).unwrap();
+            assert_eq!(s.at_victim_drv, b.at_victim_drv);
+            assert_eq!(s.at_victim_rcv, b.at_victim_rcv);
+        }
+        // Three distinct victim resistances -> three configurations, and
+        // the serial replays all hit the cache.
+        assert_eq!(full.configurations_built(), 3);
+    }
+
+    fn configs_fixture() -> &'static (FullMna, NetModels) {
+        static F: std::sync::OnceLock<(FullMna, NetModels)> = std::sync::OnceLock::new();
+        F.get_or_init(|| {
+            let tech = Tech::default_180nm();
+            let (full, _, models) = backends(&tech, LinearBackendKind::FullMna);
+            (full, models)
+        })
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// Random holding-resistance ladders: jobs drawing slots, input
+        /// starts, and rungs from a seeded stream must come back
+        /// bit-identical to serial [`LinearBackend::simulate`] calls.
+        #[test]
+        fn prop_configs_batch_matches_serial_on_random_ladders(seed in 1u64..u64::MAX) {
+            let (full, models) = configs_fixture();
+            let rth = models.victim.thevenin.rth;
+            let mut s = seed;
+            let mut next = move || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let rungs: Vec<f64> = (0..2 + (next() % 3) as usize)
+                .map(|_| rth * (0.5 + (next() % 32) as f64 / 8.0))
+                .collect();
+            let jobs: Vec<(usize, Pwl, f64)> = (0..2 + (next() % 5) as usize)
+                .map(|_| {
+                    let slot = (next() % 2) as usize;
+                    let start = 0.3e-9 + (next() % 12) as f64 * 0.1e-9;
+                    let model = if slot == 0 {
+                        &models.victim
+                    } else {
+                        &models.aggressors[0]
+                    };
+                    let r = rungs[(next() % rungs.len() as u64) as usize];
+                    (slot, model.at_input_start(start).source_wave(), r)
+                })
+                .collect();
+            let batched = full.simulate_configs_batch(&jobs).unwrap();
+            for ((slot, src, victim_r), b) in jobs.iter().zip(&batched) {
+                let serial = full.simulate(*slot, src, *victim_r).unwrap();
+                proptest::prop_assert!(serial.at_victim_drv == b.at_victim_drv);
+                proptest::prop_assert!(serial.at_victim_rcv == b.at_victim_rcv);
+            }
+        }
     }
 
     #[test]

@@ -100,15 +100,23 @@ pub enum BatchKind {
     On,
     /// Serial single-RHS simulations (the pre-batching behaviour).
     Off,
+    /// Cross-configuration batching: in addition to the per-round panels,
+    /// solve families that span *holding configurations* — the noiseless
+    /// victim rides the round-0 aggressor panel, and refinement rounds go
+    /// through [`crate::backend::LinearBackend::simulate_configs_batch`]
+    /// — in one lockstep time loop. Bit-identical to `auto`; opt-in
+    /// because it reorders which engine issues each solve.
+    Configs,
 }
 
 impl BatchKind {
-    /// Parses a CLI-style name (`auto` | `on` | `off`).
+    /// Parses a CLI-style name (`auto` | `on` | `off` | `configs`).
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "auto" => Some(BatchKind::Auto),
             "on" => Some(BatchKind::On),
             "off" => Some(BatchKind::Off),
+            "configs" => Some(BatchKind::Configs),
             _ => None,
         }
     }
@@ -119,17 +127,24 @@ impl BatchKind {
             BatchKind::Auto => "auto",
             BatchKind::On => "on",
             BatchKind::Off => "off",
+            BatchKind::Configs => "configs",
         }
     }
 
     /// Whether a round of `width` simulations should go through the
-    /// batched path.
+    /// (single-configuration) batched path.
     pub fn use_batch(self, width: usize) -> bool {
         match self {
-            BatchKind::Auto => width >= 2,
+            BatchKind::Auto | BatchKind::Configs => width >= 2,
             BatchKind::On => width >= 1,
             BatchKind::Off => false,
         }
+    }
+
+    /// Whether solve families spanning several holding configurations
+    /// submit as one lockstep configs batch.
+    pub fn configs_mode(self) -> bool {
+        matches!(self, BatchKind::Configs)
     }
 }
 

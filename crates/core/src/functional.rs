@@ -159,21 +159,32 @@ fn check_functional_inner(
     let lin = LinearNetAnalysis::new(tech, spec, &models, config)?;
     let dangerous = state.dangerous_aggressor_edge();
 
-    let mut pulses: Vec<Option<NoisePulse>> = Vec::new();
+    // Only the dangerous-direction aggressors are simulated; like the
+    // delay-noise rounds they share one holding configuration, so the
+    // batching policy can submit them as a single multi-RHS panel
+    // (bit-identical to the serial loop).
+    let dangerous_idx: Vec<usize> = (0..spec.aggressors.len())
+        .filter(|&i| spec.aggressors[i].net.wire_edge() == dangerous)
+        .collect();
+    let noises = if config.batch.use_batch(dangerous_idx.len()) {
+        let jobs: Vec<(usize, f64)> = dangerous_idx.iter().map(|&i| (i, 0.6e-9)).collect();
+        lin.aggressor_noise_batch(&jobs)?
+    } else {
+        dangerous_idx
+            .iter()
+            .map(|&i| lin.aggressor_noise(i, 0.6e-9))
+            .collect::<Result<Vec<_>>>()?
+    };
+    let mut pulses: Vec<Option<NoisePulse>> = (0..spec.aggressors.len()).map(|_| None).collect();
     let mut valid: Vec<NoisePulse> = Vec::new();
-    for i in 0..spec.aggressors.len() {
-        if spec.aggressors[i].net.wire_edge() != dangerous {
-            pulses.push(None);
-            continue;
-        }
-        let noise = lin.aggressor_noise(i, 0.6e-9)?;
+    for (&i, noise) in dangerous_idx.iter().zip(noises) {
         let pulse = NoisePulse::from_waveform(noise.at_victim_rcv)
             .ok()
             .filter(|p| p.height >= MIN_PULSE);
         if let Some(p) = &pulse {
             valid.push(p.clone());
         }
-        pulses.push(pulse);
+        pulses[i] = pulse;
     }
 
     let quiet_level = state.level(tech);

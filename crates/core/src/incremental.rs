@@ -956,6 +956,8 @@ mod tests {
         assert_eq!(base, spec_content_hash(&tech, &batched_cfg, &nets[0].spec));
         let serial_cfg = cfg.with_batch(crate::config::BatchKind::Off);
         assert_eq!(base, spec_content_hash(&tech, &serial_cfg, &nets[0].spec));
+        let configs_cfg = cfg.with_batch(crate::config::BatchKind::Configs);
+        assert_eq!(base, spec_content_hash(&tech, &configs_cfg, &nets[0].spec));
 
         // An *active* funnel policy changes results → different hash; and
         // its budgets matter too.

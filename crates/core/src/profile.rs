@@ -16,16 +16,20 @@
 //! module.
 
 //! The sparse-solver counters (symbolic analyses, reuse hits, numeric
-//! factors and refactors, nnz gauges) and the multi-RHS batch counters
-//! (batched runs, panel solves/columns, widest panel) are re-exported the
-//! same way.
+//! factors and refactors, nnz gauges), the multi-RHS batch counters
+//! (batched runs, panel solves/columns, widest panel), the
+//! cross-configuration batch counters, and the supernodal-kernel counters
+//! (detected supernodes, blocked vs run-length panel flops) are
+//! re-exported the same way.
 
 pub use clarinox_circuit::profile::{
-    batch_max_width, batch_panel_columns, batch_panel_solves, batch_runs, recovery_attempts,
-    recovery_backward_euler, recovery_gmin_steps, recovery_timestep_halvings, reset_batch_counters,
-    reset_recovery_counters, reset_sparse_counters, sparse_max_fill_nnz, sparse_max_nnz_a,
-    sparse_numeric_factors, sparse_refactors, sparse_symbolic_analyses, sparse_symbolic_reuse_hits,
-    thread_recovery_steps, RecoveryKind,
+    batch_max_width, batch_panel_columns, batch_panel_solves, batch_runs, config_batch_groups,
+    config_batch_max_width, config_batch_runs, recovery_attempts, recovery_backward_euler,
+    recovery_gmin_steps, recovery_timestep_halvings, reset_batch_counters, reset_recovery_counters,
+    reset_sparse_counters, reset_supernode_counters, scalar_flops, sparse_max_fill_nnz,
+    sparse_max_nnz_a, sparse_numeric_factors, sparse_refactors, sparse_supernodes,
+    sparse_symbolic_analyses, sparse_symbolic_reuse_hits, supernodal_flops, thread_recovery_steps,
+    RecoveryKind,
 };
 
 use std::sync::atomic::{AtomicU64, Ordering};

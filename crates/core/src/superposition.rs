@@ -236,17 +236,80 @@ impl<'a> LinearNetAnalysis<'a> {
     ///
     /// Linear-simulation failures.
     pub fn aggressor_noise_batch(&self, jobs: &[(usize, f64)]) -> Result<Vec<DriverSimResult>> {
+        let resolved = self.resolve_aggressor_models(jobs)?;
         let batch = jobs
             .iter()
-            .map(|&(i, input_start)| {
-                let model = self
-                    .models
-                    .model_of(NetRef::Aggressor(i))?
-                    .at_input_start(input_start);
-                Ok((i + 1, model.source_wave()))
+            .zip(&resolved)
+            .map(|(&(i, input_start), model)| {
+                (i + 1, model.at_input_start(input_start).source_wave())
             })
-            .collect::<Result<Vec<_>>>()?;
+            .collect::<Vec<_>>();
         self.backend.simulate_batch(&batch, self.victim_holding_r)
+    }
+
+    /// Resolves each job's aggressor model, looking every *distinct*
+    /// aggressor index up once — batches are typically many input starts
+    /// of few aggressors, so per-job resolution re-ran the bounds check
+    /// and match for nothing.
+    fn resolve_aggressor_models(
+        &self,
+        jobs: &[(usize, f64)],
+    ) -> Result<Vec<&crate::models::DriverModel>> {
+        let mut distinct: Vec<(usize, &crate::models::DriverModel)> = Vec::new();
+        jobs.iter()
+            .map(|&(i, _)| {
+                if let Some(&(_, m)) = distinct.iter().find(|&&(j, _)| j == i) {
+                    return Ok(m);
+                }
+                let m = self.models.model_of(NetRef::Aggressor(i))?;
+                distinct.push((i, m));
+                Ok(m)
+            })
+            .collect()
+    }
+
+    /// Submits one refinement round's solves — the aggressors under the
+    /// current `victim_holding_r`, plus (optionally) the noiseless victim
+    /// transition under its own Thevenin `R_th` — as a single
+    /// cross-configuration batch
+    /// ([`LinearBackend::simulate_configs_batch`]): every holding
+    /// configuration involved advances through one lockstep time loop.
+    ///
+    /// Returns the victim result (when `victim_input_start` was given)
+    /// and one aggressor result per `(aggressor index, input_start)` job,
+    /// in order; each is bit-identical to the corresponding
+    /// [`Self::noiseless`] / [`Self::aggressor_noise`] call.
+    ///
+    /// # Errors
+    ///
+    /// Linear-simulation failures.
+    pub fn round_configs_batch(
+        &self,
+        victim_input_start: Option<f64>,
+        jobs: &[(usize, f64)],
+    ) -> Result<(Option<DriverSimResult>, Vec<DriverSimResult>)> {
+        let resolved = self.resolve_aggressor_models(jobs)?;
+        let mut batch: Vec<(usize, Pwl, f64)> = Vec::with_capacity(jobs.len() + 1);
+        if let Some(start) = victim_input_start {
+            // The active victim sits behind its Thevenin R_th, whatever
+            // the current holding refinement says.
+            let model = self.models.model_of(NetRef::Victim)?.at_input_start(start);
+            batch.push((0, model.source_wave(), model.rth));
+        }
+        batch.extend(
+            jobs.iter()
+                .zip(&resolved)
+                .map(|(&(i, input_start), model)| {
+                    (
+                        i + 1,
+                        model.at_input_start(input_start).source_wave(),
+                        self.victim_holding_r,
+                    )
+                }),
+        );
+        let mut results = self.backend.simulate_configs_batch(&batch)?;
+        let victim = victim_input_start.map(|_| results.remove(0));
+        Ok((victim, results))
     }
 
     /// Builds the PRIMA-reduced twin of this analysis: holding resistances

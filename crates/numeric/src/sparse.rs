@@ -465,6 +465,42 @@ pub struct SparseLu {
     /// This is the schedule [`SparseLu::refactor_parallel`] runs.
     level_ptr: Vec<usize>,
     level_cols: Vec<usize>,
+    /// Supernode partition of the elimination columns for the forward
+    /// (L) sweep: supernode `s` spans columns
+    /// `l_sn_ptr[s]..l_sn_ptr[s + 1]`. Within a supernode every
+    /// column's below-diagonal pattern is the next column plus the next
+    /// column's own pattern, so the block is dense unit-lower
+    /// triangular and all columns share one exterior row list (the last
+    /// column's pattern). See [`panel_sweep`](SparseLu::panel_sweep).
+    l_sn_ptr: Vec<usize>,
+    /// The same partition for the backward (U) sweep: within a
+    /// supernode each column's off-diagonal rows are the first column's
+    /// rows (the shared exterior list) followed by the intra-block
+    /// positions below the column.
+    u_sn_ptr: Vec<usize>,
+    /// Destination-row-major packed coefficients of every multi-column L
+    /// supernode, laid out in the exact order the blocked sweep fires
+    /// them (per supernode: intra-block triangle rows ascending, then
+    /// the shared exterior rows). Rebuilt after every numeric phase so
+    /// the sweep streams contiguous slices instead of gathering through
+    /// `l_colptr`.
+    sn_l_pack: Vec<f64>,
+    /// Same packing for U, in the backward sweep's order (supernodes
+    /// descending; per supernode: intra rows descending, each followed
+    /// by its diagonal, then the shared exterior rows).
+    sn_u_pack: Vec<f64>,
+    /// Dispatch toggle for [`panel_sweep`](SparseLu::panel_sweep):
+    /// blocked supernodal kernel (default) vs the pure run-length path.
+    /// Both produce bit-identical panels; the toggle exists for
+    /// benchmarking and as a fallback escape hatch.
+    supernodal: bool,
+    /// Number of multi-column supernodes (L and U partitions combined).
+    sn_count: usize,
+    /// Off-diagonal factor entries covered by multi-column supernodes —
+    /// the entries the blocked kernel replays per sweep.
+    sn_entries: usize,
+    /// Off-diagonal factor entries left to the run-length path.
+    sn_scalar_entries: usize,
 }
 
 /// Pivot magnitudes below this threshold are treated as singular (matches
@@ -549,6 +585,14 @@ impl SparseLu {
             u_runs: Vec::new(),
             level_ptr: Vec::new(),
             level_cols: Vec::new(),
+            l_sn_ptr: Vec::new(),
+            u_sn_ptr: Vec::new(),
+            sn_l_pack: Vec::new(),
+            sn_u_pack: Vec::new(),
+            supernodal: true,
+            sn_count: 0,
+            sn_entries: 0,
+            sn_scalar_entries: 0,
         };
         lu.l_colptr.push(0);
         lu.u_colptr.push(0);
@@ -718,6 +762,135 @@ impl SparseLu {
             self.level_cols[slot[lv]] = k;
             slot[lv] += 1;
         }
+        // Supernode partitions: maximal chains of contiguous elimination
+        // columns with nesting patterns. L-side invariant: pattern(k) in
+        // epos space equals [k + 1] followed by pattern(k + 1), so the
+        // block is dense unit-lower triangular and every column shares
+        // the last column's exterior rows. U-side invariant (off-diagonal
+        // rows, ascending): offdiag(k + 1) equals offdiag(k) followed by
+        // [k], so every column shares the first column's exterior rows.
+        self.l_sn_ptr.clear();
+        self.l_sn_ptr.push(0);
+        let mut k0 = 0;
+        while k0 < n {
+            let mut k1 = k0 + 1;
+            while k1 < n && self.l_merges(k1 - 1) {
+                k1 += 1;
+            }
+            self.l_sn_ptr.push(k1);
+            k0 = k1;
+        }
+        self.u_sn_ptr.clear();
+        self.u_sn_ptr.push(0);
+        let mut k0 = 0;
+        while k0 < n {
+            let mut k1 = k0 + 1;
+            while k1 < n && self.u_merges(k1 - 1) {
+                k1 += 1;
+            }
+            self.u_sn_ptr.push(k1);
+            k0 = k1;
+        }
+        self.sn_count = 0;
+        self.sn_entries = 0;
+        for w in self.l_sn_ptr.windows(2) {
+            if w[1] - w[0] > 1 {
+                self.sn_count += 1;
+                self.sn_entries += self.l_colptr[w[1]] - self.l_colptr[w[0]];
+            }
+        }
+        for w in self.u_sn_ptr.windows(2) {
+            if w[1] - w[0] > 1 {
+                self.sn_count += 1;
+                self.sn_entries += self.u_colptr[w[1]] - self.u_colptr[w[0]] - (w[1] - w[0]);
+            }
+        }
+        let offdiag_total = self.l_rows.len() + self.u_rows.len() - n;
+        self.sn_scalar_entries = offdiag_total - self.sn_entries;
+        self.pack_supernodes();
+    }
+
+    /// (Re)copies every multi-column supernode's coefficients into
+    /// destination-row-major packed storage, in the exact order
+    /// [`panel_sweep_blocked`](SparseLu::panel_sweep_blocked) fires them.
+    /// The column-major factor stores a destination row's coefficients
+    /// one per column — a strided gather per update; the pack turns each
+    /// into one contiguous slice the micro-kernel streams. Values are
+    /// copied verbatim, so the sweep stays bit-identical. Must run after
+    /// every numeric phase (called from `finalize`, `refactor`, and
+    /// `refactor_parallel`).
+    fn pack_supernodes(&mut self) {
+        self.sn_l_pack.clear();
+        for s in 0..self.l_sn_ptr.len().saturating_sub(1) {
+            let (k0, k1) = (self.l_sn_ptr[s], self.l_sn_ptr[s + 1]);
+            if k1 - k0 == 1 {
+                continue;
+            }
+            // Intra-block triangle: destination m takes columns k0..m.
+            for m in k0 + 1..k1 {
+                for k in k0..m {
+                    self.sn_l_pack
+                        .push(self.l_vals[self.l_colptr[k] + (m - k - 1)]);
+                }
+            }
+            // Exterior rows (the last column's pattern), each taking all
+            // supernode columns; column k's exterior entry e sits after
+            // its intra part.
+            let n_ext = self.l_colptr[k1] - self.l_colptr[k1 - 1];
+            for e in 0..n_ext {
+                for k in k0..k1 {
+                    self.sn_l_pack
+                        .push(self.l_vals[self.l_colptr[k] + (k1 - 1 - k) + e]);
+                }
+            }
+        }
+        self.sn_u_pack.clear();
+        for s in (0..self.u_sn_ptr.len().saturating_sub(1)).rev() {
+            let (k0, k1) = (self.u_sn_ptr[s], self.u_sn_ptr[s + 1]);
+            if k1 - k0 == 1 {
+                continue;
+            }
+            let ext = self.u_colptr[k0 + 1] - 1 - self.u_colptr[k0];
+            // Intra rows descending, coefficient columns descending (the
+            // serial sweep's firing order), each row closed by its pivot
+            // diagonal so the divide streams from the same slice.
+            for m in (k0..k1).rev() {
+                for k in (m + 1..k1).rev() {
+                    self.sn_u_pack
+                        .push(self.u_vals[self.u_colptr[k] + ext + (m - k0)]);
+                }
+                self.sn_u_pack.push(self.u_vals[self.u_colptr[m + 1] - 1]);
+            }
+            // Exterior rows (the first column's off-diagonal list),
+            // contributions descending in k.
+            for e in 0..ext {
+                for k in (k0..k1).rev() {
+                    self.sn_u_pack.push(self.u_vals[self.u_colptr[k] + e]);
+                }
+            }
+        }
+    }
+
+    /// True when forward-sweep columns `j` and `j + 1` belong to one
+    /// supernode: column `j`'s epos pattern is `[j + 1]` followed by
+    /// column `j + 1`'s pattern.
+    fn l_merges(&self, j: usize) -> bool {
+        let (jlo, jhi) = (self.l_colptr[j], self.l_colptr[j + 1]);
+        let (klo, khi) = (self.l_colptr[j + 1], self.l_colptr[j + 2]);
+        jhi - jlo == (khi - klo) + 1
+            && self.l_epos[jlo] == j + 1
+            && self.l_epos[jlo + 1..jhi] == self.l_epos[klo..khi]
+    }
+
+    /// True when backward-sweep columns `j` and `j + 1` belong to one
+    /// supernode: column `j + 1`'s off-diagonal rows are column `j`'s
+    /// followed by `[j]`.
+    fn u_merges(&self, j: usize) -> bool {
+        let (jlo, jhi) = (self.u_colptr[j], self.u_colptr[j + 1] - 1);
+        let (klo, khi) = (self.u_colptr[j + 1], self.u_colptr[j + 2] - 1);
+        khi - klo == (jhi - jlo) + 1
+            && self.u_rows[khi - 1] == j
+            && self.u_rows[klo..khi - 1] == self.u_rows[jlo..jhi]
     }
 
     /// Number of levels in the refactorization dependency schedule (1 for
@@ -734,6 +907,46 @@ impl SparseLu {
             .map(|w| w[1] - w[0])
             .max()
             .unwrap_or(0)
+    }
+
+    /// Number of multi-column supernodes detected at factor time (L and
+    /// U partitions counted separately — they need not coincide).
+    pub fn supernode_count(&self) -> usize {
+        self.sn_count
+    }
+
+    /// Off-diagonal factor entries the blocked supernodal kernel covers
+    /// per [`panel_sweep`](SparseLu::panel_sweep) (each costs one
+    /// multiply-subtract per RHS column per sweep).
+    pub fn supernodal_entries(&self) -> usize {
+        self.sn_entries
+    }
+
+    /// Off-diagonal factor entries left to the run-length path.
+    pub fn scalar_entries(&self) -> usize {
+        self.sn_scalar_entries
+    }
+
+    /// Selects the [`panel_sweep`](SparseLu::panel_sweep) kernel: the
+    /// blocked supernodal path (default) or the pure run-length path.
+    /// Both are bit-identical; the toggle exists for benchmarking.
+    pub fn set_supernodal(&mut self, on: bool) {
+        self.supernodal = on;
+    }
+
+    /// Whether the blocked supernodal kernel is selected.
+    pub fn supernodal(&self) -> bool {
+        self.supernodal
+    }
+
+    /// Whether a panel sweep of `width` RHS columns actually runs the
+    /// blocked supernodal kernel: width-2 panels take the dedicated pair
+    /// path regardless of the toggle (see
+    /// [`panel_sweep`](SparseLu::panel_sweep)). Callers attributing
+    /// supernodal vs. scalar work should key on this, not on
+    /// [`supernodal`](SparseLu::supernodal) alone.
+    pub fn blocked_for_width(&self, width: usize) -> bool {
+        self.supernodal && width != 2
     }
 
     /// Recomputes the numeric factorization for new values over the same
@@ -815,6 +1028,7 @@ impl SparseLu {
                 x[self.l_rows[idx]] = 0.0;
             }
         }
+        self.pack_supernodes();
         Ok(())
     }
 
@@ -914,7 +1128,10 @@ impl SparseLu {
         self.u_vals = u_vals;
         match first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
             Some((_, e)) => Err(e),
-            None => Ok(()),
+            None => {
+                self.pack_supernodes();
+                Ok(())
+            }
         }
     }
 
@@ -1161,19 +1378,43 @@ impl SparseLu {
         x: &mut Vec<f64>,
         scratch: &mut Vec<f64>,
     ) -> Result<()> {
+        x.clear();
+        x.resize(self.n * width, 0.0);
+        self.solve_block_interleaved_slice(b, width, x, scratch)
+    }
+
+    /// As [`solve_block_interleaved_into`], but writing into a
+    /// caller-sized slice (`x.len()` must be `width` interleaved columns
+    /// of the factored dimension) — the entry point for panels that live
+    /// inside a larger multi-group arena, where the solution region is a
+    /// window of a shared buffer rather than a whole `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len()` or
+    /// `x.len()` is not `width` interleaved columns of the factored
+    /// dimension.
+    ///
+    /// [`solve_block_interleaved_into`]: SparseLu::solve_block_interleaved_into
+    pub fn solve_block_interleaved_slice(
+        &self,
+        b: &[f64],
+        width: usize,
+        x: &mut [f64],
+        scratch: &mut Vec<f64>,
+    ) -> Result<()> {
         let n = self.n;
-        if b.len() != n * width {
+        if b.len() != n * width || x.len() != n * width {
             return Err(NumericError::dims(format!(
-                "sparse solve_block rhs length {} for {} columns of dimension {}",
+                "sparse solve_block rhs/solution lengths {}/{} for {} columns of dimension {}",
                 b.len(),
+                x.len(),
                 width,
                 n
             )));
         }
         scratch.clear();
         scratch.resize(n * width, 0.0);
-        x.clear();
-        x.resize(n * width, 0.0);
         if width == 0 {
             return Ok(());
         }
@@ -1191,49 +1432,420 @@ impl SparseLu {
 
     /// Forward/backward substitution over an interleaved panel `y`
     /// (`y[k * width + j]` = elimination position `k` of column `j`),
-    /// in place. Each run entry's update is a broadcast multiply-subtract
-    /// over one contiguous `width`-row — the memory shape the vectorizer
-    /// wants — and factor values/indices are read once for the whole
-    /// panel. Per column the operation order matches
-    /// [`solve_into`](SparseLu::solve_into) exactly.
+    /// in place. Dispatches between the blocked supernodal kernel and
+    /// the run-length fallback per [`set_supernodal`]; both replay each
+    /// factor entry as a broadcast multiply-subtract over one contiguous
+    /// `width`-row, and per panel column the per-position operand order
+    /// matches [`solve_into`](SparseLu::solve_into) exactly, so the two
+    /// kernels (and the serial path) are bit-identical.
+    ///
+    /// [`set_supernodal`]: SparseLu::set_supernodal
     fn panel_sweep(&self, y: &mut [f64], width: usize) {
+        if width == 2 {
+            // The pair path beats both panel kernels at this width; see
+            // its doc comment.
+            self.panel_sweep_pair(y);
+        } else if self.supernodal {
+            self.panel_sweep_blocked(y, width);
+        } else {
+            self.panel_sweep_runs(y, width);
+        }
+    }
+
+    /// Width-2 panel sweep: the shape every configuration group in the
+    /// holding-refinement ladder submits (noiseless + held victim). At
+    /// this width the per-run decode and slice machinery of the panel
+    /// kernels costs more than its two-lane payload, so this path walks
+    /// the raw factor columns exactly like
+    /// [`solve_into`](SparseLu::solve_into) with the column pair held in
+    /// registers — one index stream for two RHS columns. Per panel
+    /// column each destination position still receives exactly one
+    /// multiply-subtract per source column, in ascending (forward) /
+    /// descending (backward) column order, so the result is bit-identical
+    /// to the other kernels and to the serial path.
+    fn panel_sweep_pair(&self, y: &mut [f64]) {
+        let n = self.n;
+        for k in 0..n {
+            let y0 = y[2 * k];
+            let y1 = y[2 * k + 1];
+            for (&r, &v) in self.l_col(k) {
+                let p = self.pinv[r] * 2;
+                y[p] -= v * y0;
+                y[p + 1] -= v * y1;
+            }
+        }
+        for k in (0..n).rev() {
+            let diag_idx = self.u_colptr[k + 1] - 1;
+            let diag = self.u_vals[diag_idx];
+            let z0 = y[2 * k] / diag;
+            let z1 = y[2 * k + 1] / diag;
+            y[2 * k] = z0;
+            y[2 * k + 1] = z1;
+            for idx in self.u_colptr[k]..diag_idx {
+                let v = self.u_vals[idx];
+                let p = self.u_rows[idx] * 2;
+                y[p] -= v * z0;
+                y[p + 1] -= v * z1;
+            }
+        }
+    }
+
+    /// Run-length panel sweep: walks elimination columns one at a time,
+    /// replaying each column's maximal fill runs as dense row updates.
+    fn panel_sweep_runs(&self, y: &mut [f64], width: usize) {
         let n = self.n;
         // Forward: L y = P b. Runs target positions strictly below k, so
         // the pivot row and the update window never alias.
         for k in 0..n {
-            let (yrow, below) = y[k * width..].split_at_mut(width);
-            for &(start, len) in &self.l_runs[self.l_run_ptr[k]..self.l_run_ptr[k + 1]] {
-                let vals = &self.l_vals[start..start + len];
-                let off = (self.l_epos[start] - k - 1) * width;
-                let dst = &mut below[off..off + len * width];
-                for (drow, &v) in dst.chunks_exact_mut(width).zip(vals) {
-                    for (d, &yk) in drow.iter_mut().zip(&*yrow) {
-                        *d -= v * yk;
-                    }
-                }
-            }
+            self.l_column_runs(y, width, k);
         }
         // Backward: U z = y. Divide by the diagonal first (as the
         // single-RHS path does), then replay the off-diagonal runs, which
         // target positions strictly above k.
         for k in (0..n).rev() {
-            let diag = self.u_vals[self.u_colptr[k + 1] - 1];
-            let (above, zrow) = y.split_at_mut(k * width);
-            let zrow = &mut zrow[..width];
-            for z in zrow.iter_mut() {
-                *z /= diag;
-            }
-            for &(start, len) in &self.u_runs[self.u_run_ptr[k]..self.u_run_ptr[k + 1]] {
-                let vals = &self.u_vals[start..start + len];
-                let off = self.u_rows[start] * width;
-                let dst = &mut above[off..off + len * width];
-                for (drow, &v) in dst.chunks_exact_mut(width).zip(vals) {
-                    for (d, &zk) in drow.iter_mut().zip(&*zrow) {
-                        *d -= v * zk;
-                    }
+            self.u_column_runs(y, width, k);
+        }
+    }
+
+    /// One forward-sweep column of the run-length kernel.
+    fn l_column_runs(&self, y: &mut [f64], width: usize, k: usize) {
+        let (yrow, below) = y[k * width..].split_at_mut(width);
+        for &(start, len) in &self.l_runs[self.l_run_ptr[k]..self.l_run_ptr[k + 1]] {
+            let vals = &self.l_vals[start..start + len];
+            let off = (self.l_epos[start] - k - 1) * width;
+            let dst = &mut below[off..off + len * width];
+            for (drow, &v) in dst.chunks_exact_mut(width).zip(vals) {
+                for (d, &yk) in drow.iter_mut().zip(&*yrow) {
+                    *d -= v * yk;
                 }
             }
         }
+    }
+
+    /// One backward-sweep column of the run-length kernel: diagonal
+    /// divide first, then the off-diagonal runs.
+    fn u_column_runs(&self, y: &mut [f64], width: usize, k: usize) {
+        let diag = self.u_vals[self.u_colptr[k + 1] - 1];
+        let (above, zrow) = y.split_at_mut(k * width);
+        let zrow = &mut zrow[..width];
+        for z in zrow.iter_mut() {
+            *z /= diag;
+        }
+        for &(start, len) in &self.u_runs[self.u_run_ptr[k]..self.u_run_ptr[k + 1]] {
+            let vals = &self.u_vals[start..start + len];
+            let off = self.u_rows[start] * width;
+            let dst = &mut above[off..off + len * width];
+            for (drow, &v) in dst.chunks_exact_mut(width).zip(vals) {
+                for (d, &zk) in drow.iter_mut().zip(&*zrow) {
+                    *d -= v * zk;
+                }
+            }
+        }
+    }
+
+    /// Blocked supernodal panel sweep. Multi-column supernodes are
+    /// replayed destination-row-major: each destination `width`-row is
+    /// loaded into a register tile once per supernode and receives all
+    /// of the supernode's updates before being stored, instead of one
+    /// load/store per factor column as in the run-length path. Single-
+    /// column supernodes fall back to the run-length kernel.
+    ///
+    /// Bit-identity with [`panel_sweep_runs`](SparseLu::panel_sweep_runs)
+    /// rests on two facts: (1) per destination element the subtractions
+    /// are issued in the same column order as the column-major sweep
+    /// (ascending in the forward pass, descending in the backward pass),
+    /// and (2) a source row's values are final before any destination
+    /// reads them — forward intra-block updates run ascending so `y[k]`
+    /// is settled before column `k` fires, and the exterior pass runs
+    /// after the whole intra block; the backward pass mirrors this
+    /// descending.
+    fn panel_sweep_blocked(&self, y: &mut [f64], width: usize) {
+        // Cursors into the packed coefficient stores; the sweep consumes
+        // them in exactly the order `pack_supernodes` wrote them.
+        let mut lp = 0usize;
+        for s in 0..self.l_sn_ptr.len().saturating_sub(1) {
+            let (k0, k1) = (self.l_sn_ptr[s], self.l_sn_ptr[s + 1]);
+            if k1 - k0 == 1 {
+                self.l_column_runs(y, width, k0);
+                continue;
+            }
+            // Intra-block dense unit-lower triangular solve: destination
+            // m accumulates columns k0..m ascending; ascending m keeps
+            // every source row final before it is read. Destinations go
+            // two at a time where possible: rows m and m+1 share source
+            // rows k0..m, so one pass over the block feeds both tiles,
+            // and m+1's final term (column m) reads the just-stored row
+            // m — exactly the value the serial order would see.
+            let mut m = k0 + 1;
+            while m + 1 < k1 {
+                let w0 = m - k0;
+                let c0 = &self.sn_l_pack[lp..lp + w0];
+                let c1 = &self.sn_l_pack[lp + w0..lp + 2 * w0 + 1];
+                lp += 2 * w0 + 1;
+                let (head, rest) = y.split_at_mut(m * width);
+                let (d0, d1) = rest[..2 * width].split_at_mut(width);
+                tile_update_pair(
+                    d0,
+                    d1,
+                    head[k0 * width..].chunks_exact(width),
+                    c0,
+                    &c1[..w0],
+                    width,
+                );
+                let ce = c1[w0];
+                for (b, &a) in d1.iter_mut().zip(d0.iter()) {
+                    *b -= ce * a;
+                }
+                m += 2;
+            }
+            if m < k1 {
+                let coefs = &self.sn_l_pack[lp..lp + (m - k0)];
+                lp += m - k0;
+                let (head, rest) = y.split_at_mut(m * width);
+                tile_update(
+                    &mut rest[..width],
+                    head[k0 * width..].chunks_exact(width),
+                    coefs,
+                    width,
+                );
+            }
+            // Exterior rows, shared by every column of the supernode (the
+            // last column's epos list).
+            let (elo, ehi) = (self.l_colptr[k1 - 1], self.l_colptr[k1]);
+            let (block, below) = y.split_at_mut(k1 * width);
+            let sb = &block[k0 * width..];
+            for &pe in &self.l_epos[elo..ehi] {
+                let off = (pe - k1) * width;
+                let coefs = &self.sn_l_pack[lp..lp + (k1 - k0)];
+                lp += k1 - k0;
+                tile_update(
+                    &mut below[off..off + width],
+                    sb.chunks_exact(width),
+                    coefs,
+                    width,
+                );
+            }
+        }
+        let mut up = 0usize;
+        for s in (0..self.u_sn_ptr.len().saturating_sub(1)).rev() {
+            let (k0, k1) = (self.u_sn_ptr[s], self.u_sn_ptr[s + 1]);
+            if k1 - k0 == 1 {
+                self.u_column_runs(y, width, k0);
+                continue;
+            }
+            let ext = self.u_colptr[k0 + 1] - 1 - self.u_colptr[k0];
+            // Intra-block dense upper triangular: destination m
+            // accumulates columns k1-1..m+1 descending (the outer-loop
+            // order of the serial sweep), then divides by its diagonal —
+            // packed right after the row's coefficients. Destinations
+            // pair up descending: rows m and m-1 share source rows
+            // m+1..k1, and m-1's final term (column m) reads row m after
+            // its divide — the value the serial order would see.
+            let mut m = k1 - 1;
+            loop {
+                if m > k0 {
+                    let w0 = k1 - m - 1;
+                    let c0 = &self.sn_u_pack[up..up + w0];
+                    let diag0 = self.sn_u_pack[up + w0];
+                    let r1 = up + w0 + 1;
+                    let c1 = &self.sn_u_pack[r1..r1 + w0 + 1];
+                    let diag1 = self.sn_u_pack[r1 + w0 + 1];
+                    up = r1 + w0 + 2;
+                    let (head, tail) = y.split_at_mut((m + 1) * width);
+                    let (d1, d0) = head[(m - 1) * width..].split_at_mut(width);
+                    tile_update_pair(
+                        d0,
+                        d1,
+                        tail[..w0 * width].chunks_exact(width).rev(),
+                        c0,
+                        &c1[..w0],
+                        width,
+                    );
+                    for d in d0.iter_mut() {
+                        *d /= diag0;
+                    }
+                    let ce = c1[w0];
+                    for (b, &a) in d1.iter_mut().zip(d0.iter()) {
+                        *b -= ce * a;
+                    }
+                    for d in d1.iter_mut() {
+                        *d /= diag1;
+                    }
+                    if m - 1 == k0 {
+                        break;
+                    }
+                    m -= 2;
+                } else {
+                    let w = k1 - m - 1;
+                    let coefs = &self.sn_u_pack[up..up + w];
+                    let diag = self.sn_u_pack[up + w];
+                    up += w + 1;
+                    let (head, tail) = y.split_at_mut((m + 1) * width);
+                    let drow = &mut head[m * width..];
+                    tile_update(
+                        drow,
+                        tail[..w * width].chunks_exact(width).rev(),
+                        coefs,
+                        width,
+                    );
+                    for d in drow.iter_mut() {
+                        *d /= diag;
+                    }
+                    break;
+                }
+            }
+            // Exterior rows, shared by every column (the first column's
+            // off-diagonal list); contributions descend in k.
+            let (above, block) = y.split_at_mut(k0 * width);
+            let sb = &block[..(k1 - k0) * width];
+            for e in 0..ext {
+                let pe = self.u_rows[self.u_colptr[k0] + e];
+                let coefs = &self.sn_u_pack[up..up + (k1 - k0)];
+                up += k1 - k0;
+                tile_update(
+                    &mut above[pe * width..pe * width + width],
+                    sb.chunks_exact(width).rev(),
+                    coefs,
+                    width,
+                );
+            }
+        }
+    }
+}
+
+/// As [`tile_update`], for two destination rows sharing one source-row
+/// family: `d0[j] -= Σ c0 · row[j]`, `d1[j] -= Σ c1 · row[j]` with `c0`
+/// and `c1` zipped against the same rows, which are streamed ONCE for
+/// both tiles — the intra-block triangles' destination pairing halves
+/// their source traffic. Per destination element the subtraction order
+/// is unchanged, so results stay bit-identical.
+#[inline(always)]
+fn tile_update_pair<'a>(
+    d0: &mut [f64],
+    d1: &mut [f64],
+    rows: impl Iterator<Item = &'a [f64]> + Clone,
+    c0: &[f64],
+    c1: &[f64],
+    width: usize,
+) {
+    let mut j = 0;
+    while j + 8 <= width {
+        let mut a0 = [0.0f64; 8];
+        let mut a1 = [0.0f64; 8];
+        a0.copy_from_slice(&d0[j..j + 8]);
+        a1.copy_from_slice(&d1[j..j + 8]);
+        for ((row, &v0), &v1) in rows.clone().zip(c0).zip(c1) {
+            let s = &row[j..j + 8];
+            for l in 0..8 {
+                a0[l] -= v0 * s[l];
+                a1[l] -= v1 * s[l];
+            }
+        }
+        d0[j..j + 8].copy_from_slice(&a0);
+        d1[j..j + 8].copy_from_slice(&a1);
+        j += 8;
+    }
+    if j + 4 <= width {
+        let mut a0 = [0.0f64; 4];
+        let mut a1 = [0.0f64; 4];
+        a0.copy_from_slice(&d0[j..j + 4]);
+        a1.copy_from_slice(&d1[j..j + 4]);
+        for ((row, &v0), &v1) in rows.clone().zip(c0).zip(c1) {
+            let s = &row[j..j + 4];
+            for l in 0..4 {
+                a0[l] -= v0 * s[l];
+                a1[l] -= v1 * s[l];
+            }
+        }
+        d0[j..j + 4].copy_from_slice(&a0);
+        d1[j..j + 4].copy_from_slice(&a1);
+        j += 4;
+    }
+    if j + 2 <= width {
+        let mut a0 = [d0[j], d0[j + 1]];
+        let mut a1 = [d1[j], d1[j + 1]];
+        for ((row, &v0), &v1) in rows.clone().zip(c0).zip(c1) {
+            a0[0] -= v0 * row[j];
+            a0[1] -= v0 * row[j + 1];
+            a1[0] -= v1 * row[j];
+            a1[1] -= v1 * row[j + 1];
+        }
+        d0[j] = a0[0];
+        d0[j + 1] = a0[1];
+        d1[j] = a1[0];
+        d1[j + 1] = a1[1];
+        j += 2;
+    }
+    if j < width {
+        let mut a0 = d0[j];
+        let mut a1 = d1[j];
+        for ((row, &v0), &v1) in rows.clone().zip(c0).zip(c1) {
+            a0 -= v0 * row[j];
+            a1 -= v1 * row[j];
+        }
+        d0[j] = a0;
+        d1[j] = a1;
+    }
+}
+
+/// Register-tiled multiply-subtract of a family of weighted panel rows
+/// from one destination row: `dst[j] -= Σ coef · row[j]`, rows and packed
+/// coefficients zipped in firing order — bit-identical to replaying the
+/// terms one at a time, but the destination tile stays in registers
+/// across all terms instead of round-tripping through memory once per
+/// term, and both operand streams are contiguous loads.
+#[inline(always)]
+fn tile_update<'a>(
+    dst: &mut [f64],
+    rows: impl Iterator<Item = &'a [f64]> + Clone,
+    coefs: &[f64],
+    width: usize,
+) {
+    // Tiers keep the whole destination tile in registers across ONE pass
+    // over the source rows: the panel widths the engine actually submits
+    // (1, 2, 4, 8, and 4k+r) each stream the source block exactly once
+    // instead of once per 4-wide lane group.
+    let mut j = 0;
+    while j + 8 <= width {
+        let mut acc = [0.0f64; 8];
+        acc.copy_from_slice(&dst[j..j + 8]);
+        for (row, &v) in rows.clone().zip(coefs) {
+            let s = &row[j..j + 8];
+            for (a, &x) in acc.iter_mut().zip(s) {
+                *a -= v * x;
+            }
+        }
+        dst[j..j + 8].copy_from_slice(&acc);
+        j += 8;
+    }
+    if j + 4 <= width {
+        let mut acc = [0.0f64; 4];
+        acc.copy_from_slice(&dst[j..j + 4]);
+        for (row, &v) in rows.clone().zip(coefs) {
+            let s = &row[j..j + 4];
+            for (a, &x) in acc.iter_mut().zip(s) {
+                *a -= v * x;
+            }
+        }
+        dst[j..j + 4].copy_from_slice(&acc);
+        j += 4;
+    }
+    if j + 2 <= width {
+        let mut acc = [dst[j], dst[j + 1]];
+        for (row, &v) in rows.clone().zip(coefs) {
+            acc[0] -= v * row[j];
+            acc[1] -= v * row[j + 1];
+        }
+        dst[j] = acc[0];
+        dst[j + 1] = acc[1];
+        j += 2;
+    }
+    if j < width {
+        let mut acc = dst[j];
+        for (row, &v) in rows.clone().zip(coefs) {
+            acc -= v * row[j];
+        }
+        dst[j] = acc;
     }
 }
 
@@ -1572,6 +2184,63 @@ mod tests {
     }
 
     #[test]
+    fn dense_block_forms_supernodes() {
+        // A fully dense matrix factors into one dense triangular block:
+        // a single L supernode and a single U supernode covering every
+        // off-diagonal entry, none left to the run-length path.
+        let n = 6;
+        let mut t = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                let v = if r == c {
+                    10.0 + r as f64
+                } else {
+                    1.0 / (1.0 + (r * n + c) as f64)
+                };
+                t.push((r, c, v));
+            }
+        }
+        let (_, lu) = factor_of(&t, n);
+        assert_eq!(lu.supernode_count(), 2, "L and U supernodes");
+        assert_eq!(lu.scalar_entries(), 0);
+        assert_eq!(lu.supernodal_entries(), lu.fill_nnz() - n);
+        // Blocked and run-length kernels agree bit for bit.
+        let width = 3;
+        let b: Vec<f64> = (0..n * width).map(|i| (i as f64) * 0.37 - 1.0).collect();
+        let (mut xb, mut xr, mut arena) = (Vec::new(), Vec::new(), Vec::new());
+        lu.solve_block_into(&b, width, &mut xb, &mut arena).unwrap();
+        let mut runs = lu.clone();
+        runs.set_supernodal(false);
+        assert!(!runs.supernodal() && lu.supernodal());
+        runs.solve_block_into(&b, width, &mut xr, &mut arena)
+            .unwrap();
+        assert_eq!(xb, xr);
+    }
+
+    #[test]
+    fn tridiagonal_keeps_only_boundary_supernodes() {
+        // A chain eliminates with single-entry columns whose patterns
+        // never nest in the interior: the merge condition must reject
+        // every pair except the two trivial boundary ones (the last L
+        // column's pattern is empty, so it absorbs its predecessor; the
+        // first U column's off-diagonal is empty, so its successor
+        // absorbs it — each a dense 2x2 corner block).
+        let n = 10;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        let (_, lu) = factor_of(&t, n);
+        assert_eq!(lu.supernode_count(), 2);
+        assert_eq!(lu.supernodal_entries(), 2);
+        assert_eq!(lu.scalar_entries(), lu.fill_nnz() - n - 2);
+    }
+
+    #[test]
     fn refactor_parallel_rejects_unstable_pivot() {
         let t = [(0, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 10.0)];
         let (a, mut lu) = factor_of(&t, 2);
@@ -1647,6 +2316,73 @@ mod tests {
             for j in 0..width {
                 for i in 0..n {
                     prop_assert_eq!(xi[i * width + j].to_bits(), block[j * n + i].to_bits());
+                }
+            }
+        }
+
+        /// The blocked supernodal kernel is bit-identical to the
+        /// run-length path and to column-by-column `solve_into` on
+        /// random patterns with a dense trailing clique forcing
+        /// multi-column supernodes.
+        #[test]
+        fn prop_supernodal_matches_runs_bitwise(seed in 0u64..200) {
+            let n = 8 + (seed as usize % 14);
+            let d = 3 + (seed as usize % 4);
+            let width = 1 + (seed as usize / 7) % 7;
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(97);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            };
+            let mut t: Vec<(usize, usize, f64)> = Vec::new();
+            for i in 0..n {
+                t.push((i, i, 0.0));
+                if i + 1 < n {
+                    let v = next();
+                    t.push((i, i + 1, v));
+                    t.push((i + 1, i, v));
+                }
+            }
+            for _ in 0..n / 2 {
+                let r = ((next().abs() * n as f64) as usize).min(n - 1);
+                let c = ((next().abs() * n as f64) as usize).min(n - 1);
+                if r != c {
+                    t.push((r, c, next()));
+                }
+            }
+            // Dense clique among the last d nodes: min degree keeps the
+            // high-degree clique for the end of the elimination, where it
+            // factors as a dense block — the supernode shape.
+            for r in n - d..n {
+                for c in n - d..n {
+                    if r != c {
+                        t.push((r, c, 0.5 + next().abs()));
+                    }
+                }
+            }
+            let mut a = SparseMatrix::from_triplets(n, n, &t).unwrap();
+            let dense0 = a.to_dense();
+            for r in 0..n {
+                let s: f64 = dense0.row(r).iter().map(|v| v.abs()).sum();
+                assert!(a.add(r, r, s + 1.0));
+            }
+            let sym = Symbolic::analyze(a.pattern()).unwrap();
+            let lu = SparseLu::factor(&a, &sym).unwrap();
+            prop_assert!(lu.supernode_count() >= 1, "no supernodes with a {d}-clique");
+            let panel: Vec<f64> = (0..n * width).map(|_| next()).collect();
+            let (mut xb, mut xr, mut arena) = (Vec::new(), Vec::new(), Vec::new());
+            lu.solve_block_into(&panel, width, &mut xb, &mut arena).unwrap();
+            let mut rl = lu.clone();
+            rl.set_supernodal(false);
+            rl.solve_block_into(&panel, width, &mut xr, &mut arena).unwrap();
+            for (b, r) in xb.iter().zip(&xr) {
+                prop_assert_eq!(b.to_bits(), r.to_bits());
+            }
+            let (mut col, mut scratch) = (Vec::new(), Vec::new());
+            for j in 0..width {
+                lu.solve_into(&panel[j * n..(j + 1) * n], &mut col, &mut scratch).unwrap();
+                for i in 0..n {
+                    prop_assert_eq!(xb[j * n + i].to_bits(), col[i].to_bits());
                 }
             }
         }

@@ -647,6 +647,18 @@ pub fn profile_json(analyzer: &NoiseAnalyzer) -> Value {
                     "max_fill_nnz".into(),
                     Value::Num(clarinox_core::profile::sparse_max_fill_nnz() as f64),
                 ),
+                (
+                    "supernodes".into(),
+                    Value::Num(clarinox_core::profile::sparse_supernodes() as f64),
+                ),
+                (
+                    "supernodal_flops".into(),
+                    Value::Num(clarinox_core::profile::supernodal_flops() as f64),
+                ),
+                (
+                    "scalar_flops".into(),
+                    Value::Num(clarinox_core::profile::scalar_flops() as f64),
+                ),
             ]),
         ),
         (
@@ -712,6 +724,18 @@ pub fn profile_json(analyzer: &NoiseAnalyzer) -> Value {
                 (
                     "max_width".into(),
                     Value::Num(clarinox_core::profile::batch_max_width() as f64),
+                ),
+                (
+                    "config_runs".into(),
+                    Value::Num(clarinox_core::profile::config_batch_runs() as f64),
+                ),
+                (
+                    "config_groups".into(),
+                    Value::Num(clarinox_core::profile::config_batch_groups() as f64),
+                ),
+                (
+                    "config_max_width".into(),
+                    Value::Num(clarinox_core::profile::config_batch_max_width() as f64),
                 ),
             ]),
         ),

@@ -5,7 +5,7 @@
 //! clarinox block [--nets N] [--seed S] [--jobs J] [--segments K]
 //!                [--thevenin] [--exhaustive]
 //!                [--backend full|prima] [--solver dense|sparse|auto]
-//!                [--batch auto|on|off] [--funnel screen|full|auto]
+//!                [--batch auto|on|off|configs] [--funnel screen|full|auto]
 //!                [--delay-budget PS] [--noise-budget MV]
 //!                [--driver-cache on|off] [--inject SPEC]
 //!     analyze a generated block of coupled nets, print per-net extra
@@ -18,9 +18,9 @@
 //!     analyze a single net of a generated block in detail
 //!
 //! clarinox functional [--nets N] [--seed S] [--margin MV] [--jobs J]
-//!                     [--segments K]
+//!                     [--segments K] [--profile]
 //!                     [--backend full|prima] [--solver dense|sparse|auto]
-//!                     [--batch auto|on|off] [--funnel screen|full|auto]
+//!                     [--batch auto|on|off|configs] [--funnel screen|full|auto]
 //!                     [--delay-budget PS] [--noise-budget MV]
 //!                     [--driver-cache on|off] [--inject SPEC]
 //!     run the functional (glitch) noise check over a block
@@ -33,7 +33,7 @@
 //!
 //! clarinox serve [--socket P] [--nets N] [--seed S] [--jobs J]
 //!                [--store DIR] [--max-rounds R] [--backend full|prima]
-//!                [--solver dense|sparse|auto] [--batch auto|on|off]
+//!                [--solver dense|sparse|auto] [--batch auto|on|off|configs]
 //!                [--funnel screen|full|auto] [--delay-budget PS]
 //!                [--noise-budget MV]
 //!                [--inject SPEC] [--read-timeout S] [--write-timeout S]
@@ -88,9 +88,13 @@
 //! (default) submits any round with two or more aggressors as one RHS
 //! panel stepped through a single blocked solve per timestep, `on` forces
 //! the panel path even for one aggressor, `off` keeps the serial
-//! single-RHS loop. Batched and serial results are bit-identical; the
-//! knob trades nothing but throughput, and `--profile` reports the panel
-//! counters (batched runs, panel solves/columns, widest panel).
+//! single-RHS loop, and `configs` additionally merges distinct holding
+//! configurations — the noiseless victim and every R_t refinement rung —
+//! into one cross-engine panel group per round. Batched and serial
+//! results are bit-identical in every mode; the knob trades nothing but
+//! throughput, and `--profile` reports the panel counters (batched runs,
+//! panel solves/columns, widest panel, config-batch runs/groups/width,
+//! supernode count, supernodal vs scalar panel flops).
 //! `--driver-cache` toggles the cross-net driver
 //! library; it defaults to `on` for block-scale commands (`block`,
 //! `functional`) and `off` for single-net ones. Either way the reported
@@ -225,15 +229,18 @@ fn arg_solver() -> SolverKind {
     }
 }
 
-/// Multi-RHS batching policy: `--batch auto|on|off` (default `auto`:
-/// rounds with two or more aggressor simulations go through one RHS
-/// panel; results are bit-identical either way).
+/// Multi-RHS batching policy: `--batch auto|on|off|configs` (default
+/// `auto`: rounds with two or more aggressor simulations go through one
+/// RHS panel; `configs` additionally merges distinct holding
+/// configurations — the noiseless victim and each R_t refinement rung —
+/// into one cross-engine panel group; results are bit-identical in every
+/// mode).
 fn arg_batch() -> BatchKind {
     let raw = arg_value("--batch", "auto".to_string());
     match BatchKind::parse(&raw) {
         Some(kind) => kind,
         None => {
-            eprintln!("error: --batch must be 'auto', 'on' or 'off', got {raw:?}");
+            eprintln!("error: --batch must be 'auto', 'on', 'off' or 'configs', got {raw:?}");
             std::process::exit(2);
         }
     }
@@ -538,7 +545,7 @@ fn cmd_net() -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
     validate_args(
-        &[],
+        &["--profile"],
         &[
             "--nets",
             "--seed",
@@ -611,6 +618,12 @@ fn cmd_functional() -> Result<(), Box<dyn std::error::Error>> {
         println!("funnel: {screened} of {} checks screened", 2 * nets);
     }
     println!("\n{fails} functional violations at {margin_mv:.0} mV output margin");
+    if arg_flag("--profile") {
+        // The engine counters inside are process-wide; only the
+        // provider/table stats are scoped to this throwaway analyzer.
+        let analyzer = NoiseAnalyzer::with_config(tech, cfg);
+        println!("{}", profile_json(&analyzer).emit());
+    }
     if failed > 0 {
         exit_completed_with_failures(failed);
     }
